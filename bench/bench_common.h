@@ -1,0 +1,124 @@
+#pragma once
+
+/// Shared helpers for the reproduction benches. Every bench binary prints
+/// the paper's reported numbers next to our measured values and scales its
+/// problem sizes with SETDISC_SCALE (quick | medium | full); see
+/// EXPERIMENTS.md for the paper-vs-measured record.
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collection/inverted_index.h"
+#include "core/decision_tree.h"
+#include "core/klp.h"
+#include "core/selectors.h"
+#include "data/webtables.h"
+#include "util/env.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace setdisc::bench {
+
+/// A named selector factory (fresh instance per construction so memo caches
+/// never leak across measurements).
+struct StrategySpec {
+  std::string name;
+  std::function<std::unique_ptr<EntitySelector>()> make;
+};
+
+/// The paper's reported configurations (§5.3.1): InfoGain baseline, k-LP
+/// with k=2, and k-LPLE / k-LPLVE with k=3, q=10.
+inline std::vector<StrategySpec> PaperStrategies(CostMetric metric) {
+  return {
+      {"InfoGain",
+       [] { return std::make_unique<InfoGainSelector>(); }},
+      {"2-LP",
+       [metric] {
+         return std::make_unique<KlpSelector>(KlpOptions::MakeKlp(2, metric));
+       }},
+      {"3-LPLE(q=10)",
+       [metric] {
+         return std::make_unique<KlpSelector>(
+             KlpOptions::MakeKlple(3, 10, metric));
+       }},
+      {"3-LPLVE(q=10)",
+       [metric] {
+         return std::make_unique<KlpSelector>(
+             KlpOptions::MakeKlplve(3, 10, metric));
+       }},
+  };
+}
+
+/// Builds a tree and returns (tree, seconds).
+struct TimedTree {
+  DecisionTree tree;
+  double seconds = 0.0;
+};
+
+inline TimedTree BuildTimed(const SubCollection& sub, EntitySelector& sel) {
+  WallTimer timer;
+  TimedTree out{DecisionTree::Build(sub, sel), 0.0};
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+/// Standard banner: experiment id, paper reference, and active scale.
+inline void Banner(const std::string& experiment, const std::string& what) {
+  std::cout << "=== " << experiment << " — " << what << " ===\n"
+            << "scale: " << BenchScaleName(GetBenchScale())
+            << " (set SETDISC_SCALE=medium|full for larger runs; shapes, not "
+               "absolute numbers, are the reproduction target)\n\n";
+}
+
+/// The simulated web-tables workload shared by Fig. 3 / Fig. 4a / §5.3.2.
+struct WebTablesWorkload {
+  SetCollection corpus;
+  std::vector<SeedPairEntry> subcollections;
+};
+
+inline WebTablesWorkload MakeWebTablesWorkload(size_t max_subcollections,
+                                               size_t min_sets = 100,
+                                               size_t truncate_to = 0) {
+  WebTablesConfig cfg;
+  cfg.num_sets = ScalePick<uint32_t>(20000, 80000, 300000);
+  cfg.num_domains = ScalePick<uint32_t>(400, 1200, 3000);
+  cfg.max_set_size = 120;
+  // A skewed value distribution plus generous cross-domain ambiguity and
+  // noise makes the sub-collections adversarial (few perfectly even splits),
+  // like the paper's noisy Wikipedia columns.
+  cfg.value_zipf = 1.05;
+  cfg.ambiguous_fraction = 0.12;
+  cfg.noise_rate = 0.05;
+  cfg.seed = 2024;
+  WebTablesWorkload w;
+  w.corpus = GenerateWebTables(cfg);
+  InvertedIndex index(w.corpus);
+  w.subcollections = ExtractSeedPairSubCollections(
+      w.corpus, index, min_sets, max_subcollections, /*seed=*/17);
+  // Optionally truncate each sub-collection to its first `truncate_to`
+  // candidate sets — used where an exhaustive comparator (gain-k) must
+  // finish (documented in EXPERIMENTS.md).
+  if (truncate_to > 0) {
+    for (auto& entry : w.subcollections) {
+      if (entry.set_ids.size() > truncate_to) {
+        entry.set_ids.resize(truncate_to);
+      }
+    }
+  }
+  return w;
+}
+
+/// Count of distinct entities within a sub-collection (its local universe).
+inline size_t DistinctEntities(const SubCollection& sub) {
+  EntityCounter counter;
+  std::vector<EntityCount> counts;
+  counter.CountAll(sub, &counts);
+  return counts.size();
+}
+
+}  // namespace setdisc::bench

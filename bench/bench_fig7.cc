@@ -1,0 +1,62 @@
+// Fig. 7 — effect of the number of sets n on the average number of
+// questions and construction time (alpha = 0.9, d = 50-60). Paper shape:
+// each doubling of n adds roughly one question; construction time grows a
+// bit faster than linear because the entity count grows alongside n.
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+
+using namespace setdisc;
+using namespace setdisc::bench;
+
+int main() {
+  Banner("Fig 7", "average #questions and construction time vs number of sets");
+
+  std::vector<uint32_t> ns =
+      GetBenchScale() == BenchScale::kQuick
+          ? std::vector<uint32_t>{500, 1000, 2000, 4000, 8000}
+          : std::vector<uint32_t>{10000, 20000, 40000, 80000, 160000};
+  std::cout << "alpha = 0.9, d = 50-60 (paper sweeps n = 10k..160k)\n\n";
+
+  std::vector<StrategySpec> strategies =
+      PaperStrategies(CostMetric::kAvgDepth);
+
+  TablePrinter questions({"n", "entities", "InfoGain AD", "2-LP AD",
+                          "3-LPLE AD", "3-LPLVE AD"});
+  TablePrinter times({"n", "InfoGain (s)", "2-LP (s)", "3-LPLE (s)",
+                      "3-LPLVE (s)"});
+  std::vector<double> infogain_ad;
+  for (uint32_t n : ns) {
+    SyntheticConfig cfg;
+    cfg.num_sets = n;
+    cfg.min_set_size = 50;
+    cfg.max_set_size = 60;
+    cfg.overlap = 0.9;
+    cfg.seed = 303;
+    SetCollection c = GenerateSynthetic(cfg);
+    SubCollection full = SubCollection::Full(&c);
+
+    std::vector<std::string> qrow = {Format("%u", n),
+                                     HumanCount(c.num_distinct_entities())};
+    std::vector<std::string> trow = {Format("%u", n)};
+    for (const StrategySpec& spec : strategies) {
+      auto sel = spec.make();
+      TimedTree built = BuildTimed(full, *sel);
+      if (spec.name == "InfoGain") infogain_ad.push_back(built.tree.avg_depth());
+      qrow.push_back(Format("%.3f", built.tree.avg_depth()));
+      trow.push_back(Format("%.3f", built.seconds));
+    }
+    questions.AddRow(std::move(qrow));
+    times.AddRow(std::move(trow));
+  }
+  std::cout << "average number of questions (AD):\n";
+  questions.Print(std::cout);
+  std::cout << "\ntree construction time (seconds):\n";
+  times.Print(std::cout);
+  std::cout << "\nper-doubling AD increase (paper: ~+1 per doubling): ";
+  for (size_t i = 1; i < infogain_ad.size(); ++i) {
+    std::cout << Format("%+.2f ", infogain_ad[i] - infogain_ad[i - 1]);
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark) for the hot paths underneath every
+// experiment: informative-entity counting, partitioning, bound evaluation,
+// inverted-index construction, root selection, and full tree construction.
+
+#include <benchmark/benchmark.h>
+
+#include "collection/entity_counter.h"
+#include "collection/inverted_index.h"
+#include "core/decision_tree.h"
+#include "core/klp.h"
+#include "core/selectors.h"
+#include "data/synthetic.h"
+
+namespace setdisc {
+namespace {
+
+SetCollection MakeCollection(uint32_t n) {
+  SyntheticConfig cfg;
+  cfg.num_sets = n;
+  cfg.min_set_size = 50;
+  cfg.max_set_size = 60;
+  cfg.overlap = 0.9;
+  cfg.seed = 900;
+  return GenerateSynthetic(cfg);
+}
+
+void BM_CountInformative(benchmark::State& state) {
+  SetCollection c = MakeCollection(static_cast<uint32_t>(state.range(0)));
+  SubCollection full = SubCollection::Full(&c);
+  EntityCounter counter;
+  std::vector<EntityCount> counts;
+  for (auto _ : state) {
+    counter.CountInformative(full, &counts);
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(c.total_elements()));
+}
+BENCHMARK(BM_CountInformative)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_Partition(benchmark::State& state) {
+  SetCollection c = MakeCollection(static_cast<uint32_t>(state.range(0)));
+  SubCollection full = SubCollection::Full(&c);
+  EntityCounter counter;
+  std::vector<EntityCount> counts;
+  counter.CountInformative(full, &counts);
+  EntityId pivot = counts[counts.size() / 2].entity;
+  for (auto _ : state) {
+    auto parts = full.Partition(pivot);
+    benchmark::DoNotOptimize(parts.first.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(full.size()));
+}
+BENCHMARK(BM_Partition)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_Lb0AvgDepth(benchmark::State& state) {
+  uint64_t n = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Lb0(CostMetric::kAvgDepth, n));
+    n = n % 100000 + 1;
+  }
+}
+BENCHMARK(BM_Lb0AvgDepth);
+
+void BM_InvertedIndexBuild(benchmark::State& state) {
+  SetCollection c = MakeCollection(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    InvertedIndex idx(c);
+    benchmark::DoNotOptimize(idx.num_entities());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(c.total_elements()));
+}
+BENCHMARK(BM_InvertedIndexBuild)->Arg(2000)->Arg(8000);
+
+void BM_RootSelection2LP(benchmark::State& state) {
+  SetCollection c = MakeCollection(static_cast<uint32_t>(state.range(0)));
+  SubCollection full = SubCollection::Full(&c);
+  for (auto _ : state) {
+    KlpSelector sel(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+    benchmark::DoNotOptimize(sel.Select(full));
+  }
+}
+BENCHMARK(BM_RootSelection2LP)->Arg(500)->Arg(2000);
+
+void BM_RootSelectionInfoGain(benchmark::State& state) {
+  SetCollection c = MakeCollection(static_cast<uint32_t>(state.range(0)));
+  SubCollection full = SubCollection::Full(&c);
+  InfoGainSelector sel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.Select(full));
+  }
+}
+BENCHMARK(BM_RootSelectionInfoGain)->Arg(500)->Arg(2000);
+
+void BM_TreeBuildInfoGain(benchmark::State& state) {
+  SetCollection c = MakeCollection(static_cast<uint32_t>(state.range(0)));
+  SubCollection full = SubCollection::Full(&c);
+  for (auto _ : state) {
+    InfoGainSelector sel;
+    DecisionTree tree = DecisionTree::Build(full, sel);
+    benchmark::DoNotOptimize(tree.height());
+  }
+}
+BENCHMARK(BM_TreeBuildInfoGain)->Arg(500)->Arg(2000);
+
+void BM_TreeBuild2LP(benchmark::State& state) {
+  SetCollection c = MakeCollection(static_cast<uint32_t>(state.range(0)));
+  SubCollection full = SubCollection::Full(&c);
+  for (auto _ : state) {
+    KlpSelector sel(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+    DecisionTree tree = DecisionTree::Build(full, sel);
+    benchmark::DoNotOptimize(tree.height());
+  }
+}
+BENCHMARK(BM_TreeBuild2LP)->Arg(500)->Arg(2000);
+
+}  // namespace
+}  // namespace setdisc

@@ -1,0 +1,71 @@
+// §7 extension bench (beyond the paper's evaluation): non-uniform set
+// priors. Compares expected questions under a skewed prior for (a) the
+// uniform 2-LP tree, (b) the weighted 1-step greedy, and (c) weighted 2-LP,
+// against the Shannon entropy floor, across prior skews.
+
+#include "bench_common.h"
+#include "core/weighted.h"
+#include "core/weighted_klp.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+using namespace setdisc;
+using namespace setdisc::bench;
+
+int main() {
+  Banner("Weighted (§7)", "expected questions under skewed set priors");
+
+  const int collections = ScalePick<int>(12, 30, 60);
+  const uint32_t n = 120;
+
+  TablePrinter t({"prior skew (zipf)", "entropy floor", "uniform 2-LP",
+                  "weighted greedy", "weighted 2-LP", "gain vs uniform"});
+  for (double theta : {0.0, 0.5, 1.0, 1.5}) {
+    RunningStat floor_bits, uniform_q, greedy_q, weighted_q;
+    for (int i = 0; i < collections; ++i) {
+      SyntheticConfig cfg;
+      cfg.num_sets = n;
+      cfg.min_set_size = 10;
+      cfg.max_set_size = 16;
+      cfg.overlap = 0.85;
+      cfg.seed = 9000 + i;
+      SetCollection c = GenerateSynthetic(cfg);
+      SubCollection full = SubCollection::Full(&c);
+
+      // Zipf prior over sets, randomly permuted so rank != set id.
+      Rng rng(100 + i);
+      std::vector<double> weights(c.num_sets());
+      for (SetId s = 0; s < c.num_sets(); ++s) {
+        weights[s] = 1.0 / std::pow(static_cast<double>(1 + rng.Uniform(n)),
+                                    theta);
+      }
+
+      std::vector<SetId> ids(full.ids().begin(), full.ids().end());
+      floor_bits.Add(WeightedEntropyLowerBound(weights, ids));
+
+      KlpSelector uniform(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+      DecisionTree utree = DecisionTree::Build(full, uniform);
+      uniform_q.Add(ExpectedQuestions(utree, weights));
+
+      WeightedMostEvenSelector greedy(&weights);
+      DecisionTree gtree = DecisionTree::Build(full, greedy);
+      greedy_q.Add(ExpectedQuestions(gtree, weights));
+
+      WeightedKlpOptions wopts;
+      wopts.k = 2;
+      WeightedKlpSelector weighted(&weights, wopts);
+      DecisionTree wtree = DecisionTree::Build(full, weighted);
+      weighted_q.Add(ExpectedQuestions(wtree, weights));
+    }
+    t.AddRow({Format("%.1f", theta), Format("%.3f", floor_bits.mean()),
+              Format("%.3f", uniform_q.mean()), Format("%.3f", greedy_q.mean()),
+              Format("%.3f", weighted_q.mean()),
+              Format("%.3f", uniform_q.mean() - weighted_q.mean())});
+  }
+  t.Print(std::cout);
+  std::cout << "\nReading: with a uniform prior (skew 0) all trees tie; as "
+               "the prior skews, weight-aware search buys an increasing "
+               "number of expected questions over the prior-blind tree while "
+               "tracking the entropy floor.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: the paper's Fig. 1 collection end to end — build a collection,
+// construct an optimal decision tree, and run an interactive discovery
+// session with a simulated user.
+//
+//   $ ./build/examples/quickstart
+
+#include <iostream>
+
+#include "collection/inverted_index.h"
+#include "core/decision_tree.h"
+#include "core/discovery.h"
+#include "core/klp.h"
+
+using namespace setdisc;
+
+int main() {
+  // 1. Build a collection of named sets (Fig. 1 of the paper).
+  SetCollectionBuilder builder;
+  builder.AddSetNamed({"a", "b", "c", "d"}, "S1");
+  builder.AddSetNamed({"a", "d", "e"}, "S2");
+  builder.AddSetNamed({"a", "b", "c", "d", "f"}, "S3");
+  builder.AddSetNamed({"a", "b", "c", "g", "h"}, "S4");
+  builder.AddSetNamed({"a", "b", "h", "i"}, "S5");
+  builder.AddSetNamed({"a", "b", "j", "k"}, "S6");
+  builder.AddSetNamed({"a", "b", "g"}, "S7");
+  SetCollection collection = builder.Build();
+  std::cout << "collection: " << collection.num_sets() << " sets, "
+            << collection.num_distinct_entities() << " entities\n\n";
+
+  // 2. Construct a decision tree with the exact optimal strategy (k-LP with
+  //    unbounded lookahead; use KlpOptions::MakeKlp(2, ...) on large data).
+  SubCollection full = SubCollection::Full(&collection);
+  KlpSelector optimal(KlpOptions::MakeOptimal(CostMetric::kAvgDepth));
+  DecisionTree tree = DecisionTree::Build(full, optimal);
+  std::cout << "optimal tree (avg depth " << tree.avg_depth() << ", height "
+            << tree.height() << ") — the paper's Fig. 2a costs:\n"
+            << tree.ToString(collection) << "\n";
+
+  // 3. Run an interactive session: the user is looking for S5 and the
+  //    oracle answers membership questions on their behalf.
+  InvertedIndex index(collection);
+  SetId target = 4;  // S5
+  SimulatedOracle oracle(&collection, target);
+  KlpSelector selector(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+  DiscoveryResult result = Discover(collection, index, {}, selector, oracle);
+
+  std::cout << "searching for " << collection.label(target) << ":\n";
+  for (auto& [entity, answer] : result.transcript) {
+    std::cout << "  Q: is \"" << collection.EntityName(entity)
+              << "\" in your set?  A: "
+              << (answer == Oracle::Answer::kYes ? "yes" : "no") << "\n";
+  }
+  std::cout << "discovered " << collection.label(result.discovered()) << " in "
+            << result.questions << " questions\n";
+  return result.discovered() == target ? 0 : 1;
+}

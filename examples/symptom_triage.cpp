@@ -1,0 +1,107 @@
+// The paper's opening scenario: a triage machine narrowing down disease
+// cases from symptoms. Diseases are sets of symptoms; the patient types a
+// few symptoms (the initial example set I) and the machine asks the most
+// informative follow-up questions — including handling "don't know" answers
+// (§6).
+//
+//   $ ./build/examples/symptom_triage
+
+#include <iostream>
+
+#include "collection/inverted_index.h"
+#include "core/discovery.h"
+#include "core/klp.h"
+#include "util/rng.h"
+
+using namespace setdisc;
+
+namespace {
+
+/// A patient who knows their condition and answers symptom questions, but
+/// is unsure about some symptoms.
+class Patient : public Oracle {
+ public:
+  Patient(const SetCollection* diseases, SetId condition, double unsure_rate)
+      : diseases_(diseases), condition_(condition), unsure_rate_(unsure_rate),
+        rng_(99) {}
+
+  Answer AskMembership(EntityId symptom) override {
+    if (rng_.Bernoulli(unsure_rate_)) return Answer::kDontKnow;
+    return diseases_->Contains(condition_, symptom) ? Answer::kYes
+                                                    : Answer::kNo;
+  }
+
+ private:
+  const SetCollection* diseases_;
+  SetId condition_;
+  double unsure_rate_;
+  Rng rng_;
+};
+
+}  // namespace
+
+int main() {
+  // A small knowledge base: each disease is the set of its symptoms.
+  SetCollectionBuilder builder;
+  builder.AddSetNamed({"headache", "nausea", "fatigue", "fever", "chills"},
+                      "influenza");
+  builder.AddSetNamed({"headache", "nausea", "fatigue", "light-sensitivity",
+                       "aura"},
+                      "migraine");
+  builder.AddSetNamed({"headache", "nausea", "fatigue", "stiff-neck", "fever",
+                       "light-sensitivity"},
+                      "meningitis");
+  builder.AddSetNamed({"headache", "fatigue", "sore-throat", "cough", "fever"},
+                      "common-cold");
+  builder.AddSetNamed({"nausea", "fatigue", "abdominal-pain", "vomiting"},
+                      "gastroenteritis");
+  builder.AddSetNamed({"headache", "nausea", "fatigue", "dizziness",
+                       "blurred-vision"},
+                      "hypertension-crisis");
+  builder.AddSetNamed({"fatigue", "fever", "night-sweats", "weight-loss",
+                       "cough"},
+                      "tuberculosis");
+  builder.AddSetNamed({"headache", "nausea", "fatigue", "confusion",
+                       "dizziness"},
+                      "concussion");
+  SetCollection diseases = builder.Build();
+  InvertedIndex index(diseases);
+
+  // The patient reports three symptoms...
+  std::vector<EntityId> reported = {
+      diseases.dict()->Lookup("headache"),
+      diseases.dict()->Lookup("nausea"),
+      diseases.dict()->Lookup("fatigue"),
+  };
+  std::cout << "patient reports: headache, nausea, fatigue\n";
+  auto candidates = index.SetsContainingAll(reported);
+  std::cout << "matching conditions: ";
+  for (SetId s : candidates) std::cout << diseases.label(s) << " ";
+  std::cout << "\n\n";
+
+  // ... and the machine narrows down with follow-up questions; the patient
+  // is unsure ~15% of the time, which the session handles per §6.
+  SetId truth = 2;  // meningitis
+  Patient patient(&diseases, truth, /*unsure_rate=*/0.15);
+  KlpSelector selector(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+  DiscoveryResult result =
+      Discover(diseases, index, reported, selector, patient);
+
+  for (auto& [symptom, answer] : result.transcript) {
+    const char* a = answer == Oracle::Answer::kYes ? "yes"
+                    : answer == Oracle::Answer::kNo ? "no"
+                                                    : "don't know";
+    std::cout << "  Q: do you have \"" << diseases.EntityName(symptom)
+              << "\"?  A: " << a << "\n";
+  }
+  if (result.found()) {
+    std::cout << "\ndiagnosis candidate: " << diseases.label(result.discovered())
+              << " after " << result.questions << " questions\n";
+  } else {
+    std::cout << "\nnarrowed to " << result.candidates.size()
+              << " conditions (patient was unsure about key symptoms):";
+    for (SetId s : result.candidates) std::cout << " " << diseases.label(s);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "collection/entity_counter.h"
+
+#include <algorithm>
+
+namespace setdisc {
+
+void EntityCounter::EnsureCapacity(EntityId universe) {
+  if (counts_.size() < universe) counts_.resize(universe, 0);
+}
+
+void EntityCounter::CountInformative(const SubCollection& sub,
+                                     std::vector<EntityCount>* out,
+                                     const EntityExclusion* excluded) {
+  out->clear();
+  EnsureCapacity(sub.collection().universe_size());
+  touched_.clear();
+  for (SetId s : sub.ids()) {
+    for (EntityId e : sub.collection().set(s)) {
+      if (counts_[e] == 0) touched_.push_back(e);
+      ++counts_[e];
+    }
+  }
+  const uint32_t n = static_cast<uint32_t>(sub.size());
+  // Ascending entity order keeps all downstream tie-breaking deterministic.
+  std::sort(touched_.begin(), touched_.end());
+  out->reserve(touched_.size());
+  for (EntityId e : touched_) {
+    uint32_t c = counts_[e];
+    counts_[e] = 0;
+    if (c == 0 || c == n) continue;  // uninformative
+    if (excluded != nullptr && e < excluded->size() && (*excluded)[e]) continue;
+    out->push_back(EntityCount{e, c});
+  }
+}
+
+void EntityCounter::CountAll(const SubCollection& sub,
+                             std::vector<EntityCount>* out) {
+  out->clear();
+  EnsureCapacity(sub.collection().universe_size());
+  touched_.clear();
+  for (SetId s : sub.ids()) {
+    for (EntityId e : sub.collection().set(s)) {
+      if (counts_[e] == 0) touched_.push_back(e);
+      ++counts_[e];
+    }
+  }
+  std::sort(touched_.begin(), touched_.end());
+  out->reserve(touched_.size());
+  for (EntityId e : touched_) {
+    out->push_back(EntityCount{e, counts_[e]});
+    counts_[e] = 0;
+  }
+}
+
+}  // namespace setdisc

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file entity_counter.h
+/// Hot path: counting, for a sub-collection C, how many member sets contain
+/// each entity — the |C1| of every candidate partition.
+///
+/// §3 of the paper divides entities into informative (0 < count < |C|) and
+/// uninformative; only informative entities are eligible for decision-tree
+/// nodes. The counter emits informative entities only.
+///
+/// Implementation: a scratch array of counts indexed by EntityId plus a
+/// touched list, reused across calls, giving O(total elements of C) per pass
+/// with no hashing.
+
+#include <vector>
+
+#include "collection/sub_collection.h"
+#include "collection/types.h"
+
+namespace setdisc {
+
+/// One candidate entity with its partition size within a sub-collection.
+struct EntityCount {
+  EntityId entity = kNoEntity;
+  uint32_t count = 0;  ///< number of sets in the sub-collection containing it
+
+  bool operator==(const EntityCount&) const = default;
+};
+
+/// Optional predicate for excluding entities (e.g. "don't know" answers,
+/// §6 of the paper). Entities with exclude[e] == true are skipped.
+using EntityExclusion = std::vector<bool>;
+
+/// Reusable counting workspace. Not thread-safe; use one per thread.
+class EntityCounter {
+ public:
+  EntityCounter() = default;
+
+  /// Appends to `out` every informative entity of `sub` with its count,
+  /// in ascending entity-id order (deterministic). `out` is cleared first.
+  ///
+  /// \param excluded  if non-null, entities marked true are skipped.
+  void CountInformative(const SubCollection& sub, std::vector<EntityCount>* out,
+                        const EntityExclusion* excluded = nullptr);
+
+  /// Like CountInformative but returns *all* entities with non-zero count,
+  /// including uninformative ones (used by generators and diagnostics).
+  void CountAll(const SubCollection& sub, std::vector<EntityCount>* out);
+
+ private:
+  void EnsureCapacity(EntityId universe);
+
+  std::vector<uint32_t> counts_;
+  std::vector<EntityId> touched_;
+};
+
+}  // namespace setdisc

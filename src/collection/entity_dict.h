@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file entity_dict.h
+/// String interning for entity names.
+///
+/// The algorithms operate on dense EntityIds only; the dictionary is an
+/// optional sidecar so that examples and interactive sessions can display
+/// human-readable names (e.g. web-table cell values, disease symptoms).
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "collection/types.h"
+#include "util/status.h"
+
+namespace setdisc {
+
+/// Bidirectional mapping between entity names and dense EntityIds.
+class EntityDict {
+ public:
+  /// Returns the id for `name`, interning it if unseen.
+  EntityId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    EntityId id = static_cast<EntityId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name` or kNoEntity if never interned.
+  EntityId Lookup(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kNoEntity : it->second;
+  }
+
+  /// Returns the name for `id`; id must have been interned.
+  const std::string& Name(EntityId id) const {
+    SETDISC_CHECK(id < names_.size());
+    return names_[id];
+  }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, EntityId> ids_;
+};
+
+}  // namespace setdisc

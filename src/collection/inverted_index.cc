@@ -1,0 +1,56 @@
+#include "collection/inverted_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace setdisc {
+
+InvertedIndex::InvertedIndex(const SetCollection& collection) {
+  num_entities_ = collection.universe_size();
+  num_sets_ = collection.num_sets();
+
+  // Counting pass.
+  std::vector<size_t> freq(num_entities_ + 1, 0);
+  for (SetId s = 0; s < num_sets_; ++s) {
+    for (EntityId e : collection.set(s)) ++freq[e];
+  }
+  offsets_.assign(num_entities_ + 1, 0);
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    offsets_[e + 1] = offsets_[e] + freq[e];
+  }
+  sets_.resize(offsets_[num_entities_]);
+
+  // Fill pass; iterating sets in increasing id order keeps postings sorted.
+  std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (SetId s = 0; s < num_sets_; ++s) {
+    for (EntityId e : collection.set(s)) sets_[cursor[e]++] = s;
+  }
+}
+
+std::vector<SetId> InvertedIndex::SetsContainingAll(
+    std::span<const EntityId> entities) const {
+  if (entities.empty()) {
+    std::vector<SetId> all(num_sets_);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  // Start from the rarest entity to keep intermediate results small.
+  EntityId rarest = entities[0];
+  for (EntityId e : entities) {
+    if (Frequency(e) < Frequency(rarest)) rarest = e;
+  }
+  auto base = Postings(rarest);
+  std::vector<SetId> result(base.begin(), base.end());
+  for (EntityId e : entities) {
+    if (e == rarest || result.empty()) continue;
+    auto post = Postings(e);
+    std::vector<SetId> next;
+    next.reserve(std::min(result.size(), post.size()));
+    std::set_intersection(result.begin(), result.end(), post.begin(), post.end(),
+                          std::back_inserter(next));
+    result.swap(next);
+  }
+  return result;
+}
+
+}  // namespace setdisc

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file inverted_index.h
+/// Entity -> posting-list index over a SetCollection.
+///
+/// Used by Algorithm 2 (set discovery) to find the candidate sets that
+/// contain every entity of the user's initial example set I, and by the
+/// web-tables pipeline to build sub-collections from 2-entity seed pairs.
+
+#include <span>
+#include <vector>
+
+#include "collection/set_collection.h"
+#include "collection/types.h"
+
+namespace setdisc {
+
+/// CSR posting lists: for each entity, the sorted ids of sets containing it.
+class InvertedIndex {
+ public:
+  /// Builds the index in O(total_elements).
+  explicit InvertedIndex(const SetCollection& collection);
+
+  /// Sorted ids of the sets containing entity `e` (empty for unseen ids).
+  std::span<const SetId> Postings(EntityId e) const {
+    if (e >= num_entities_) return {};
+    return {sets_.data() + offsets_[e], sets_.data() + offsets_[e + 1]};
+  }
+
+  /// Number of sets containing entity `e` (its document frequency).
+  size_t Frequency(EntityId e) const { return Postings(e).size(); }
+
+  /// Sorted ids of sets containing *all* of `entities` (posting-list
+  /// intersection, smallest list first). An empty query matches every set.
+  std::vector<SetId> SetsContainingAll(std::span<const EntityId> entities) const;
+
+  EntityId num_entities() const { return num_entities_; }
+
+ private:
+  EntityId num_entities_ = 0;
+  SetId num_sets_ = 0;
+  std::vector<size_t> offsets_;
+  std::vector<SetId> sets_;
+};
+
+}  // namespace setdisc

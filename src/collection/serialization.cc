@@ -1,0 +1,103 @@
+#include "collection/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace setdisc {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x5345544449534331ULL;  // "SETDISC1"
+
+}  // namespace
+
+Status SaveCollectionBinary(const SetCollection& collection,
+                            const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IoError("cannot open for write: " + path);
+
+  uint64_t magic = kMagic;
+  uint64_t n = collection.num_sets();
+  uint64_t m = collection.universe_size();
+  uint64_t total = collection.total_elements();
+  f.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  f.write(reinterpret_cast<const char*>(&n), sizeof n);
+  f.write(reinterpret_cast<const char*>(&m), sizeof m);
+  f.write(reinterpret_cast<const char*>(&total), sizeof total);
+  for (SetId s = 0; s < collection.num_sets(); ++s) {
+    uint64_t sz = collection.set_size(s);
+    f.write(reinterpret_cast<const char*>(&sz), sizeof sz);
+    auto elems = collection.set(s);
+    f.write(reinterpret_cast<const char*>(elems.data()),
+            static_cast<std::streamsize>(elems.size() * sizeof(EntityId)));
+  }
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadCollectionBinary(const std::string& path, SetCollection* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open for read: " + path);
+
+  uint64_t magic = 0, n = 0, m = 0, total = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  f.read(reinterpret_cast<char*>(&n), sizeof n);
+  f.read(reinterpret_cast<char*>(&m), sizeof m);
+  f.read(reinterpret_cast<char*>(&total), sizeof total);
+  if (!f || magic != kMagic) return Status::Corruption("bad header: " + path);
+
+  SetCollectionBuilder builder;
+  size_t read_total = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t sz = 0;
+    f.read(reinterpret_cast<char*>(&sz), sizeof sz);
+    if (!f) return Status::Corruption("truncated set header: " + path);
+    std::vector<EntityId> elems(sz);
+    f.read(reinterpret_cast<char*>(elems.data()),
+           static_cast<std::streamsize>(sz * sizeof(EntityId)));
+    if (!f) return Status::Corruption("truncated set body: " + path);
+    read_total += sz;
+    builder.AddSet(std::move(elems));
+  }
+  if (read_total != total) return Status::Corruption("element count mismatch");
+  *out = builder.Build();
+  return Status::OK();
+}
+
+Status SaveCollectionText(const SetCollection& collection,
+                          const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  for (SetId s = 0; s < collection.num_sets(); ++s) {
+    bool first = true;
+    for (EntityId e : collection.set(s)) {
+      if (!first) f << ' ';
+      first = false;
+      f << collection.EntityName(e);
+    }
+    f << '\n';
+  }
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadCollectionText(const std::string& path, SetCollection* out) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  SetCollectionBuilder builder;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::vector<std::string> names;
+    std::string tok;
+    while (ss >> tok) names.push_back(tok);
+    if (!names.empty()) builder.AddSetNamed(names);
+  }
+  *out = builder.Build();
+  return Status::OK();
+}
+
+}  // namespace setdisc

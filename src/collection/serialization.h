@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file serialization.h
+/// Persistence for set collections.
+///
+/// Two formats:
+///  * a compact binary format (magic + CSR arrays) for benchmark caching, and
+///  * a line-oriented text format (one set per line, whitespace-separated
+///    entity names) matching how web-table corpora are usually distributed.
+
+#include <string>
+
+#include "collection/set_collection.h"
+#include "util/status.h"
+
+namespace setdisc {
+
+/// Writes `collection` to `path` in the binary format. Labels and the name
+/// dictionary are not persisted (ids only).
+Status SaveCollectionBinary(const SetCollection& collection,
+                            const std::string& path);
+
+/// Reads a collection previously written by SaveCollectionBinary.
+Status LoadCollectionBinary(const std::string& path, SetCollection* out);
+
+/// Writes one set per line using entity names (or "e<id>").
+Status SaveCollectionText(const SetCollection& collection,
+                          const std::string& path);
+
+/// Reads a text collection: each non-empty line is a set of whitespace-
+/// separated entity names, interned into a fresh dictionary. Duplicate sets
+/// collapse. Lines starting with '#' are comments.
+Status LoadCollectionText(const std::string& path, SetCollection* out);
+
+}  // namespace setdisc

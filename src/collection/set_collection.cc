@@ -1,0 +1,109 @@
+#include "collection/set_collection.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace setdisc {
+
+namespace {
+
+/// 64-bit content hash of a sorted element vector (FNV-1a over ids).
+uint64_t HashElements(const std::vector<EntityId>& elems) {
+  uint64_t h = 1469598103934665603ULL;
+  for (EntityId e : elems) {
+    h ^= e;
+    h *= 1099511628211ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace
+
+size_t SetCollectionBuilder::AddSet(std::vector<EntityId> elements,
+                                    std::string label) {
+  pending_.push_back(std::move(elements));
+  labels_.push_back(std::move(label));
+  return pending_.size() - 1;
+}
+
+size_t SetCollectionBuilder::AddSetNamed(const std::vector<std::string>& names,
+                                         std::string label) {
+  used_names_ = true;
+  std::vector<EntityId> ids;
+  ids.reserve(names.size());
+  for (const auto& n : names) ids.push_back(dict_.Intern(n));
+  return AddSet(std::move(ids), std::move(label));
+}
+
+SetCollection SetCollectionBuilder::Build(std::vector<SetId>* original_to_final) {
+  SetCollection out;
+  if (original_to_final != nullptr) {
+    original_to_final->assign(pending_.size(), kNoSet);
+  }
+
+  // Deduplicate by content hash with full-equality confirmation.
+  std::unordered_map<uint64_t, std::vector<SetId>> by_hash;
+  by_hash.reserve(pending_.size() * 2);
+
+  std::vector<bool> seen_entity;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    auto& elems = pending_[i];
+    std::sort(elems.begin(), elems.end());
+    elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+
+    uint64_t h = HashElements(elems);
+    SetId final_id = kNoSet;
+    auto it = by_hash.find(h);
+    if (it != by_hash.end()) {
+      for (SetId cand : it->second) {
+        auto existing = std::span<const EntityId>(
+            out.elements_.data() + out.offsets_[cand],
+            out.elements_.data() + out.offsets_[cand + 1]);
+        if (existing.size() == elems.size() &&
+            std::equal(existing.begin(), existing.end(), elems.begin())) {
+          final_id = cand;
+          break;
+        }
+      }
+    }
+    if (final_id == kNoSet) {
+      final_id = static_cast<SetId>(out.offsets_.size() - 1);
+      out.elements_.insert(out.elements_.end(), elems.begin(), elems.end());
+      out.offsets_.push_back(out.elements_.size());
+      out.labels_.push_back(labels_[i]);
+      by_hash[h].push_back(final_id);
+      for (EntityId e : elems) {
+        if (e >= out.universe_size_) out.universe_size_ = e + 1;
+        if (e >= seen_entity.size()) seen_entity.resize(e + 1, false);
+        if (!seen_entity[e]) {
+          seen_entity[e] = true;
+          ++out.num_distinct_;
+        }
+      }
+    } else if (out.labels_[final_id].empty() && !labels_[i].empty()) {
+      // Keep the first non-empty label for a deduplicated set.
+      out.labels_[final_id] = labels_[i];
+    }
+    if (original_to_final != nullptr) (*original_to_final)[i] = final_id;
+  }
+
+  if (used_names_) {
+    out.dict_ = std::make_shared<EntityDict>(std::move(dict_));
+  }
+  pending_.clear();
+  labels_.clear();
+  return out;
+}
+
+bool SetCollection::Contains(SetId s, EntityId e) const {
+  auto elems = set(s);
+  return std::binary_search(elems.begin(), elems.end(), e);
+}
+
+std::string SetCollection::EntityName(EntityId e) const {
+  if (dict_ != nullptr && e < dict_->size()) return dict_->Name(e);
+  return "e" + std::to_string(e);
+}
+
+}  // namespace setdisc

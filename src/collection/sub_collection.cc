@@ -1,0 +1,39 @@
+#include "collection/sub_collection.h"
+
+#include <numeric>
+
+namespace setdisc {
+
+SubCollection SubCollection::Full(const SetCollection* collection) {
+  std::vector<SetId> ids(collection->num_sets());
+  std::iota(ids.begin(), ids.end(), 0);
+  return SubCollection(collection, std::move(ids));
+}
+
+std::pair<SubCollection, SubCollection> SubCollection::Partition(
+    EntityId e) const {
+  std::vector<SetId> in, out;
+  for (SetId s : ids_) {
+    if (collection_->Contains(s, e)) {
+      in.push_back(s);
+    } else {
+      out.push_back(s);
+    }
+  }
+  return {SubCollection(collection_, std::move(in)),
+          SubCollection(collection_, std::move(out))};
+}
+
+size_t SubCollection::CountContaining(EntityId e) const {
+  size_t c = 0;
+  for (SetId s : ids_) c += collection_->Contains(s, e) ? 1 : 0;
+  return c;
+}
+
+size_t SubCollection::TotalElements() const {
+  size_t total = 0;
+  for (SetId s : ids_) total += collection_->set_size(s);
+  return total;
+}
+
+}  // namespace setdisc

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file sub_collection.h
+/// A view over a subset of a SetCollection's sets.
+///
+/// Every step of the search (tree construction, lookahead recursion,
+/// interactive narrowing) operates on sub-collections; they are cheap
+/// sorted-id vectors sharing the parent collection's storage.
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "collection/set_collection.h"
+#include "collection/types.h"
+#include "util/status.h"
+
+namespace setdisc {
+
+/// A sorted list of set ids viewed against a parent SetCollection.
+class SubCollection {
+ public:
+  SubCollection() = default;
+
+  /// Takes ownership of `ids`; they must be sorted and unique.
+  SubCollection(const SetCollection* collection, std::vector<SetId> ids)
+      : collection_(collection), ids_(std::move(ids)) {
+#ifndef NDEBUG
+    for (size_t i = 1; i < ids_.size(); ++i) SETDISC_CHECK(ids_[i - 1] < ids_[i]);
+#endif
+  }
+
+  /// The full collection as a sub-collection view.
+  static SubCollection Full(const SetCollection* collection);
+
+  const SetCollection& collection() const { return *collection_; }
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  std::span<const SetId> ids() const { return ids_; }
+  SetId front() const { return ids_.front(); }
+
+  /// Splits into (sets containing e, sets not containing e). An informative
+  /// entity yields two non-empty halves.
+  std::pair<SubCollection, SubCollection> Partition(EntityId e) const;
+
+  /// Number of member sets containing entity `e`.
+  size_t CountContaining(EntityId e) const;
+
+  /// Total (set, entity) incidences across members — the counting-pass cost.
+  size_t TotalElements() const;
+
+ private:
+  const SetCollection* collection_ = nullptr;
+  std::vector<SetId> ids_;
+};
+
+}  // namespace setdisc

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file types.h
+/// Fundamental identifier types shared across the library.
+///
+/// Entities (the paper's universe members / example tuples) and sets are both
+/// referred to by dense 32-bit ids. Density matters: the hot counting loops
+/// use scratch arrays indexed by id (see entity_counter.h).
+
+#include <cstdint>
+#include <limits>
+
+namespace setdisc {
+
+/// Identifier of an entity (a member of the universe U = union of all sets).
+using EntityId = uint32_t;
+
+/// Identifier of a set in a collection.
+using SetId = uint32_t;
+
+/// Sentinel for "no entity" (e.g. no informative entity available).
+inline constexpr EntityId kNoEntity = std::numeric_limits<EntityId>::max();
+
+/// Sentinel for "no set".
+inline constexpr SetId kNoSet = std::numeric_limits<SetId>::max();
+
+}  // namespace setdisc

@@ -1,0 +1,97 @@
+#include "core/bounds.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace setdisc {
+
+Cost PaperCeilNLog2N(uint64_t n) {
+  if (n <= 1) return 0;
+  long double v = static_cast<long double>(n) *
+                  std::log2(static_cast<long double>(n));
+  Cost t = static_cast<Cost>(std::ceil(static_cast<double>(v)));
+  // Integer adjustment around the floating estimate guards the ceiling
+  // against representation error.
+  while (static_cast<long double>(t - 1) >= v) --t;
+  while (static_cast<long double>(t) < v) ++t;
+  return t;
+}
+
+Cost LbKForEntity(const SubCollection& sub, EntityId entity, int k,
+                  CostMetric metric, EntityCounter& counter) {
+  SETDISC_CHECK(k >= 1);
+  auto [in, out] = sub.Partition(entity);
+  SETDISC_CHECK_MSG(!in.empty() && !out.empty(),
+                    "LbKForEntity requires an informative entity");
+  Cost left, right;
+  if (k == 1) {
+    left = Lb0(metric, in.size());
+    right = Lb0(metric, out.size());
+  } else {
+    left = in.size() <= 1 ? 0 : LbKAllEntities(in, k - 1, metric, counter);
+    right = out.size() <= 1 ? 0 : LbKAllEntities(out, k - 1, metric, counter);
+  }
+  return Combine(metric, left, right, sub.size());
+}
+
+Cost LbKAllEntities(const SubCollection& sub, int k, CostMetric metric,
+                    EntityCounter& counter) {
+  if (sub.size() <= 1) return 0;
+  std::vector<EntityCount> counts;
+  counter.CountInformative(sub, &counts);
+  Cost best = kInfiniteCost;
+  for (const EntityCount& ec : counts) {
+    Cost b = LbKForEntity(sub, ec.entity, k, metric, counter);
+    if (b < best) best = b;
+  }
+  return best;
+}
+
+namespace {
+
+/// Content hash of a sorted id vector for the optimal-cost memo table.
+struct IdVectorHash {
+  size_t operator()(const std::vector<SetId>& ids) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (SetId s : ids) {
+      h ^= s;
+      h *= 1099511628211ULL;
+      h ^= h >> 29;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+using OptimalMemo =
+    std::unordered_map<std::vector<SetId>, Cost, IdVectorHash>;
+
+Cost OptimalTreeCostImpl(const SubCollection& sub, CostMetric metric,
+                         EntityCounter& counter, OptimalMemo& memo) {
+  if (sub.size() <= 1) return 0;
+  std::vector<SetId> key(sub.ids().begin(), sub.ids().end());
+  auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+
+  std::vector<EntityCount> counts;
+  counter.CountInformative(sub, &counts);
+  Cost best = kInfiniteCost;
+  for (const EntityCount& ec : counts) {
+    auto [in, out] = sub.Partition(ec.entity);
+    Cost l = OptimalTreeCostImpl(in, metric, counter, memo);
+    Cost r = OptimalTreeCostImpl(out, metric, counter, memo);
+    Cost b = Combine(metric, l, r, sub.size());
+    if (b < best) best = b;
+  }
+  memo.emplace(std::move(key), best);
+  return best;
+}
+
+}  // namespace
+
+Cost OptimalTreeCost(const SubCollection& sub, CostMetric metric) {
+  EntityCounter counter;
+  OptimalMemo memo;
+  return OptimalTreeCostImpl(sub, metric, counter, memo);
+}
+
+}  // namespace setdisc

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file bounds.h
+/// Reference implementations of the paper's k-step cost lower bounds
+/// (Eqs. 5–8) with no pruning and no memoization.
+///
+/// These exist for two reasons:
+///  1. they are the ground truth against which the pruned k-LP search is
+///     property-tested (k-LP must select an entity with the same bound), and
+///  2. LbKAllEntities is the "gain-k" style exhaustive lookahead that the
+///     Fig. 4 speedup experiments compare against at the bound level.
+///
+/// Production code paths use KlpSelector (klp.h) instead.
+
+#include <vector>
+
+#include "collection/entity_counter.h"
+#include "collection/sub_collection.h"
+#include "core/cost.h"
+
+namespace setdisc {
+
+/// The paper's Lemma 3.3 bound ⌈n·log2 n⌉, computed exactly with extended
+/// precision and integer adjustment. Exposed to property-test that
+/// MinTotalDepth(n) (the bound the library actually uses) coincides with it.
+Cost PaperCeilNLog2N(uint64_t n);
+
+/// LB_k(C, e) of Eqs. (6)–(7): exhaustive k-step lookahead bound for placing
+/// entity `e` at the root of a tree over `sub`. O(m^(k-1) · elems) — use only
+/// on small inputs.
+Cost LbKForEntity(const SubCollection& sub, EntityId entity, int k,
+                  CostMetric metric, EntityCounter& counter);
+
+/// LB_k(C) of Eq. (8): min over all informative entities. Returns
+/// kInfiniteCost if `sub` has fewer than two sets (no question needed).
+Cost LbKAllEntities(const SubCollection& sub, int k, CostMetric metric,
+                    EntityCounter& counter);
+
+/// The exact optimal tree cost for `sub` under `metric`, via exhaustive
+/// memoized recursion over sub-collections. Exponential in the worst case —
+/// intended for n ≲ 20 in tests and for the §5.3.2 "gap to optimal" numbers
+/// on small sub-collections.
+Cost OptimalTreeCost(const SubCollection& sub, CostMetric metric);
+
+}  // namespace setdisc

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file cost.h
+/// Exact integer cost algebra for the two tree-cost metrics of §3:
+///
+///  * AD — average depth of the leaves (expected number of questions), and
+///  * H  — height of the tree (worst-case number of questions).
+///
+/// Internally AD costs are carried as *total leaf depth* (TD) integers, so the
+/// paper's recurrences become pure integer arithmetic:
+///
+///   Eq. (6)  LB_AD_k(C,e) = (|C1| LB_AD_{k-1}(C1) + |C2| LB_AD_{k-1}(C2))/|C| + 1
+///            ==>  TD_k(C,e) = TD_{k-1}(C1) + TD_{k-1}(C2) + |C|
+///   Eq. (7)  LB_H_k(C,e)  = max(LB_H_{k-1}(C1), LB_H_{k-1}(C2)) + 1
+///
+/// and the pruning upper limits (Eqs. 11–14) become integer subtractions.
+/// Exactness matters: Lemma 4.4's safety proof assumes bound comparisons are
+/// not perturbed by rounding.
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace setdisc {
+
+/// Which §3 cost metric a search optimizes.
+enum class CostMetric {
+  kAvgDepth,  ///< AD; internally total-leaf-depth units
+  kHeight,    ///< H; tree-height units
+};
+
+/// Integer cost value. For kAvgDepth the unit is total leaf depth; divide by
+/// |C| (see CostToUser) to obtain the paper's average-depth number.
+using Cost = int64_t;
+
+/// Effectively-infinite cost, safe to add small values to.
+inline constexpr Cost kInfiniteCost = INT64_MAX / 4;
+
+/// ceil(log2(n)) for n >= 1; 0 for n == 1.
+inline int CeilLog2(uint64_t n) {
+  SETDISC_CHECK(n >= 1);
+  int h = 0;
+  uint64_t p = 1;
+  while (p < n) {
+    p <<= 1;
+    ++h;
+  }
+  return h;
+}
+
+/// Minimum achievable total leaf depth of a full binary tree with n leaves:
+/// with h = ceil(log2 n), the optimum places (2n - 2^h) leaves at depth h and
+/// the rest at depth h-1, giving n(h+1) - 2^h. This is never smaller than
+/// the paper's ⌈n·log2 n⌉ (Lemma 3.3) — usually equal, occasionally one
+/// tighter (e.g. n = 19: 82 vs 81) — so using it as LB_AD_0 keeps every
+/// Lemma 4.4 pruning decision safe while pruning at least as hard.
+inline Cost MinTotalDepth(uint64_t n) {
+  if (n <= 1) return 0;
+  int h = CeilLog2(n);
+  return static_cast<Cost>(n) * (h + 1) - (Cost{1} << h);
+}
+
+/// LB_0(C) in internal units for a sub-collection of size n (Eqs. 1–2).
+inline Cost Lb0(CostMetric metric, uint64_t n) {
+  if (n <= 1) return 0;
+  return metric == CostMetric::kAvgDepth ? MinTotalDepth(n)
+                                         : static_cast<Cost>(CeilLog2(n));
+}
+
+/// Combines child bounds into the bound for a node over n sets
+/// (Eq. 6 in TD units / Eq. 7).
+inline Cost Combine(CostMetric metric, Cost left, Cost right, uint64_t n) {
+  if (metric == CostMetric::kAvgDepth) {
+    return left + right + static_cast<Cost>(n);
+  }
+  return (left > right ? left : right) + 1;
+}
+
+/// One-step lower bound LB_1(C, e) for an entity splitting n sets into
+/// (n1, n2) (Eqs. 3–4 with LB_0 plugged in).
+inline Cost Lb1(CostMetric metric, uint64_t n1, uint64_t n2) {
+  return Combine(metric, Lb0(metric, n1), Lb0(metric, n2), n1 + n2);
+}
+
+/// Upper limit for the first child's (k-1)-step bound (Eqs. 11–12): the
+/// largest value that could still let the entity beat `aflv` (the best
+/// k-step bound found so far), assuming the other child achieves its LB_0.
+/// Children must return a bound strictly below this limit.
+inline Cost UpperLimitFirst(CostMetric metric, Cost aflv, uint64_t n,
+                            Cost other_lb0) {
+  if (aflv >= kInfiniteCost) return kInfiniteCost;
+  if (metric == CostMetric::kAvgDepth) {
+    return aflv - static_cast<Cost>(n) - other_lb0;
+  }
+  return aflv - 1;
+}
+
+/// Upper limit for the second child once the first child's exact (k-1)-step
+/// bound is known (Eqs. 13–14).
+inline Cost UpperLimitSecond(CostMetric metric, Cost aflv, uint64_t n,
+                             Cost first_bound) {
+  if (aflv >= kInfiniteCost) return kInfiniteCost;
+  if (metric == CostMetric::kAvgDepth) {
+    return aflv - static_cast<Cost>(n) - first_bound;
+  }
+  return aflv - 1;
+}
+
+/// Converts an internal cost to the paper's user-facing number: average leaf
+/// depth for kAvgDepth (cost / n), the height itself for kHeight.
+inline double CostToUser(CostMetric metric, Cost cost, uint64_t n) {
+  if (metric == CostMetric::kAvgDepth) {
+    return n == 0 ? 0.0 : static_cast<double>(cost) / static_cast<double>(n);
+  }
+  return static_cast<double>(cost);
+}
+
+}  // namespace setdisc

@@ -1,0 +1,152 @@
+#include "core/decision_tree.h"
+
+#include <algorithm>
+
+#include "util/table_printer.h"
+
+namespace setdisc {
+
+DecisionTree DecisionTree::Build(const SubCollection& sub,
+                                 EntitySelector& selector) {
+  SETDISC_CHECK_MSG(!sub.empty(), "cannot build a tree over an empty collection");
+  DecisionTree tree;
+  tree.root_ = tree.BuildImpl(sub, selector, 0);
+  return tree;
+}
+
+int32_t DecisionTree::BuildImpl(const SubCollection& sub,
+                                EntitySelector& selector, int depth) {
+  if (sub.size() == 1) {
+    TreeNode leaf;
+    leaf.leaf_set = sub.front();
+    nodes_.push_back(leaf);
+    leaf_depths_[leaf.leaf_set] = depth;
+    total_depth_ += depth;
+    if (depth > height_) height_ = depth;
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+  EntityId e = selector.Select(sub);
+  SETDISC_CHECK_MSG(e != kNoEntity,
+                    "selector returned no entity for a multi-set collection");
+  auto [yes_sub, no_sub] = sub.Partition(e);
+  SETDISC_CHECK_MSG(!yes_sub.empty() && !no_sub.empty(),
+                    "selected entity does not partition the collection");
+  int32_t yes = BuildImpl(yes_sub, selector, depth + 1);
+  int32_t no = BuildImpl(no_sub, selector, depth + 1);
+  TreeNode node;
+  node.entity = e;
+  node.yes = yes;
+  node.no = no;
+  nodes_.push_back(node);
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+int DecisionTree::DepthOf(SetId s) const {
+  auto it = leaf_depths_.find(s);
+  return it == leaf_depths_.end() ? -1 : it->second;
+}
+
+double DecisionTree::WeightedAvgDepth(
+    const std::unordered_map<SetId, double>& weights) const {
+  double weighted_sum = 0.0;
+  double total_weight = 0.0;
+  for (const auto& [set, depth] : leaf_depths_) {
+    auto it = weights.find(set);
+    double w = it == weights.end() ? 0.0 : it->second;
+    weighted_sum += w * depth;
+    total_weight += w;
+  }
+  return total_weight > 0.0 ? weighted_sum / total_weight : 0.0;
+}
+
+namespace {
+
+Status ValidatePath(const DecisionTree& tree, const SetCollection& collection,
+                    int32_t node_id, std::vector<EntityId>& yes_path,
+                    std::vector<EntityId>& no_path,
+                    std::vector<SetId>& leaves) {
+  const TreeNode& node = tree.node(node_id);
+  if (node.is_leaf()) {
+    if (node.leaf_set == kNoSet) return Status::Corruption("leaf without set");
+    leaves.push_back(node.leaf_set);
+    for (EntityId e : yes_path) {
+      if (!collection.Contains(node.leaf_set, e)) {
+        return Status::Corruption(
+            Format("set %u missing yes-path entity %u", node.leaf_set, e));
+      }
+    }
+    for (EntityId e : no_path) {
+      if (collection.Contains(node.leaf_set, e)) {
+        return Status::Corruption(
+            Format("set %u contains no-path entity %u", node.leaf_set, e));
+      }
+    }
+    return Status::OK();
+  }
+  if (node.yes < 0 || node.no < 0) {
+    return Status::Corruption("internal node is not full binary");
+  }
+  yes_path.push_back(node.entity);
+  Status s = ValidatePath(tree, collection, node.yes, yes_path, no_path, leaves);
+  yes_path.pop_back();
+  if (!s.ok()) return s;
+  no_path.push_back(node.entity);
+  s = ValidatePath(tree, collection, node.no, yes_path, no_path, leaves);
+  no_path.pop_back();
+  return s;
+}
+
+void RenderNode(const DecisionTree& tree, const SetCollection& collection,
+                int32_t node_id, int depth, int max_depth,
+                const std::string& prefix, std::string* out) {
+  const TreeNode& node = tree.node(node_id);
+  if (node.is_leaf()) {
+    const std::string& label = collection.label(node.leaf_set);
+    out->append(prefix)
+        .append("-> ")
+        .append(label.empty() ? Format("S%u", node.leaf_set) : label)
+        .append("\n");
+    return;
+  }
+  if (depth >= max_depth) {
+    out->append(prefix).append("...\n");
+    return;
+  }
+  out->append(prefix)
+      .append("[")
+      .append(collection.EntityName(node.entity))
+      .append("?]\n");
+  RenderNode(tree, collection, node.yes, depth + 1, max_depth, prefix + "  y:",
+             out);
+  RenderNode(tree, collection, node.no, depth + 1, max_depth, prefix + "  n:",
+             out);
+}
+
+}  // namespace
+
+Status DecisionTree::Validate(const SubCollection& sub) const {
+  if (root_ < 0) return Status::Corruption("tree has no root");
+  std::vector<EntityId> yes_path, no_path;
+  std::vector<SetId> leaves;
+  Status s =
+      ValidatePath(*this, sub.collection(), root_, yes_path, no_path, leaves);
+  if (!s.ok()) return s;
+  std::sort(leaves.begin(), leaves.end());
+  if (std::adjacent_find(leaves.begin(), leaves.end()) != leaves.end()) {
+    return Status::Corruption("duplicate leaf set");
+  }
+  if (leaves.size() != sub.size() ||
+      !std::equal(leaves.begin(), leaves.end(), sub.ids().begin())) {
+    return Status::Corruption("leaf sets do not match the collection");
+  }
+  return Status::OK();
+}
+
+std::string DecisionTree::ToString(const SetCollection& collection,
+                                   int max_depth) const {
+  std::string out;
+  if (root_ >= 0) RenderNode(*this, collection, root_, 0, max_depth, "", &out);
+  return out;
+}
+
+}  // namespace setdisc

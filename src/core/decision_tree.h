@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file decision_tree.h
+/// Offline decision-tree construction (Algorithm 3) and tree statistics.
+///
+/// A tree places the sets of a (sub-)collection at its leaves and membership
+/// questions at internal nodes; the "yes" branch holds the sets containing
+/// the node's entity. Tree cost — average leaf depth (AD) or height (H) — is
+/// exactly the expected / worst-case number of questions of an interactive
+/// session that follows the tree (§3).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "collection/sub_collection.h"
+#include "core/selector.h"
+#include "util/status.h"
+
+namespace setdisc {
+
+/// One node of a decision tree (index-linked, stored in a flat vector).
+struct TreeNode {
+  EntityId entity = kNoEntity;  ///< question entity; kNoEntity for leaves
+  int32_t yes = -1;             ///< child for "entity present"
+  int32_t no = -1;              ///< child for "entity absent"
+  SetId leaf_set = kNoSet;      ///< the set at this leaf; kNoSet for internal
+
+  bool is_leaf() const { return entity == kNoEntity; }
+};
+
+/// An immutable full binary decision tree over a sub-collection.
+class DecisionTree {
+ public:
+  /// Runs Algorithm 3: recursively selects entities with `selector` and
+  /// splits until singleton leaves. `sub` must be non-empty.
+  static DecisionTree Build(const SubCollection& sub, EntitySelector& selector);
+
+  int32_t root() const { return root_; }
+  const TreeNode& node(int32_t i) const { return nodes_[i]; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_leaves() const { return leaf_depths_.size(); }
+
+  /// Worst-case number of questions (cost metric H).
+  int height() const { return height_; }
+
+  /// Sum of leaf depths (internal AD unit).
+  int64_t total_depth() const { return total_depth_; }
+
+  /// Average leaf depth (cost metric AD; Definition 3.2).
+  double avg_depth() const {
+    return leaf_depths_.empty()
+               ? 0.0
+               : static_cast<double>(total_depth_) /
+                     static_cast<double>(leaf_depths_.size());
+  }
+
+  /// Depth of the leaf holding set `s` — the number of questions an
+  /// interactive session needs to reach it. Returns -1 if `s` is not in the
+  /// tree.
+  int DepthOf(SetId s) const;
+
+  /// Expected number of questions under non-uniform set priors: the
+  /// weighted average leaf depth with weight[s] for each set (§7 extension).
+  /// Weights need not be normalized. Sets missing from `weights` get 0.
+  double WeightedAvgDepth(
+      const std::unordered_map<SetId, double>& weights) const;
+
+  /// Structural verification: full binary shape, every leaf is a distinct
+  /// set of `sub`, every set of `sub` appears, and along each root-to-leaf
+  /// path the leaf's set contains exactly the entities answered "yes".
+  Status Validate(const SubCollection& sub) const;
+
+  /// Multi-line ASCII rendering (entity/set names resolved through the
+  /// collection) for examples and debugging. Subtrees below `max_depth`
+  /// are elided.
+  std::string ToString(const SetCollection& collection,
+                       int max_depth = 6) const;
+
+ private:
+  int32_t BuildImpl(const SubCollection& sub, EntitySelector& selector,
+                    int depth);
+
+  std::vector<TreeNode> nodes_;
+  int32_t root_ = -1;
+  int height_ = 0;
+  int64_t total_depth_ = 0;
+  std::unordered_map<SetId, int> leaf_depths_;
+};
+
+}  // namespace setdisc

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file discovery.h
+/// Algorithm 2 — the interactive set-discovery driver — plus the §6
+/// robustness extensions:
+///
+///  * "don't know" answers: the entity is excluded and selection re-runs on
+///    the same candidate collection;
+///  * answer errors with verification & backtracking: when the user rejects
+///    the discovered set, the most recent answers are revisited (flipped)
+///    until a confirmed set emerges or the budget runs out.
+///
+/// Oracles abstract the user; SimulatedOracle reproduces the paper's
+/// evaluation setup ("user answers ... simulated by verifying them against
+/// the output of the target query", §5.2.3) and can inject noise.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "collection/inverted_index.h"
+#include "collection/set_collection.h"
+#include "collection/sub_collection.h"
+#include "core/selector.h"
+#include "util/rng.h"
+
+namespace setdisc {
+
+/// The user in the loop: answers membership questions about entities and
+/// (optionally) confirms the final discovered set.
+class Oracle {
+ public:
+  enum class Answer { kYes, kNo, kDontKnow };
+
+  virtual ~Oracle() = default;
+
+  /// "Is entity `e` in your target set?"
+  virtual Answer AskMembership(EntityId e) = 0;
+
+  /// "Is set `s` your target set?" — used by verification/backtracking.
+  /// Default: accept (sessions without verification never ask).
+  virtual bool ConfirmTarget(SetId s) {
+    (void)s;
+    return true;
+  }
+};
+
+/// Answers truthfully against a hidden target set, with optional injected
+/// error and "don't know" rates for the robustness experiments.
+class SimulatedOracle : public Oracle {
+ public:
+  /// \param collection  the collection being searched
+  /// \param target      hidden target set id
+  SimulatedOracle(const SetCollection* collection, SetId target,
+                  double error_rate = 0.0, double dont_know_rate = 0.0,
+                  uint64_t seed = 7)
+      : collection_(collection),
+        target_(target),
+        error_rate_(error_rate),
+        dont_know_rate_(dont_know_rate),
+        rng_(seed) {}
+
+  Answer AskMembership(EntityId e) override {
+    ++questions_asked_;
+    if (dont_know_rate_ > 0.0 && rng_.Bernoulli(dont_know_rate_)) {
+      return Answer::kDontKnow;
+    }
+    bool truth = collection_->Contains(target_, e);
+    if (error_rate_ > 0.0 && rng_.Bernoulli(error_rate_)) truth = !truth;
+    return truth ? Answer::kYes : Answer::kNo;
+  }
+
+  bool ConfirmTarget(SetId s) override { return s == target_; }
+
+  SetId target() const { return target_; }
+  int questions_asked() const { return questions_asked_; }
+
+ private:
+  const SetCollection* collection_;
+  SetId target_;
+  double error_rate_;
+  double dont_know_rate_;
+  Rng rng_;
+  int questions_asked_ = 0;
+};
+
+/// Session configuration.
+struct DiscoveryOptions {
+  /// Halt condition Γ: stop after this many questions (<0 = unlimited).
+  int max_questions = -1;
+
+  /// §6 "unanswered questions": on kDontKnow, exclude the entity and
+  /// re-select. When false, kDontKnow is treated as kNo.
+  bool handle_dont_know = true;
+
+  /// §6 "possibility of errors": ask the oracle to confirm the single
+  /// remaining set; on rejection, backtrack by flipping recent answers.
+  bool verify_and_backtrack = false;
+
+  /// Maximum answer flips attempted during backtracking.
+  int max_backtracks = 32;
+};
+
+/// Outcome of a discovery session.
+struct DiscoveryResult {
+  /// Remaining candidate sets (singleton on success; larger if halted or if
+  /// exclusions made sets indistinguishable; empty if the initial examples
+  /// match nothing).
+  std::vector<SetId> candidates;
+
+  int questions = 0;       ///< membership questions asked (incl. don't-knows)
+  int backtracks = 0;      ///< answer flips performed
+  bool confirmed = false;  ///< oracle confirmed the final set
+  bool halted = false;     ///< stopped by the question budget
+
+  /// The question/answer transcript, in order.
+  std::vector<std::pair<EntityId, Oracle::Answer>> transcript;
+
+  bool found() const { return candidates.size() == 1; }
+  SetId discovered() const { return candidates.size() == 1 ? candidates[0] : kNoSet; }
+};
+
+/// Runs Algorithm 2: filters candidates to supersets of `initial`, then
+/// iteratively asks the selector's chosen entity until one candidate remains
+/// (or Γ fires). The `index` must be built over `collection`.
+DiscoveryResult Discover(const SetCollection& collection,
+                         const InvertedIndex& index,
+                         std::span<const EntityId> initial,
+                         EntitySelector& selector, Oracle& oracle,
+                         const DiscoveryOptions& options = {});
+
+/// Convenience: runs Discover against a SimulatedOracle for `target` and
+/// returns only the question count; -1 if the target was not found.
+int CountQuestions(const SetCollection& collection, const InvertedIndex& index,
+                   std::span<const EntityId> initial, SetId target,
+                   EntitySelector& selector);
+
+}  // namespace setdisc

@@ -1,0 +1,299 @@
+#include "core/klp.h"
+
+#include <algorithm>
+
+#include "util/table_printer.h"
+
+namespace setdisc {
+
+namespace {
+
+/// Imbalance | |C1| - |C2| | of a split with |C1| = c out of n sets. Sorting
+/// candidates by imbalance is the paper's line-11 "most even partitioning"
+/// order and, as LB_1 is monotone in the imbalance for both metrics, it is
+/// simultaneously the non-decreasing 1-step-bound order the early break
+/// (line 14) relies on.
+inline uint64_t Imbalance(uint64_t c, uint64_t n) {
+  uint64_t other = n - c;
+  return c > other ? c - other : other - c;
+}
+
+}  // namespace
+
+KlpOptions KlpOptions::MakeKlp(int k, CostMetric metric) {
+  KlpOptions o;
+  o.k = k;
+  o.metric = metric;
+  return o;
+}
+
+KlpOptions KlpOptions::MakeKlple(int k, int q, CostMetric metric) {
+  KlpOptions o = MakeKlp(k, metric);
+  o.beam_width = q;
+  return o;
+}
+
+KlpOptions KlpOptions::MakeKlplve(int k, int q, CostMetric metric) {
+  KlpOptions o = MakeKlple(k, q, metric);
+  o.variable_beam = true;
+  return o;
+}
+
+KlpOptions KlpOptions::MakeGainK(int k, CostMetric metric) {
+  KlpOptions o = MakeKlp(k, metric);
+  o.enable_early_break = false;
+  o.enable_upper_limits = false;
+  o.enable_memoization = false;
+  return o;
+}
+
+KlpOptions KlpOptions::MakeOptimal(CostMetric metric) {
+  // k is clamped to the sub-collection size inside the search; any tree over
+  // n sets has height <= n - 1, so this lookahead is exact (§4.4.1).
+  KlpOptions o = MakeKlp(INT32_MAX / 2, metric);
+  return o;
+}
+
+KlpSelector::KlpSelector(KlpOptions options) : options_(options) {
+  SETDISC_CHECK(options_.k >= 1);
+  const char* metric_tag =
+      options_.metric == CostMetric::kAvgDepth ? "AD" : "H";
+  if (options_.k >= INT32_MAX / 4) {
+    name_ = Format("Optimal(%s)", metric_tag);
+  } else if (!options_.enable_early_break && !options_.enable_upper_limits &&
+             !options_.enable_memoization) {
+    name_ = Format("Gain-%d(%s)", options_.k, metric_tag);
+  } else if (options_.variable_beam) {
+    name_ = Format("%d-LPLVE(q=%d,%s)", options_.k, options_.beam_width,
+                   metric_tag);
+  } else if (options_.beam_width > 0) {
+    name_ = Format("%d-LPLE(q=%d,%s)", options_.k, options_.beam_width,
+                   metric_tag);
+  } else {
+    name_ = Format("%d-LP(%s)", options_.k, metric_tag);
+  }
+}
+
+KlpSelector::~KlpSelector() = default;
+
+size_t KlpSelector::MemoKeyHash::operator()(const MemoKey& key) const {
+  uint64_t h = 1469598103934665603ULL;
+  for (SetId s : key.ids) {
+    h ^= s;
+    h *= 1099511628211ULL;
+    h ^= h >> 29;
+  }
+  h ^= static_cast<uint64_t>(key.k) * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<uint64_t>(static_cast<uint32_t>(key.beam)) *
+       0xC2B2AE3D27D4EB4FULL;
+  return static_cast<size_t>(h);
+}
+
+void KlpSelector::ClearCache() { cache_.clear(); }
+
+size_t KlpSelector::cache_size() const { return cache_.size(); }
+
+EntityId KlpSelector::Select(const SubCollection& sub,
+                             const EntityExclusion* excluded) {
+  return SelectWithBound(sub, kInfiniteCost, excluded).entity;
+}
+
+KlpSelection KlpSelector::SelectWithBound(const SubCollection& sub,
+                                          Cost upper_limit,
+                                          const EntityExclusion* excluded) {
+  if (sub.size() < 2) return {kNoEntity, 0};
+  if (cache_.size() > options_.max_cache_entries) ClearCache();
+  NodeStats node;
+  depth_ = 0;
+  KlpSelection result =
+      SelectImpl(sub, options_.k, upper_limit, /*top=*/true, excluded, &node);
+  stats_.totals.candidates += node.candidates;
+  stats_.totals.fully_evaluated += node.fully_evaluated;
+  stats_.totals.pruned_by_break += node.pruned_by_break;
+  stats_.totals.pruned_by_child += node.pruned_by_child;
+  stats_.totals.excluded_by_beam += node.excluded_by_beam;
+  if (options_.record_per_node_stats) stats_.per_node.push_back(node);
+  return result;
+}
+
+KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
+                                     Cost upper_limit, bool top,
+                                     const EntityExclusion* excluded,
+                                     NodeStats* node_stats) {
+  ++stats_.recursive_calls;
+  const uint64_t n = sub.size();
+  SETDISC_CHECK(n >= 2);
+
+  // Exactness clamp: lookahead deeper than n - 1 cannot refine the bound
+  // (no tree over n sets is taller), and clamping canonicalizes memo keys so
+  // the "Optimal" configuration becomes a proper dynamic program.
+  if (k > static_cast<int>(n)) k = static_cast<int>(n);
+
+  // Fast reject (pruning): every k-step bound is >= LB_0(C), so if the limit
+  // is already at or below LB_0 nothing can qualify.
+  if (options_.enable_upper_limits && upper_limit <= Lb0(options_.metric, n)) {
+    return {kNoEntity, upper_limit};
+  }
+
+  const int effective_beam =
+      top ? options_.beam_width
+          : (options_.variable_beam ? 1 : options_.beam_width);
+
+  // Memo lookup (Algorithm 1, lines 1-6). Entries keyed on the exact id
+  // vector, the (clamped) k, and the beam in force at this level.
+  const bool use_memo = options_.enable_memoization && excluded == nullptr;
+  MemoKey key;
+  if (use_memo) {
+    key.ids.assign(sub.ids().begin(), sub.ids().end());
+    key.k = k;
+    key.beam = effective_beam;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      if (upper_limit <= it->second.bound) {
+        return {kNoEntity, it->second.bound};
+      }
+      if (it->second.entity != kNoEntity) {
+        return {it->second.entity, it->second.bound};
+      }
+      // Stored "no entity below bound" with a laxer limit than ours:
+      // recompute (falls through; the store below overwrites).
+    } else {
+      ++stats_.cache_misses;
+    }
+  }
+
+  if (depth_ >= static_cast<int>(scratch_.size())) {
+    scratch_.emplace_back(std::make_unique<std::vector<EntityCount>>());
+  }
+  std::vector<EntityCount>& counts = *scratch_[depth_];
+  counter_.CountInformative(sub, &counts, excluded);
+  if (counts.empty()) {
+    // Only possible under exclusions (unique sets always admit an
+    // informative entity): the sub-collection cannot be narrowed further.
+    return {kNoEntity, upper_limit};
+  }
+  if (top && node_stats != nullptr) node_stats->candidates = counts.size();
+
+  // Base case (lines 7-10): the 1-step bound selects the most even
+  // partitioner; ascending entity order in `counts` makes ties deterministic.
+  if (k <= 1) {
+    EntityId best_e = counts[0].entity;
+    uint64_t best_c = counts[0].count;
+    uint64_t best_imb = Imbalance(best_c, n);
+    for (const EntityCount& ec : counts) {
+      uint64_t imb = Imbalance(ec.count, n);
+      if (imb < best_imb) {
+        best_imb = imb;
+        best_e = ec.entity;
+        best_c = ec.count;
+      }
+    }
+    Cost bound = Lb1(options_.metric, best_c, n - best_c);
+    if (use_memo) cache_[key] = MemoEntry{best_e, bound};
+    if (top && node_stats != nullptr) {
+      node_stats->fully_evaluated = counts.size();
+    }
+    return {best_e, bound};
+  }
+
+  // Line 11: most-even (equivalently, non-decreasing 1-step-bound) order.
+  if (options_.sort_candidates) {
+    std::sort(counts.begin(), counts.end(),
+              [n](const EntityCount& a, const EntityCount& b) {
+                uint64_t ia = Imbalance(a.count, n);
+                uint64_t ib = Imbalance(b.count, n);
+                if (ia != ib) return ia < ib;
+                return a.entity < b.entity;
+              });
+  }
+
+  size_t limit = counts.size();
+  if (effective_beam > 0 && static_cast<size_t>(effective_beam) < limit) {
+    if (top && node_stats != nullptr) {
+      node_stats->excluded_by_beam = limit - effective_beam;
+    }
+    limit = static_cast<size_t>(effective_beam);
+  }
+
+  Cost best = upper_limit;  // AFLV; exclusive — candidates must go below it
+  EntityId best_entity = kNoEntity;
+
+  for (size_t i = 0; i < limit; ++i) {
+    const EntityId e = counts[i].entity;
+    const uint64_t c1 = counts[i].count;
+    const uint64_t c2 = n - c1;
+
+    // Line 14: prune by the 1-step bound (Lemma 4.4 with l = 1).
+    if (options_.enable_early_break &&
+        Lb1(options_.metric, c1, c2) >= best) {
+      if (options_.sort_candidates) {
+        // Sorted order: every remaining candidate is at least as bad.
+        if (top && node_stats != nullptr) {
+          node_stats->pruned_by_break += limit - i;
+        }
+        break;
+      }
+      if (top && node_stats != nullptr) ++node_stats->pruned_by_break;
+      continue;
+    }
+
+    auto [c_in, c_out] = sub.Partition(e);
+
+    // Lines 18-25: (k-1)-step bound of C+ under its derived upper limit.
+    Cost l_in;
+    if (c_in.size() <= 1) {
+      l_in = 0;
+    } else {
+      Cost ul_in = options_.enable_upper_limits
+                       ? UpperLimitFirst(options_.metric, best, n,
+                                         Lb0(options_.metric, c_out.size()))
+                       : kInfiniteCost;
+      ++depth_;
+      KlpSelection r = SelectImpl(c_in, k - 1, ul_in, /*top=*/false, excluded,
+                                  nullptr);
+      --depth_;
+      if (r.entity == kNoEntity) {
+        if (top && node_stats != nullptr) ++node_stats->pruned_by_child;
+        continue;
+      }
+      l_in = r.bound;
+    }
+
+    // Lines 26-32: C- under the tighter limit now that l_in is known.
+    Cost l_out;
+    if (c_out.size() <= 1) {
+      l_out = 0;
+    } else {
+      Cost ul_out = options_.enable_upper_limits
+                        ? UpperLimitSecond(options_.metric, best, n, l_in)
+                        : kInfiniteCost;
+      ++depth_;
+      KlpSelection r = SelectImpl(c_out, k - 1, ul_out, /*top=*/false,
+                                  excluded, nullptr);
+      --depth_;
+      if (r.entity == kNoEntity) {
+        if (top && node_stats != nullptr) ++node_stats->pruned_by_child;
+        continue;
+      }
+      l_out = r.bound;
+    }
+
+    // Lines 33-36: keep the strict minimum; ties resolve to the earlier
+    // (more even) candidate by construction.
+    Cost l = Combine(options_.metric, l_in, l_out, n);
+    ++stats_.entities_evaluated_deep;
+    if (top && node_stats != nullptr) ++node_stats->fully_evaluated;
+    if (l < best) {
+      best = l;
+      best_entity = e;
+    }
+  }
+
+  // Line 37: cache (entity, AFLV); entity may be kNoEntity, meaning
+  // "no candidate achieves a bound below `best`".
+  if (use_memo) cache_[key] = MemoEntry{best_entity, best};
+  return {best_entity, best};
+}
+
+}  // namespace setdisc

@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file klp.h
+/// Algorithm 1 of the paper — K-Lookahead with Pruning (k-LP) — and its
+/// beam-limited variants k-LPLE and k-LPLVE (§4.4), plus the unpruned
+/// exhaustive lookahead ("gain-k", Esmeir & Markovitch style) used as the
+/// Fig. 4 comparator. One implementation, options-controlled, so ablations
+/// isolate exactly the paper's pruning contributions:
+///
+///  * sorted candidate order + early break         (Algorithm 1, lines 11/14)
+///  * upper limits passed to recursive calls        (Eqs. 11–14, lines 22/29)
+///  * memoization of (sub-collection, k) results    (lines 1–6, 9, 37)
+///  * beam limits q (k-LPLE) / variable beam (k-LPLVE)
+///
+/// Cost bookkeeping is exact-integer (see cost.h), which Lemma 4.4's safety
+/// argument requires.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "collection/entity_counter.h"
+#include "collection/sub_collection.h"
+#include "core/cost.h"
+#include "core/instrumentation.h"
+#include "core/selector.h"
+
+namespace setdisc {
+
+/// Configuration of the lookahead family.
+struct KlpOptions {
+  /// Lookahead depth k (>= 1). k = 1 degenerates to MostEven / InfoGain
+  /// (Lemma 4.3). Use MakeOptimal() for the exact search.
+  int k = 2;
+
+  CostMetric metric = CostMetric::kAvgDepth;
+
+  /// Beam width q: number of candidate entities considered per step, in
+  /// most-even order. <= 0 means unlimited (plain k-LP).
+  int beam_width = -1;
+
+  /// k-LPLVE: beam_width applies to the top-level call only; recursive
+  /// lower-bound steps greedily consider a single entity.
+  bool variable_beam = false;
+
+  /// Master switches for the ablation study; production defaults are all on.
+  bool enable_early_break = true;   ///< sorted early break (line 14)
+  bool enable_upper_limits = true;  ///< child ULs, Eqs. 11–14
+  bool enable_memoization = true;   ///< Cache[(C, k)]
+  /// When false, candidates are scanned in entity-id order instead of
+  /// most-even order (disables the line-11 sort; forces early break off
+  /// since the break is only sound on sorted candidates).
+  bool sort_candidates = true;
+
+  /// Record per-node pruning stats (Table 4) in stats().per_node.
+  bool record_per_node_stats = false;
+
+  /// Safety valve for the memo cache (entries), cleared when exceeded.
+  size_t max_cache_entries = 1 << 22;
+
+  /// Named presets matching the paper's configurations.
+  static KlpOptions MakeKlp(int k, CostMetric metric);
+  static KlpOptions MakeKlple(int k, int q, CostMetric metric);
+  static KlpOptions MakeKlplve(int k, int q, CostMetric metric);
+  /// Unpruned exhaustive k-step lookahead (the paper's gain-k comparator).
+  static KlpOptions MakeGainK(int k, CostMetric metric);
+  /// Exact optimal search: k-LP with k >= height of any tree (§4.4.1).
+  static KlpOptions MakeOptimal(CostMetric metric);
+};
+
+/// Result of one lookahead selection.
+struct KlpSelection {
+  EntityId entity = kNoEntity;  ///< kNoEntity if everything was pruned
+  Cost bound = kInfiniteCost;   ///< the k-step lower bound of `entity`
+};
+
+/// The k-LP selector family (Algorithm 1 wrapped in the Υ interface).
+class KlpSelector : public EntitySelector {
+ public:
+  explicit KlpSelector(KlpOptions options);
+  ~KlpSelector() override;
+
+  EntityId Select(const SubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override;
+
+  /// Full Algorithm 1 entry point: selection plus its k-step bound, with a
+  /// caller-supplied upper limit (kInfiniteCost for unconstrained).
+  KlpSelection SelectWithBound(const SubCollection& sub, Cost upper_limit,
+                               const EntityExclusion* excluded = nullptr);
+
+  std::string_view name() const override { return name_; }
+  const KlpOptions& options() const { return options_; }
+
+  const KlpStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Drops all memoized results (e.g. between unrelated collections).
+  void ClearCache();
+  size_t cache_size() const;
+
+ private:
+  struct MemoKey {
+    std::vector<SetId> ids;
+    int32_t k;
+    int32_t beam;
+    bool operator==(const MemoKey&) const = default;
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& key) const;
+  };
+  struct MemoEntry {
+    EntityId entity;
+    Cost bound;
+  };
+
+  KlpSelection SelectImpl(const SubCollection& sub, int k, Cost upper_limit,
+                          bool top, const EntityExclusion* excluded,
+                          NodeStats* node_stats);
+
+  KlpOptions options_;
+  std::string name_;
+  EntityCounter counter_;
+  KlpStats stats_;
+  std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> cache_;
+  // Reusable per-depth candidate buffers (one per recursion level).
+  std::vector<std::unique_ptr<std::vector<EntityCount>>> scratch_;
+  int depth_ = 0;
+};
+
+}  // namespace setdisc

@@ -1,0 +1,126 @@
+#include "core/multi_choice.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace setdisc {
+
+namespace {
+
+inline uint64_t Imbalance(uint64_t c, uint64_t n) {
+  uint64_t other = n - c;
+  return c > other ? c - other : other - c;
+}
+
+/// Indistinguishable pairs of a partition class of size a split into (k,
+/// a-k) by a new entity.
+inline uint64_t PairsAfterSplit(uint64_t k, uint64_t a) {
+  uint64_t o = a - k;
+  return k * (k - 1) + o * (o - 1);
+}
+
+}  // namespace
+
+std::vector<EntityId> SelectBatch(const SubCollection& sub,
+                                  const MultiChoiceOptions& options,
+                                  EntityCounter& counter) {
+  std::vector<EntityId> batch;
+  if (sub.size() < 2) return batch;
+
+  std::vector<EntityCount> counts;
+  counter.CountInformative(sub, &counts);
+  if (counts.empty()) return batch;
+
+  const uint64_t n = sub.size();
+  std::sort(counts.begin(), counts.end(),
+            [n](const EntityCount& a, const EntityCount& b) {
+              uint64_t ia = Imbalance(a.count, n);
+              uint64_t ib = Imbalance(b.count, n);
+              if (ia != ib) return ia < ib;
+              return a.entity < b.entity;
+            });
+  size_t pool = std::min<size_t>(counts.size(),
+                                 static_cast<size_t>(options.candidate_pool));
+
+  // Current partition classes (initially one class: all candidates).
+  std::vector<std::vector<SetId>> classes;
+  classes.emplace_back(sub.ids().begin(), sub.ids().end());
+  const SetCollection& collection = sub.collection();
+
+  std::vector<bool> used(pool, false);
+  for (int slot = 0; slot < options.batch_size; ++slot) {
+    uint64_t best_pairs = 0;
+    size_t best_idx = pool;  // sentinel: none
+    for (size_t i = 0; i < pool; ++i) {
+      if (used[i]) continue;
+      EntityId e = counts[i].entity;
+      uint64_t pairs = 0;
+      for (const auto& cls : classes) {
+        uint64_t k = 0;
+        for (SetId s : cls) k += collection.Contains(s, e) ? 1 : 0;
+        pairs += PairsAfterSplit(k, cls.size());
+      }
+      if (best_idx == pool || pairs < best_pairs) {
+        best_idx = i;
+        best_pairs = pairs;
+      }
+    }
+    if (best_idx == pool) break;
+    used[best_idx] = true;
+    EntityId chosen = counts[best_idx].entity;
+    batch.push_back(chosen);
+
+    // Refine classes by the chosen entity.
+    std::vector<std::vector<SetId>> next;
+    next.reserve(classes.size() * 2);
+    for (auto& cls : classes) {
+      std::vector<SetId> in, out;
+      for (SetId s : cls) {
+        (collection.Contains(s, chosen) ? in : out).push_back(s);
+      }
+      if (!in.empty()) next.push_back(std::move(in));
+      if (!out.empty()) next.push_back(std::move(out));
+    }
+    classes = std::move(next);
+
+    // All classes singleton: the batch already distinguishes everything.
+    if (std::all_of(classes.begin(), classes.end(),
+                    [](const auto& c) { return c.size() <= 1; })) {
+      break;
+    }
+  }
+  return batch;
+}
+
+MultiChoiceResult DiscoverMultiChoice(const SetCollection& collection,
+                                      const InvertedIndex& index,
+                                      std::span<const EntityId> initial,
+                                      Oracle& oracle,
+                                      const MultiChoiceOptions& options) {
+  MultiChoiceResult result;
+  std::vector<SetId> ids = index.SetsContainingAll(initial);
+  if (ids.empty()) return result;
+  SubCollection cs(&collection, std::move(ids));
+  EntityCounter counter;
+
+  while (cs.size() > 1) {
+    if (options.max_rounds >= 0 && result.rounds >= options.max_rounds) break;
+    std::vector<EntityId> batch = SelectBatch(cs, options, counter);
+    if (batch.empty()) break;
+    ++result.rounds;
+    result.entities_shown += static_cast<int>(batch.size());
+    for (EntityId e : batch) {
+      Oracle::Answer a = oracle.AskMembership(e);
+      bool yes = a == Oracle::Answer::kYes;  // kDontKnow treated as "no"
+      auto [in, out] = cs.Partition(e);
+      SubCollection next = yes ? std::move(in) : std::move(out);
+      if (next.empty()) continue;  // uninformative within the refined class
+      cs = std::move(next);
+      if (cs.size() == 1) break;
+    }
+  }
+  result.candidates.assign(cs.ids().begin(), cs.ids().end());
+  return result;
+}
+
+}  // namespace setdisc

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file multi_choice.h
+/// §6 "Multiple-choice examples" extension: each interaction shows a *batch*
+/// of example entities and the user marks which belong to the target set.
+/// One round partitions the candidates into up to 2^b classes, so the number
+/// of rounds (screens shown to the user) drops well below the number of
+/// single-entity questions.
+///
+/// Batch selection follows the paper's suggested light-weight alternative to
+/// the multi-armed-bandit formulation: a greedy that picks each next entity
+/// to minimize the number of indistinguishable pairs of the refined
+/// partition (the Eq. 10 objective generalized to multi-way partitions).
+
+#include <span>
+#include <vector>
+
+#include "collection/inverted_index.h"
+#include "collection/set_collection.h"
+#include "collection/sub_collection.h"
+#include "core/discovery.h"
+
+namespace setdisc {
+
+struct MultiChoiceOptions {
+  int batch_size = 3;      ///< entities shown per round (b)
+  int candidate_pool = 64; ///< top-most-even entities scored by the greedy
+  int max_rounds = -1;     ///< halt condition (<0 = unlimited)
+};
+
+struct MultiChoiceResult {
+  std::vector<SetId> candidates;
+  int rounds = 0;          ///< interactions (screens) with the user
+  int entities_shown = 0;  ///< total example entities displayed
+  bool found() const { return candidates.size() == 1; }
+  SetId discovered() const {
+    return candidates.size() == 1 ? candidates[0] : kNoSet;
+  }
+};
+
+/// Greedily selects up to `options.batch_size` informative entities for the
+/// next round over `sub`. Returns fewer when the collection distinguishes
+/// with fewer.
+std::vector<EntityId> SelectBatch(const SubCollection& sub,
+                                  const MultiChoiceOptions& options,
+                                  EntityCounter& counter);
+
+/// Runs the multiple-choice discovery loop against an oracle (each batch
+/// entity is answered individually; a batch counts as one round).
+MultiChoiceResult DiscoverMultiChoice(const SetCollection& collection,
+                                      const InvertedIndex& index,
+                                      std::span<const EntityId> initial,
+                                      Oracle& oracle,
+                                      const MultiChoiceOptions& options = {});
+
+}  // namespace setdisc

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file selector.h
+/// The entity-selection strategy interface (the paper's Υ parameter of
+/// Algorithms 2 and 3): given the current sub-collection of candidate sets,
+/// pick the entity to ask about next.
+
+#include <string_view>
+
+#include "collection/entity_counter.h"
+#include "collection/sub_collection.h"
+#include "collection/types.h"
+
+namespace setdisc {
+
+/// Strategy interface. Implementations are stateful (they own scratch
+/// buffers and possibly memo caches) and not thread-safe; use one instance
+/// per thread.
+class EntitySelector {
+ public:
+  virtual ~EntitySelector() = default;
+
+  /// Returns the entity to ask about for sub-collection `sub`, or kNoEntity
+  /// when `sub` has fewer than two sets (no question needed) or every
+  /// informative entity is excluded.
+  ///
+  /// \param excluded optional per-entity exclusion mask (the §6 "don't know"
+  ///        extension); excluded entities are never returned.
+  virtual EntityId Select(const SubCollection& sub,
+                          const EntityExclusion* excluded = nullptr) = 0;
+
+  /// Short strategy name for reports ("InfoGain", "2-LP", ...).
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace setdisc

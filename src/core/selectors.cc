@@ -1,0 +1,90 @@
+#include "core/selectors.h"
+
+#include <cmath>
+
+namespace setdisc {
+
+namespace {
+
+/// Imbalance of a split of n sets with |C1| = c: | |C1| - |C2| |.
+inline uint64_t Imbalance(uint64_t c, uint64_t n) {
+  uint64_t other = n - c;
+  return c > other ? c - other : other - c;
+}
+
+}  // namespace
+
+EntityId MostEvenSelector::Select(const SubCollection& sub,
+                                  const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded);
+  EntityId best = kNoEntity;
+  uint64_t best_imbalance = 0;
+  const uint64_t n = sub.size();
+  for (const EntityCount& ec : counts_) {
+    uint64_t imb = Imbalance(ec.count, n);
+    if (best == kNoEntity || imb < best_imbalance) {
+      best = ec.entity;
+      best_imbalance = imb;
+    }
+  }
+  return best;  // counts_ is entity-ordered, so ties go to the smallest id
+}
+
+EntityId InfoGainSelector::Select(const SubCollection& sub,
+                                  const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded);
+  const uint64_t n = sub.size();
+  EntityId best = kNoEntity;
+  double best_split_entropy = 0.0;  // |C1| log|C1| + |C2| log|C2|, minimized
+  uint64_t best_imbalance = 0;
+  for (const EntityCount& ec : counts_) {
+    double c1 = static_cast<double>(ec.count);
+    double c2 = static_cast<double>(n - ec.count);
+    // Maximizing Eq. (9) is minimizing this quantity (|C| is constant).
+    double split = c1 * std::log2(c1) + c2 * std::log2(c2);
+    uint64_t imb = Imbalance(ec.count, n);
+    if (best == kNoEntity || split < best_split_entropy - 1e-12 ||
+        (split < best_split_entropy + 1e-12 && imb < best_imbalance)) {
+      best = ec.entity;
+      best_split_entropy = split;
+      best_imbalance = imb;
+    }
+  }
+  return best;
+}
+
+EntityId IndistinguishablePairsSelector::Select(const SubCollection& sub,
+                                                const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded);
+  const uint64_t n = sub.size();
+  EntityId best = kNoEntity;
+  uint64_t best_pairs = 0;
+  uint64_t best_imbalance = 0;
+  for (const EntityCount& ec : counts_) {
+    uint64_t c1 = ec.count;
+    uint64_t c2 = n - ec.count;
+    // Eq. (10) numerator; the /2 is constant and dropped.
+    uint64_t pairs = c1 * (c1 - 1) + c2 * (c2 - 1);
+    uint64_t imb = Imbalance(ec.count, n);
+    if (best == kNoEntity || pairs < best_pairs ||
+        (pairs == best_pairs && imb < best_imbalance)) {
+      best = ec.entity;
+      best_pairs = pairs;
+      best_imbalance = imb;
+    }
+  }
+  return best;
+}
+
+EntityId RandomSelector::Select(const SubCollection& sub,
+                                const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded);
+  if (counts_.empty()) return kNoEntity;
+  return counts_[rng_.Uniform(counts_.size())].entity;
+}
+
+}  // namespace setdisc

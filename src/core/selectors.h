@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file selectors.h
+/// The 1-step baseline strategies of §4.2:
+///
+///  * MostEvenSelector            — Adler & Heeringa's (ln n + 1)-approximate
+///                                  greedy: most even partition (§4.2.1);
+///  * InfoGainSelector            — ID3/C4.5 information gain (§4.2.2, Eq. 9);
+///  * IndistinguishablePairsSelector — Roy et al.'s minimum indistinguishable
+///                                  pairs (§4.2.3, Eq. 10);
+///  * RandomSelector              — uniform over informative entities (sanity
+///                                  floor, not in the paper).
+///
+/// Lemma 4.3: the first three select the same entity (ties aside); the
+/// selector_test property sweep verifies that on random collections.
+
+#include <string_view>
+#include <vector>
+
+#include "core/selector.h"
+#include "util/rng.h"
+
+namespace setdisc {
+
+/// Picks the entity minimizing | |C1| - |C2| |; ties broken by entity id.
+class MostEvenSelector : public EntitySelector {
+ public:
+  EntityId Select(const SubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override;
+  std::string_view name() const override { return "MostEven"; }
+
+ private:
+  EntityCounter counter_;
+  std::vector<EntityCount> counts_;
+};
+
+/// Picks the entity maximizing information gain (Eq. 9); ties broken by the
+/// most even partition, then entity id.
+class InfoGainSelector : public EntitySelector {
+ public:
+  EntityId Select(const SubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override;
+  std::string_view name() const override { return "InfoGain"; }
+
+ private:
+  EntityCounter counter_;
+  std::vector<EntityCount> counts_;
+};
+
+/// Picks the entity minimizing the number of indistinguishable pairs
+/// (Eq. 10); ties broken by the most even partition, then entity id.
+class IndistinguishablePairsSelector : public EntitySelector {
+ public:
+  EntityId Select(const SubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override;
+  std::string_view name() const override { return "IndgPairs"; }
+
+ private:
+  EntityCounter counter_;
+  std::vector<EntityCount> counts_;
+};
+
+/// Picks a uniformly random informative entity. Deterministic given the seed.
+class RandomSelector : public EntitySelector {
+ public:
+  explicit RandomSelector(uint64_t seed = 42) : rng_(seed) {}
+  EntityId Select(const SubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override;
+  std::string_view name() const override { return "Random"; }
+
+ private:
+  Rng rng_;
+  EntityCounter counter_;
+  std::vector<EntityCount> counts_;
+};
+
+}  // namespace setdisc

@@ -1,0 +1,96 @@
+#include "core/tree_discovery.h"
+
+#include <algorithm>
+
+namespace setdisc {
+
+std::vector<SetId> LeavesUnder(const DecisionTree& tree, int32_t node_id) {
+  std::vector<SetId> leaves;
+  std::vector<int32_t> stack = {node_id};
+  while (!stack.empty()) {
+    int32_t id = stack.back();
+    stack.pop_back();
+    const TreeNode& node = tree.node(id);
+    if (node.is_leaf()) {
+      leaves.push_back(node.leaf_set);
+    } else {
+      stack.push_back(node.yes);
+      stack.push_back(node.no);
+    }
+  }
+  std::sort(leaves.begin(), leaves.end());
+  return leaves;
+}
+
+TreeDiscoveryResult DiscoverWithTree(const DecisionTree& tree,
+                                     const SetCollection& collection,
+                                     Oracle& oracle,
+                                     const TreeDiscoveryOptions& options) {
+  TreeDiscoveryResult result;
+  int32_t node_id = tree.root();
+  if (node_id < 0) return result;
+
+  while (!tree.node(node_id).is_leaf()) {
+    if (options.max_questions >= 0 &&
+        result.questions >= options.max_questions) {
+      result.halted = true;
+      result.candidates = LeavesUnder(tree, node_id);
+      return result;
+    }
+    const TreeNode& node = tree.node(node_id);
+    Oracle::Answer answer = oracle.AskMembership(node.entity);
+    ++result.questions;
+    result.transcript.emplace_back(node.entity, answer);
+
+    if (answer == Oracle::Answer::kDontKnow) {
+      using Policy = TreeDiscoveryOptions::DontKnowPolicy;
+      Policy policy = options.dont_know_policy;
+      if (policy == Policy::kDynamic && options.fallback_selector == nullptr) {
+        policy = Policy::kStop;
+      }
+      switch (policy) {
+        case Policy::kAssumeNo:
+          node_id = node.no;
+          continue;
+        case Policy::kStop:
+          result.candidates = LeavesUnder(tree, node_id);
+          return result;
+        case Policy::kDynamic: {
+          // Hand the remaining candidates to Algorithm 2, excluding the
+          // entity the user could not answer.
+          result.fell_back = true;
+          std::vector<SetId> remaining = LeavesUnder(tree, node_id);
+          SubCollection cs(&collection, std::move(remaining));
+          EntityExclusion excluded(collection.universe_size(), false);
+          excluded[node.entity] = true;
+          while (cs.size() > 1) {
+            if (options.max_questions >= 0 &&
+                result.questions >= options.max_questions) {
+              result.halted = true;
+              break;
+            }
+            EntityId e = options.fallback_selector->Select(cs, &excluded);
+            if (e == kNoEntity) break;
+            Oracle::Answer a = oracle.AskMembership(e);
+            ++result.questions;
+            result.transcript.emplace_back(e, a);
+            if (a == Oracle::Answer::kDontKnow) {
+              if (excluded.size() <= e) excluded.resize(e + 1, false);
+              excluded[e] = true;
+              continue;
+            }
+            auto [in, out] = cs.Partition(e);
+            cs = a == Oracle::Answer::kYes ? std::move(in) : std::move(out);
+          }
+          result.candidates.assign(cs.ids().begin(), cs.ids().end());
+          return result;
+        }
+      }
+    }
+    node_id = answer == Oracle::Answer::kYes ? node.yes : node.no;
+  }
+  result.candidates = {tree.node(node_id).leaf_set};
+  return result;
+}
+
+}  // namespace setdisc

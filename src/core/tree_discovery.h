@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file tree_discovery.h
+/// Discovery with an offline-constructed tree (§4.5, "Offline tree
+/// construction"): for static collections the decision tree is built once
+/// (Algorithm 3) and each session just follows a root-to-leaf path — no
+/// per-question selection cost, which is the point of precomputing.
+///
+/// "Don't know" answers need care in tree mode: the precomputed tree cannot
+/// re-select a question the way Algorithm 2 does, so the session either
+/// stops with the sub-tree's candidate sets or falls back to dynamic
+/// selection over them (configurable).
+
+#include <vector>
+
+#include "core/decision_tree.h"
+#include "core/discovery.h"
+#include "core/selector.h"
+
+namespace setdisc {
+
+struct TreeDiscoveryOptions {
+  /// Halt condition Γ: stop after this many questions (<0 = unlimited).
+  int max_questions = -1;
+
+  /// What to do on a kDontKnow answer:
+  enum class DontKnowPolicy {
+    kStop,     ///< return the current sub-tree's candidate sets
+    kDynamic,  ///< switch to Algorithm 2 with `fallback_selector`
+    kAssumeNo, ///< treat as "no" (cheapest, may walk the wrong branch)
+  };
+  DontKnowPolicy dont_know_policy = DontKnowPolicy::kDynamic;
+
+  /// Selector used when dont_know_policy == kDynamic. Must outlive the
+  /// call. If null, kDynamic degrades to kStop.
+  EntitySelector* fallback_selector = nullptr;
+};
+
+struct TreeDiscoveryResult {
+  std::vector<SetId> candidates;  ///< singleton on success
+  int questions = 0;
+  bool halted = false;            ///< stopped by the question budget
+  bool fell_back = false;         ///< switched to dynamic selection
+  std::vector<std::pair<EntityId, Oracle::Answer>> transcript;
+
+  bool found() const { return candidates.size() == 1; }
+  SetId discovered() const {
+    return candidates.size() == 1 ? candidates[0] : kNoSet;
+  }
+};
+
+/// Runs a session guided by `tree` (previously built over `collection` or a
+/// sub-collection of it). The number of questions equals the depth of the
+/// target's leaf — exactly the cost the tree metrics predict.
+TreeDiscoveryResult DiscoverWithTree(const DecisionTree& tree,
+                                     const SetCollection& collection,
+                                     Oracle& oracle,
+                                     const TreeDiscoveryOptions& options = {});
+
+/// All leaf sets under node `node_id` of `tree` (ascending ids) — the
+/// candidate sets consistent with the answers that led there.
+std::vector<SetId> LeavesUnder(const DecisionTree& tree, int32_t node_id);
+
+}  // namespace setdisc

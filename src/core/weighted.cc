@@ -1,0 +1,61 @@
+#include "core/weighted.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace setdisc {
+
+EntityId WeightedMostEvenSelector::Select(const SubCollection& sub,
+                                          const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded);
+  if (counts_.empty()) return kNoEntity;
+
+  double total = 0.0;
+  for (SetId s : sub.ids()) {
+    total += s < weights_->size() ? (*weights_)[s] : 0.0;
+  }
+
+  EntityId best = kNoEntity;
+  double best_gap = 0.0;
+  const SetCollection& collection = sub.collection();
+  for (const EntityCount& ec : counts_) {
+    double w_in = 0.0;
+    for (SetId s : sub.ids()) {
+      if (collection.Contains(s, ec.entity)) {
+        w_in += s < weights_->size() ? (*weights_)[s] : 0.0;
+      }
+    }
+    double gap = std::fabs(2.0 * w_in - total);
+    if (best == kNoEntity || gap < best_gap - 1e-12) {
+      best = ec.entity;
+      best_gap = gap;
+    }
+  }
+  return best;
+}
+
+double WeightedEntropyLowerBound(const std::vector<double>& weights,
+                                 const std::vector<SetId>& ids) {
+  double total = 0.0;
+  for (SetId s : ids) total += s < weights.size() ? weights[s] : 0.0;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (SetId s : ids) {
+    double w = s < weights.size() ? weights[s] : 0.0;
+    if (w <= 0.0) continue;
+    double p = w / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double ExpectedQuestions(const DecisionTree& tree,
+                         const std::vector<double>& weights) {
+  std::unordered_map<SetId, double> by_set;
+  for (SetId s = 0; s < weights.size(); ++s) by_set[s] = weights[s];
+  return tree.WeightedAvgDepth(by_set);
+}
+
+}  // namespace setdisc

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file weighted.h
+/// §7 future-work extension: "study scenarios where the sets to be discovered
+/// are not equally likely". Sets carry prior weights; the cost of a tree is
+/// the *weighted* average leaf depth (expected number of questions under the
+/// prior), and selection balances probability mass instead of set counts.
+
+#include <string_view>
+#include <vector>
+
+#include "core/decision_tree.h"
+#include "core/selector.h"
+
+namespace setdisc {
+
+/// Picks the entity whose partition splits the candidates' total prior
+/// weight most evenly — the weighted generalization of §4.2.1's most-even
+/// strategy (and of 1-step lookahead, by the weighted analogue of Lemma 4.3).
+class WeightedMostEvenSelector : public EntitySelector {
+ public:
+  /// `weights` is indexed by SetId over the full collection; it must outlive
+  /// the selector. Weights must be non-negative (not necessarily normalized).
+  explicit WeightedMostEvenSelector(const std::vector<double>* weights)
+      : weights_(weights) {}
+
+  EntityId Select(const SubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override;
+  std::string_view name() const override { return "WeightedMostEven"; }
+
+ private:
+  const std::vector<double>* weights_;
+  EntityCounter counter_;
+  std::vector<EntityCount> counts_;
+};
+
+/// Shannon lower bound on the expected number of yes/no questions needed to
+/// identify a set drawn from prior `weights` over `ids`: H(p) bits.
+double WeightedEntropyLowerBound(const std::vector<double>& weights,
+                                 const std::vector<SetId>& ids);
+
+/// Expected questions of `tree` under the prior (weights indexed by SetId).
+double ExpectedQuestions(const DecisionTree& tree,
+                         const std::vector<double>& weights);
+
+}  // namespace setdisc

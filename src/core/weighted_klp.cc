@@ -1,0 +1,212 @@
+#include "core/weighted_klp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/table_printer.h"
+
+namespace setdisc {
+
+WeightedKlpSelector::WeightedKlpSelector(const std::vector<double>* weights,
+                                         WeightedKlpOptions options)
+    : weights_(weights), options_(options) {
+  SETDISC_CHECK(options_.k >= 1);
+  SETDISC_CHECK(weights_ != nullptr);
+  double max_w = 0.0;
+  for (double w : *weights_) max_w = std::max(max_w, w);
+  quantization_scale_ =
+      max_w > 0.0 ? static_cast<double>(options_.weight_resolution) / max_w
+                  : 1.0;
+  name_ = Format("Weighted-%d-LP", options_.k);
+}
+
+WeightedKlpSelector::~WeightedKlpSelector() = default;
+
+Cost WeightedKlpSelector::QuantizedWeight(SetId s) const {
+  double w = s < weights_->size() ? (*weights_)[s] : 0.0;
+  Cost q = static_cast<Cost>(std::llround(w * quantization_scale_));
+  // Every set keeps at least one unit of weight so it stays discoverable
+  // (a zero-weight set could otherwise be placed arbitrarily deep).
+  return q > 0 ? q : 1;
+}
+
+Cost WeightedKlpSelector::TotalWeight(const SubCollection& sub) const {
+  Cost total = 0;
+  for (SetId s : sub.ids()) total += QuantizedWeight(s);
+  return total;
+}
+
+Cost WeightedKlpSelector::WeightedLb0(const SubCollection& sub) const {
+  if (sub.size() <= 1) return 0;
+  const double total = static_cast<double>(TotalWeight(sub));
+  double bits = 0.0;
+  for (SetId s : sub.ids()) {
+    double w = static_cast<double>(QuantizedWeight(s));
+    bits += w * std::log2(total / w);
+  }
+  // floor() keeps the Shannon bound a valid *lower* bound after quantizing.
+  return static_cast<Cost>(std::floor(bits));
+}
+
+size_t WeightedKlpSelector::MemoKeyHash::operator()(const MemoKey& key) const {
+  uint64_t h = 1469598103934665603ULL;
+  for (SetId s : key.ids) {
+    h ^= s;
+    h *= 1099511628211ULL;
+    h ^= h >> 29;
+  }
+  h ^= static_cast<uint64_t>(key.k) * 0x9E3779B97F4A7C15ULL;
+  return static_cast<size_t>(h);
+}
+
+EntityId WeightedKlpSelector::Select(const SubCollection& sub,
+                                     const EntityExclusion* excluded) {
+  return SelectWithBound(sub, kInfiniteCost, excluded).entity;
+}
+
+WeightedSelection WeightedKlpSelector::SelectWithBound(
+    const SubCollection& sub, Cost upper_limit,
+    const EntityExclusion* excluded) {
+  if (sub.size() < 2) return {kNoEntity, 0};
+  depth_ = 0;
+  return SelectImpl(sub, options_.k, upper_limit, excluded);
+}
+
+WeightedSelection WeightedKlpSelector::SelectImpl(
+    const SubCollection& sub, int k, Cost upper_limit,
+    const EntityExclusion* excluded) {
+  const uint64_t n = sub.size();
+  SETDISC_CHECK(n >= 2);
+  if (k > static_cast<int>(n)) k = static_cast<int>(n);
+
+  // Fast reject: every bound is >= the Shannon floor.
+  if (options_.enable_upper_limits && upper_limit <= WeightedLb0(sub)) {
+    return {kNoEntity, upper_limit};
+  }
+
+  const bool use_memo = options_.enable_memoization && excluded == nullptr;
+  MemoKey key;
+  if (use_memo) {
+    key.ids.assign(sub.ids().begin(), sub.ids().end());
+    key.k = k;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (upper_limit <= it->second.bound) {
+        return {kNoEntity, it->second.bound};
+      }
+      if (it->second.entity != kNoEntity) {
+        return {it->second.entity, it->second.bound};
+      }
+    }
+  }
+
+  if (depth_ >= static_cast<int>(scratch_.size())) {
+    scratch_.emplace_back(std::make_unique<std::vector<EntityCount>>());
+  }
+  std::vector<EntityCount>& counts = *scratch_[depth_];
+  counter_.CountInformative(sub, &counts, excluded);
+  if (counts.empty()) return {kNoEntity, upper_limit};
+
+  const Cost total_weight = TotalWeight(sub);
+
+  // Weighted split mass per candidate entity.
+  struct Candidate {
+    EntityId entity;
+    Cost weight_in;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(counts.size());
+  {
+    const SetCollection& collection = sub.collection();
+    for (const EntityCount& ec : counts) {
+      Cost w_in = 0;
+      for (SetId s : sub.ids()) {
+        if (collection.Contains(s, ec.entity)) w_in += QuantizedWeight(s);
+      }
+      candidates.push_back({ec.entity, w_in});
+    }
+  }
+  // Most weight-even order (heuristic order; per-entity pruning below stays
+  // sound regardless, unlike the unweighted sorted early break).
+  std::sort(candidates.begin(), candidates.end(),
+            [total_weight](const Candidate& a, const Candidate& b) {
+              Cost ia = std::llabs(2 * a.weight_in - total_weight);
+              Cost ib = std::llabs(2 * b.weight_in - total_weight);
+              if (ia != ib) return ia < ib;
+              return a.entity < b.entity;
+            });
+  size_t limit = candidates.size();
+  if (options_.beam_width > 0 &&
+      static_cast<size_t>(options_.beam_width) < limit) {
+    limit = static_cast<size_t>(options_.beam_width);
+  }
+
+  Cost best = upper_limit;
+  EntityId best_entity = kNoEntity;
+
+  for (size_t i = 0; i < limit; ++i) {
+    const EntityId e = candidates[i].entity;
+    auto [c_in, c_out] = sub.Partition(e);
+    Cost lb0_in = WeightedLb0(c_in);
+    Cost lb0_out = WeightedLb0(c_out);
+
+    // Per-entity analogue of Algorithm 1 line 14: the recursion value for e
+    // is >= lb0_in + lb0_out + W (induction on k), so e cannot win.
+    Cost lb1 = lb0_in + lb0_out + total_weight;
+    if (options_.enable_early_break && lb1 >= best) continue;
+
+    Cost l_in;
+    if (c_in.size() <= 1) {
+      l_in = 0;
+    } else if (k <= 1) {
+      l_in = lb0_in;
+    } else {
+      Cost ul_in = options_.enable_upper_limits
+                       ? best - total_weight - lb0_out
+                       : kInfiniteCost;
+      ++depth_;
+      WeightedSelection r = SelectImpl(c_in, k - 1, ul_in, excluded);
+      --depth_;
+      if (r.entity == kNoEntity && options_.enable_upper_limits) continue;
+      l_in = r.entity == kNoEntity ? lb0_in : r.bound;
+    }
+
+    Cost l_out;
+    if (c_out.size() <= 1) {
+      l_out = 0;
+    } else if (k <= 1) {
+      l_out = lb0_out;
+    } else {
+      Cost ul_out = options_.enable_upper_limits
+                        ? best - total_weight - l_in
+                        : kInfiniteCost;
+      ++depth_;
+      WeightedSelection r = SelectImpl(c_out, k - 1, ul_out, excluded);
+      --depth_;
+      if (r.entity == kNoEntity && options_.enable_upper_limits) continue;
+      l_out = r.entity == kNoEntity ? lb0_out : r.bound;
+    }
+
+    Cost l = l_in + l_out + total_weight;
+    if (l < best) {
+      best = l;
+      best_entity = e;
+    }
+  }
+
+  if (use_memo) cache_[key] = MemoEntry{best_entity, best};
+  return {best_entity, best};
+}
+
+Cost WeightedLbKReference(const SubCollection& sub,
+                          const std::vector<double>* weights,
+                          WeightedKlpOptions options) {
+  options.enable_early_break = false;
+  options.enable_upper_limits = false;
+  options.enable_memoization = false;
+  options.beam_width = -1;
+  WeightedKlpSelector reference(weights, options);
+  return reference.SelectWithBound(sub, kInfiniteCost).bound;
+}
+
+}  // namespace setdisc

@@ -1,0 +1,53 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace setdisc {
+
+SetCollection GenerateSynthetic(const SyntheticConfig& config) {
+  SETDISC_CHECK(config.num_sets >= 1);
+  SETDISC_CHECK(config.min_set_size >= 1);
+  SETDISC_CHECK(config.min_set_size <= config.max_set_size);
+  SETDISC_CHECK(config.overlap >= 0.0 && config.overlap < 1.0);
+
+  Rng rng(config.seed);
+  std::vector<std::vector<EntityId>> sets;
+  sets.reserve(config.num_sets);
+  EntityId next_entity = 0;
+
+  for (uint32_t i = 0; i < config.num_sets; ++i) {
+    uint32_t size = static_cast<uint32_t>(
+        rng.UniformRange(config.min_set_size, config.max_set_size));
+    std::vector<EntityId> elems;
+    elems.reserve(size);
+
+    uint32_t want_copy =
+        i == 0 ? 0
+               : static_cast<uint32_t>(config.overlap * static_cast<double>(size));
+    if (want_copy > 0) {
+      // Copy from one random previously generated set (partial
+      // Fisher-Yates over a scratch copy of the source).
+      const std::vector<EntityId>& source = sets[rng.Uniform(i)];
+      uint32_t take =
+          std::min<uint32_t>(want_copy, static_cast<uint32_t>(source.size()));
+      std::vector<EntityId> scratch(source);
+      for (uint32_t j = 0; j < take; ++j) {
+        uint64_t pick = j + rng.Uniform(scratch.size() - j);
+        std::swap(scratch[j], scratch[pick]);
+        elems.push_back(scratch[j]);
+      }
+    }
+    // Fresh elements for the add part and any copy shortfall.
+    while (elems.size() < size) elems.push_back(next_entity++);
+    sets.push_back(std::move(elems));
+  }
+
+  SetCollectionBuilder builder;
+  for (auto& s : sets) builder.AddSet(std::move(s));
+  return builder.Build();
+}
+
+}  // namespace setdisc

@@ -1,0 +1,117 @@
+#include "data/webtables.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/zipf.h"
+
+namespace setdisc {
+
+SetCollection GenerateWebTables(const WebTablesConfig& config) {
+  SETDISC_CHECK(config.num_domains >= 1);
+  SETDISC_CHECK(config.min_set_size >= 1);
+  SETDISC_CHECK(config.min_set_size <= config.max_set_size);
+
+  Rng rng(config.seed);
+
+  // Lay out the entity-id space: per-domain vocabularies, then the shared
+  // (ambiguous) pool, then a noise pool.
+  std::vector<EntityId> domain_offset(config.num_domains + 1, 0);
+  std::vector<uint32_t> domain_vocab(config.num_domains);
+  for (uint32_t d = 0; d < config.num_domains; ++d) {
+    domain_vocab[d] = static_cast<uint32_t>(
+        rng.UniformRange(config.min_domain_vocab, config.max_domain_vocab));
+    domain_offset[d + 1] = domain_offset[d] + domain_vocab[d];
+  }
+  EntityId shared_base = domain_offset[config.num_domains];
+  EntityId noise_base = shared_base + config.shared_pool_size;
+  uint32_t noise_pool = std::max<uint32_t>(1000, config.num_sets / 10);
+
+  ZipfDistribution domain_dist(config.num_domains, config.domain_zipf);
+  // One value-popularity shape shared by all domains (scaled to each vocab).
+  ZipfDistribution value_dist(config.max_domain_vocab, config.value_zipf);
+
+  SetCollectionBuilder builder;
+  std::unordered_set<EntityId> elems;
+  for (uint32_t i = 0; i < config.num_sets; ++i) {
+    uint32_t d = static_cast<uint32_t>(domain_dist.Sample(rng));
+    // Column lengths are short-head heavy: quadratic warp toward the min.
+    double u = rng.UniformDouble();
+    uint32_t size = config.min_set_size +
+                    static_cast<uint32_t>(
+                        (config.max_set_size - config.min_set_size) *
+                        u * u);
+    size = std::min<uint32_t>(size, domain_vocab[d] + config.shared_pool_size);
+
+    elems.clear();
+    uint32_t guard = 0;
+    while (elems.size() < size && guard < size * 30 + 100) {
+      ++guard;
+      double roll = rng.UniformDouble();
+      EntityId e;
+      if (roll < config.noise_rate) {
+        e = noise_base + static_cast<EntityId>(rng.Uniform(noise_pool));
+      } else if (roll < config.noise_rate + config.ambiguous_fraction) {
+        e = shared_base +
+            static_cast<EntityId>(rng.Uniform(config.shared_pool_size));
+      } else {
+        uint64_t rank = value_dist.Sample(rng) % domain_vocab[d];
+        e = domain_offset[d] + static_cast<EntityId>(rank);
+      }
+      elems.insert(e);
+    }
+    if (elems.size() < config.min_set_size) {
+      --i;  // too degenerate (tiny domain); retry
+      continue;
+    }
+    builder.AddSet(std::vector<EntityId>(elems.begin(), elems.end()));
+  }
+  return builder.Build();
+}
+
+std::vector<SeedPairEntry> ExtractSeedPairSubCollections(
+    const SetCollection& corpus, const InvertedIndex& index, size_t min_sets,
+    size_t max_subcollections, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SeedPairEntry> out;
+  std::unordered_set<uint64_t> seen_pairs;
+
+  // Candidate first entities: frequent enough to possibly reach min_sets.
+  std::vector<EntityId> frequent;
+  for (EntityId e = 0; e < corpus.universe_size(); ++e) {
+    if (index.Frequency(e) >= min_sets) frequent.push_back(e);
+  }
+  if (frequent.empty()) return out;
+
+  size_t attempts = 0;
+  const size_t max_attempts = max_subcollections * 200 + 1000;
+  while (out.size() < max_subcollections && attempts < max_attempts) {
+    ++attempts;
+    EntityId a = frequent[rng.Uniform(frequent.size())];
+    auto postings = index.Postings(a);
+    // Partner: a random co-occurring entity from a random set containing a.
+    SetId s = postings[rng.Uniform(postings.size())];
+    auto members = corpus.set(s);
+    EntityId b = members[rng.Uniform(members.size())];
+    if (b == a) continue;
+    if (index.Frequency(b) < min_sets) continue;
+    uint64_t pair_key = (static_cast<uint64_t>(std::min(a, b)) << 32) |
+                        static_cast<uint64_t>(std::max(a, b));
+    if (!seen_pairs.insert(pair_key).second) continue;
+
+    EntityId query[2] = {a, b};
+    std::vector<SetId> candidates = index.SetsContainingAll(query);
+    if (candidates.size() < min_sets) continue;
+    SeedPairEntry entry;
+    entry.a = a;
+    entry.b = b;
+    entry.set_ids = std::move(candidates);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace setdisc

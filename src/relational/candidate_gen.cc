@@ -1,0 +1,88 @@
+#include "relational/candidate_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/status.h"
+
+namespace setdisc {
+
+std::vector<Condition> GenerateConditions(const Table& table,
+                                          std::span<const RowId> examples,
+                                          const CandidateGenConfig& config) {
+  SETDISC_CHECK(!examples.empty());
+  std::vector<Condition> conditions;
+
+  // Step 3: one disjunction-of-equalities per categorical column.
+  for (const auto& name : config.categorical_columns) {
+    int col = table.ColumnIndex(name);
+    if (col < 0) continue;
+    CategoricalCondition c;
+    c.col = col;
+    if (table.column_type(col) == ColumnType::kInt) {
+      std::set<int32_t> vals;
+      for (RowId r : examples) vals.insert(table.IntAt(col, r));
+      c.int_values.assign(vals.begin(), vals.end());
+    } else {
+      std::set<std::string> vals;
+      for (RowId r : examples) vals.insert(table.StringAt(col, r));
+      c.str_values.assign(vals.begin(), vals.end());
+    }
+    conditions.emplace_back(std::move(c));
+  }
+
+  // Step 4: numeric intervals from reference values strictly containing all
+  // example values.
+  for (const auto& numeric : config.numeric_columns) {
+    int col = table.ColumnIndex(numeric.name);
+    if (col < 0) continue;
+    int32_t lo_val = table.IntAt(col, examples[0]);
+    int32_t hi_val = lo_val;
+    for (RowId r : examples) {
+      lo_val = std::min(lo_val, table.IntAt(col, r));
+      hi_val = std::max(hi_val, table.IntAt(col, r));
+    }
+    std::vector<std::optional<int32_t>> lowers = {std::nullopt};
+    std::vector<std::optional<int32_t>> uppers = {std::nullopt};
+    for (int32_t ref : numeric.reference_values) {
+      if (ref < lo_val) lowers.emplace_back(ref);
+      if (ref > hi_val) uppers.emplace_back(ref);
+    }
+    for (const auto& lo : lowers) {
+      for (const auto& hi : uppers) {
+        if (!lo.has_value() && !hi.has_value()) continue;
+        NumericCondition c;
+        c.col = col;
+        c.lower = lo;
+        c.upper = hi;
+        conditions.emplace_back(std::move(c));
+      }
+    }
+  }
+  return conditions;
+}
+
+std::vector<ConjunctiveQuery> GenerateCandidateQueries(
+    const Table& table, std::span<const RowId> examples,
+    const CandidateGenConfig& config) {
+  std::vector<Condition> conditions =
+      GenerateConditions(table, examples, config);
+
+  // Step 5: singles, then pairs over distinct columns.
+  std::vector<ConjunctiveQuery> queries;
+  queries.reserve(conditions.size() * conditions.size() / 2);
+  for (const Condition& c : conditions) {
+    queries.push_back(ConjunctiveQuery{{c}});
+  }
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    for (size_t j = i + 1; j < conditions.size(); ++j) {
+      if (ConditionColumn(conditions[i]) == ConditionColumn(conditions[j])) {
+        continue;
+      }
+      queries.push_back(ConjunctiveQuery{{conditions[i], conditions[j]}});
+    }
+  }
+  return queries;
+}
+
+}  // namespace setdisc

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file candidate_gen.h
+/// Steps (1)–(5) of the paper's candidate-query generation (§5.2.3): given a
+/// few example tuples of an unknown target query, enumerate the CNF queries
+/// (conditions on up to two columns) whose outputs contain all examples.
+///
+///  (1) columns are split into categorical (birthCountry, birthState,
+///      birthCity, birthMonth, birthDay, bats, throws) and numeric
+///      (birthYear, height, weight);
+///  (2) each numeric column has fixed reference values;
+///  (3) one categorical condition per column: the disjunction of the
+///      examples' distinct values;
+///  (4) numeric conditions: every open interval of reference values that
+///      strictly contains all example values (one-sided allowed);
+///  (5) candidates: every single condition, plus every conjunction of two
+///      conditions on different columns.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "relational/table.h"
+
+namespace setdisc {
+
+struct CandidateGenConfig {
+  std::vector<std::string> categorical_columns = {
+      "birthCountry", "birthState", "birthCity", "birthMonth",
+      "birthDay",     "bats",       "throws"};
+
+  /// Numeric columns with their §5.2.3 reference values.
+  struct NumericColumn {
+    std::string name;
+    std::vector<int32_t> reference_values;
+  };
+  std::vector<NumericColumn> numeric_columns = {
+      {"height", {60, 65, 70, 75, 80}},
+      {"weight", {120, 140, 160, 180, 200, 220, 240, 260, 280, 300}},
+      {"birthYear", {1850, 1870, 1890, 1910, 1930, 1950, 1970, 1990}},
+  };
+};
+
+/// Runs steps (1)–(5). All returned queries contain every example row in
+/// their output by construction.
+std::vector<ConjunctiveQuery> GenerateCandidateQueries(
+    const Table& table, std::span<const RowId> examples,
+    const CandidateGenConfig& config = {});
+
+/// The step-(3)/(4) building blocks, exposed for unit testing.
+std::vector<Condition> GenerateConditions(const Table& table,
+                                          std::span<const RowId> examples,
+                                          const CandidateGenConfig& config);
+
+}  // namespace setdisc

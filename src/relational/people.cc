@@ -1,0 +1,237 @@
+#include "relational/people.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/zipf.h"
+
+namespace setdisc {
+
+namespace {
+
+struct Weighted {
+  const char* value;
+  double weight;
+};
+
+/// Samples an index from a small weighted list.
+size_t SampleWeighted(Rng& rng, const Weighted* items, size_t count) {
+  double total = 0.0;
+  for (size_t i = 0; i < count; ++i) total += items[i].weight;
+  double u = rng.UniformDouble() * total;
+  for (size_t i = 0; i < count; ++i) {
+    u -= items[i].weight;
+    if (u <= 0.0) return i;
+  }
+  return count - 1;
+}
+
+// Country marginals modeled on the real table (USA-heavy, Latin America and
+// a long tail of others).
+constexpr Weighted kCountries[] = {
+    {"USA", 0.724},    {"D.R.", 0.042},      {"Venezuela", 0.027},
+    {"P.R.", 0.024},   {"CAN", 0.022},       {"Cuba", 0.019},
+    {"Mexico", 0.013}, {"Japan", 0.009},     {"Panama", 0.005},
+    {"Australia", 0.004}, {"Colombia", 0.004}, {"South Korea", 0.003},
+    {"Curacao", 0.002},   {"Nicaragua", 0.002}, {"Germany", 0.004},
+    {"United Kingdom", 0.003}, {"Ireland", 0.003}, {"Netherlands", 0.002},
+    {"Taiwan", 0.002},  {"Brazil", 0.001},   {"Italy", 0.002},
+    {"Other", 0.083},
+};
+
+// US state marginals (top baseball-producing states, then a tail).
+constexpr Weighted kStates[] = {
+    {"CA", 0.135}, {"NY", 0.072}, {"TX", 0.066}, {"PA", 0.065},
+    {"IL", 0.048}, {"OH", 0.048}, {"FL", 0.042}, {"MA", 0.035},
+    {"MO", 0.031}, {"NJ", 0.027}, {"MI", 0.026}, {"NC", 0.025},
+    {"GA", 0.024}, {"AL", 0.022}, {"VA", 0.019}, {"TN", 0.018},
+    {"IN", 0.018}, {"KY", 0.017}, {"MD", 0.015}, {"WA", 0.014},
+    {"OK", 0.014}, {"LA", 0.014}, {"SC", 0.013}, {"WI", 0.013},
+    {"MS", 0.012}, {"IA", 0.012}, {"KS", 0.010}, {"MN", 0.010},
+    {"AR", 0.010}, {"CT", 0.010}, {"OR", 0.008}, {"CO", 0.007},
+    {"AZ", 0.007}, {"WV", 0.007}, {"NE", 0.006}, {"Other", 0.080},
+};
+
+// Named big cities (weights approximate the real birthCity skew; the tail is
+// synthesized as Town###). "Los Angeles" is sized so that T2's output lands
+// near the paper's 201 tuples.
+constexpr Weighted kBigCities[] = {
+    {"Chicago", 0.019},      {"New York", 0.021},   {"Los Angeles", 0.019},
+    {"Philadelphia", 0.017}, {"St. Louis", 0.013},  {"Boston", 0.011},
+    {"Brooklyn", 0.010},     {"Baltimore", 0.009},  {"Detroit", 0.008},
+    {"San Francisco", 0.008}, {"Cleveland", 0.007}, {"Pittsburgh", 0.007},
+    {"Cincinnati", 0.006},   {"Houston", 0.006},    {"San Diego", 0.005},
+    {"Washington", 0.005},   {"Seattle", 0.004},    {"Atlanta", 0.004},
+    {"Dallas", 0.004},       {"Tampa", 0.004},
+};
+
+// Joint (bats, throws) distribution calibrated so T3 (L/R, paper 2179) and
+// T4's switch-hitter share (paper 939 for USA AND bats=B) come out right.
+struct BatsThrows {
+  const char* bats;
+  const char* throws;
+  double weight;
+};
+constexpr BatsThrows kBatsThrows[] = {
+    {"R", "R", 0.647}, {"L", "L", 0.145}, {"L", "R", 0.108},
+    {"B", "R", 0.055}, {"R", "L", 0.035}, {"B", "L", 0.010},
+};
+
+int SampleBirthYear(Rng& rng) {
+  // Piecewise era mixture: historical long tail, a broad 20th-century bulk,
+  // and a thin modern slice (players born after 1990 barely reached MLB by
+  // 2020); tuned so USA AND birthYear > 1990 lands near the paper's 892.
+  double u = rng.UniformDouble();
+  if (u < 0.14) return static_cast<int>(1850 + rng.Uniform(50));   // 1850-1899
+  if (u < 0.72) return static_cast<int>(1900 + rng.Uniform(76));   // 1900-1975
+  if (u < 0.94) return static_cast<int>(1976 + rng.Uniform(15));   // 1976-1990
+  return static_cast<int>(1991 + rng.Uniform(9));                  // 1991-1999
+}
+
+}  // namespace
+
+Table GeneratePeople(const PeopleConfig& config) {
+  Rng rng(config.seed);
+  const uint32_t n = config.num_rows;
+
+  std::vector<std::string> player_id(n), country(n), state(n), city(n);
+  std::vector<std::string> bats(n), throws(n);
+  std::vector<int32_t> year(n), month(n), day(n), height(n), weight(n);
+
+  ZipfDistribution tail_city(800, 0.9);
+
+  for (uint32_t i = 0; i < n; ++i) {
+    player_id[i] = Format("player%05u", i);
+
+    size_t ci = SampleWeighted(rng, kCountries, std::size(kCountries));
+    country[i] = kCountries[ci].value;
+    if (country[i] == "Other") {
+      country[i] = Format("Country%02u", static_cast<uint32_t>(rng.Uniform(40)));
+    }
+
+    if (country[i] == "USA") {
+      size_t si = SampleWeighted(rng, kStates, std::size(kStates));
+      state[i] = kStates[si].value;
+      if (state[i] == "Other") {
+        state[i] = Format("ST%02u", static_cast<uint32_t>(rng.Uniform(15)));
+      }
+      // ~20% of US players come from the named big cities, rest from a
+      // Zipf tail of smaller towns.
+      double total_big = 0.0;
+      for (const auto& c : kBigCities) total_big += c.weight;
+      if (rng.UniformDouble() < total_big) {
+        city[i] = kBigCities[SampleWeighted(rng, kBigCities,
+                                            std::size(kBigCities))].value;
+      } else {
+        city[i] = Format("Town%03u", static_cast<uint32_t>(tail_city.Sample(rng)));
+      }
+    } else {
+      state[i] = Format("%s-R%u", country[i].c_str(),
+                        static_cast<uint32_t>(rng.Uniform(6)));
+      city[i] = Format("%s-City%02u", country[i].c_str(),
+                       static_cast<uint32_t>(rng.Uniform(30)));
+    }
+
+    year[i] = SampleBirthYear(rng);
+    month[i] = static_cast<int32_t>(1 + rng.Uniform(12));
+    day[i] = static_cast<int32_t>(1 + rng.Uniform(28));
+
+    // Height is near-normal with a thin short-stature component (T7,
+    // height < 65 AND weight < 160, paper 26 tuples, needs that tail).
+    double h = rng.UniformDouble() < 0.005 ? rng.Normal(65.5, 3.0)
+                                           : rng.Normal(72.5, 2.4);
+    height[i] = static_cast<int32_t>(std::lround(std::clamp(h, 60.0, 84.0)));
+    // Weight tracks height with a small heavy-tail component (big sluggers),
+    // which T6 (height > 75 AND weight > 260, paper 49) depends on.
+    double w = 5.0 * (h - 72.5) + 185.0;
+    if (rng.UniformDouble() < 0.03) {
+      w += rng.Normal(40.0, 35.0);
+    } else {
+      w += rng.Normal(0.0, 16.0);
+    }
+    weight[i] = static_cast<int32_t>(std::lround(std::clamp(w, 110.0, 330.0)));
+
+    double u = rng.UniformDouble();
+    double acc = 0.0;
+    const BatsThrows* chosen = &kBatsThrows[0];
+    for (const auto& b : kBatsThrows) {
+      acc += b.weight;
+      if (u <= acc) {
+        chosen = &b;
+        break;
+      }
+    }
+    bats[i] = chosen->bats;
+    throws[i] = chosen->throws;
+  }
+
+  Table t("People");
+  t.AddStringColumn("playerID", player_id);
+  t.AddStringColumn("birthCountry", country);
+  t.AddStringColumn("birthState", state);
+  t.AddStringColumn("birthCity", city);
+  t.AddIntColumn("birthYear", std::move(year));
+  t.AddIntColumn("birthMonth", std::move(month));
+  t.AddIntColumn("birthDay", std::move(day));
+  t.AddIntColumn("height", std::move(height));
+  t.AddIntColumn("weight", std::move(weight));
+  t.AddStringColumn("bats", bats);
+  t.AddStringColumn("throws", throws);
+  return t;
+}
+
+std::vector<TargetQuery> MakeTargetQueries(const Table& people) {
+  const int country = people.ColumnIndex("birthCountry");
+  const int city = people.ColumnIndex("birthCity");
+  const int year = people.ColumnIndex("birthYear");
+  const int month = people.ColumnIndex("birthMonth");
+  const int day = people.ColumnIndex("birthDay");
+  const int height = people.ColumnIndex("height");
+  const int weight = people.ColumnIndex("weight");
+  const int bats = people.ColumnIndex("bats");
+  const int throws = people.ColumnIndex("throws");
+
+  auto cat = [](int col, std::string v) {
+    CategoricalCondition c;
+    c.col = col;
+    c.str_values.push_back(std::move(v));
+    return Condition(c);
+  };
+  auto cat_int = [](int col, int32_t v) {
+    CategoricalCondition c;
+    c.col = col;
+    c.int_values.push_back(v);
+    return Condition(c);
+  };
+  auto num = [](int col, std::optional<int32_t> lo, std::optional<int32_t> hi) {
+    NumericCondition c;
+    c.col = col;
+    c.lower = lo;
+    c.upper = hi;
+    return Condition(c);
+  };
+
+  std::vector<TargetQuery> targets;
+  targets.push_back({"T1",
+                     {{cat(country, "USA"), num(year, 1990, std::nullopt)}},
+                     892});
+  targets.push_back({"T2",
+                     {{cat(city, "Los Angeles"), num(height, 70, 80)}},
+                     201});
+  targets.push_back({"T3", {{cat(bats, "L"), cat(throws, "R")}}, 2179});
+  targets.push_back({"T4", {{cat(country, "USA"), cat(bats, "B")}}, 939});
+  targets.push_back({"T5", {{cat_int(month, 12), cat_int(day, 25)}}, 65});
+  targets.push_back({"T6",
+                     {{num(height, 75, std::nullopt),
+                       num(weight, 260, std::nullopt)}},
+                     49});
+  targets.push_back({"T7",
+                     {{num(height, std::nullopt, 65),
+                       num(weight, std::nullopt, 160)}},
+                     26});
+  return targets;
+}
+
+}  // namespace setdisc

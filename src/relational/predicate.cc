@@ -1,0 +1,100 @@
+#include "relational/predicate.h"
+
+#include <algorithm>
+
+#include "util/table_printer.h"
+
+namespace setdisc {
+
+int ConditionColumn(const Condition& condition) {
+  return std::visit([](const auto& c) { return c.col; }, condition);
+}
+
+namespace {
+
+bool MatchesCategorical(const Table& table, const CategoricalCondition& c,
+                        RowId row) {
+  if (table.column_type(c.col) == ColumnType::kInt) {
+    int32_t v = table.IntAt(c.col, row);
+    return std::find(c.int_values.begin(), c.int_values.end(), v) !=
+           c.int_values.end();
+  }
+  uint32_t code = table.StringCodeAt(c.col, row);
+  for (const auto& s : c.str_values) {
+    if (table.CodeFor(c.col, s) == code) return true;
+  }
+  return false;
+}
+
+bool MatchesNumeric(const Table& table, const NumericCondition& c, RowId row) {
+  int32_t v = table.IntAt(c.col, row);
+  if (c.lower.has_value() && !(v > *c.lower)) return false;
+  if (c.upper.has_value() && !(v < *c.upper)) return false;
+  return true;
+}
+
+}  // namespace
+
+bool Matches(const Table& table, const Condition& condition, RowId row) {
+  if (const auto* cat = std::get_if<CategoricalCondition>(&condition)) {
+    return MatchesCategorical(table, *cat, row);
+  }
+  return MatchesNumeric(table, std::get<NumericCondition>(condition), row);
+}
+
+std::string ConditionToString(const Table& table, const Condition& condition) {
+  if (const auto* cat = std::get_if<CategoricalCondition>(&condition)) {
+    std::string out;
+    const std::string& col = table.ColumnName(cat->col);
+    bool first = true;
+    for (int32_t v : cat->int_values) {
+      if (!first) out += " OR ";
+      first = false;
+      out += Format("%s = %d", col.c_str(), v);
+    }
+    for (const auto& v : cat->str_values) {
+      if (!first) out += " OR ";
+      first = false;
+      out += Format("%s = \"%s\"", col.c_str(), v.c_str());
+    }
+    return out;
+  }
+  const auto& num = std::get<NumericCondition>(condition);
+  const std::string& col = table.ColumnName(num.col);
+  if (num.lower && num.upper) {
+    return Format("%s > %d AND %s < %d", col.c_str(), *num.lower, col.c_str(),
+                  *num.upper);
+  }
+  if (num.lower) return Format("%s > %d", col.c_str(), *num.lower);
+  return Format("%s < %d", col.c_str(), *num.upper);
+}
+
+std::string ConjunctiveQuery::ToString(const Table& table) const {
+  std::string out;
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (i > 0) out += " AND ";
+    bool parens = conditions.size() > 1;
+    if (parens) out += "(";
+    out += ConditionToString(table, conditions[i]);
+    if (parens) out += ")";
+  }
+  return out;
+}
+
+bool MatchesAll(const Table& table, const ConjunctiveQuery& query, RowId row) {
+  for (const Condition& c : query.conditions) {
+    if (!Matches(table, c, row)) return false;
+  }
+  return true;
+}
+
+std::vector<RowId> Evaluate(const Table& table, const ConjunctiveQuery& query) {
+  std::vector<RowId> out;
+  const RowId n = static_cast<RowId>(table.num_rows());
+  for (RowId r = 0; r < n; ++r) {
+    if (MatchesAll(table, query, r)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace setdisc

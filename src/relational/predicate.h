@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file predicate.h
+/// The predicate language of the §5.2.3 experiment:
+///
+///  * categorical conditions — a disjunction of equalities on one column
+///    (step 3 of the candidate-generation recipe), and
+///  * numeric conditions — an open interval lower < x < upper built from
+///    reference values (step 4; either bound may be absent, not both).
+///
+/// A candidate query is a conjunction of conditions on distinct columns
+/// ("CNF queries ... with selection conditions on up to two columns").
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace setdisc {
+
+/// col = v1 OR col = v2 OR ... (values in exactly one of the two vectors,
+/// matching the column's type).
+struct CategoricalCondition {
+  int col = -1;
+  std::vector<int32_t> int_values;
+  std::vector<std::string> str_values;
+};
+
+/// lower < col < upper, both strict, at least one bound present.
+struct NumericCondition {
+  int col = -1;
+  std::optional<int32_t> lower;
+  std::optional<int32_t> upper;
+};
+
+using Condition = std::variant<CategoricalCondition, NumericCondition>;
+
+/// Column a condition constrains.
+int ConditionColumn(const Condition& condition);
+
+/// True iff `row` of `table` satisfies `condition`.
+bool Matches(const Table& table, const Condition& condition, RowId row);
+
+/// SQL-ish rendering, e.g. `birthCity = "Chicago" OR birthCity = "Seattle"`.
+std::string ConditionToString(const Table& table, const Condition& condition);
+
+/// A conjunction of conditions (the experiment uses 1 or 2).
+struct ConjunctiveQuery {
+  std::vector<Condition> conditions;
+
+  std::string ToString(const Table& table) const;
+};
+
+/// Evaluates the query, returning matching row ids in ascending order.
+std::vector<RowId> Evaluate(const Table& table, const ConjunctiveQuery& query);
+
+/// True iff `row` satisfies every condition of `query`.
+bool MatchesAll(const Table& table, const ConjunctiveQuery& query, RowId row);
+
+}  // namespace setdisc

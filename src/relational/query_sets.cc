@@ -1,0 +1,66 @@
+#include "relational/query_sets.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace setdisc {
+
+QueryDiscoveryInstance BuildQueryDiscoveryInstance(
+    const Table& table, const ConjunctiveQuery& target, int num_examples,
+    uint64_t seed, const CandidateGenConfig& config) {
+  QueryDiscoveryInstance instance;
+
+  std::vector<RowId> target_output = Evaluate(table, target);
+  SETDISC_CHECK_MSG(static_cast<int>(target_output.size()) >= num_examples,
+                    "target query output smaller than the example count");
+
+  // Sample distinct example tuples from the target output (the paper's
+  // "randomly selected 2 output tuples").
+  Rng rng(seed);
+  std::vector<RowId> pool = target_output;
+  instance.examples.clear();
+  for (int i = 0; i < num_examples; ++i) {
+    uint64_t pick = i + rng.Uniform(pool.size() - i);
+    std::swap(pool[i], pool[pick]);
+    instance.examples.push_back(pool[i]);
+  }
+  std::sort(instance.examples.begin(), instance.examples.end());
+
+  std::vector<RowId> example_rows(instance.examples.begin(),
+                                  instance.examples.end());
+  std::vector<ConjunctiveQuery> candidates =
+      GenerateCandidateQueries(table, example_rows, config);
+  instance.num_candidate_queries = candidates.size();
+
+  SetCollectionBuilder builder;
+  // The target's output goes first so its final set id is orig_to_final[0];
+  // if some candidate generates the same output the two dedup together.
+  builder.AddSet(
+      std::vector<EntityId>(target_output.begin(), target_output.end()),
+      "target:" + target.ToString(table));
+
+  double total_output = 0.0;
+  for (const ConjunctiveQuery& q : candidates) {
+    std::vector<RowId> out = Evaluate(table, q);
+    total_output += static_cast<double>(out.size());
+    builder.AddSet(std::vector<EntityId>(out.begin(), out.end()),
+                   q.ToString(table));
+  }
+  instance.avg_output_size =
+      candidates.empty() ? 0.0 : total_output / candidates.size();
+
+  std::vector<SetId> orig_to_final;
+  instance.collection = builder.Build(&orig_to_final);
+  instance.target_set = orig_to_final[0];
+  instance.num_distinct_outputs = instance.collection.num_sets();
+
+  instance.representative_query.resize(instance.collection.num_sets());
+  for (SetId s = 0; s < instance.collection.num_sets(); ++s) {
+    instance.representative_query[s] = instance.collection.label(s);
+  }
+  return instance;
+}
+
+}  // namespace setdisc

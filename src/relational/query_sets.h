@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file query_sets.h
+/// Bridge from candidate queries to set discovery: every candidate query's
+/// output (a set of row ids) becomes a set in a SetCollection; the example
+/// tuples become the initial set I; set discovery then finds the target
+/// query by asking tuple-membership questions (§5.2.3 / §5.3.6).
+
+#include <cstdint>
+#include <vector>
+
+#include "collection/set_collection.h"
+#include "relational/candidate_gen.h"
+#include "relational/people.h"
+
+namespace setdisc {
+
+/// Everything needed to run one Fig. 8 query-discovery experiment.
+struct QueryDiscoveryInstance {
+  SetCollection collection;   ///< deduplicated candidate outputs
+  std::vector<EntityId> examples;  ///< example tuple row ids (the initial I)
+  SetId target_set = kNoSet;  ///< set id of the target query's output
+
+  size_t num_candidate_queries = 0;  ///< generated queries (pre-dedup)
+  size_t num_distinct_outputs = 0;   ///< collection size (post-dedup)
+  double avg_output_size = 0.0;      ///< Table 3's "avg number of tuples"
+
+  /// For every set in the collection, the text of one query producing it.
+  std::vector<std::string> representative_query;
+};
+
+/// Evaluates `target` on `table`, samples `num_examples` example tuples from
+/// its output (seeded), generates candidates per §5.2.3, evaluates them, and
+/// packages the whole thing as a set-discovery instance. The target's output
+/// is always present in the collection.
+QueryDiscoveryInstance BuildQueryDiscoveryInstance(
+    const Table& table, const ConjunctiveQuery& target, int num_examples,
+    uint64_t seed, const CandidateGenConfig& config = {});
+
+}  // namespace setdisc

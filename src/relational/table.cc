@@ -1,0 +1,65 @@
+#include "relational/table.h"
+
+namespace setdisc {
+
+int Table::AddIntColumn(std::string column_name, std::vector<int32_t> values) {
+  if (has_columns_) {
+    SETDISC_CHECK_MSG(values.size() == num_rows_, "column length mismatch");
+  } else {
+    num_rows_ = values.size();
+    has_columns_ = true;
+  }
+  names_.push_back(std::move(column_name));
+  types_.push_back(ColumnType::kInt);
+  slot_.push_back(int_data_.size());
+  int_data_.push_back(std::move(values));
+  return static_cast<int>(types_.size() - 1);
+}
+
+int Table::AddStringColumn(std::string column_name,
+                           const std::vector<std::string>& values) {
+  if (has_columns_) {
+    SETDISC_CHECK_MSG(values.size() == num_rows_, "column length mismatch");
+  } else {
+    num_rows_ = values.size();
+    has_columns_ = true;
+  }
+  std::vector<uint32_t> codes;
+  codes.reserve(values.size());
+  std::vector<std::string> dict;
+  std::unordered_map<std::string, uint32_t> lookup;
+  for (const auto& v : values) {
+    auto it = lookup.find(v);
+    if (it == lookup.end()) {
+      uint32_t code = static_cast<uint32_t>(dict.size());
+      dict.push_back(v);
+      lookup.emplace(v, code);
+      codes.push_back(code);
+    } else {
+      codes.push_back(it->second);
+    }
+  }
+  names_.push_back(std::move(column_name));
+  types_.push_back(ColumnType::kString);
+  slot_.push_back(str_codes_.size());
+  str_codes_.push_back(std::move(codes));
+  str_dict_.push_back(std::move(dict));
+  str_lookup_.push_back(std::move(lookup));
+  return static_cast<int>(types_.size() - 1);
+}
+
+int Table::ColumnIndex(std::string_view column_name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+uint32_t Table::CodeFor(int col, std::string_view value) const {
+  SETDISC_CHECK(types_[col] == ColumnType::kString);
+  const auto& lookup = str_lookup_[slot_[col]];
+  auto it = lookup.find(std::string(value));
+  return it == lookup.end() ? UINT32_MAX : it->second;
+}
+
+}  // namespace setdisc

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file table.h
+/// A minimal in-memory columnar table — the relational substrate for the
+/// paper's baseball query-discovery experiment (§5.2.3).
+///
+/// Two column types: 32-bit integers and dictionary-encoded strings. That is
+/// all the experiment needs (the People table's ten predicate columns), and
+/// dictionary codes make categorical predicate evaluation a tight integer
+/// comparison loop.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace setdisc {
+
+/// Row identifier within a table (dense, 0-based).
+using RowId = uint32_t;
+
+enum class ColumnType { kInt, kString };
+
+/// An immutable-after-load columnar table.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  /// Appends an integer column; all columns must have equal length.
+  /// Returns the column index.
+  int AddIntColumn(std::string column_name, std::vector<int32_t> values);
+
+  /// Appends a string column (dictionary-encoded). Returns the column index.
+  int AddStringColumn(std::string column_name,
+                      const std::vector<std::string>& values);
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return types_.size(); }
+
+  /// Index of the named column, or -1 if absent.
+  int ColumnIndex(std::string_view column_name) const;
+  const std::string& ColumnName(int col) const { return names_[col]; }
+  ColumnType column_type(int col) const { return types_[col]; }
+
+  int32_t IntAt(int col, RowId row) const {
+    SETDISC_CHECK(types_[col] == ColumnType::kInt);
+    return int_data_[slot_[col]][row];
+  }
+
+  /// Dictionary code of the string cell (codes are dense per column).
+  uint32_t StringCodeAt(int col, RowId row) const {
+    SETDISC_CHECK(types_[col] == ColumnType::kString);
+    return str_codes_[slot_[col]][row];
+  }
+
+  const std::string& StringAt(int col, RowId row) const {
+    return str_dict_[slot_[col]][StringCodeAt(col, row)];
+  }
+
+  /// Dictionary code of `value` in the column, or UINT32_MAX if the value
+  /// never occurs (such predicates match nothing).
+  uint32_t CodeFor(int col, std::string_view value) const;
+
+  /// Number of distinct values in a string column.
+  size_t DictSize(int col) const {
+    SETDISC_CHECK(types_[col] == ColumnType::kString);
+    return str_dict_[slot_[col]].size();
+  }
+
+ private:
+  std::string name_;
+  size_t num_rows_ = 0;
+  bool has_columns_ = false;
+
+  std::vector<std::string> names_;
+  std::vector<ColumnType> types_;
+  std::vector<size_t> slot_;  ///< index into the per-type storage
+
+  std::vector<std::vector<int32_t>> int_data_;
+  std::vector<std::vector<uint32_t>> str_codes_;
+  std::vector<std::vector<std::string>> str_dict_;
+  std::vector<std::unordered_map<std::string, uint32_t>> str_lookup_;
+};
+
+}  // namespace setdisc

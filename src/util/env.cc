@@ -1,0 +1,25 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace setdisc {
+
+BenchScale GetBenchScale() {
+  const char* v = std::getenv("SETDISC_SCALE");
+  if (v == nullptr) return BenchScale::kQuick;
+  std::string s(v);
+  if (s == "full") return BenchScale::kFull;
+  if (s == "medium") return BenchScale::kMedium;
+  return BenchScale::kQuick;
+}
+
+std::string BenchScaleName(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kQuick: return "quick";
+    case BenchScale::kMedium: return "medium";
+    case BenchScale::kFull: return "full";
+  }
+  return "quick";
+}
+
+}  // namespace setdisc

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file env.h
+/// Benchmark scaling knobs, controlled by environment variables so the same
+/// binaries serve quick CI runs and full paper-scale reproductions.
+///
+///   SETDISC_SCALE=quick   (default) minutes-long total bench runtime
+///   SETDISC_SCALE=medium  tens of minutes
+///   SETDISC_SCALE=full    approaches the paper's problem sizes
+
+#include <cstdint>
+#include <string>
+
+namespace setdisc {
+
+enum class BenchScale { kQuick, kMedium, kFull };
+
+/// Reads SETDISC_SCALE from the environment (defaults to kQuick).
+BenchScale GetBenchScale();
+
+/// Human-readable name of a scale value.
+std::string BenchScaleName(BenchScale scale);
+
+/// Convenience: picks one of three values by the current scale.
+template <typename T>
+T ScalePick(T quick, T medium, T full) {
+  switch (GetBenchScale()) {
+    case BenchScale::kQuick: return quick;
+    case BenchScale::kMedium: return medium;
+    case BenchScale::kFull: return full;
+  }
+  return quick;
+}
+
+}  // namespace setdisc

@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace setdisc {
+
+namespace {
+
+/// Continued-fraction evaluation for the incomplete beta function
+/// (Lentz's algorithm, as in Numerical Recipes' betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-14;
+  constexpr double kFpMin = 1.0e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  SETDISC_CHECK(a > 0.0 && b > 0.0);
+  SETDISC_CHECK(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                   a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(ln_beta);
+  // Use the continued fraction directly when it converges fast, else the
+  // symmetry relation I_x(a,b) = 1 - I_{1-x}(b,a).
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, int64_t dof) {
+  SETDISC_CHECK(dof > 0);
+  double v = static_cast<double>(dof);
+  double x = v / (v + t * t);
+  double tail = 0.5 * RegularizedIncompleteBeta(v / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+PairedTTest PairedOneTailedTTest(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  SETDISC_CHECK(a.size() == b.size());
+  PairedTTest result;
+  int64_t n = static_cast<int64_t>(a.size());
+  if (n < 2) return result;
+
+  RunningStat diff;
+  for (size_t i = 0; i < a.size(); ++i) diff.Add(a[i] - b[i]);
+  result.mean_diff = diff.mean();
+  result.dof = n - 1;
+  double se = diff.stddev() / std::sqrt(static_cast<double>(n));
+  if (se == 0.0) {
+    // All differences identical: degenerate. Significant iff mean > 0.
+    result.t_statistic = result.mean_diff > 0 ? 1e30 : 0.0;
+    result.p_value = result.mean_diff > 0 ? 0.0 : 1.0;
+    return result;
+  }
+  result.t_statistic = result.mean_diff / se;
+  result.p_value = 1.0 - StudentTCdf(result.t_statistic, result.dof);
+  return result;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  RunningStat rs;
+  for (double x : xs) rs.Add(x);
+  return rs.stddev();
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t idx = static_cast<size_t>(rank + 0.5);
+  if (idx >= xs.size()) idx = xs.size() - 1;
+  return xs[idx];
+}
+
+}  // namespace setdisc

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file stats.h
+/// Descriptive statistics and the paired one-tailed t-test used by the
+/// evaluation in §5.3.2 of the paper ("statistically significant at
+/// alpha = 0.01 using one-tailed t-test").
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace setdisc {
+
+/// Single-pass running mean / variance (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of a paired, one-tailed t-test of H1: mean(a - b) > 0.
+struct PairedTTest {
+  double mean_diff = 0.0;   ///< mean of (a[i] - b[i])
+  double t_statistic = 0.0;
+  double p_value = 1.0;     ///< one-tailed
+  int64_t dof = 0;          ///< degrees of freedom (n - 1)
+
+  bool SignificantAt(double alpha) const { return p_value < alpha; }
+};
+
+/// Runs a paired one-tailed t-test on equally sized samples.
+/// Tests whether `a` is greater than `b` on average (H1: mean(a-b) > 0).
+PairedTTest PairedOneTailedTTest(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+/// Regularized incomplete beta function I_x(a, b); used for the Student-t CDF.
+/// Exposed for testing. Domain: a, b > 0, x in [0, 1].
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom.
+double StudentTCdf(double t, int64_t dof);
+
+/// Arithmetic mean of a vector; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double StdDev(const std::vector<double>& xs);
+
+/// Percentile (nearest-rank, p in [0,100]); 0 for an empty vector.
+double Percentile(std::vector<double> xs, double p);
+
+}  // namespace setdisc

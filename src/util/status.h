@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file status.h
+/// Lightweight error-handling primitives used across the library.
+///
+/// The library follows the database-engine convention of returning a Status /
+/// Result<T> from fallible operations (parsing, ingesting user data, I/O) and
+/// using SETDISC_CHECK for internal invariants that indicate programmer error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace setdisc {
+
+/// Outcome of a fallible operation: OK or an error with a message.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+
+  /// Creates an OK status (named constructor for readability).
+  static Status OK() { return Status(); }
+
+  /// Creates a failed status carrying a diagnostic message.
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  /// Creates a failed status for invalid caller-supplied arguments.
+  static Status InvalidArgument(std::string message) {
+    return Error("invalid argument: " + std::move(message));
+  }
+
+  /// Creates a failed status for malformed external input.
+  static Status Corruption(std::string message) {
+    return Error("corruption: " + std::move(message));
+  }
+
+  /// Creates a failed status for I/O failures.
+  static Status IoError(std::string message) {
+    return Error("io error: " + std::move(message));
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit conversion from a non-OK status: failure.
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// Returns the error status; valid only when !ok().
+  const Status& status() const { return std::get<Status>(value_); }
+
+  /// Returns the contained value; valid only when ok().
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const char* msg) {
+  std::fprintf(stderr, "SETDISC_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace internal
+
+/// Aborts with a diagnostic when `cond` is false. Active in all build types:
+/// failures indicate bugs in the library or misuse of its preconditions.
+#define SETDISC_CHECK(cond)                                                     \
+  do {                                                                          \
+    if (!(cond)) ::setdisc::internal::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+
+#define SETDISC_CHECK_MSG(cond, msg)                                              \
+  do {                                                                            \
+    if (!(cond)) ::setdisc::internal::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+  } while (0)
+
+}  // namespace setdisc

@@ -1,0 +1,90 @@
+#include "util/table_printer.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace setdisc {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SETDISC_CHECK_MSG(cells.size() == header_.size(),
+                    "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) {
+        for (size_t pad = row[i].size(); pad < widths[i] + 2; ++pad) os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::string sep;
+  for (size_t i = 0; i < widths.size(); ++i) {
+    sep.append(widths[i], '-');
+    if (i + 1 < widths.size()) sep.append(2, ' ');
+  }
+  os << sep << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      bool needs_quote = row[i].find_first_of(",\"\n") != std::string::npos;
+      if (needs_quote) {
+        os << '"';
+        for (char c : row[i]) {
+          if (c == '"') os << '"';
+          os << c;
+        }
+        os << '"';
+      } else {
+        os << row[i];
+      }
+      if (i + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? static_cast<size_t>(needed) : 0, '\0');
+  if (needed > 0) {
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanCount(double v) {
+  if (v >= 1e9) return Format("%.2fG", v / 1e9);
+  if (v >= 1e6) return Format("%.2fM", v / 1e6);
+  if (v >= 1e3) return Format("%.1fk", v / 1e3);
+  return Format("%.0f", v);
+}
+
+}  // namespace setdisc

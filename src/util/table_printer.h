@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file table_printer.h
+/// Aligned text tables and CSV output for the benchmark harness. Every bench
+/// binary prints the paper's rows next to our measured values using this.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace setdisc {
+
+/// Collects rows of string cells and prints them column-aligned.
+///
+/// Example:
+///   TablePrinter t({"alpha", "paper #entities", "ours"});
+///   t.AddRow({"0.99", "23k", Format("%.0fk", ours / 1e3)});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Prints header, separator, and rows with two-space column padding.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as CSV (no alignment, comma-separated, quoted as
+  /// needed) — used to archive bench results.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable count, e.g. 59234 -> "59.2k", 1234567 -> "1.23M".
+std::string HumanCount(double v);
+
+}  // namespace setdisc

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file timer.h
+/// Wall-clock timing for the benchmark harness.
+
+#include <chrono>
+#include <cstdint>
+
+namespace setdisc {
+
+/// Measures elapsed wall time from construction (or the last Reset).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / Reset.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Elapsed microseconds since construction / Reset.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace setdisc

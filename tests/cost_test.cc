@@ -1,0 +1,215 @@
+// Tests for the cost algebra (cost.h) and the reference lower bounds
+// (bounds.h): Lemma 3.3, the §4.1 k-step bounds, the §4.3 worked examples,
+// and the monotonicity Lemmas 4.1/4.2.
+
+#include <gtest/gtest.h>
+
+#include "collection/entity_counter.h"
+#include "core/bounds.h"
+#include "core/cost.h"
+#include "test_util.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(7), 3);
+  EXPECT_EQ(CeilLog2(8), 3);
+  EXPECT_EQ(CeilLog2(9), 4);
+  EXPECT_EQ(CeilLog2(1u << 20), 20);
+  EXPECT_EQ(CeilLog2((1u << 20) + 1), 21);
+}
+
+TEST(MinTotalDepth, PaperExample) {
+  // Lemma 3.3 for n = 7: LB_AD = ceil(7 log2 7)/7 = 20/7 = 2.857...
+  EXPECT_EQ(MinTotalDepth(7), 20);
+  EXPECT_NEAR(CostToUser(CostMetric::kAvgDepth, MinTotalDepth(7), 7), 2.857,
+              1e-3);
+}
+
+TEST(MinTotalDepth, SmallValues) {
+  EXPECT_EQ(MinTotalDepth(0), 0);
+  EXPECT_EQ(MinTotalDepth(1), 0);
+  EXPECT_EQ(MinTotalDepth(2), 2);
+  EXPECT_EQ(MinTotalDepth(3), 5);   // depths 1,2,2
+  EXPECT_EQ(MinTotalDepth(4), 8);   // perfect tree
+  EXPECT_EQ(MinTotalDepth(5), 12);  // depths 2,2,2,3,3
+}
+
+// Property: the exactly-achievable minimum total depth dominates the
+// paper's ceil(n log2 n) bound (never below it — Lemma 4.4 safety — and
+// never more than one question-per-leaf above it), across five orders of
+// magnitude. It is strictly tighter for some n (first at n = 19).
+TEST(MinTotalDepth, DominatesPaperFormulaUpTo2To20) {
+  int strictly_tighter = 0;
+  for (uint64_t n = 1; n <= (1u << 20); n = n < 4096 ? n + 1 : n * 2 + 1) {
+    Cost tight = MinTotalDepth(n);
+    Cost paper = PaperCeilNLog2N(n);
+    ASSERT_GE(tight, paper) << "n=" << n;
+    ASSERT_LE(tight, paper + static_cast<Cost>(n)) << "n=" << n;
+    strictly_tighter += tight > paper ? 1 : 0;
+  }
+  EXPECT_EQ(MinTotalDepth(19), 82);
+  EXPECT_EQ(PaperCeilNLog2N(19), 81);
+  EXPECT_GT(strictly_tighter, 0);
+}
+
+TEST(Lb0, BothMetrics) {
+  EXPECT_EQ(Lb0(CostMetric::kAvgDepth, 7), 20);
+  EXPECT_EQ(Lb0(CostMetric::kHeight, 7), 3);
+  EXPECT_EQ(Lb0(CostMetric::kAvgDepth, 1), 0);
+  EXPECT_EQ(Lb0(CostMetric::kHeight, 1), 0);
+}
+
+TEST(Combine, AvgDepthIsTotalDepthRecurrence) {
+  // Children totals 5 and 3, node over 6 sets: TD = 5 + 3 + 6.
+  EXPECT_EQ(Combine(CostMetric::kAvgDepth, 5, 3, 6), 14);
+  EXPECT_EQ(Combine(CostMetric::kHeight, 2, 3, 6), 4);
+  EXPECT_EQ(Combine(CostMetric::kHeight, 3, 2, 6), 4);
+}
+
+TEST(Lb1, PaperSection43Values) {
+  // §4.3 on Fig. 1 (metric H): entities c and d split 3/4, so LB_H1 =
+  // max(ceil_log2 3, ceil_log2 4) + 1 = 3; all other informative entities
+  // give 4.
+  EXPECT_EQ(Lb1(CostMetric::kHeight, 3, 4), 3);
+  EXPECT_EQ(Lb1(CostMetric::kHeight, 6, 1), 4);  // b splits 6/1
+  EXPECT_EQ(Lb1(CostMetric::kHeight, 1, 6), 4);  // e splits 1/6
+  EXPECT_EQ(Lb1(CostMetric::kHeight, 2, 5), 4);  // g/h split 2/5
+}
+
+TEST(Lb1, TiedHeightBoundsFromSection424) {
+  // §4.2.4: splits 9/7 and 10/6 of 16 sets tie on the height bound.
+  EXPECT_EQ(Lb1(CostMetric::kHeight, 9, 7), Lb1(CostMetric::kHeight, 10, 6));
+  // ... but not on the average-depth bound (9/7 is strictly better).
+  EXPECT_LT(Lb1(CostMetric::kAvgDepth, 9, 7), Lb1(CostMetric::kAvgDepth, 10, 6));
+}
+
+TEST(UpperLimits, AvgDepthAlgebra) {
+  // If AFLV (in TD units) is 30 for a node over 8 sets and the other child
+  // has LB_0 = 4, the first child must come in strictly below 30 - 8 - 4.
+  EXPECT_EQ(UpperLimitFirst(CostMetric::kAvgDepth, 30, 8, 4), 18);
+  EXPECT_EQ(UpperLimitSecond(CostMetric::kAvgDepth, 30, 8, 10), 12);
+  EXPECT_EQ(UpperLimitFirst(CostMetric::kHeight, 5, 8, 1), 4);
+  EXPECT_EQ(UpperLimitSecond(CostMetric::kHeight, 5, 8, 3), 4);
+  // Infinite limits stay infinite.
+  EXPECT_EQ(UpperLimitFirst(CostMetric::kAvgDepth, kInfiniteCost, 8, 4),
+            kInfiniteCost);
+}
+
+TEST(UpperLimits, ConsistentWithCombine) {
+  // For any child bounds under their limits, the combined value beats AFLV.
+  const uint64_t n = 10;
+  for (CostMetric metric : {CostMetric::kAvgDepth, CostMetric::kHeight}) {
+    Cost aflv = metric == CostMetric::kAvgDepth ? 34 : 4;
+    Cost lb0_second = Lb0(metric, 5);
+    Cost ul1 = UpperLimitFirst(metric, aflv, n, lb0_second);
+    for (Cost c1 = 0; c1 < ul1; ++c1) {
+      Cost ul2 = UpperLimitSecond(metric, aflv, n, c1);
+      for (Cost c2 = lb0_second; c2 < ul2; ++c2) {
+        EXPECT_LT(Combine(metric, c1, c2, n), aflv)
+            << "metric=" << static_cast<int>(metric) << " c1=" << c1
+            << " c2=" << c2;
+      }
+    }
+  }
+}
+
+TEST(CostToUser, Conversions) {
+  EXPECT_DOUBLE_EQ(CostToUser(CostMetric::kAvgDepth, 20, 7), 20.0 / 7.0);
+  EXPECT_DOUBLE_EQ(CostToUser(CostMetric::kHeight, 3, 7), 3.0);
+  EXPECT_DOUBLE_EQ(CostToUser(CostMetric::kAvgDepth, 0, 0), 0.0);
+}
+
+TEST(ReferenceBounds, PaperSection43WorkedExample) {
+  SetCollection c1 = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c1);
+  EntityCounter counter;
+  // LB_H3(C1, d) = 3 (the example's pruning pivot).
+  EXPECT_EQ(LbKForEntity(full, kD, 3, CostMetric::kHeight, counter), 3);
+  // 1-step bounds: c and d give 3, every other informative entity gives 4.
+  EXPECT_EQ(LbKForEntity(full, kC, 1, CostMetric::kHeight, counter), 3);
+  EXPECT_EQ(LbKForEntity(full, kB, 1, CostMetric::kHeight, counter), 4);
+  EXPECT_EQ(LbKForEntity(full, kG, 1, CostMetric::kHeight, counter), 4);
+
+  // The modified collection C2: LB_H3(C2, d) = 4 and LB_H2(C2, c) = 4, so c
+  // can no longer be pruned from the 1-step bound alone (the paper's point).
+  SetCollection c2 = MakePaperCollectionC2();
+  SubCollection full2 = SubCollection::Full(&c2);
+  EXPECT_EQ(LbKForEntity(full2, kD, 3, CostMetric::kHeight, counter), 4);
+  EXPECT_EQ(LbKForEntity(full2, kC, 1, CostMetric::kHeight, counter), 3);
+  EXPECT_EQ(LbKForEntity(full2, kC, 2, CostMetric::kHeight, counter), 4);
+}
+
+// Lemma 4.1: LB_k(C) is monotone non-decreasing in k.
+TEST(ReferenceBounds, Lemma41MonotoneInK) {
+  EntityCounter counter;
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    SetCollection c = RandomCollection(seed, 9, 14, 0.4);
+    SubCollection full = SubCollection::Full(&c);
+    for (CostMetric metric : {CostMetric::kAvgDepth, CostMetric::kHeight}) {
+      Cost prev = Lb0(metric, full.size());
+      for (int k = 1; k <= 5; ++k) {
+        Cost cur = LbKAllEntities(full, k, metric, counter);
+        ASSERT_GE(cur, prev) << "seed=" << seed << " k=" << k;
+        prev = cur;
+      }
+    }
+  }
+}
+
+// Lemma 4.2: LB_k(C, e) is monotone non-decreasing in k for every entity.
+TEST(ReferenceBounds, Lemma42MonotonePerEntity) {
+  EntityCounter counter;
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  std::vector<EntityCount> counts;
+  counter.CountInformative(full, &counts);
+  for (CostMetric metric : {CostMetric::kAvgDepth, CostMetric::kHeight}) {
+    for (const auto& ec : counts) {
+      Cost prev = 0;
+      for (int k = 1; k <= 4; ++k) {
+        Cost cur = LbKForEntity(full, ec.entity, k, metric, counter);
+        ASSERT_GE(cur, prev) << "entity=" << ec.entity << " k=" << k;
+        prev = cur;
+      }
+    }
+  }
+}
+
+// The k-step bound never exceeds the true optimal cost (it is a *lower*
+// bound), and reaches it for k >= n.
+TEST(ReferenceBounds, LbKBelowOptimalAndConvergesToIt) {
+  EntityCounter counter;
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    SetCollection c = RandomCollection(seed, 8, 12, 0.45);
+    SubCollection full = SubCollection::Full(&c);
+    for (CostMetric metric : {CostMetric::kAvgDepth, CostMetric::kHeight}) {
+      Cost opt = OptimalTreeCost(full, metric);
+      for (int k = 1; k <= 4; ++k) {
+        ASSERT_LE(LbKAllEntities(full, k, metric, counter), opt);
+      }
+      EXPECT_EQ(
+          LbKAllEntities(full, static_cast<int>(full.size()), metric, counter),
+          opt);
+    }
+  }
+}
+
+TEST(ReferenceBounds, OptimalOnPaperCollection) {
+  // Fig. 2a is optimal with AD = 20/7 and height 3.
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  EXPECT_EQ(OptimalTreeCost(full, CostMetric::kAvgDepth), 20);
+  EXPECT_EQ(OptimalTreeCost(full, CostMetric::kHeight), 3);
+}
+
+}  // namespace
+}  // namespace setdisc

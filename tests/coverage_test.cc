@@ -1,0 +1,240 @@
+// Additional cross-module properties: brute-force cross-checks for the
+// inverted index, beam-width boundary behaviour of k-LPLE, multi-choice
+// batch-size sweeps, and sessions driven by the weighted selector.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "collection/inverted_index.h"
+#include "core/decision_tree.h"
+#include "core/discovery.h"
+#include "core/klp.h"
+#include "core/multi_choice.h"
+#include "core/selectors.h"
+#include "core/weighted_klp.h"
+#include "test_util.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+// ---------------------------------------------------------------------------
+// Inverted index vs brute force on random collections.
+// ---------------------------------------------------------------------------
+
+class IndexCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexCrossCheck, PostingsMatchBruteForce) {
+  int seed = GetParam();
+  SetCollection c = RandomCollection(seed, 25, 40, 0.35);
+  InvertedIndex idx(c);
+  for (EntityId e = 0; e < c.universe_size(); e += 3) {
+    std::vector<SetId> brute;
+    for (SetId s = 0; s < c.num_sets(); ++s) {
+      if (c.Contains(s, e)) brute.push_back(s);
+    }
+    auto postings = idx.Postings(e);
+    ASSERT_EQ(postings.size(), brute.size()) << "entity " << e;
+    EXPECT_TRUE(std::equal(postings.begin(), postings.end(), brute.begin()));
+  }
+}
+
+TEST_P(IndexCrossCheck, IntersectionMatchesBruteForce) {
+  int seed = GetParam();
+  SetCollection c = RandomCollection(seed + 1000, 25, 40, 0.35);
+  InvertedIndex idx(c);
+  Rng rng(seed);
+  for (int trial = 0; trial < 10; ++trial) {
+    EntityId a = static_cast<EntityId>(rng.Uniform(c.universe_size()));
+    EntityId b = static_cast<EntityId>(rng.Uniform(c.universe_size()));
+    EntityId query[] = {a, b};
+    std::vector<SetId> brute;
+    for (SetId s = 0; s < c.num_sets(); ++s) {
+      if (c.Contains(s, a) && c.Contains(s, b)) brute.push_back(s);
+    }
+    EXPECT_EQ(idx.SetsContainingAll(query), brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexCrossCheck,
+                         ::testing::Values(601, 602, 603));
+
+// ---------------------------------------------------------------------------
+// Beam-width boundaries.
+// ---------------------------------------------------------------------------
+
+TEST(BeamBoundaries, HugeBeamEqualsPlainKlp) {
+  SetCollection c = RandomCollection(611, 18, 30, 0.4);
+  SubCollection full = SubCollection::Full(&c);
+  for (CostMetric metric : {CostMetric::kAvgDepth, CostMetric::kHeight}) {
+    KlpSelector plain(KlpOptions::MakeKlp(3, metric));
+    KlpSelector wide(KlpOptions::MakeKlple(3, 1 << 20, metric));
+    KlpSelection a = plain.SelectWithBound(full, kInfiniteCost);
+    KlpSelection b = wide.SelectWithBound(full, kInfiniteCost);
+    EXPECT_EQ(a.entity, b.entity);
+    EXPECT_EQ(a.bound, b.bound);
+  }
+}
+
+TEST(BeamBoundaries, BeamOfOneIsGreedyButValid) {
+  SetCollection c = RandomCollection(612, 18, 30, 0.4);
+  SubCollection full = SubCollection::Full(&c);
+  KlpSelector beam1(KlpOptions::MakeKlple(3, 1, CostMetric::kAvgDepth));
+  DecisionTree tree = DecisionTree::Build(full, beam1);
+  EXPECT_TRUE(tree.Validate(full).ok());
+  // Beam 1 at every level is exactly the 1-step greedy choice order, so the
+  // tree matches the MostEven tree.
+  MostEvenSelector greedy;
+  DecisionTree greedy_tree = DecisionTree::Build(full, greedy);
+  EXPECT_EQ(tree.total_depth(), greedy_tree.total_depth());
+}
+
+TEST(BeamBoundaries, VariableBeamRecursionUsesSingleCandidate) {
+  // k-LPLVE == k-LPLE(q) at the top with q=1 below; with q=1 everywhere
+  // they coincide.
+  SetCollection c = RandomCollection(613, 16, 28, 0.4);
+  SubCollection full = SubCollection::Full(&c);
+  KlpSelector lve(KlpOptions::MakeKlplve(3, 1, CostMetric::kAvgDepth));
+  KlpSelector le(KlpOptions::MakeKlple(3, 1, CostMetric::kAvgDepth));
+  EXPECT_EQ(lve.SelectWithBound(full, kInfiniteCost).bound,
+            le.SelectWithBound(full, kInfiniteCost).bound);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-choice batch-size sweep.
+// ---------------------------------------------------------------------------
+
+class BatchSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchSizeSweep, BatchOfOneMatchesIndistinguishablePairsSession) {
+  // With batch size 1 the greedy batch selector degenerates to the Eq. 10
+  // indistinguishable-pairs strategy, one question per round.
+  int seed = GetParam();
+  SetCollection c = RandomCollection(seed, 20, 36, 0.4);
+  InvertedIndex idx(c);
+  for (SetId target = 0; target < c.num_sets(); target += 6) {
+    SimulatedOracle o1(&c, target);
+    MultiChoiceOptions opts;
+    opts.batch_size = 1;
+    MultiChoiceResult mc = DiscoverMultiChoice(c, idx, {}, o1, opts);
+    ASSERT_TRUE(mc.found());
+    EXPECT_EQ(mc.entities_shown, mc.rounds);
+    IndistinguishablePairsSelector sel;
+    EXPECT_EQ(mc.rounds, CountQuestions(c, idx, {}, target, sel));
+  }
+}
+
+TEST_P(BatchSizeSweep, RoundsShrinkAsBatchesGrow) {
+  int seed = GetParam();
+  SetCollection c = RandomCollection(seed + 50, 48, 80, 0.4);
+  InvertedIndex idx(c);
+  double prev_rounds = 1e9;
+  for (int batch : {1, 3, 6}) {
+    double total_rounds = 0;
+    int sessions = 0;
+    for (SetId target = 0; target < c.num_sets(); target += 7) {
+      SimulatedOracle oracle(&c, target);
+      MultiChoiceOptions opts;
+      opts.batch_size = batch;
+      MultiChoiceResult r = DiscoverMultiChoice(c, idx, {}, oracle, opts);
+      ASSERT_TRUE(r.found());
+      total_rounds += r.rounds;
+      ++sessions;
+    }
+    double avg = total_rounds / sessions;
+    EXPECT_LE(avg, prev_rounds + 1e-9) << "batch=" << batch;
+    prev_rounds = avg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchSizeSweep, ::testing::Values(621, 622));
+
+// ---------------------------------------------------------------------------
+// Weighted selector inside live sessions.
+// ---------------------------------------------------------------------------
+
+TEST(WeightedSessions, WeightedSelectorDrivesDiscovery) {
+  SetCollection c = RandomCollection(631, 24, 40, 0.4);
+  InvertedIndex idx(c);
+  std::vector<double> weights(c.num_sets(), 1.0);
+  weights[5] = 20.0;  // set 5 is the overwhelmingly likely target
+  WeightedKlpOptions opts;
+  opts.k = 2;
+  WeightedKlpSelector sel(&weights, opts);
+  for (SetId target = 0; target < c.num_sets(); target += 5) {
+    SimulatedOracle oracle(&c, target);
+    DiscoveryResult r = Discover(c, idx, {}, sel, oracle);
+    ASSERT_TRUE(r.found()) << "target=" << target;
+    EXPECT_EQ(r.discovered(), target);
+  }
+  // The likely set is found in at most as many questions as the average.
+  SimulatedOracle oracle(&c, 5);
+  WeightedKlpSelector fresh(&weights, opts);
+  DiscoveryResult likely = Discover(c, idx, {}, fresh, oracle);
+  SubCollection full = SubCollection::Full(&c);
+  WeightedKlpSelector builder(&weights, opts);
+  DecisionTree tree = DecisionTree::Build(full, builder);
+  EXPECT_LE(likely.questions,
+            static_cast<int>(tree.avg_depth()) + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Builder stress: interleaved duplicates at scale.
+// ---------------------------------------------------------------------------
+
+TEST(BuilderStress, ManyDuplicatesCollapseCorrectly) {
+  SetCollectionBuilder b;
+  Rng rng(641);
+  // 60 base sets, each added 1-5 times in shuffled element order.
+  std::vector<std::vector<EntityId>> base;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<EntityId> elems;
+    for (EntityId e = 0; e < 30; ++e) {
+      if (rng.Bernoulli(0.4)) elems.push_back(e);
+    }
+    elems.push_back(1000 + i);  // uniqueness marker
+    base.push_back(std::move(elems));
+  }
+  size_t added = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (auto& set : base) {
+      if (round > 0 && !rng.Bernoulli(0.5)) continue;
+      std::vector<EntityId> shuffled = set;
+      for (size_t i = shuffled.size(); i > 1; --i) {
+        std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
+      }
+      b.AddSet(std::move(shuffled));
+      ++added;
+    }
+  }
+  std::vector<SetId> mapping;
+  SetCollection c = b.Build(&mapping);
+  EXPECT_EQ(c.num_sets(), 60u);
+  EXPECT_EQ(mapping.size(), added);
+  for (SetId id : mapping) EXPECT_LT(id, 60u);
+}
+
+// ---------------------------------------------------------------------------
+// DecisionTree determinism.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, SameInputsSameTrees) {
+  SetCollection c = RandomCollection(651, 30, 50, 0.4);
+  SubCollection full = SubCollection::Full(&c);
+  for (int run = 0; run < 2; ++run) {
+    KlpSelector s1(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+    KlpSelector s2(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+    DecisionTree t1 = DecisionTree::Build(full, s1);
+    DecisionTree t2 = DecisionTree::Build(full, s2);
+    ASSERT_EQ(t1.num_nodes(), t2.num_nodes());
+    for (size_t i = 0; i < t1.num_nodes(); ++i) {
+      EXPECT_EQ(t1.node(i).entity, t2.node(i).entity);
+      EXPECT_EQ(t1.node(i).leaf_set, t2.node(i).leaf_set);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace setdisc

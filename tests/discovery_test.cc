@@ -1,0 +1,343 @@
+// Tests for Algorithm 2 (interactive discovery) and the §6 extensions:
+// initial-example filtering, question counting against tree depths, halt
+// conditions, "don't know" handling, error backtracking, and multiple-choice
+// rounds.
+
+#include <gtest/gtest.h>
+
+#include "core/decision_tree.h"
+#include "core/discovery.h"
+#include "core/klp.h"
+#include "core/multi_choice.h"
+#include "core/selectors.h"
+#include "test_util.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+TEST(Discover, FindsEveryTargetInPaperCollection) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  for (SetId target = 0; target < c.num_sets(); ++target) {
+    SimulatedOracle oracle(&c, target);
+    DiscoveryResult r = Discover(c, idx, {}, sel, oracle);
+    ASSERT_TRUE(r.found());
+    EXPECT_EQ(r.discovered(), target);
+    EXPECT_GE(r.questions, 1);
+    EXPECT_LE(r.questions, 6);  // n - 1 worst case
+  }
+}
+
+TEST(Discover, QuestionCountEqualsTreeLeafDepth) {
+  // A session driven by a deterministic selector walks exactly the path of
+  // the tree Algorithm 3 builds with the same selector.
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector tree_sel;
+  DecisionTree tree = DecisionTree::Build(full, tree_sel);
+  for (SetId target = 0; target < c.num_sets(); ++target) {
+    MostEvenSelector sel;
+    EXPECT_EQ(CountQuestions(c, idx, {}, target, sel), tree.DepthOf(target))
+        << "target=" << target;
+  }
+}
+
+TEST(Discover, InitialExamplesNarrowTheCandidates) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  // I = {b, d} -> candidates {S1, S3}; one question distinguishes them.
+  EntityId initial[] = {kB, kD};
+  SimulatedOracle oracle(&c, 2);  // S3
+  DiscoveryResult r = Discover(c, idx, initial, sel, oracle);
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.discovered(), 2u);
+  EXPECT_EQ(r.questions, 1);
+}
+
+TEST(Discover, InitialExamplesMatchingNothingReturnEmpty) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  EntityId initial[] = {kE, kK};  // no set contains both
+  SimulatedOracle oracle(&c, 0);
+  DiscoveryResult r = Discover(c, idx, initial, sel, oracle);
+  EXPECT_TRUE(r.candidates.empty());
+  EXPECT_EQ(r.questions, 0);
+}
+
+TEST(Discover, InitialExamplesUniquelyIdentifyWithoutQuestions) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  EntityId initial[] = {kE};  // only S2 contains e
+  SimulatedOracle oracle(&c, 1);
+  DiscoveryResult r = Discover(c, idx, initial, sel, oracle);
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.discovered(), 1u);
+  EXPECT_EQ(r.questions, 0);
+}
+
+TEST(Discover, HaltConditionStopsEarly) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  SimulatedOracle oracle(&c, 5);
+  DiscoveryOptions opts;
+  opts.max_questions = 1;
+  DiscoveryResult r = Discover(c, idx, {}, sel, oracle, opts);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.questions, 1);
+  EXPECT_GT(r.candidates.size(), 1u);
+  // The refined candidates always include the target.
+  bool present = false;
+  for (SetId s : r.candidates) present |= s == 5u;
+  EXPECT_TRUE(present);
+}
+
+TEST(Discover, TranscriptRecordsQuestions) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  SimulatedOracle oracle(&c, 3);
+  DiscoveryResult r = Discover(c, idx, {}, sel, oracle);
+  EXPECT_EQ(static_cast<int>(r.transcript.size()), r.questions);
+  for (auto& [entity, answer] : r.transcript) {
+    EXPECT_EQ(answer, c.Contains(3, entity) ? Oracle::Answer::kYes
+                                            : Oracle::Answer::kNo);
+  }
+}
+
+TEST(Discover, KlpSelectorDrivesSessions) {
+  SetCollection c = RandomCollection(7, 25, 40, 0.4);
+  InvertedIndex idx(c);
+  for (SetId target = 0; target < c.num_sets(); target += 5) {
+    KlpSelector sel(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+    SimulatedOracle oracle(&c, target);
+    DiscoveryResult r = Discover(c, idx, {}, sel, oracle);
+    ASSERT_TRUE(r.found());
+    EXPECT_EQ(r.discovered(), target);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §6 "don't know" answers.
+// ---------------------------------------------------------------------------
+
+class DontKnowOracle : public Oracle {
+ public:
+  DontKnowOracle(const SetCollection* c, SetId target, EntityId unsure)
+      : c_(c), target_(target), unsure_(unsure) {}
+  Answer AskMembership(EntityId e) override {
+    if (e == unsure_) return Answer::kDontKnow;
+    return c_->Contains(target_, e) ? Answer::kYes : Answer::kNo;
+  }
+  bool ConfirmTarget(SetId s) override { return s == target_; }
+
+ private:
+  const SetCollection* c_;
+  SetId target_;
+  EntityId unsure_;
+};
+
+TEST(Discover, DontKnowExcludesEntityAndContinues) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  // MostEven would ask c first; the user is unsure about c.
+  DontKnowOracle oracle(&c, 2, kC);
+  DiscoveryResult r = Discover(c, idx, {}, sel, oracle);
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.discovered(), 2u);
+  // The don't-know question still cost one interaction.
+  bool asked_c = false;
+  for (auto& [entity, answer] : r.transcript) {
+    if (entity == kC) {
+      asked_c = true;
+      EXPECT_EQ(answer, Oracle::Answer::kDontKnow);
+    }
+  }
+  EXPECT_TRUE(asked_c);
+  // c must have been asked exactly once (excluded afterwards).
+  int c_count = 0;
+  for (auto& [entity, answer] : r.transcript) c_count += entity == kC;
+  EXPECT_EQ(c_count, 1);
+}
+
+TEST(Discover, DontKnowTreatedAsNoWhenDisabled) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  DontKnowOracle oracle(&c, 2, kC);  // S3 *does* contain c
+  DiscoveryOptions opts;
+  opts.handle_dont_know = false;
+  DiscoveryResult r = Discover(c, idx, {}, sel, oracle, opts);
+  // Treating don't-know as "no" walks the wrong branch: S3 unreachable.
+  if (r.found()) EXPECT_NE(r.discovered(), 2u);
+}
+
+TEST(Discover, AllInformativeEntitiesExcludedReturnsRefinedSet) {
+  // A two-set collection whose only distinguishing entity gets a
+  // "don't know": discovery cannot resolve to a single set (§6).
+  SetCollectionBuilder b;
+  b.AddSet({0, 1});
+  b.AddSet({0, 1, 2});
+  SetCollection c = b.Build();
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  DontKnowOracle oracle(&c, 0, 2);
+  DiscoveryResult r = Discover(c, idx, {}, sel, oracle);
+  EXPECT_FALSE(r.found());
+  EXPECT_EQ(r.candidates.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// §6 answer errors + verification/backtracking.
+// ---------------------------------------------------------------------------
+
+/// Lies exactly once, on the `lie_at`-th membership question.
+class LyingOracle : public Oracle {
+ public:
+  LyingOracle(const SetCollection* c, SetId target, int lie_at)
+      : c_(c), target_(target), lie_at_(lie_at) {}
+  Answer AskMembership(EntityId e) override {
+    bool truth = c_->Contains(target_, e);
+    if (++asked_ == lie_at_) truth = !truth;
+    return truth ? Answer::kYes : Answer::kNo;
+  }
+  bool ConfirmTarget(SetId s) override { return s == target_; }
+
+ private:
+  const SetCollection* c_;
+  SetId target_;
+  int lie_at_;
+  int asked_ = 0;
+};
+
+TEST(Discover, BacktrackingRecoversFromOneWrongAnswer) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  DiscoveryOptions opts;
+  opts.verify_and_backtrack = true;
+  for (SetId target = 0; target < c.num_sets(); ++target) {
+    for (int lie_at = 1; lie_at <= 2; ++lie_at) {
+      MostEvenSelector sel;
+      LyingOracle oracle(&c, target, lie_at);
+      DiscoveryResult r = Discover(c, idx, {}, sel, oracle, opts);
+      ASSERT_TRUE(r.found()) << "target=" << target << " lie=" << lie_at;
+      EXPECT_EQ(r.discovered(), target);
+      EXPECT_TRUE(r.confirmed);
+      EXPECT_GE(r.backtracks, 1);
+    }
+  }
+}
+
+TEST(Discover, NoBacktrackingWhenAnswersAreTruthful) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  SimulatedOracle oracle(&c, 4);
+  DiscoveryOptions opts;
+  opts.verify_and_backtrack = true;
+  DiscoveryResult r = Discover(c, idx, {}, sel, oracle, opts);
+  ASSERT_TRUE(r.found());
+  EXPECT_TRUE(r.confirmed);
+  EXPECT_EQ(r.backtracks, 0);
+}
+
+TEST(Discover, BacktrackBudgetBoundsTheSearch) {
+  SetCollection c = RandomCollection(17, 30, 50, 0.4);
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  // An oracle that rejects everything: the search must terminate anyway.
+  class NeverConfirm : public Oracle {
+   public:
+    explicit NeverConfirm(const SetCollection* c) : c_(c) {}
+    Answer AskMembership(EntityId e) override {
+      return c_->Contains(0, e) ? Answer::kYes : Answer::kNo;
+    }
+    bool ConfirmTarget(SetId) override { return false; }
+
+   private:
+    const SetCollection* c_;
+  } oracle(&c);
+  DiscoveryOptions opts;
+  opts.verify_and_backtrack = true;
+  opts.max_backtracks = 5;
+  DiscoveryResult r = Discover(c, idx, {}, sel, oracle, opts);
+  EXPECT_FALSE(r.confirmed);
+  EXPECT_LE(r.backtracks, 5);
+}
+
+// ---------------------------------------------------------------------------
+// §6 multiple-choice examples.
+// ---------------------------------------------------------------------------
+
+TEST(MultiChoice, BatchIsInformativeAndDeduplicated) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  EntityCounter counter;
+  MultiChoiceOptions opts;
+  opts.batch_size = 3;
+  std::vector<EntityId> batch = SelectBatch(full, opts, counter);
+  ASSERT_GE(batch.size(), 2u);
+  ASSERT_LE(batch.size(), 3u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NE(batch[i], kA);  // uninformative entity never shown
+    for (size_t j = i + 1; j < batch.size(); ++j) {
+      EXPECT_NE(batch[i], batch[j]);
+    }
+  }
+}
+
+TEST(MultiChoice, FindsEveryTargetWithFewerRounds) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  MultiChoiceOptions opts;
+  opts.batch_size = 3;
+  for (SetId target = 0; target < c.num_sets(); ++target) {
+    SimulatedOracle oracle(&c, target);
+    MultiChoiceResult r = DiscoverMultiChoice(c, idx, {}, oracle, opts);
+    ASSERT_TRUE(r.found()) << "target=" << target;
+    EXPECT_EQ(r.discovered(), target);
+    // At most the single-question count, in rounds.
+    MostEvenSelector sel;
+    int single = CountQuestions(c, idx, {}, target, sel);
+    EXPECT_LE(r.rounds, single);
+  }
+}
+
+TEST(MultiChoice, RoundBudgetHalts) {
+  SetCollection c = RandomCollection(23, 40, 60, 0.4);
+  InvertedIndex idx(c);
+  SimulatedOracle oracle(&c, 11);
+  MultiChoiceOptions opts;
+  opts.batch_size = 2;
+  opts.max_rounds = 1;
+  MultiChoiceResult r = DiscoverMultiChoice(c, idx, {}, oracle, opts);
+  EXPECT_EQ(r.rounds, 1);
+}
+
+TEST(MultiChoice, ReducesRoundsOnLargerCollections) {
+  SetCollection c = RandomCollection(29, 60, 90, 0.4);
+  InvertedIndex idx(c);
+  double total_rounds = 0, total_single = 0;
+  for (SetId target = 0; target < c.num_sets(); target += 7) {
+    SimulatedOracle o1(&c, target);
+    MultiChoiceOptions opts;
+    opts.batch_size = 4;
+    MultiChoiceResult mc = DiscoverMultiChoice(c, idx, {}, o1, opts);
+    ASSERT_TRUE(mc.found());
+    total_rounds += mc.rounds;
+    MostEvenSelector sel;
+    total_single += CountQuestions(c, idx, {}, target, sel);
+  }
+  EXPECT_LT(total_rounds, total_single);
+}
+
+}  // namespace
+}  // namespace setdisc

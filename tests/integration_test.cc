@@ -1,0 +1,207 @@
+// End-to-end integration tests: the full pipelines behind the paper's
+// experiments, at reduced scale — synthetic sweeps (Figs. 5-7), web-tables
+// sub-collection tree construction (Fig. 3), and baseball query discovery
+// (Fig. 8) — plus cross-strategy consistency checks.
+
+#include <gtest/gtest.h>
+
+#include "collection/inverted_index.h"
+#include "core/decision_tree.h"
+#include "core/discovery.h"
+#include "core/klp.h"
+#include "core/selectors.h"
+#include "data/synthetic.h"
+#include "data/webtables.h"
+#include "relational/query_sets.h"
+
+namespace setdisc {
+namespace {
+
+TEST(Integration, SyntheticTreeConstructionAllStrategies) {
+  SyntheticConfig cfg;
+  cfg.num_sets = 300;
+  cfg.min_set_size = 20;
+  cfg.max_set_size = 30;
+  cfg.overlap = 0.9;
+  cfg.seed = 51;
+  SetCollection c = GenerateSynthetic(cfg);
+  SubCollection full = SubCollection::Full(&c);
+
+  InfoGainSelector info_gain;
+  KlpSelector klp2(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+  KlpSelector klple(KlpOptions::MakeKlple(3, 10, CostMetric::kAvgDepth));
+  KlpSelector klplve(KlpOptions::MakeKlplve(3, 10, CostMetric::kAvgDepth));
+
+  double info_gain_ad = 0;
+  for (EntitySelector* sel :
+       std::initializer_list<EntitySelector*>{&info_gain, &klp2, &klple,
+                                              &klplve}) {
+    DecisionTree tree = DecisionTree::Build(full, *sel);
+    ASSERT_TRUE(tree.Validate(full).ok()) << sel->name();
+    EXPECT_EQ(tree.num_leaves(), c.num_sets()) << sel->name();
+    // Lemma 3.3 floor.
+    EXPECT_GE(tree.total_depth(), MinTotalDepth(c.num_sets()));
+    if (sel == &info_gain) {
+      info_gain_ad = tree.avg_depth();
+    } else {
+      // Lookahead strategies shouldn't be much worse than InfoGain; the
+      // paper finds them better on average.
+      EXPECT_LE(tree.avg_depth(), info_gain_ad * 1.10) << sel->name();
+    }
+  }
+}
+
+TEST(Integration, DiscoveryAverageMatchesTreeAverageDepth) {
+  // Running Algorithm 2 for every target with a deterministic selector must
+  // average exactly the tree's AD (sessions trace root-to-leaf paths).
+  SyntheticConfig cfg;
+  cfg.num_sets = 120;
+  cfg.min_set_size = 10;
+  cfg.max_set_size = 16;
+  cfg.overlap = 0.85;
+  cfg.seed = 52;
+  SetCollection c = GenerateSynthetic(cfg);
+  SubCollection full = SubCollection::Full(&c);
+  InvertedIndex idx(c);
+
+  InfoGainSelector tree_sel;
+  DecisionTree tree = DecisionTree::Build(full, tree_sel);
+  double total_questions = 0;
+  for (SetId target = 0; target < c.num_sets(); ++target) {
+    InfoGainSelector sel;
+    int q = CountQuestions(c, idx, {}, target, sel);
+    ASSERT_GT(q, 0);
+    EXPECT_EQ(q, tree.DepthOf(target));
+    total_questions += q;
+  }
+  EXPECT_NEAR(total_questions / c.num_sets(), tree.avg_depth(), 1e-9);
+}
+
+TEST(Integration, OverlapSweepShapesMatchFig5) {
+  // Fig. 5: average questions dip around high overlap; the α = 0.9 collection
+  // needs fewer questions than the α = 0.65 one (more shared structure).
+  auto avg_questions = [](double alpha) {
+    SyntheticConfig cfg;
+    cfg.num_sets = 200;
+    cfg.min_set_size = 20;
+    cfg.max_set_size = 26;
+    cfg.overlap = alpha;
+    cfg.seed = 53;
+    SetCollection c = GenerateSynthetic(cfg);
+    SubCollection full = SubCollection::Full(&c);
+    InfoGainSelector sel;
+    return DecisionTree::Build(full, sel).avg_depth();
+  };
+  EXPECT_LT(avg_questions(0.95), avg_questions(0.65));
+}
+
+TEST(Integration, DoublingSetsAddsAboutOneQuestion) {
+  // Fig. 7: each doubling of n adds roughly one question.
+  auto ad = [](uint32_t n) {
+    SyntheticConfig cfg;
+    cfg.num_sets = n;
+    cfg.min_set_size = 20;
+    cfg.max_set_size = 26;
+    cfg.overlap = 0.9;
+    cfg.seed = 54;
+    SetCollection c = GenerateSynthetic(cfg);
+    SubCollection full = SubCollection::Full(&c);
+    InfoGainSelector sel;
+    return DecisionTree::Build(full, sel).avg_depth();
+  };
+  double a = ad(128), b = ad(256), c = ad(512);
+  EXPECT_NEAR(b - a, 1.0, 0.5);
+  EXPECT_NEAR(c - b, 1.0, 0.5);
+}
+
+TEST(Integration, WebTablesSubCollectionPipeline) {
+  WebTablesConfig cfg;
+  cfg.num_sets = 2500;
+  cfg.num_domains = 50;
+  cfg.max_set_size = 60;
+  cfg.seed = 55;
+  SetCollection corpus = GenerateWebTables(cfg);
+  InvertedIndex idx(corpus);
+  auto subs = ExtractSeedPairSubCollections(corpus, idx, 40, 5, 56);
+  ASSERT_FALSE(subs.empty());
+  for (const auto& entry : subs) {
+    SubCollection sub(&corpus, entry.set_ids);
+    KlpSelector klp(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+    DecisionTree tree = DecisionTree::Build(sub, klp);
+    ASSERT_TRUE(tree.Validate(sub).ok());
+    EXPECT_EQ(tree.num_leaves(), entry.set_ids.size());
+    // Discovery over the sub-collection finds a random member.
+    SetId target = entry.set_ids[entry.set_ids.size() / 2];
+    EntityId initial[] = {entry.a, entry.b};
+    KlpSelector sel(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+    SimulatedOracle oracle(&corpus, target);
+    DiscoveryResult r = Discover(corpus, idx, initial, sel, oracle);
+    ASSERT_TRUE(r.found());
+    EXPECT_EQ(r.discovered(), target);
+  }
+}
+
+TEST(Integration, BaseballQueryDiscoveryEndToEnd) {
+  Table people = GeneratePeople({.num_rows = 8000, .seed = 57});
+  std::vector<TargetQuery> targets = MakeTargetQueries(people);
+  // T5 (Christmas births) keeps the instance small enough for a unit test.
+  const TargetQuery* t5 = nullptr;
+  for (const auto& t : targets) {
+    if (t.id == "T5") t5 = &t;
+  }
+  ASSERT_NE(t5, nullptr);
+  QueryDiscoveryInstance inst =
+      BuildQueryDiscoveryInstance(people, t5->query, 2, 58);
+  InvertedIndex idx(inst.collection);
+
+  InfoGainSelector info_gain;
+  KlpSelector klp(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+  for (EntitySelector* sel :
+       std::initializer_list<EntitySelector*>{&info_gain, &klp}) {
+    SimulatedOracle oracle(&inst.collection, inst.target_set);
+    DiscoveryResult r =
+        Discover(inst.collection, idx, inst.examples, *sel, oracle);
+    ASSERT_TRUE(r.found()) << sel->name();
+    EXPECT_EQ(r.discovered(), inst.target_set);
+  }
+}
+
+TEST(Integration, HeightMetricTreesAreShallower) {
+  // Optimizing H should never yield a taller tree than optimizing AD does.
+  SyntheticConfig cfg;
+  cfg.num_sets = 150;
+  cfg.min_set_size = 12;
+  cfg.max_set_size = 18;
+  cfg.overlap = 0.85;
+  cfg.seed = 59;
+  SetCollection c = GenerateSynthetic(cfg);
+  SubCollection full = SubCollection::Full(&c);
+  KlpSelector klp_h(KlpOptions::MakeKlp(2, CostMetric::kHeight));
+  KlpSelector klp_ad(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+  DecisionTree tree_h = DecisionTree::Build(full, klp_h);
+  DecisionTree tree_ad = DecisionTree::Build(full, klp_ad);
+  EXPECT_LE(tree_h.height(), tree_ad.height() + 1);
+  EXPECT_GE(tree_h.height(), CeilLog2(c.num_sets()));
+}
+
+TEST(Integration, MemoCacheSpeedsUpRepeatedConstruction) {
+  SyntheticConfig cfg;
+  cfg.num_sets = 150;
+  cfg.min_set_size = 15;
+  cfg.max_set_size = 20;
+  cfg.overlap = 0.9;
+  cfg.seed = 60;
+  SetCollection c = GenerateSynthetic(cfg);
+  SubCollection full = SubCollection::Full(&c);
+  KlpSelector klp(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+  DecisionTree first = DecisionTree::Build(full, klp);
+  uint64_t misses_after_first = klp.stats().cache_misses;
+  DecisionTree second = DecisionTree::Build(full, klp);
+  // The second construction is largely answered from cache.
+  EXPECT_LT(klp.stats().cache_misses - misses_after_first,
+            misses_after_first / 2);
+  EXPECT_EQ(first.avg_depth(), second.avg_depth());
+}
+
+}  // namespace
+}  // namespace setdisc

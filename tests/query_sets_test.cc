@@ -1,0 +1,115 @@
+// Tests for the query->set bridge (§5.2.3 / §5.3.6): building discovery
+// instances from candidate queries and recovering the target query through
+// tuple-membership questions.
+
+#include <gtest/gtest.h>
+
+#include "core/discovery.h"
+#include "core/klp.h"
+#include "core/selectors.h"
+#include "relational/query_sets.h"
+
+namespace setdisc {
+namespace {
+
+class QuerySetsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    people_ = new Table(GeneratePeople({.num_rows = 6000, .seed = 31}));
+  }
+  static void TearDownTestSuite() {
+    delete people_;
+    people_ = nullptr;
+  }
+  static Table* people_;
+};
+
+Table* QuerySetsTest::people_ = nullptr;
+
+ConjunctiveQuery MonthDayQuery(const Table& t, int month, int day) {
+  CategoricalCondition m;
+  m.col = t.ColumnIndex("birthMonth");
+  m.int_values = {month};
+  CategoricalCondition d;
+  d.col = t.ColumnIndex("birthDay");
+  d.int_values = {day};
+  return ConjunctiveQuery{{Condition(m), Condition(d)}};
+}
+
+TEST_F(QuerySetsTest, InstanceContainsTargetAndExamples) {
+  ConjunctiveQuery target = MonthDayQuery(*people_, 12, 25);
+  QueryDiscoveryInstance inst =
+      BuildQueryDiscoveryInstance(*people_, target, 2, /*seed=*/41);
+  ASSERT_NE(inst.target_set, kNoSet);
+  ASSERT_EQ(inst.examples.size(), 2u);
+  // The target set contains both examples.
+  for (EntityId e : inst.examples) {
+    EXPECT_TRUE(inst.collection.Contains(inst.target_set, e));
+  }
+  // And its content equals the target query's output.
+  std::vector<RowId> out = Evaluate(*people_, target);
+  auto set = inst.collection.set(inst.target_set);
+  ASSERT_EQ(set.size(), out.size());
+  EXPECT_TRUE(std::equal(set.begin(), set.end(), out.begin()));
+  EXPECT_GT(inst.num_candidate_queries, 100u);
+  EXPECT_GT(inst.avg_output_size, 0.0);
+  // Dedup can only shrink (+1 for the target itself).
+  EXPECT_LE(inst.num_distinct_outputs, inst.num_candidate_queries + 1);
+}
+
+TEST_F(QuerySetsTest, EveryCandidateSetContainsTheExamples) {
+  ConjunctiveQuery target = MonthDayQuery(*people_, 7, 4);
+  QueryDiscoveryInstance inst =
+      BuildQueryDiscoveryInstance(*people_, target, 2, 42);
+  for (SetId s = 0; s < inst.collection.num_sets(); ++s) {
+    for (EntityId e : inst.examples) {
+      EXPECT_TRUE(inst.collection.Contains(s, e))
+          << "set " << s << " lost example " << e;
+    }
+  }
+}
+
+TEST_F(QuerySetsTest, RepresentativeQueriesAreRecorded) {
+  ConjunctiveQuery target = MonthDayQuery(*people_, 12, 25);
+  QueryDiscoveryInstance inst =
+      BuildQueryDiscoveryInstance(*people_, target, 2, 43);
+  ASSERT_EQ(inst.representative_query.size(), inst.collection.num_sets());
+  EXPECT_FALSE(inst.representative_query[inst.target_set].empty());
+}
+
+TEST_F(QuerySetsTest, DiscoveryRecoversTheTargetQuery) {
+  ConjunctiveQuery target = MonthDayQuery(*people_, 12, 25);
+  QueryDiscoveryInstance inst =
+      BuildQueryDiscoveryInstance(*people_, target, 2, 44);
+  InvertedIndex idx(inst.collection);
+  for (auto make_selector :
+       {+[]() -> EntitySelector* { return new InfoGainSelector(); },
+        +[]() -> EntitySelector* {
+          return new KlpSelector(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+        }}) {
+    std::unique_ptr<EntitySelector> sel(make_selector());
+    SimulatedOracle oracle(&inst.collection, inst.target_set);
+    DiscoveryResult r =
+        Discover(inst.collection, idx, inst.examples, *sel, oracle);
+    ASSERT_TRUE(r.found()) << sel->name();
+    EXPECT_EQ(r.discovered(), inst.target_set) << sel->name();
+    // "The user is required to confirm the membership of only a few tuples
+    //  (9 to 11) to find the target query" — allow a generous band.
+    EXPECT_GE(r.questions, 3) << sel->name();
+    EXPECT_LE(r.questions, 25) << sel->name();
+  }
+}
+
+TEST_F(QuerySetsTest, DeterministicForSeed) {
+  ConjunctiveQuery target = MonthDayQuery(*people_, 12, 25);
+  QueryDiscoveryInstance a =
+      BuildQueryDiscoveryInstance(*people_, target, 2, 45);
+  QueryDiscoveryInstance b =
+      BuildQueryDiscoveryInstance(*people_, target, 2, 45);
+  EXPECT_EQ(a.examples, b.examples);
+  EXPECT_EQ(a.target_set, b.target_set);
+  EXPECT_EQ(a.collection.num_sets(), b.collection.num_sets());
+}
+
+}  // namespace
+}  // namespace setdisc

@@ -1,0 +1,271 @@
+// Tests for the relational substrate: columnar table, predicate language,
+// the synthetic People table, the Table 2 target queries, and the §5.2.3
+// candidate-generation recipe (steps 1-5).
+
+#include <gtest/gtest.h>
+
+#include "relational/candidate_gen.h"
+#include "relational/people.h"
+#include "relational/predicate.h"
+#include "relational/table.h"
+
+namespace setdisc {
+namespace {
+
+Table MakeTinyTable() {
+  Table t("tiny");
+  t.AddStringColumn("city", {"Chicago", "Seattle", "Chicago", "Boston"});
+  t.AddIntColumn("height", {62, 73, 70, 80});
+  t.AddStringColumn("bats", {"L", "R", "R", "B"});
+  return t;
+}
+
+TEST(Table, ColumnsAndLookup) {
+  Table t = MakeTinyTable();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.ColumnIndex("height"), 1);
+  EXPECT_EQ(t.ColumnIndex("nope"), -1);
+  EXPECT_EQ(t.column_type(0), ColumnType::kString);
+  EXPECT_EQ(t.column_type(1), ColumnType::kInt);
+  EXPECT_EQ(t.IntAt(1, 2), 70);
+  EXPECT_EQ(t.StringAt(0, 3), "Boston");
+  EXPECT_EQ(t.DictSize(0), 3u);
+  EXPECT_EQ(t.StringCodeAt(0, 0), t.StringCodeAt(0, 2));  // both Chicago
+  EXPECT_EQ(t.CodeFor(0, "Chicago"), t.StringCodeAt(0, 0));
+  EXPECT_EQ(t.CodeFor(0, "Nowhere"), UINT32_MAX);
+}
+
+TEST(Predicate, CategoricalDisjunction) {
+  Table t = MakeTinyTable();
+  CategoricalCondition c;
+  c.col = 0;
+  c.str_values = {"Chicago", "Seattle"};
+  EXPECT_TRUE(Matches(t, c, 0));
+  EXPECT_TRUE(Matches(t, c, 1));
+  EXPECT_TRUE(Matches(t, c, 2));
+  EXPECT_FALSE(Matches(t, c, 3));
+}
+
+TEST(Predicate, CategoricalOnIntColumn) {
+  Table t = MakeTinyTable();
+  CategoricalCondition c;
+  c.col = 1;
+  c.int_values = {62, 80};
+  EXPECT_TRUE(Matches(t, c, 0));
+  EXPECT_FALSE(Matches(t, c, 1));
+  EXPECT_TRUE(Matches(t, c, 3));
+}
+
+TEST(Predicate, NumericStrictBounds) {
+  Table t = MakeTinyTable();
+  NumericCondition c;
+  c.col = 1;
+  c.lower = 62;
+  c.upper = 80;
+  // Strict: 62 and 80 excluded.
+  EXPECT_FALSE(Matches(t, c, 0));
+  EXPECT_TRUE(Matches(t, c, 1));
+  EXPECT_TRUE(Matches(t, c, 2));
+  EXPECT_FALSE(Matches(t, c, 3));
+  c.lower.reset();
+  EXPECT_TRUE(Matches(t, c, 0));  // height < 80 only
+}
+
+TEST(Predicate, ConjunctionAndEvaluate) {
+  Table t = MakeTinyTable();
+  ConjunctiveQuery q;
+  CategoricalCondition cat;
+  cat.col = 0;
+  cat.str_values = {"Chicago"};
+  NumericCondition num;
+  num.col = 1;
+  num.lower = 65;
+  q.conditions = {cat, num};
+  std::vector<RowId> out = Evaluate(t, q);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 2u);  // Chicago with height 70
+}
+
+TEST(Predicate, ToStringRendering) {
+  Table t = MakeTinyTable();
+  CategoricalCondition cat;
+  cat.col = 0;
+  cat.str_values = {"Chicago", "Seattle"};
+  EXPECT_EQ(ConditionToString(t, cat),
+            "city = \"Chicago\" OR city = \"Seattle\"");
+  NumericCondition num;
+  num.col = 1;
+  num.lower = 60;
+  num.upper = 75;
+  EXPECT_EQ(ConditionToString(t, num), "height > 60 AND height < 75");
+  ConjunctiveQuery q;
+  q.conditions = {cat, num};
+  std::string s = q.ToString(t);
+  EXPECT_NE(s.find(") AND ("), std::string::npos);
+}
+
+TEST(People, GeneratesRequestedRows) {
+  Table people = GeneratePeople({.num_rows = 5000, .seed = 13});
+  EXPECT_EQ(people.num_rows(), 5000u);
+  EXPECT_EQ(people.ColumnIndex("birthCountry"), 1);
+  EXPECT_NE(people.ColumnIndex("weight"), -1);
+}
+
+TEST(People, MarginalsAreRealistic) {
+  Table people = GeneratePeople({.num_rows = 20000, .seed = 14});
+  int country = people.ColumnIndex("birthCountry");
+  int height = people.ColumnIndex("height");
+  int usa = 0;
+  double h_sum = 0;
+  for (RowId r = 0; r < people.num_rows(); ++r) {
+    usa += people.StringAt(country, r) == "USA" ? 1 : 0;
+    h_sum += people.IntAt(height, r);
+  }
+  EXPECT_NEAR(usa / 20000.0, 0.72, 0.03);
+  EXPECT_NEAR(h_sum / 20000.0, 72.5, 0.5);
+}
+
+TEST(People, TargetQueriesProduceComparableOutputs) {
+  // Output sizes should land in the same ballpark as the paper's Table 2 —
+  // within a factor of ~2.5 (the marginals are tuned, not fitted).
+  Table people = GeneratePeople();
+  for (const TargetQuery& t : MakeTargetQueries(people)) {
+    size_t ours = Evaluate(people, t.query).size();
+    double ratio =
+        static_cast<double>(ours) / static_cast<double>(t.paper_output_tuples);
+    EXPECT_GT(ratio, 0.4) << t.id << " output " << ours << " vs paper "
+                          << t.paper_output_tuples;
+    EXPECT_LT(ratio, 2.5) << t.id << " output " << ours << " vs paper "
+                          << t.paper_output_tuples;
+  }
+}
+
+TEST(People, DeterministicForSeed) {
+  Table a = GeneratePeople({.num_rows = 1000, .seed = 15});
+  Table b = GeneratePeople({.num_rows = 1000, .seed = 15});
+  for (RowId r = 0; r < 1000; r += 97) {
+    EXPECT_EQ(a.IntAt(a.ColumnIndex("height"), r),
+              b.IntAt(b.ColumnIndex("height"), r));
+    EXPECT_EQ(a.StringAt(a.ColumnIndex("birthCity"), r),
+              b.StringAt(b.ColumnIndex("birthCity"), r));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Candidate generation, §5.2.3 steps (1)-(5).
+// ---------------------------------------------------------------------------
+
+TEST(CandidateGen, PaperStepFourExample) {
+  // "if the height of an example player is 62 and that of another is 73,
+  //  then the possible selection conditions on height are height>60 AND
+  //  height<75, height>60 AND height<80, height>60, height<75, height<80"
+  Table t("heights");
+  t.AddIntColumn("height", {62, 73});
+  CandidateGenConfig cfg;
+  cfg.categorical_columns = {};
+  cfg.numeric_columns = {{"height", {60, 65, 70, 75, 80}}};
+  RowId ex[] = {0, 1};
+  std::vector<Condition> conds = GenerateConditions(t, ex, cfg);
+  ASSERT_EQ(conds.size(), 5u);
+  int two_sided = 0, lower_only = 0, upper_only = 0;
+  for (const Condition& c : conds) {
+    const auto& n = std::get<NumericCondition>(c);
+    if (n.lower && n.upper) {
+      ++two_sided;
+      EXPECT_EQ(*n.lower, 60);
+      EXPECT_TRUE(*n.upper == 75 || *n.upper == 80);
+    } else if (n.lower) {
+      ++lower_only;
+      EXPECT_EQ(*n.lower, 60);
+    } else {
+      ++upper_only;
+      EXPECT_TRUE(*n.upper == 75 || *n.upper == 80);
+    }
+  }
+  EXPECT_EQ(two_sided, 2);
+  EXPECT_EQ(lower_only, 1);
+  EXPECT_EQ(upper_only, 2);
+}
+
+TEST(CandidateGen, CategoricalDisjunctionOfExampleValues) {
+  // "if the birth city of an example player is Chicago and that of another
+  //  is Seattle, the selection condition is birthCity = Chicago OR
+  //  birthCity = Seattle"
+  Table t("cities");
+  t.AddStringColumn("birthCity", {"Chicago", "Seattle", "Boston"});
+  CandidateGenConfig cfg;
+  cfg.categorical_columns = {"birthCity"};
+  cfg.numeric_columns = {};
+  RowId ex[] = {0, 1};
+  std::vector<Condition> conds = GenerateConditions(t, ex, cfg);
+  ASSERT_EQ(conds.size(), 1u);
+  const auto& c = std::get<CategoricalCondition>(conds[0]);
+  ASSERT_EQ(c.str_values.size(), 2u);
+  EXPECT_EQ(c.str_values[0], "Chicago");
+  EXPECT_EQ(c.str_values[1], "Seattle");
+
+  RowId same[] = {0, 0};
+  conds = GenerateConditions(t, same, cfg);
+  EXPECT_EQ(std::get<CategoricalCondition>(conds[0]).str_values.size(), 1u);
+}
+
+TEST(CandidateGen, EveryCandidateContainsTheExamples) {
+  Table people = GeneratePeople({.num_rows = 4000, .seed = 21});
+  RowId ex[] = {100, 2000};
+  std::vector<ConjunctiveQuery> queries =
+      GenerateCandidateQueries(people, ex, {});
+  ASSERT_GT(queries.size(), 50u);
+  for (const ConjunctiveQuery& q : queries) {
+    EXPECT_TRUE(MatchesAll(people, q, 100));
+    EXPECT_TRUE(MatchesAll(people, q, 2000));
+  }
+}
+
+TEST(CandidateGen, PairsUseDistinctColumnsOnly) {
+  Table people = GeneratePeople({.num_rows = 2000, .seed = 22});
+  RowId ex[] = {1, 2};
+  std::vector<ConjunctiveQuery> queries =
+      GenerateCandidateQueries(people, ex, {});
+  for (const ConjunctiveQuery& q : queries) {
+    ASSERT_LE(q.conditions.size(), 2u);
+    if (q.conditions.size() == 2) {
+      EXPECT_NE(ConditionColumn(q.conditions[0]),
+                ConditionColumn(q.conditions[1]));
+    }
+  }
+}
+
+TEST(CandidateGen, CandidateCountInPaperRange) {
+  // Table 3 reports 600-1339 candidates for 2-example targets.
+  Table people = GeneratePeople();
+  std::vector<TargetQuery> targets = MakeTargetQueries(people);
+  for (const TargetQuery& t : targets) {
+    std::vector<RowId> out = Evaluate(people, t.query);
+    ASSERT_GE(out.size(), 2u) << t.id;
+    RowId ex[] = {out[0], out[out.size() / 2]};
+    std::vector<ConjunctiveQuery> queries =
+        GenerateCandidateQueries(people, ex, {});
+    EXPECT_GE(queries.size(), 300u) << t.id;
+    EXPECT_LE(queries.size(), 2500u) << t.id;
+  }
+}
+
+TEST(CandidateGen, SinglesPlusPairsStructure) {
+  Table t("two");
+  t.AddStringColumn("a", {"x", "y"});
+  t.AddIntColumn("b", {5, 9});
+  CandidateGenConfig cfg;
+  cfg.categorical_columns = {"a"};
+  cfg.numeric_columns = {{"b", {0, 10}}};
+  RowId ex[] = {0, 1};
+  // Conditions: 1 categorical + numeric {(0,10),(0,_),(_,10)} = 4 total.
+  std::vector<Condition> conds = GenerateConditions(t, ex, cfg);
+  ASSERT_EQ(conds.size(), 4u);
+  std::vector<ConjunctiveQuery> queries = GenerateCandidateQueries(t, ex, cfg);
+  // 4 singles + 3 cross-column pairs (cat x each numeric).
+  EXPECT_EQ(queries.size(), 7u);
+}
+
+}  // namespace
+}  // namespace setdisc

@@ -1,0 +1,287 @@
+// Failure-injection and stress tests across the discovery stack: noisy
+// oracles with combined error + don't-know rates, degenerate collections,
+// cache-pressure behaviour, and large randomized end-to-end sweeps.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "collection/inverted_index.h"
+#include "core/decision_tree.h"
+#include "core/discovery.h"
+#include "core/klp.h"
+#include "core/multi_choice.h"
+#include "core/selectors.h"
+#include "core/tree_discovery.h"
+#include "data/synthetic.h"
+#include "test_util.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+// ---------------------------------------------------------------------------
+// Degenerate and adversarial collections.
+// ---------------------------------------------------------------------------
+
+TEST(Degenerate, TwoSetsOneDistinguisher) {
+  SetCollectionBuilder b;
+  b.AddSet({0, 1, 2});
+  b.AddSet({0, 1});
+  SetCollection c = b.Build();
+  InvertedIndex idx(c);
+  for (SetId target : {0u, 1u}) {
+    KlpSelector sel(KlpOptions::MakeKlp(3, CostMetric::kHeight));
+    EXPECT_EQ(CountQuestions(c, idx, {}, target, sel), 1);
+  }
+}
+
+TEST(Degenerate, ChainOfNestedSets) {
+  // S_i = {0, 1, ..., i}: a fully nested chain. Binary search is possible
+  // (entity i splits the chain at position i), so costs stay logarithmic.
+  SetCollectionBuilder b;
+  const int n = 32;
+  std::vector<EntityId> elems;
+  for (int i = 0; i < n; ++i) {
+    elems.push_back(static_cast<EntityId>(i));
+    b.AddSet(elems);
+  }
+  SetCollection c = b.Build();
+  SubCollection full = SubCollection::Full(&c);
+  KlpSelector sel(KlpOptions::MakeKlp(2, CostMetric::kHeight));
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  EXPECT_TRUE(tree.Validate(full).ok());
+  EXPECT_EQ(tree.height(), CeilLog2(n));  // optimal height on a chain
+}
+
+TEST(Degenerate, StarOfDisjointSingletons) {
+  // Pairwise-disjoint sets: every question eliminates one candidate, so the
+  // worst case is n - 1 questions (the paper's no-overlap extreme, §5.3.4).
+  SetCollectionBuilder b;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) b.AddSet({static_cast<EntityId>(i)});
+  SetCollection c = b.Build();
+  SubCollection full = SubCollection::Full(&c);
+  InfoGainSelector sel;
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  EXPECT_EQ(tree.height(), n - 1);
+  EXPECT_NEAR(tree.avg_depth(), (static_cast<double>(n) + 1) / 2.0 - 1.0 / n,
+              0.5);
+}
+
+TEST(Degenerate, AllSetsShareAllButOneEntity) {
+  // The paper's §5.3.4 "same elements except one distinguishing element
+  // each": n-1 questions worst case regardless of strategy.
+  SetCollectionBuilder b;
+  const int n = 10;
+  for (int i = 0; i < n; ++i) {
+    std::vector<EntityId> elems = {100, 101, 102};
+    elems.push_back(static_cast<EntityId>(i));
+    b.AddSet(std::move(elems));
+  }
+  SetCollection c = b.Build();
+  SubCollection full = SubCollection::Full(&c);
+  for (CostMetric metric : {CostMetric::kAvgDepth, CostMetric::kHeight}) {
+    KlpSelector sel(KlpOptions::MakeOptimal(metric));
+    DecisionTree tree = DecisionTree::Build(full, sel);
+    EXPECT_EQ(tree.height(), n - 1);
+  }
+}
+
+TEST(Degenerate, HugeEntityIdsAreHandled) {
+  SetCollectionBuilder b;
+  b.AddSet({1000000, 2000000});
+  b.AddSet({1000000, 3000000});
+  SetCollection c = b.Build();
+  EXPECT_EQ(c.universe_size(), 3000001u);
+  EXPECT_EQ(c.num_distinct_entities(), 3u);
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  EntityId e = sel.Select(full);
+  EXPECT_TRUE(e == 2000000u || e == 3000000u);
+}
+
+// ---------------------------------------------------------------------------
+// Noisy-oracle sweeps (combined §6 failure modes).
+// ---------------------------------------------------------------------------
+
+class NoisySweep : public ::testing::TestWithParam<std::tuple<double, double>> {
+};
+
+TEST_P(NoisySweep, SessionsTerminateAndMostlySucceed) {
+  auto [error_rate, dont_know_rate] = GetParam();
+  SetCollection c = RandomCollection(401, 40, 70, 0.4);
+  InvertedIndex idx(c);
+  int confirmed = 0, total = 0;
+  for (SetId target = 0; target < c.num_sets(); target += 3) {
+    ++total;
+    MostEvenSelector sel;
+    SimulatedOracle oracle(&c, target, error_rate, dont_know_rate,
+                           /*seed=*/target * 31 + 7);
+    DiscoveryOptions opts;
+    opts.verify_and_backtrack = error_rate > 0.0;
+    opts.max_backtracks = 64;
+    opts.max_questions = 500;  // hard stop: sessions must terminate
+    DiscoveryResult r = Discover(c, idx, {}, sel, oracle, opts);
+    EXPECT_LE(r.questions, 500);
+    if (error_rate == 0.0 && dont_know_rate == 0.0) {
+      ASSERT_TRUE(r.found());
+      EXPECT_EQ(r.discovered(), target);
+    }
+    if (r.found() && r.discovered() == target) ++confirmed;
+  }
+  if (error_rate <= 0.1 && dont_know_rate <= 0.1) {
+    // Light noise: the majority of sessions still land on the target.
+    EXPECT_GT(confirmed * 2, total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoiseGrid, NoisySweep,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.2),
+                       ::testing::Values(0.0, 0.05, 0.2)));
+
+TEST(Noisy, BacktrackingBeatsNoBacktrackingUnderErrors) {
+  SetCollection c = RandomCollection(402, 30, 50, 0.4);
+  InvertedIndex idx(c);
+  int with = 0, without = 0, trials = 0;
+  for (SetId target = 0; target < c.num_sets(); target += 2) {
+    ++trials;
+    {
+      MostEvenSelector sel;
+      SimulatedOracle oracle(&c, target, /*error_rate=*/0.08, 0.0,
+                             target + 1);
+      DiscoveryOptions opts;
+      opts.verify_and_backtrack = true;
+      opts.max_backtracks = 64;
+      DiscoveryResult r = Discover(c, idx, {}, sel, oracle, opts);
+      with += r.found() && r.discovered() == target;
+    }
+    {
+      MostEvenSelector sel;
+      SimulatedOracle oracle(&c, target, /*error_rate=*/0.08, 0.0,
+                             target + 1);
+      DiscoveryResult r = Discover(c, idx, {}, sel, oracle, {});
+      without += r.found() && r.discovered() == target;
+    }
+  }
+  EXPECT_GE(with, without);
+  EXPECT_GT(with, trials / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Cache pressure and reuse.
+// ---------------------------------------------------------------------------
+
+TEST(CachePressure, EvictionKeepsResultsCorrect) {
+  SetCollection c = RandomCollection(403, 40, 60, 0.4);
+  SubCollection full = SubCollection::Full(&c);
+  KlpOptions opts = KlpOptions::MakeKlp(2, CostMetric::kAvgDepth);
+  opts.max_cache_entries = 8;  // absurdly small: constant eviction
+  KlpSelector tiny(opts);
+  KlpSelector normal(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+  DecisionTree t1 = DecisionTree::Build(full, tiny);
+  DecisionTree t2 = DecisionTree::Build(full, normal);
+  EXPECT_EQ(t1.total_depth(), t2.total_depth());
+  EXPECT_EQ(t1.height(), t2.height());
+}
+
+TEST(CachePressure, SelectorReusableAcrossCollections) {
+  // One selector instance driving two different collections must not leak
+  // results between them (memo keys are id vectors against the collection
+  // currently being searched — reuse requires ClearCache between them).
+  SetCollection a = RandomCollection(404, 15, 25, 0.4);
+  SetCollection b = RandomCollection(405, 15, 25, 0.4);
+  KlpSelector sel(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+  SubCollection fa = SubCollection::Full(&a);
+  DecisionTree ta = DecisionTree::Build(fa, sel);
+  sel.ClearCache();
+  SubCollection fb = SubCollection::Full(&b);
+  DecisionTree tb = DecisionTree::Build(fb, sel);
+  KlpSelector fresh(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+  DecisionTree tf = DecisionTree::Build(fb, fresh);
+  EXPECT_EQ(tb.total_depth(), tf.total_depth());
+  EXPECT_TRUE(ta.Validate(fa).ok());
+  EXPECT_TRUE(tb.Validate(fb).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized end-to-end sweep: every strategy discovers every target.
+// ---------------------------------------------------------------------------
+
+class EndToEndSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EndToEndSweep, AllStrategiesDiscoverAllTargets) {
+  int seed = GetParam();
+  SyntheticConfig cfg;
+  cfg.num_sets = 60;
+  cfg.min_set_size = 8;
+  cfg.max_set_size = 14;
+  cfg.overlap = 0.8;
+  cfg.seed = static_cast<uint64_t>(seed);
+  SetCollection c = GenerateSynthetic(cfg);
+  InvertedIndex idx(c);
+
+  InfoGainSelector info_gain;
+  IndistinguishablePairsSelector indg;
+  KlpSelector klp(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+  KlpSelector klple(KlpOptions::MakeKlple(3, 10, CostMetric::kAvgDepth));
+  KlpSelector klplve(KlpOptions::MakeKlplve(3, 10, CostMetric::kAvgDepth));
+  for (EntitySelector* sel : std::initializer_list<EntitySelector*>{
+           &info_gain, &indg, &klp, &klple, &klplve}) {
+    for (SetId target = 0; target < c.num_sets(); target += 11) {
+      int q = CountQuestions(c, idx, {}, target, *sel);
+      ASSERT_GT(q, 0) << sel->name() << " target=" << target;
+      ASSERT_LT(q, static_cast<int>(c.num_sets())) << sel->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndSweep,
+                         ::testing::Values(501, 502, 503, 504));
+
+// ---------------------------------------------------------------------------
+// Multi-choice under noise.
+// ---------------------------------------------------------------------------
+
+TEST(MultiChoiceRobust, TerminatesUnderDontKnow) {
+  SetCollection c = RandomCollection(406, 30, 50, 0.4);
+  InvertedIndex idx(c);
+  SimulatedOracle oracle(&c, 7, 0.0, /*dont_know_rate=*/0.3, 11);
+  MultiChoiceOptions opts;
+  opts.batch_size = 3;
+  opts.max_rounds = 100;
+  MultiChoiceResult r = DiscoverMultiChoice(c, idx, {}, oracle, opts);
+  EXPECT_LE(r.rounds, 100);
+  EXPECT_FALSE(r.candidates.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Offline tree + noisy user end to end.
+// ---------------------------------------------------------------------------
+
+TEST(OfflineRobust, TreeSessionWithFallbackSurvivesDontKnow) {
+  SetCollection c = RandomCollection(407, 40, 64, 0.4);
+  SubCollection full = SubCollection::Full(&c);
+  KlpSelector builder(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+  DecisionTree tree = DecisionTree::Build(full, builder);
+  int found = 0, total = 0;
+  for (SetId target = 0; target < c.num_sets(); target += 5) {
+    ++total;
+    SimulatedOracle oracle(&c, target, 0.0, /*dont_know_rate=*/0.15,
+                           target + 3);
+    MostEvenSelector fallback;
+    TreeDiscoveryOptions opts;
+    opts.dont_know_policy = TreeDiscoveryOptions::DontKnowPolicy::kDynamic;
+    opts.fallback_selector = &fallback;
+    opts.max_questions = 200;
+    TreeDiscoveryResult r = DiscoverWithTree(tree, c, oracle, opts);
+    EXPECT_LE(r.questions, 200);
+    found += r.found() && r.discovered() == target;
+  }
+  EXPECT_GT(found * 2, total);  // don't-knows cost questions, not correctness
+}
+
+}  // namespace
+}  // namespace setdisc

@@ -1,0 +1,143 @@
+// Tests for the 1-step baseline selectors (§4.2) including the Lemma 4.3
+// equivalence property: information gain, indistinguishable pairs, and the
+// 1-step cost lower bound all pick the most-even partitioner.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/klp.h"
+#include "core/selectors.h"
+#include "test_util.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+TEST(MostEven, PicksMostBalancedEntityOnPaperCollection) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  EntityId e = sel.Select(full);
+  // c and d both split 3/4; the tie breaks to the smaller id, c.
+  EXPECT_EQ(e, kC);
+}
+
+TEST(MostEven, ReturnsNoEntityForSingleton) {
+  SetCollection c = MakePaperCollection();
+  SubCollection one(&c, {2});
+  MostEvenSelector sel;
+  EXPECT_EQ(sel.Select(one), kNoEntity);
+}
+
+TEST(MostEven, HonorsExclusions) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  EntityExclusion excluded(c.universe_size(), false);
+  excluded[kC] = true;
+  EXPECT_EQ(sel.Select(full, &excluded), kD);  // next tied candidate
+  excluded[kD] = true;
+  EntityId e = sel.Select(full, &excluded);
+  EXPECT_NE(e, kC);
+  EXPECT_NE(e, kD);
+  EXPECT_NE(e, kNoEntity);
+}
+
+TEST(InfoGain, AgreesWithMostEvenOnPaperCollection) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  InfoGainSelector ig;
+  MostEvenSelector me;
+  EXPECT_EQ(ig.Select(full), me.Select(full));
+}
+
+TEST(IndistinguishablePairs, AgreesWithMostEvenOnPaperCollection) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  IndistinguishablePairsSelector ip;
+  MostEvenSelector me;
+  EXPECT_EQ(ip.Select(full), me.Select(full));
+}
+
+TEST(RandomSelector, ReturnsInformativeEntity) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  RandomSelector sel(3);
+  for (int i = 0; i < 20; ++i) {
+    EntityId e = sel.Select(full);
+    ASSERT_NE(e, kNoEntity);
+    ASSERT_NE(e, kA);  // a is uninformative
+    auto [in, out] = full.Partition(e);
+    ASSERT_FALSE(in.empty());
+    ASSERT_FALSE(out.empty());
+  }
+}
+
+TEST(RandomSelector, DeterministicGivenSeed) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  RandomSelector a(5), b(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Select(full), b.Select(full));
+}
+
+TEST(Selectors, Names) {
+  MostEvenSelector me;
+  InfoGainSelector ig;
+  IndistinguishablePairsSelector ip;
+  RandomSelector r;
+  EXPECT_EQ(me.name(), "MostEven");
+  EXPECT_EQ(ig.name(), "InfoGain");
+  EXPECT_EQ(ip.name(), "IndgPairs");
+  EXPECT_EQ(r.name(), "Random");
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 4.3 property sweep: on random collections, InfoGain,
+// IndistinguishablePairs, MostEven, and 1-LP (1-step cost lower bound, both
+// metrics) split the collection with the same evenness (they may differ in
+// the tied entity, but the partition imbalance they achieve is identical).
+// ---------------------------------------------------------------------------
+
+class Lemma43Sweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(Lemma43Sweep, AllOneStepStrategiesAreMostEven) {
+  auto [n, m, density] = GetParam();
+  SetCollection c =
+      RandomCollection(/*seed=*/n * 1000 + m, n, m, density);
+  SubCollection full = SubCollection::Full(&c);
+
+  MostEvenSelector me;
+  InfoGainSelector ig;
+  IndistinguishablePairsSelector ip;
+  KlpSelector lp_ad(KlpOptions::MakeKlp(1, CostMetric::kAvgDepth));
+  KlpSelector lp_h(KlpOptions::MakeKlp(1, CostMetric::kHeight));
+
+  EntityId baseline = me.Select(full);
+  ASSERT_NE(baseline, kNoEntity);
+  uint64_t nn = full.size();
+  uint64_t base_in = full.CountContaining(baseline);
+  auto imbalance = [nn](uint64_t cnt) {
+    uint64_t other = nn - cnt;
+    return cnt > other ? cnt - other : other - cnt;
+  };
+  uint64_t base_imb = imbalance(base_in);
+
+  for (EntityId e : {ig.Select(full), ip.Select(full), lp_ad.Select(full),
+                     lp_h.Select(full)}) {
+    ASSERT_NE(e, kNoEntity);
+    EXPECT_EQ(imbalance(full.CountContaining(e)), base_imb)
+        << "strategy disagreed on achievable evenness";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCollections, Lemma43Sweep,
+    ::testing::Combine(::testing::Values(4, 7, 12, 20, 33),
+                       ::testing::Values(8, 16, 40),
+                       ::testing::Values(0.25, 0.5, 0.75)));
+
+}  // namespace
+}  // namespace setdisc

@@ -1,0 +1,144 @@
+// Tests for the §5.2.2 copy-add synthetic generator: size ranges, set
+// uniqueness, determinism, and the Table 1 relationships between overlap /
+// set count / set size and the number of distinct entities.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "collection/sub_collection.h"
+#include "data/synthetic.h"
+#include "test_util.h"
+
+namespace setdisc {
+namespace {
+
+TEST(Synthetic, ProducesRequestedNumberOfUniqueSets) {
+  SyntheticConfig cfg;
+  cfg.num_sets = 500;
+  cfg.min_set_size = 20;
+  cfg.max_set_size = 30;
+  cfg.overlap = 0.8;
+  SetCollection c = GenerateSynthetic(cfg);
+  EXPECT_EQ(c.num_sets(), 500u);  // α < 1 forces a fresh element per set
+}
+
+TEST(Synthetic, SetSizesWithinRange) {
+  SyntheticConfig cfg;
+  cfg.num_sets = 300;
+  cfg.min_set_size = 10;
+  cfg.max_set_size = 15;
+  cfg.overlap = 0.5;
+  SetCollection c = GenerateSynthetic(cfg);
+  for (SetId s = 0; s < c.num_sets(); ++s) {
+    EXPECT_GE(c.set_size(s), 10u);
+    EXPECT_LE(c.set_size(s), 15u);
+  }
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticConfig cfg;
+  cfg.num_sets = 200;
+  cfg.seed = 77;
+  SetCollection a = GenerateSynthetic(cfg);
+  SetCollection b = GenerateSynthetic(cfg);
+  ASSERT_EQ(a.num_sets(), b.num_sets());
+  ASSERT_EQ(a.total_elements(), b.total_elements());
+  for (SetId s = 0; s < a.num_sets(); ++s) {
+    auto x = a.set(s);
+    auto y = b.set(s);
+    ASSERT_TRUE(std::equal(x.begin(), x.end(), y.begin(), y.end()));
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticConfig a_cfg, b_cfg;
+  a_cfg.num_sets = b_cfg.num_sets = 50;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  SetCollection a = GenerateSynthetic(a_cfg);
+  SetCollection b = GenerateSynthetic(b_cfg);
+  EXPECT_NE(a.total_elements(), b.total_elements());
+}
+
+// Table 1a relationship: higher overlap ratio -> fewer distinct entities.
+TEST(Synthetic, DistinctEntitiesDecreaseWithOverlap) {
+  uint32_t prev = 0;
+  bool first = true;
+  for (double alpha : {0.65, 0.80, 0.90, 0.99}) {
+    SyntheticConfig cfg;
+    cfg.num_sets = 2000;
+    cfg.min_set_size = 50;
+    cfg.max_set_size = 60;
+    cfg.overlap = alpha;
+    cfg.seed = 5;
+    SetCollection c = GenerateSynthetic(cfg);
+    if (!first) EXPECT_LT(c.num_distinct_entities(), prev) << "alpha=" << alpha;
+    prev = c.num_distinct_entities();
+    first = false;
+  }
+}
+
+// Table 1b relationship: more sets -> more distinct entities (roughly
+// proportionally).
+TEST(Synthetic, DistinctEntitiesGrowWithSetCount) {
+  uint32_t prev = 0;
+  for (uint32_t n : {500u, 1000u, 2000u, 4000u}) {
+    SyntheticConfig cfg;
+    cfg.num_sets = n;
+    cfg.overlap = 0.9;
+    cfg.seed = 6;
+    SetCollection c = GenerateSynthetic(cfg);
+    EXPECT_GT(c.num_distinct_entities(), prev);
+    prev = c.num_distinct_entities();
+  }
+}
+
+// Table 1c relationship: larger sets -> more distinct entities.
+TEST(Synthetic, DistinctEntitiesGrowWithSetSize) {
+  uint32_t prev = 0;
+  for (uint32_t lo : {50u, 100u, 150u, 200u}) {
+    SyntheticConfig cfg;
+    cfg.num_sets = 1000;
+    cfg.min_set_size = lo;
+    cfg.max_set_size = lo + 50;
+    cfg.overlap = 0.9;
+    cfg.seed = 7;
+    SetCollection c = GenerateSynthetic(cfg);
+    EXPECT_GT(c.num_distinct_entities(), prev);
+    prev = c.num_distinct_entities();
+  }
+}
+
+TEST(Synthetic, HighOverlapSharesElements) {
+  SyntheticConfig cfg;
+  cfg.num_sets = 100;
+  cfg.overlap = 0.95;
+  cfg.seed = 8;
+  SetCollection c = GenerateSynthetic(cfg);
+  // With α = 0.95 and ~55-element sets, total incidences far exceed the
+  // distinct entity count (elements are heavily shared).
+  EXPECT_GT(c.total_elements(),
+            static_cast<size_t>(c.num_distinct_entities()) * 3);
+}
+
+TEST(Synthetic, ZeroOverlapMakesDisjointSets) {
+  SyntheticConfig cfg;
+  cfg.num_sets = 50;
+  cfg.overlap = 0.0;
+  cfg.seed = 9;
+  SetCollection c = GenerateSynthetic(cfg);
+  // All elements fresh: distinct entities == total incidences.
+  EXPECT_EQ(c.total_elements(), static_cast<size_t>(c.num_distinct_entities()));
+}
+
+TEST(Synthetic, SingleSetCollection) {
+  SyntheticConfig cfg;
+  cfg.num_sets = 1;
+  SetCollection c = GenerateSynthetic(cfg);
+  EXPECT_EQ(c.num_sets(), 1u);
+  EXPECT_GE(c.set_size(0), cfg.min_set_size);
+}
+
+}  // namespace
+}  // namespace setdisc

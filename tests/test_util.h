@@ -1,0 +1,87 @@
+#pragma once
+
+/// Shared fixtures for the test suite: the paper's running example (Fig. 1)
+/// and random-collection generators for property tests.
+
+#include <vector>
+
+#include "collection/set_collection.h"
+#include "collection/sub_collection.h"
+#include "util/rng.h"
+
+namespace setdisc::testing {
+
+// Entity ids for the Fig. 1 example: a=0, b=1, ..., k=10.
+inline constexpr EntityId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4, kF = 5,
+                          kG = 6, kH = 7, kI = 8, kJ = 9, kK = 10;
+
+/// The collection of Fig. 1:
+///   S1={a,b,c,d} S2={a,d,e} S3={a,b,c,d,f} S4={a,b,c,g,h}
+///   S5={a,b,h,i} S6={a,b,j,k} S7={a,b,g}
+inline SetCollection MakePaperCollection() {
+  SetCollectionBuilder b;
+  b.AddSet({kA, kB, kC, kD}, "S1");
+  b.AddSet({kA, kD, kE}, "S2");
+  b.AddSet({kA, kB, kC, kD, kF}, "S3");
+  b.AddSet({kA, kB, kC, kG, kH}, "S4");
+  b.AddSet({kA, kB, kH, kI}, "S5");
+  b.AddSet({kA, kB, kJ, kK}, "S6");
+  b.AddSet({kA, kB, kG}, "S7");
+  return b.Build();
+}
+
+/// The §4.3 variant collection C2: same as Fig. 1 except S1={a,b,c} and
+/// S4={a,b,c,d,g,h}.
+inline SetCollection MakePaperCollectionC2() {
+  SetCollectionBuilder b;
+  b.AddSet({kA, kB, kC}, "S1");
+  b.AddSet({kA, kD, kE}, "S2");
+  b.AddSet({kA, kB, kC, kD, kF}, "S3");
+  b.AddSet({kA, kB, kC, kD, kG, kH}, "S4");
+  b.AddSet({kA, kB, kH, kI}, "S5");
+  b.AddSet({kA, kB, kJ, kK}, "S6");
+  b.AddSet({kA, kB, kG}, "S7");
+  return b.Build();
+}
+
+/// A random collection of `n` unique sets over `m` entities where each
+/// entity joins each set with probability `density`. Sets are regenerated
+/// until unique and non-empty, so the result always has exactly n sets.
+inline SetCollection RandomCollection(uint64_t seed, uint32_t n, uint32_t m,
+                                      double density) {
+  Rng rng(seed);
+  SetCollectionBuilder builder;
+  uint32_t added = 0;
+  int guard = 0;
+  while (added < n && guard < 100000) {
+    ++guard;
+    std::vector<EntityId> elems;
+    for (EntityId e = 0; e < m; ++e) {
+      if (rng.Bernoulli(density)) elems.push_back(e);
+    }
+    if (elems.empty()) continue;
+    builder.AddSet(std::move(elems));
+    // Optimistically count; Build() dedups, so verify at the end.
+    ++added;
+  }
+  std::vector<SetId> mapping;
+  SetCollection c = builder.Build(&mapping);
+  if (c.num_sets() == n) return c;
+  // Duplicates collapsed: top up with sets carrying fresh distinguishing
+  // entities (keeps exactly n unique sets).
+  SetCollectionBuilder again;
+  for (SetId s = 0; s < c.num_sets(); ++s) {
+    again.AddSet({c.set(s).begin(), c.set(s).end()});
+  }
+  EntityId fresh = m;
+  while (again.num_pending() < n) {
+    std::vector<EntityId> elems = {fresh++};
+    for (EntityId e = 0; e < m; ++e) {
+      if (rng.Bernoulli(density)) elems.push_back(e);
+    }
+    again.AddSet(std::move(elems));
+  }
+  return again.Build();
+}
+
+}  // namespace setdisc::testing

@@ -1,0 +1,191 @@
+// Tests for offline-tree-guided discovery (§4.5 "Offline tree
+// construction"): path following, equivalence with dynamic sessions, halt
+// conditions, and the don't-know policies.
+
+#include <gtest/gtest.h>
+
+#include "core/klp.h"
+#include "core/selectors.h"
+#include "core/tree_discovery.h"
+#include "test_util.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+TEST(LeavesUnder, RootCoversWholeCollection) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  std::vector<SetId> leaves = LeavesUnder(tree, tree.root());
+  ASSERT_EQ(leaves.size(), 7u);
+  for (SetId s = 0; s < 7; ++s) EXPECT_EQ(leaves[s], s);
+}
+
+TEST(LeavesUnder, ChildrenPartitionTheRoot) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  const TreeNode& root = tree.node(tree.root());
+  std::vector<SetId> yes = LeavesUnder(tree, root.yes);
+  std::vector<SetId> no = LeavesUnder(tree, root.no);
+  EXPECT_EQ(yes.size() + no.size(), 7u);
+  for (SetId s : yes) EXPECT_TRUE(c.Contains(s, root.entity));
+  for (SetId s : no) EXPECT_FALSE(c.Contains(s, root.entity));
+}
+
+TEST(DiscoverWithTree, FindsEveryTargetAtLeafDepth) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  KlpSelector sel(KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  for (SetId target = 0; target < c.num_sets(); ++target) {
+    SimulatedOracle oracle(&c, target);
+    TreeDiscoveryResult r = DiscoverWithTree(tree, c, oracle);
+    ASSERT_TRUE(r.found());
+    EXPECT_EQ(r.discovered(), target);
+    // The question count is exactly the leaf depth — the quantity the tree
+    // cost metrics bound.
+    EXPECT_EQ(r.questions, tree.DepthOf(target));
+  }
+}
+
+TEST(DiscoverWithTree, MatchesDynamicSessionWithSameSelector) {
+  SetCollection c = RandomCollection(314, 30, 50, 0.4);
+  SubCollection full = SubCollection::Full(&c);
+  InvertedIndex index(c);
+  InfoGainSelector tree_sel;
+  DecisionTree tree = DecisionTree::Build(full, tree_sel);
+  for (SetId target = 0; target < c.num_sets(); target += 4) {
+    SimulatedOracle o1(&c, target);
+    TreeDiscoveryResult offline = DiscoverWithTree(tree, c, o1);
+    InfoGainSelector dyn_sel;
+    SimulatedOracle o2(&c, target);
+    DiscoveryResult online = Discover(c, index, {}, dyn_sel, o2);
+    ASSERT_TRUE(offline.found());
+    ASSERT_TRUE(online.found());
+    EXPECT_EQ(offline.discovered(), online.discovered());
+    EXPECT_EQ(offline.questions, online.questions);
+  }
+}
+
+TEST(DiscoverWithTree, HaltReturnsSubtreeCandidates) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  SimulatedOracle oracle(&c, 5);
+  TreeDiscoveryOptions opts;
+  opts.max_questions = 1;
+  TreeDiscoveryResult r = DiscoverWithTree(tree, c, oracle, opts);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.questions, 1);
+  EXPECT_GT(r.candidates.size(), 1u);
+  bool has_target = false;
+  for (SetId s : r.candidates) has_target |= s == 5u;
+  EXPECT_TRUE(has_target);
+}
+
+// Oracle that answers "don't know" for one specific entity.
+class UnsureOracle : public Oracle {
+ public:
+  UnsureOracle(const SetCollection* c, SetId target, EntityId unsure)
+      : c_(c), target_(target), unsure_(unsure) {}
+  Answer AskMembership(EntityId e) override {
+    if (e == unsure_) return Answer::kDontKnow;
+    return c_->Contains(target_, e) ? Answer::kYes : Answer::kNo;
+  }
+
+ private:
+  const SetCollection* c_;
+  SetId target_;
+  EntityId unsure_;
+};
+
+TEST(DiscoverWithTree, DontKnowStopPolicyReturnsSubtree) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  EntityId root_entity = tree.node(tree.root()).entity;
+  UnsureOracle oracle(&c, 2, root_entity);
+  TreeDiscoveryOptions opts;
+  opts.dont_know_policy = TreeDiscoveryOptions::DontKnowPolicy::kStop;
+  TreeDiscoveryResult r = DiscoverWithTree(tree, c, oracle, opts);
+  EXPECT_FALSE(r.found());
+  EXPECT_EQ(r.candidates.size(), 7u);  // stuck at the root
+  EXPECT_EQ(r.questions, 1);
+}
+
+TEST(DiscoverWithTree, DontKnowDynamicFallbackRecovers) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  EntityId root_entity = tree.node(tree.root()).entity;
+  for (SetId target = 0; target < c.num_sets(); ++target) {
+    UnsureOracle oracle(&c, target, root_entity);
+    MostEvenSelector fallback;
+    TreeDiscoveryOptions opts;
+    opts.dont_know_policy = TreeDiscoveryOptions::DontKnowPolicy::kDynamic;
+    opts.fallback_selector = &fallback;
+    TreeDiscoveryResult r = DiscoverWithTree(tree, c, oracle, opts);
+    ASSERT_TRUE(r.found()) << "target=" << target;
+    EXPECT_EQ(r.discovered(), target);
+    EXPECT_TRUE(r.fell_back);
+  }
+}
+
+TEST(DiscoverWithTree, DynamicPolicyWithoutSelectorDegradesToStop) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  UnsureOracle oracle(&c, 2, tree.node(tree.root()).entity);
+  TreeDiscoveryOptions opts;
+  opts.dont_know_policy = TreeDiscoveryOptions::DontKnowPolicy::kDynamic;
+  opts.fallback_selector = nullptr;
+  TreeDiscoveryResult r = DiscoverWithTree(tree, c, oracle, opts);
+  EXPECT_FALSE(r.found());
+  EXPECT_FALSE(r.fell_back);
+}
+
+TEST(DiscoverWithTree, AssumeNoPolicyWalksTheNoBranch) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  EntityId root_entity = tree.node(tree.root()).entity;
+  // Target whose set contains the root entity: assuming "no" goes wrong.
+  SetId target = kNoSet;
+  for (SetId s = 0; s < c.num_sets(); ++s) {
+    if (c.Contains(s, root_entity)) {
+      target = s;
+      break;
+    }
+  }
+  ASSERT_NE(target, kNoSet);
+  UnsureOracle oracle(&c, target, root_entity);
+  TreeDiscoveryOptions opts;
+  opts.dont_know_policy = TreeDiscoveryOptions::DontKnowPolicy::kAssumeNo;
+  TreeDiscoveryResult r = DiscoverWithTree(tree, c, oracle, opts);
+  if (r.found()) EXPECT_NE(r.discovered(), target);
+}
+
+TEST(DiscoverWithTree, SingleLeafTreeNeedsNoQuestions) {
+  SetCollection c = MakePaperCollection();
+  SubCollection one(&c, {3});
+  MostEvenSelector sel;
+  DecisionTree tree = DecisionTree::Build(one, sel);
+  SimulatedOracle oracle(&c, 3);
+  TreeDiscoveryResult r = DiscoverWithTree(tree, c, oracle);
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.discovered(), 3u);
+  EXPECT_EQ(r.questions, 0);
+}
+
+}  // namespace
+}  // namespace setdisc

@@ -1,0 +1,189 @@
+// Tests for Algorithm 3 (offline tree construction) and tree statistics:
+// structure validation, cost accounting, optimality on the Fig. 1/Fig. 2
+// example, and the §7 weighted-prior extension.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/bounds.h"
+#include "core/decision_tree.h"
+#include "core/klp.h"
+#include "core/selectors.h"
+#include "core/weighted.h"
+#include "test_util.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+TEST(DecisionTree, SingleSetIsALeaf) {
+  SetCollection c = MakePaperCollection();
+  SubCollection one(&c, {3});
+  MostEvenSelector sel;
+  DecisionTree tree = DecisionTree::Build(one, sel);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_EQ(tree.DepthOf(3), 0);
+  EXPECT_TRUE(tree.Validate(one).ok());
+}
+
+TEST(DecisionTree, FullBinaryOverPaperCollection) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  // n = 7 leaves, n - 1 = 6 internal nodes.
+  EXPECT_EQ(tree.num_leaves(), 7u);
+  EXPECT_EQ(tree.num_nodes(), 13u);
+  EXPECT_TRUE(tree.Validate(full).ok());
+  // Every set is reachable.
+  for (SetId s = 0; s < 7; ++s) EXPECT_GE(tree.DepthOf(s), 1);
+  EXPECT_EQ(tree.DepthOf(100), -1);
+}
+
+TEST(DecisionTree, OptimalSelectorReachesPaperOptimalCosts) {
+  // Fig. 2a is optimal: AD = 20/7 ≈ 2.857 and H = 3.
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  {
+    KlpSelector opt(KlpOptions::MakeOptimal(CostMetric::kAvgDepth));
+    DecisionTree tree = DecisionTree::Build(full, opt);
+    EXPECT_EQ(tree.total_depth(), 20);
+    EXPECT_NEAR(tree.avg_depth(), 2.857, 1e-3);
+    EXPECT_TRUE(tree.Validate(full).ok());
+  }
+  {
+    KlpSelector opt(KlpOptions::MakeOptimal(CostMetric::kHeight));
+    DecisionTree tree = DecisionTree::Build(full, opt);
+    EXPECT_EQ(tree.height(), 3);
+    EXPECT_TRUE(tree.Validate(full).ok());
+  }
+}
+
+TEST(DecisionTree, TreeCostNeverBelowSelectorBound) {
+  // The k-step bound at the root is a lower bound on the built tree's cost.
+  for (int seed : {41, 42, 43}) {
+    SetCollection c = RandomCollection(seed, 15, 28, 0.4);
+    SubCollection full = SubCollection::Full(&c);
+    for (CostMetric metric : {CostMetric::kAvgDepth, CostMetric::kHeight}) {
+      for (int k : {1, 2, 3}) {
+        KlpSelector sel(KlpOptions::MakeKlp(k, metric));
+        Cost bound = sel.SelectWithBound(full, kInfiniteCost).bound;
+        DecisionTree tree = DecisionTree::Build(full, sel);
+        Cost actual = metric == CostMetric::kAvgDepth
+                          ? static_cast<Cost>(tree.total_depth())
+                          : static_cast<Cost>(tree.height());
+        EXPECT_GE(actual, bound) << "seed=" << seed << " k=" << k;
+        EXPECT_TRUE(tree.Validate(full).ok());
+      }
+    }
+  }
+}
+
+TEST(DecisionTree, HigherKNeverWorseOnAverageAcrossSeeds) {
+  // Not guaranteed per-instance (the paper notes k-LP may occasionally lose
+  // to InfoGain), so we assert on the aggregate over seeds.
+  double total_k1 = 0, total_k3 = 0;
+  for (int seed = 60; seed < 72; ++seed) {
+    SetCollection c = RandomCollection(seed, 18, 30, 0.4);
+    SubCollection full = SubCollection::Full(&c);
+    KlpSelector k1(KlpOptions::MakeKlp(1, CostMetric::kAvgDepth));
+    KlpSelector k3(KlpOptions::MakeKlp(3, CostMetric::kAvgDepth));
+    total_k1 += DecisionTree::Build(full, k1).avg_depth();
+    total_k3 += DecisionTree::Build(full, k3).avg_depth();
+  }
+  EXPECT_LE(total_k3, total_k1 + 1e-9);
+}
+
+TEST(DecisionTree, OptimalTreeMatchesExhaustiveCostOnRandomCollections) {
+  for (int seed : {81, 82, 83, 84}) {
+    SetCollection c = RandomCollection(seed, 9, 14, 0.45);
+    SubCollection full = SubCollection::Full(&c);
+    for (CostMetric metric : {CostMetric::kAvgDepth, CostMetric::kHeight}) {
+      KlpSelector opt(KlpOptions::MakeOptimal(metric));
+      DecisionTree tree = DecisionTree::Build(full, opt);
+      Cost actual = metric == CostMetric::kAvgDepth
+                        ? static_cast<Cost>(tree.total_depth())
+                        : static_cast<Cost>(tree.height());
+      EXPECT_EQ(actual, OptimalTreeCost(full, metric)) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(DecisionTree, AvgDepthBoundedByLemma33) {
+  for (int seed : {91, 92}) {
+    SetCollection c = RandomCollection(seed, 20, 40, 0.35);
+    SubCollection full = SubCollection::Full(&c);
+    MostEvenSelector sel;
+    DecisionTree tree = DecisionTree::Build(full, sel);
+    EXPECT_GE(tree.total_depth(), MinTotalDepth(full.size()));
+    EXPECT_GE(tree.height(), CeilLog2(full.size()));
+  }
+}
+
+TEST(DecisionTree, ToStringRendersEntitiesAndSets) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  std::string s = tree.ToString(c);
+  EXPECT_NE(s.find("S1"), std::string::npos);
+  EXPECT_NE(s.find("?]"), std::string::npos);
+  // Depth-limited rendering elides.
+  std::string shallow = tree.ToString(c, 1);
+  EXPECT_NE(shallow.find("..."), std::string::npos);
+}
+
+TEST(WeightedTrees, WeightedAvgDepthMatchesUniformWhenEqual) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  MostEvenSelector sel;
+  DecisionTree tree = DecisionTree::Build(full, sel);
+  std::unordered_map<SetId, double> uniform;
+  for (SetId s = 0; s < 7; ++s) uniform[s] = 1.0;
+  EXPECT_NEAR(tree.WeightedAvgDepth(uniform), tree.avg_depth(), 1e-12);
+}
+
+TEST(WeightedTrees, SkewedPriorPullsLikelySetUp) {
+  // With nearly all mass on one set, a weight-balancing tree should place
+  // that set near the root, beating the uniform tree's expected cost.
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  std::vector<double> weights(7, 0.01);
+  weights[1] = 10.0;  // S2 overwhelmingly likely
+
+  WeightedMostEvenSelector wsel(&weights);
+  DecisionTree wtree = DecisionTree::Build(full, wsel);
+  MostEvenSelector usel;
+  DecisionTree utree = DecisionTree::Build(full, usel);
+
+  EXPECT_TRUE(wtree.Validate(full).ok());
+  EXPECT_LE(ExpectedQuestions(wtree, weights),
+            ExpectedQuestions(utree, weights) + 1e-9);
+  EXPECT_LE(wtree.DepthOf(1), utree.DepthOf(1));
+}
+
+TEST(WeightedTrees, EntropyLowerBound) {
+  std::vector<double> w = {1, 1, 1, 1};
+  std::vector<SetId> ids = {0, 1, 2, 3};
+  EXPECT_NEAR(WeightedEntropyLowerBound(w, ids), 2.0, 1e-12);
+  std::vector<double> skew = {8, 1, 1, 0};
+  EXPECT_LT(WeightedEntropyLowerBound(skew, ids), 2.0);
+  EXPECT_DOUBLE_EQ(WeightedEntropyLowerBound({}, {}), 0.0);
+}
+
+TEST(WeightedTrees, ExpectedQuestionsAtLeastEntropy) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  std::vector<double> weights = {4, 2, 2, 1, 1, 1, 1};
+  std::vector<SetId> ids(full.ids().begin(), full.ids().end());
+  WeightedMostEvenSelector wsel(&weights);
+  DecisionTree tree = DecisionTree::Build(full, wsel);
+  EXPECT_GE(ExpectedQuestions(tree, weights) + 1e-9,
+            WeightedEntropyLowerBound(weights, ids));
+}
+
+}  // namespace
+}  // namespace setdisc

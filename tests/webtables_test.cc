@@ -1,0 +1,112 @@
+// Tests for the simulated web-tables corpus (§5.2.1 substitution) and the
+// 2-entity seed-pair sub-collection extraction.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "collection/inverted_index.h"
+#include "data/webtables.h"
+
+namespace setdisc {
+namespace {
+
+WebTablesConfig SmallConfig() {
+  WebTablesConfig cfg;
+  cfg.num_sets = 3000;
+  cfg.num_domains = 60;
+  cfg.min_domain_vocab = 40;
+  cfg.max_domain_vocab = 200;
+  cfg.max_set_size = 60;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(WebTables, GeneratesRequestedCorpus) {
+  SetCollection c = GenerateWebTables(SmallConfig());
+  // Dedup may remove a handful of identical columns; the bulk remains.
+  EXPECT_GT(c.num_sets(), 2900u);
+  EXPECT_LE(c.num_sets(), 3000u);
+  for (SetId s = 0; s < c.num_sets(); ++s) {
+    EXPECT_GE(c.set_size(s), 3u);  // paper removes sets with < 3 values
+  }
+}
+
+TEST(WebTables, DeterministicForSeed) {
+  SetCollection a = GenerateWebTables(SmallConfig());
+  SetCollection b = GenerateWebTables(SmallConfig());
+  ASSERT_EQ(a.num_sets(), b.num_sets());
+  EXPECT_EQ(a.total_elements(), b.total_elements());
+}
+
+TEST(WebTables, EntityFrequenciesAreSkewed) {
+  SetCollection c = GenerateWebTables(SmallConfig());
+  InvertedIndex idx(c);
+  size_t max_freq = 0;
+  size_t singletons = 0;
+  size_t present = 0;
+  for (EntityId e = 0; e < c.universe_size(); ++e) {
+    size_t f = idx.Frequency(e);
+    if (f == 0) continue;
+    ++present;
+    max_freq = std::max(max_freq, f);
+    singletons += f == 1 ? 1 : 0;
+  }
+  // Zipfian head: some entity occurs in a large share of sets; Zipfian
+  // tail: many entities occur once.
+  EXPECT_GT(max_freq, c.num_sets() / 20);
+  EXPECT_GT(singletons, present / 20);
+}
+
+TEST(WebTables, SeedPairExtractionRespectsMinSets) {
+  SetCollection c = GenerateWebTables(SmallConfig());
+  InvertedIndex idx(c);
+  auto subs = ExtractSeedPairSubCollections(c, idx, /*min_sets=*/50,
+                                            /*max_subcollections=*/20,
+                                            /*seed=*/3);
+  ASSERT_FALSE(subs.empty());
+  for (const auto& entry : subs) {
+    EXPECT_GE(entry.set_ids.size(), 50u);
+    // Every candidate set contains both seed entities.
+    for (SetId s : entry.set_ids) {
+      EXPECT_TRUE(c.Contains(s, entry.a));
+      EXPECT_TRUE(c.Contains(s, entry.b));
+    }
+  }
+}
+
+TEST(WebTables, SeedPairsAreDistinct) {
+  SetCollection c = GenerateWebTables(SmallConfig());
+  InvertedIndex idx(c);
+  auto subs = ExtractSeedPairSubCollections(c, idx, 30, 30, 4);
+  std::set<std::pair<EntityId, EntityId>> pairs;
+  for (const auto& entry : subs) {
+    auto key = std::minmax(entry.a, entry.b);
+    EXPECT_TRUE(pairs.emplace(key.first, key.second).second)
+        << "duplicate seed pair";
+  }
+}
+
+TEST(WebTables, ExtractionDeterministicForSeed) {
+  SetCollection c = GenerateWebTables(SmallConfig());
+  InvertedIndex idx(c);
+  auto a = ExtractSeedPairSubCollections(c, idx, 40, 10, 5);
+  auto b = ExtractSeedPairSubCollections(c, idx, 40, 10, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].a, b[i].a);
+    EXPECT_EQ(a[i].b, b[i].b);
+    EXPECT_EQ(a[i].set_ids, b[i].set_ids);
+  }
+}
+
+TEST(WebTables, ImpossibleMinSetsYieldsNothing) {
+  SetCollection c = GenerateWebTables(SmallConfig());
+  InvertedIndex idx(c);
+  auto subs =
+      ExtractSeedPairSubCollections(c, idx, c.num_sets() + 1, 10, 6);
+  EXPECT_TRUE(subs.empty());
+}
+
+}  // namespace
+}  // namespace setdisc

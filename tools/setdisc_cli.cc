@@ -1,0 +1,233 @@
+// setdisc_cli — interactive set discovery over a text collection.
+//
+// Usage:
+//   setdisc_cli <collection.txt> [options]
+//
+// The collection file has one set per line: whitespace-separated entity
+// names ('#' starts a comment line). Modes:
+//
+//   --stats           print collection statistics and per-strategy tree costs
+//   --tree            print the decision tree (default strategy: 2-LP)
+//   --ask             run an interactive session on stdin: answer y / n / ?
+//   --simulate LABEL  run a session against the set labeled/numbered LABEL
+//
+// Options:
+//   --k N             lookahead depth for k-LP (default 2)
+//   --q N             beam width (k-LPLE); unlimited when omitted
+//   --metric ad|h     optimize average (ad) or worst case (h); default ad
+//   --examples a,b,c  initial example entities (comma separated)
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "collection/inverted_index.h"
+#include "collection/serialization.h"
+#include "core/decision_tree.h"
+#include "core/discovery.h"
+#include "core/klp.h"
+#include "core/selectors.h"
+#include "util/table_printer.h"
+
+using namespace setdisc;
+
+namespace {
+
+/// Reads answers from stdin for the --ask mode.
+class StdinOracle : public Oracle {
+ public:
+  explicit StdinOracle(const SetCollection* collection)
+      : collection_(collection) {}
+
+  Answer AskMembership(EntityId e) override {
+    for (;;) {
+      std::cout << "Is \"" << collection_->EntityName(e)
+                << "\" in your set? [y/n/?] " << std::flush;
+      std::string line;
+      if (!std::getline(std::cin, line)) return Answer::kDontKnow;
+      if (line == "y" || line == "Y" || line == "yes") return Answer::kYes;
+      if (line == "n" || line == "N" || line == "no") return Answer::kNo;
+      if (line == "?" || line == "dk") return Answer::kDontKnow;
+      std::cout << "please answer y, n, or ?\n";
+    }
+  }
+
+ private:
+  const SetCollection* collection_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: setdisc_cli <collection.txt> "
+               "[--stats|--tree|--ask|--simulate LABEL]\n"
+               "                   [--k N] [--q N] [--metric ad|h] "
+               "[--examples a,b,c]\n");
+  return 2;
+}
+
+std::vector<EntityId> ParseExamples(const SetCollection& collection,
+                                    const std::string& csv) {
+  std::vector<EntityId> out;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    EntityId e = collection.dict() != nullptr
+                     ? collection.dict()->Lookup(token)
+                     : kNoEntity;
+    if (e == kNoEntity) {
+      std::fprintf(stderr, "warning: unknown entity \"%s\" ignored\n",
+                   token.c_str());
+      continue;
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+SetId ResolveSet(const SetCollection& collection, const std::string& label) {
+  for (SetId s = 0; s < collection.num_sets(); ++s) {
+    if (collection.label(s) == label) return s;
+  }
+  // Fall back to a numeric id.
+  char* end = nullptr;
+  unsigned long v = std::strtoul(label.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && v < collection.num_sets()) {
+    return static_cast<SetId>(v);
+  }
+  return kNoSet;
+}
+
+void PrintSession(const SetCollection& collection,
+                  const DiscoveryResult& result) {
+  for (auto& [entity, answer] : result.transcript) {
+    const char* a = answer == Oracle::Answer::kYes ? "yes"
+                    : answer == Oracle::Answer::kNo ? "no"
+                                                    : "don't know";
+    std::cout << "  " << collection.EntityName(entity) << " -> " << a << "\n";
+  }
+  if (result.found()) {
+    SetId s = result.discovered();
+    std::cout << "discovered set " << s;
+    if (!collection.label(s).empty()) std::cout << " (" << collection.label(s)
+                                                << ")";
+    std::cout << " in " << result.questions << " questions:\n  {";
+    bool first = true;
+    for (EntityId e : collection.set(s)) {
+      if (!first) std::cout << ", ";
+      first = false;
+      std::cout << collection.EntityName(e);
+    }
+    std::cout << "}\n";
+  } else {
+    std::cout << result.candidates.size()
+              << " candidate sets remain after " << result.questions
+              << " questions\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string path = argv[1];
+
+  enum class Mode { kStats, kTree, kAsk, kSimulate } mode = Mode::kStats;
+  std::string simulate_label;
+  std::string examples_csv;
+  int k = 2;
+  int q = -1;
+  CostMetric metric = CostMetric::kAvgDepth;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--stats") {
+      mode = Mode::kStats;
+    } else if (arg == "--tree") {
+      mode = Mode::kTree;
+    } else if (arg == "--ask") {
+      mode = Mode::kAsk;
+    } else if (arg == "--simulate" && i + 1 < argc) {
+      mode = Mode::kSimulate;
+      simulate_label = argv[++i];
+    } else if (arg == "--k" && i + 1 < argc) {
+      k = std::atoi(argv[++i]);
+    } else if (arg == "--q" && i + 1 < argc) {
+      q = std::atoi(argv[++i]);
+    } else if (arg == "--metric" && i + 1 < argc) {
+      std::string m = argv[++i];
+      metric = m == "h" ? CostMetric::kHeight : CostMetric::kAvgDepth;
+    } else if (arg == "--examples" && i + 1 < argc) {
+      examples_csv = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+
+  SetCollection collection;
+  Status status = LoadCollectionText(path, &collection);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::cout << "loaded " << collection.num_sets() << " unique sets over "
+            << collection.num_distinct_entities() << " entities from " << path
+            << "\n";
+  if (collection.num_sets() == 0) return 0;
+
+  KlpOptions options = q > 0 ? KlpOptions::MakeKlple(k, q, metric)
+                             : KlpOptions::MakeKlp(k, metric);
+  KlpSelector selector(options);
+  SubCollection full = SubCollection::Full(&collection);
+
+  switch (mode) {
+    case Mode::kStats: {
+      TablePrinter t({"strategy", "avg questions (AD)", "max questions (H)"});
+      InfoGainSelector info_gain;
+      DecisionTree ig_tree = DecisionTree::Build(full, info_gain);
+      t.AddRow({"InfoGain", Format("%.3f", ig_tree.avg_depth()),
+                Format("%d", ig_tree.height())});
+      DecisionTree klp_tree = DecisionTree::Build(full, selector);
+      t.AddRow({std::string(selector.name()),
+                Format("%.3f", klp_tree.avg_depth()),
+                Format("%d", klp_tree.height())});
+      t.Print(std::cout);
+      return 0;
+    }
+    case Mode::kTree: {
+      DecisionTree tree = DecisionTree::Build(full, selector);
+      std::cout << "strategy " << selector.name() << ", avg depth "
+                << Format("%.3f", tree.avg_depth()) << ", height "
+                << tree.height() << "\n"
+                << tree.ToString(collection, /*max_depth=*/32);
+      return 0;
+    }
+    case Mode::kAsk: {
+      InvertedIndex index(collection);
+      std::vector<EntityId> initial = ParseExamples(collection, examples_csv);
+      StdinOracle oracle(&collection);
+      DiscoveryResult result =
+          Discover(collection, index, initial, selector, oracle);
+      PrintSession(collection, result);
+      return result.found() ? 0 : 1;
+    }
+    case Mode::kSimulate: {
+      SetId target = ResolveSet(collection, simulate_label);
+      if (target == kNoSet) {
+        std::fprintf(stderr, "error: unknown set \"%s\"\n",
+                     simulate_label.c_str());
+        return 1;
+      }
+      InvertedIndex index(collection);
+      std::vector<EntityId> initial = ParseExamples(collection, examples_csv);
+      SimulatedOracle oracle(&collection, target);
+      DiscoveryResult result =
+          Discover(collection, index, initial, selector, oracle);
+      PrintSession(collection, result);
+      return result.found() && result.discovered() == target ? 0 : 1;
+    }
+  }
+  return 0;
+}
