@@ -1,0 +1,137 @@
+// Service throughput: sessions/sec through the SessionManager at rising
+// concurrency (1 / 4 / 16 / 64 pool threads), the serving shape behind the
+// ROADMAP's "heavy traffic" goal.
+//
+// Each simulated user runs one full discovery conversation against a
+// SimulatedOracle whose answers arrive after a think-time latency
+// (SETDISC_ORACLE_LATENCY_US, default 300µs — interactive users are orders
+// of magnitude slower; the default keeps the bench short while still
+// modeling the wait). Concurrency wins twice: think time of one session
+// overlaps with other sessions' Select() scans, and on multi-core hardware
+// the scans themselves run in parallel.
+//
+// Not measured here: protocol/serialization cost (no server frontend yet).
+
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/selectors.h"
+#include "data/synthetic.h"
+#include "service/session_manager.h"
+
+namespace setdisc::bench {
+namespace {
+
+int OracleLatencyUs() {
+  const char* env = std::getenv("SETDISC_ORACLE_LATENCY_US");
+  if (env != nullptr) return std::atoi(env);
+  return 300;
+}
+
+/// Oracle whose answers take wall-clock time, like a human (or a network
+/// round-trip) would.
+class SlowOracle : public Oracle {
+ public:
+  SlowOracle(const SetCollection* c, SetId target, int latency_us)
+      : inner_(c, target), latency_us_(latency_us) {}
+
+  Answer AskMembership(EntityId e) override {
+    if (latency_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+    }
+    return inner_.AskMembership(e);
+  }
+  bool ConfirmTarget(SetId s) override { return inner_.ConfirmTarget(s); }
+
+ private:
+  SimulatedOracle inner_;
+  int latency_us_;
+};
+
+struct RunStats {
+  double seconds = 0.0;
+  long questions = 0;
+  int failures = 0;
+};
+
+RunStats RunSessions(const SetCollection& c, const InvertedIndex& idx,
+                     int num_sessions, size_t num_threads, int latency_us) {
+  SessionManagerOptions options;
+  options.selector_factory = [] { return std::make_unique<MostEvenSelector>(); };
+  options.num_threads = num_threads;
+  SessionManager manager(c, idx, options);
+
+  WallTimer timer;
+  std::vector<std::future<std::pair<long, bool>>> jobs;
+  jobs.reserve(num_sessions);
+  for (int i = 0; i < num_sessions; ++i) {
+    SetId target = static_cast<SetId>(i % c.num_sets());
+    jobs.push_back(
+        manager.pool().Submit([&manager, &c, target, latency_us] {
+          SlowOracle oracle(&c, target, latency_us);
+          SessionView view = manager.Drive(manager.Create({}), oracle);
+          manager.Close(view.id);  // finished sessions must not accumulate
+          bool ok = view.state == SessionState::kFinished &&
+                    view.result.found() && view.result.discovered() == target;
+          return std::make_pair(static_cast<long>(view.questions_asked), ok);
+        }));
+  }
+
+  RunStats stats;
+  for (auto& job : jobs) {
+    auto [questions, ok] = job.get();
+    stats.questions += questions;
+    if (!ok) ++stats.failures;
+  }
+  stats.seconds = timer.Seconds();
+  return stats;
+}
+
+}  // namespace
+}  // namespace setdisc::bench
+
+int main() {
+  using namespace setdisc;
+  using namespace setdisc::bench;
+
+  Banner("service", "SessionManager throughput vs. concurrency");
+
+  SyntheticConfig cfg;
+  cfg.num_sets = ScalePick<uint32_t>(2000, 10000, 50000);
+  cfg.min_set_size = 20;
+  cfg.max_set_size = 40;
+  cfg.overlap = 0.7;
+  cfg.seed = 404;
+  SetCollection c = GenerateSynthetic(cfg);
+  InvertedIndex idx(c);
+
+  const int num_sessions = ScalePick<int>(256, 1024, 8192);
+  const int latency_us = OracleLatencyUs();
+  std::cout << "collection: " << c.num_sets() << " sets, "
+            << c.num_distinct_entities() << " entities; " << num_sessions
+            << " sessions per run; oracle latency " << latency_us << "us\n"
+            << "hardware threads: " << std::thread::hardware_concurrency()
+            << "\n\n";
+
+  TablePrinter table({"pool threads", "sessions/sec", "questions/sec",
+                      "speedup vs 1", "failures"});
+  double base_rate = 0.0;
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
+    RunStats stats = RunSessions(c, idx, num_sessions, threads, latency_us);
+    double rate = num_sessions / stats.seconds;
+    if (threads == 1) base_rate = rate;
+    table.AddRow({Format("%zu", threads), Format("%.1f", rate),
+                  Format("%.1f", stats.questions / stats.seconds),
+                  Format("%.2fx", rate / base_rate),
+                  Format("%d", stats.failures)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n(interactive serving: think-time of one session overlaps "
+               "other sessions' selector scans;\n on multi-core hardware the "
+               "scans also run in parallel)\n";
+  return 0;
+}

@@ -91,8 +91,12 @@ SetCollection SetCollectionBuilder::Build(std::vector<SetId>* original_to_final)
   if (used_names_) {
     out.dict_ = std::make_shared<EntityDict>(std::move(dict_));
   }
+  // Build() consumes the builder: reset to a pristine state so reuse starts
+  // a fresh collection instead of silently reading a moved-from dictionary.
   pending_.clear();
   labels_.clear();
+  dict_ = EntityDict();
+  used_names_ = false;
   return out;
 }
 

@@ -43,6 +43,11 @@ class SetCollectionBuilder {
   /// Builds the immutable collection. Identical sets collapse into one; if
   /// `original_to_final` is non-null it receives, for every AddSet call, the
   /// final SetId its set mapped to.
+  ///
+  /// Build() consumes the builder's contents and resets it to the
+  /// just-constructed state: pending sets, labels, and the name dictionary
+  /// are all cleared, so a reused builder starts an independent collection
+  /// (entity ids interned for a previous Build are NOT preserved).
   SetCollection Build(std::vector<SetId>* original_to_final = nullptr);
 
   /// Access to the name dictionary for callers that interleave interning

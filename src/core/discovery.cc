@@ -1,127 +1,33 @@
 #include "core/discovery.h"
 
-#include <algorithm>
-#include <unordered_set>
+#include "service/discovery_session.h"
+#include "util/status.h"
 
 namespace setdisc {
 
-namespace {
-
-/// One answered question: the candidate ids before it, the entity asked, and
-/// the branch taken. Kept for §6 backtracking.
-struct Frame {
-  std::vector<SetId> ids_before;
-  EntityId entity;
-  bool answered_yes;
-  bool flipped = false;
-};
-
-std::vector<SetId> RemoveRejected(std::vector<SetId> ids,
-                                  const std::unordered_set<SetId>& rejected) {
-  if (rejected.empty()) return ids;
-  ids.erase(std::remove_if(ids.begin(), ids.end(),
-                           [&](SetId s) { return rejected.count(s) > 0; }),
-            ids.end());
-  return ids;
-}
-
-}  // namespace
-
+// Algorithm 2 lives in DiscoverySession (service/discovery_session.cc) as a
+// stepwise state machine; this blocking driver just feeds it the Oracle's
+// answers. Keeping a single implementation guarantees the interactive
+// service and the batch API cannot diverge on the §6 semantics.
 DiscoveryResult Discover(const SetCollection& collection,
                          const InvertedIndex& index,
                          std::span<const EntityId> initial,
                          EntitySelector& selector, Oracle& oracle,
                          const DiscoveryOptions& options) {
-  DiscoveryResult result;
-
-  // Lines 1-4: candidates are the supersets of the initial example set I.
-  std::vector<SetId> cs_ids = index.SetsContainingAll(initial);
-  if (cs_ids.empty()) return result;
-
-  EntityExclusion excluded;  // §6 "don't know" entities
-  bool any_excluded = false;
-  std::unordered_set<SetId> rejected;  // sets refuted during verification
-  std::vector<Frame> frames;
-
-  SubCollection cs(&collection, std::move(cs_ids));
-
-  while (true) {
-    // Lines 5-12: narrow until one candidate (or Γ halts the session).
-    while (cs.size() > 1) {
-      if (options.max_questions >= 0 &&
-          result.questions >= options.max_questions) {
-        result.halted = true;
-        result.candidates.assign(cs.ids().begin(), cs.ids().end());
-        return result;
-      }
-      EntityId e =
-          selector.Select(cs, any_excluded ? &excluded : nullptr);
-      if (e == kNoEntity) {
-        // Every informative entity excluded: cannot narrow further (§6).
-        result.candidates.assign(cs.ids().begin(), cs.ids().end());
-        return result;
-      }
-      Oracle::Answer answer = oracle.AskMembership(e);
-      ++result.questions;
-      result.transcript.emplace_back(e, answer);
-
-      if (answer == Oracle::Answer::kDontKnow && options.handle_dont_know) {
-        if (excluded.size() <= e) excluded.resize(e + 1, false);
-        excluded[e] = true;
-        any_excluded = true;
-        continue;  // re-select on the same candidate collection
-      }
-      bool yes = answer == Oracle::Answer::kYes;
-      if (options.verify_and_backtrack) {
-        Frame f;
-        f.ids_before.assign(cs.ids().begin(), cs.ids().end());
-        f.entity = e;
-        f.answered_yes = yes;
-        frames.push_back(std::move(f));
-      }
-      auto [in, out] = cs.Partition(e);
-      cs = yes ? std::move(in) : std::move(out);
-    }
-
-    result.candidates.assign(cs.ids().begin(), cs.ids().end());
-    if (!options.verify_and_backtrack) return result;
-    if (cs.size() == 1 && oracle.ConfirmTarget(cs.front())) {
-      result.confirmed = true;
-      return result;
-    }
-
-    // §6 error recovery: the discovered set was refuted (or exclusions left
-    // several sets). Flip the most recent unflipped answer and resume.
-    if (cs.size() == 1) rejected.insert(cs.front());
-    bool resumed = false;
-    while (!frames.empty()) {
-      Frame& f = frames.back();
-      if (f.flipped) {
-        frames.pop_back();
-        continue;
-      }
-      f.flipped = true;
-      SubCollection before(&collection, f.ids_before);
-      auto [in, out] = before.Partition(f.entity);
-      // Take the branch opposite to the (suspected erroneous) answer.
-      std::vector<SetId> alt((f.answered_yes ? out : in).ids().begin(),
-                             (f.answered_yes ? out : in).ids().end());
-      alt = RemoveRejected(std::move(alt), rejected);
-      if (alt.empty()) continue;  // nothing viable there; keep unwinding
-      if (result.backtracks >= options.max_backtracks) {
-        result.candidates = std::move(alt);
-        return result;
-      }
-      ++result.backtracks;
-      cs = SubCollection(&collection, std::move(alt));
-      resumed = true;
-      break;
-    }
-    if (!resumed) {
-      // Exhausted the answer tree without confirmation.
-      return result;
+  DiscoverySession session(collection, index, initial, selector, options);
+  while (!session.done()) {
+    switch (session.state()) {
+      case SessionState::kAwaitingAnswer:
+        session.SubmitAnswer(oracle.AskMembership(session.NextQuestion()));
+        break;
+      case SessionState::kAwaitingVerify:
+        session.Verify(oracle.ConfirmTarget(session.PendingVerify()));
+        break;
+      case SessionState::kFinished:
+        break;
     }
   }
+  return session.TakeResult();
 }
 
 int CountQuestions(const SetCollection& collection, const InvertedIndex& index,

@@ -13,6 +13,11 @@
 /// Oracles abstract the user; SimulatedOracle reproduces the paper's
 /// evaluation setup ("user answers ... simulated by verifying them against
 /// the output of the target query", §5.2.3) and can inject noise.
+///
+/// The algorithm itself is implemented once, as the stepwise state machine
+/// in service/discovery_session.h; `Discover()` is a blocking convenience
+/// driver over it. Callers that own the conversation (servers, UIs) should
+/// use DiscoverySession / SessionManager directly.
 
 #include <cstdint>
 #include <span>

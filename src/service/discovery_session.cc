@@ -1,0 +1,162 @@
+#include "service/discovery_session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/status.h"
+
+namespace setdisc {
+
+namespace {
+
+std::vector<SetId> RemoveRejected(std::vector<SetId> ids,
+                                  const std::unordered_set<SetId>& rejected) {
+  if (rejected.empty()) return ids;
+  ids.erase(std::remove_if(ids.begin(), ids.end(),
+                           [&](SetId s) { return rejected.count(s) > 0; }),
+            ids.end());
+  return ids;
+}
+
+}  // namespace
+
+DiscoverySession::DiscoverySession(const SetCollection& collection,
+                                   const InvertedIndex& index,
+                                   std::span<const EntityId> initial,
+                                   EntitySelector& selector,
+                                   const DiscoveryOptions& options)
+    : collection_(&collection), selector_(&selector), options_(options) {
+  // Lines 1-4: candidates are the supersets of the initial example set I.
+  std::vector<SetId> cs_ids = index.SetsContainingAll(initial);
+  if (cs_ids.empty()) {
+    Finish();
+    return;
+  }
+  candidates_ = SubCollection(collection_, std::move(cs_ids));
+  Advance();
+}
+
+void DiscoverySession::Advance() {
+  // Lines 5-12 of Algorithm 2, one narrowing step at a time: while several
+  // candidates remain, each Advance() either parks in kAwaitingAnswer with
+  // the next question or finishes; SubmitAnswer() partitions and calls
+  // Advance() again, which is what iterates the original inner loop.
+  if (candidates_.size() > 1) {
+    if (options_.max_questions >= 0 &&
+        result_.questions >= options_.max_questions) {
+      result_.halted = true;  // the halt condition Γ fired
+      result_.candidates.assign(candidates_.ids().begin(),
+                                candidates_.ids().end());
+      Finish();
+      return;
+    }
+    EntityId e =
+        selector_->Select(candidates_, any_excluded_ ? &excluded_ : nullptr);
+    if (e == kNoEntity) {
+      // Every informative entity excluded: cannot narrow further (§6).
+      result_.candidates.assign(candidates_.ids().begin(),
+                                candidates_.ids().end());
+      Finish();
+      return;
+    }
+    pending_entity_ = e;
+    state_ = SessionState::kAwaitingAnswer;
+    return;
+  }
+
+  result_.candidates.assign(candidates_.ids().begin(), candidates_.ids().end());
+  if (!options_.verify_and_backtrack) {
+    Finish();
+    return;
+  }
+  if (candidates_.size() == 1) {
+    pending_set_ = candidates_.front();
+    state_ = SessionState::kAwaitingVerify;
+    return;
+  }
+  // Degenerate: exclusions/backtracking left no candidate at all — try the
+  // remaining branches of the answer tree.
+  Backtrack();
+}
+
+void DiscoverySession::SubmitAnswer(Oracle::Answer answer) {
+  SETDISC_CHECK_MSG(state_ == SessionState::kAwaitingAnswer,
+                    "SubmitAnswer outside kAwaitingAnswer");
+  EntityId e = pending_entity_;
+  pending_entity_ = kNoEntity;
+
+  ++result_.questions;
+  result_.transcript.emplace_back(e, answer);
+
+  if (answer == Oracle::Answer::kDontKnow && options_.handle_dont_know) {
+    if (excluded_.size() <= e) excluded_.resize(e + 1, false);
+    excluded_[e] = true;
+    any_excluded_ = true;
+    Advance();  // re-select on the same candidate collection
+    return;
+  }
+  bool yes = answer == Oracle::Answer::kYes;
+  if (options_.verify_and_backtrack) {
+    Frame f;
+    f.ids_before.assign(candidates_.ids().begin(), candidates_.ids().end());
+    f.entity = e;
+    f.answered_yes = yes;
+    frames_.push_back(std::move(f));
+  }
+  auto [in, out] = candidates_.Partition(e);
+  candidates_ = yes ? std::move(in) : std::move(out);
+  Advance();
+}
+
+void DiscoverySession::Verify(bool confirmed) {
+  SETDISC_CHECK_MSG(state_ == SessionState::kAwaitingVerify,
+                    "Verify outside kAwaitingVerify");
+  SetId s = pending_set_;
+  pending_set_ = kNoSet;
+
+  if (confirmed) {
+    result_.confirmed = true;
+    Finish();
+    return;
+  }
+  // §6 error recovery: the discovered set was refuted.
+  rejected_.insert(s);
+  Backtrack();
+}
+
+void DiscoverySession::Backtrack() {
+  // Flip the most recent unflipped answer and resume on the branch opposite
+  // to the (suspected erroneous) answer.
+  while (!frames_.empty()) {
+    Frame& f = frames_.back();
+    if (f.flipped) {
+      frames_.pop_back();
+      continue;
+    }
+    f.flipped = true;
+    SubCollection before(collection_, f.ids_before);
+    auto [in, out] = before.Partition(f.entity);
+    std::vector<SetId> alt((f.answered_yes ? out : in).ids().begin(),
+                           (f.answered_yes ? out : in).ids().end());
+    alt = RemoveRejected(std::move(alt), rejected_);
+    if (alt.empty()) continue;  // nothing viable there; keep unwinding
+    if (result_.backtracks >= options_.max_backtracks) {
+      result_.candidates = std::move(alt);
+      Finish();
+      return;
+    }
+    ++result_.backtracks;
+    candidates_ = SubCollection(collection_, std::move(alt));
+    Advance();
+    return;
+  }
+  // Exhausted the answer tree without confirmation.
+  Finish();
+}
+
+DiscoveryResult DiscoverySession::TakeResult() {
+  SETDISC_CHECK_MSG(done(), "TakeResult on an unfinished session");
+  return std::move(result_);
+}
+
+}  // namespace setdisc

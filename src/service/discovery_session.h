@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file discovery_session.h
+/// Algorithm 2 as a resumable state machine.
+///
+/// The library's original `Discover()` is a blocking loop: it calls the
+/// Oracle inline and holds its thread until the session ends. A serving
+/// engine needs the inverse shape — the *caller* owns the conversation and
+/// the engine exposes one step at a time:
+///
+///   DiscoverySession s(collection, index, initial, selector, options);
+///   while (!s.done()) {
+///     switch (s.state()) {
+///       case SessionState::kAwaitingAnswer:
+///         s.SubmitAnswer(AnswerFromUser(s.NextQuestion()));
+///         break;
+///       case SessionState::kAwaitingVerify:
+///         s.Verify(UserConfirms(s.PendingVerify()));
+///         break;
+///       default: break;
+///     }
+///   }
+///   DiscoveryResult r = s.TakeResult();
+///
+/// The state machine preserves the §6 semantics exactly — "don't know"
+/// exclusion with re-selection, and verification/backtracking with answer
+/// flips — and `Discover()` is now a thin wrapper that drives a session
+/// against an Oracle, so the two cannot diverge.
+///
+/// A session is single-conversation state: it is NOT thread-safe (neither is
+/// the EntitySelector it holds). Concurrency lives one layer up, in
+/// SessionManager.
+
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "collection/inverted_index.h"
+#include "collection/set_collection.h"
+#include "collection/sub_collection.h"
+#include "core/discovery.h"
+#include "core/selector.h"
+
+namespace setdisc {
+
+/// Where a session currently stands.
+enum class SessionState {
+  /// A membership question is pending: read it with NextQuestion(), answer
+  /// with SubmitAnswer().
+  kAwaitingAnswer,
+  /// A single candidate remains and options.verify_and_backtrack is on:
+  /// read it with PendingVerify(), resolve with Verify().
+  kAwaitingVerify,
+  /// The session is over; TakeResult()/result() hold the outcome.
+  kFinished,
+};
+
+/// One interactive discovery conversation, advanced step by step.
+class DiscoverySession {
+ public:
+  /// Starts a session: filters candidates to the supersets of `initial`
+  /// (Algorithm 2 lines 1-4) and selects the first question. The session
+  /// keeps references to `collection`, `index`, and `selector`; all three
+  /// must outlive it. The selector must not be shared with a concurrently
+  /// stepping session.
+  DiscoverySession(const SetCollection& collection, const InvertedIndex& index,
+                   std::span<const EntityId> initial, EntitySelector& selector,
+                   const DiscoveryOptions& options = {});
+
+  DiscoverySession(DiscoverySession&&) = default;
+  DiscoverySession& operator=(DiscoverySession&&) = default;
+
+  SessionState state() const { return state_; }
+  bool done() const { return state_ == SessionState::kFinished; }
+
+  /// The entity of the pending question. Only valid in kAwaitingAnswer
+  /// (returns kNoEntity otherwise).
+  EntityId NextQuestion() const {
+    return state_ == SessionState::kAwaitingAnswer ? pending_entity_
+                                                   : kNoEntity;
+  }
+
+  /// The single remaining candidate awaiting confirmation. Only valid in
+  /// kAwaitingVerify (returns kNoSet otherwise).
+  SetId PendingVerify() const {
+    return state_ == SessionState::kAwaitingVerify ? pending_set_ : kNoSet;
+  }
+
+  /// Answers the pending question (state must be kAwaitingAnswer) and
+  /// advances: partitions the candidates — or, for kDontKnow under
+  /// options.handle_dont_know, excludes the entity and re-selects on the
+  /// same candidates (§6) — then picks the next question or finishes.
+  void SubmitAnswer(Oracle::Answer answer);
+
+  /// Resolves the pending verification (state must be kAwaitingVerify).
+  /// `confirmed` = true ends the session confirmed; false triggers §6
+  /// backtracking: the most recent unflipped answer is flipped and the
+  /// session resumes on the alternative branch (or finishes when the answer
+  /// tree or the flip budget is exhausted).
+  void Verify(bool confirmed);
+
+  /// Live view of the result so far (questions, transcript, candidates...).
+  /// Fully populated once done().
+  const DiscoveryResult& result() const { return result_; }
+
+  /// Moves the result out; the session must be done().
+  DiscoveryResult TakeResult();
+
+  /// Number of candidate sets still standing.
+  size_t num_candidates() const { return candidates_.size(); }
+
+  const DiscoveryOptions& options() const { return options_; }
+
+ private:
+  /// One answered question: the candidate ids before it, the entity asked,
+  /// and the branch taken. Kept for §6 backtracking.
+  struct Frame {
+    std::vector<SetId> ids_before;
+    EntityId entity;
+    bool answered_yes;
+    bool flipped = false;
+  };
+
+  /// Runs the narrowing loop (Algorithm 2 lines 5-12) until it needs outside
+  /// input: stops in kAwaitingAnswer with a selected question, in
+  /// kAwaitingVerify with a single candidate, or in kFinished.
+  void Advance();
+
+  /// §6 error recovery after a rejected verification: flip the most recent
+  /// unflipped answer and resume, or finish when nothing viable remains.
+  void Backtrack();
+
+  void Finish() { state_ = SessionState::kFinished; }
+
+  const SetCollection* collection_;
+  EntitySelector* selector_;
+  DiscoveryOptions options_;
+
+  SessionState state_ = SessionState::kFinished;
+  SubCollection candidates_;
+  EntityId pending_entity_ = kNoEntity;
+  SetId pending_set_ = kNoSet;
+
+  EntityExclusion excluded_;  // §6 "don't know" entities
+  bool any_excluded_ = false;
+  std::unordered_set<SetId> rejected_;  // sets refuted during verification
+  std::vector<Frame> frames_;
+
+  DiscoveryResult result_;
+};
+
+}  // namespace setdisc

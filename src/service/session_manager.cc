@@ -1,0 +1,193 @@
+#include "service/session_manager.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/status.h"
+
+namespace setdisc {
+
+SessionManager::SessionManager(const SetCollection& collection,
+                               const InvertedIndex& index,
+                               SessionManagerOptions options)
+    : collection_(collection), index_(index), options_(std::move(options)) {
+  SETDISC_CHECK_MSG(options_.selector_factory != nullptr,
+                    "SessionManagerOptions.selector_factory must be set");
+  size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+SessionManager::~SessionManager() {
+  // Join the pool before the registry is torn down: queued StepAsync tasks
+  // hold session ids, and resolving them needs the registry alive.
+  pool_.reset();
+}
+
+SessionView SessionManager::MakeView(SessionId id,
+                                     const DiscoverySession& session) {
+  SessionView view;
+  view.id = id;
+  view.state = session.state();
+  view.question = session.NextQuestion();
+  view.verify_set = session.PendingVerify();
+  view.questions_asked = session.result().questions;
+  if (session.done()) view.result = session.result();
+  return view;
+}
+
+SessionView SessionManager::Create(std::span<const EntityId> initial) {
+  auto entry = std::make_shared<Entry>();
+  entry->selector = options_.selector_factory();
+  SETDISC_CHECK_MSG(entry->selector != nullptr,
+                    "selector_factory returned nullptr");
+  // The initial Select() runs outside the registry lock: it can be a real
+  // scan, and other sessions must keep stepping meanwhile.
+  entry->session = std::make_unique<DiscoverySession>(
+      collection_, index_, initial, *entry->selector, options_.discovery);
+  entry->last_touched = Clock::now();
+
+  // Snapshot before publishing: ids are sequential and guessable, so the
+  // moment the entry is in the registry another thread may lock entry->mu
+  // and step the session; reading it after emplace would race.
+  SessionView view = MakeView(kNoSession, *entry->session);
+  if (entry->session->done()) {
+    // Finished at birth (no matching candidates, or a single one with
+    // verification off): the view already carries the final result, so
+    // don't spend a registry slot — or evict a live conversation — on a
+    // session that will never be stepped.
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    view.id = next_id_++;
+    ++num_created_;
+    return view;
+  }
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    ReapExpiredLocked();
+    if (options_.max_sessions > 0 &&
+        sessions_.size() >= options_.max_sessions) {
+      // Evict the least recently touched session.
+      auto lru = sessions_.end();
+      for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+        if (lru == sessions_.end() ||
+            it->second->last_touched < lru->second->last_touched) {
+          lru = it;
+        }
+      }
+      if (lru != sessions_.end()) sessions_.erase(lru);
+    }
+    view.id = next_id_++;
+    ++num_created_;
+    sessions_.emplace(view.id, std::move(entry));
+  }
+  return view;
+}
+
+std::shared_ptr<SessionManager::Entry> SessionManager::Find(SessionId id) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  it->second->last_touched = Clock::now();
+  return it->second;
+}
+
+SessionStatus SessionManager::Get(SessionId id, SessionView* view) {
+  auto entry = Find(id);
+  if (entry == nullptr) return SessionStatus::kNotFound;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (view != nullptr) *view = MakeView(id, *entry->session);
+  return SessionStatus::kOk;
+}
+
+SessionStatus SessionManager::SubmitAnswer(SessionId id, Oracle::Answer answer,
+                                           SessionView* view) {
+  auto entry = Find(id);
+  if (entry == nullptr) return SessionStatus::kNotFound;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->session->state() != SessionState::kAwaitingAnswer) {
+    return SessionStatus::kWrongState;
+  }
+  entry->session->SubmitAnswer(answer);
+  if (view != nullptr) *view = MakeView(id, *entry->session);
+  return SessionStatus::kOk;
+}
+
+SessionStatus SessionManager::Verify(SessionId id, bool confirmed,
+                                     SessionView* view) {
+  auto entry = Find(id);
+  if (entry == nullptr) return SessionStatus::kNotFound;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->session->state() != SessionState::kAwaitingVerify) {
+    return SessionStatus::kWrongState;
+  }
+  entry->session->Verify(confirmed);
+  if (view != nullptr) *view = MakeView(id, *entry->session);
+  return SessionStatus::kOk;
+}
+
+std::future<std::pair<SessionStatus, SessionView>>
+SessionManager::SubmitAnswerAsync(SessionId id, Oracle::Answer answer) {
+  return pool_->Submit([this, id, answer] {
+    SessionView view;
+    SessionStatus status = SubmitAnswer(id, answer, &view);
+    return std::make_pair(status, view);
+  });
+}
+
+SessionView SessionManager::Drive(SessionView view, Oracle& oracle) {
+  // Bounded by the entity count per narrowing pass and the flip budget per
+  // backtrack; the guard only catches protocol bugs.
+  int guard = 0;
+  while (view.state != SessionState::kFinished && guard++ < 1000000) {
+    SessionStatus status;
+    if (view.state == SessionState::kAwaitingAnswer) {
+      status = SubmitAnswer(view.id, oracle.AskMembership(view.question),
+                            &view);
+    } else {
+      status = Verify(view.id, oracle.ConfirmTarget(view.verify_set), &view);
+    }
+    if (status != SessionStatus::kOk) break;
+  }
+  return view;
+}
+
+SessionStatus SessionManager::Close(SessionId id) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return sessions_.erase(id) > 0 ? SessionStatus::kOk
+                                 : SessionStatus::kNotFound;
+}
+
+size_t SessionManager::ReapExpiredLocked() {
+  if (options_.session_ttl.count() <= 0) return 0;
+  const Clock::time_point cutoff = Clock::now() - options_.session_ttl;
+  size_t reaped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second->last_touched < cutoff) {
+      it = sessions_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+size_t SessionManager::ReapExpired() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return ReapExpiredLocked();
+}
+
+size_t SessionManager::num_active() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return sessions_.size();
+}
+
+uint64_t SessionManager::num_created() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return num_created_;
+}
+
+}  // namespace setdisc

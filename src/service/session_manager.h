@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file session_manager.h
+/// Thread-safe registry of concurrent DiscoverySessions.
+///
+/// One SessionManager serves many simultaneous interactive conversations
+/// over a single shared, immutable SetCollection + InvertedIndex:
+///
+///   * sessions get monotonically increasing ids (never reused);
+///   * every session owns a private EntitySelector instance (selectors are
+///     documented non-thread-safe — they hold scratch buffers and caches);
+///   * a per-session mutex serializes steps of one conversation while steps
+///     of different conversations run in parallel;
+///   * idle sessions are reaped after a TTL, and a capacity bound evicts the
+///     least recently used session when the registry is full;
+///   * an internal ThreadPool runs independent sessions' Select() calls
+///     concurrently (SubmitAnswerAsync), since selection is the CPU cost of
+///     a step.
+///
+/// The frontend protocol (binary wire format, socket server) is deliberately
+/// out of scope: this is the engine a server loops around.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "collection/inverted_index.h"
+#include "collection/set_collection.h"
+#include "core/discovery.h"
+#include "core/selector.h"
+#include "service/discovery_session.h"
+#include "service/thread_pool.h"
+
+namespace setdisc {
+
+/// Monotonic session identifier; 0 is never issued.
+using SessionId = uint64_t;
+inline constexpr SessionId kNoSession = 0;
+
+/// Snapshot of a session returned by every step. Copies (not references) so
+/// it stays valid after the session is reaped or evicted.
+struct SessionView {
+  SessionId id = kNoSession;
+  SessionState state = SessionState::kFinished;
+  EntityId question = kNoEntity;  ///< pending entity in kAwaitingAnswer
+  SetId verify_set = kNoSet;      ///< pending set in kAwaitingVerify
+  int questions_asked = 0;
+  /// Populated once state == kFinished.
+  DiscoveryResult result;
+};
+
+/// What happened to a manager call that named a session id.
+enum class SessionStatus {
+  kOk,
+  kNotFound,      ///< unknown, expired, or evicted id
+  kWrongState,    ///< e.g. SubmitAnswer while kAwaitingVerify
+};
+
+/// Configuration of a SessionManager.
+struct SessionManagerOptions {
+  /// Discovery options applied to every session.
+  DiscoveryOptions discovery;
+
+  /// Factory producing one private selector per session. Must be set.
+  std::function<std::unique_ptr<EntitySelector>()> selector_factory;
+
+  /// Sessions idle longer than this are reaped (zero = never).
+  std::chrono::milliseconds session_ttl{std::chrono::minutes(10)};
+
+  /// Upper bound on live sessions; creating one past the bound evicts the
+  /// least recently touched session (zero = unlimited).
+  size_t max_sessions = 0;
+
+  /// Worker threads for SubmitAnswerAsync (zero = hardware concurrency).
+  size_t num_threads = 0;
+};
+
+/// The serving engine: create / step / verify / reap, all thread-safe.
+class SessionManager {
+ public:
+  /// The collection and index must outlive the manager and are shared
+  /// read-only across all sessions. `options.selector_factory` must be set.
+  SessionManager(const SetCollection& collection, const InvertedIndex& index,
+                 SessionManagerOptions options);
+
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a session seeded with the initial example entities and runs the
+  /// first selection. Reaps expired sessions and, if at capacity, evicts the
+  /// least recently touched one.
+  ///
+  /// A session can finish at birth (no set matches `initial`, or a single
+  /// one remains with verification off): the returned view is already
+  /// kFinished and carries the full result, and the session is NOT
+  /// registered — its id is issued but Get/Close on it return kNotFound.
+  SessionView Create(std::span<const EntityId> initial);
+
+  /// Current snapshot of a session (also refreshes its TTL).
+  SessionStatus Get(SessionId id, SessionView* view);
+
+  /// Answers the pending question of session `id` and advances it to the
+  /// next question, a verification, or completion.
+  SessionStatus SubmitAnswer(SessionId id, Oracle::Answer answer,
+                             SessionView* view);
+
+  /// Resolves the pending verification of session `id`.
+  SessionStatus Verify(SessionId id, bool confirmed, SessionView* view);
+
+  /// SubmitAnswer on the manager's thread pool: the re-selection (the CPU
+  /// cost of a step) runs concurrently with other sessions' steps.
+  std::future<std::pair<SessionStatus, SessionView>> SubmitAnswerAsync(
+      SessionId id, Oracle::Answer answer);
+
+  /// Drives session `view` to completion with synchronous steps, answering
+  /// from `oracle`. Returns the final view; its state is kFinished unless
+  /// the session vanished mid-flight (expired/evicted/closed). Safe to call
+  /// from pool jobs — it never blocks on a future.
+  SessionView Drive(SessionView view, Oracle& oracle);
+
+  /// Closes a session explicitly. Returns kNotFound if it wasn't live.
+  SessionStatus Close(SessionId id);
+
+  /// Drops every session idle longer than the TTL; returns how many.
+  size_t ReapExpired();
+
+  /// Number of live sessions.
+  size_t num_active() const;
+
+  /// Total sessions ever created.
+  uint64_t num_created() const;
+
+  /// The pool running SubmitAnswerAsync work — exposed so callers (benches,
+  /// servers) can co-schedule whole-conversation jobs on the same workers.
+  ///
+  /// Deadlock hazard: a job running ON this pool must not block on a
+  /// SubmitAnswerAsync future — with every worker occupied by such jobs, the
+  /// async step tasks queue behind them forever. Pool jobs should use the
+  /// synchronous SubmitAnswer/Verify/Drive (as the CLI stress mode and
+  /// benches do); reserve SubmitAnswerAsync for callers outside the pool.
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// A live session: its engine, its private selector, and a mutex
+  /// serializing the steps of this one conversation.
+  struct Entry {
+    std::mutex mu;
+    std::unique_ptr<EntitySelector> selector;
+    std::unique_ptr<DiscoverySession> session;
+    Clock::time_point last_touched;
+  };
+
+  std::shared_ptr<Entry> Find(SessionId id);
+  size_t ReapExpiredLocked();  // requires registry_mu_
+  static SessionView MakeView(SessionId id, const DiscoverySession& session);
+
+  const SetCollection& collection_;
+  const InvertedIndex& index_;
+  SessionManagerOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex registry_mu_;
+  std::unordered_map<SessionId, std::shared_ptr<Entry>> sessions_;
+  SessionId next_id_ = 1;
+  uint64_t num_created_ = 0;
+};
+
+}  // namespace setdisc

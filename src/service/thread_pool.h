@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file thread_pool.h
+/// A small fixed-size worker pool used by the service layer.
+///
+/// The SessionManager multiplexes many interactive sessions over one shared
+/// SetCollection; the CPU cost of a step is the selector's Select() scan,
+/// which is independent across sessions. The pool lets those scans run
+/// concurrently while the shared collection and index stay read-only.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace setdisc {
+
+/// Fixed-size FIFO thread pool. Submitted tasks run in submission order but
+/// may complete out of order. Destruction drains the queue: already-submitted
+/// tasks finish before the workers join.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Finishes queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues `fn` and returns a future for its result. `fn` must be
+  /// invocable with no arguments.
+  template <typename Fn, typename R = std::invoke_result_t<Fn>>
+  std::future<R> Submit(Fn fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace setdisc

@@ -1,0 +1,150 @@
+// Concurrency stress for the SessionManager: many sessions driven to
+// completion from many threads over one shared collection + index. Run
+// under TSan (-DSETDISC_THREAD_SANITIZE=ON) or ASan to validate the
+// locking discipline (registry mutex + per-session mutexes + pool queue).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <vector>
+
+#include "core/klp.h"
+#include "core/selectors.h"
+#include "service/session_manager.h"
+#include "test_util.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+constexpr int kNumSessions = 64;
+constexpr size_t kNumThreads = 8;
+
+// Drives session `view` to completion against a simulated oracle for
+// `target`; returns the discovered set (kNoSet on any protocol error).
+SetId DriveToCompletion(SessionManager& manager, SessionView view,
+                        const SetCollection& c, SetId target) {
+  SimulatedOracle oracle(&c, target, /*error_rate=*/0.0,
+                         /*dont_know_rate=*/0.05, /*seed=*/target + 99);
+  view = manager.Drive(view, oracle);
+  if (view.state != SessionState::kFinished || !view.result.found()) {
+    return kNoSet;
+  }
+  return view.result.discovered();
+}
+
+TEST(SessionManagerStress, SixtyFourSessionsOnEightThreadsAllConverge) {
+  SetCollection c = RandomCollection(/*seed=*/31, /*n=*/kNumSessions,
+                                     /*m=*/40, /*density=*/0.3);
+  ASSERT_EQ(c.num_sets(), static_cast<SetId>(kNumSessions));
+  InvertedIndex idx(c);
+
+  SessionManagerOptions options;
+  options.discovery.verify_and_backtrack = true;
+  options.selector_factory = [] { return std::make_unique<MostEvenSelector>(); };
+  options.num_threads = kNumThreads;
+  SessionManager manager(c, idx, options);
+
+  // Each pool job owns one full conversation: session i targets set i, so
+  // every set in the collection is discovered by exactly one session.
+  std::vector<std::future<SetId>> discovered;
+  discovered.reserve(kNumSessions);
+  for (int i = 0; i < kNumSessions; ++i) {
+    SetId target = static_cast<SetId>(i);
+    discovered.push_back(manager.pool().Submit([&manager, &c, target] {
+      return DriveToCompletion(manager, manager.Create({}), c, target);
+    }));
+  }
+  for (int i = 0; i < kNumSessions; ++i) {
+    EXPECT_EQ(discovered[i].get(), static_cast<SetId>(i)) << "session " << i;
+  }
+  EXPECT_EQ(manager.num_created(), static_cast<uint64_t>(kNumSessions));
+}
+
+TEST(SessionManagerStress, InterleavedAsyncStepsAcrossSessions) {
+  // Steps of different sessions interleave one answer at a time through
+  // SubmitAnswerAsync, so many Select() calls are in flight on the pool at
+  // once while each session's own steps stay serialized.
+  SetCollection c = RandomCollection(/*seed=*/32, /*n=*/32, /*m=*/32, 0.3);
+  InvertedIndex idx(c);
+
+  SessionManagerOptions options;
+  options.selector_factory = [] { return std::make_unique<InfoGainSelector>(); };
+  options.num_threads = kNumThreads;
+  SessionManager manager(c, idx, options);
+
+  const SetId n = c.num_sets();
+  struct Live {
+    SessionView view;
+    SimulatedOracle oracle;
+  };
+  std::vector<Live> live;
+  live.reserve(n);
+  for (SetId target = 0; target < n; ++target) {
+    live.push_back({manager.Create({}), SimulatedOracle(&c, target)});
+  }
+
+  int rounds = 0;
+  for (bool any_open = true; any_open && rounds < 100000; ++rounds) {
+    any_open = false;
+    std::vector<std::future<std::pair<SessionStatus, SessionView>>> batch;
+    std::vector<size_t> batch_index;
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (live[i].view.state != SessionState::kAwaitingAnswer) continue;
+      any_open = true;
+      batch.push_back(manager.SubmitAnswerAsync(
+          live[i].view.id,
+          live[i].oracle.AskMembership(live[i].view.question)));
+      batch_index.push_back(i);
+    }
+    for (size_t j = 0; j < batch.size(); ++j) {
+      auto [status, next] = batch[j].get();
+      ASSERT_EQ(status, SessionStatus::kOk);
+      live[batch_index[j]].view = next;
+    }
+  }
+
+  for (SetId target = 0; target < n; ++target) {
+    const SessionView& view = live[target].view;
+    ASSERT_EQ(view.state, SessionState::kFinished) << "session " << target;
+    ASSERT_TRUE(view.result.found()) << "session " << target;
+    EXPECT_EQ(view.result.discovered(), target);
+  }
+}
+
+TEST(SessionManagerStress, ConcurrentCreateCloseReapChurn) {
+  SetCollection c = RandomCollection(/*seed=*/33, /*n=*/24, /*m=*/24, 0.3);
+  InvertedIndex idx(c);
+
+  SessionManagerOptions options;
+  options.selector_factory = [] { return std::make_unique<MostEvenSelector>(); };
+  options.num_threads = kNumThreads;
+  options.max_sessions = 16;
+  options.session_ttl = std::chrono::milliseconds(50);
+  SessionManager manager(c, idx, options);
+
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> jobs;
+  for (int i = 0; i < 64; ++i) {
+    jobs.push_back(manager.pool().Submit([&manager, &c, &completed, i] {
+      SetId target = static_cast<SetId>(i % c.num_sets());
+      SetId got = DriveToCompletion(manager, manager.Create({}), c, target);
+      // Under max_sessions=16 churn a session may be evicted mid-flight;
+      // kNotFound (surfaced as kNoSet) is an acceptable outcome, a wrong
+      // discovery is not.
+      if (got != kNoSet) {
+        EXPECT_EQ(got, target);
+        completed.fetch_add(1);
+      }
+      if (i % 8 == 0) manager.ReapExpired();
+    }));
+  }
+  for (auto& job : jobs) job.get();
+  // The pool has 8 workers and capacity is 16, so most sessions survive.
+  EXPECT_GT(completed.load(), 0);
+}
+
+}  // namespace
+}  // namespace setdisc

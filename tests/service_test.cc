@@ -1,0 +1,418 @@
+// Tests for the service subsystem: DiscoverySession parity against the
+// blocking Discover() driver (including §6 don't-know and backtracking
+// paths), SessionManager registry semantics (ids, TTL reaping, LRU
+// eviction, state checks), the ThreadPool, and SetCollectionBuilder reuse.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/selectors.h"
+#include "service/discovery_session.h"
+#include "service/session_manager.h"
+#include "service/thread_pool.h"
+#include "test_util.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+// ---------------------------------------------------------------------------
+// DiscoverySession parity vs. Discover()
+// ---------------------------------------------------------------------------
+
+// Drives a session by hand, exactly as an external caller (server, UI)
+// would, feeding it the oracle's answers step by step. (void return so
+// ASSERT_* can abort the test on a stuck session.)
+void DriveStepwise(const SetCollection& c, const InvertedIndex& idx,
+                   std::span<const EntityId> initial, EntitySelector& sel,
+                   Oracle& oracle, const DiscoveryOptions& options,
+                   DiscoveryResult* out) {
+  DiscoverySession session(c, idx, initial, sel, options);
+  int guard = 0;
+  while (!session.done()) {
+    ASSERT_LT(guard++, 100000) << "session failed to terminate";
+    if (session.state() == SessionState::kAwaitingAnswer) {
+      EntityId e = session.NextQuestion();
+      ASSERT_NE(e, kNoEntity);
+      EXPECT_EQ(session.PendingVerify(), kNoSet);
+      session.SubmitAnswer(oracle.AskMembership(e));
+    } else {
+      ASSERT_EQ(session.state(), SessionState::kAwaitingVerify);
+      SetId s = session.PendingVerify();
+      ASSERT_NE(s, kNoSet);
+      EXPECT_EQ(session.NextQuestion(), kNoEntity);
+      session.Verify(oracle.ConfirmTarget(s));
+    }
+  }
+  *out = session.TakeResult();
+}
+
+void ExpectSameResult(const DiscoveryResult& a, const DiscoveryResult& b) {
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.questions, b.questions);
+  EXPECT_EQ(a.backtracks, b.backtracks);
+  EXPECT_EQ(a.confirmed, b.confirmed);
+  EXPECT_EQ(a.halted, b.halted);
+  ASSERT_EQ(a.transcript.size(), b.transcript.size());
+  for (size_t i = 0; i < a.transcript.size(); ++i) {
+    EXPECT_EQ(a.transcript[i].first, b.transcript[i].first) << "question " << i;
+    EXPECT_EQ(a.transcript[i].second, b.transcript[i].second) << "answer " << i;
+  }
+}
+
+// Runs both drivers with identically seeded oracles and compares the full
+// transcript and outcome.
+void CheckParity(const SetCollection& c, std::span<const EntityId> initial,
+                 const DiscoveryOptions& options, double error_rate,
+                 double dont_know_rate, uint64_t oracle_seed) {
+  InvertedIndex idx(c);
+  for (SetId target = 0; target < c.num_sets(); ++target) {
+    MostEvenSelector sel_a;
+    SimulatedOracle oracle_a(&c, target, error_rate, dont_know_rate,
+                             oracle_seed);
+    DiscoveryResult blocking =
+        Discover(c, idx, initial, sel_a, oracle_a, options);
+
+    MostEvenSelector sel_b;
+    SimulatedOracle oracle_b(&c, target, error_rate, dont_know_rate,
+                             oracle_seed);
+    DiscoveryResult stepwise;
+    ASSERT_NO_FATAL_FAILURE(
+        DriveStepwise(c, idx, initial, sel_b, oracle_b, options, &stepwise));
+
+    ExpectSameResult(blocking, stepwise);
+  }
+}
+
+TEST(DiscoverySessionParity, CleanAnswers) {
+  CheckParity(MakePaperCollection(), {}, DiscoveryOptions{}, 0.0, 0.0, 11);
+}
+
+TEST(DiscoverySessionParity, DontKnowAnswers) {
+  DiscoveryOptions options;
+  options.handle_dont_know = true;
+  CheckParity(MakePaperCollection(), {}, options, 0.0, 0.3, 12);
+  options.handle_dont_know = false;  // kDontKnow treated as kNo
+  CheckParity(MakePaperCollection(), {}, options, 0.0, 0.3, 12);
+}
+
+TEST(DiscoverySessionParity, ErrorsWithBacktracking) {
+  DiscoveryOptions options;
+  options.verify_and_backtrack = true;
+  CheckParity(MakePaperCollection(), {}, options, 0.2, 0.0, 13);
+  options.max_backtracks = 1;
+  CheckParity(MakePaperCollection(), {}, options, 0.3, 0.0, 14);
+}
+
+TEST(DiscoverySessionParity, ErrorsAndDontKnowCombined) {
+  DiscoveryOptions options;
+  options.verify_and_backtrack = true;
+  CheckParity(MakePaperCollection(), {}, options, 0.15, 0.15, 15);
+}
+
+TEST(DiscoverySessionParity, QuestionBudget) {
+  DiscoveryOptions options;
+  options.max_questions = 2;
+  CheckParity(MakePaperCollection(), {}, options, 0.0, 0.0, 16);
+}
+
+TEST(DiscoverySessionParity, WithInitialExamples) {
+  std::vector<EntityId> initial = {kB};
+  CheckParity(MakePaperCollection(), initial, DiscoveryOptions{}, 0.0, 0.0, 17);
+}
+
+TEST(DiscoverySessionParity, RandomCollectionsAllConfigs) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    SetCollection c = RandomCollection(seed, /*n=*/40, /*m=*/24, 0.3);
+    for (bool verify : {false, true}) {
+      for (double err : {0.0, 0.2}) {
+        for (double dk : {0.0, 0.2}) {
+          DiscoveryOptions options;
+          options.verify_and_backtrack = verify;
+          CheckParity(c, {}, options, err, dk, seed * 1000 + 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(DiscoverySession, EmptyInitialMatchFinishesImmediately) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  // Entity 200 appears in no set, so the candidate filter yields nothing.
+  std::vector<EntityId> initial = {200};
+  DiscoverySession session(c, idx, initial, sel);
+  EXPECT_TRUE(session.done());
+  EXPECT_TRUE(session.result().candidates.empty());
+  EXPECT_EQ(session.result().questions, 0);
+}
+
+TEST(DiscoverySession, SingleCandidateNeedsNoQuestions) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  MostEvenSelector sel;
+  // {d, e} uniquely identifies S2.
+  std::vector<EntityId> initial = {kD, kE};
+  DiscoverySession session(c, idx, initial, sel);
+  EXPECT_TRUE(session.done());
+  EXPECT_EQ(session.result().questions, 0);
+  ASSERT_TRUE(session.result().found());
+  EXPECT_EQ(c.label(session.result().discovered()), "S2");
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager
+// ---------------------------------------------------------------------------
+
+SessionManagerOptions ManagerOptions() {
+  SessionManagerOptions options;
+  options.selector_factory = [] { return std::make_unique<MostEvenSelector>(); };
+  options.num_threads = 2;
+  return options;
+}
+
+TEST(SessionManager, DiscoversEveryTargetAndMatchesDiscover) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManager manager(c, idx, ManagerOptions());
+  for (SetId target = 0; target < c.num_sets(); ++target) {
+    SimulatedOracle oracle(&c, target);
+    SessionView view = manager.Drive(manager.Create({}), oracle);
+    ASSERT_EQ(view.state, SessionState::kFinished);
+    ASSERT_TRUE(view.result.found());
+    EXPECT_EQ(view.result.discovered(), target);
+
+    MostEvenSelector sel;
+    SimulatedOracle oracle_ref(&c, target);
+    DiscoveryResult ref = Discover(c, idx, {}, sel, oracle_ref);
+    ExpectSameResult(ref, view.result);
+  }
+}
+
+TEST(SessionManager, FinishedAtBirthSessionsDontOccupyASlot) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManagerOptions options = ManagerOptions();
+  options.max_sessions = 1;
+  SessionManager manager(c, idx, options);
+
+  SessionId live = manager.Create({}).id;
+
+  // {d, e} narrows to S2 immediately: finished at birth, result in the view.
+  std::vector<EntityId> initial = {kD, kE};
+  SessionView view = manager.Create(initial);
+  EXPECT_EQ(view.state, SessionState::kFinished);
+  ASSERT_TRUE(view.result.found());
+  EXPECT_EQ(c.label(view.result.discovered()), "S2");
+
+  // It was never registered (no slot taken, the live session not evicted).
+  SessionView probe;
+  EXPECT_EQ(manager.Get(view.id, &probe), SessionStatus::kNotFound);
+  EXPECT_EQ(manager.Get(live, &probe), SessionStatus::kOk);
+  EXPECT_EQ(manager.num_active(), 1u);
+  EXPECT_EQ(manager.num_created(), 2u);
+  EXPECT_LT(live, view.id);  // still consumes an id
+}
+
+TEST(SessionManager, IdsAreMonotonicAndNeverReused) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManager manager(c, idx, ManagerOptions());
+  SessionId a = manager.Create({}).id;
+  SessionId b = manager.Create({}).id;
+  EXPECT_LT(a, b);
+  EXPECT_EQ(manager.Close(a), SessionStatus::kOk);
+  SessionId d = manager.Create({}).id;
+  EXPECT_LT(b, d);
+  EXPECT_EQ(manager.num_created(), 3u);
+  EXPECT_EQ(manager.num_active(), 2u);
+}
+
+TEST(SessionManager, UnknownAndClosedSessionsReportNotFound) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManager manager(c, idx, ManagerOptions());
+  SessionView view;
+  EXPECT_EQ(manager.Get(9999, &view), SessionStatus::kNotFound);
+  EXPECT_EQ(manager.SubmitAnswer(9999, Oracle::Answer::kYes, &view),
+            SessionStatus::kNotFound);
+  SessionId id = manager.Create({}).id;
+  EXPECT_EQ(manager.Close(id), SessionStatus::kOk);
+  EXPECT_EQ(manager.Close(id), SessionStatus::kNotFound);
+  EXPECT_EQ(manager.Get(id, &view), SessionStatus::kNotFound);
+}
+
+TEST(SessionManager, WrongStateIsRejected) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManagerOptions options = ManagerOptions();
+  options.discovery.verify_and_backtrack = true;
+  SessionManager manager(c, idx, options);
+
+  SessionView view = manager.Create({});
+  ASSERT_EQ(view.state, SessionState::kAwaitingAnswer);
+  EXPECT_EQ(manager.Verify(view.id, true, &view), SessionStatus::kWrongState);
+
+  SimulatedOracle oracle(&c, /*target=*/0);
+  int guard = 0;
+  while (view.state == SessionState::kAwaitingAnswer && guard++ < 1000) {
+    ASSERT_EQ(manager.SubmitAnswer(view.id, oracle.AskMembership(view.question),
+                                   &view),
+              SessionStatus::kOk);
+  }
+  ASSERT_EQ(view.state, SessionState::kAwaitingVerify);
+  EXPECT_EQ(manager.SubmitAnswer(view.id, Oracle::Answer::kYes, &view),
+            SessionStatus::kWrongState);
+  EXPECT_EQ(manager.Verify(view.id, true, &view), SessionStatus::kOk);
+  EXPECT_EQ(view.state, SessionState::kFinished);
+  EXPECT_TRUE(view.result.confirmed);
+}
+
+TEST(SessionManager, TtlReapsIdleSessions) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManagerOptions options = ManagerOptions();
+  options.session_ttl = std::chrono::milliseconds(20);
+  SessionManager manager(c, idx, options);
+
+  SessionId id = manager.Create({}).id;
+  EXPECT_EQ(manager.num_active(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(manager.ReapExpired(), 1u);
+  EXPECT_EQ(manager.num_active(), 0u);
+  SessionView view;
+  EXPECT_EQ(manager.Get(id, &view), SessionStatus::kNotFound);
+}
+
+TEST(SessionManager, TouchingASessionKeepsItAlive) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManagerOptions options = ManagerOptions();
+  options.session_ttl = std::chrono::milliseconds(150);
+  SessionManager manager(c, idx, options);
+
+  SessionId id = manager.Create({}).id;
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    SessionView view;
+    ASSERT_EQ(manager.Get(id, &view), SessionStatus::kOk);  // refreshes TTL
+  }
+  EXPECT_EQ(manager.ReapExpired(), 0u);
+  EXPECT_EQ(manager.num_active(), 1u);
+}
+
+TEST(SessionManager, CapacityEvictsLeastRecentlyTouched) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManagerOptions options = ManagerOptions();
+  options.max_sessions = 2;
+  SessionManager manager(c, idx, options);
+
+  SessionId a = manager.Create({}).id;
+  SessionId b = manager.Create({}).id;
+  // Touch `a` so `b` is the LRU victim when the third session arrives.
+  SessionView view;
+  ASSERT_EQ(manager.Get(a, &view), SessionStatus::kOk);
+  SessionId d = manager.Create({}).id;
+  EXPECT_EQ(manager.num_active(), 2u);
+  EXPECT_EQ(manager.Get(b, &view), SessionStatus::kNotFound);
+  EXPECT_EQ(manager.Get(a, &view), SessionStatus::kOk);
+  EXPECT_EQ(manager.Get(d, &view), SessionStatus::kOk);
+}
+
+TEST(SessionManager, SubmitAnswerAsyncCompletesASession) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManager manager(c, idx, ManagerOptions());
+  SimulatedOracle oracle(&c, /*target=*/3);
+
+  SessionView view = manager.Create({});
+  int guard = 0;
+  while (view.state == SessionState::kAwaitingAnswer && guard++ < 1000) {
+    auto [status, next] =
+        manager.SubmitAnswerAsync(view.id, oracle.AskMembership(view.question))
+            .get();
+    ASSERT_EQ(status, SessionStatus::kOk);
+    view = next;
+  }
+  ASSERT_EQ(view.state, SessionState::kFinished);
+  ASSERT_TRUE(view.result.found());
+  EXPECT_EQ(view.result.discovered(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter, i] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      return i;
+    }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i);
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// ---------------------------------------------------------------------------
+// SetCollectionBuilder reuse (Build consumes the builder)
+// ---------------------------------------------------------------------------
+
+TEST(SetCollectionBuilder, ReuseAfterBuildStartsFresh) {
+  SetCollectionBuilder b;
+  b.AddSet({0, 1, 2}, "first");
+  SetCollection c1 = b.Build();
+  EXPECT_EQ(c1.num_sets(), 1u);
+  EXPECT_EQ(b.num_pending(), 0u);
+
+  b.AddSet({3, 4}, "second");
+  SetCollection c2 = b.Build();
+  ASSERT_EQ(c2.num_sets(), 1u);
+  EXPECT_EQ(c2.label(0), "second");
+  std::vector<EntityId> elems(c2.set(0).begin(), c2.set(0).end());
+  EXPECT_EQ(elems, (std::vector<EntityId>{3, 4}));
+  // The first collection is unaffected.
+  EXPECT_EQ(c1.label(0), "first");
+}
+
+TEST(SetCollectionBuilder, ReuseWithNamesGetsAFreshDictionary) {
+  SetCollectionBuilder b;
+  b.AddSetNamed({"apple", "pear"}, "fruit");
+  SetCollection c1 = b.Build();
+  ASSERT_NE(c1.dict(), nullptr);
+  EXPECT_NE(c1.dict()->Lookup("apple"), kNoEntity);
+
+  // Second use of the same builder: ids restart from 0 in a new dictionary.
+  b.AddSetNamed({"carrot"}, "veg");
+  SetCollection c2 = b.Build();
+  ASSERT_NE(c2.dict(), nullptr);
+  EXPECT_EQ(c2.dict()->Lookup("apple"), kNoEntity);
+  EXPECT_EQ(c2.dict()->Lookup("carrot"), 0u);
+  // c1's dictionary is untouched by the rebuild.
+  EXPECT_EQ(c1.dict()->Lookup("apple"), 0u);
+  EXPECT_EQ(c1.EntityName(0), "apple");
+}
+
+}  // namespace
+}  // namespace setdisc

@@ -10,18 +10,25 @@
 //   --tree            print the decision tree (default strategy: 2-LP)
 //   --ask             run an interactive session on stdin: answer y / n / ?
 //   --simulate LABEL  run a session against the set labeled/numbered LABEL
+//   --serve-stress N  smoke-test the session service: N concurrent simulated
+//                     sessions through the SessionManager, report sessions/sec
 //
 // Options:
 //   --k N             lookahead depth for k-LP (default 2)
 //   --q N             beam width (k-LPLE); unlimited when omitted
 //   --metric ad|h     optimize average (ad) or worst case (h); default ad
 //   --examples a,b,c  initial example entities (comma separated)
+//   --verify          confirm the discovered set; on "n", backtrack (§6)
+//   --threads N       pool size for --serve-stress (default 8)
 
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "collection/inverted_index.h"
 #include "collection/serialization.h"
@@ -29,41 +36,36 @@
 #include "core/discovery.h"
 #include "core/klp.h"
 #include "core/selectors.h"
+#include "service/discovery_session.h"
+#include "service/session_manager.h"
 #include "util/table_printer.h"
+#include "util/timer.h"
 
 using namespace setdisc;
 
 namespace {
 
-/// Reads answers from stdin for the --ask mode.
-class StdinOracle : public Oracle {
- public:
-  explicit StdinOracle(const SetCollection* collection)
-      : collection_(collection) {}
-
-  Answer AskMembership(EntityId e) override {
-    for (;;) {
-      std::cout << "Is \"" << collection_->EntityName(e)
-                << "\" in your set? [y/n/?] " << std::flush;
-      std::string line;
-      if (!std::getline(std::cin, line)) return Answer::kDontKnow;
-      if (line == "y" || line == "Y" || line == "yes") return Answer::kYes;
-      if (line == "n" || line == "N" || line == "no") return Answer::kNo;
-      if (line == "?" || line == "dk") return Answer::kDontKnow;
-      std::cout << "please answer y, n, or ?\n";
-    }
+/// Reads one y/n/? answer from stdin (EOF counts as "don't know" so piped
+/// input terminates cleanly).
+Oracle::Answer ReadAnswer(const std::string& entity_name) {
+  for (;;) {
+    std::cout << "Is \"" << entity_name << "\" in your set? [y/n/?] "
+              << std::flush;
+    std::string line;
+    if (!std::getline(std::cin, line)) return Oracle::Answer::kDontKnow;
+    if (line == "y" || line == "Y" || line == "yes") return Oracle::Answer::kYes;
+    if (line == "n" || line == "N" || line == "no") return Oracle::Answer::kNo;
+    if (line == "?" || line == "dk") return Oracle::Answer::kDontKnow;
+    std::cout << "please answer y, n, or ?\n";
   }
-
- private:
-  const SetCollection* collection_;
-};
+}
 
 int Usage() {
   std::fprintf(stderr,
                "usage: setdisc_cli <collection.txt> "
-               "[--stats|--tree|--ask|--simulate LABEL]\n"
+               "[--stats|--tree|--ask|--simulate LABEL|--serve-stress N]\n"
                "                   [--k N] [--q N] [--metric ad|h] "
-               "[--examples a,b,c]\n");
+               "[--examples a,b,c] [--verify] [--threads N]\n");
   return 2;
 }
 
@@ -134,11 +136,15 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string path = argv[1];
 
-  enum class Mode { kStats, kTree, kAsk, kSimulate } mode = Mode::kStats;
+  enum class Mode { kStats, kTree, kAsk, kSimulate, kServeStress } mode =
+      Mode::kStats;
   std::string simulate_label;
   std::string examples_csv;
   int k = 2;
   int q = -1;
+  int stress_sessions = 0;
+  int stress_threads = 8;
+  bool verify = false;
   CostMetric metric = CostMetric::kAvgDepth;
 
   for (int i = 2; i < argc; ++i) {
@@ -152,6 +158,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--simulate" && i + 1 < argc) {
       mode = Mode::kSimulate;
       simulate_label = argv[++i];
+    } else if (arg == "--serve-stress" && i + 1 < argc) {
+      mode = Mode::kServeStress;
+      stress_sessions = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      stress_threads = std::atoi(argv[++i]);
+    } else if (arg == "--verify") {
+      verify = true;
     } else if (arg == "--k" && i + 1 < argc) {
       k = std::atoi(argv[++i]);
     } else if (arg == "--q" && i + 1 < argc) {
@@ -205,12 +218,59 @@ int main(int argc, char** argv) {
       return 0;
     }
     case Mode::kAsk: {
+      // The interactive mode runs on the stepwise session engine — the same
+      // shape a network frontend would drive — instead of blocking inside
+      // Discover() with a stdin-backed Oracle.
       InvertedIndex index(collection);
       std::vector<EntityId> initial = ParseExamples(collection, examples_csv);
-      StdinOracle oracle(&collection);
-      DiscoveryResult result =
-          Discover(collection, index, initial, selector, oracle);
+      DiscoveryOptions options;
+      options.verify_and_backtrack = verify;
+      DiscoverySession session(collection, index, initial, selector, options);
+      while (!session.done()) {
+        if (session.state() == SessionState::kAwaitingAnswer) {
+          EntityId e = session.NextQuestion();
+          session.SubmitAnswer(ReadAnswer(collection.EntityName(e)));
+        } else {  // kAwaitingVerify
+          SetId s = session.PendingVerify();
+          bool confirmed = false;
+          bool eof = false;
+          for (;;) {
+            std::cout << "Is set " << s;
+            if (!collection.label(s).empty()) {
+              std::cout << " (" << collection.label(s) << ")";
+            }
+            std::cout << " your set? [y/n] " << std::flush;
+            std::string line;
+            if (!std::getline(std::cin, line)) {
+              eof = true;
+              break;
+            }
+            if (line == "y" || line == "Y" || line == "yes") {
+              confirmed = true;
+              break;
+            }
+            if (line == "n" || line == "N" || line == "no") break;
+            std::cout << "please answer y or n\n";
+          }
+          if (eof) {
+            // No input left to answer the backtracking questions a refutation
+            // would trigger — end the conversation here, unconfirmed.
+            std::cout << "\n";
+            PrintSession(collection, session.result());
+            std::cout << "(input ended before confirmation)\n";
+            return 1;
+          }
+          session.Verify(confirmed);
+        }
+      }
+      DiscoveryResult result = session.TakeResult();
       PrintSession(collection, result);
+      if (verify && !result.confirmed) {
+        // found() can be true here with a set the user just refuted
+        // (backtracking exhausted); don't report that as success.
+        std::cout << "(no set was confirmed)\n";
+        return 1;
+      }
       return result.found() ? 0 : 1;
     }
     case Mode::kSimulate: {
@@ -223,10 +283,61 @@ int main(int argc, char** argv) {
       InvertedIndex index(collection);
       std::vector<EntityId> initial = ParseExamples(collection, examples_csv);
       SimulatedOracle oracle(&collection, target);
-      DiscoveryResult result =
-          Discover(collection, index, initial, selector, oracle);
+      DiscoveryOptions discovery_options;
+      discovery_options.verify_and_backtrack = verify;
+      DiscoveryResult result = Discover(collection, index, initial, selector,
+                                        oracle, discovery_options);
       PrintSession(collection, result);
       return result.found() && result.discovered() == target ? 0 : 1;
+    }
+    case Mode::kServeStress: {
+      // Smoke the service layer: N concurrent simulated sessions multiplexed
+      // by the SessionManager over this collection, every one expected to
+      // converge to its target.
+      if (stress_sessions <= 0 || stress_threads <= 0) return Usage();
+      InvertedIndex index(collection);
+      SessionManagerOptions manager_options;
+      manager_options.discovery.verify_and_backtrack = verify;
+      manager_options.num_threads = static_cast<size_t>(stress_threads);
+      // Capture by value: the factory is stored in the manager and invoked
+      // on every Create for its whole lifetime.
+      manager_options.selector_factory = [options] {
+        return std::make_unique<KlpSelector>(options);
+      };
+      SessionManager manager(collection, index, manager_options);
+      std::vector<EntityId> initial = ParseExamples(collection, examples_csv);
+      // Targets must be discoverable from the initial examples, i.e. among
+      // their supersets (all sets when no examples are given).
+      std::vector<SetId> eligible = index.SetsContainingAll(initial);
+      if (eligible.empty()) {
+        std::fprintf(stderr, "error: no set contains all --examples\n");
+        return 1;
+      }
+
+      WallTimer timer;
+      std::vector<std::future<bool>> jobs;
+      jobs.reserve(stress_sessions);
+      for (int i = 0; i < stress_sessions; ++i) {
+        SetId target = eligible[i % eligible.size()];
+        jobs.push_back(manager.pool().Submit([&manager, &collection, &initial,
+                                              target] {
+          SimulatedOracle oracle(&collection, target);
+          SessionView view = manager.Drive(manager.Create(initial), oracle);
+          manager.Close(view.id);  // finished sessions must not accumulate
+          return view.state == SessionState::kFinished &&
+                 view.result.found() && view.result.discovered() == target;
+        }));
+      }
+      int failures = 0;
+      for (auto& job : jobs) {
+        if (!job.get()) ++failures;
+      }
+      double seconds = timer.Seconds();
+      std::cout << "served " << stress_sessions << " sessions on "
+                << stress_threads << " threads in " << Format("%.3f", seconds)
+                << "s (" << Format("%.1f", stress_sessions / seconds)
+                << " sessions/sec), " << failures << " failures\n";
+      return failures == 0 ? 0 : 1;
     }
   }
   return 0;
