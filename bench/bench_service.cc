@@ -21,6 +21,7 @@
 #include "bench_common.h"
 #include "core/selectors.h"
 #include "data/synthetic.h"
+#include "service/selection_cache.h"
 #include "service/session_manager.h"
 
 namespace setdisc::bench {
@@ -59,10 +60,12 @@ struct RunStats {
 };
 
 RunStats RunSessions(const SetCollection& c, const InvertedIndex& idx,
-                     int num_sessions, size_t num_threads, int latency_us) {
+                     int num_sessions, size_t num_threads, int latency_us,
+                     SelectionCache* cache = nullptr) {
   SessionManagerOptions options;
   options.selector_factory = [] { return std::make_unique<MostEvenSelector>(); };
   options.num_threads = num_threads;
+  options.selection_cache = cache;
   SessionManager manager(c, idx, options);
 
   WallTimer timer;
@@ -91,6 +94,59 @@ RunStats RunSessions(const SetCollection& c, const InvertedIndex& idx,
   return stats;
 }
 
+// First-question latency: the time Create() takes to run the root Select()
+// — what an interactive user feels when they open a session on a warm
+// collection. With a shared SelectionCache the root decision (and every
+// repeated narrowing state) is a hash hit instead of a counting scan.
+double AvgCreateLatencyUs(SessionManager& manager, int iters) {
+  double total_us = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    WallTimer timer;
+    SessionView view = manager.Create({});
+    total_us += timer.Seconds() * 1e6;
+    manager.Close(view.id);
+  }
+  return total_us / iters;
+}
+
+void FirstQuestionLatencyTable(const SetCollection& c,
+                               const InvertedIndex& idx) {
+  const int iters = ScalePick<int>(20, 100, 400);
+  std::cout << "first-question latency: Create() = root Select() over "
+            << c.num_sets() << " candidate sets, " << iters
+            << " sessions per cell\n";
+  TablePrinter table({"selector", "no cache", "cache cold", "cache warm",
+                      "speedup", "hit rate"});
+  for (const StrategySpec& spec :
+       {StrategySpec{"MostEven", [] { return std::make_unique<MostEvenSelector>(); }},
+        StrategySpec{"InfoGain", [] { return std::make_unique<InfoGainSelector>(); }},
+        StrategySpec{"2-LP", [] {
+          return std::make_unique<KlpSelector>(
+              KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+        }}}) {
+    SessionManagerOptions off;
+    off.selector_factory = spec.make;
+    off.num_threads = 1;
+    SessionManager manager_off(c, idx, off);
+    double no_cache_us = AvgCreateLatencyUs(manager_off, iters);
+
+    SelectionCache cache;
+    SessionManagerOptions on = off;
+    on.selection_cache = &cache;
+    SessionManager manager_on(c, idx, on);
+    double cold_us = AvgCreateLatencyUs(manager_on, 1);  // populates the memo
+    double warm_us = AvgCreateLatencyUs(manager_on, iters);
+
+    table.AddRow({spec.name, Format("%.1fus", no_cache_us),
+                  Format("%.1fus", cold_us), Format("%.1fus", warm_us),
+                  Format("%.1fx", no_cache_us / warm_us),
+                  Format("%.1f%%", 100.0 * cache.stats().HitRate())});
+  }
+  table.Print(std::cout);
+  std::cout << "(warm = every later session of a warm collection; the root "
+               "Select() memoizes across sessions)\n\n";
+}
+
 }  // namespace
 }  // namespace setdisc::bench
 
@@ -117,21 +173,32 @@ int main() {
             << "hardware threads: " << std::thread::hardware_concurrency()
             << "\n\n";
 
-  TablePrinter table({"pool threads", "sessions/sec", "questions/sec",
-                      "speedup vs 1", "failures"});
+  FirstQuestionLatencyTable(c, idx);
+
+  SelectionCache shared_cache;  // warmed across runs, like a long-lived server
+  TablePrinter table({"pool threads", "sessions/sec", "cached sess/sec",
+                      "questions/sec", "speedup vs 1", "failures (raw+cached)"});
   double base_rate = 0.0;
   for (size_t threads : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
     RunStats stats = RunSessions(c, idx, num_sessions, threads, latency_us);
+    RunStats cached = RunSessions(c, idx, num_sessions, threads, latency_us,
+                                  &shared_cache);
     double rate = num_sessions / stats.seconds;
+    double cached_rate = num_sessions / cached.seconds;
     if (threads == 1) base_rate = rate;
     table.AddRow({Format("%zu", threads), Format("%.1f", rate),
+                  Format("%.1f", cached_rate),
                   Format("%.1f", stats.questions / stats.seconds),
                   Format("%.2fx", rate / base_rate),
-                  Format("%d", stats.failures)});
+                  Format("%d+%d", stats.failures, cached.failures)});
   }
   table.Print(std::cout);
+  std::cout << "selection cache after all cached runs: "
+            << Format("%.1f", 100.0 * shared_cache.stats().HitRate())
+            << "% hit rate, " << shared_cache.size() << " entries\n";
   std::cout << "\n(interactive serving: think-time of one session overlaps "
                "other sessions' selector scans;\n on multi-core hardware the "
-               "scans also run in parallel)\n";
+               "scans also run in parallel; cached columns share one "
+               "SelectionCache)\n";
   return 0;
 }

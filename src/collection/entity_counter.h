@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "collection/entity_exclusion.h"
 #include "collection/sub_collection.h"
 #include "collection/types.h"
 
@@ -27,9 +28,9 @@ struct EntityCount {
   bool operator==(const EntityCount&) const = default;
 };
 
-/// Optional predicate for excluding entities (e.g. "don't know" answers,
-/// §6 of the paper). Entities with exclude[e] == true are skipped.
-using EntityExclusion = std::vector<bool>;
+// EntityExclusion — the optional predicate for excluding entities (e.g.
+// "don't know" answers, §6 of the paper) — lives in entity_exclusion.h; it
+// is re-exported here because every selector includes this header.
 
 /// Reusable counting workspace. Not thread-safe; use one per thread.
 class EntityCounter {

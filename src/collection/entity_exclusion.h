@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file entity_exclusion.h
+/// Per-entity exclusion mask (the §6 "don't know" extension): entities the
+/// user could not answer about are excluded from selection.
+///
+/// Semantically a dynamic bit set indexed by EntityId, with one addition over
+/// std::vector<bool>: it maintains a 64-bit fingerprint of the set bits
+/// incrementally (O(1) per flip, XOR construction), so the mask can key
+/// cross-session selection caches (service/selection_cache.h) without ever
+/// being rescanned. An empty mask fingerprints to 0, matching the "no
+/// exclusions" (nullptr) case — the two are behaviorally identical to every
+/// selector.
+///
+/// The interface keeps vector<bool>'s spelling (size/resize/operator[]) so
+/// existing read and write sites compile unchanged; writes go through a
+/// proxy that routes to Set() to keep the fingerprint in sync.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "collection/fingerprint.h"
+#include "collection/types.h"
+
+namespace setdisc {
+
+/// Exclusion mask with an incrementally-maintained fingerprint.
+class EntityExclusion {
+ public:
+  EntityExclusion() = default;
+
+  explicit EntityExclusion(size_t n, bool value = false) { resize(n, value); }
+
+  size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  /// True iff entity `e` is excluded (false when out of range).
+  bool Test(EntityId e) const { return e < bits_.size() && bits_[e]; }
+
+  bool operator[](size_t e) const { return bits_[e]; }
+
+  /// Marks entity `e` excluded (value=true) or re-included, growing the mask
+  /// as needed, and updates the fingerprint iff the bit actually flips.
+  void Set(EntityId e, bool value = true) {
+    if (bits_.size() <= e) bits_.resize(e + 1, false);
+    if (bits_[e] == static_cast<bool>(value)) return;
+    bits_[e] = value;
+    fingerprint_ ^= FingerprintBit(e);
+  }
+
+  /// Write proxy so `mask[e] = true` keeps the fingerprint in sync.
+  class BitRef {
+   public:
+    BitRef& operator=(bool value) {
+      owner_->Set(entity_, value);
+      return *this;
+    }
+    operator bool() const { return owner_->Test(entity_); }
+
+   private:
+    friend class EntityExclusion;
+    BitRef(EntityExclusion* owner, EntityId entity)
+        : owner_(owner), entity_(entity) {}
+    EntityExclusion* owner_;
+    EntityId entity_;
+  };
+
+  BitRef operator[](size_t e) { return BitRef(this, static_cast<EntityId>(e)); }
+
+  void resize(size_t n, bool value = false) {
+    size_t old = bits_.size();
+    if (n < old) {
+      // Shrink: XOR out the dropped set bits.
+      for (size_t e = n; e < old; ++e) {
+        if (bits_[e]) fingerprint_ ^= FingerprintBit(e);
+      }
+    } else if (value) {
+      for (size_t e = old; e < n; ++e) fingerprint_ ^= FingerprintBit(e);
+    }
+    bits_.resize(n, value);
+  }
+
+  void clear() {
+    bits_.clear();
+    fingerprint_ = 0;
+  }
+
+  /// Fingerprint of the set of excluded entities. Order-independent (XOR of
+  /// per-bit terms), 0 when nothing is excluded, and independent of size():
+  /// trailing false bits do not affect it.
+  uint64_t Fingerprint() const { return fingerprint_; }
+
+ private:
+  std::vector<bool> bits_;
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace setdisc

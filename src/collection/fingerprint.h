@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file fingerprint.h
+/// 64-bit fingerprint primitives shared by the collection layer.
+///
+/// Fingerprints identify *values* (a sub-collection's member ids, an
+/// exclusion mask's set bits) across sessions, so they feed cross-session
+/// cache keys (service/selection_cache.h). Two constructions:
+///
+///  * sequences (sorted set-id lists): an order-dependent running hash,
+///    seeded with kFingerprintSeed and extended one element at a time with
+///    FingerprintAppend — which is what makes the hash *incremental*:
+///    SubCollection::Partition() derives both children's fingerprints during
+///    the partition pass instead of rescanning;
+///  * bit sets (exclusion masks): XOR of per-element mixes, so setting or
+///    clearing a bit updates the fingerprint in O(1) (EntityExclusion).
+///
+/// Collisions are possible in principle (64 bits); the randomized parity
+/// suite in tests/selection_cache_test.cc exists to catch any construction
+/// weak enough to collide in practice.
+
+#include <cstdint>
+#include <string_view>
+
+namespace setdisc {
+
+/// Seed for sequence fingerprints (arbitrary non-zero odd constant).
+inline constexpr uint64_t kFingerprintSeed = 0x8F1BBCDCBFA53E0BULL;
+
+/// SplitMix64 finalizer: full-avalanche mix of one 64-bit value.
+inline uint64_t FingerprintMix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Extends a running sequence fingerprint by one element (order-dependent).
+inline uint64_t FingerprintAppend(uint64_t h, uint64_t v) {
+  return (h * 0x9E3779B97F4A7C15ULL) ^ FingerprintMix(v + 0x2545F4914F6CDD1DULL);
+}
+
+/// Per-element term of a bit-set fingerprint; XOR these for every set bit.
+/// The +1 keeps element 0 away from the all-zero term.
+inline uint64_t FingerprintBit(uint64_t element) {
+  return FingerprintMix(element + 1);
+}
+
+/// Sequence fingerprint of a byte string (selector names, labels).
+inline uint64_t FingerprintString(std::string_view s) {
+  uint64_t h = kFingerprintSeed;
+  for (char c : s) {
+    h = FingerprintAppend(h, static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  }
+  return h;
+}
+
+}  // namespace setdisc

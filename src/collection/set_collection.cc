@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "collection/fingerprint.h"
+
 namespace setdisc {
 
 namespace {
@@ -90,6 +92,14 @@ SetCollection SetCollectionBuilder::Build(std::vector<SetId>* original_to_final)
 
   if (used_names_) {
     out.dict_ = std::make_shared<EntityDict>(std::move(dict_));
+  }
+  // Content fingerprint, fixed for the collection's lifetime so reads never
+  // race (the collection is shared read-only across sessions and threads).
+  {
+    uint64_t h = kFingerprintSeed;
+    for (size_t offset : out.offsets_) h = FingerprintAppend(h, offset);
+    for (EntityId e : out.elements_) h = FingerprintAppend(h, e);
+    out.fingerprint_ = h;
   }
   // Build() consumes the builder: reset to a pristine state so reuse starts
   // a fresh collection instead of silently reading a moved-from dictionary.

@@ -109,6 +109,14 @@ class SetCollection {
   /// "e<id>".
   std::string EntityName(EntityId e) const;
 
+  /// Content fingerprint (set boundaries + elements), computed once at
+  /// Build()/load time, O(1) to read and safe to read concurrently. Set and
+  /// entity ids are dense per collection, so id-based keys (sub-collection
+  /// fingerprints) collide across collections; cross-collection caches mix
+  /// this in to tell them apart (service/selection_cache.h). Identical
+  /// content — e.g. the same file reloaded — fingerprints identically.
+  uint64_t Fingerprint() const { return fingerprint_; }
+
  private:
   friend class SetCollectionBuilder;
   friend Status LoadCollectionBinary(const std::string& path, SetCollection* out);
@@ -118,6 +126,7 @@ class SetCollection {
   std::vector<std::string> labels_;
   EntityId universe_size_ = 0;
   EntityId num_distinct_ = 0;
+  uint64_t fingerprint_ = 0;
   std::shared_ptr<EntityDict> dict_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "collection/fingerprint.h"
+
 namespace setdisc {
 
 SubCollection SubCollection::Full(const SetCollection* collection) {
@@ -11,17 +13,33 @@ SubCollection SubCollection::Full(const SetCollection* collection) {
 }
 
 std::pair<SubCollection, SubCollection> SubCollection::Partition(
-    EntityId e) const {
+    EntityId e, bool derive_fingerprints) const {
+  // On request, and when this view's fingerprint has been computed, derive
+  // both children's fingerprints in the same pass — the ids stream by here
+  // anyway, which is what keeps Fingerprint() O(1) along a narrowing chain.
+  // Opt-in so partition-heavy callers that never read fingerprints (the
+  // lookahead recursion) skip the per-id mixing entirely.
+  const bool track = derive_fingerprints && fingerprint_valid_;
+  uint64_t h_in = kFingerprintSeed, h_out = kFingerprintSeed;
   std::vector<SetId> in, out;
   for (SetId s : ids_) {
     if (collection_->Contains(s, e)) {
       in.push_back(s);
+      if (track) h_in = FingerprintAppend(h_in, s);
     } else {
       out.push_back(s);
+      if (track) h_out = FingerprintAppend(h_out, s);
     }
   }
-  return {SubCollection(collection_, std::move(in)),
-          SubCollection(collection_, std::move(out))};
+  SubCollection first(collection_, std::move(in));
+  SubCollection second(collection_, std::move(out));
+  if (track) {
+    first.fingerprint_ = h_in;
+    first.fingerprint_valid_ = true;
+    second.fingerprint_ = h_out;
+    second.fingerprint_valid_ = true;
+  }
+  return {std::move(first), std::move(second)};
 }
 
 size_t SubCollection::CountContaining(EntityId e) const {
@@ -34,6 +52,16 @@ size_t SubCollection::TotalElements() const {
   size_t total = 0;
   for (SetId s : ids_) total += collection_->set_size(s);
   return total;
+}
+
+uint64_t SubCollection::Fingerprint() const {
+  if (!fingerprint_valid_) {
+    uint64_t h = kFingerprintSeed;
+    for (SetId s : ids_) h = FingerprintAppend(h, s);
+    fingerprint_ = h;
+    fingerprint_valid_ = true;
+  }
+  return fingerprint_;
 }
 
 }  // namespace setdisc

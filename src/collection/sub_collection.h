@@ -41,7 +41,13 @@ class SubCollection {
 
   /// Splits into (sets containing e, sets not containing e). An informative
   /// entity yields two non-empty halves.
-  std::pair<SubCollection, SubCollection> Partition(EntityId e) const;
+  ///
+  /// With `derive_fingerprints` set and this view's fingerprint already
+  /// computed, both children's fingerprints are derived during the partition
+  /// pass (see Fingerprint()). Callers that never read fingerprints — e.g.
+  /// lookahead recursion internals — leave it off and pay nothing.
+  std::pair<SubCollection, SubCollection> Partition(
+      EntityId e, bool derive_fingerprints = false) const;
 
   /// Number of member sets containing entity `e`.
   size_t CountContaining(EntityId e) const;
@@ -49,9 +55,22 @@ class SubCollection {
   /// Total (set, entity) incidences across members — the counting-pass cost.
   size_t TotalElements() const;
 
+  /// 64-bit fingerprint of the member-id sequence, the candidate-set half of
+  /// a cross-session cache key (service/selection_cache.h). Computed lazily
+  /// on first call and memoized; Partition(e, /*derive_fingerprints=*/true)
+  /// extends an existing fingerprint to both children during the partition
+  /// pass (incrementally — no rescan), so a narrowing chain pays O(|C|)
+  /// once and O(1) per step after that.
+  ///
+  /// The memoization is unsynchronized, like every other selector-facing
+  /// structure: confine a SubCollection to one thread.
+  uint64_t Fingerprint() const;
+
  private:
   const SetCollection* collection_ = nullptr;
   std::vector<SetId> ids_;
+  mutable uint64_t fingerprint_ = 0;
+  mutable bool fingerprint_valid_ = false;
 };
 
 }  // namespace setdisc

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "collection/entity_counter.h"
+#include "collection/fingerprint.h"
 #include "collection/sub_collection.h"
 #include "collection/types.h"
 
@@ -31,6 +32,18 @@ class EntitySelector {
 
   /// Short strategy name for reports ("InfoGain", "2-LP", ...).
   virtual std::string_view name() const = 0;
+
+  /// Identity of this selector's decision *function*, used as the selector
+  /// component of cross-session cache keys (service/selection_cache.h): two
+  /// selectors may share a fingerprint only if they pick the same entity for
+  /// every (sub-collection, exclusion) state. The default hashes name(),
+  /// which suffices when the name encodes the full configuration (the
+  /// k-LP family embeds k/q/metric). Selectors whose decisions depend on
+  /// instance state the name does not encode — e.g. the weighted selectors'
+  /// prior vectors — must override and mix that state in.
+  virtual uint64_t DecisionFingerprint() const {
+    return FingerprintString(name());
+  }
 };
 
 }  // namespace setdisc

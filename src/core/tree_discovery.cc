@@ -75,8 +75,7 @@ TreeDiscoveryResult DiscoverWithTree(const DecisionTree& tree,
             ++result.questions;
             result.transcript.emplace_back(e, a);
             if (a == Oracle::Answer::kDontKnow) {
-              if (excluded.size() <= e) excluded.resize(e + 1, false);
-              excluded[e] = true;
+              excluded.Set(e);
               continue;
             }
             auto [in, out] = cs.Partition(e);

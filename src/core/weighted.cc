@@ -1,10 +1,26 @@
 #include "core/weighted.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "util/status.h"
 
 namespace setdisc {
+
+/// Sequence fingerprint of a prior vector (bit patterns, so -0.0 != 0.0 is
+/// the only surprise — and those never both appear as set weights).
+uint64_t FingerprintWeights(uint64_t h, const std::vector<double>& weights) {
+  for (double w : weights) {
+    uint64_t bits;
+    std::memcpy(&bits, &w, sizeof bits);
+    h = FingerprintAppend(h, bits);
+  }
+  return h;
+}
+
+uint64_t WeightedMostEvenSelector::DecisionFingerprint() const {
+  return FingerprintWeights(FingerprintString(name()), *weights_);
+}
 
 EntityId WeightedMostEvenSelector::Select(const SubCollection& sub,
                                           const EntityExclusion* excluded) {

@@ -28,11 +28,18 @@ class WeightedMostEvenSelector : public EntitySelector {
                   const EntityExclusion* excluded = nullptr) override;
   std::string_view name() const override { return "WeightedMostEven"; }
 
+  /// The name doesn't encode the prior, but the decisions depend on it.
+  uint64_t DecisionFingerprint() const override;
+
  private:
   const std::vector<double>* weights_;
   EntityCounter counter_;
   std::vector<EntityCount> counts_;
 };
+
+/// Extends fingerprint `h` with a prior vector's bit patterns — the
+/// DecisionFingerprint() helper shared by the weighted selectors.
+uint64_t FingerprintWeights(uint64_t h, const std::vector<double>& weights);
 
 /// Shannon lower bound on the expected number of yes/no questions needed to
 /// identify a set drawn from prior `weights` over `ids`: H(p) bits.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/weighted.h"
 #include "util/table_printer.h"
 
 namespace setdisc {
@@ -62,6 +63,10 @@ size_t WeightedKlpSelector::MemoKeyHash::operator()(const MemoKey& key) const {
 EntityId WeightedKlpSelector::Select(const SubCollection& sub,
                                      const EntityExclusion* excluded) {
   return SelectWithBound(sub, kInfiniteCost, excluded).entity;
+}
+
+uint64_t WeightedKlpSelector::DecisionFingerprint() const {
+  return FingerprintWeights(FingerprintString(name()), *weights_);
 }
 
 WeightedSelection WeightedKlpSelector::SelectWithBound(

@@ -76,6 +76,9 @@ class WeightedKlpSelector : public EntitySelector {
 
   std::string_view name() const override { return name_; }
 
+  /// The name encodes k but not the prior; the decisions depend on both.
+  uint64_t DecisionFingerprint() const override;
+
   /// Quantized weight of one set (>= 1).
   Cost QuantizedWeight(SetId s) const;
 

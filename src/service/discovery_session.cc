@@ -89,8 +89,7 @@ void DiscoverySession::SubmitAnswer(Oracle::Answer answer) {
   result_.transcript.emplace_back(e, answer);
 
   if (answer == Oracle::Answer::kDontKnow && options_.handle_dont_know) {
-    if (excluded_.size() <= e) excluded_.resize(e + 1, false);
-    excluded_[e] = true;
+    excluded_.Set(e);
     any_excluded_ = true;
     Advance();  // re-select on the same candidate collection
     return;
@@ -103,7 +102,10 @@ void DiscoverySession::SubmitAnswer(Oracle::Answer answer) {
     f.answered_yes = yes;
     frames_.push_back(std::move(f));
   }
-  auto [in, out] = candidates_.Partition(e);
+  // Derive the children's fingerprints during the partition: when a shared
+  // selection cache is on, the selector just computed this view's
+  // fingerprint, and the next Select() will want the survivor's.
+  auto [in, out] = candidates_.Partition(e, /*derive_fingerprints=*/true);
   candidates_ = yes ? std::move(in) : std::move(out);
   Advance();
 }

@@ -1,0 +1,137 @@
+#include "service/selection_cache.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace setdisc {
+
+namespace {
+
+size_t RoundUpPow2(size_t x) {
+  size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SelectionCache::SelectionCache(SelectionCacheOptions options) {
+  num_shards_ = RoundUpPow2(std::max<size_t>(1, options.num_shards));
+  capacity_per_shard_ =
+      std::max<size_t>(1, (std::max<size_t>(1, options.capacity) +
+                           num_shards_ - 1) /
+                              num_shards_);
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  int bits = 0;
+  while ((size_t{1} << bits) < num_shards_) ++bits;
+  shard_shift_ = 64 - bits;
+}
+
+uint64_t SelectionCache::HashKey(const SelectionKey& key) {
+  uint64_t h = FingerprintAppend(kFingerprintSeed, key.collection_fingerprint);
+  h = FingerprintAppend(h, key.sub_fingerprint);
+  h = FingerprintAppend(h, key.exclusion_fingerprint);
+  h = FingerprintAppend(h, key.selector_tag);
+  return h;
+}
+
+SelectionCache::Shard& SelectionCache::ShardFor(const SelectionKey& key) {
+  // Top bits pick the shard; unordered_map consumes the low bits, so one
+  // hash serves both without correlation.
+  uint64_t h = HashKey(key);
+  size_t index = shard_shift_ >= 64 ? 0 : static_cast<size_t>(h >> shard_shift_);
+  return shards_[index];
+}
+
+bool SelectionCache::Lookup(const SelectionKey& key, EntityId* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.lookups;
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  Slot& slot = shard.slots[it->second];
+  slot.referenced = true;  // second chance for the CLOCK sweep
+  if (out != nullptr) *out = slot.value;
+  return true;
+}
+
+void SelectionCache::Insert(const SelectionKey& key, EntityId value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.insertions;
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    Slot& slot = shard.slots[it->second];
+    slot.value = value;
+    slot.referenced = true;
+    return;
+  }
+  size_t slot_index;
+  if (shard.slots.size() < capacity_per_shard_) {
+    slot_index = shard.slots.size();
+    shard.slots.emplace_back();
+  } else {
+    // CLOCK sweep: clear reference bits until an unreferenced victim turns
+    // up. Terminates within two revolutions even if everything was
+    // referenced.
+    for (;;) {
+      Slot& candidate = shard.slots[shard.hand];
+      if (candidate.referenced) {
+        candidate.referenced = false;
+        shard.hand = (shard.hand + 1) % shard.slots.size();
+      } else {
+        slot_index = shard.hand;
+        shard.hand = (shard.hand + 1) % shard.slots.size();
+        break;
+      }
+    }
+    shard.index.erase(shard.slots[slot_index].key);
+    ++shard.evictions;
+  }
+  Slot& slot = shard.slots[slot_index];
+  slot.key = key;
+  slot.value = value;
+  slot.referenced = true;
+  shard.index.emplace(key, slot_index);
+}
+
+SelectionCacheStats SelectionCache::stats() const {
+  SelectionCacheStats total;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.lookups += shard.lookups;
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.insertions += shard.insertions;
+    total.evictions += shard.evictions;
+  }
+  return total;
+}
+
+size_t SelectionCache::size() const {
+  size_t n = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.index.size();
+  }
+  return n;
+}
+
+void SelectionCache::Clear() {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.index.clear();
+    shard.slots.clear();
+    shard.hand = 0;
+  }
+}
+
+}  // namespace setdisc

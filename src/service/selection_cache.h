@@ -1,0 +1,204 @@
+#pragma once
+
+/// \file selection_cache.h
+/// Cross-session memo of Select() decisions (the ROADMAP's "result caching
+/// across sessions" item).
+///
+/// Every new session over a warm collection starts from the same root
+/// candidate set and — with a deterministic selector — recomputes the same
+/// first questions; as sessions narrow, common answer prefixes keep
+/// producing identical (candidate set, exclusion mask) states. The cache
+/// memoizes the decision itself:
+///
+///   (collection fingerprint, candidate-set fingerprint,
+///    exclusion-mask fingerprint, selector tag) -> chosen EntityId
+///
+/// so for a warm collection the first questions of a new session cost a hash
+/// lookup instead of a full counting scan (bench_service measures the gap).
+///
+/// Concurrency model: the cache is fully thread-safe — sharded, one mutex
+/// stripe per shard — which is exactly what lets many sessions share one
+/// memo even though the selectors themselves stay per-session and
+/// non-thread-safe. Sessions wrap their private selector in a
+/// CachingSelector decorator pointing at the shared cache; the decorator
+/// inherits the inner selector's single-thread contract, the cache behind it
+/// does not.
+///
+/// Bounding: each shard runs CLOCK replacement (second-chance) over a
+/// fixed-capacity slot array — O(1) amortized eviction, no list splicing on
+/// the hit path (a hit only sets a reference bit). Hit / miss / insertion /
+/// eviction counters are maintained under the shard mutexes, so after any
+/// quiescent point `hits + misses == lookups` exactly (the stress suite
+/// asserts this under TSan).
+///
+/// The collection fingerprint component makes sharing one cache across
+/// managers over *different* collections safe: sub-collection fingerprints
+/// hash dense per-collection set ids, which would otherwise collide between
+/// any two collections (SubCollection::Full always has ids 0..n-1).
+///
+/// Caveats, enforced by the caller:
+///  * only deterministic selectors may share a cache (RandomSelector must
+///    not be wrapped — a memoized "random" pick replays the first draw);
+///  * selectors are distinguished by EntitySelector::DecisionFingerprint()
+///    (a name() hash by default; selectors with instance state the name
+///    doesn't encode, like the weighted selectors' priors, override it) —
+///    two selectors with equal fingerprints must implement the same
+///    decision function;
+///  * fingerprints are 64-bit: collisions are astronomically unlikely, not
+///    impossible. The randomized parity suite exists to catch construction
+///    bugs that would make them likely.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "collection/fingerprint.h"
+#include "collection/types.h"
+#include "core/selector.h"
+
+namespace setdisc {
+
+/// Identity of one memoizable selection decision.
+struct SelectionKey {
+  uint64_t collection_fingerprint = 0;  ///< SetCollection::Fingerprint()
+  uint64_t sub_fingerprint = 0;         ///< SubCollection::Fingerprint()
+  uint64_t exclusion_fingerprint = 0;   ///< EntityExclusion::Fingerprint(), 0 = none
+  uint64_t selector_tag = 0;            ///< SelectionCache::SelectorTag(name)
+
+  bool operator==(const SelectionKey&) const = default;
+};
+
+struct SelectionCacheOptions {
+  /// Total entry bound across all shards (minimum one slot per shard).
+  size_t capacity = size_t{1} << 20;
+
+  /// Mutex stripes; rounded up to a power of two. More shards = less
+  /// contention, slightly worse space utilization at tiny capacities.
+  size_t num_shards = 16;
+};
+
+/// Aggregated counters. Consistent at any quiescent point:
+/// hits + misses == lookups, and insertions >= size() + evictions (an
+/// insertion can overwrite an existing key — racing sessions recompute the
+/// same miss — and Clear() drops entries while keeping counters).
+struct SelectionCacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+/// Sharded, bounded, thread-safe Select() memo.
+class SelectionCache {
+ public:
+  explicit SelectionCache(SelectionCacheOptions options = {});
+
+  SelectionCache(const SelectionCache&) = delete;
+  SelectionCache& operator=(const SelectionCache&) = delete;
+
+  /// Returns true and writes the memoized entity (possibly kNoEntity — "no
+  /// informative entity" is a valid, cacheable decision) on a hit.
+  bool Lookup(const SelectionKey& key, EntityId* out);
+
+  /// Memoizes `value` for `key`, evicting (CLOCK) when the shard is full.
+  /// Re-inserting an existing key overwrites in place.
+  void Insert(const SelectionKey& key, EntityId value);
+
+  /// Stable tag for a selector name — what the default
+  /// EntitySelector::DecisionFingerprint() produces for the selector_tag
+  /// key component.
+  static uint64_t SelectorTag(std::string_view name) {
+    return FingerprintString(name);
+  }
+
+  SelectionCacheStats stats() const;
+
+  /// Live entries across all shards.
+  size_t size() const;
+
+  /// Drops all entries (counters are kept).
+  void Clear();
+
+  size_t capacity() const { return capacity_per_shard_ * num_shards_; }
+  size_t num_shards() const { return num_shards_; }
+
+ private:
+  struct Slot {
+    SelectionKey key;
+    EntityId value = kNoEntity;
+    bool referenced = false;
+  };
+
+  struct KeyHash {
+    size_t operator()(const SelectionKey& key) const {
+      return static_cast<size_t>(HashKey(key));
+    }
+  };
+
+  /// One stripe: mutex, index, CLOCK slot array, counters. Padded to a cache
+  /// line so neighboring stripes don't false-share.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::unordered_map<SelectionKey, size_t, KeyHash> index;  // key -> slot
+    std::vector<Slot> slots;
+    size_t hand = 0;
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  static uint64_t HashKey(const SelectionKey& key);
+  Shard& ShardFor(const SelectionKey& key);
+
+  std::unique_ptr<Shard[]> shards_;
+  size_t num_shards_ = 0;
+  size_t capacity_per_shard_ = 0;
+  int shard_shift_ = 0;  ///< top bits of HashKey pick the shard
+};
+
+/// EntitySelector decorator that consults a shared SelectionCache before
+/// delegating to the wrapped selector, and memoizes what the latter decides.
+///
+/// One CachingSelector per session, exactly like any other selector (the
+/// decorator is stateless beyond its members but the inner selector is not);
+/// the SelectionCache it points at is shared and must outlive it. Wrap only
+/// deterministic selectors.
+class CachingSelector : public EntitySelector {
+ public:
+  CachingSelector(std::unique_ptr<EntitySelector> inner, SelectionCache* cache)
+      : inner_(std::move(inner)),
+        cache_(cache),
+        tag_(inner_->DecisionFingerprint()) {}
+
+  EntityId Select(const SubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override {
+    SelectionKey key{sub.collection().Fingerprint(), sub.Fingerprint(),
+                     excluded != nullptr ? excluded->Fingerprint() : 0, tag_};
+    EntityId entity = kNoEntity;
+    if (cache_->Lookup(key, &entity)) return entity;
+    entity = inner_->Select(sub, excluded);
+    cache_->Insert(key, entity);
+    return entity;
+  }
+
+  std::string_view name() const override { return inner_->name(); }
+
+  EntitySelector& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<EntitySelector> inner_;
+  SelectionCache* cache_;
+  uint64_t tag_;
+};
+
+}  // namespace setdisc

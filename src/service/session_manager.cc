@@ -41,14 +41,18 @@ SessionView SessionManager::MakeView(SessionId id,
 
 SessionView SessionManager::Create(std::span<const EntityId> initial) {
   auto entry = std::make_shared<Entry>();
-  entry->selector = options_.selector_factory();
-  SETDISC_CHECK_MSG(entry->selector != nullptr,
-                    "selector_factory returned nullptr");
+  std::unique_ptr<EntitySelector> selector = options_.selector_factory();
+  SETDISC_CHECK_MSG(selector != nullptr, "selector_factory returned nullptr");
+  if (options_.selection_cache != nullptr) {
+    selector = std::make_unique<CachingSelector>(std::move(selector),
+                                                 options_.selection_cache);
+  }
+  entry->selector = std::move(selector);
   // The initial Select() runs outside the registry lock: it can be a real
-  // scan, and other sessions must keep stepping meanwhile.
+  // scan, and other sessions must keep stepping meanwhile. (With the shared
+  // cache it is usually a hash hit instead — the whole point.)
   entry->session = std::make_unique<DiscoverySession>(
       collection_, index_, initial, *entry->selector, options_.discovery);
-  entry->last_touched = Clock::now();
 
   // Snapshot before publishing: ids are sequential and guessable, so the
   // moment the entry is in the registry another thread may lock entry->mu
@@ -68,19 +72,20 @@ SessionView SessionManager::Create(std::span<const EntityId> initial) {
     std::lock_guard<std::mutex> lock(registry_mu_);
     ReapExpiredLocked();
     if (options_.max_sessions > 0 &&
-        sessions_.size() >= options_.max_sessions) {
-      // Evict the least recently touched session.
-      auto lru = sessions_.end();
-      for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
-        if (lru == sessions_.end() ||
-            it->second->last_touched < lru->second->last_touched) {
-          lru = it;
-        }
-      }
-      if (lru != sessions_.end()) sessions_.erase(lru);
+        sessions_.size() >= options_.max_sessions && !lru_.empty()) {
+      // Evict the least recently touched session: the front of the LRU list,
+      // in O(1) — no scan.
+      SessionId victim = lru_.front();
+      lru_.pop_front();
+      sessions_.erase(victim);
     }
     view.id = next_id_++;
     ++num_created_;
+    // Stamp under the registry lock, next to the list append: timestamps
+    // taken outside it could land in the list out of order, and the reap /
+    // evict paths rely on list order == last_touched order.
+    entry->last_touched = Clock::now();
+    entry->lru_it = lru_.insert(lru_.end(), view.id);
     sessions_.emplace(view.id, std::move(entry));
   }
   return view;
@@ -91,6 +96,8 @@ std::shared_ptr<SessionManager::Entry> SessionManager::Find(SessionId id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return nullptr;
   it->second->last_touched = Clock::now();
+  // Move to the back of the LRU list; O(1), no allocation.
+  lru_.splice(lru_.end(), lru_, it->second->lru_it);
   return it->second;
 }
 
@@ -156,21 +163,26 @@ SessionView SessionManager::Drive(SessionView view, Oracle& oracle) {
 
 SessionStatus SessionManager::Close(SessionId id) {
   std::lock_guard<std::mutex> lock(registry_mu_);
-  return sessions_.erase(id) > 0 ? SessionStatus::kOk
-                                 : SessionStatus::kNotFound;
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return SessionStatus::kNotFound;
+  lru_.erase(it->second->lru_it);
+  sessions_.erase(it);
+  return SessionStatus::kOk;
 }
 
 size_t SessionManager::ReapExpiredLocked() {
   if (options_.session_ttl.count() <= 0) return 0;
   const Clock::time_point cutoff = Clock::now() - options_.session_ttl;
+  // Touches keep the LRU list sorted by last_touched, so the expired
+  // sessions are exactly a prefix: stop at the first live one.
   size_t reaped = 0;
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (it->second->last_touched < cutoff) {
-      it = sessions_.erase(it);
-      ++reaped;
-    } else {
-      ++it;
-    }
+  while (!lru_.empty()) {
+    auto it = sessions_.find(lru_.front());
+    SETDISC_CHECK_MSG(it != sessions_.end(), "LRU list out of sync");
+    if (it->second->last_touched >= cutoff) break;
+    sessions_.erase(it);
+    lru_.pop_front();
+    ++reaped;
   }
   return reaped;
 }

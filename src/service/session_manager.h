@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -35,6 +36,7 @@
 #include "core/discovery.h"
 #include "core/selector.h"
 #include "service/discovery_session.h"
+#include "service/selection_cache.h"
 #include "service/thread_pool.h"
 
 namespace setdisc {
@@ -69,6 +71,14 @@ struct SessionManagerOptions {
 
   /// Factory producing one private selector per session. Must be set.
   std::function<std::unique_ptr<EntitySelector>()> selector_factory;
+
+  /// Optional cross-session Select() memo. When set, every session's private
+  /// selector is wrapped in a CachingSelector pointing at this cache, so all
+  /// sessions of this manager (and of any other manager given the same
+  /// pointer) share one memo without sharing selectors. The cache must
+  /// outlive the manager, and the factory must produce deterministic
+  /// selectors (see selection_cache.h).
+  SelectionCache* selection_cache = nullptr;
 
   /// Sessions idle longer than this are reaped (zero = never).
   std::chrono::milliseconds session_ttl{std::chrono::minutes(10)};
@@ -151,13 +161,15 @@ class SessionManager {
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// A live session: its engine, its private selector, and a mutex
-  /// serializing the steps of this one conversation.
+  /// A live session: its engine, its private selector, a mutex serializing
+  /// the steps of this one conversation, and its node in the registry's LRU
+  /// list (an iterator, so touch/evict/close are all O(1) splices).
   struct Entry {
     std::mutex mu;
     std::unique_ptr<EntitySelector> selector;
     std::unique_ptr<DiscoverySession> session;
     Clock::time_point last_touched;
+    std::list<SessionId>::iterator lru_it;
   };
 
   std::shared_ptr<Entry> Find(SessionId id);
@@ -171,6 +183,11 @@ class SessionManager {
 
   mutable std::mutex registry_mu_;
   std::unordered_map<SessionId, std::shared_ptr<Entry>> sessions_;
+  /// Live ids, least recently touched first. Every touch splices the
+  /// session's node to the back, so the list order IS last_touched order:
+  /// capacity eviction pops the front in O(1) (no min-scan) and TTL reaping
+  /// only walks the expired prefix.
+  std::list<SessionId> lru_;
   SessionId next_id_ = 1;
   uint64_t num_created_ = 0;
 };

@@ -248,6 +248,73 @@ TEST(Serialization, LoadMissingFileFails) {
   EXPECT_FALSE(LoadCollectionText("/nonexistent/path.txt", &out).ok());
 }
 
+TEST(SubCollectionFingerprint, EqualIdsEqualFingerprints) {
+  SetCollection c = MakePaperCollection();
+  SubCollection a(&c, {0, 2, 4});
+  SubCollection b(&c, {0, 2, 4});
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  SubCollection d(&c, {0, 2, 5});
+  EXPECT_NE(a.Fingerprint(), d.Fingerprint());
+  SubCollection e(&c, {0, 2});
+  EXPECT_NE(a.Fingerprint(), e.Fingerprint());
+}
+
+TEST(SubCollectionFingerprint, PartitionPropagatesIncrementally) {
+  // Once the parent's fingerprint exists, Partition() can derive the
+  // children's during the same pass; the derived values must equal
+  // from-scratch hashes of the same ids.
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  full.Fingerprint();  // arm incremental tracking
+  auto [in, out] = full.Partition(kD, /*derive_fingerprints=*/true);
+  SubCollection in_fresh(&c, {in.ids().begin(), in.ids().end()});
+  SubCollection out_fresh(&c, {out.ids().begin(), out.ids().end()});
+  EXPECT_EQ(in.Fingerprint(), in_fresh.Fingerprint());
+  EXPECT_EQ(out.Fingerprint(), out_fresh.Fingerprint());
+  EXPECT_NE(in.Fingerprint(), out.Fingerprint());
+
+  // Without derivation the children compute lazily to the same values.
+  SubCollection cold = SubCollection::Full(&c);
+  auto [cold_in, cold_out] = cold.Partition(kD);
+  EXPECT_EQ(cold_in.Fingerprint(), in.Fingerprint());
+  EXPECT_EQ(cold_out.Fingerprint(), out.Fingerprint());
+}
+
+TEST(EntityExclusionFingerprint, OrderIndependentAndReversible) {
+  EntityExclusion a, b;
+  EXPECT_EQ(a.Fingerprint(), 0u);
+  a.Set(3);
+  a.Set(7);
+  b.Set(7);
+  b.Set(3);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), 0u);
+
+  uint64_t both = a.Fingerprint();
+  a.Set(11);
+  EXPECT_NE(a.Fingerprint(), both);
+  a.Set(11, false);  // clearing restores the previous fingerprint
+  EXPECT_EQ(a.Fingerprint(), both);
+
+  // Redundant sets don't perturb it, and trailing false bits don't either.
+  a.Set(3);
+  EXPECT_EQ(a.Fingerprint(), both);
+  a.resize(100, false);
+  EXPECT_EQ(a.Fingerprint(), both);
+
+  // The vector<bool>-style write proxy routes through the same bookkeeping.
+  EntityExclusion via_proxy(20, false);
+  via_proxy[3] = true;
+  via_proxy[7] = true;
+  EXPECT_EQ(via_proxy.Fingerprint(), both);
+  EXPECT_TRUE(via_proxy[3]);
+  EXPECT_FALSE(via_proxy[4]);
+
+  // Shrinking below a set bit removes its contribution.
+  via_proxy.resize(4);
+  EXPECT_EQ(via_proxy.Fingerprint(), b.Fingerprint() ^ FingerprintBit(7));
+}
+
 TEST(Serialization, RejectsCorruptHeader) {
   std::string path =
       (std::filesystem::temp_directory_path() / "setdisc_bad.bin").string();

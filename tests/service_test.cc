@@ -325,6 +325,80 @@ TEST(SessionManager, CapacityEvictsLeastRecentlyTouched) {
   EXPECT_EQ(manager.Get(d, &view), SessionStatus::kOk);
 }
 
+TEST(SessionManager, EvictionOrderMatchesTouchOrder) {
+  // The O(1) LRU list must evict in exactly last-touched order, not
+  // creation order.
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManagerOptions options = ManagerOptions();
+  options.max_sessions = 3;
+  SessionManager manager(c, idx, options);
+
+  SessionId a = manager.Create({}).id;
+  SessionId b = manager.Create({}).id;
+  SessionId s3 = manager.Create({}).id;
+  // Touch a, then s3, then b: LRU order becomes a, s3, b.
+  SessionView view;
+  ASSERT_EQ(manager.Get(a, &view), SessionStatus::kOk);
+  ASSERT_EQ(manager.Get(s3, &view), SessionStatus::kOk);
+  ASSERT_EQ(manager.Get(b, &view), SessionStatus::kOk);
+
+  SessionId d = manager.Create({}).id;  // evicts a (least recently touched)
+  EXPECT_EQ(manager.Get(a, &view), SessionStatus::kNotFound);
+  SessionId e = manager.Create({}).id;  // evicts s3, NOT b
+  EXPECT_EQ(manager.Get(s3, &view), SessionStatus::kNotFound);
+  EXPECT_EQ(manager.Get(b, &view), SessionStatus::kOk);
+  EXPECT_EQ(manager.Get(d, &view), SessionStatus::kOk);
+  EXPECT_EQ(manager.Get(e, &view), SessionStatus::kOk);
+  EXPECT_EQ(manager.num_active(), 3u);
+}
+
+TEST(SessionManager, CloseUnlinksFromEvictionOrder) {
+  // Closing the next victim must not confuse later evictions.
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManagerOptions options = ManagerOptions();
+  options.max_sessions = 2;
+  SessionManager manager(c, idx, options);
+
+  SessionId a = manager.Create({}).id;
+  SessionId b = manager.Create({}).id;
+  ASSERT_EQ(manager.Close(a), SessionStatus::kOk);  // a was the LRU front
+  SessionId d = manager.Create({}).id;  // fills the freed slot, no eviction
+  SessionView view;
+  EXPECT_EQ(manager.Get(b, &view), SessionStatus::kOk);
+  EXPECT_EQ(manager.Get(d, &view), SessionStatus::kOk);
+  SessionId e = manager.Create({}).id;  // now evicts b
+  EXPECT_EQ(manager.Get(b, &view), SessionStatus::kNotFound);
+  EXPECT_EQ(manager.Get(d, &view), SessionStatus::kOk);
+  EXPECT_EQ(manager.Get(e, &view), SessionStatus::kOk);
+}
+
+TEST(SessionManager, SharedCacheMatchesUncachedTranscripts) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SelectionCache cache;
+  SessionManagerOptions options = ManagerOptions();
+  options.selection_cache = &cache;
+  SessionManager manager(c, idx, options);
+
+  for (SetId target = 0; target < c.num_sets(); ++target) {
+    SimulatedOracle oracle(&c, target);
+    SessionView view = manager.Drive(manager.Create({}), oracle);
+    ASSERT_EQ(view.state, SessionState::kFinished);
+    ASSERT_TRUE(view.result.found());
+    EXPECT_EQ(view.result.discovered(), target);
+
+    MostEvenSelector sel;
+    SimulatedOracle oracle_ref(&c, target);
+    DiscoveryResult ref = Discover(c, idx, {}, sel, oracle_ref);
+    ExpectSameResult(ref, view.result);
+  }
+  SelectionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_GT(stats.hits, 0u);  // sessions share root decisions
+}
+
 TEST(SessionManager, SubmitAnswerAsyncCompletesASession) {
   SetCollection c = MakePaperCollection();
   InvertedIndex idx(c);

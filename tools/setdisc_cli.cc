@@ -20,6 +20,9 @@
 //   --examples a,b,c  initial example entities (comma separated)
 //   --verify          confirm the discovered set; on "n", backtrack (§6)
 //   --threads N       pool size for --serve-stress (default 8)
+//   --cache           share one SelectionCache across --serve-stress
+//                     sessions; the run reports lookups / hit rate
+//   --cache-capacity N  cache entry bound (default 1M; only with --cache)
 
 #include <cstdio>
 #include <cstring>
@@ -37,6 +40,7 @@
 #include "core/klp.h"
 #include "core/selectors.h"
 #include "service/discovery_session.h"
+#include "service/selection_cache.h"
 #include "service/session_manager.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
@@ -65,7 +69,8 @@ int Usage() {
                "usage: setdisc_cli <collection.txt> "
                "[--stats|--tree|--ask|--simulate LABEL|--serve-stress N]\n"
                "                   [--k N] [--q N] [--metric ad|h] "
-               "[--examples a,b,c] [--verify] [--threads N]\n");
+               "[--examples a,b,c] [--verify] [--threads N]\n"
+               "                   [--cache] [--cache-capacity N]\n");
   return 2;
 }
 
@@ -145,6 +150,8 @@ int main(int argc, char** argv) {
   int stress_sessions = 0;
   int stress_threads = 8;
   bool verify = false;
+  bool use_cache = false;
+  size_t cache_capacity = size_t{1} << 20;
   CostMetric metric = CostMetric::kAvgDepth;
 
   for (int i = 2; i < argc; ++i) {
@@ -165,6 +172,11 @@ int main(int argc, char** argv) {
       stress_threads = std::atoi(argv[++i]);
     } else if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--cache") {
+      use_cache = true;
+    } else if (arg == "--cache-capacity" && i + 1 < argc) {
+      cache_capacity = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      use_cache = true;
     } else if (arg == "--k" && i + 1 < argc) {
       k = std::atoi(argv[++i]);
     } else if (arg == "--q" && i + 1 < argc) {
@@ -304,6 +316,13 @@ int main(int argc, char** argv) {
       manager_options.selector_factory = [options] {
         return std::make_unique<KlpSelector>(options);
       };
+      std::unique_ptr<SelectionCache> cache;
+      if (use_cache) {
+        SelectionCacheOptions cache_options;
+        cache_options.capacity = cache_capacity;
+        cache = std::make_unique<SelectionCache>(cache_options);
+        manager_options.selection_cache = cache.get();
+      }
       SessionManager manager(collection, index, manager_options);
       std::vector<EntityId> initial = ParseExamples(collection, examples_csv);
       // Targets must be discoverable from the initial examples, i.e. among
@@ -337,6 +356,15 @@ int main(int argc, char** argv) {
                 << stress_threads << " threads in " << Format("%.3f", seconds)
                 << "s (" << Format("%.1f", stress_sessions / seconds)
                 << " sessions/sec), " << failures << " failures\n";
+      if (cache != nullptr) {
+        SelectionCacheStats stats = cache->stats();
+        std::cout << "selection cache: " << stats.lookups << " lookups, "
+                  << stats.hits << " hits ("
+                  << Format("%.1f", 100.0 * stats.HitRate())
+                  << "% hit rate), " << stats.insertions << " insertions, "
+                  << stats.evictions << " evictions, " << cache->size()
+                  << " entries live\n";
+      }
       return failures == 0 ? 0 : 1;
     }
   }
