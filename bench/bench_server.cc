@@ -1,0 +1,164 @@
+// Server throughput and step latency over loopback TCP: full discovery
+// sessions driven through the binary protocol (net/protocol.h) against an
+// in-process DiscoveryServer, at rising client concurrency (1 / 8 / 64
+// blocking clients), with the shared SelectionCache off and on.
+//
+// This measures what bench_service cannot: the protocol + epoll frontend
+// cost. Each client thread runs complete conversations — Create, answer
+// every question from a SimulatedOracle, verify nothing (plain sessions),
+// Close — and records the wall time of every RPC round-trip, so the p50/p99
+// step latency columns are what an interactive user would feel per answer
+// over a real socket (minus their own network RTT).
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/selectors.h"
+#include "data/synthetic.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/selection_cache.h"
+#include "service/session_manager.h"
+#include "util/stats.h"
+
+namespace setdisc::bench {
+namespace {
+
+struct ClientStats {
+  int failures = 0;
+  std::vector<double> step_us;  ///< one entry per RPC round-trip
+};
+
+/// One blocking client: `num_sessions` full conversations over a single
+/// connection, targets striped so different clients exercise different
+/// sessions.
+ClientStats RunClient(uint16_t port, const SetCollection& c, int num_sessions,
+                      int client_index) {
+  ClientStats out;
+  net::DiscoveryClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    out.failures = num_sessions;
+    return out;
+  }
+  for (int i = 0; i < num_sessions; ++i) {
+    SetId target = static_cast<SetId>(
+        (static_cast<size_t>(client_index) * 7919 + static_cast<size_t>(i)) %
+        c.num_sets());
+    SimulatedOracle oracle(&c, target);
+    net::SessionStateMsg state;
+    Status s = net::DriveSession(client, {}, oracle, &state, &out.step_us);
+    bool ok = s.ok() && state.state == SessionState::kFinished &&
+              state.result.candidates.size() == 1 &&
+              state.result.candidates[0] == target;
+    if (!ok) ++out.failures;
+    client.CloseSession(state.session_id);
+  }
+  return out;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  int failures = 0;
+  std::vector<double> step_us;
+};
+
+RunResult RunClients(uint16_t port, const SetCollection& c, int num_clients,
+                     int sessions_per_client) {
+  std::vector<ClientStats> per_client(num_clients);
+  WallTimer timer;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(num_clients);
+    for (int i = 0; i < num_clients; ++i) {
+      threads.emplace_back([&, i] {
+        per_client[i] = RunClient(port, c, sessions_per_client, i);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  RunResult out;
+  out.seconds = timer.Seconds();
+  for (ClientStats& cs : per_client) {
+    out.failures += cs.failures;
+    out.step_us.insert(out.step_us.end(), cs.step_us.begin(), cs.step_us.end());
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace setdisc::bench
+
+int main() {
+  using namespace setdisc;
+  using namespace setdisc::bench;
+
+  Banner("server", "DiscoveryServer loopback throughput and step latency");
+
+  SyntheticConfig cfg;
+  cfg.num_sets = ScalePick<uint32_t>(2000, 10000, 50000);
+  cfg.min_set_size = 20;
+  cfg.max_set_size = 40;
+  cfg.overlap = 0.7;
+  cfg.seed = 404;
+  SetCollection c = GenerateSynthetic(cfg);
+  InvertedIndex idx(c);
+
+  const int total_sessions = ScalePick<int>(256, 2048, 8192);
+  const size_t pool_threads = 8;
+  std::cout << "collection: " << c.num_sets() << " sets, "
+            << c.num_distinct_entities() << " entities; " << total_sessions
+            << " sessions per cell; manager pool " << pool_threads
+            << " threads; epoll loopback\n\n";
+
+  SelectionCache shared_cache;  // warmed across runs, like a long-lived server
+  TablePrinter table({"clients", "cache", "sessions/sec", "steps/sec",
+                      "p50 step", "p99 step", "failures"});
+  for (int clients : {1, 8, 64}) {
+    for (bool cached : {false, true}) {
+      SessionManagerOptions manager_options;
+      manager_options.selector_factory = [] {
+        return std::make_unique<MostEvenSelector>();
+      };
+      manager_options.num_threads = pool_threads;
+      if (cached) manager_options.selection_cache = &shared_cache;
+      SessionManager manager(c, idx, manager_options);
+
+      net::DiscoveryServer server(manager, net::ServerOptions{});
+      Status status = server.Start();
+      if (!status.ok()) {
+        std::fprintf(stderr, "server start failed: %s\n",
+                     status.message().c_str());
+        return 1;
+      }
+
+      int per_client = std::max(1, total_sessions / clients);
+      RunResult run = RunClients(server.port(), c, clients, per_client);
+      server.Shutdown();
+
+      int sessions = per_client * clients;
+      double steps = static_cast<double>(run.step_us.size());
+      table.AddRow({Format("%d", clients), cached ? "on" : "off",
+                    Format("%.1f", sessions / run.seconds),
+                    Format("%.1f", steps / run.seconds),
+                    Format("%.1fus", Percentile(run.step_us, 50)),
+                    Format("%.1fus", Percentile(run.step_us, 99)),
+                    Format("%d", run.failures)});
+      if (run.failures > 0) {
+        std::fprintf(stderr, "FAILED: %d non-convergent sessions\n",
+                     run.failures);
+        return 1;
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "selection cache after cached runs: "
+            << Format("%.1f", 100.0 * shared_cache.stats().HitRate())
+            << "% hit rate, " << shared_cache.size() << " entries\n";
+  std::cout << "\n(every step is a TCP round-trip: client think time is zero, "
+               "so sessions/sec is protocol+\n selection cost; cached rows "
+               "share one SelectionCache across all sessions and runs)\n";
+  return 0;
+}

@@ -10,7 +10,8 @@
 // overlaps with other sessions' Select() scans, and on multi-core hardware
 // the scans themselves run in parallel.
 //
-// Not measured here: protocol/serialization cost (no server frontend yet).
+// Not measured here: protocol/serialization cost — bench_server covers the
+// full network path (TCP round-trip per step through net/server.h).
 
 #include <chrono>
 #include <cstdlib>

@@ -41,12 +41,14 @@ class EntityExclusion {
   bool operator[](size_t e) const { return bits_[e]; }
 
   /// Marks entity `e` excluded (value=true) or re-included, growing the mask
-  /// as needed, and updates the fingerprint iff the bit actually flips.
+  /// as needed, and updates the fingerprint and count iff the bit actually
+  /// flips.
   void Set(EntityId e, bool value = true) {
     if (bits_.size() <= e) bits_.resize(e + 1, false);
     if (bits_[e] == static_cast<bool>(value)) return;
     bits_[e] = value;
     fingerprint_ ^= FingerprintBit(e);
+    count_ += value ? 1 : -1;
   }
 
   /// Write proxy so `mask[e] = true` keeps the fingerprint in sync.
@@ -73,10 +75,14 @@ class EntityExclusion {
     if (n < old) {
       // Shrink: XOR out the dropped set bits.
       for (size_t e = n; e < old; ++e) {
-        if (bits_[e]) fingerprint_ ^= FingerprintBit(e);
+        if (bits_[e]) {
+          fingerprint_ ^= FingerprintBit(e);
+          --count_;
+        }
       }
     } else if (value) {
       for (size_t e = old; e < n; ++e) fingerprint_ ^= FingerprintBit(e);
+      count_ += n - old;
     }
     bits_.resize(n, value);
   }
@@ -84,6 +90,7 @@ class EntityExclusion {
   void clear() {
     bits_.clear();
     fingerprint_ = 0;
+    count_ = 0;
   }
 
   /// Fingerprint of the set of excluded entities. Order-independent (XOR of
@@ -91,9 +98,15 @@ class EntityExclusion {
   /// trailing false bits do not affect it.
   uint64_t Fingerprint() const { return fingerprint_; }
 
+  /// Number of excluded entities, maintained incrementally (O(1)) alongside
+  /// the fingerprint. Lets cache admission policies spot singleton masks —
+  /// the typical one-shot don't-know state — without scanning the bits.
+  size_t num_excluded() const { return count_; }
+
  private:
   std::vector<bool> bits_;
   uint64_t fingerprint_ = 0;
+  size_t count_ = 0;
 };
 
 }  // namespace setdisc

@@ -1,0 +1,176 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "util/timer.h"
+
+namespace setdisc::net {
+
+Status DiscoveryClient::Connect(const std::string& address, uint16_t port) {
+  if (connected()) return Status::Error("already connected");
+  Result<UniqueFd> fd = TcpConnect(address, port);
+  if (!fd.ok()) return fd.status();
+  fd_ = std::move(fd.value());
+  decoder_ = FrameDecoder();  // fresh stream
+  last_status_ = WireStatus::kOk;
+  last_error_message_.clear();
+  return Status::OK();
+}
+
+void DiscoveryClient::Disconnect() { fd_.Reset(); }
+
+Status DiscoveryClient::SendAll(const std::string& frame) {
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = SendSome(fd_.get(), frame.data() + sent, frame.size() - sent);
+    if (n < 0) {
+      Disconnect();
+      return Status::IoError("connection lost while sending");
+    }
+    // The socket is blocking, so n == 0 (EAGAIN) cannot happen; treat it
+    // defensively as progress-less retry.
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status DiscoveryClient::ReadFrame(Frame* out) {
+  for (;;) {
+    WireStatus error = WireStatus::kOk;
+    FrameDecoder::Next next = decoder_.Pop(out, &error);
+    if (next == FrameDecoder::Next::kFrame) return Status::OK();
+    if (next == FrameDecoder::Next::kError) {
+      Disconnect();
+      return Status::Corruption(std::string("reply stream: ") +
+                                WireStatusName(error));
+    }
+    char buf[16384];
+    ssize_t got = RecvSome(fd_.get(), buf, sizeof(buf));
+    if (got == kRecvEof || got < 0) {
+      Disconnect();
+      return Status::IoError("connection closed by server");
+    }
+    decoder_.Feed(buf, static_cast<size_t>(got));
+  }
+}
+
+Status DiscoveryClient::Call(std::string frame, MsgType expected, Frame* reply) {
+  if (!connected()) return Status::Error("not connected");
+  last_status_ = WireStatus::kOk;
+  last_error_message_.clear();
+  Status status = SendAll(frame);
+  if (!status.ok()) return status;
+  status = ReadFrame(reply);
+  if (!status.ok()) return status;
+  if (reply->type == MsgType::kError) {
+    ErrorMsg error;
+    if (!Decode(reply->body, &error)) {
+      Disconnect();
+      return Status::Corruption("undecodable error frame");
+    }
+    last_status_ = error.status;
+    last_error_message_ = error.message;
+    return Status::Error("server: " + error.message);
+  }
+  if (reply->type != expected) {
+    Disconnect();
+    return Status::Corruption("unexpected reply type");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status DecodeState(const Frame& reply, SessionStateMsg* out) {
+  if (!Decode(reply.body, out)) {
+    return Status::Corruption("undecodable session state");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DiscoveryClient::CreateSession(std::span<const EntityId> initial,
+                                      SessionStateMsg* out) {
+  CreateSessionMsg msg;
+  msg.initial.assign(initial.begin(), initial.end());
+  Frame reply;
+  Status status = Call(Encode(msg), MsgType::kSessionState, &reply);
+  if (!status.ok()) return status;
+  return DecodeState(reply, out);
+}
+
+Status DiscoveryClient::Answer(uint64_t session_id, Oracle::Answer answer,
+                               SessionStateMsg* out) {
+  Frame reply;
+  Status status =
+      Call(Encode(AnswerMsg{session_id, answer}), MsgType::kSessionState, &reply);
+  if (!status.ok()) return status;
+  return DecodeState(reply, out);
+}
+
+Status DiscoveryClient::Verify(uint64_t session_id, bool confirmed,
+                               SessionStateMsg* out) {
+  Frame reply;
+  Status status =
+      Call(Encode(VerifyMsg{session_id, confirmed}), MsgType::kSessionState, &reply);
+  if (!status.ok()) return status;
+  return DecodeState(reply, out);
+}
+
+Status DiscoveryClient::GetSession(uint64_t session_id, SessionStateMsg* out) {
+  Frame reply;
+  Status status = Call(Encode(MsgType::kGetSession, SessionRefMsg{session_id}),
+                       MsgType::kSessionState, &reply);
+  if (!status.ok()) return status;
+  return DecodeState(reply, out);
+}
+
+Status DiscoveryClient::CloseSession(uint64_t session_id) {
+  Frame reply;
+  Status status = Call(Encode(MsgType::kCloseSession, SessionRefMsg{session_id}),
+                       MsgType::kClosed, &reply);
+  if (!status.ok()) return status;
+  SessionRefMsg closed;
+  if (!Decode(reply.body, &closed) || closed.session_id != session_id) {
+    return Status::Corruption("close acknowledged the wrong session");
+  }
+  return Status::OK();
+}
+
+Status DiscoveryClient::GetStats(StatsReplyMsg* out) {
+  Frame reply;
+  Status status = Call(EncodeStatsRequest(), MsgType::kStatsReply, &reply);
+  if (!status.ok()) return status;
+  if (!Decode(reply.body, out)) {
+    return Status::Corruption("undecodable stats reply");
+  }
+  return Status::OK();
+}
+
+Status DriveSession(DiscoveryClient& client, std::span<const EntityId> initial,
+                    Oracle& oracle, SessionStateMsg* out,
+                    std::vector<double>* step_micros) {
+  WallTimer timer;
+  Status status = client.CreateSession(initial, out);
+  if (step_micros != nullptr) step_micros->push_back(timer.Micros());
+  // Bounded by the entity count per narrowing pass and the flip budget per
+  // backtrack (same contract as SessionManager::Drive); the guard only
+  // catches protocol bugs.
+  int guard = 0;
+  while (status.ok() && out->state != SessionState::kFinished &&
+         guard++ < 1000000) {
+    timer.Reset();
+    if (out->state == SessionState::kAwaitingAnswer) {
+      status = client.Answer(out->session_id,
+                             oracle.AskMembership(out->question), out);
+    } else {
+      status = client.Verify(out->session_id,
+                             oracle.ConfirmTarget(out->verify_set), out);
+    }
+    if (step_micros != nullptr) step_micros->push_back(timer.Micros());
+  }
+  return status;
+}
+
+}  // namespace setdisc::net

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file client.h
+/// DiscoveryClient: a blocking TCP client for the setdisc wire protocol —
+/// the library behind `setdisc_cli --connect` and bench_server, and the
+/// reference for anyone writing a client in another language.
+///
+/// One client drives one connection; requests are synchronous (send one
+/// frame, read one reply). The protocol itself allows pipelining, but an
+/// interactive conversation is inherently turn-based, so the client keeps
+/// the simple shape. A client is not thread-safe; use one per thread.
+///
+/// Error model: every RPC returns the transport-level Status (socket died,
+/// undecodable reply, unexpected frame type). Server-side refusals arrive
+/// as Error frames; those also fail the Status, and the machine-readable
+/// code is kept in last_status() — so e.g. a WrongState answer is
+/// distinguishable from a torn connection without parsing message text.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace setdisc::net {
+
+class DiscoveryClient {
+ public:
+  DiscoveryClient() = default;
+  ~DiscoveryClient() { Disconnect(); }
+
+  DiscoveryClient(const DiscoveryClient&) = delete;
+  DiscoveryClient& operator=(const DiscoveryClient&) = delete;
+
+  /// Connects to a numeric address ("127.0.0.1") and port.
+  Status Connect(const std::string& address, uint16_t port);
+
+  void Disconnect();
+  bool connected() const { return fd_.valid(); }
+
+  /// Opens a session; *out is the first step (a question, a verification,
+  /// or — for sessions finished at birth — the final result).
+  Status CreateSession(std::span<const EntityId> initial, SessionStateMsg* out);
+
+  /// Answers the pending question of `session_id`.
+  Status Answer(uint64_t session_id, Oracle::Answer answer, SessionStateMsg* out);
+
+  /// Resolves the pending verification of `session_id`.
+  Status Verify(uint64_t session_id, bool confirmed, SessionStateMsg* out);
+
+  /// Snapshot of a live session.
+  Status GetSession(uint64_t session_id, SessionStateMsg* out);
+
+  /// Closes a server-side session (the connection stays up).
+  Status CloseSession(uint64_t session_id);
+
+  /// Server-side counters.
+  Status GetStats(StatsReplyMsg* out);
+
+  /// WireStatus of the last completed RPC: kOk on success, the server's
+  /// code when it answered with an Error frame.
+  WireStatus last_status() const { return last_status_; }
+
+  /// Server message text accompanying the last Error frame ("" otherwise).
+  const std::string& last_error_message() const { return last_error_message_; }
+
+ private:
+  /// Sends `frame` and reads exactly one reply frame, expecting `expected`
+  /// (Error frames are decoded into last_status_/last_error_message_).
+  Status Call(std::string frame, MsgType expected, Frame* reply);
+
+  Status SendAll(const std::string& frame);
+  Status ReadFrame(Frame* out);
+
+  UniqueFd fd_;
+  FrameDecoder decoder_;
+  WireStatus last_status_ = WireStatus::kOk;
+  std::string last_error_message_;
+};
+
+/// Drives one full remote conversation: opens a session seeded with
+/// `initial` and answers every step from `oracle` until it finishes — the
+/// client-side mirror of SessionManager::Drive, shared by the CLI, the
+/// benches, and the tests so the conversation loop exists once. *out ends
+/// in the final state (kFinished on success). When `step_micros` is given,
+/// the wall time of every RPC round-trip (Create included) is appended to
+/// it — what the latency benches measure.
+Status DriveSession(DiscoveryClient& client, std::span<const EntityId> initial,
+                    Oracle& oracle, SessionStateMsg* out,
+                    std::vector<double>* step_micros = nullptr);
+
+}  // namespace setdisc::net

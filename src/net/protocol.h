@@ -1,0 +1,340 @@
+#pragma once
+
+/// \file protocol.h
+/// The setdisc binary wire protocol (version 1): length-prefixed frames that
+/// carry a discovery conversation between a client and a DiscoveryServer
+/// multiplexing sessions onto a SessionManager.
+///
+/// Frame layout (all integers little-endian, independent of host order):
+///
+///   offset 0  uint32  body length in bytes (header excluded)
+///   offset 4  uint8   protocol version (kProtocolVersion)
+///   offset 5  uint8   message type (MsgType)
+///   offset 6  uint16  reserved, must be zero
+///   offset 8  body[length]
+///
+/// Requests (client -> server) and replies (server -> client) flow in strict
+/// order per connection: the n-th reply answers the n-th request, so no
+/// request-id correlation is needed (requests may still be pipelined — the
+/// server queues them and answers in order). Every session-stepping request
+/// (CreateSession / Answer / Verify / GetSession) is answered with one
+/// SessionState frame — the "Question" / "Verify" / "Finished" surface of the
+/// conversation — or with an Error frame carrying a WireStatus.
+///
+/// Robustness rules, enforced by FrameDecoder before any body is parsed:
+///  * a header whose version differs is rejected (kBadVersion);
+///  * a nonzero reserved field is rejected (kMalformed);
+///  * a length beyond the configured maximum is rejected without buffering
+///    the body (kOversized).
+/// A decode error poisons the stream (TCP gives no way to resync); the
+/// server replies with an Error frame and closes the connection.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "collection/types.h"
+#include "core/discovery.h"
+#include "service/session_manager.h"
+
+namespace setdisc::net {
+
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Default upper bound on a frame body. Large enough for any realistic
+/// finished-session result (candidates + transcript), small enough that a
+/// garbage length field cannot make the server buffer gigabytes.
+inline constexpr size_t kDefaultMaxBody = size_t{1} << 20;
+
+/// Message types. Requests have the high bit clear, replies have it set.
+enum class MsgType : uint8_t {
+  // client -> server
+  kCreateSession = 0x01,  ///< body: u32 n, n * u32 initial entity ids
+  kAnswer = 0x02,         ///< body: u64 session, u8 answer (WireAnswer)
+  kVerify = 0x03,         ///< body: u64 session, u8 confirmed (0/1)
+  kGetSession = 0x04,     ///< body: u64 session
+  kCloseSession = 0x05,   ///< body: u64 session
+  kStats = 0x06,          ///< body: empty
+
+  // server -> client
+  kSessionState = 0x81,  ///< body: SessionStateMsg
+  kStatsReply = 0x82,    ///< body: StatsReplyMsg
+  kClosed = 0x83,        ///< body: u64 session (reply to kCloseSession)
+  kError = 0xFF,         ///< body: u8 WireStatus, u32 len, message bytes
+};
+
+/// Status codes carried by Error frames (and surfaced by the client).
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,      ///< unknown / expired / evicted session id
+  kWrongState = 2,    ///< e.g. Answer while the session awaits Verify
+  kMalformed = 3,     ///< undecodable payload or reserved-field violation
+  kOversized = 4,     ///< frame length exceeds the negotiated maximum
+  kBadVersion = 5,    ///< protocol version mismatch
+  kBadType = 6,       ///< unknown or misdirected message type
+  kShuttingDown = 7,  ///< server is draining; no new work accepted
+  kInternal = 8,      ///< server-side failure processing a valid request
+};
+
+const char* WireStatusName(WireStatus status);
+
+/// Wire encoding of Oracle::Answer.
+enum WireAnswer : uint8_t {
+  kWireYes = 0,
+  kWireNo = 1,
+  kWireDontKnow = 2,
+};
+
+uint8_t AnswerToWire(Oracle::Answer answer);
+bool AnswerFromWire(uint8_t wire, Oracle::Answer* out);
+
+/// Wire encoding of SessionState.
+uint8_t SessionStateToWire(SessionState state);
+bool SessionStateFromWire(uint8_t wire, SessionState* out);
+
+// ---------------------------------------------------------------------------
+// Payload primitives
+// ---------------------------------------------------------------------------
+
+/// Appends little-endian primitives to a byte buffer (std::string doubles as
+/// the byte buffer throughout the net layer so frames concatenate cheaply
+/// into connection write buffers).
+class PayloadWriter {
+ public:
+  explicit PayloadWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) {
+    PutU8(static_cast<uint8_t>(v));
+    PutU8(static_cast<uint8_t>(v >> 8));
+  }
+  void PutU32(uint32_t v) {
+    PutU16(static_cast<uint16_t>(v));
+    PutU16(static_cast<uint16_t>(v >> 16));
+  }
+  void PutU64(uint64_t v) {
+    PutU32(static_cast<uint32_t>(v));
+    PutU32(static_cast<uint32_t>(v >> 32));
+  }
+  void PutBytes(std::string_view bytes) { out_->append(bytes); }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked little-endian reads over a frame body. Any out-of-bounds
+/// read trips ok() permanently; callers check once at the end, so decoding a
+/// truncated body is safe and branch-light.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (!Ensure(1)) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool GetU16(uint16_t* v) {
+    uint8_t lo, hi;
+    if (!GetU8(&lo) || !GetU8(&hi)) return false;
+    *v = static_cast<uint16_t>(lo | (uint16_t{hi} << 8));
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    uint16_t lo, hi;
+    if (!GetU16(&lo) || !GetU16(&hi)) return false;
+    *v = lo | (uint32_t{hi} << 16);
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    uint32_t lo, hi;
+    if (!GetU32(&lo) || !GetU32(&hi)) return false;
+    *v = lo | (uint64_t{hi} << 32);
+    return true;
+  }
+  bool GetBytes(size_t n, std::string_view* out) {
+    if (!Ensure(n)) return false;
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// True iff every byte was consumed and no read ran out of bounds — the
+  /// "exactly this message, nothing more" check every decoder ends with.
+  bool Exhausted() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool Ensure(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// One complete decoded frame.
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string body;
+};
+
+/// Wraps `body` in a version-1 frame header.
+std::string EncodeFrame(MsgType type, std::string_view body);
+
+/// Incremental frame decoder for a TCP byte stream. Feed() whatever the
+/// socket produced — any fragmentation, including one byte at a time — and
+/// Pop() complete frames as they materialize. Decode errors are sticky: the
+/// stream cannot be resynchronized, so after the first error every Pop()
+/// reports it again and Feed() becomes a no-op.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_body = kDefaultMaxBody)
+      : max_body_(max_body) {}
+
+  void Feed(const char* data, size_t n);
+  void Feed(std::string_view data) { Feed(data.data(), data.size()); }
+
+  enum class Next {
+    kFrame,     ///< *out holds the next frame
+    kNeedMore,  ///< no complete frame buffered yet
+    kError,     ///< stream poisoned; *error holds the reason
+  };
+
+  Next Pop(Frame* out, WireStatus* error);
+
+  /// Bytes buffered but not yet consumed by Pop().
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+  size_t max_body_;
+  bool poisoned_ = false;
+  WireStatus poison_status_ = WireStatus::kOk;
+};
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+struct CreateSessionMsg {
+  std::vector<EntityId> initial;
+};
+
+struct AnswerMsg {
+  uint64_t session_id = 0;
+  Oracle::Answer answer = Oracle::Answer::kDontKnow;
+};
+
+struct VerifyMsg {
+  uint64_t session_id = 0;
+  bool confirmed = false;
+};
+
+/// GetSession / CloseSession / Closed all carry just the session id.
+struct SessionRefMsg {
+  uint64_t session_id = 0;
+};
+
+struct ErrorMsg {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+};
+
+/// Upper bound on candidate ids embedded in a finished-session reply. A
+/// halted or exclusion-saturated session over a huge collection can leave
+/// hundreds of thousands of candidates; shipping them all would overflow
+/// the frame-size limit and poison the client's decoder. The reply carries
+/// the true total plus the first kMaxWireCandidates ids (success — a
+/// singleton — is never truncated).
+inline constexpr uint32_t kMaxWireCandidates = 65536;
+
+/// Same bound for transcript entries (5 bytes each). With both
+/// variable-length sections capped, the largest possible finished-session
+/// reply is ~600 KiB — always under kDefaultMaxBody, so a reply can never
+/// poison the client's decoder. (The client saw the conversation live; the
+/// embedded transcript is a parity/convenience artifact, and real sessions
+/// are orders of magnitude shorter than the cap.)
+inline constexpr uint32_t kMaxWireTranscript = 65536;
+
+/// Serialized DiscoveryResult, attached to a finished SessionState. The
+/// transcript rides along so a socket-driven client can reconstruct the
+/// conversation byte-for-byte (the parity tests compare it against the
+/// in-process DiscoverySession).
+struct WireResult {
+  uint32_t questions = 0;
+  uint32_t backtracks = 0;
+  bool confirmed = false;
+  bool halted = false;
+  /// Full remaining-candidate count; `candidates` holds min(total,
+  /// kMaxWireCandidates) of them.
+  uint32_t total_candidates = 0;
+  std::vector<SetId> candidates;
+  /// Full question count of the conversation; `transcript` holds the first
+  /// min(total, kMaxWireTranscript) entries.
+  uint32_t total_transcript = 0;
+  std::vector<std::pair<EntityId, uint8_t>> transcript;  // (entity, WireAnswer)
+};
+
+/// The per-step reply: mirrors SessionView.
+struct SessionStateMsg {
+  uint64_t session_id = 0;
+  SessionState state = SessionState::kFinished;
+  EntityId question = kNoEntity;   ///< valid in kAwaitingAnswer
+  SetId verify_set = kNoSet;       ///< valid in kAwaitingVerify
+  uint32_t questions_asked = 0;
+  WireResult result;               ///< populated iff state == kFinished
+};
+
+struct StatsReplyMsg {
+  uint64_t active_sessions = 0;
+  uint64_t created_sessions = 0;
+  uint64_t connections_open = 0;
+  uint64_t connections_total = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+};
+
+// Encoders return a complete frame (header + body).
+std::string Encode(const CreateSessionMsg& msg);
+std::string Encode(const AnswerMsg& msg);
+std::string Encode(const VerifyMsg& msg);
+std::string Encode(MsgType type, const SessionRefMsg& msg);
+std::string EncodeStatsRequest();
+std::string Encode(const ErrorMsg& msg);
+std::string Encode(const SessionStateMsg& msg);
+std::string Encode(const StatsReplyMsg& msg);
+
+// Decoders parse a frame body; false = malformed (wrong size, bad enum
+// value, trailing bytes).
+bool Decode(std::string_view body, CreateSessionMsg* out);
+bool Decode(std::string_view body, AnswerMsg* out);
+bool Decode(std::string_view body, VerifyMsg* out);
+bool Decode(std::string_view body, SessionRefMsg* out);
+bool Decode(std::string_view body, ErrorMsg* out);
+bool Decode(std::string_view body, SessionStateMsg* out);
+bool Decode(std::string_view body, StatsReplyMsg* out);
+
+/// SessionView -> wire reply (server side).
+SessionStateMsg ToWire(const SessionView& view);
+
+/// Wire reply -> DiscoveryResult (client side; valid when state==kFinished).
+DiscoveryResult ToDiscoveryResult(const WireResult& wire);
+
+}  // namespace setdisc::net

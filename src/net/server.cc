@@ -1,0 +1,808 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <deque>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "net/socket.h"
+
+namespace setdisc::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PollerEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool hangup = false;
+};
+
+/// Readiness-notification backend: epoll on Linux, poll(2) everywhere (and
+/// as the tested fallback). Level-triggered in both backends — the loop
+/// re-arms nothing and simply reacts to what is still ready.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  /// Read interest is explicit so backpressured connections can stop
+  /// polling for input (hangup/error events are always delivered).
+  virtual void Add(int fd, bool want_read, bool want_write) = 0;
+  virtual void Update(int fd, bool want_read, bool want_write) = 0;
+  virtual void Remove(int fd) = 0;
+  virtual void Wait(int timeout_ms, std::vector<PollerEvent>* out) = 0;
+};
+
+class PollPoller : public Poller {
+ public:
+  void Add(int fd, bool want_read, bool want_write) override {
+    Update(fd, want_read, want_write);
+  }
+
+  void Update(int fd, bool want_read, bool want_write) override {
+    want_[fd] = static_cast<short>((want_read ? POLLIN : 0) |
+                                   (want_write ? POLLOUT : 0));
+  }
+
+  void Remove(int fd) override { want_.erase(fd); }
+
+  void Wait(int timeout_ms, std::vector<PollerEvent>* out) override {
+    out->clear();
+    pfds_.clear();
+    pfds_.reserve(want_.size());
+    for (const auto& [fd, events] : want_) {
+      pfds_.push_back(pollfd{fd, events, 0});
+    }
+    int n = ::poll(pfds_.data(), pfds_.size(), timeout_ms);
+    if (n <= 0) return;  // timeout or EINTR: both mean "nothing ready"
+    for (const pollfd& p : pfds_) {
+      if (p.revents == 0) continue;
+      PollerEvent ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & POLLIN) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.hangup = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+      out->push_back(ev);
+    }
+  }
+
+ private:
+  std::unordered_map<int, short> want_;
+  std::vector<pollfd> pfds_;
+};
+
+#ifdef __linux__
+class EpollPoller : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+
+  bool ok() const { return epfd_.valid(); }
+
+  void Add(int fd, bool want_read, bool want_write) override {
+    Ctl(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+  void Update(int fd, bool want_read, bool want_write) override {
+    Ctl(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+
+  void Remove(int fd) override {
+    epoll_event ev{};
+    ::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  void Wait(int timeout_ms, std::vector<PollerEvent>* out) override {
+    out->clear();
+    epoll_event events[64];
+    int n = ::epoll_wait(epfd_.get(), events, 64, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      PollerEvent ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & EPOLLIN) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.hangup = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      out->push_back(ev);
+    }
+  }
+
+ private:
+  void Ctl(int op, int fd, bool want_read, bool want_write) {
+    epoll_event ev{};
+    ev.events = (want_read ? static_cast<uint32_t>(EPOLLIN) : 0u) |
+                (want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epfd_.get(), op, fd, &ev);
+  }
+
+  UniqueFd epfd_;
+};
+#endif  // __linux__
+
+std::unique_ptr<Poller> MakePoller(bool use_epoll) {
+#ifdef __linux__
+  if (use_epoll) {
+    auto poller = std::make_unique<EpollPoller>();
+    if (poller->ok()) return poller;
+  }
+#else
+  (void)use_epoll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+WireStatus ToWireStatus(SessionStatus status) {
+  switch (status) {
+    case SessionStatus::kOk: return WireStatus::kOk;
+    case SessionStatus::kNotFound: return WireStatus::kNotFound;
+    case SessionStatus::kWrongState: return WireStatus::kWrongState;
+  }
+  return WireStatus::kMalformed;
+}
+
+/// One client connection. Owned and touched exclusively by the event-loop
+/// thread; pool jobs refer to connections only by id through the completion
+/// queue, so a connection that dies mid-request simply drops the reply.
+struct Conn {
+  UniqueFd fd;
+  uint64_t id = 0;
+  FrameDecoder decoder;
+  std::deque<Frame> pending;  ///< decoded requests awaiting their turn
+  std::string outbuf;
+  size_t outpos = 0;
+  Clock::time_point last_active;
+  bool inflight = false;   ///< a request of this connection is on the pool
+  bool closing = false;    ///< poisoned / draining: close once flushed
+  bool saw_eof = false;    ///< peer half-closed; serve what arrived, then close
+  bool want_read = true;   ///< poller interest as last registered
+  bool want_write = false;
+  /// Error frame held back until the in-flight request's reply is out —
+  /// replies are strictly in request order, and the poisoning input arrived
+  /// after that request.
+  std::string deferred_error;
+
+  explicit Conn(size_t max_body) : decoder(max_body) {}
+
+  bool FullyDrained() const {
+    return !inflight && pending.empty() && deferred_error.empty() &&
+           outpos == outbuf.size();
+  }
+};
+
+}  // namespace
+
+struct DiscoveryServer::Impl {
+  UniqueFd listener;
+  UniqueFd wake_read, wake_write;
+  std::unique_ptr<Poller> poller;
+
+  // Event-loop-thread state.
+  std::unordered_map<int, std::shared_ptr<Conn>> by_fd;
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> by_id;
+  uint64_t next_conn_id = 1;
+  bool draining = false;
+  Clock::time_point drain_deadline;
+
+  // Pool-thread -> loop-thread handoff.
+  std::mutex completions_mu;
+  std::vector<std::pair<uint64_t, std::string>> completions;
+  std::atomic<int64_t> outstanding_jobs{0};
+
+  /// Every Offload()ed job resolves in exactly one PostCompletion; the
+  /// wake and the counter decrement must happen even if enqueueing the
+  /// reply fails, or Shutdown() would wait on the counter forever.
+  void PostCompletion(uint64_t conn_id, std::string frame) {
+    try {
+      std::lock_guard<std::mutex> lock(completions_mu);
+      completions.emplace_back(conn_id, std::move(frame));
+    } catch (...) {
+      // Allocation failure posting the reply: the connection idles out,
+      // but the loop still wakes and the job still counts as finished.
+    }
+    char byte = 1;
+    // Best-effort: a full pipe already guarantees a pending wakeup.
+    (void)!::write(wake_write.get(), &byte, 1);
+    outstanding_jobs.fetch_sub(1, std::memory_order_release);
+  }
+};
+
+DiscoveryServer::DiscoveryServer(SessionManager& manager, ServerOptions options)
+    : manager_(manager),
+      options_(std::move(options)),
+      impl_(std::make_unique<Impl>()) {}
+
+DiscoveryServer::~DiscoveryServer() { Shutdown(); }
+
+Status DiscoveryServer::Start() {
+  if (running_.load()) return Status::Error("server already running");
+
+  Result<UniqueFd> listener =
+      TcpListen(options_.bind_address, options_.port, options_.listen_backlog);
+  if (!listener.ok()) return listener.status();
+  impl_->listener = std::move(listener.value());
+  Status nb = SetNonBlocking(impl_->listener.get());
+  if (!nb.ok()) return nb;
+  port_ = LocalPort(impl_->listener.get());
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return Status::IoError("pipe failed");
+  impl_->wake_read = UniqueFd(pipe_fds[0]);
+  impl_->wake_write = UniqueFd(pipe_fds[1]);
+  SetNonBlocking(impl_->wake_read.get());
+  SetNonBlocking(impl_->wake_write.get());
+
+  impl_->poller = MakePoller(options_.use_epoll);
+  impl_->poller->Add(impl_->listener.get(), /*want_read=*/true,
+                     /*want_write=*/false);
+  impl_->poller->Add(impl_->wake_read.get(), /*want_read=*/true,
+                     /*want_write=*/false);
+
+  // A restarted server (Start after Shutdown) must not inherit the old
+  // drain state or stale replies for long-gone connection ids.
+  impl_->draining = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->completions_mu);
+    impl_->completions.clear();
+  }
+
+  stop_requested_.store(false);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread(&DiscoveryServer::Loop, this);
+  return Status::OK();
+}
+
+void DiscoveryServer::Shutdown() {
+  if (loop_thread_.joinable()) {
+    stop_requested_.store(true);
+    char byte = 1;
+    (void)!::write(impl_->wake_write.get(), &byte, 1);
+    loop_thread_.join();
+  }
+  // Pool jobs posted by the loop may still be running; they touch only the
+  // completion queue and the wake pipe, both alive until ~Impl. Wait them
+  // out so destruction is safe even if the drain deadline cut them off.
+  while (impl_->outstanding_jobs.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+ServerStats DiscoveryServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop. Everything below runs on loop_thread_ only.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Encodes the reply for one offloaded session step: the new state on
+/// success, an Error frame otherwise.
+std::string StepReply(SessionStatus status, const SessionView& view,
+                      const char* what) {
+  if (status == SessionStatus::kOk) return Encode(ToWire(view));
+  WireStatus wire = ToWireStatus(status);
+  return Encode(ErrorMsg{wire, std::string(what) + ": " + WireStatusName(wire)});
+}
+
+/// Loop-side machinery that needs access to the server's members; kept as a
+/// free-function toolkit over explicit state to keep server.h implementation
+/// -free. (Defined as a class for brevity of the many small steps.)
+struct LoopCtx {
+  DiscoveryServer::Impl& im;
+  SessionManager& manager;
+  const ServerOptions& options;
+  std::mutex& stats_mu;
+  ServerStats& stats;
+  /// Next time the idle sweep actually scans the connection table (the scan
+  /// is O(connections); running it every event batch would tax the loop).
+  Clock::time_point next_sweep = Clock::now();
+
+  /// Accept backoff under fd exhaustion: EMFILE/ENFILE leaves the pending
+  /// connection queued, and a level-triggered poller would report the
+  /// listener readable forever — a zero-timeout busy spin. Read interest on
+  /// the listener is dropped until this deadline instead.
+  bool listener_paused = false;
+  Clock::time_point resume_accepts{};
+
+  void Bump(uint64_t ServerStats::* counter, uint64_t by = 1) {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    stats.*counter += by;
+  }
+
+  void SendFrame(Conn& conn, std::string frame) {
+    conn.outbuf += frame;
+    Bump(&ServerStats::frames_sent);
+  }
+
+  void SendError(Conn& conn, WireStatus status, std::string message) {
+    SendFrame(conn, Encode(ErrorMsg{status, std::move(message)}));
+  }
+
+  /// Unrecoverable stream error: stop reading this connection, but first
+  /// finish what arrived intact BEFORE the poison — requests already in
+  /// flight or decoded into the queue get their replies in order, then the
+  /// Error frame goes out (the n-th reply answers the n-th request even on
+  /// a dying stream), then the connection closes once flushed.
+  ///
+  /// `drop_queued` distinguishes where the poison sits relative to the
+  /// queue: a malformed PAYLOAD (Dispatch-level, the default) poisons the
+  /// frame being dispatched, so everything still queued arrived after it
+  /// and must be dropped, not answered; a decoder-level error (bad header
+  /// mid-stream) arrived after everything in the queue, which keeps its
+  /// replies.
+  void ProtocolError(Conn& conn, WireStatus status, bool drop_queued = true) {
+    if (drop_queued) conn.pending.clear();
+    if (conn.closing) return;
+    Bump(&ServerStats::protocol_errors);
+    conn.closing = true;
+    conn.deferred_error = Encode(ErrorMsg{status, WireStatusName(status)});
+  }
+
+  void CloseConn(Conn& conn) {
+    im.poller->Remove(conn.fd.get());
+    Bump(&ServerStats::connections_open, static_cast<uint64_t>(-1));
+    uint64_t id = conn.id;
+    int fd = conn.fd.get();
+    im.by_id.erase(id);
+    im.by_fd.erase(fd);  // destroys conn — must be the last touch
+  }
+
+  std::shared_ptr<Conn> Find(int fd) {
+    auto it = im.by_fd.find(fd);
+    return it == im.by_fd.end() ? nullptr : it->second;
+  }
+
+  void Accept() {
+    // Bounded per event: an unexpectedly persistent accept errno must fall
+    // back to the event loop (which re-reports readiness) rather than spin
+    // here forever.
+    for (int attempts = 0; attempts < 1024; ++attempts) {
+      int raw = ::accept(im.listener.get(), nullptr, nullptr);
+      if (raw < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+            errno == ENOMEM) {
+          // Resource exhaustion: the pending connection stays queued, so
+          // back off the listener instead of spinning on its readability.
+          listener_paused = true;
+          resume_accepts = Clock::now() + std::chrono::milliseconds(100);
+          im.poller->Update(im.listener.get(), /*want_read=*/false,
+                            /*want_write=*/false);
+          return;
+        }
+        // EINTR, ECONNABORTED (peer RST while queued), and kin are
+        // per-attempt transients: skip and keep accepting.
+        continue;
+      }
+      UniqueFd fd(raw);
+      if (options.max_connections > 0 &&
+          im.by_fd.size() >= options.max_connections) {
+        continue;  // over capacity: fd closes on scope exit
+      }
+      SetNonBlocking(fd.get());
+      SetNoDelay(fd.get());
+      auto conn = std::make_shared<Conn>(options.max_frame_body);
+      conn->id = im.next_conn_id++;
+      conn->last_active = Clock::now();
+      int key = fd.get();
+      conn->fd = std::move(fd);
+      im.poller->Add(key, /*want_read=*/true, /*want_write=*/false);
+      im.by_fd.emplace(key, conn);
+      im.by_id.emplace(conn->id, conn);
+      Bump(&ServerStats::connections_total);
+      Bump(&ServerStats::connections_open);
+    }
+  }
+
+  /// Backpressure bound: a client that pipelines requests without reading
+  /// replies stops being read once this much work is queued for it, so one
+  /// connection cannot grow pending/outbuf without limit (TCP then pushes
+  /// back on the sender). Reading resumes as the backlog drains.
+  bool Backlogged(const Conn& conn) const {
+    constexpr size_t kMaxPendingFrames = 128;
+    const size_t max_outbuf_bytes =
+        std::max<size_t>(4 << 20, 4 * options.max_frame_body);
+    return conn.pending.size() >= kMaxPendingFrames ||
+           conn.outbuf.size() - conn.outpos >= max_outbuf_bytes;
+  }
+
+  /// Re-registers poller interest from the connection's current state:
+  /// read while healthy and not backlogged, write while bytes are owed.
+  void UpdateInterest(Conn& conn) {
+    bool want_read = !conn.closing && !conn.saw_eof && !Backlogged(conn);
+    bool want_write = conn.outpos < conn.outbuf.size();
+    if (want_read != conn.want_read || want_write != conn.want_write) {
+      conn.want_read = want_read;
+      conn.want_write = want_write;
+      im.poller->Update(conn.fd.get(), want_read, want_write);
+    }
+  }
+
+  /// Writes as much of the backlog as the socket accepts; returns false when
+  /// the connection died mid-write (and was closed).
+  bool FlushWrites(Conn& conn) {
+    while (conn.outpos < conn.outbuf.size()) {
+      ssize_t written = SendSome(conn.fd.get(), conn.outbuf.data() + conn.outpos,
+                                 conn.outbuf.size() - conn.outpos);
+      if (written > 0) {
+        conn.outpos += static_cast<size_t>(written);
+        // Write progress is activity too: a client slowly draining a big
+        // reply backlog must not be idle-swept mid-stream.
+        conn.last_active = Clock::now();
+        continue;
+      }
+      if (written == 0) break;  // EAGAIN: poll for writability
+      CloseConn(conn);
+      return false;
+    }
+    if (conn.outpos == conn.outbuf.size()) {
+      conn.outbuf.clear();
+      conn.outpos = 0;
+    }
+    return true;
+  }
+
+  /// Closes a connection whose conversation is over (poisoned, draining, or
+  /// the peer half-closed) once every pending byte is on the wire.
+  void MaybeClose(Conn& conn) {
+    if ((conn.closing || conn.saw_eof || im.draining) && conn.FullyDrained()) {
+      CloseConn(conn);
+    }
+  }
+
+  void Dispatch(Conn& conn, Frame frame) {
+    switch (frame.type) {
+      case MsgType::kCloseSession: {
+        SessionRefMsg msg;
+        if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
+        SessionStatus status = manager.Close(msg.session_id);
+        if (status == SessionStatus::kOk) {
+          SendFrame(conn, Encode(MsgType::kClosed, msg));
+        } else {
+          SendError(conn, ToWireStatus(status), "close: unknown session");
+        }
+        return;
+      }
+      case MsgType::kStats: {
+        if (!frame.body.empty()) return ProtocolError(conn, WireStatus::kMalformed);
+        StatsReplyMsg msg;
+        msg.active_sessions = manager.num_active();
+        msg.created_sessions = manager.num_created();
+        {
+          std::lock_guard<std::mutex> lock(stats_mu);
+          msg.connections_open = stats.connections_open;
+          msg.connections_total = stats.connections_total;
+          msg.frames_received = stats.frames_received;
+          msg.frames_sent = stats.frames_sent;
+        }
+        SendFrame(conn, Encode(msg));
+        return;
+      }
+      // The session-stepping requests run Select() (Create / Answer /
+      // Verify) or may block on a session mutex behind someone else's
+      // Select() (GetSession) — all are offloaded so the loop never stalls.
+      //
+      // The job lambdas must NOT capture the LoopCtx (`this`): it lives on
+      // the Loop() stack, and a slow job can outlive the loop (Shutdown
+      // joins the loop thread first, then waits the jobs out). They capture
+      // SessionManager* instead (alive until every job finished) and just
+      // return the reply frame; Offload's wrapper owns delivery.
+      case MsgType::kCreateSession: {
+        CreateSessionMsg msg;
+        if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
+        if (RefuseWhileDraining(conn)) return;
+        Offload(conn, [mgr = &manager, msg = std::move(msg)]() mutable {
+          return Encode(ToWire(mgr->Create(msg.initial)));
+        });
+        return;
+      }
+      case MsgType::kAnswer: {
+        AnswerMsg msg;
+        if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
+        if (RefuseWhileDraining(conn)) return;
+        Offload(conn, [mgr = &manager, msg] {
+          SessionView view;
+          SessionStatus status = mgr->SubmitAnswer(msg.session_id, msg.answer, &view);
+          return StepReply(status, view, "answer");
+        });
+        return;
+      }
+      case MsgType::kVerify: {
+        VerifyMsg msg;
+        if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
+        if (RefuseWhileDraining(conn)) return;
+        Offload(conn, [mgr = &manager, msg] {
+          SessionView view;
+          SessionStatus status = mgr->Verify(msg.session_id, msg.confirmed, &view);
+          return StepReply(status, view, "verify");
+        });
+        return;
+      }
+      case MsgType::kGetSession: {
+        SessionRefMsg msg;
+        if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
+        if (RefuseWhileDraining(conn)) return;
+        Offload(conn, [mgr = &manager, msg] {
+          SessionView view;
+          SessionStatus status = mgr->Get(msg.session_id, &view);
+          return StepReply(status, view, "get");
+        });
+        return;
+      }
+      default:
+        return ProtocolError(conn, WireStatus::kBadType);
+    }
+  }
+
+  bool RefuseWhileDraining(Conn& conn) {
+    if (!im.draining) return false;
+    SendError(conn, WireStatus::kShuttingDown, WireStatusName(WireStatus::kShuttingDown));
+    // Queued pipelined requests will never be served either; leaving them
+    // would keep FullyDrained() false and stall Shutdown until its deadline.
+    conn.pending.clear();
+    conn.closing = true;
+    return true;
+  }
+
+  /// Marks the connection busy and runs `job` (returning the reply frame)
+  /// on the manager's pool. The wrapper — not the job — owns delivery:
+  /// exactly one PostCompletion happens even if the job throws, so a
+  /// failed step can never leave the connection pinned inflight or
+  /// Shutdown() waiting on the outstanding-jobs counter forever.
+  template <typename Job>
+  void Offload(Conn& conn, Job job) {
+    conn.inflight = true;
+    im.outstanding_jobs.fetch_add(1, std::memory_order_relaxed);
+    DiscoveryServer::Impl* impl = &im;
+    manager.pool().Submit(
+        [job = std::move(job), impl, conn_id = conn.id]() mutable {
+          std::string reply;
+          try {
+            reply = job();
+          } catch (...) {
+            try {
+              reply = Encode(ErrorMsg{WireStatus::kInternal,
+                                      WireStatusName(WireStatus::kInternal)});
+            } catch (...) {
+              // Even the error reply failed to build; deliver emptiness —
+              // PostCompletion still balances the counter and the client's
+              // connection is torn down rather than wedged.
+            }
+          }
+          impl->PostCompletion(conn_id, std::move(reply));
+        });
+  }
+
+  /// Answers queued requests in arrival order, one in flight at a time per
+  /// connection — replies stay in request order even though the work runs on
+  /// a pool.
+  /// Decodes buffered bytes into the request queue, stopping at the
+  /// backlog bound (leftovers decode on a later Pump as the backlog
+  /// drains) and at stream poison (bytes after it are void).
+  void DrainDecoder(Conn& conn) {
+    while (!conn.closing && !Backlogged(conn)) {
+      Frame frame;
+      WireStatus error = WireStatus::kOk;
+      FrameDecoder::Next next = conn.decoder.Pop(&frame, &error);
+      if (next == FrameDecoder::Next::kFrame) {
+        Bump(&ServerStats::frames_received);
+        conn.last_active = Clock::now();
+        conn.pending.push_back(std::move(frame));
+        continue;
+      }
+      if (next == FrameDecoder::Next::kError) {
+        // The queued frames were framed intact before the poison: they
+        // keep their replies; the Error frame follows them.
+        ProtocolError(conn, error, /*drop_queued=*/false);
+      }
+      break;
+    }
+  }
+
+  void Pump(Conn& conn) {
+    // `closing` does not stop the dispatch loop: a poisoned connection
+    // still owes replies to the requests that were framed intact before
+    // the poison (no NEW input is read or decoded past it).
+    for (;;) {
+      DrainDecoder(conn);
+      if (conn.inflight || conn.pending.empty()) break;
+      Frame frame = std::move(conn.pending.front());
+      conn.pending.pop_front();
+      Dispatch(conn, std::move(frame));
+    }
+    if (!conn.inflight && conn.pending.empty() &&
+        !conn.deferred_error.empty()) {
+      // Every pre-poison reply is in the buffer; the Error frame goes last.
+      SendFrame(conn, std::move(conn.deferred_error));
+      conn.deferred_error.clear();
+    }
+    if (!FlushWrites(conn)) return;  // connection died and was closed
+    UpdateInterest(conn);
+    MaybeClose(conn);
+  }
+
+  void OnReadable(Conn& conn) {
+    char buf[16384];
+    // Fairness + backpressure bound: one firehosing connection must not pin
+    // the loop in recv() nor outgrow its backlog bound within a single
+    // event — the level-triggered poller re-reports leftover readability
+    // next iteration, after everyone else had a turn.
+    constexpr size_t kMaxReadPerEvent = 256 * 1024;
+    size_t read_this_event = 0;
+    while (read_this_event < kMaxReadPerEvent && !Backlogged(conn)) {
+      ssize_t got = RecvSome(conn.fd.get(), buf, sizeof(buf));
+      if (got > 0) {
+        read_this_event += static_cast<size_t>(got);
+        if (!conn.closing) conn.decoder.Feed(buf, static_cast<size_t>(got));
+        continue;
+      }
+      if (got == 0) break;  // drained the socket for now
+      if (got == kRecvEof) {
+        // Orderly EOF can be a HALF-close (send-then-shutdown(SHUT_WR) is a
+        // standard client idiom): requests read in this very batch still
+        // deserve their replies. Stop reading, serve what arrived, close
+        // once fully drained (MaybeClose). A peer that closed both ways
+        // fails the reply write instead, and FlushWrites closes then.
+        conn.saw_eof = true;
+        break;
+      }
+      CloseConn(conn);  // hard error: the stream is gone in both directions
+      return;
+    }
+    Pump(conn);  // decode (DrainDecoder), dispatch, flush
+  }
+
+  void SweepIdle() {
+    if (options.idle_timeout.count() <= 0) return;
+    const Clock::time_point now = Clock::now();
+    if (now < next_sweep) return;
+    // A quarter of the timeout bounds the detection latency at ~1.25x the
+    // configured idle time while keeping the scan rare on busy loops.
+    next_sweep = now + options.idle_timeout / 4;
+    const Clock::time_point cutoff = now - options.idle_timeout;
+    std::vector<int> victims;
+    for (const auto& [fd, conn] : im.by_fd) {
+      // In-flight work pins the connection: its reply is still owed.
+      if (!conn->inflight && conn->last_active < cutoff) victims.push_back(fd);
+    }
+    for (int fd : victims) {
+      if (auto conn = Find(fd)) {
+        Bump(&ServerStats::idle_closed);
+        CloseConn(*conn);
+      }
+    }
+  }
+
+  void HandleCompletions() {
+    char buf[256];
+    while (::read(im.wake_read.get(), buf, sizeof(buf)) > 0) {
+    }
+    std::vector<std::pair<uint64_t, std::string>> done;
+    {
+      std::lock_guard<std::mutex> lock(im.completions_mu);
+      done.swap(im.completions);
+    }
+    for (auto& [conn_id, frame] : done) {
+      auto it = im.by_id.find(conn_id);
+      if (it == im.by_id.end()) continue;  // connection died mid-request
+      std::shared_ptr<Conn> conn = it->second;
+      conn->inflight = false;
+      conn->last_active = Clock::now();
+      if (frame.empty()) {
+        // The job could not produce even an error reply (allocation
+        // failure); the reply order is unrecoverable for this client.
+        conn->pending.clear();
+        conn->closing = true;
+      } else {
+        SendFrame(*conn, std::move(frame));
+      }
+      Pump(*conn);
+    }
+  }
+
+  void BeginDrain() {
+    im.draining = true;
+    im.drain_deadline = Clock::now() + options.drain_timeout;
+    if (im.listener.valid()) {
+      im.poller->Remove(im.listener.get());
+      im.listener.Reset();
+    }
+    // Connections with nothing owed close now; the rest close as their
+    // in-flight replies flush (MaybeClose covers them).
+    std::vector<int> idle;
+    for (const auto& [fd, conn] : im.by_fd) {
+      if (conn->FullyDrained()) idle.push_back(fd);
+    }
+    for (int fd : idle) {
+      if (auto conn = Find(fd)) CloseConn(*conn);
+    }
+  }
+
+  int WaitTimeoutMs() const {
+    if (im.draining) return 10;
+    if (options.idle_timeout.count() > 0) {
+      auto quarter = options.idle_timeout.count() / 4;
+      return static_cast<int>(std::clamp<long long>(quarter, 10, 250));
+    }
+    return 250;
+  }
+};
+
+}  // namespace
+
+void DiscoveryServer::Loop() {
+  LoopCtx ctx{*impl_, manager_, options_, stats_mu_, stats_};
+  Impl& im = *impl_;
+  std::vector<PollerEvent> events;
+  int listener_fd = im.listener.get();
+  int wake_fd = im.wake_read.get();
+
+  for (;;) {
+    if (stop_requested_.load() && !im.draining) ctx.BeginDrain();
+    if (im.draining &&
+        (im.by_fd.empty() || Clock::now() >= im.drain_deadline)) {
+      break;
+    }
+
+    im.poller->Wait(ctx.WaitTimeoutMs(), &events);
+
+    // Connection work first, accepts last: a close earlier in the batch can
+    // recycle an fd number, and accepting into it mid-batch would let stale
+    // events hit the fresh connection.
+    bool accept_ready = false;
+    for (const PollerEvent& ev : events) {
+      if (ev.fd == listener_fd) {
+        accept_ready = true;
+        continue;
+      }
+      if (ev.fd == wake_fd) {
+        ctx.HandleCompletions();
+        continue;
+      }
+      std::shared_ptr<Conn> conn = ctx.Find(ev.fd);
+      if (conn == nullptr) continue;  // closed earlier in this batch
+      if (ev.readable || ev.hangup) {
+        ctx.OnReadable(*conn);  // EOF path closes the connection
+        conn = ctx.Find(ev.fd);
+        if (conn == nullptr) continue;
+      }
+      if (ev.writable) ctx.Pump(*conn);  // flush, resume reads, dispatch
+    }
+    if (accept_ready && !im.draining) ctx.Accept();
+    if (ctx.listener_paused && im.listener.valid() &&
+        Clock::now() >= ctx.resume_accepts) {
+      ctx.listener_paused = false;
+      im.poller->Update(im.listener.get(), /*want_read=*/true,
+                        /*want_write=*/false);
+    }
+
+    ctx.SweepIdle();
+  }
+
+  // Hard stop: whatever is left (drain deadline expired) is cut. Pool jobs
+  // that still complete find no connection and drop their replies.
+  std::vector<int> rest;
+  rest.reserve(im.by_fd.size());
+  for (const auto& [fd, conn] : im.by_fd) rest.push_back(fd);
+  for (int fd : rest) {
+    if (auto conn = ctx.Find(fd)) ctx.CloseConn(*conn);
+  }
+  if (im.listener.valid()) {
+    im.poller->Remove(im.listener.get());
+    im.listener.Reset();
+  }
+}
+
+}  // namespace setdisc::net

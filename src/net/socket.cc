@@ -1,0 +1,138 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace setdisc::net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Parses a dotted-quad (or "localhost") into a sockaddr_in. The net layer
+/// serves numeric addresses only — name resolution belongs to the caller.
+bool MakeAddr(const std::string& address, uint16_t port, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  std::string node = address.empty() || address == "localhost"
+                         ? std::string("127.0.0.1")
+                         : address;
+  return inet_pton(AF_INET, node.c_str(), &out->sin_addr) == 1;
+}
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Result<UniqueFd> TcpListen(const std::string& address, uint16_t port,
+                           int backlog) {
+  sockaddr_in addr;
+  if (!MakeAddr(address, port, &addr)) {
+    return Status::InvalidArgument("bad listen address: " + address);
+  }
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IoError(Errno("socket"));
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IoError(Errno("bind " + address));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::IoError(Errno("listen"));
+  }
+  return fd;
+}
+
+Result<UniqueFd> TcpConnect(const std::string& address, uint16_t port) {
+  sockaddr_in addr;
+  if (!MakeAddr(address, port, &addr)) {
+    return Status::InvalidArgument("bad connect address: " + address);
+  }
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IoError(Errno("socket"));
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINTR) {
+    // POSIX: an interrupted connect() keeps completing asynchronously —
+    // re-calling it yields EALREADY, not the outcome. Wait for writability
+    // and read the result from SO_ERROR instead.
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    int pr;
+    do {
+      pr = ::poll(&pfd, 1, -1);
+    } while (pr < 0 && errno == EINTR);
+    int err = pr > 0 ? 0 : errno;
+    if (err == 0) {
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        err = errno;
+      }
+    }
+    if (err != 0) errno = err;
+    rc = err == 0 ? 0 : -1;
+  }
+  if (rc != 0) return Status::IoError(Errno("connect " + address));
+  SetNoDelay(fd.get());
+  return fd;
+}
+
+uint16_t LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(Errno("fcntl O_NONBLOCK"));
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Status::IoError(Errno("TCP_NODELAY"));
+  }
+  return Status::OK();
+}
+
+ssize_t SendSome(int fd, const char* data, size_t n) {
+  for (;;) {
+    ssize_t written = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (written >= 0) return written;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+ssize_t RecvSome(int fd, char* data, size_t n) {
+  for (;;) {
+    ssize_t got = ::recv(fd, data, n, 0);
+    if (got > 0) return got;
+    if (got == 0) return kRecvEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+}  // namespace setdisc::net

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file socket.h
+/// Thin POSIX TCP helpers shared by DiscoveryServer and DiscoveryClient:
+/// RAII fd ownership, listen/connect with Status-carrying errors, and
+/// EINTR-retrying reads/writes that never raise SIGPIPE.
+
+#include <cstddef>
+#include <string>
+#include <sys/types.h>
+#include <utility>
+
+#include "util/status.h"
+
+namespace setdisc::net {
+
+/// Owns a file descriptor; closes it on destruction. Movable, not copyable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) Reset(other.Release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `address:port` (port 0 = kernel-assigned). The
+/// returned fd has SO_REUSEADDR set and is left blocking; servers flip it
+/// non-blocking themselves.
+Result<UniqueFd> TcpListen(const std::string& address, uint16_t port,
+                           int backlog = 128);
+
+/// Blocking connect to `address:port` with TCP_NODELAY (the protocol is
+/// request/reply; Nagle would add 40ms stalls to every pipelined step).
+Result<UniqueFd> TcpConnect(const std::string& address, uint16_t port);
+
+/// The locally bound port of a socket (resolves port-0 listens).
+uint16_t LocalPort(int fd);
+
+Status SetNonBlocking(int fd);
+Status SetNoDelay(int fd);
+
+/// send() with MSG_NOSIGNAL, retrying EINTR. Returns bytes written, 0 on
+/// EAGAIN/EWOULDBLOCK (nothing written, try later), -1 on a dead socket.
+ssize_t SendSome(int fd, const char* data, size_t n);
+
+/// recv() retrying EINTR. Returns bytes read, 0 on EAGAIN (non-blocking
+/// socket with nothing buffered), -1 on error, -2 on orderly EOF.
+inline constexpr ssize_t kRecvEof = -2;
+ssize_t RecvSome(int fd, char* data, size_t n);
+
+}  // namespace setdisc::net

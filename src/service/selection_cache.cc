@@ -17,6 +17,7 @@ size_t RoundUpPow2(size_t x) {
 }  // namespace
 
 SelectionCache::SelectionCache(SelectionCacheOptions options) {
+  skip_singleton_exclusions_ = options.skip_singleton_exclusions;
   num_shards_ = RoundUpPow2(std::max<size_t>(1, options.num_shards));
   capacity_per_shard_ =
       std::max<size_t>(1, (std::max<size_t>(1, options.capacity) +
@@ -111,6 +112,7 @@ SelectionCacheStats SelectionCache::stats() const {
     total.insertions += shard.insertions;
     total.evictions += shard.evictions;
   }
+  total.bypasses = bypasses_.load(std::memory_order_relaxed);
   return total;
 }
 

@@ -48,6 +48,7 @@
 ///    impossible. The randomized parity suite exists to catch construction
 ///    bugs that would make them likely.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -78,6 +79,18 @@ struct SelectionCacheOptions {
   /// Mutex stripes; rounded up to a power of two. More shards = less
   /// contention, slightly worse space utilization at tiny capacities.
   size_t num_shards = 16;
+
+  /// Admission policy for one-shot states: when true, selection states whose
+  /// exclusion mask holds exactly ONE entity bypass the cache entirely (no
+  /// lookup, no insert). The first "don't know" of a session produces a
+  /// singleton mask that is usually unique to that conversation — caching it
+  /// costs a slot (and an eviction under pressure) for an entry nobody else
+  /// will hit. States with deeper masks, and the empty mask, are cached as
+  /// usual. Bypassed decisions are counted in SelectionCacheStats::bypasses
+  /// and never touch hit/miss counters, so the hit rate reflects only
+  /// admitted traffic. Off by default; transcripts are identical either way
+  /// (the parity suite runs with the policy on).
+  bool skip_singleton_exclusions = false;
 };
 
 /// Aggregated counters. Consistent at any quiescent point:
@@ -90,6 +103,9 @@ struct SelectionCacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  /// Decisions that skipped the cache under the one-shot admission policy
+  /// (skip_singleton_exclusions); not part of lookups/hits/misses.
+  uint64_t bypasses = 0;
 
   double HitRate() const {
     return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
@@ -130,6 +146,17 @@ class SelectionCache {
   size_t capacity() const { return capacity_per_shard_ * num_shards_; }
   size_t num_shards() const { return num_shards_; }
 
+  /// True when the admission policy says this state should bypass the cache
+  /// (singleton exclusion mask under skip_singleton_exclusions).
+  bool Bypasses(const EntityExclusion* excluded) const {
+    return skip_singleton_exclusions_ && excluded != nullptr &&
+           excluded->num_excluded() == 1;
+  }
+
+  /// Counts one bypassed decision (called by CachingSelector when
+  /// Bypasses() fired).
+  void CountBypass() { bypasses_.fetch_add(1, std::memory_order_relaxed); }
+
  private:
   struct Slot {
     SelectionKey key;
@@ -164,6 +191,10 @@ class SelectionCache {
   size_t num_shards_ = 0;
   size_t capacity_per_shard_ = 0;
   int shard_shift_ = 0;  ///< top bits of HashKey pick the shard
+  bool skip_singleton_exclusions_ = false;
+  /// Outside the shards (a bypass touches no shard); relaxed is enough for
+  /// a statistics counter.
+  std::atomic<uint64_t> bypasses_{0};
 };
 
 /// EntitySelector decorator that consults a shared SelectionCache before
@@ -182,6 +213,12 @@ class CachingSelector : public EntitySelector {
 
   EntityId Select(const SubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override {
+    if (cache_->Bypasses(excluded)) {
+      // One-shot state under the admission policy: don't spend a slot (or a
+      // guaranteed miss) on it — compute directly.
+      cache_->CountBypass();
+      return inner_->Select(sub, excluded);
+    }
     SelectionKey key{sub.collection().Fingerprint(), sub.Fingerprint(),
                      excluded != nullptr ? excluded->Fingerprint() : 0, tag_};
     EntityId entity = kNoEntity;

@@ -19,12 +19,40 @@ SessionManager::SessionManager(const SetCollection& collection,
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.background_reap && options_.session_ttl.count() > 0) {
+    std::chrono::milliseconds interval = options_.reap_interval;
+    if (interval.count() <= 0) {
+      interval = std::clamp(options_.session_ttl / 4,
+                            std::chrono::milliseconds(10),
+                            std::chrono::milliseconds(1000));
+    }
+    reaper_ = std::thread(&SessionManager::ReaperLoop, this, interval);
+  }
 }
 
 SessionManager::~SessionManager() {
+  if (reaper_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(reaper_mu_);
+      reaper_stop_ = true;
+    }
+    reaper_cv_.notify_all();
+    reaper_.join();
+  }
   // Join the pool before the registry is torn down: queued StepAsync tasks
   // hold session ids, and resolving them needs the registry alive.
   pool_.reset();
+}
+
+void SessionManager::ReaperLoop(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(reaper_mu_);
+  while (!reaper_stop_) {
+    reaper_cv_.wait_for(lock, interval);
+    if (reaper_stop_) break;
+    lock.unlock();
+    ReapExpired();
+    lock.lock();
+  }
 }
 
 SessionView SessionManager::MakeView(SessionId id,
@@ -69,8 +97,16 @@ SessionView SessionManager::Create(std::span<const EntityId> initial) {
     return view;
   }
   {
+    // With the background reaper on (the default), TTL reaping is NOT done
+    // here: it runs on the reaper tick, keeping the Create critical path
+    // to the O(1) insert + possible O(1) eviction below. An expired
+    // session can linger until the next tick — if capacity fires first,
+    // the LRU front (the longest-idle session, i.e. the expired one if any
+    // exists) is exactly the victim. Without the reaper thread, Create
+    // reaps inline as it always did — some path must collect expired
+    // sessions, or an idle manager would grow without bound.
     std::lock_guard<std::mutex> lock(registry_mu_);
-    ReapExpiredLocked();
+    if (!options_.background_reap) ReapExpiredLocked();
     if (options_.max_sessions > 0 &&
         sessions_.size() >= options_.max_sessions && !lru_.empty()) {
       // Evict the least recently touched session: the front of the LRU list,

@@ -11,16 +11,19 @@
 ///     documented non-thread-safe — they hold scratch buffers and caches);
 ///   * a per-session mutex serializes steps of one conversation while steps
 ///     of different conversations run in parallel;
-///   * idle sessions are reaped after a TTL, and a capacity bound evicts the
-///     least recently used session when the registry is full;
+///   * idle sessions are reaped after a TTL — by a background reaper tick,
+///     off the Create critical path — and a capacity bound evicts the least
+///     recently used session when the registry is full;
 ///   * an internal ThreadPool runs independent sessions' Select() calls
 ///     concurrently (SubmitAnswerAsync), since selection is the CPU cost of
 ///     a step.
 ///
-/// The frontend protocol (binary wire format, socket server) is deliberately
-/// out of scope: this is the engine a server loops around.
+/// The network frontend lives one layer up: net/server.h loops an epoll
+/// event loop around this engine and speaks the binary protocol of
+/// net/protocol.h.
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -28,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -82,6 +86,19 @@ struct SessionManagerOptions {
 
   /// Sessions idle longer than this are reaped (zero = never).
   std::chrono::milliseconds session_ttl{std::chrono::minutes(10)};
+
+  /// Run TTL reaping on a background tick instead of the Create critical
+  /// path. Reaping walks the expired LRU prefix under the registry mutex;
+  /// at 100k+ sessions that walk is contention Create should not pay, so a
+  /// dedicated reaper thread does it on a timer. When disabled (for
+  /// deterministic tests, or to avoid the extra thread), Create reaps
+  /// inline as before, and ReapExpired() remains callable by hand.
+  bool background_reap = true;
+
+  /// Tick period of the background reaper; zero derives it from the TTL
+  /// (ttl / 4, clamped to [10ms, 1s]). Ignored when background_reap is
+  /// false or the TTL is zero (no thread is started).
+  std::chrono::milliseconds reap_interval{0};
 
   /// Upper bound on live sessions; creating one past the bound evicts the
   /// least recently touched session (zero = unlimited).
@@ -174,6 +191,7 @@ class SessionManager {
 
   std::shared_ptr<Entry> Find(SessionId id);
   size_t ReapExpiredLocked();  // requires registry_mu_
+  void ReaperLoop(std::chrono::milliseconds interval);
   static SessionView MakeView(SessionId id, const DiscoverySession& session);
 
   const SetCollection& collection_;
@@ -190,6 +208,12 @@ class SessionManager {
   std::list<SessionId> lru_;
   SessionId next_id_ = 1;
   uint64_t num_created_ = 0;
+
+  // Background TTL reaper (only started when background_reap && ttl > 0).
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+  bool reaper_stop_ = false;
+  std::thread reaper_;
 };
 
 }  // namespace setdisc

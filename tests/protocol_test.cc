@@ -1,0 +1,431 @@
+// Wire-protocol framing and message-codec tests: roundtrips for every
+// message, partial/fragmented delivery, garbage and truncated frames,
+// oversized-length and version-mismatch rejection, and malformed-payload
+// decoding — the pure (no-socket) half of the net subsystem.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "util/rng.h"
+
+namespace setdisc::net {
+namespace {
+
+// Feeds `bytes` and expects exactly one well-formed frame and nothing else.
+Frame DecodeOne(FrameDecoder& decoder, std::string_view bytes) {
+  decoder.Feed(bytes);
+  Frame frame;
+  WireStatus error = WireStatus::kOk;
+  EXPECT_EQ(decoder.Pop(&frame, &error), FrameDecoder::Next::kFrame)
+      << WireStatusName(error);
+  Frame extra;
+  EXPECT_EQ(decoder.Pop(&extra, &error), FrameDecoder::Next::kNeedMore);
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Message roundtrips
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolRoundtrip, CreateSession) {
+  CreateSessionMsg msg;
+  msg.initial = {3, 0, 4294967294u};
+  FrameDecoder decoder;
+  Frame frame = DecodeOne(decoder, Encode(msg));
+  EXPECT_EQ(frame.type, MsgType::kCreateSession);
+  CreateSessionMsg decoded;
+  ASSERT_TRUE(Decode(frame.body, &decoded));
+  EXPECT_EQ(decoded.initial, msg.initial);
+
+  // Empty initial set is legal (all sets are candidates).
+  msg.initial.clear();
+  frame = DecodeOne(decoder, Encode(msg));
+  ASSERT_TRUE(Decode(frame.body, &decoded));
+  EXPECT_TRUE(decoded.initial.empty());
+}
+
+TEST(ProtocolRoundtrip, AnswerAllThreeValues) {
+  for (Oracle::Answer answer :
+       {Oracle::Answer::kYes, Oracle::Answer::kNo, Oracle::Answer::kDontKnow}) {
+    FrameDecoder decoder;
+    Frame frame = DecodeOne(decoder, Encode(AnswerMsg{0x1122334455667788ull, answer}));
+    EXPECT_EQ(frame.type, MsgType::kAnswer);
+    AnswerMsg decoded;
+    ASSERT_TRUE(Decode(frame.body, &decoded));
+    EXPECT_EQ(decoded.session_id, 0x1122334455667788ull);
+    EXPECT_EQ(decoded.answer, answer);
+  }
+}
+
+TEST(ProtocolRoundtrip, VerifyAndSessionRefAndStats) {
+  FrameDecoder decoder;
+  Frame frame = DecodeOne(decoder, Encode(VerifyMsg{42, true}));
+  VerifyMsg verify;
+  ASSERT_TRUE(Decode(frame.body, &verify));
+  EXPECT_EQ(verify.session_id, 42u);
+  EXPECT_TRUE(verify.confirmed);
+
+  frame = DecodeOne(decoder, Encode(MsgType::kCloseSession, SessionRefMsg{7}));
+  EXPECT_EQ(frame.type, MsgType::kCloseSession);
+  SessionRefMsg ref;
+  ASSERT_TRUE(Decode(frame.body, &ref));
+  EXPECT_EQ(ref.session_id, 7u);
+
+  frame = DecodeOne(decoder, EncodeStatsRequest());
+  EXPECT_EQ(frame.type, MsgType::kStats);
+  EXPECT_TRUE(frame.body.empty());
+
+  StatsReplyMsg stats;
+  stats.active_sessions = 5;
+  stats.created_sessions = 1000;
+  stats.connections_open = 3;
+  stats.connections_total = 9;
+  stats.frames_received = 123456789;
+  stats.frames_sent = 987654321;
+  frame = DecodeOne(decoder, Encode(stats));
+  StatsReplyMsg decoded_stats;
+  ASSERT_TRUE(Decode(frame.body, &decoded_stats));
+  EXPECT_EQ(decoded_stats.created_sessions, 1000u);
+  EXPECT_EQ(decoded_stats.frames_sent, 987654321u);
+}
+
+TEST(ProtocolRoundtrip, ErrorFrame) {
+  FrameDecoder decoder;
+  Frame frame =
+      DecodeOne(decoder, Encode(ErrorMsg{WireStatus::kWrongState, "nope"}));
+  EXPECT_EQ(frame.type, MsgType::kError);
+  ErrorMsg decoded;
+  ASSERT_TRUE(Decode(frame.body, &decoded));
+  EXPECT_EQ(decoded.status, WireStatus::kWrongState);
+  EXPECT_EQ(decoded.message, "nope");
+}
+
+TEST(ProtocolRoundtrip, SessionStatePendingQuestion) {
+  SessionStateMsg msg;
+  msg.session_id = 77;
+  msg.state = SessionState::kAwaitingAnswer;
+  msg.question = 13;
+  msg.verify_set = kNoSet;
+  msg.questions_asked = 4;
+  FrameDecoder decoder;
+  Frame frame = DecodeOne(decoder, Encode(msg));
+  SessionStateMsg decoded;
+  ASSERT_TRUE(Decode(frame.body, &decoded));
+  EXPECT_EQ(decoded.session_id, 77u);
+  EXPECT_EQ(decoded.state, SessionState::kAwaitingAnswer);
+  EXPECT_EQ(decoded.question, 13u);
+  EXPECT_EQ(decoded.verify_set, kNoSet);
+  EXPECT_EQ(decoded.questions_asked, 4u);
+  EXPECT_TRUE(decoded.result.transcript.empty());
+}
+
+TEST(ProtocolRoundtrip, FinishedSessionCarriesFullResult) {
+  // Server-side view -> wire -> client-side DiscoveryResult must preserve
+  // every field the parity tests compare.
+  SessionView view;
+  view.id = 9;
+  view.state = SessionState::kFinished;
+  view.questions_asked = 3;
+  view.result.questions = 3;
+  view.result.backtracks = 1;
+  view.result.confirmed = true;
+  view.result.halted = false;
+  view.result.candidates = {17};
+  view.result.transcript = {{2, Oracle::Answer::kYes},
+                            {5, Oracle::Answer::kDontKnow},
+                            {8, Oracle::Answer::kNo}};
+
+  FrameDecoder decoder;
+  Frame frame = DecodeOne(decoder, Encode(ToWire(view)));
+  SessionStateMsg decoded;
+  ASSERT_TRUE(Decode(frame.body, &decoded));
+  EXPECT_EQ(decoded.state, SessionState::kFinished);
+  DiscoveryResult result = ToDiscoveryResult(decoded.result);
+  EXPECT_EQ(result.questions, view.result.questions);
+  EXPECT_EQ(result.backtracks, view.result.backtracks);
+  EXPECT_EQ(result.confirmed, view.result.confirmed);
+  EXPECT_EQ(result.halted, view.result.halted);
+  EXPECT_EQ(result.candidates, view.result.candidates);
+  ASSERT_EQ(result.transcript.size(), view.result.transcript.size());
+  for (size_t i = 0; i < result.transcript.size(); ++i) {
+    EXPECT_EQ(result.transcript[i], view.result.transcript[i]);
+  }
+}
+
+TEST(ProtocolRoundtrip, HugeCandidateListsAreCappedWithTrueTotal) {
+  // A halted session over a big collection can leave more candidates than a
+  // frame should carry; the reply keeps the real count and the first
+  // kMaxWireCandidates ids instead of overflowing the frame-size limit.
+  SessionView view;
+  view.id = 1;
+  view.state = SessionState::kFinished;
+  view.result.halted = true;
+  view.result.candidates.resize(kMaxWireCandidates + 10);
+  for (uint32_t i = 0; i < view.result.candidates.size(); ++i) {
+    view.result.candidates[i] = i;
+  }
+  // Same for a pathological transcript (the other variable-length section).
+  view.result.transcript.assign(kMaxWireTranscript + 7,
+                                {3, Oracle::Answer::kYes});
+
+  SessionStateMsg wire = ToWire(view);
+  EXPECT_EQ(wire.result.total_candidates, kMaxWireCandidates + 10);
+  EXPECT_EQ(wire.result.candidates.size(), kMaxWireCandidates);
+  EXPECT_EQ(wire.result.total_transcript, kMaxWireTranscript + 7);
+  EXPECT_EQ(wire.result.transcript.size(), kMaxWireTranscript);
+
+  // Even this worst case stays under the default frame bound: the client's
+  // decoder can never be poisoned by a legitimate reply.
+  std::string encoded = Encode(wire);
+  EXPECT_LE(encoded.size() - kFrameHeaderBytes, kDefaultMaxBody);
+
+  FrameDecoder decoder(/*max_body=*/kDefaultMaxBody);
+  Frame frame = DecodeOne(decoder, encoded);
+  SessionStateMsg decoded;
+  ASSERT_TRUE(Decode(frame.body, &decoded));
+  EXPECT_EQ(decoded.result.total_candidates, kMaxWireCandidates + 10);
+  ASSERT_EQ(decoded.result.candidates.size(), kMaxWireCandidates);
+  EXPECT_EQ(decoded.result.candidates.back(), kMaxWireCandidates - 1);
+  EXPECT_EQ(decoded.result.total_transcript, kMaxWireTranscript + 7);
+  EXPECT_EQ(decoded.result.transcript.size(), kMaxWireTranscript);
+}
+
+// ---------------------------------------------------------------------------
+// Fragmentation
+// ---------------------------------------------------------------------------
+
+TEST(Framing, OneByteAtATime) {
+  std::string frame = Encode(AnswerMsg{123, Oracle::Answer::kNo});
+  FrameDecoder decoder;
+  Frame out;
+  WireStatus error;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    decoder.Feed(frame.data() + i, 1);
+    ASSERT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kNeedMore)
+        << "byte " << i;
+  }
+  decoder.Feed(frame.data() + frame.size() - 1, 1);
+  ASSERT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kFrame);
+  AnswerMsg msg;
+  ASSERT_TRUE(Decode(out.body, &msg));
+  EXPECT_EQ(msg.session_id, 123u);
+}
+
+TEST(Framing, SplitAtEveryBoundary) {
+  CreateSessionMsg create;
+  create.initial = {1, 2, 3, 4, 5};
+  std::string frame = Encode(create);
+  for (size_t split = 1; split < frame.size(); ++split) {
+    FrameDecoder decoder;
+    decoder.Feed(frame.data(), split);
+    Frame out;
+    WireStatus error;
+    ASSERT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kNeedMore)
+        << "split " << split;
+    decoder.Feed(frame.data() + split, frame.size() - split);
+    ASSERT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kFrame)
+        << "split " << split;
+    CreateSessionMsg decoded;
+    ASSERT_TRUE(Decode(out.body, &decoded)) << "split " << split;
+    EXPECT_EQ(decoded.initial, create.initial);
+  }
+}
+
+TEST(Framing, PipelinedFramesInOneFeed) {
+  std::string bytes = Encode(AnswerMsg{1, Oracle::Answer::kYes}) +
+                      Encode(VerifyMsg{2, false}) + EncodeStatsRequest();
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame out;
+  WireStatus error;
+  ASSERT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(out.type, MsgType::kAnswer);
+  ASSERT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(out.type, MsgType::kVerify);
+  ASSERT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(out.type, MsgType::kStats);
+  EXPECT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kNeedMore);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Framing, TruncatedFrameStaysPendingForever) {
+  std::string frame = Encode(AnswerMsg{1, Oracle::Answer::kYes});
+  FrameDecoder decoder;
+  decoder.Feed(frame.data(), frame.size() - 1);  // one byte short
+  Frame out;
+  WireStatus error;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kNeedMore);
+  }
+  EXPECT_EQ(decoder.buffered(), frame.size() - 1);
+}
+
+TEST(Framing, RandomizedFragmentationPreservesEveryFrame) {
+  Rng rng(20240731);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint64_t> ids;
+    std::string bytes;
+    int num_frames = 1 + static_cast<int>(rng.Uniform(8));
+    for (int i = 0; i < num_frames; ++i) {
+      uint64_t id = rng();
+      ids.push_back(id);
+      bytes += Encode(AnswerMsg{id, Oracle::Answer::kDontKnow});
+    }
+    FrameDecoder decoder;
+    std::vector<uint64_t> seen;
+    size_t pos = 0;
+    while (pos < bytes.size()) {
+      size_t chunk = 1 + static_cast<size_t>(rng.Uniform(23));
+      chunk = std::min(chunk, bytes.size() - pos);
+      decoder.Feed(bytes.data() + pos, chunk);
+      pos += chunk;
+      for (;;) {
+        Frame out;
+        WireStatus error;
+        if (decoder.Pop(&out, &error) != FrameDecoder::Next::kFrame) break;
+        AnswerMsg msg;
+        ASSERT_TRUE(Decode(out.body, &msg));
+        seen.push_back(msg.session_id);
+      }
+    }
+    EXPECT_EQ(seen, ids) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rejection paths
+// ---------------------------------------------------------------------------
+
+TEST(Framing, VersionMismatchIsRejectedAndSticky) {
+  std::string frame = Encode(AnswerMsg{1, Oracle::Answer::kYes});
+  frame[4] = static_cast<char>(kProtocolVersion + 1);
+  FrameDecoder decoder;
+  decoder.Feed(frame);
+  Frame out;
+  WireStatus error = WireStatus::kOk;
+  ASSERT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kError);
+  EXPECT_EQ(error, WireStatus::kBadVersion);
+  // Poisoned: more (valid) bytes change nothing.
+  decoder.Feed(EncodeStatsRequest());
+  ASSERT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kError);
+  EXPECT_EQ(error, WireStatus::kBadVersion);
+}
+
+TEST(Framing, NonzeroReservedFieldIsMalformed) {
+  std::string frame = EncodeStatsRequest();
+  frame[6] = 1;  // reserved low byte
+  FrameDecoder decoder;
+  decoder.Feed(frame);
+  Frame out;
+  WireStatus error = WireStatus::kOk;
+  ASSERT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kError);
+  EXPECT_EQ(error, WireStatus::kMalformed);
+}
+
+TEST(Framing, GarbageBytesAreRejected) {
+  std::string garbage = "GET / HTTP/1.1\r\nHost: nope\r\n\r\n";
+  FrameDecoder decoder;
+  decoder.Feed(garbage);
+  Frame out;
+  WireStatus error = WireStatus::kOk;
+  EXPECT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kError);
+}
+
+TEST(Framing, OversizedLengthIsRejectedFromTheHeaderAlone) {
+  FrameDecoder decoder(/*max_body=*/64);
+  // Hand-build a header announcing a 65-byte body; feed ONLY the header —
+  // rejection must not wait for (or buffer) the body.
+  std::string header;
+  PayloadWriter w(&header);
+  w.PutU32(65);
+  w.PutU8(kProtocolVersion);
+  w.PutU8(static_cast<uint8_t>(MsgType::kStats));
+  w.PutU16(0);
+  decoder.Feed(header);
+  Frame out;
+  WireStatus error = WireStatus::kOk;
+  ASSERT_EQ(decoder.Pop(&out, &error), FrameDecoder::Next::kError);
+  EXPECT_EQ(error, WireStatus::kOversized);
+
+  // The same length under a permissive decoder is fine.
+  FrameDecoder big(/*max_body=*/65);
+  big.Feed(header);
+  big.Feed(std::string(65, 'x'));
+  ASSERT_EQ(big.Pop(&out, &error), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(out.body.size(), 65u);
+}
+
+TEST(PayloadDecoding, MalformedBodiesAreRejected) {
+  // Count/length mismatches.
+  {
+    CreateSessionMsg msg;
+    msg.initial = {1, 2, 3};
+    FrameDecoder decoder;
+    Frame frame = DecodeOne(decoder, Encode(msg));
+    frame.body[0] = 2;  // claim 2 entities, carry 3
+    CreateSessionMsg decoded;
+    EXPECT_FALSE(Decode(frame.body, &decoded));
+    frame.body[0] = 4;  // claim 4, carry 3
+    EXPECT_FALSE(Decode(frame.body, &decoded));
+  }
+  // Bad enum values.
+  {
+    FrameDecoder decoder;
+    Frame frame = DecodeOne(decoder, Encode(AnswerMsg{1, Oracle::Answer::kYes}));
+    frame.body[8] = 3;  // not a WireAnswer
+    AnswerMsg decoded;
+    EXPECT_FALSE(Decode(frame.body, &decoded));
+  }
+  {
+    FrameDecoder decoder;
+    Frame frame = DecodeOne(decoder, Encode(VerifyMsg{1, true}));
+    frame.body[8] = 9;  // not a bool
+    VerifyMsg decoded;
+    EXPECT_FALSE(Decode(frame.body, &decoded));
+  }
+  // Truncated and padded bodies.
+  {
+    FrameDecoder decoder;
+    Frame frame =
+        DecodeOne(decoder, Encode(MsgType::kGetSession, SessionRefMsg{1}));
+    SessionRefMsg decoded;
+    EXPECT_FALSE(Decode(frame.body.substr(0, 7), &decoded));
+    EXPECT_FALSE(Decode(frame.body + "x", &decoded));
+    EXPECT_TRUE(Decode(frame.body, &decoded));
+  }
+}
+
+TEST(PayloadPrimitives, ReaderIsBoundsCheckedAndExact) {
+  std::string bytes;
+  PayloadWriter w(&bytes);
+  w.PutU8(0xAB);
+  w.PutU16(0xCDEF);
+  w.PutU32(0x01234567);
+  w.PutU64(0x89ABCDEF01234567ull);
+
+  PayloadReader r(bytes);
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  ASSERT_TRUE(r.GetU8(&u8));
+  ASSERT_TRUE(r.GetU16(&u16));
+  ASSERT_TRUE(r.GetU32(&u32));
+  ASSERT_TRUE(r.GetU64(&u64));
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0xCDEF);
+  EXPECT_EQ(u32, 0x01234567u);
+  EXPECT_EQ(u64, 0x89ABCDEF01234567ull);
+  EXPECT_TRUE(r.Exhausted());
+  // Reading past the end trips ok() permanently.
+  EXPECT_FALSE(r.GetU8(&u8));
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.Exhausted());
+}
+
+}  // namespace
+}  // namespace setdisc::net

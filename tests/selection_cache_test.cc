@@ -325,5 +325,145 @@ TEST(SelectionCacheParity, DontKnowTreatedAsNo) {
   CheckRandomizedParity(options, 0.0, 0.25);
 }
 
+// ---------------------------------------------------------------------------
+// One-shot admission policy (skip_singleton_exclusions)
+// ---------------------------------------------------------------------------
+
+TEST(EntityExclusion, NumExcludedIsMaintainedIncrementally) {
+  EntityExclusion mask;
+  EXPECT_EQ(mask.num_excluded(), 0u);
+  mask.Set(3);
+  mask.Set(3);  // idempotent
+  EXPECT_EQ(mask.num_excluded(), 1u);
+  mask.Set(7);
+  mask[9] = true;  // write proxy path
+  EXPECT_EQ(mask.num_excluded(), 3u);
+  mask.Set(7, false);
+  EXPECT_EQ(mask.num_excluded(), 2u);
+  mask.resize(4);  // drops bit 9
+  EXPECT_EQ(mask.num_excluded(), 1u);
+  mask.resize(6, true);  // grows two excluded bits
+  EXPECT_EQ(mask.num_excluded(), 3u);
+  mask.clear();
+  EXPECT_EQ(mask.num_excluded(), 0u);
+  EXPECT_EQ(mask.Fingerprint(), 0u);
+}
+
+TEST(AdmissionPolicy, SingletonExclusionStatesBypassTheCache) {
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  SelectionCacheOptions options;
+  options.skip_singleton_exclusions = true;
+  SelectionCache cache(options);
+  CachingSelector selector(std::make_unique<MostEvenSelector>(), &cache);
+
+  // No exclusions: cached as usual.
+  selector.Select(full);
+  EXPECT_EQ(cache.stats().lookups, 1u);
+  EXPECT_EQ(cache.stats().bypasses, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Singleton mask: bypassed — no lookup, no insert, counted.
+  EntityExclusion one;
+  one.Set(kA);
+  selector.Select(full, &one);
+  EXPECT_EQ(cache.stats().lookups, 1u);
+  EXPECT_EQ(cache.stats().bypasses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Two exclusions: admitted again.
+  one.Set(kB);
+  selector.Select(full, &one);
+  SelectionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.bypasses, 1u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // The bypassed decision itself is still correct (same as uncached).
+  MostEvenSelector plain;
+  EntityExclusion again;
+  again.Set(kA);
+  EXPECT_EQ(selector.Select(full, &again), plain.Select(full, &again));
+}
+
+TEST(AdmissionPolicy, ParityHoldsWithOneShotSkipEnabled) {
+  // The full §6 machinery (don't-know exclusions + backtracking) over a
+  // policy-on cache: transcripts must still match the uncached session
+  // byte for byte, and singleton states must actually get bypassed.
+  DiscoveryOptions options;
+  options.verify_and_backtrack = true;
+  for (uint64_t seed : {11u, 22u}) {
+    SetCollection c = RandomCollection(seed, /*n=*/24, /*m=*/20, 0.3);
+    InvertedIndex idx(c);
+    SelectionCacheOptions cache_options;
+    cache_options.skip_singleton_exclusions = true;
+    SelectionCache cache(cache_options);
+    for (SetId target = 0; target < c.num_sets(); ++target) {
+      SCOPED_TRACE(::testing::Message() << "seed " << seed << " target "
+                                        << target);
+      uint64_t oracle_seed = seed * 131 + target;
+      MostEvenSelector plain;
+      DiscoveryResult expected = RunStepwise(c, idx, plain, target, oracle_seed,
+                                             options, 0.1, 0.3);
+      for (int round = 0; round < 2; ++round) {
+        CachingSelector cached(std::make_unique<MostEvenSelector>(), &cache);
+        DiscoveryResult got = RunStepwise(c, idx, cached, target, oracle_seed,
+                                          options, 0.1, 0.3);
+        ExpectIdenticalResults(expected, got);
+      }
+    }
+    SelectionCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+    EXPECT_GT(stats.bypasses, 0u) << "don't-know runs never hit a singleton";
+    EXPECT_GT(stats.hits, 0u);
+  }
+}
+
+TEST(AdmissionPolicy, HitRateDoesNotRegressOnAOneShotHeavyWorkload) {
+  // Distinct oracle seeds per session make singleton-exclusion states
+  // (first don't-know of a conversation) effectively unique — the one-shot
+  // traffic the policy exists for. Run the identical workload through a
+  // policy-off and a policy-on cache: the state stream is identical
+  // (transcripts are cache-independent), so lookups must split exactly into
+  // admitted lookups + bypasses, and the hit rate over admitted traffic
+  // must not regress.
+  SetCollection c = RandomCollection(77, /*n=*/24, /*m=*/20, 0.3);
+  InvertedIndex idx(c);
+  SelectionCache cache_off;
+  SelectionCacheOptions on_options;
+  on_options.skip_singleton_exclusions = true;
+  SelectionCache cache_on(on_options);
+
+  for (int session = 0; session < 40; ++session) {
+    SetId target = static_cast<SetId>(session % c.num_sets());
+    uint64_t oracle_seed = 5000 + static_cast<uint64_t>(session) * 7919;
+    CachingSelector off(std::make_unique<MostEvenSelector>(), &cache_off);
+    DiscoveryResult result_off = RunStepwise(c, idx, off, target, oracle_seed,
+                                             DiscoveryOptions{}, 0.0, 0.35);
+    CachingSelector on(std::make_unique<MostEvenSelector>(), &cache_on);
+    DiscoveryResult result_on = RunStepwise(c, idx, on, target, oracle_seed,
+                                            DiscoveryOptions{}, 0.0, 0.35);
+    ExpectIdenticalResults(result_off, result_on);
+  }
+
+  SelectionCacheStats off = cache_off.stats();
+  SelectionCacheStats on = cache_on.stats();
+  EXPECT_EQ(off.bypasses, 0u);
+  EXPECT_GT(on.bypasses, 0u);
+  // Identical decision streams: every bypassed state was a lookup when
+  // everything was admitted.
+  EXPECT_EQ(off.lookups, on.lookups + on.bypasses);
+  // The policy never inserts what it bypasses; the gap is the number of
+  // DISTINCT bypassed states (an occasionally repeating singleton state is
+  // inserted once under admit-all but bypassed on every occurrence here).
+  EXPECT_LE(on.insertions, off.insertions);
+  EXPECT_LE(off.insertions - on.insertions, on.bypasses);
+  EXPECT_GT(on.hits, 0u);
+  // One-shot states are (near-)guaranteed misses; skipping them must not
+  // lower the measured hit rate of the surviving traffic.
+  EXPECT_GE(on.HitRate() + 1e-9, off.HitRate());
+}
+
 }  // namespace
 }  // namespace setdisc

@@ -278,6 +278,9 @@ TEST(SessionManager, TtlReapsIdleSessions) {
   InvertedIndex idx(c);
   SessionManagerOptions options = ManagerOptions();
   options.session_ttl = std::chrono::milliseconds(20);
+  // Manual reaping must stay deterministic: keep the background tick out of
+  // this test so ReapExpired() is the one doing the work.
+  options.background_reap = false;
   SessionManager manager(c, idx, options);
 
   SessionId id = manager.Create({}).id;
@@ -287,6 +290,50 @@ TEST(SessionManager, TtlReapsIdleSessions) {
   EXPECT_EQ(manager.num_active(), 0u);
   SessionView view;
   EXPECT_EQ(manager.Get(id, &view), SessionStatus::kNotFound);
+}
+
+TEST(SessionManager, BackgroundReaperDropsIdleSessionsWithoutCreateTraffic) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManagerOptions options = ManagerOptions();
+  options.session_ttl = std::chrono::milliseconds(30);
+  options.reap_interval = std::chrono::milliseconds(10);
+  SessionManager manager(c, idx, options);  // background_reap defaults on
+
+  SessionId id = manager.Create({}).id;
+  EXPECT_EQ(manager.num_active(), 1u);
+  // No Create/Get traffic from here on: only the reaper tick can drop it.
+  for (int i = 0; i < 200 && manager.num_active() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(manager.num_active(), 0u);
+  SessionView view;
+  EXPECT_EQ(manager.Get(id, &view), SessionStatus::kNotFound);
+}
+
+TEST(SessionManager, ExpiredSessionsDontSurviveCapacityPressure) {
+  // With reaping off the Create path (default background_reap), an expired
+  // session may still occupy a slot when Create hits capacity — the LRU
+  // eviction must then pick it (the longest-idle session) as the victim,
+  // never a live one. The reap interval is set far past the test so the
+  // background tick cannot collect the expired session first: capacity
+  // eviction has to do the work.
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManagerOptions options = ManagerOptions();
+  options.session_ttl = std::chrono::milliseconds(20);
+  options.reap_interval = std::chrono::minutes(10);
+  options.max_sessions = 2;
+  SessionManager manager(c, idx, options);
+
+  SessionId expired = manager.Create({}).id;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  SessionId live = manager.Create({}).id;
+  SessionId fresh = manager.Create({}).id;  // at capacity: evicts `expired`
+  SessionView view;
+  EXPECT_EQ(manager.Get(expired, &view), SessionStatus::kNotFound);
+  EXPECT_EQ(manager.Get(live, &view), SessionStatus::kOk);
+  EXPECT_EQ(manager.Get(fresh, &view), SessionStatus::kOk);
 }
 
 TEST(SessionManager, TouchingASessionKeepsItAlive) {

@@ -12,6 +12,13 @@
 //   --simulate LABEL  run a session against the set labeled/numbered LABEL
 //   --serve-stress N  smoke-test the session service: N concurrent simulated
 //                     sessions through the SessionManager, report sessions/sec
+//   --serve PORT      serve the collection over TCP (binary protocol,
+//                     net/server.h); runs until SIGINT/SIGTERM, then drains
+//   --bind ADDR       numeric address --serve binds (default 127.0.0.1;
+//                     use 0.0.0.0 to accept remote clients)
+//   --connect HOST:PORT  drive a served collection as a network client:
+//                     with --simulate LABEL a scripted session, with --ask
+//                     an interactive one, otherwise print server stats
 //
 // Options:
 //   --k N             lookahead depth for k-LP (default 2)
@@ -19,11 +26,16 @@
 //   --metric ad|h     optimize average (ad) or worst case (h); default ad
 //   --examples a,b,c  initial example entities (comma separated)
 //   --verify          confirm the discovered set; on "n", backtrack (§6)
-//   --threads N       pool size for --serve-stress (default 8)
-//   --cache           share one SelectionCache across --serve-stress
-//                     sessions; the run reports lookups / hit rate
+//   --threads N       pool size for --serve-stress / --serve (default 8)
+//   --cache           share one SelectionCache across --serve-stress or
+//                     --serve sessions; the run reports lookups / hit rate
 //   --cache-capacity N  cache entry bound (default 1M; only with --cache)
+//   --cache-skip-one-shot  admission policy: singleton don't-know exclusion
+//                     states bypass the cache (reported as "bypasses")
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -31,6 +43,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "collection/inverted_index.h"
@@ -39,6 +52,8 @@
 #include "core/discovery.h"
 #include "core/klp.h"
 #include "core/selectors.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "service/discovery_session.h"
 #include "service/selection_cache.h"
 #include "service/session_manager.h"
@@ -64,14 +79,71 @@ Oracle::Answer ReadAnswer(const std::string& entity_name) {
   }
 }
 
+/// Builds the shared cross-session SelectionCache when --cache is on and
+/// wires it into `options` — one place for both serving modes
+/// (--serve-stress and --serve), so cache flags cannot diverge.
+std::unique_ptr<SelectionCache> MakeCacheIfEnabled(
+    bool use_cache, size_t capacity, bool skip_one_shot,
+    SessionManagerOptions* options) {
+  if (!use_cache) return nullptr;
+  SelectionCacheOptions cache_options;
+  cache_options.capacity = capacity;
+  cache_options.skip_singleton_exclusions = skip_one_shot;
+  auto cache = std::make_unique<SelectionCache>(cache_options);
+  options->selection_cache = cache.get();
+  return cache;
+}
+
+/// Reads the final y/n confirmation for `set` from stdin, shared by the
+/// local and remote --ask verify prompts. Returns false on EOF.
+bool ReadConfirm(const SetCollection& collection, SetId set, bool* confirmed) {
+  for (;;) {
+    std::cout << "Is set " << set;
+    if (!collection.label(set).empty()) {
+      std::cout << " (" << collection.label(set) << ")";
+    }
+    std::cout << " your set? [y/n] " << std::flush;
+    std::string line;
+    if (!std::getline(std::cin, line)) return false;
+    if (line == "y" || line == "Y" || line == "yes") {
+      *confirmed = true;
+      return true;
+    }
+    if (line == "n" || line == "N" || line == "no") {
+      *confirmed = false;
+      return true;
+    }
+    std::cout << "please answer y or n\n";
+  }
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: setdisc_cli <collection.txt> "
-               "[--stats|--tree|--ask|--simulate LABEL|--serve-stress N]\n"
+               "[--stats|--tree|--ask|--simulate LABEL|--serve-stress N|\n"
+               "                    --serve PORT|--connect HOST:PORT]\n"
                "                   [--k N] [--q N] [--metric ad|h] "
                "[--examples a,b,c] [--verify] [--threads N]\n"
-               "                   [--cache] [--cache-capacity N]\n");
+               "                   [--cache] [--cache-capacity N] "
+               "[--cache-skip-one-shot]\n");
   return 2;
+}
+
+/// SIGINT/SIGTERM flip this; the --serve loop watches it and drains.
+volatile std::sig_atomic_t g_stop_serving = 0;
+
+void HandleStopSignal(int) { g_stop_serving = 1; }
+
+/// Splits "host:port"; returns false on anything unparsable.
+bool ParseHostPort(const std::string& spec, std::string* host, uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+  *host = spec.substr(0, colon);
+  char* end = nullptr;
+  unsigned long v = std::strtoul(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || v == 0 || v > 65535) return false;
+  *port = static_cast<uint16_t>(v);
+  return true;
 }
 
 std::vector<EntityId> ParseExamples(const SetCollection& collection,
@@ -141,16 +213,20 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string path = argv[1];
 
-  enum class Mode { kStats, kTree, kAsk, kSimulate, kServeStress } mode =
+  enum class Mode { kStats, kTree, kAsk, kSimulate, kServeStress, kServe } mode =
       Mode::kStats;
   std::string simulate_label;
   std::string examples_csv;
+  std::string connect_spec;
+  std::string bind_address = "127.0.0.1";
   int k = 2;
   int q = -1;
   int stress_sessions = 0;
   int stress_threads = 8;
+  int serve_port = -1;
   bool verify = false;
   bool use_cache = false;
+  bool cache_skip_one_shot = false;
   size_t cache_capacity = size_t{1} << 20;
   CostMetric metric = CostMetric::kAvgDepth;
 
@@ -168,6 +244,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--serve-stress" && i + 1 < argc) {
       mode = Mode::kServeStress;
       stress_sessions = std::atoi(argv[++i]);
+    } else if (arg == "--serve" && i + 1 < argc) {
+      mode = Mode::kServe;
+      serve_port = std::atoi(argv[++i]);
+    } else if (arg == "--bind" && i + 1 < argc) {
+      bind_address = argv[++i];
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_spec = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       stress_threads = std::atoi(argv[++i]);
     } else if (arg == "--verify") {
@@ -176,6 +259,9 @@ int main(int argc, char** argv) {
       use_cache = true;
     } else if (arg == "--cache-capacity" && i + 1 < argc) {
       cache_capacity = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      use_cache = true;
+    } else if (arg == "--cache-skip-one-shot") {
+      cache_skip_one_shot = true;
       use_cache = true;
     } else if (arg == "--k" && i + 1 < argc) {
       k = std::atoi(argv[++i]);
@@ -201,6 +287,97 @@ int main(int argc, char** argv) {
             << collection.num_distinct_entities() << " entities from " << path
             << "\n";
   if (collection.num_sets() == 0) return 0;
+
+  if (!connect_spec.empty()) {
+    // Network client: the same conversations as the local modes, but every
+    // step is a round-trip to a `setdisc_cli --serve` process. The local
+    // collection file supplies entity names and (for --simulate) the
+    // oracle's ground truth; it must match the one the server loaded.
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseHostPort(connect_spec, &host, &port)) return Usage();
+    net::DiscoveryClient client;
+    Status cs = client.Connect(host, port);
+    if (!cs.ok()) {
+      std::fprintf(stderr, "error: %s\n", cs.message().c_str());
+      return 1;
+    }
+    std::vector<EntityId> initial = ParseExamples(collection, examples_csv);
+
+    if (mode == Mode::kSimulate) {
+      SetId target = ResolveSet(collection, simulate_label);
+      if (target == kNoSet) {
+        std::fprintf(stderr, "error: unknown set \"%s\"\n",
+                     simulate_label.c_str());
+        return 1;
+      }
+      SimulatedOracle oracle(&collection, target);
+      net::SessionStateMsg state;
+      Status s = net::DriveSession(client, initial, oracle, &state);
+      if (!s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.message().c_str());
+        return 1;
+      }
+      // Best-effort: a session finished at birth was never registered, so
+      // the server answers kNotFound — that is fine.
+      client.CloseSession(state.session_id);
+      DiscoveryResult result = net::ToDiscoveryResult(state.result);
+      PrintSession(collection, result);
+      return result.found() && result.discovered() == target ? 0 : 1;
+    }
+
+    if (mode == Mode::kAsk) {
+      // Whether the conversation ends in a verification is the SERVER's
+      // configuration (--verify at --serve time), not this client's flag;
+      // track what actually happened on the wire for the exit code.
+      bool saw_verify = false;
+      net::SessionStateMsg state;
+      Status s = client.CreateSession(initial, &state);
+      while (s.ok() && state.state != SessionState::kFinished) {
+        if (state.state == SessionState::kAwaitingAnswer) {
+          s = client.Answer(state.session_id,
+                            ReadAnswer(collection.EntityName(state.question)),
+                            &state);
+          continue;
+        }
+        saw_verify = true;
+        bool confirmed = false;
+        if (!ReadConfirm(collection, state.verify_set, &confirmed)) {
+          client.CloseSession(state.session_id);
+          std::cout << "\n(input ended before confirmation)\n";
+          return 1;
+        }
+        s = client.Verify(state.session_id, confirmed, &state);
+      }
+      if (!s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.message().c_str());
+        return 1;
+      }
+      client.CloseSession(state.session_id);
+      DiscoveryResult result = net::ToDiscoveryResult(state.result);
+      PrintSession(collection, result);
+      if (saw_verify && !result.confirmed) {
+        std::cout << "(no set was confirmed)\n";
+        return 1;
+      }
+      return result.found() ? 0 : 1;
+    }
+
+    // Default: print the server's counters.
+    net::StatsReplyMsg stats;
+    Status s = client.GetStats(&stats);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::cout << "server " << host << ":" << port << ": "
+              << stats.active_sessions << " active sessions, "
+              << stats.created_sessions << " created, "
+              << stats.connections_open << "/" << stats.connections_total
+              << " connections open/total, " << stats.frames_received
+              << " frames in, " << stats.frames_sent << " out\n";
+    return 0;
+  }
 
   KlpOptions options = q > 0 ? KlpOptions::MakeKlple(k, q, metric)
                              : KlpOptions::MakeKlp(k, metric);
@@ -243,28 +420,8 @@ int main(int argc, char** argv) {
           EntityId e = session.NextQuestion();
           session.SubmitAnswer(ReadAnswer(collection.EntityName(e)));
         } else {  // kAwaitingVerify
-          SetId s = session.PendingVerify();
           bool confirmed = false;
-          bool eof = false;
-          for (;;) {
-            std::cout << "Is set " << s;
-            if (!collection.label(s).empty()) {
-              std::cout << " (" << collection.label(s) << ")";
-            }
-            std::cout << " your set? [y/n] " << std::flush;
-            std::string line;
-            if (!std::getline(std::cin, line)) {
-              eof = true;
-              break;
-            }
-            if (line == "y" || line == "Y" || line == "yes") {
-              confirmed = true;
-              break;
-            }
-            if (line == "n" || line == "N" || line == "no") break;
-            std::cout << "please answer y or n\n";
-          }
-          if (eof) {
+          if (!ReadConfirm(collection, session.PendingVerify(), &confirmed)) {
             // No input left to answer the backtracking questions a refutation
             // would trigger — end the conversation here, unconfirmed.
             std::cout << "\n";
@@ -316,13 +473,8 @@ int main(int argc, char** argv) {
       manager_options.selector_factory = [options] {
         return std::make_unique<KlpSelector>(options);
       };
-      std::unique_ptr<SelectionCache> cache;
-      if (use_cache) {
-        SelectionCacheOptions cache_options;
-        cache_options.capacity = cache_capacity;
-        cache = std::make_unique<SelectionCache>(cache_options);
-        manager_options.selection_cache = cache.get();
-      }
+      std::unique_ptr<SelectionCache> cache = MakeCacheIfEnabled(
+          use_cache, cache_capacity, cache_skip_one_shot, &manager_options);
       SessionManager manager(collection, index, manager_options);
       std::vector<EntityId> initial = ParseExamples(collection, examples_csv);
       // Targets must be discoverable from the initial examples, i.e. among
@@ -362,10 +514,64 @@ int main(int argc, char** argv) {
                   << stats.hits << " hits ("
                   << Format("%.1f", 100.0 * stats.HitRate())
                   << "% hit rate), " << stats.insertions << " insertions, "
-                  << stats.evictions << " evictions, " << cache->size()
-                  << " entries live\n";
+                  << stats.evictions << " evictions, " << stats.bypasses
+                  << " bypasses, " << cache->size() << " entries live\n";
       }
       return failures == 0 ? 0 : 1;
+    }
+    case Mode::kServe: {
+      // The network frontend: SessionManager behind a DiscoveryServer,
+      // until a SIGINT/SIGTERM asks for a graceful drain.
+      if (serve_port < 0 || serve_port > 65535 || stress_threads <= 0) {
+        return Usage();
+      }
+      InvertedIndex index(collection);
+      SessionManagerOptions manager_options;
+      manager_options.discovery.verify_and_backtrack = verify;
+      manager_options.num_threads = static_cast<size_t>(stress_threads);
+      manager_options.selector_factory = [options] {
+        return std::make_unique<KlpSelector>(options);
+      };
+      std::unique_ptr<SelectionCache> cache = MakeCacheIfEnabled(
+          use_cache, cache_capacity, cache_skip_one_shot, &manager_options);
+      SessionManager manager(collection, index, manager_options);
+
+      net::ServerOptions server_options;
+      server_options.bind_address = bind_address;
+      server_options.port = static_cast<uint16_t>(serve_port);
+      net::DiscoveryServer server(manager, server_options);
+      Status start = server.Start();
+      if (!start.ok()) {
+        std::fprintf(stderr, "error: %s\n", start.message().c_str());
+        return 1;
+      }
+      std::signal(SIGINT, HandleStopSignal);
+      std::signal(SIGTERM, HandleStopSignal);
+      std::cout << "serving on " << server.options().bind_address << ":"
+                << server.port() << " (" << selector.name() << ", "
+                << stress_threads << " worker threads"
+                << (verify ? ", verify" : "")
+                << (use_cache ? ", cache" : "") << ")\n"
+                << std::flush;
+      while (g_stop_serving == 0 && server.running()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      std::cout << "draining...\n";
+      server.Shutdown();
+      net::ServerStats stats = server.stats();
+      std::cout << "served " << manager.num_created() << " sessions over "
+                << stats.connections_total << " connections ("
+                << stats.frames_received << " frames in, " << stats.frames_sent
+                << " out, " << stats.protocol_errors << " protocol errors, "
+                << stats.idle_closed << " idle-closed)\n";
+      if (cache != nullptr) {
+        SelectionCacheStats cstats = cache->stats();
+        std::cout << "selection cache: "
+                  << Format("%.1f", 100.0 * cstats.HitRate()) << "% hit rate, "
+                  << cstats.bypasses << " bypasses, " << cache->size()
+                  << " entries\n";
+      }
+      return 0;
     }
   }
   return 0;
