@@ -1,0 +1,260 @@
+// Sharded collection layer: per-step Select() latency and session throughput
+// at K = 1/2/4/8 shards against the unsharded baseline, cached and uncached.
+//
+// The paper's cost model makes the counting pass over the candidate
+// sub-collection the per-step cost; sharding splits that pass into K
+// independent shard scans merged afterwards (collection/sharded_collection.h),
+// fanned across a ThreadPool. Two regimes to expect:
+//
+//   * large collections, multi-core hardware: per-step latency drops with K
+//     until merge overhead / memory bandwidth bite;
+//   * tiny collections (or 1 hardware thread): the merge and wakeups are
+//     pure overhead — the unsharded baseline wins. The table prints both so
+//     the crossover is visible; tools/README.md documents the guidance.
+//
+// Throughput (sessions/sec through the SessionManager) additionally overlaps
+// sharded counting of one session with other sessions' steps on the same
+// pool.
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/selectors.h"
+#include "core/sharded_selectors.h"
+#include "data/synthetic.h"
+#include "service/selection_cache.h"
+#include "service/session_manager.h"
+#include "util/thread_pool.h"
+
+namespace setdisc::bench {
+namespace {
+
+size_t BenchThreads() {
+  const char* env = std::getenv("SETDISC_BENCH_THREADS");
+  if (env != nullptr && std::atoi(env) > 0) {
+    return static_cast<size_t>(std::atoi(env));
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 8 : hw;
+}
+
+struct ShardedStrategy {
+  std::string name;
+  std::function<std::unique_ptr<EntitySelector>()> make;
+  std::function<std::unique_ptr<ShardedEntitySelector>()> make_sharded;
+  /// Drops memo state that would short-circuit a repeated root Select();
+  /// scratch buffers stay warm, as they do across the steps of one session
+  /// (the clear-by-touched-list reuse the counting layer relies on).
+  std::function<void(EntitySelector&)> reset;
+  std::function<void(ShardedEntitySelector&)> reset_sharded;
+};
+
+std::vector<ShardedStrategy> Strategies() {
+  auto no_reset = [](EntitySelector&) {};
+  auto no_reset_sharded = [](ShardedEntitySelector&) {};
+  return {
+      {"MostEven", [] { return std::make_unique<MostEvenSelector>(); },
+       [] { return std::make_unique<ShardedMostEvenSelector>(); }, no_reset,
+       no_reset_sharded},
+      {"InfoGain", [] { return std::make_unique<InfoGainSelector>(); },
+       [] { return std::make_unique<ShardedInfoGainSelector>(); }, no_reset,
+       no_reset_sharded},
+      {"2-LP",
+       [] {
+         return std::make_unique<KlpSelector>(
+             KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+       },
+       [] {
+         return std::make_unique<ShardedKlpSelector>(
+             KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+       },
+       [](EntitySelector& s) { static_cast<KlpSelector&>(s).ClearCache(); },
+       [](ShardedEntitySelector& s) {
+         static_cast<ShardedKlpSelector&>(s).inner().ClearCache();
+       }},
+  };
+}
+
+/// Average root-Select() latency (us) over `iters` calls with one selector
+/// reused throughout (the per-session shape); `reset` drops memo state
+/// between calls so every call pays the real scan.
+double UnshardedSelectUs(const SetCollection& c, const ShardedStrategy& spec,
+                         int iters) {
+  SubCollection full = SubCollection::Full(&c);
+  (void)full.Fingerprint();
+  auto selector = spec.make();
+  selector->Select(full);  // warm the scratch outside the timer
+  spec.reset(*selector);
+  WallTimer timer;
+  for (int i = 0; i < iters; ++i) {
+    selector->Select(full);
+    spec.reset(*selector);
+  }
+  return timer.Seconds() * 1e6 / iters;
+}
+
+double ShardedSelectUs(const ShardedCollection& sharded,
+                       const ShardedStrategy& spec, ThreadPool* pool,
+                       int iters) {
+  ShardedSubCollection full = sharded.Full();
+  (void)full.Fingerprint();
+  auto selector = spec.make_sharded();
+  selector->set_pool(pool);
+  selector->Select(full);  // warm the scratch outside the timer
+  spec.reset_sharded(*selector);
+  WallTimer timer;
+  for (int i = 0; i < iters; ++i) {
+    selector->Select(full);
+    spec.reset_sharded(*selector);
+  }
+  return timer.Seconds() * 1e6 / iters;
+}
+
+struct RunStats {
+  double seconds = 0.0;
+  int failures = 0;
+};
+
+/// `num_sessions` full simulated conversations through a SessionManager
+/// configured with `num_shards` (1 = unsharded engine).
+RunStats RunSessions(const SetCollection& c, const InvertedIndex& idx,
+                     int num_sessions, size_t threads, size_t num_shards,
+                     SelectionCache* cache) {
+  SessionManagerOptions options;
+  options.num_threads = threads;
+  options.num_shards = num_shards;
+  options.selector_factory = [] { return std::make_unique<MostEvenSelector>(); };
+  options.sharded_selector_factory = [] {
+    return std::make_unique<ShardedMostEvenSelector>();
+  };
+  options.selection_cache = cache;
+  SessionManager manager(c, idx, options);
+
+  WallTimer timer;
+  std::vector<std::future<bool>> jobs;
+  jobs.reserve(num_sessions);
+  for (int i = 0; i < num_sessions; ++i) {
+    SetId target = static_cast<SetId>(i % c.num_sets());
+    jobs.push_back(manager.pool().Submit([&manager, &c, target] {
+      SimulatedOracle oracle(&c, target);
+      SessionView view = manager.Drive(manager.Create({}), oracle);
+      manager.Close(view.id);
+      return view.state == SessionState::kFinished && view.result.found() &&
+             view.result.discovered() == target;
+    }));
+  }
+  RunStats stats;
+  for (auto& job : jobs) {
+    if (!job.get()) ++stats.failures;
+  }
+  stats.seconds = timer.Seconds();
+  return stats;
+}
+
+}  // namespace
+}  // namespace setdisc::bench
+
+int main() {
+  using namespace setdisc;
+  using namespace setdisc::bench;
+
+  Banner("shards", "sharded collections: per-step latency and throughput");
+
+  SyntheticConfig cfg;
+  cfg.num_sets = ScalePick<uint32_t>(20000, 80000, 200000);
+  cfg.min_set_size = 50;
+  cfg.max_set_size = 60;
+  cfg.overlap = 0.9;  // the paper's §5.2.2 default
+  cfg.seed = 1717;
+  SetCollection c = GenerateSynthetic(cfg);
+  InvertedIndex idx(c);
+  const size_t threads = BenchThreads();
+  ThreadPool pool(threads);
+  std::cout << "collection: " << c.num_sets() << " sets, "
+            << c.num_distinct_entities() << " entities, " << c.total_elements()
+            << " incidences; pool: " << threads << " threads ("
+            << std::thread::hardware_concurrency() << " hardware)\n\n";
+
+  const std::vector<size_t> shard_counts = {1, 2, 4, 8};
+
+  // ------------------------------------------------------------ build cost
+  std::vector<std::unique_ptr<ShardedCollection>> sharded;
+  {
+    TablePrinter table({"K", "scheme", "build time", "largest shard"});
+    for (size_t num_shards : shard_counts) {
+      WallTimer timer;
+      sharded.push_back(std::make_unique<ShardedCollection>(
+          c, ShardingOptions{num_shards, ShardScheme::kRange}));
+      double seconds = timer.Seconds();
+      size_t largest = 0;
+      for (size_t k = 0; k < num_shards; ++k) {
+        largest = std::max(largest, size_t{sharded.back()->shard(k).num_sets()});
+      }
+      table.AddRow({Format("%zu", num_shards), "range",
+                    Format("%.1fms", seconds * 1e3), Format("%zu", largest)});
+    }
+    std::cout << "one-time sharding cost (K per-shard CSRs + indexes):\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  // ------------------------------------------------- per-step Select() cost
+  {
+    const int iters = ScalePick<int>(5, 20, 50);
+    std::cout << "root Select() latency over all " << c.num_sets()
+              << " candidates (" << iters << " calls per cell; counting pass "
+              << "fans out per shard, scoring on merged counts):\n";
+    TablePrinter table({"selector", "unsharded", "K=1", "K=2", "K=4", "K=8",
+                        "best speedup"});
+    for (const ShardedStrategy& spec : Strategies()) {
+      std::vector<std::string> row = {spec.name};
+      double base = UnshardedSelectUs(c, spec, iters);
+      row.push_back(Format("%.0fus", base));
+      double best = 1e30;
+      for (size_t i = 0; i < shard_counts.size(); ++i) {
+        double us = ShardedSelectUs(*sharded[i], spec, &pool, iters);
+        best = std::min(best, us);
+        row.push_back(Format("%.0fus", us));
+      }
+      row.push_back(Format("%.2fx", base / best));
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::cout << "(speedup needs hardware threads: on a 1-core host the "
+                 "per-shard fan-out degenerates to a serial scan plus merge "
+                 "overhead)\n\n";
+  }
+
+  // ------------------------------------------------------------ throughput
+  {
+    const int num_sessions = ScalePick<int>(64, 256, 1024);
+    std::cout << "sessions/sec through the SessionManager (" << num_sessions
+              << " simulated conversations, MostEven, " << threads
+              << " pool threads), cached vs uncached:\n";
+    TablePrinter table({"K", "sessions/sec", "cached sess/sec",
+                        "failures (raw+cached)"});
+    for (size_t num_shards : shard_counts) {
+      RunStats raw =
+          RunSessions(c, idx, num_sessions, threads, num_shards, nullptr);
+      SelectionCache cache;
+      // Warm pass populates the memo, measured pass replays it — the steady
+      // state of a long-lived server.
+      RunSessions(c, idx, num_sessions, threads, num_shards, &cache);
+      RunStats cached =
+          RunSessions(c, idx, num_sessions, threads, num_shards, &cache);
+      table.AddRow({num_shards == 1 ? "1 (unsharded)" : Format("%zu", num_shards),
+                    Format("%.1f", num_sessions / raw.seconds),
+                    Format("%.1f", num_sessions / cached.seconds),
+                    Format("%d+%d", raw.failures, cached.failures)});
+    }
+    table.Print(std::cout);
+    std::cout << "(cached rows share one SelectionCache across sessions; "
+                 "sharded and unsharded managers key their entries apart "
+                 "automatically)\n";
+  }
+  return 0;
+}

@@ -12,7 +12,8 @@ void EntityCounter::CountInformative(const SubCollection& sub,
                                      std::vector<EntityCount>* out,
                                      const EntityExclusion* excluded) {
   out->clear();
-  EnsureCapacity(sub.collection().universe_size());
+  const EntityId universe = sub.collection().universe_size();
+  EnsureCapacity(universe);
   touched_.clear();
   for (SetId s : sub.ids()) {
     for (EntityId e : sub.collection().set(s)) {
@@ -22,8 +23,26 @@ void EntityCounter::CountInformative(const SubCollection& sub,
   }
   const uint32_t n = static_cast<uint32_t>(sub.size());
   // Ascending entity order keeps all downstream tie-breaking deterministic.
-  std::sort(touched_.begin(), touched_.end());
+  // Two ways to get it: sort the touched list (O(t log t) — wins when few
+  // entities were touched) or sweep the dense count array in id order
+  // (O(m') sequential — wins when t approaches the universe, the usual
+  // root-of-a-large-collection shape). Either way the scratch is cleared
+  // entry-by-entry as it is read, never wholesale.
   out->reserve(touched_.size());
+  if (DenseSweepIsCheaper(touched_.size(), universe)) {
+    for (EntityId e = 0; e < universe; ++e) {
+      uint32_t c = counts_[e];
+      if (c == 0) continue;
+      counts_[e] = 0;
+      if (c == n) continue;  // uninformative
+      if (excluded != nullptr && e < excluded->size() && (*excluded)[e]) {
+        continue;
+      }
+      out->push_back(EntityCount{e, c});
+    }
+    return;
+  }
+  std::sort(touched_.begin(), touched_.end());
   for (EntityId e : touched_) {
     uint32_t c = counts_[e];
     counts_[e] = 0;
@@ -34,9 +53,11 @@ void EntityCounter::CountInformative(const SubCollection& sub,
 }
 
 void EntityCounter::CountAll(const SubCollection& sub,
-                             std::vector<EntityCount>* out) {
+                             std::vector<EntityCount>* out,
+                             const EntityExclusion* excluded) {
   out->clear();
-  EnsureCapacity(sub.collection().universe_size());
+  const EntityId universe = sub.collection().universe_size();
+  EnsureCapacity(universe);
   touched_.clear();
   for (SetId s : sub.ids()) {
     for (EntityId e : sub.collection().set(s)) {
@@ -44,11 +65,25 @@ void EntityCounter::CountAll(const SubCollection& sub,
       ++counts_[e];
     }
   }
-  std::sort(touched_.begin(), touched_.end());
   out->reserve(touched_.size());
+  if (DenseSweepIsCheaper(touched_.size(), universe)) {
+    for (EntityId e = 0; e < universe; ++e) {
+      uint32_t c = counts_[e];
+      if (c == 0) continue;
+      counts_[e] = 0;
+      if (excluded != nullptr && e < excluded->size() && (*excluded)[e]) {
+        continue;
+      }
+      out->push_back(EntityCount{e, c});
+    }
+    return;
+  }
+  std::sort(touched_.begin(), touched_.end());
   for (EntityId e : touched_) {
-    out->push_back(EntityCount{e, counts_[e]});
+    uint32_t c = counts_[e];
     counts_[e] = 0;
+    if (excluded != nullptr && e < excluded->size() && (*excluded)[e]) continue;
+    out->push_back(EntityCount{e, c});
   }
 }
 

@@ -45,11 +45,26 @@ class EntityCounter {
                         const EntityExclusion* excluded = nullptr);
 
   /// Like CountInformative but returns *all* entities with non-zero count,
-  /// including uninformative ones (used by generators and diagnostics).
-  void CountAll(const SubCollection& sub, std::vector<EntityCount>* out);
+  /// including uninformative ones (used by generators, diagnostics, and as
+  /// the per-shard pass of ShardedCounter — a shard cannot decide
+  /// informativeness, only the merged counts can).
+  ///
+  /// \param excluded  if non-null, entities marked true are skipped.
+  void CountAll(const SubCollection& sub, std::vector<EntityCount>* out,
+                const EntityExclusion* excluded = nullptr);
 
  private:
   void EnsureCapacity(EntityId universe);
+
+  /// Emitting in ascending entity order costs either a sort of the touched
+  /// list (O(t log t)) or an in-order sweep of the dense count array
+  /// (O(m') sequential reads). The sweep wins once a meaningful fraction of
+  /// the universe was touched — which is the normal shape for root-level
+  /// counting over a large collection, and the case the sharded per-shard
+  /// passes multiply.
+  static bool DenseSweepIsCheaper(size_t touched, EntityId universe) {
+    return touched >= universe / 16;
+  }
 
   std::vector<uint32_t> counts_;
   std::vector<EntityId> touched_;

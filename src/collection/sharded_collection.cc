@@ -1,0 +1,298 @@
+#include "collection/sharded_collection.h"
+
+#include <algorithm>
+
+#include "collection/fingerprint.h"
+#include "util/status.h"
+
+namespace setdisc {
+
+ShardedCollection::ShardedCollection(const SetCollection& base,
+                                     ShardingOptions options)
+    : base_(&base), options_(options) {
+  const size_t num_shards =
+      std::min(std::max<size_t>(1, options_.num_shards), kMaxShards);
+  options_.num_shards = num_shards;
+  const SetId n = base.num_sets();
+  shard_of_.resize(n);
+  local_of_.resize(n);
+
+  std::vector<SetCollectionBuilder> builders(num_shards);
+  std::vector<std::vector<SetId>> to_global(num_shards);
+  for (SetId s = 0; s < n; ++s) {
+    size_t k = options_.scheme == ShardScheme::kRange
+                   ? static_cast<size_t>(static_cast<uint64_t>(s) *
+                                         num_shards / n)
+                   : static_cast<size_t>(FingerprintMix(s) % num_shards);
+    shard_of_[s] = static_cast<uint32_t>(k);
+    // Sets enter each shard in ascending global-id order and the builder
+    // assigns local ids in insertion order, so local order == global order
+    // within a shard — the invariant AppendGlobalIds' merge relies on.
+    local_of_[s] = static_cast<SetId>(to_global[k].size());
+    to_global[k].push_back(s);
+    std::span<const EntityId> elems = base.set(s);
+    builders[k].AddSet({elems.begin(), elems.end()}, base.label(s));
+  }
+
+  shards_.resize(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    shards_[k].collection = builders[k].Build();
+    // The base collection is already deduplicated, so no shard can collapse
+    // sets and local ids stay aligned with to_global.
+    SETDISC_CHECK(shards_[k].collection.num_sets() == to_global[k].size());
+    shards_[k].index = std::make_unique<InvertedIndex>(shards_[k].collection);
+    shards_[k].to_global = std::move(to_global[k]);
+  }
+
+  if (num_shards == 1) {
+    // One shard IS the base collection; share its identity so a K=1 sharded
+    // manager and an unsharded manager can share a SelectionCache.
+    fingerprint_ = base.Fingerprint();
+  } else {
+    uint64_t h = kFingerprintSeed;
+    h = FingerprintAppend(h, num_shards);
+    h = FingerprintAppend(h, static_cast<uint64_t>(options_.scheme));
+    for (const Shard& shard : shards_) {
+      h = FingerprintAppend(h, shard.collection.Fingerprint());
+    }
+    fingerprint_ = h;
+  }
+}
+
+ShardedSubCollection ShardedCollection::Full() const {
+  std::vector<SubCollection> shards;
+  shards.reserve(num_shards());
+  for (size_t k = 0; k < num_shards(); ++k) {
+    shards.push_back(SubCollection::Full(&shards_[k].collection));
+  }
+  return ShardedSubCollection(this, std::move(shards));
+}
+
+ShardedSubCollection ShardedCollection::SetsContainingAll(
+    std::span<const EntityId> entities) const {
+  std::vector<SubCollection> shards;
+  shards.reserve(num_shards());
+  for (size_t k = 0; k < num_shards(); ++k) {
+    shards.emplace_back(&shards_[k].collection,
+                        shards_[k].index->SetsContainingAll(entities));
+  }
+  return ShardedSubCollection(this, std::move(shards));
+}
+
+ShardedSubCollection::ShardedSubCollection(const ShardedCollection* collection,
+                                           std::vector<SubCollection> shards)
+    : collection_(collection), shards_(std::move(shards)) {
+  SETDISC_CHECK(shards_.size() == collection_->num_shards());
+  for (const SubCollection& shard : shards_) size_ += shard.size();
+}
+
+std::pair<ShardedSubCollection, ShardedSubCollection>
+ShardedSubCollection::Partition(EntityId e, bool derive_fingerprints,
+                                ThreadPool* pool) const {
+  const size_t num_shards = shards_.size();
+  std::vector<SubCollection> in(num_shards), out(num_shards);
+  auto split = [&](size_t k) {
+    auto [shard_in, shard_out] = shards_[k].Partition(e, derive_fingerprints);
+    in[k] = std::move(shard_in);
+    out[k] = std::move(shard_out);
+  };
+  if (pool != nullptr && num_shards > 1 && size_ >= kShardParallelMinSets) {
+    pool->ParallelFor(num_shards, split);
+  } else {
+    for (size_t k = 0; k < num_shards; ++k) split(k);
+  }
+  return {ShardedSubCollection(collection_, std::move(in)),
+          ShardedSubCollection(collection_, std::move(out))};
+}
+
+uint64_t ShardedSubCollection::Fingerprint() const {
+  if (!fingerprint_valid_) {
+    if (shards_.size() == 1) {
+      // K=1 local ids are global ids: reuse the unsharded construction so
+      // the cache key matches an unsharded session over the same state.
+      fingerprint_ = shards_[0].Fingerprint();
+    } else {
+      uint64_t h = kFingerprintSeed;
+      for (const SubCollection& shard : shards_) {
+        h = FingerprintAppend(h, shard.Fingerprint());
+      }
+      fingerprint_ = h;
+    }
+    fingerprint_valid_ = true;
+  }
+  return fingerprint_;
+}
+
+void ShardedSubCollection::AppendGlobalIds(std::vector<SetId>* out) const {
+  const size_t num_shards = shards_.size();
+  out->reserve(out->size() + size_);
+  if (collection_->scheme() == ShardScheme::kRange) {
+    // Range shards hold disjoint ascending id ranges: concatenation in shard
+    // order is already globally sorted.
+    for (size_t k = 0; k < num_shards; ++k) {
+      for (SetId local : shards_[k].ids()) {
+        out->push_back(collection_->GlobalId(k, local));
+      }
+    }
+    return;
+  }
+  // Hash sharding interleaves ids: k-way merge on the (ascending) per-shard
+  // global sequences.
+  std::vector<size_t> cursor(num_shards, 0);
+  for (;;) {
+    size_t best_k = num_shards;
+    SetId best_global = kNoSet;
+    for (size_t k = 0; k < num_shards; ++k) {
+      if (cursor[k] >= shards_[k].size()) continue;
+      SetId global = collection_->GlobalId(k, shards_[k].ids()[cursor[k]]);
+      if (best_k == num_shards || global < best_global) {
+        best_k = k;
+        best_global = global;
+      }
+    }
+    if (best_k == num_shards) break;
+    out->push_back(best_global);
+    ++cursor[best_k];
+  }
+}
+
+std::vector<SetId> ShardedSubCollection::GlobalIds() const {
+  std::vector<SetId> out;
+  AppendGlobalIds(&out);
+  return out;
+}
+
+SetId ShardedSubCollection::FrontGlobal() const {
+  SETDISC_CHECK(size_ > 0);
+  SetId best = kNoSet;
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    if (shards_[k].empty()) continue;
+    SetId global = collection_->GlobalId(k, shards_[k].front());
+    if (global < best) best = global;
+  }
+  return best;
+}
+
+size_t ShardedSubCollection::TotalElements() const {
+  size_t total = 0;
+  for (const SubCollection& shard : shards_) total += shard.TotalElements();
+  return total;
+}
+
+void ShardedCounter::CountInformative(const ShardedSubCollection& sub,
+                                      std::vector<EntityCount>* out,
+                                      const EntityExclusion* excluded,
+                                      ThreadPool* pool) {
+  out->clear();
+  const size_t num_shards = sub.num_shards();
+  // Per-shard scratch is sized once and reused across every step of the
+  // owning session; EntityCounter clears by touched list internally.
+  if (counters_.size() < num_shards) counters_.resize(num_shards);
+  if (partial_.size() < num_shards) partial_.resize(num_shards);
+
+  auto count_shard = [&](size_t k) {
+    // CountAll, not CountInformative: an entity uninformative within one
+    // shard (present in all of its candidates) can still split the combined
+    // candidate set. Informativeness is decided after the merge.
+    counters_[k].CountAll(sub.shard(k), &partial_[k], excluded);
+  };
+  if (pool != nullptr && num_shards > 1 &&
+      sub.size() >= kShardParallelMinSets) {
+    pool->ParallelFor(num_shards, count_shard);
+  } else {
+    for (size_t k = 0; k < num_shards; ++k) count_shard(k);
+  }
+
+  const uint32_t n = static_cast<uint32_t>(sub.size());
+  if (num_shards == 1) {
+    out->reserve(partial_[0].size());
+    for (const EntityCount& ec : partial_[0]) {
+      if (ec.count != 0 && ec.count != n) out->push_back(ec);
+    }
+    return;
+  }
+
+  // K-way merge-sum of the ascending per-shard lists; emit the globally
+  // informative entities (0 < total < n) in ascending entity order — exactly
+  // EntityCounter::CountInformative's output over the merged candidates.
+  // The merge parallelizes too: per-shard lists are sorted, so disjoint
+  // entity-id ranges merge independently (cursors found by binary search)
+  // and concatenate in range order. Only the concatenation stays serial.
+  const EntityId universe = sub.collection().base().universe_size();
+  size_t num_ranges = 1;
+  if (pool != nullptr && sub.size() >= kShardParallelMinSets) {
+    num_ranges = std::min<size_t>(
+        std::max<size_t>(2 * pool->num_threads(), num_shards), 32);
+  }
+  if (num_ranges <= 1 || universe < num_ranges) {
+    MergeRange(num_shards, n, 0, universe, out);
+    return;
+  }
+  if (ranges_.size() < num_ranges) ranges_.resize(num_ranges);
+  auto merge_one = [&](size_t r) {
+    EntityId lo = static_cast<EntityId>(static_cast<uint64_t>(universe) * r /
+                                        num_ranges);
+    EntityId hi = static_cast<EntityId>(static_cast<uint64_t>(universe) *
+                                        (r + 1) / num_ranges);
+    ranges_[r].clear();
+    MergeRange(num_shards, n, lo, hi, &ranges_[r]);
+  };
+  pool->ParallelFor(num_ranges, merge_one);
+  size_t total = 0;
+  for (size_t r = 0; r < num_ranges; ++r) total += ranges_[r].size();
+  out->reserve(total);
+  for (size_t r = 0; r < num_ranges; ++r) {
+    out->insert(out->end(), ranges_[r].begin(), ranges_[r].end());
+  }
+}
+
+void ShardedCounter::MergeRange(size_t num_shards, uint32_t n, EntityId lo,
+                                EntityId hi,
+                                std::vector<EntityCount>* out) const {
+  // Raw-pointer cursors, bounded to [lo, hi) up front so the hot loop only
+  // compares heads. K is small (kMaxShards-bounded), so the per-emit scan
+  // over the cursor array beats heap bookkeeping.
+  SETDISC_CHECK(num_shards <= kMaxShards);
+  struct Cursor {
+    const EntityCount* it;
+    const EntityCount* end;
+  };
+  Cursor cursors[kMaxShards];
+  size_t live = 0;
+  auto by_entity = [](const EntityCount& ec, EntityId e) {
+    return ec.entity < e;
+  };
+  for (size_t k = 0; k < num_shards; ++k) {
+    const EntityCount* begin = partial_[k].data();
+    const EntityCount* end = begin + partial_[k].size();
+    const EntityCount* it =
+        lo == 0 ? begin : std::lower_bound(begin, end, lo, by_entity);
+    const EntityCount* stop = std::lower_bound(it, end, hi, by_entity);
+    if (it != stop) cursors[live++] = {it, stop};
+  }
+
+  while (live > 0) {
+    EntityId min_entity = cursors[0].it->entity;
+    for (size_t k = 1; k < live; ++k) {
+      EntityId entity = cursors[k].it->entity;
+      if (entity < min_entity) min_entity = entity;
+    }
+    uint32_t total = 0;
+    for (size_t k = 0; k < live;) {
+      if (cursors[k].it->entity == min_entity) {
+        total += cursors[k].it->count;
+        if (++cursors[k].it == cursors[k].end) {
+          // Drop the exhausted cursor: swap-with-last keeps the scan dense.
+          cursors[k] = cursors[--live];
+          continue;
+        }
+      }
+      ++k;
+    }
+    if (total != 0 && total != n) {
+      out->push_back(EntityCount{min_entity, total});
+    }
+  }
+}
+
+}  // namespace setdisc

@@ -1,0 +1,229 @@
+#pragma once
+
+/// \file sharded_collection.h
+/// Partitioned collection layer: one SetCollection split into K independent
+/// CSR shards, each with its own InvertedIndex and content fingerprint.
+///
+/// The paper's cost model makes the per-step counting pass over the
+/// candidate sub-collection the dominant cost of a question, and that pass
+/// is embarrassingly parallel across disjoint set-id ranges: count each
+/// shard's candidates separately, then merge the per-entity sums. Sharding
+/// therefore decomposes three per-step passes —
+///
+///   * candidate seeding (posting-list intersection) per shard,
+///   * entity counting (ShardedCounter: per-shard map + merge),
+///   * partition-on-answer (per-shard Partition),
+///
+/// — while every *decision* (which entity to ask) is taken on the merged
+/// counts, so sharded sessions produce transcripts byte-identical to the
+/// unsharded engine (tests/sharded_parity_test.cc). It is also the on-ramp
+/// to multi-node serving: a shard is a self-contained (collection, index)
+/// pair that could live in another process.
+///
+/// Id spaces: entity ids are global (shards share the universe). Set ids
+/// exist twice — the base collection's *global* ids, which appear in every
+/// transcript, result, and wire message, and per-shard *local* dense ids,
+/// which keep each shard's CSR and scratch arrays compact. The
+/// ShardedCollection owns both mappings; within a shard, ascending local id
+/// order IS ascending global id order, so per-shard candidate lists merge
+/// into the globally sorted candidate list without re-sorting.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "collection/entity_counter.h"
+#include "collection/inverted_index.h"
+#include "collection/set_collection.h"
+#include "collection/sub_collection.h"
+#include "collection/types.h"
+#include "util/thread_pool.h"
+
+namespace setdisc {
+
+class ShardedSubCollection;
+
+/// How set ids map to shards.
+enum class ShardScheme : uint8_t {
+  /// Contiguous global-id ranges: shard k holds ids [k*n/K, (k+1)*n/K).
+  /// Preserves locality of id-adjacent sets; per-shard candidate lists
+  /// concatenate into the global order.
+  kRange = 0,
+  /// Mixed assignment by hashed id: shard = FingerprintMix(id) % K. Balances
+  /// shard load when id ranges correlate with set size or popularity.
+  kHash = 1,
+};
+
+struct ShardingOptions {
+  /// Clamped to [1, kMaxShards]; shards may be empty (K > num sets is fine).
+  size_t num_shards = 1;
+  ShardScheme scheme = ShardScheme::kRange;
+};
+
+/// Upper bound on shards per process: the merge keeps one cursor per shard
+/// in a fixed array, and a per-process shard is only useful up to roughly
+/// the core count anyway (cross-node sharding is the ROADMAP follow-on).
+inline constexpr size_t kMaxShards = 64;
+
+/// Below this many candidate sets the per-shard fan-out runs serially even
+/// when a pool is available: the merge/wakeup overhead outweighs the scan.
+inline constexpr size_t kShardParallelMinSets = 64;
+
+/// An immutable K-way partition of a SetCollection. The base collection must
+/// outlive the sharded view (labels, entity names, and transcripts keep
+/// referring to it).
+class ShardedCollection {
+ public:
+  ShardedCollection(const SetCollection& base, ShardingOptions options);
+
+  const SetCollection& base() const { return *base_; }
+  size_t num_shards() const { return shards_.size(); }
+  ShardScheme scheme() const { return options_.scheme; }
+
+  /// Shard k's sets as a compact collection over local dense ids.
+  const SetCollection& shard(size_t k) const { return shards_[k].collection; }
+
+  /// Shard k's entity -> local-set-id posting lists.
+  const InvertedIndex& index(size_t k) const { return *shards_[k].index; }
+
+  /// Global id of shard k's local set id.
+  SetId GlobalId(size_t k, SetId local) const {
+    return shards_[k].to_global[local];
+  }
+
+  size_t ShardOf(SetId global) const { return shard_of_[global]; }
+  SetId LocalOf(SetId global) const { return local_of_[global]; }
+
+  /// Identity of this sharded view for cross-session cache keys: the K
+  /// per-shard content fingerprints folded together with K and the scheme,
+  /// so the same base collection sharded two different ways never shares
+  /// cache entries. Exception by construction: K == 1 fingerprints exactly
+  /// like the unsharded base (one shard is the base collection), so a
+  /// degenerate sharded manager and an unsharded manager given the same
+  /// SelectionCache share their memo.
+  uint64_t Fingerprint() const { return fingerprint_; }
+
+  /// The whole collection as a sharded candidate view.
+  ShardedSubCollection Full() const;
+
+  /// Algorithm 2 lines 1-4, per shard: local posting-list intersections of
+  /// `entities`, one SubCollection per shard. An empty query matches all.
+  ShardedSubCollection SetsContainingAll(
+      std::span<const EntityId> entities) const;
+
+ private:
+  struct Shard {
+    SetCollection collection;               // local dense ids
+    std::unique_ptr<InvertedIndex> index;   // entity -> local ids
+    std::vector<SetId> to_global;           // local id -> global id
+  };
+
+  const SetCollection* base_;
+  ShardingOptions options_;
+  std::vector<Shard> shards_;
+  std::vector<uint32_t> shard_of_;  // global id -> shard
+  std::vector<SetId> local_of_;     // global id -> local id
+  uint64_t fingerprint_ = 0;
+};
+
+/// A candidate set viewed per shard: one SubCollection of local ids per
+/// shard of the parent ShardedCollection. The sharded analogue of
+/// SubCollection — same lifecycle (narrowed by Partition on every answer),
+/// same lazy fingerprint contract, same single-thread confinement.
+class ShardedSubCollection {
+ public:
+  ShardedSubCollection() = default;
+
+  /// Takes one per-shard view per shard of `collection` (sizes must match).
+  ShardedSubCollection(const ShardedCollection* collection,
+                       std::vector<SubCollection> shards);
+
+  const ShardedCollection& collection() const { return *collection_; }
+  size_t num_shards() const { return shards_.size(); }
+  const SubCollection& shard(size_t k) const { return shards_[k]; }
+
+  /// Total candidate sets across shards (cached; O(1)).
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Splits every shard into (sets containing e, sets not containing e);
+  /// the paper's partition-on-answer, run per shard. With `pool` set and the
+  /// view large enough (kShardParallelMinSets) the shards partition in
+  /// parallel via ThreadPool::ParallelFor. `derive_fingerprints` has
+  /// SubCollection::Partition semantics, per shard.
+  std::pair<ShardedSubCollection, ShardedSubCollection> Partition(
+      EntityId e, bool derive_fingerprints = false,
+      ThreadPool* pool = nullptr) const;
+
+  /// Combined fingerprint: the per-shard SubCollection fingerprints folded
+  /// in shard order — O(K) given the per-shard values, which Partition
+  /// derives incrementally, so a narrowing chain pays O(|C|) once like the
+  /// unsharded view. K == 1 returns shard 0's fingerprint unchanged (local
+  /// ids == global ids there), matching the unsharded construction so
+  /// degenerate sharding shares cache entries with unsharded sessions.
+  ///
+  /// Memoized and unsynchronized like SubCollection::Fingerprint(): confine
+  /// a view to one stepping thread.
+  uint64_t Fingerprint() const;
+
+  /// Appends the member sets' *global* ids in ascending order (k-way merge
+  /// of the per-shard lists; a concatenation for range sharding).
+  void AppendGlobalIds(std::vector<SetId>* out) const;
+
+  /// Ascending global ids as a fresh vector.
+  std::vector<SetId> GlobalIds() const;
+
+  /// Smallest global member id — the single remaining candidate when
+  /// size() == 1 (the sharded front()). Requires a non-empty view.
+  SetId FrontGlobal() const;
+
+  /// Total (set, entity) incidences across all shards' members.
+  size_t TotalElements() const;
+
+ private:
+  const ShardedCollection* collection_ = nullptr;
+  std::vector<SubCollection> shards_;
+  size_t size_ = 0;
+  mutable uint64_t fingerprint_ = 0;
+  mutable bool fingerprint_valid_ = false;
+};
+
+/// The sharded counting pass: per-shard entity counts mapped in parallel,
+/// merged into one ascending-entity-id list of *globally* informative
+/// entities — byte-identical to EntityCounter::CountInformative over the
+/// merged candidate set, which is what keeps sharded selection decisions
+/// equal to unsharded ones.
+///
+/// Owns one EntityCounter and one output buffer per shard, reused across
+/// every step of a session (clear-by-touched-list inside EntityCounter, no
+/// per-step allocation or memset). Not thread-safe across concurrent
+/// CountInformative calls; one instance per session, like any selector
+/// scratch. A single call may *internally* fan its per-shard passes across
+/// `pool`.
+class ShardedCounter {
+ public:
+  ShardedCounter() = default;
+
+  /// Appends every informative entity of the combined candidate set with its
+  /// total count, ascending by entity id. `out` is cleared first. Entities
+  /// marked in `excluded` are skipped (during the per-shard pass, so they
+  /// never reach the merge).
+  void CountInformative(const ShardedSubCollection& sub,
+                        std::vector<EntityCount>* out,
+                        const EntityExclusion* excluded = nullptr,
+                        ThreadPool* pool = nullptr);
+
+ private:
+  /// Merges `num_shards` per-shard partial lists restricted to entity ids in
+  /// [lo, hi) into `out` (ascending, informative for combined size n only).
+  void MergeRange(size_t num_shards, uint32_t n, EntityId lo, EntityId hi,
+                  std::vector<EntityCount>* out) const;
+
+  std::vector<EntityCounter> counters_;            // one per shard
+  std::vector<std::vector<EntityCount>> partial_;  // per-shard outputs
+  std::vector<std::vector<EntityCount>> ranges_;   // per-range merge outputs
+};
+
+}  // namespace setdisc

@@ -101,6 +101,22 @@ EntityId KlpSelector::Select(const SubCollection& sub,
 KlpSelection KlpSelector::SelectWithBound(const SubCollection& sub,
                                           Cost upper_limit,
                                           const EntityExclusion* excluded) {
+  precounted_ = nullptr;
+  return SelectWithBoundImpl(sub, upper_limit, excluded);
+}
+
+KlpSelection KlpSelector::SelectWithBoundPrecounted(
+    const SubCollection& sub, Cost upper_limit, const EntityExclusion* excluded,
+    const std::vector<EntityCount>& counts) {
+  precounted_ = &counts;
+  KlpSelection result = SelectWithBoundImpl(sub, upper_limit, excluded);
+  precounted_ = nullptr;
+  return result;
+}
+
+KlpSelection KlpSelector::SelectWithBoundImpl(const SubCollection& sub,
+                                              Cost upper_limit,
+                                              const EntityExclusion* excluded) {
   if (sub.size() < 2) return {kNoEntity, 0};
   if (cache_.size() > options_.max_cache_entries) ClearCache();
   NodeStats node;
@@ -167,7 +183,13 @@ KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
     scratch_.emplace_back(std::make_unique<std::vector<EntityCount>>());
   }
   std::vector<EntityCount>& counts = *scratch_[depth_];
-  counter_.CountInformative(sub, &counts, excluded);
+  if (top && precounted_ != nullptr) {
+    // Sharded path: the root counts were already computed per shard and
+    // merged; copy into the mutable scratch (the sort below reorders it).
+    counts.assign(precounted_->begin(), precounted_->end());
+  } else {
+    counter_.CountInformative(sub, &counts, excluded);
+  }
   if (counts.empty()) {
     // Only possible under exclusions (unique sets always admit an
     // informative entity): the sub-collection cannot be narrowed further.

@@ -90,6 +90,19 @@ class KlpSelector : public EntitySelector {
   KlpSelection SelectWithBound(const SubCollection& sub, Cost upper_limit,
                                const EntityExclusion* excluded = nullptr);
 
+  /// SelectWithBound with the TOP-level counting pass supplied externally:
+  /// `counts` must equal what CountInformative(sub, excluded) would emit
+  /// (ascending entity order, informative only). The sharded engine computes
+  /// those counts with a per-shard map + merge — the dominant per-step cost,
+  /// per the paper's model — and hands them here so the lookahead recursion,
+  /// pruning, and memoization run through the exact same code as the
+  /// unsharded path (transcript parity by construction). Recursive levels
+  /// always count for themselves.
+  KlpSelection SelectWithBoundPrecounted(
+      const SubCollection& sub, Cost upper_limit,
+      const EntityExclusion* excluded,
+      const std::vector<EntityCount>& counts);
+
   std::string_view name() const override { return name_; }
   const KlpOptions& options() const { return options_; }
 
@@ -115,9 +128,15 @@ class KlpSelector : public EntitySelector {
     Cost bound;
   };
 
+  KlpSelection SelectWithBoundImpl(const SubCollection& sub, Cost upper_limit,
+                                   const EntityExclusion* excluded);
   KlpSelection SelectImpl(const SubCollection& sub, int k, Cost upper_limit,
                           bool top, const EntityExclusion* excluded,
                           NodeStats* node_stats);
+
+  /// Non-null only inside SelectWithBoundPrecounted: the externally merged
+  /// top-level counts, consumed by the top SelectImpl call.
+  const std::vector<EntityCount>* precounted_ = nullptr;
 
   KlpOptions options_;
   std::string name_;

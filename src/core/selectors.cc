@@ -14,32 +14,24 @@ inline uint64_t Imbalance(uint64_t c, uint64_t n) {
 
 }  // namespace
 
-EntityId MostEvenSelector::Select(const SubCollection& sub,
-                                  const EntityExclusion* excluded) {
-  if (sub.size() < 2) return kNoEntity;
-  counter_.CountInformative(sub, &counts_, excluded);
+EntityId PickMostEven(std::span<const EntityCount> counts, uint64_t n) {
   EntityId best = kNoEntity;
   uint64_t best_imbalance = 0;
-  const uint64_t n = sub.size();
-  for (const EntityCount& ec : counts_) {
+  for (const EntityCount& ec : counts) {
     uint64_t imb = Imbalance(ec.count, n);
     if (best == kNoEntity || imb < best_imbalance) {
       best = ec.entity;
       best_imbalance = imb;
     }
   }
-  return best;  // counts_ is entity-ordered, so ties go to the smallest id
+  return best;  // counts is entity-ordered, so ties go to the smallest id
 }
 
-EntityId InfoGainSelector::Select(const SubCollection& sub,
-                                  const EntityExclusion* excluded) {
-  if (sub.size() < 2) return kNoEntity;
-  counter_.CountInformative(sub, &counts_, excluded);
-  const uint64_t n = sub.size();
+EntityId PickInfoGain(std::span<const EntityCount> counts, uint64_t n) {
   EntityId best = kNoEntity;
   double best_split_entropy = 0.0;  // |C1| log|C1| + |C2| log|C2|, minimized
   uint64_t best_imbalance = 0;
-  for (const EntityCount& ec : counts_) {
+  for (const EntityCount& ec : counts) {
     double c1 = static_cast<double>(ec.count);
     double c2 = static_cast<double>(n - ec.count);
     // Maximizing Eq. (9) is minimizing this quantity (|C| is constant).
@@ -55,15 +47,12 @@ EntityId InfoGainSelector::Select(const SubCollection& sub,
   return best;
 }
 
-EntityId IndistinguishablePairsSelector::Select(const SubCollection& sub,
-                                                const EntityExclusion* excluded) {
-  if (sub.size() < 2) return kNoEntity;
-  counter_.CountInformative(sub, &counts_, excluded);
-  const uint64_t n = sub.size();
+EntityId PickIndistinguishablePairs(std::span<const EntityCount> counts,
+                                    uint64_t n) {
   EntityId best = kNoEntity;
   uint64_t best_pairs = 0;
   uint64_t best_imbalance = 0;
-  for (const EntityCount& ec : counts_) {
+  for (const EntityCount& ec : counts) {
     uint64_t c1 = ec.count;
     uint64_t c2 = n - ec.count;
     // Eq. (10) numerator; the /2 is constant and dropped.
@@ -77,6 +66,27 @@ EntityId IndistinguishablePairsSelector::Select(const SubCollection& sub,
     }
   }
   return best;
+}
+
+EntityId MostEvenSelector::Select(const SubCollection& sub,
+                                  const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded);
+  return PickMostEven(counts_, sub.size());
+}
+
+EntityId InfoGainSelector::Select(const SubCollection& sub,
+                                  const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded);
+  return PickInfoGain(counts_, sub.size());
+}
+
+EntityId IndistinguishablePairsSelector::Select(const SubCollection& sub,
+                                                const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded);
+  return PickIndistinguishablePairs(counts_, sub.size());
 }
 
 EntityId RandomSelector::Select(const SubCollection& sub,

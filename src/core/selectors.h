@@ -13,7 +13,14 @@
 ///
 /// Lemma 4.3: the first three select the same entity (ties aside); the
 /// selector_test property sweep verifies that on random collections.
+///
+/// Each strategy is a counting pass followed by a pure scoring pass over the
+/// (entity, count) list. The scoring passes are exposed as the free Pick*
+/// functions so the sharded engine — which computes the same counts with a
+/// per-shard map + merge (collection/sharded_collection.h) — makes the same
+/// decisions through the same code (core/sharded_selectors.h).
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -21,6 +28,21 @@
 #include "util/rng.h"
 
 namespace setdisc {
+
+/// Most even partition: the entity minimizing | |C1| - |C2| | among
+/// `counts` (informative entities of an n-set candidate collection, in
+/// ascending entity order — ties go to the smallest id). kNoEntity if empty.
+EntityId PickMostEven(std::span<const EntityCount> counts, uint64_t n);
+
+/// Information gain (Eq. 9): minimizes |C1|log|C1| + |C2|log|C2|; ties broken
+/// by the most even partition, then entity id. kNoEntity if empty.
+EntityId PickInfoGain(std::span<const EntityCount> counts, uint64_t n);
+
+/// Minimum indistinguishable pairs (Eq. 10): minimizes C(|C1|,2) + C(|C2|,2);
+/// ties broken by the most even partition, then entity id. kNoEntity if
+/// empty.
+EntityId PickIndistinguishablePairs(std::span<const EntityCount> counts,
+                                    uint64_t n);
 
 /// Picks the entity minimizing | |C1| - |C2| |; ties broken by entity id.
 class MostEvenSelector : public EntitySelector {

@@ -1,0 +1,50 @@
+#include "core/sharded_selectors.h"
+
+namespace setdisc {
+
+EntityId ShardedMostEvenSelector::Select(const ShardedSubCollection& sub,
+                                         const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded, pool_);
+  return PickMostEven(counts_, sub.size());
+}
+
+EntityId ShardedInfoGainSelector::Select(const ShardedSubCollection& sub,
+                                         const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded, pool_);
+  return PickInfoGain(counts_, sub.size());
+}
+
+EntityId ShardedIndistinguishablePairsSelector::Select(
+    const ShardedSubCollection& sub, const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded, pool_);
+  return PickIndistinguishablePairs(counts_, sub.size());
+}
+
+EntityId ShardedKlpSelector::Select(const ShardedSubCollection& sub,
+                                    const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded, pool_);
+  // Materialize the combined view for the recursion (and the memo keys,
+  // which stay in global-id space so entries persist across steps exactly
+  // like the unsharded selector's). Built fresh and moved in: the view owns
+  // its id vector, so a reused buffer would only add a second copy.
+  std::vector<SetId> global_ids;
+  global_ids.reserve(sub.size());
+  sub.AppendGlobalIds(&global_ids);
+  SubCollection view(&sub.collection().base(), std::move(global_ids));
+  return inner_.SelectWithBoundPrecounted(view, kInfiniteCost, excluded, counts_)
+      .entity;
+}
+
+EntityId ShardedRandomSelector::Select(const ShardedSubCollection& sub,
+                                       const EntityExclusion* excluded) {
+  if (sub.size() < 2) return kNoEntity;
+  counter_.CountInformative(sub, &counts_, excluded, pool_);
+  if (counts_.empty()) return kNoEntity;
+  return counts_[rng_.Uniform(counts_.size())].entity;
+}
+
+}  // namespace setdisc

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file sharded_selectors.h
+/// Entity selection over sharded candidate views.
+///
+/// Every strategy here is "count per shard, merge, then decide through the
+/// unsharded scoring code": the counting pass — the dominant per-step cost
+/// in the paper's model — fans one task per shard across a ThreadPool
+/// (ShardedCounter), and the decision runs on the merged counts via the same
+/// Pick* functions (selectors.h) or the same lookahead recursion (klp.h) the
+/// unsharded selectors use. That shared tail is what makes sharded
+/// transcripts byte-identical to unsharded ones for every selector/config
+/// (tests/sharded_parity_test.cc).
+///
+/// Like their unsharded counterparts, sharded selectors are stateful scratch
+/// owners — one instance per session, never shared across concurrently
+/// stepping sessions. The pool they fan out on is injected by the
+/// SessionManager (set_pool) and may be the same pool the sessions
+/// themselves step on: ThreadPool::ParallelFor lets the stepping thread
+/// execute its own shard tasks, so nested use cannot deadlock.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "collection/sharded_collection.h"
+#include "core/klp.h"
+#include "core/selectors.h"
+#include "util/rng.h"
+
+namespace setdisc {
+
+/// Strategy interface over sharded candidate state — the Υ parameter of the
+/// sharded engine, mirroring EntitySelector.
+class ShardedEntitySelector {
+ public:
+  virtual ~ShardedEntitySelector() = default;
+
+  /// Returns the entity to ask about for the combined candidate set, or
+  /// kNoEntity when fewer than two sets remain or every informative entity
+  /// is excluded. Decisions must match the same-named unsharded selector on
+  /// the merged view exactly.
+  virtual EntityId Select(const ShardedSubCollection& sub,
+                          const EntityExclusion* excluded = nullptr) = 0;
+
+  /// Short strategy name for reports; equals the unsharded selector's name
+  /// (the decision function is the same).
+  virtual std::string_view name() const = 0;
+
+  /// Selector component of cross-session cache keys; see
+  /// EntitySelector::DecisionFingerprint for the contract.
+  virtual uint64_t DecisionFingerprint() const {
+    return FingerprintString(name());
+  }
+
+  /// Pool the per-shard counting fans out on (nullptr = serial). Virtual so
+  /// decorators (ShardedCachingSelector) can forward to their inner
+  /// selector.
+  virtual void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+ protected:
+  ThreadPool* pool_ = nullptr;
+};
+
+/// Sharded MostEven: per-shard count + merge, then PickMostEven.
+class ShardedMostEvenSelector : public ShardedEntitySelector {
+ public:
+  EntityId Select(const ShardedSubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override;
+  std::string_view name() const override { return "MostEven"; }
+
+ private:
+  ShardedCounter counter_;
+  std::vector<EntityCount> counts_;
+};
+
+/// Sharded InfoGain: per-shard count + merge, then PickInfoGain.
+class ShardedInfoGainSelector : public ShardedEntitySelector {
+ public:
+  EntityId Select(const ShardedSubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override;
+  std::string_view name() const override { return "InfoGain"; }
+
+ private:
+  ShardedCounter counter_;
+  std::vector<EntityCount> counts_;
+};
+
+/// Sharded IndistinguishablePairs: per-shard count + merge, then
+/// PickIndistinguishablePairs.
+class ShardedIndistinguishablePairsSelector : public ShardedEntitySelector {
+ public:
+  EntityId Select(const ShardedSubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override;
+  std::string_view name() const override { return "IndgPairs"; }
+
+ private:
+  ShardedCounter counter_;
+  std::vector<EntityCount> counts_;
+};
+
+/// Sharded k-LP family: the root counting pass (the only one over the full
+/// candidate set, hence the dominant one) runs per shard and merges; the
+/// combined view is then materialized once — an O(|C|) id merge, small next
+/// to the counting scan — and handed to an ordinary KlpSelector via
+/// SelectWithBoundPrecounted, so the lookahead recursion, pruning, and memo
+/// are literally the unsharded implementation.
+class ShardedKlpSelector : public ShardedEntitySelector {
+ public:
+  explicit ShardedKlpSelector(KlpOptions options) : inner_(options) {}
+
+  EntityId Select(const ShardedSubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override;
+  std::string_view name() const override { return inner_.name(); }
+
+  KlpSelector& inner() { return inner_; }
+
+ private:
+  KlpSelector inner_;
+  ShardedCounter counter_;
+  std::vector<EntityCount> counts_;
+};
+
+/// Sharded Random: merged informative entities, one uniform draw per
+/// question — the same rng consumption sequence as RandomSelector, so equal
+/// seeds give equal transcripts.
+class ShardedRandomSelector : public ShardedEntitySelector {
+ public:
+  explicit ShardedRandomSelector(uint64_t seed = 42) : rng_(seed) {}
+  EntityId Select(const ShardedSubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override;
+  std::string_view name() const override { return "Random"; }
+
+ private:
+  Rng rng_;
+  ShardedCounter counter_;
+  std::vector<EntityCount> counts_;
+};
+
+}  // namespace setdisc

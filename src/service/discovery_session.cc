@@ -7,36 +7,51 @@
 
 namespace setdisc {
 
-namespace {
-
-std::vector<SetId> RemoveRejected(std::vector<SetId> ids,
-                                  const std::unordered_set<SetId>& rejected) {
-  if (rejected.empty()) return ids;
+SubCollection UnshardedEngine::Filter(
+    SubCollection view, const std::unordered_set<SetId>& rejected) const {
+  if (rejected.empty()) return view;
+  std::vector<SetId> ids(view.ids().begin(), view.ids().end());
   ids.erase(std::remove_if(ids.begin(), ids.end(),
                            [&](SetId s) { return rejected.count(s) > 0; }),
             ids.end());
-  return ids;
+  return SubCollection(collection, std::move(ids));
 }
 
-}  // namespace
+ShardedSubCollection ShardedEngine::Filter(
+    ShardedSubCollection view, const std::unordered_set<SetId>& rejected) const {
+  if (rejected.empty()) return view;
+  std::vector<SubCollection> shards;
+  shards.reserve(view.num_shards());
+  for (size_t k = 0; k < view.num_shards(); ++k) {
+    std::vector<SetId> ids(view.shard(k).ids().begin(),
+                           view.shard(k).ids().end());
+    ids.erase(std::remove_if(ids.begin(), ids.end(),
+                             [&](SetId local) {
+                               return rejected.count(
+                                          collection->GlobalId(k, local)) > 0;
+                             }),
+              ids.end());
+    shards.emplace_back(&collection->shard(k), std::move(ids));
+  }
+  return ShardedSubCollection(collection, std::move(shards));
+}
 
-DiscoverySession::DiscoverySession(const SetCollection& collection,
-                                   const InvertedIndex& index,
-                                   std::span<const EntityId> initial,
-                                   EntitySelector& selector,
-                                   const DiscoveryOptions& options)
-    : collection_(&collection), selector_(&selector), options_(options) {
+template <typename Engine>
+BasicDiscoverySession<Engine>::BasicDiscoverySession(
+    Engine engine, std::span<const EntityId> initial, Selector& selector,
+    const DiscoveryOptions& options)
+    : engine_(std::move(engine)), selector_(&selector), options_(options) {
   // Lines 1-4: candidates are the supersets of the initial example set I.
-  std::vector<SetId> cs_ids = index.SetsContainingAll(initial);
-  if (cs_ids.empty()) {
+  candidates_ = engine_.Initial(initial);
+  if (candidates_.empty()) {
     Finish();
     return;
   }
-  candidates_ = SubCollection(collection_, std::move(cs_ids));
   Advance();
 }
 
-void DiscoverySession::Advance() {
+template <typename Engine>
+void BasicDiscoverySession<Engine>::Advance() {
   // Lines 5-12 of Algorithm 2, one narrowing step at a time: while several
   // candidates remain, each Advance() either parks in kAwaitingAnswer with
   // the next question or finishes; SubmitAnswer() partitions and calls
@@ -45,8 +60,7 @@ void DiscoverySession::Advance() {
     if (options_.max_questions >= 0 &&
         result_.questions >= options_.max_questions) {
       result_.halted = true;  // the halt condition Γ fired
-      result_.candidates.assign(candidates_.ids().begin(),
-                                candidates_.ids().end());
+      engine_.AppendGlobal(candidates_, &result_.candidates);
       Finish();
       return;
     }
@@ -54,8 +68,7 @@ void DiscoverySession::Advance() {
         selector_->Select(candidates_, any_excluded_ ? &excluded_ : nullptr);
     if (e == kNoEntity) {
       // Every informative entity excluded: cannot narrow further (§6).
-      result_.candidates.assign(candidates_.ids().begin(),
-                                candidates_.ids().end());
+      engine_.AppendGlobal(candidates_, &result_.candidates);
       Finish();
       return;
     }
@@ -64,13 +77,13 @@ void DiscoverySession::Advance() {
     return;
   }
 
-  result_.candidates.assign(candidates_.ids().begin(), candidates_.ids().end());
+  engine_.AppendGlobal(candidates_, &result_.candidates);
   if (!options_.verify_and_backtrack) {
     Finish();
     return;
   }
   if (candidates_.size() == 1) {
-    pending_set_ = candidates_.front();
+    pending_set_ = engine_.Front(candidates_);
     state_ = SessionState::kAwaitingVerify;
     return;
   }
@@ -79,7 +92,8 @@ void DiscoverySession::Advance() {
   Backtrack();
 }
 
-void DiscoverySession::SubmitAnswer(Oracle::Answer answer) {
+template <typename Engine>
+void BasicDiscoverySession<Engine>::SubmitAnswer(Oracle::Answer answer) {
   SETDISC_CHECK_MSG(state_ == SessionState::kAwaitingAnswer,
                     "SubmitAnswer outside kAwaitingAnswer");
   EntityId e = pending_entity_;
@@ -97,7 +111,7 @@ void DiscoverySession::SubmitAnswer(Oracle::Answer answer) {
   bool yes = answer == Oracle::Answer::kYes;
   if (options_.verify_and_backtrack) {
     Frame f;
-    f.ids_before.assign(candidates_.ids().begin(), candidates_.ids().end());
+    f.before = candidates_;
     f.entity = e;
     f.answered_yes = yes;
     frames_.push_back(std::move(f));
@@ -105,12 +119,14 @@ void DiscoverySession::SubmitAnswer(Oracle::Answer answer) {
   // Derive the children's fingerprints during the partition: when a shared
   // selection cache is on, the selector just computed this view's
   // fingerprint, and the next Select() will want the survivor's.
-  auto [in, out] = candidates_.Partition(e, /*derive_fingerprints=*/true);
+  auto [in, out] = engine_.Partition(candidates_, e,
+                                     /*derive_fingerprints=*/true);
   candidates_ = yes ? std::move(in) : std::move(out);
   Advance();
 }
 
-void DiscoverySession::Verify(bool confirmed) {
+template <typename Engine>
+void BasicDiscoverySession<Engine>::Verify(bool confirmed) {
   SETDISC_CHECK_MSG(state_ == SessionState::kAwaitingVerify,
                     "Verify outside kAwaitingVerify");
   SetId s = pending_set_;
@@ -126,7 +142,8 @@ void DiscoverySession::Verify(bool confirmed) {
   Backtrack();
 }
 
-void DiscoverySession::Backtrack() {
+template <typename Engine>
+void BasicDiscoverySession<Engine>::Backtrack() {
   // Flip the most recent unflipped answer and resume on the branch opposite
   // to the (suspected erroneous) answer.
   while (!frames_.empty()) {
@@ -136,19 +153,18 @@ void DiscoverySession::Backtrack() {
       continue;
     }
     f.flipped = true;
-    SubCollection before(collection_, f.ids_before);
-    auto [in, out] = before.Partition(f.entity);
-    std::vector<SetId> alt((f.answered_yes ? out : in).ids().begin(),
-                           (f.answered_yes ? out : in).ids().end());
-    alt = RemoveRejected(std::move(alt), rejected_);
+    auto [in, out] = engine_.Partition(f.before, f.entity,
+                                       /*derive_fingerprints=*/false);
+    View alt = engine_.Filter(f.answered_yes ? std::move(out) : std::move(in),
+                              rejected_);
     if (alt.empty()) continue;  // nothing viable there; keep unwinding
     if (result_.backtracks >= options_.max_backtracks) {
-      result_.candidates = std::move(alt);
+      engine_.AppendGlobal(alt, &result_.candidates);
       Finish();
       return;
     }
     ++result_.backtracks;
-    candidates_ = SubCollection(collection_, std::move(alt));
+    candidates_ = std::move(alt);
     Advance();
     return;
   }
@@ -156,9 +172,13 @@ void DiscoverySession::Backtrack() {
   Finish();
 }
 
-DiscoveryResult DiscoverySession::TakeResult() {
+template <typename Engine>
+DiscoveryResult BasicDiscoverySession<Engine>::TakeResult() {
   SETDISC_CHECK_MSG(done(), "TakeResult on an unfinished session");
   return std::move(result_);
 }
+
+template class BasicDiscoverySession<UnshardedEngine>;
+template class BasicDiscoverySession<ShardedEngine>;
 
 }  // namespace setdisc

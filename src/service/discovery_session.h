@@ -27,20 +27,41 @@
 /// flips — and `Discover()` is now a thin wrapper that drives a session
 /// against an Oracle, so the two cannot diverge.
 ///
+/// One state machine, two engines. The Algorithm-2+§6 logic is implemented
+/// once, as BasicDiscoverySession<Engine>; the Engine parameter supplies the
+/// candidate representation and its primitive moves:
+///
+///   * UnshardedEngine — SubCollection candidates over one SetCollection +
+///     InvertedIndex (the original DiscoverySession);
+///   * ShardedEngine   — ShardedSubCollection candidates over a
+///     ShardedCollection, with seeding, counting, and partition-on-answer
+///     running per shard (collection/sharded_collection.h).
+///
+/// Because both instantiations share every line of control flow and all
+/// decisions are taken on merged counts, sharded and unsharded sessions
+/// produce byte-identical transcripts (tests/sharded_parity_test.cc).
+/// Callers that don't care which engine runs — SessionManager, the network
+/// server — step sessions through the type-erased DiscoveryEngine interface.
+///
 /// A session is single-conversation state: it is NOT thread-safe (neither is
-/// the EntitySelector it holds). Concurrency lives one layer up, in
-/// SessionManager.
+/// the selector it holds). Concurrency lives one layer up, in
+/// SessionManager; a sharded session may still fan one step's counting
+/// across a pool internally.
 
 #include <memory>
 #include <span>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "collection/inverted_index.h"
 #include "collection/set_collection.h"
+#include "collection/sharded_collection.h"
 #include "collection/sub_collection.h"
 #include "core/discovery.h"
 #include "core/selector.h"
+#include "core/sharded_selectors.h"
+#include "util/thread_pool.h"
 
 namespace setdisc {
 
@@ -56,67 +77,145 @@ enum class SessionState {
   kFinished,
 };
 
-/// One interactive discovery conversation, advanced step by step.
-class DiscoverySession {
+/// Type-erased stepping interface: everything a caller needs to drive one
+/// conversation, independent of which engine (unsharded or sharded) runs the
+/// candidate state underneath. All ids exposed here — questions, verify
+/// sets, result candidates — are global.
+class DiscoveryEngine {
  public:
-  /// Starts a session: filters candidates to the supersets of `initial`
-  /// (Algorithm 2 lines 1-4) and selects the first question. The session
-  /// keeps references to `collection`, `index`, and `selector`; all three
-  /// must outlive it. The selector must not be shared with a concurrently
-  /// stepping session.
-  DiscoverySession(const SetCollection& collection, const InvertedIndex& index,
-                   std::span<const EntityId> initial, EntitySelector& selector,
-                   const DiscoveryOptions& options = {});
+  virtual ~DiscoveryEngine() = default;
 
-  DiscoverySession(DiscoverySession&&) = default;
-  DiscoverySession& operator=(DiscoverySession&&) = default;
-
-  SessionState state() const { return state_; }
-  bool done() const { return state_ == SessionState::kFinished; }
+  virtual SessionState state() const = 0;
+  bool done() const { return state() == SessionState::kFinished; }
 
   /// The entity of the pending question. Only valid in kAwaitingAnswer
   /// (returns kNoEntity otherwise).
-  EntityId NextQuestion() const {
-    return state_ == SessionState::kAwaitingAnswer ? pending_entity_
-                                                   : kNoEntity;
-  }
+  virtual EntityId NextQuestion() const = 0;
 
   /// The single remaining candidate awaiting confirmation. Only valid in
   /// kAwaitingVerify (returns kNoSet otherwise).
-  SetId PendingVerify() const {
-    return state_ == SessionState::kAwaitingVerify ? pending_set_ : kNoSet;
-  }
+  virtual SetId PendingVerify() const = 0;
 
   /// Answers the pending question (state must be kAwaitingAnswer) and
   /// advances: partitions the candidates — or, for kDontKnow under
   /// options.handle_dont_know, excludes the entity and re-selects on the
   /// same candidates (§6) — then picks the next question or finishes.
-  void SubmitAnswer(Oracle::Answer answer);
+  virtual void SubmitAnswer(Oracle::Answer answer) = 0;
 
   /// Resolves the pending verification (state must be kAwaitingVerify).
   /// `confirmed` = true ends the session confirmed; false triggers §6
   /// backtracking: the most recent unflipped answer is flipped and the
   /// session resumes on the alternative branch (or finishes when the answer
   /// tree or the flip budget is exhausted).
-  void Verify(bool confirmed);
+  virtual void Verify(bool confirmed) = 0;
 
   /// Live view of the result so far (questions, transcript, candidates...).
   /// Fully populated once done().
-  const DiscoveryResult& result() const { return result_; }
+  virtual const DiscoveryResult& result() const = 0;
 
   /// Moves the result out; the session must be done().
-  DiscoveryResult TakeResult();
+  virtual DiscoveryResult TakeResult() = 0;
 
   /// Number of candidate sets still standing.
-  size_t num_candidates() const { return candidates_.size(); }
+  virtual size_t num_candidates() const = 0;
 
-  const DiscoveryOptions& options() const { return options_; }
+  virtual const DiscoveryOptions& options() const = 0;
+};
+
+/// Engine over one flat SetCollection: the candidate view is a
+/// SubCollection of global ids. A plain struct of borrowed pointers; the
+/// collection and index must outlive the session.
+struct UnshardedEngine {
+  using View = SubCollection;
+  using Selector = EntitySelector;
+
+  const SetCollection* collection = nullptr;
+  const InvertedIndex* index = nullptr;
+
+  View Initial(std::span<const EntityId> initial) const {
+    return View(collection, index->SetsContainingAll(initial));
+  }
+  std::pair<View, View> Partition(const View& view, EntityId e,
+                                  bool derive_fingerprints) const {
+    return view.Partition(e, derive_fingerprints);
+  }
+  void AppendGlobal(const View& view, std::vector<SetId>* out) const {
+    out->assign(view.ids().begin(), view.ids().end());
+  }
+  SetId Front(const View& view) const { return view.front(); }
+  View Filter(View view, const std::unordered_set<SetId>& rejected) const;
+};
+
+/// Engine over a ShardedCollection: the candidate view keeps one
+/// SubCollection per shard, and seeding / partition-on-answer run per shard
+/// (optionally fanned across `pool`). The sharded collection must outlive
+/// the session.
+struct ShardedEngine {
+  using View = ShardedSubCollection;
+  using Selector = ShardedEntitySelector;
+
+  const ShardedCollection* collection = nullptr;
+  ThreadPool* pool = nullptr;
+
+  View Initial(std::span<const EntityId> initial) const {
+    return collection->SetsContainingAll(initial);
+  }
+  std::pair<View, View> Partition(const View& view, EntityId e,
+                                  bool derive_fingerprints) const {
+    return view.Partition(e, derive_fingerprints, pool);
+  }
+  void AppendGlobal(const View& view, std::vector<SetId>* out) const {
+    out->clear();
+    view.AppendGlobalIds(out);
+  }
+  SetId Front(const View& view) const { return view.FrontGlobal(); }
+  View Filter(View view, const std::unordered_set<SetId>& rejected) const;
+};
+
+/// The Algorithm 2 + §6 state machine, written once over an Engine.
+template <typename Engine>
+class BasicDiscoverySession : public DiscoveryEngine {
+ public:
+  using View = typename Engine::View;
+  using Selector = typename Engine::Selector;
+
+  /// Starts a session: filters candidates to the supersets of `initial`
+  /// (Algorithm 2 lines 1-4, per shard under ShardedEngine) and selects the
+  /// first question. The engine's referents and the selector must outlive
+  /// the session; the selector must not be shared with a concurrently
+  /// stepping session.
+  BasicDiscoverySession(Engine engine, std::span<const EntityId> initial,
+                        Selector& selector, const DiscoveryOptions& options);
+
+  BasicDiscoverySession(BasicDiscoverySession&&) = default;
+  BasicDiscoverySession& operator=(BasicDiscoverySession&&) = default;
+
+  SessionState state() const override { return state_; }
+
+  EntityId NextQuestion() const override {
+    return state_ == SessionState::kAwaitingAnswer ? pending_entity_
+                                                   : kNoEntity;
+  }
+
+  SetId PendingVerify() const override {
+    return state_ == SessionState::kAwaitingVerify ? pending_set_ : kNoSet;
+  }
+
+  void SubmitAnswer(Oracle::Answer answer) override;
+  void Verify(bool confirmed) override;
+
+  const DiscoveryResult& result() const override { return result_; }
+  DiscoveryResult TakeResult() override;
+
+  size_t num_candidates() const override { return candidates_.size(); }
+
+  const DiscoveryOptions& options() const override { return options_; }
 
  private:
-  /// One answered question: the candidate ids before it, the entity asked,
+  /// One answered question: the candidate view before it, the entity asked,
   /// and the branch taken. Kept for §6 backtracking.
   struct Frame {
-    std::vector<SetId> ids_before;
+    View before;
     EntityId entity;
     bool answered_yes;
     bool flipped = false;
@@ -133,12 +232,12 @@ class DiscoverySession {
 
   void Finish() { state_ = SessionState::kFinished; }
 
-  const SetCollection* collection_;
-  EntitySelector* selector_;
+  Engine engine_;
+  Selector* selector_;
   DiscoveryOptions options_;
 
   SessionState state_ = SessionState::kFinished;
-  SubCollection candidates_;
+  View candidates_;
   EntityId pending_entity_ = kNoEntity;
   SetId pending_set_ = kNoSet;
 
@@ -148,6 +247,35 @@ class DiscoverySession {
   std::vector<Frame> frames_;
 
   DiscoveryResult result_;
+};
+
+extern template class BasicDiscoverySession<UnshardedEngine>;
+extern template class BasicDiscoverySession<ShardedEngine>;
+
+/// One interactive discovery conversation over a flat collection, advanced
+/// step by step — the engine `Discover()` and the unsharded SessionManager
+/// path drive.
+class DiscoverySession : public BasicDiscoverySession<UnshardedEngine> {
+ public:
+  DiscoverySession(const SetCollection& collection, const InvertedIndex& index,
+                   std::span<const EntityId> initial, EntitySelector& selector,
+                   const DiscoveryOptions& options = {})
+      : BasicDiscoverySession(UnshardedEngine{&collection, &index}, initial,
+                              selector, options) {}
+};
+
+/// The same conversation over a sharded collection: candidate seeding,
+/// counting, and partition-on-answer run per shard (fanned across `pool`
+/// when given), transcripts stay byte-identical to DiscoverySession.
+class ShardedDiscoverySession : public BasicDiscoverySession<ShardedEngine> {
+ public:
+  ShardedDiscoverySession(const ShardedCollection& collection,
+                          std::span<const EntityId> initial,
+                          ShardedEntitySelector& selector,
+                          const DiscoveryOptions& options = {},
+                          ThreadPool* pool = nullptr)
+      : BasicDiscoverySession(ShardedEngine{&collection, pool}, initial,
+                              selector, options) {}
 };
 
 }  // namespace setdisc

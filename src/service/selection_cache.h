@@ -59,6 +59,7 @@
 #include "collection/fingerprint.h"
 #include "collection/types.h"
 #include "core/selector.h"
+#include "core/sharded_selectors.h"
 
 namespace setdisc {
 
@@ -234,6 +235,51 @@ class CachingSelector : public EntitySelector {
 
  private:
   std::unique_ptr<EntitySelector> inner_;
+  SelectionCache* cache_;
+  uint64_t tag_;
+};
+
+/// The sharded twin of CachingSelector: decorates a ShardedEntitySelector
+/// with the same shared memo. The key composes the per-shard fingerprints —
+/// ShardedCollection::Fingerprint() folds the K shard content fingerprints
+/// with K and the scheme, ShardedSubCollection::Fingerprint() folds the K
+/// per-shard candidate fingerprints — so sessions over different shard
+/// counts (or schemes) of the same collection can share one cache without
+/// ever colliding: a different K is a different collection fingerprint.
+/// K == 1 keys are constructed to equal the unsharded ones, so degenerate
+/// sharded sessions and unsharded sessions share their entries.
+class ShardedCachingSelector : public ShardedEntitySelector {
+ public:
+  ShardedCachingSelector(std::unique_ptr<ShardedEntitySelector> inner,
+                         SelectionCache* cache)
+      : inner_(std::move(inner)),
+        cache_(cache),
+        tag_(inner_->DecisionFingerprint()) {}
+
+  EntityId Select(const ShardedSubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override {
+    if (cache_->Bypasses(excluded)) {
+      cache_->CountBypass();
+      return inner_->Select(sub, excluded);
+    }
+    SelectionKey key{sub.collection().Fingerprint(), sub.Fingerprint(),
+                     excluded != nullptr ? excluded->Fingerprint() : 0, tag_};
+    EntityId entity = kNoEntity;
+    if (cache_->Lookup(key, &entity)) return entity;
+    entity = inner_->Select(sub, excluded);
+    cache_->Insert(key, entity);
+    return entity;
+  }
+
+  std::string_view name() const override { return inner_->name(); }
+
+  /// The counting pool belongs to the inner selector doing the work.
+  void set_pool(ThreadPool* pool) override { inner_->set_pool(pool); }
+
+  ShardedEntitySelector& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<ShardedEntitySelector> inner_;
   SelectionCache* cache_;
   uint64_t tag_;
 };

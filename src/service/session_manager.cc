@@ -12,8 +12,18 @@ SessionManager::SessionManager(const SetCollection& collection,
                                const InvertedIndex& index,
                                SessionManagerOptions options)
     : collection_(collection), index_(index), options_(std::move(options)) {
-  SETDISC_CHECK_MSG(options_.selector_factory != nullptr,
-                    "SessionManagerOptions.selector_factory must be set");
+  if (options_.num_shards > 1) {
+    SETDISC_CHECK_MSG(
+        options_.sharded_selector_factory != nullptr,
+        "SessionManagerOptions.sharded_selector_factory must be set when "
+        "num_shards > 1");
+    sharded_ = std::make_unique<ShardedCollection>(
+        collection_,
+        ShardingOptions{options_.num_shards, options_.shard_scheme});
+  } else {
+    SETDISC_CHECK_MSG(options_.selector_factory != nullptr,
+                      "SessionManagerOptions.selector_factory must be set");
+  }
   size_t threads = options_.num_threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -56,7 +66,7 @@ void SessionManager::ReaperLoop(std::chrono::milliseconds interval) {
 }
 
 SessionView SessionManager::MakeView(SessionId id,
-                                     const DiscoverySession& session) {
+                                     const DiscoveryEngine& session) {
   SessionView view;
   view.id = id;
   view.state = session.state();
@@ -69,18 +79,37 @@ SessionView SessionManager::MakeView(SessionId id,
 
 SessionView SessionManager::Create(std::span<const EntityId> initial) {
   auto entry = std::make_shared<Entry>();
-  std::unique_ptr<EntitySelector> selector = options_.selector_factory();
-  SETDISC_CHECK_MSG(selector != nullptr, "selector_factory returned nullptr");
-  if (options_.selection_cache != nullptr) {
-    selector = std::make_unique<CachingSelector>(std::move(selector),
-                                                 options_.selection_cache);
+  // The initial Select() (inside the session constructors below) runs
+  // outside the registry lock: it can be a real scan, and other sessions
+  // must keep stepping meanwhile. (With the shared cache it is usually a
+  // hash hit instead — the whole point.)
+  if (sharded_ != nullptr) {
+    std::unique_ptr<ShardedEntitySelector> selector =
+        options_.sharded_selector_factory();
+    SETDISC_CHECK_MSG(selector != nullptr,
+                      "sharded_selector_factory returned nullptr");
+    if (options_.selection_cache != nullptr) {
+      selector = std::make_unique<ShardedCachingSelector>(
+          std::move(selector), options_.selection_cache);
+    }
+    // The counting fan-out shares the step pool; ParallelFor callers help
+    // drain their own items, so pool jobs stepping sessions stay safe.
+    selector->set_pool(pool_.get());
+    entry->sharded_selector = std::move(selector);
+    entry->session = std::make_unique<ShardedDiscoverySession>(
+        *sharded_, initial, *entry->sharded_selector, options_.discovery,
+        pool_.get());
+  } else {
+    std::unique_ptr<EntitySelector> selector = options_.selector_factory();
+    SETDISC_CHECK_MSG(selector != nullptr, "selector_factory returned nullptr");
+    if (options_.selection_cache != nullptr) {
+      selector = std::make_unique<CachingSelector>(std::move(selector),
+                                                   options_.selection_cache);
+    }
+    entry->selector = std::move(selector);
+    entry->session = std::make_unique<DiscoverySession>(
+        collection_, index_, initial, *entry->selector, options_.discovery);
   }
-  entry->selector = std::move(selector);
-  // The initial Select() runs outside the registry lock: it can be a real
-  // scan, and other sessions must keep stepping meanwhile. (With the shared
-  // cache it is usually a hash hit instead — the whole point.)
-  entry->session = std::make_unique<DiscoverySession>(
-      collection_, index_, initial, *entry->selector, options_.discovery);
 
   // Snapshot before publishing: ids are sequential and guessable, so the
   // moment the entry is in the registry another thread may lock entry->mu

@@ -7,7 +7,7 @@
 /// over a single shared, immutable SetCollection + InvertedIndex:
 ///
 ///   * sessions get monotonically increasing ids (never reused);
-///   * every session owns a private EntitySelector instance (selectors are
+///   * every session owns a private selector instance (selectors are
 ///     documented non-thread-safe — they hold scratch buffers and caches);
 ///   * a per-session mutex serializes steps of one conversation while steps
 ///     of different conversations run in parallel;
@@ -16,7 +16,13 @@
 ///     recently used session when the registry is full;
 ///   * an internal ThreadPool runs independent sessions' Select() calls
 ///     concurrently (SubmitAnswerAsync), since selection is the CPU cost of
-///     a step.
+///     a step;
+///   * with `options.num_shards > 1` the manager builds a ShardedCollection
+///     over the input at construction and every session runs the sharded
+///     engine: the per-step counting pass fans out across the same pool via
+///     ThreadPool::ParallelFor and merges (collection/sharded_collection.h)
+///     — parallelism *within* a step on top of the parallelism *across*
+///     sessions — with transcripts byte-identical to unsharded serving.
 ///
 /// The network frontend lives one layer up: net/server.h loops an epoll
 /// event loop around this engine and speaks the binary protocol of
@@ -37,11 +43,13 @@
 
 #include "collection/inverted_index.h"
 #include "collection/set_collection.h"
+#include "collection/sharded_collection.h"
 #include "core/discovery.h"
 #include "core/selector.h"
+#include "core/sharded_selectors.h"
 #include "service/discovery_session.h"
 #include "service/selection_cache.h"
-#include "service/thread_pool.h"
+#include "util/thread_pool.h"
 
 namespace setdisc {
 
@@ -73,15 +81,35 @@ struct SessionManagerOptions {
   /// Discovery options applied to every session.
   DiscoveryOptions discovery;
 
-  /// Factory producing one private selector per session. Must be set.
+  /// Factory producing one private selector per session. Must be set unless
+  /// num_shards > 1 (sharded managers use sharded_selector_factory instead).
   std::function<std::unique_ptr<EntitySelector>()> selector_factory;
 
+  /// Number of collection shards. 0 or 1 = unsharded (the input collection
+  /// and index are used as-is). K > 1 builds a ShardedCollection at manager
+  /// construction — K per-shard CSR collections + inverted indexes — and
+  /// runs every session on the sharded engine. Transcripts are byte-equal
+  /// either way; sharding buys intra-step parallelism on large collections
+  /// and costs merge overhead on tiny ones (see tools/README.md).
+  size_t num_shards = 1;
+
+  /// How set ids map to shards when num_shards > 1.
+  ShardScheme shard_scheme = ShardScheme::kRange;
+
+  /// Factory producing one private sharded selector per session; required
+  /// when num_shards > 1, ignored otherwise. The manager injects its pool
+  /// into each instance (set_pool) after creation.
+  std::function<std::unique_ptr<ShardedEntitySelector>()>
+      sharded_selector_factory;
+
   /// Optional cross-session Select() memo. When set, every session's private
-  /// selector is wrapped in a CachingSelector pointing at this cache, so all
-  /// sessions of this manager (and of any other manager given the same
-  /// pointer) share one memo without sharing selectors. The cache must
-  /// outlive the manager, and the factory must produce deterministic
-  /// selectors (see selection_cache.h).
+  /// selector is wrapped in a CachingSelector (or ShardedCachingSelector)
+  /// pointing at this cache, so all sessions of this manager (and of any
+  /// other manager given the same pointer) share one memo without sharing
+  /// selectors. The cache must outlive the manager, and the factory must
+  /// produce deterministic selectors (see selection_cache.h). Sharded and
+  /// unsharded managers can safely share one cache: shard count and scheme
+  /// are part of the key's collection-fingerprint component.
   SelectionCache* selection_cache = nullptr;
 
   /// Sessions idle longer than this are reaped (zero = never).
@@ -104,7 +132,8 @@ struct SessionManagerOptions {
   /// least recently touched session (zero = unlimited).
   size_t max_sessions = 0;
 
-  /// Worker threads for SubmitAnswerAsync (zero = hardware concurrency).
+  /// Worker threads for SubmitAnswerAsync and the sharded counting fan-out
+  /// (zero = hardware concurrency).
   size_t num_threads = 0;
 };
 
@@ -112,7 +141,8 @@ struct SessionManagerOptions {
 class SessionManager {
  public:
   /// The collection and index must outlive the manager and are shared
-  /// read-only across all sessions. `options.selector_factory` must be set.
+  /// read-only across all sessions. The selector factory matching
+  /// `options.num_shards` must be set.
   SessionManager(const SetCollection& collection, const InvertedIndex& index,
                  SessionManagerOptions options);
 
@@ -165,6 +195,15 @@ class SessionManager {
   /// Total sessions ever created.
   uint64_t num_created() const;
 
+  /// True when this manager runs the sharded engine (num_shards > 1).
+  bool sharded() const { return sharded_ != nullptr; }
+
+  /// The manager-owned sharded view of the collection; nullptr unless
+  /// sharded(). Exposed for benches and tests.
+  const ShardedCollection* sharded_collection() const {
+    return sharded_.get();
+  }
+
   /// The pool running SubmitAnswerAsync work — exposed so callers (benches,
   /// servers) can co-schedule whole-conversation jobs on the same workers.
   ///
@@ -173,18 +212,22 @@ class SessionManager {
   /// async step tasks queue behind them forever. Pool jobs should use the
   /// synchronous SubmitAnswer/Verify/Drive (as the CLI stress mode and
   /// benches do); reserve SubmitAnswerAsync for callers outside the pool.
+  /// (The sharded counting fan-out is exempt: ParallelFor callers execute
+  /// their own items, so it cannot deadlock — see util/thread_pool.h.)
   ThreadPool& pool() { return *pool_; }
 
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// A live session: its engine, its private selector, a mutex serializing
-  /// the steps of this one conversation, and its node in the registry's LRU
-  /// list (an iterator, so touch/evict/close are all O(1) splices).
+  /// A live session: its engine, its private selector (one of the two
+  /// flavors), a mutex serializing the steps of this one conversation, and
+  /// its node in the registry's LRU list (an iterator, so touch/evict/close
+  /// are all O(1) splices).
   struct Entry {
     std::mutex mu;
     std::unique_ptr<EntitySelector> selector;
-    std::unique_ptr<DiscoverySession> session;
+    std::unique_ptr<ShardedEntitySelector> sharded_selector;
+    std::unique_ptr<DiscoveryEngine> session;
     Clock::time_point last_touched;
     std::list<SessionId>::iterator lru_it;
   };
@@ -192,11 +235,12 @@ class SessionManager {
   std::shared_ptr<Entry> Find(SessionId id);
   size_t ReapExpiredLocked();  // requires registry_mu_
   void ReaperLoop(std::chrono::milliseconds interval);
-  static SessionView MakeView(SessionId id, const DiscoverySession& session);
+  static SessionView MakeView(SessionId id, const DiscoveryEngine& session);
 
   const SetCollection& collection_;
   const InvertedIndex& index_;
   SessionManagerOptions options_;
+  std::unique_ptr<ShardedCollection> sharded_;  // only when num_shards > 1
   std::unique_ptr<ThreadPool> pool_;
 
   mutable std::mutex registry_mu_;

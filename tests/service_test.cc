@@ -12,7 +12,7 @@
 #include "core/selectors.h"
 #include "service/discovery_session.h"
 #include "service/session_manager.h"
-#include "service/thread_pool.h"
+#include "util/thread_pool.h"
 #include "test_util.h"
 
 namespace setdisc {

@@ -1,0 +1,336 @@
+// Unit tests for the partitioned collection layer: ShardedCollection
+// construction invariants (both schemes, empty shards, degenerate K=1),
+// global/local id mapping, per-shard seeding vs the flat InvertedIndex,
+// ShardedSubCollection partition/merge/fingerprint behavior, the sharded
+// counting pass (per-shard map + merge) against EntityCounter ground truth,
+// and the ThreadPool::ParallelFor primitive everything fans out on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "collection/entity_counter.h"
+#include "collection/sharded_collection.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+std::vector<ShardingOptions> AllSchemes(size_t num_shards) {
+  return {{num_shards, ShardScheme::kRange}, {num_shards, ShardScheme::kHash}};
+}
+
+// ---------------------------------------------------------------------------
+// ShardedCollection construction
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCollection, EverySetLandsInExactlyOneShardWithItsContent) {
+  SetCollection c = RandomCollection(/*seed=*/5, /*n=*/50, /*m=*/30, 0.3);
+  for (ShardingOptions options : AllSchemes(8)) {
+    SCOPED_TRACE(static_cast<int>(options.scheme));
+    ShardedCollection sharded(c, options);
+    ASSERT_EQ(sharded.num_shards(), 8u);
+
+    size_t total = 0;
+    std::set<SetId> seen;
+    for (size_t k = 0; k < sharded.num_shards(); ++k) {
+      const SetCollection& shard = sharded.shard(k);
+      total += shard.num_sets();
+      for (SetId local = 0; local < shard.num_sets(); ++local) {
+        SetId global = sharded.GlobalId(k, local);
+        EXPECT_TRUE(seen.insert(global).second) << "set in two shards";
+        // Round trips.
+        EXPECT_EQ(sharded.ShardOf(global), k);
+        EXPECT_EQ(sharded.LocalOf(global), local);
+        // Content and label are the base set's.
+        auto base_elems = c.set(global);
+        auto shard_elems = shard.set(local);
+        ASSERT_EQ(base_elems.size(), shard_elems.size());
+        EXPECT_TRUE(std::equal(base_elems.begin(), base_elems.end(),
+                               shard_elems.begin()));
+        EXPECT_EQ(shard.label(local), c.label(global));
+      }
+      // Local order is global order within a shard.
+      for (SetId local = 1; local < shard.num_sets(); ++local) {
+        EXPECT_LT(sharded.GlobalId(k, local - 1), sharded.GlobalId(k, local));
+      }
+    }
+    EXPECT_EQ(total, c.num_sets());
+  }
+}
+
+TEST(ShardedCollection, RangeShardsAreContiguousAndBalanced) {
+  SetCollection c = RandomCollection(/*seed=*/6, /*n=*/40, /*m=*/24, 0.3);
+  ShardedCollection sharded(c, {4, ShardScheme::kRange});
+  SetId next_expected = 0;
+  for (size_t k = 0; k < 4; ++k) {
+    const SetCollection& shard = sharded.shard(k);
+    EXPECT_EQ(shard.num_sets(), 10u);
+    for (SetId local = 0; local < shard.num_sets(); ++local) {
+      EXPECT_EQ(sharded.GlobalId(k, local), next_expected++);
+    }
+  }
+  EXPECT_EQ(next_expected, c.num_sets());
+}
+
+TEST(ShardedCollection, MoreShardsThanSetsLeavesEmptyShards) {
+  SetCollection c = MakePaperCollection();  // 7 sets
+  for (ShardingOptions options : AllSchemes(16)) {
+    ShardedCollection sharded(c, options);
+    EXPECT_EQ(sharded.num_shards(), 16u);
+    EXPECT_EQ(sharded.Full().size(), 7u);
+    std::vector<SetId> ids = sharded.Full().GlobalIds();
+    EXPECT_EQ(ids, (std::vector<SetId>{0, 1, 2, 3, 4, 5, 6}));
+  }
+}
+
+TEST(ShardedCollection, ZeroRequestedShardsClampsToOne) {
+  SetCollection c = MakePaperCollection();
+  ShardedCollection sharded(c, {0, ShardScheme::kRange});
+  EXPECT_EQ(sharded.num_shards(), 1u);
+  EXPECT_EQ(sharded.Fingerprint(), c.Fingerprint());
+}
+
+TEST(ShardedCollection, FingerprintSeparatesShardCountsAndSchemes) {
+  SetCollection c = RandomCollection(/*seed=*/7, /*n=*/32, /*m=*/24, 0.3);
+  ShardedCollection one(c, {1, ShardScheme::kRange});
+  ShardedCollection range4(c, {4, ShardScheme::kRange});
+  ShardedCollection range8(c, {8, ShardScheme::kRange});
+  ShardedCollection hash4(c, {4, ShardScheme::kHash});
+
+  // K=1 IS the base collection, by design (cache sharing with unsharded).
+  EXPECT_EQ(one.Fingerprint(), c.Fingerprint());
+  EXPECT_EQ(one.shard(0).Fingerprint(), c.Fingerprint());
+
+  // Everything else must be distinct: same content, different partitioning.
+  EXPECT_NE(range4.Fingerprint(), c.Fingerprint());
+  EXPECT_NE(range4.Fingerprint(), range8.Fingerprint());
+  EXPECT_NE(range4.Fingerprint(), hash4.Fingerprint());
+
+  // Deterministic: rebuilding the same partitioning fingerprints equal.
+  ShardedCollection range4_again(c, {4, ShardScheme::kRange});
+  EXPECT_EQ(range4.Fingerprint(), range4_again.Fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Seeding: per-shard SetsContainingAll vs the flat index
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCollection, SetsContainingAllMatchesFlatIndex) {
+  SetCollection c = RandomCollection(/*seed=*/8, /*n=*/48, /*m=*/20, 0.35);
+  InvertedIndex index(c);
+  for (ShardingOptions options : AllSchemes(5)) {
+    SCOPED_TRACE(static_cast<int>(options.scheme));
+    ShardedCollection sharded(c, options);
+    std::vector<std::vector<EntityId>> queries = {
+        {}, {0}, {1, 2}, {0, 3, 5}, {19}, {500}};
+    for (const auto& q : queries) {
+      std::vector<SetId> expected = index.SetsContainingAll(q);
+      std::vector<SetId> got = sharded.SetsContainingAll(q).GlobalIds();
+      EXPECT_EQ(got, expected) << "query size " << q.size();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedSubCollection: partition, merge order, fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(ShardedSubCollection, PartitionMatchesUnshardedPartition) {
+  SetCollection c = RandomCollection(/*seed=*/9, /*n=*/40, /*m=*/24, 0.3);
+  SubCollection full = SubCollection::Full(&c);
+  for (ShardingOptions options : AllSchemes(3)) {
+    SCOPED_TRACE(static_cast<int>(options.scheme));
+    ShardedCollection sharded(c, options);
+    ShardedSubCollection sharded_full = sharded.Full();
+    ASSERT_EQ(sharded_full.size(), full.size());
+    EXPECT_EQ(sharded_full.TotalElements(), full.TotalElements());
+
+    for (EntityId e = 0; e < 24; ++e) {
+      auto [in, out] = full.Partition(e);
+      auto [sharded_in, sharded_out] = sharded_full.Partition(e);
+      EXPECT_EQ(sharded_in.GlobalIds(),
+                std::vector<SetId>(in.ids().begin(), in.ids().end()));
+      EXPECT_EQ(sharded_out.GlobalIds(),
+                std::vector<SetId>(out.ids().begin(), out.ids().end()));
+      EXPECT_EQ(sharded_in.size(), in.size());
+      EXPECT_EQ(sharded_out.size(), out.size());
+    }
+  }
+}
+
+TEST(ShardedSubCollection, FrontGlobalIsSmallestMemberId) {
+  SetCollection c = RandomCollection(/*seed=*/10, /*n=*/30, /*m=*/20, 0.3);
+  for (ShardingOptions options : AllSchemes(4)) {
+    ShardedCollection sharded(c, options);
+    ShardedSubCollection view = sharded.Full();
+    EXPECT_EQ(view.FrontGlobal(), 0u);
+    // Narrow until one candidate remains; FrontGlobal must equal the merged
+    // front at every step.
+    for (EntityId e = 0; e < 20 && view.size() > 1; ++e) {
+      auto [in, out] = view.Partition(e);
+      view = in.size() > 0 ? std::move(in) : std::move(out);
+      EXPECT_EQ(view.FrontGlobal(), view.GlobalIds().front());
+    }
+  }
+}
+
+TEST(ShardedSubCollection, DerivedFingerprintsMatchFreshComputation) {
+  SetCollection c = RandomCollection(/*seed=*/11, /*n=*/36, /*m=*/24, 0.3);
+  for (ShardingOptions options : AllSchemes(3)) {
+    SCOPED_TRACE(static_cast<int>(options.scheme));
+    ShardedCollection sharded(c, options);
+    ShardedSubCollection view = sharded.Full();
+    (void)view.Fingerprint();  // prime the chain
+    for (EntityId e = 0; e < 8; ++e) {
+      auto [in, out] = view.Partition(e, /*derive_fingerprints=*/true);
+      // A fresh, never-fingerprinted reconstruction of the same state.
+      std::vector<SubCollection> rebuilt_in, rebuilt_out;
+      for (size_t k = 0; k < sharded.num_shards(); ++k) {
+        rebuilt_in.emplace_back(&sharded.shard(k),
+                                std::vector<SetId>(in.shard(k).ids().begin(),
+                                                   in.shard(k).ids().end()));
+        rebuilt_out.emplace_back(&sharded.shard(k),
+                                 std::vector<SetId>(out.shard(k).ids().begin(),
+                                                    out.shard(k).ids().end()));
+      }
+      ShardedSubCollection fresh_in(&sharded, std::move(rebuilt_in));
+      ShardedSubCollection fresh_out(&sharded, std::move(rebuilt_out));
+      EXPECT_EQ(in.Fingerprint(), fresh_in.Fingerprint());
+      EXPECT_EQ(out.Fingerprint(), fresh_out.Fingerprint());
+      if (in.size() > 1) view = std::move(in);
+    }
+  }
+}
+
+TEST(ShardedSubCollection, SingleShardFingerprintEqualsUnsharded) {
+  SetCollection c = RandomCollection(/*seed=*/12, /*n=*/28, /*m=*/20, 0.3);
+  ShardedCollection sharded(c, {1, ShardScheme::kRange});
+  SubCollection full = SubCollection::Full(&c);
+  EXPECT_EQ(sharded.Full().Fingerprint(), full.Fingerprint());
+  auto [in, out] = full.Partition(3);
+  auto [sharded_in, sharded_out] = sharded.Full().Partition(3);
+  EXPECT_EQ(sharded_in.Fingerprint(), in.Fingerprint());
+  EXPECT_EQ(sharded_out.Fingerprint(), out.Fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// ShardedCounter: per-shard map + merge vs EntityCounter ground truth
+// ---------------------------------------------------------------------------
+
+void ExpectSameCounts(const SubCollection& flat,
+                      const ShardedSubCollection& sharded_view,
+                      const EntityExclusion* excluded, ThreadPool* pool) {
+  EntityCounter flat_counter;
+  std::vector<EntityCount> expected;
+  flat_counter.CountInformative(flat, &expected, excluded);
+
+  ShardedCounter sharded_counter;
+  std::vector<EntityCount> got;
+  sharded_counter.CountInformative(sharded_view, &got, excluded, pool);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i].entity, expected[i].entity) << i;
+    EXPECT_EQ(got[i].count, expected[i].count) << i;
+  }
+}
+
+TEST(ShardedCounter, MergedCountsMatchEntityCounter) {
+  ThreadPool pool(4);
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    SetCollection c = RandomCollection(seed, /*n=*/64, /*m=*/40, 0.25);
+    SubCollection full = SubCollection::Full(&c);
+    for (size_t num_shards : {size_t{1}, size_t{3}, size_t{8}}) {
+      for (ShardingOptions options : AllSchemes(num_shards)) {
+        SCOPED_TRACE(::testing::Message()
+                     << "seed " << seed << " K " << num_shards << " scheme "
+                     << static_cast<int>(options.scheme));
+        ShardedCollection sharded(c, options);
+        // Full view, serial and pooled (64 sets >= kShardParallelMinSets, so
+        // the pooled run actually exercises ParallelFor).
+        ExpectSameCounts(full, sharded.Full(), nullptr, nullptr);
+        ExpectSameCounts(full, sharded.Full(), nullptr, &pool);
+
+        // Narrowed views + exclusions.
+        EntityExclusion excluded;
+        excluded.Set(1);
+        excluded.Set(7);
+        ExpectSameCounts(full, sharded.Full(), &excluded, &pool);
+
+        auto [in, out] = full.Partition(2);
+        auto [sharded_in, sharded_out] = sharded.Full().Partition(2);
+        ExpectSameCounts(in, sharded_in, nullptr, &pool);
+        ExpectSameCounts(out, sharded_out, &excluded, nullptr);
+      }
+    }
+  }
+}
+
+TEST(ShardedCounter, ScratchIsReusedAcrossSteps) {
+  // The satellite perf fix: one ShardedCounter reused across many counting
+  // passes must keep producing correct output (its per-shard scratch is
+  // cleared by touched-list, never reallocated or memset wholesale).
+  SetCollection c = RandomCollection(/*seed=*/24, /*n=*/48, /*m=*/32, 0.3);
+  ShardedCollection sharded(c, {4, ShardScheme::kHash});
+  SubCollection flat = SubCollection::Full(&c);
+  ShardedSubCollection view = sharded.Full();
+
+  EntityCounter flat_counter;
+  ShardedCounter counter;  // one instance, many steps
+  std::vector<EntityCount> expected, got;
+  for (EntityId e = 0; e < 32 && view.size() > 1; ++e) {
+    flat_counter.CountInformative(flat, &expected);
+    counter.CountInformative(view, &got);
+    ASSERT_EQ(got, expected) << "step " << e;
+    auto [in, out] = view.Partition(e);
+    auto [flat_in, flat_out] = flat.Partition(e);
+    bool take_in = in.size() > 1;
+    view = take_in ? std::move(in) : std::move(out);
+    flat = take_in ? std::move(flat_in) : std::move(flat_out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool::ParallelFor
+// ---------------------------------------------------------------------------
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{7}, size_t{100}}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroItemsIsANoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, NestedInsidePoolJobsCannotDeadlock) {
+  // Every worker runs a job that itself fans out on the same pool — the
+  // exact shape of sharded counting under SubmitAnswerAsync. The caller
+  // helping drain its own items is what guarantees progress.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> jobs;
+  for (int j = 0; j < 8; ++j) {
+    jobs.push_back(pool.Submit([&pool, &total] {
+      pool.ParallelFor(16, [&](size_t) { total.fetch_add(1); });
+    }));
+  }
+  for (auto& job : jobs) job.get();
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+}  // namespace
+}  // namespace setdisc

@@ -1,0 +1,325 @@
+// The property the sharded engine rests on: a sharded session and an
+// unsharded session over the same collection produce byte-identical
+// question/answer transcripts for every deterministic selector and every §6
+// configuration. Counting per shard + merging must never change a decision;
+// parity would break on a wrong merge, a shard/global id mix-up, a
+// fingerprint composition bug, or any divergence between the two engine
+// instantiations of BasicDiscoverySession.
+//
+// Runs across multiple seeds x {InfoGain, MostEven, 2-LP} x the §6
+// don't-know / error / backtracking configs x K in {1, 3, 8} x both
+// partitioning schemes, at the session, manager, and shared-cache levels,
+// plus a multi-session shared-cache stress with sharding on (the TSan
+// target: per-shard ParallelFor counting under concurrent stepping).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/klp.h"
+#include "core/selectors.h"
+#include "core/sharded_selectors.h"
+#include "service/discovery_session.h"
+#include "service/selection_cache.h"
+#include "service/session_manager.h"
+#include "test_util.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+void ExpectIdenticalResults(const DiscoveryResult& plain,
+                            const DiscoveryResult& sharded) {
+  EXPECT_EQ(plain.candidates, sharded.candidates);
+  EXPECT_EQ(plain.questions, sharded.questions);
+  EXPECT_EQ(plain.backtracks, sharded.backtracks);
+  EXPECT_EQ(plain.confirmed, sharded.confirmed);
+  EXPECT_EQ(plain.halted, sharded.halted);
+  ASSERT_EQ(plain.transcript.size(), sharded.transcript.size());
+  for (size_t i = 0; i < plain.transcript.size(); ++i) {
+    EXPECT_EQ(plain.transcript[i].first, sharded.transcript[i].first)
+        << "question " << i;
+    EXPECT_EQ(plain.transcript[i].second, sharded.transcript[i].second)
+        << "answer " << i;
+  }
+}
+
+/// Drives any engine (unsharded or sharded) to completion against a fresh
+/// SimulatedOracle; both sides must consume identical oracle streams, which
+/// equal seeds guarantee as long as the question sequences match.
+DiscoveryResult RunToCompletion(DiscoveryEngine& session,
+                                const SetCollection& c, SetId target,
+                                uint64_t oracle_seed, double error_rate,
+                                double dont_know_rate) {
+  SimulatedOracle oracle(&c, target, error_rate, dont_know_rate, oracle_seed);
+  int guard = 0;
+  while (!session.done() && guard++ < 100000) {
+    if (session.state() == SessionState::kAwaitingAnswer) {
+      session.SubmitAnswer(oracle.AskMembership(session.NextQuestion()));
+    } else {
+      session.Verify(oracle.ConfirmTarget(session.PendingVerify()));
+    }
+  }
+  EXPECT_TRUE(session.done()) << "session failed to terminate";
+  return session.TakeResult();
+}
+
+struct SelectorPair {
+  const char* label;
+  std::function<std::unique_ptr<EntitySelector>()> make;
+  std::function<std::unique_ptr<ShardedEntitySelector>()> make_sharded;
+};
+
+std::vector<SelectorPair> ParitySelectors() {
+  return {
+      {"InfoGain", [] { return std::make_unique<InfoGainSelector>(); },
+       [] { return std::make_unique<ShardedInfoGainSelector>(); }},
+      {"MostEven", [] { return std::make_unique<MostEvenSelector>(); },
+       [] { return std::make_unique<ShardedMostEvenSelector>(); }},
+      {"2-LP",
+       [] {
+         return std::make_unique<KlpSelector>(
+             KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+       },
+       [] {
+         return std::make_unique<ShardedKlpSelector>(
+             KlpOptions::MakeKlp(2, CostMetric::kAvgDepth));
+       }},
+  };
+}
+
+void CheckShardedParity(const DiscoveryOptions& options, double error_rate,
+                        double dont_know_rate) {
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    SetCollection c = RandomCollection(seed, /*n=*/24, /*m=*/20, 0.3);
+    InvertedIndex idx(c);
+    for (const SelectorPair& pair : ParitySelectors()) {
+      for (size_t num_shards : {size_t{1}, size_t{3}, size_t{8}}) {
+        for (ShardScheme scheme : {ShardScheme::kRange, ShardScheme::kHash}) {
+          SCOPED_TRACE(::testing::Message()
+                       << "seed " << seed << ", selector " << pair.label
+                       << ", K " << num_shards << ", scheme "
+                       << static_cast<int>(scheme));
+          ShardedCollection sharded(c, {num_shards, scheme});
+          // Selectors persist across targets (the k-LP memo carries over on
+          // both sides identically, so parity covers warm-memo state too).
+          std::unique_ptr<EntitySelector> plain_selector = pair.make();
+          std::unique_ptr<ShardedEntitySelector> sharded_selector =
+              pair.make_sharded();
+          for (SetId target = 0; target < c.num_sets(); ++target) {
+            SCOPED_TRACE(::testing::Message() << "target " << target);
+            uint64_t oracle_seed = seed * 7919 + target;
+            DiscoverySession plain(c, idx, {}, *plain_selector, options);
+            DiscoveryResult expected = RunToCompletion(
+                plain, c, target, oracle_seed, error_rate, dont_know_rate);
+            ShardedDiscoverySession session(sharded, {}, *sharded_selector,
+                                            options);
+            DiscoveryResult got = RunToCompletion(
+                session, c, target, oracle_seed, error_rate, dont_know_rate);
+            ExpectIdenticalResults(expected, got);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedParity, CleanAnswers) {
+  CheckShardedParity(DiscoveryOptions{}, 0.0, 0.0);
+}
+
+TEST(ShardedParity, DontKnowAnswersExerciseExclusionMerge) {
+  CheckShardedParity(DiscoveryOptions{}, 0.0, 0.25);
+}
+
+TEST(ShardedParity, ErrorsAndBacktrackingWithDontKnows) {
+  DiscoveryOptions options;
+  options.verify_and_backtrack = true;
+  CheckShardedParity(options, 0.15, 0.15);
+}
+
+TEST(ShardedParity, DontKnowTreatedAsNo) {
+  DiscoveryOptions options;
+  options.handle_dont_know = false;
+  CheckShardedParity(options, 0.0, 0.25);
+}
+
+TEST(ShardedParity, QuestionBudgetHaltsIdentically) {
+  DiscoveryOptions options;
+  options.max_questions = 2;  // halted sessions report multi-candidate sets
+  CheckShardedParity(options, 0.0, 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Manager-level parity: the full serving path, pool fan-out included
+// ---------------------------------------------------------------------------
+
+TEST(ShardedParity, SessionManagerTranscriptsMatchUnshardedManager) {
+  // 64 sets >= kShardParallelMinSets: the root counting pass of every
+  // sharded session actually fans out across the pool.
+  SetCollection c = RandomCollection(/*seed=*/404, /*n=*/64, /*m=*/40, 0.25);
+  InvertedIndex idx(c);
+
+  SessionManagerOptions plain_options;
+  plain_options.discovery.verify_and_backtrack = true;
+  plain_options.num_threads = 2;
+  plain_options.selector_factory = [] {
+    return std::make_unique<InfoGainSelector>();
+  };
+  SessionManager plain(c, idx, plain_options);
+
+  SessionManagerOptions sharded_options = plain_options;
+  sharded_options.num_shards = 4;
+  sharded_options.sharded_selector_factory = [] {
+    return std::make_unique<ShardedInfoGainSelector>();
+  };
+  SessionManager sharded(c, idx, sharded_options);
+  ASSERT_TRUE(sharded.sharded());
+  ASSERT_EQ(sharded.sharded_collection()->num_shards(), 4u);
+
+  for (SetId target = 0; target < c.num_sets(); target += 3) {
+    SCOPED_TRACE(::testing::Message() << "target " << target);
+    SimulatedOracle oracle_a(&c, target, 0.1, 0.1, 1000 + target);
+    SimulatedOracle oracle_b(&c, target, 0.1, 0.1, 1000 + target);
+    SessionView view_a = plain.Drive(plain.Create({}), oracle_a);
+    SessionView view_b = sharded.Drive(sharded.Create({}), oracle_b);
+    ASSERT_EQ(view_a.state, SessionState::kFinished);
+    ASSERT_EQ(view_b.state, SessionState::kFinished);
+    ExpectIdenticalResults(view_a.result, view_b.result);
+    plain.Close(view_a.id);
+    sharded.Close(view_b.id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared cache: sharded sessions memoize and replay correctly
+// ---------------------------------------------------------------------------
+
+TEST(ShardedParity, CachedShardedTranscriptsMatchUncachedUnsharded) {
+  DiscoveryOptions options;
+  options.verify_and_backtrack = true;
+  for (uint64_t seed : {31u, 32u}) {
+    SetCollection c = RandomCollection(seed, /*n=*/24, /*m=*/20, 0.3);
+    InvertedIndex idx(c);
+    for (size_t num_shards : {size_t{3}, size_t{8}}) {
+      SCOPED_TRACE(::testing::Message() << "seed " << seed << " K "
+                                        << num_shards);
+      ShardedCollection sharded(c, {num_shards, ShardScheme::kRange});
+      SelectionCache cache;
+      for (SetId target = 0; target < c.num_sets(); ++target) {
+        SCOPED_TRACE(::testing::Message() << "target " << target);
+        uint64_t oracle_seed = seed * 131 + target;
+        MostEvenSelector plain_selector;
+        DiscoverySession plain(c, idx, {}, plain_selector, options);
+        DiscoveryResult expected =
+            RunToCompletion(plain, c, target, oracle_seed, 0.1, 0.2);
+        // Round 0 populates the memo, round 1 replays from it.
+        for (int round = 0; round < 2; ++round) {
+          SCOPED_TRACE(::testing::Message() << "round " << round);
+          ShardedCachingSelector cached(
+              std::make_unique<ShardedMostEvenSelector>(), &cache);
+          ShardedDiscoverySession session(sharded, {}, cached, options);
+          DiscoveryResult got =
+              RunToCompletion(session, c, target, oracle_seed, 0.1, 0.2);
+          ExpectIdenticalResults(expected, got);
+        }
+      }
+      SelectionCacheStats stats = cache.stats();
+      EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+      EXPECT_GT(stats.hits, 0u) << "replay rounds never hit the cache";
+    }
+  }
+}
+
+TEST(ShardedParity, DifferentShardCountsNeverCrossHitOneCache) {
+  // K is part of the key's collection-fingerprint component: the same
+  // logical candidate state under K=3 and K=8 must occupy separate entries
+  // (they'd be equal decisions here, but the invariant is what makes a
+  // shared cache safe for selectors and states where they wouldn't be).
+  SetCollection c = MakePaperCollection();
+  ShardedCollection three(c, {3, ShardScheme::kRange});
+  ShardedCollection eight(c, {8, ShardScheme::kRange});
+  SelectionCache cache;
+  ShardedCachingSelector a(std::make_unique<ShardedMostEvenSelector>(), &cache);
+  ShardedCachingSelector b(std::make_unique<ShardedMostEvenSelector>(), &cache);
+  EntityId chosen_a = a.Select(three.Full());
+  EntityId chosen_b = b.Select(eight.Full());
+  EXPECT_EQ(chosen_a, chosen_b);  // same decision...
+  SelectionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);  // ...but never shared
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedParity, SingleShardSharesCacheEntriesWithUnsharded) {
+  // The deliberate exception: K=1 keys are constructed to equal unsharded
+  // keys, so a degenerate sharded deployment keeps a warm cache warm.
+  SetCollection c = MakePaperCollection();
+  SubCollection full = SubCollection::Full(&c);
+  ShardedCollection one(c, {1, ShardScheme::kRange});
+  SelectionCache cache;
+  CachingSelector plain(std::make_unique<MostEvenSelector>(), &cache);
+  EntityId chosen = plain.Select(full);
+  ShardedCachingSelector sharded(std::make_unique<ShardedMostEvenSelector>(),
+                                 &cache);
+  EXPECT_EQ(sharded.Select(one.Full()), chosen);
+  SelectionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-session shared-cache stress with sharding on (run under TSan)
+// ---------------------------------------------------------------------------
+
+TEST(ShardedStress, ConcurrentSessionsSharedCacheAndShardFanOut) {
+  // Many sessions stepped from pool jobs, each step fanning its counting
+  // across the same pool (ParallelFor self-help), all sharing one
+  // SelectionCache. Under TSan this exercises every lock and atomic the
+  // sharded path adds; functionally every session must still converge to
+  // its target and the cache counters must stay consistent.
+  constexpr int kNumSessions = 48;
+  SetCollection c = RandomCollection(/*seed=*/77, /*n=*/64, /*m=*/40, 0.25);
+  InvertedIndex idx(c);
+
+  SelectionCache cache;
+  SessionManagerOptions options;
+  options.discovery.verify_and_backtrack = true;
+  options.num_threads = 8;
+  options.num_shards = 4;
+  options.shard_scheme = ShardScheme::kHash;
+  options.sharded_selector_factory = [] {
+    return std::make_unique<ShardedInfoGainSelector>();
+  };
+  options.selection_cache = &cache;
+  SessionManager manager(c, idx, options);
+
+  std::vector<std::future<bool>> jobs;
+  jobs.reserve(kNumSessions);
+  for (int i = 0; i < kNumSessions; ++i) {
+    SetId target = static_cast<SetId>(i % c.num_sets());
+    jobs.push_back(manager.pool().Submit([&manager, &c, target] {
+      SimulatedOracle oracle(&c, target, /*error_rate=*/0.0,
+                             /*dont_know_rate=*/0.05, /*seed=*/target + 7);
+      SessionView view = manager.Drive(manager.Create({}), oracle);
+      manager.Close(view.id);
+      return view.state == SessionState::kFinished && view.result.found() &&
+             view.result.discovered() == target;
+    }));
+  }
+  int failures = 0;
+  for (auto& job : jobs) {
+    if (!job.get()) ++failures;
+  }
+  EXPECT_EQ(failures, 0);
+  SelectionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_GT(stats.hits, 0u);
+}
+
+}  // namespace
+}  // namespace setdisc

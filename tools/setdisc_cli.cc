@@ -23,6 +23,10 @@
 // Options:
 //   --k N             lookahead depth for k-LP (default 2)
 //   --q N             beam width (k-LPLE); unlimited when omitted
+//   --shards K        partition the collection into K shards (range scheme);
+//                     --ask/--serve/--serve-stress run the sharded engine:
+//                     per-step counting fans out per shard and merges, with
+//                     transcripts identical to unsharded sessions
 //   --metric ad|h     optimize average (ad) or worst case (h); default ad
 //   --examples a,b,c  initial example entities (comma separated)
 //   --verify          confirm the discovered set; on "n", backtrack (§6)
@@ -123,7 +127,7 @@ int Usage() {
                "[--stats|--tree|--ask|--simulate LABEL|--serve-stress N|\n"
                "                    --serve PORT|--connect HOST:PORT]\n"
                "                   [--k N] [--q N] [--metric ad|h] "
-               "[--examples a,b,c] [--verify] [--threads N]\n"
+               "[--shards K] [--examples a,b,c] [--verify] [--threads N]\n"
                "                   [--cache] [--cache-capacity N] "
                "[--cache-skip-one-shot]\n");
   return 2;
@@ -221,6 +225,7 @@ int main(int argc, char** argv) {
   std::string bind_address = "127.0.0.1";
   int k = 2;
   int q = -1;
+  int shards = 1;
   int stress_sessions = 0;
   int stress_threads = 8;
   int serve_port = -1;
@@ -267,6 +272,13 @@ int main(int argc, char** argv) {
       k = std::atoi(argv[++i]);
     } else if (arg == "--q" && i + 1 < argc) {
       q = std::atoi(argv[++i]);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+      if (shards < 1) return Usage();
+      if (shards > static_cast<int>(kMaxShards)) {
+        std::fprintf(stderr, "warning: --shards capped at %zu\n", kMaxShards);
+        shards = static_cast<int>(kMaxShards);
+      }
     } else if (arg == "--metric" && i + 1 < argc) {
       std::string m = argv[++i];
       metric = m == "h" ? CostMetric::kHeight : CostMetric::kAvgDepth;
@@ -414,25 +426,42 @@ int main(int argc, char** argv) {
       std::vector<EntityId> initial = ParseExamples(collection, examples_csv);
       DiscoveryOptions options;
       options.verify_and_backtrack = verify;
-      DiscoverySession session(collection, index, initial, selector, options);
-      while (!session.done()) {
-        if (session.state() == SessionState::kAwaitingAnswer) {
-          EntityId e = session.NextQuestion();
-          session.SubmitAnswer(ReadAnswer(collection.EntityName(e)));
+      // Both engines step through the type-erased DiscoveryEngine interface;
+      // --shards only changes how the candidate state is stored and counted,
+      // never which questions get asked.
+      std::unique_ptr<ShardedCollection> sharded;
+      std::unique_ptr<ShardedKlpSelector> sharded_selector;
+      std::unique_ptr<DiscoveryEngine> session;
+      if (shards > 1) {
+        sharded = std::make_unique<ShardedCollection>(
+            collection,
+            ShardingOptions{static_cast<size_t>(shards), ShardScheme::kRange});
+        sharded_selector =
+            std::make_unique<ShardedKlpSelector>(selector.options());
+        session = std::make_unique<ShardedDiscoverySession>(
+            *sharded, initial, *sharded_selector, options);
+      } else {
+        session = std::make_unique<DiscoverySession>(collection, index, initial,
+                                                     selector, options);
+      }
+      while (!session->done()) {
+        if (session->state() == SessionState::kAwaitingAnswer) {
+          EntityId e = session->NextQuestion();
+          session->SubmitAnswer(ReadAnswer(collection.EntityName(e)));
         } else {  // kAwaitingVerify
           bool confirmed = false;
-          if (!ReadConfirm(collection, session.PendingVerify(), &confirmed)) {
+          if (!ReadConfirm(collection, session->PendingVerify(), &confirmed)) {
             // No input left to answer the backtracking questions a refutation
             // would trigger — end the conversation here, unconfirmed.
             std::cout << "\n";
-            PrintSession(collection, session.result());
+            PrintSession(collection, session->result());
             std::cout << "(input ended before confirmation)\n";
             return 1;
           }
-          session.Verify(confirmed);
+          session->Verify(confirmed);
         }
       }
-      DiscoveryResult result = session.TakeResult();
+      DiscoveryResult result = session->TakeResult();
       PrintSession(collection, result);
       if (verify && !result.confirmed) {
         // found() can be true here with a set the user just refuted
@@ -468,10 +497,14 @@ int main(int argc, char** argv) {
       SessionManagerOptions manager_options;
       manager_options.discovery.verify_and_backtrack = verify;
       manager_options.num_threads = static_cast<size_t>(stress_threads);
-      // Capture by value: the factory is stored in the manager and invoked
-      // on every Create for its whole lifetime.
+      manager_options.num_shards = static_cast<size_t>(shards);
+      // Capture by value: the factories are stored in the manager and
+      // invoked on every Create for its whole lifetime.
       manager_options.selector_factory = [options] {
         return std::make_unique<KlpSelector>(options);
+      };
+      manager_options.sharded_selector_factory = [options] {
+        return std::make_unique<ShardedKlpSelector>(options);
       };
       std::unique_ptr<SelectionCache> cache = MakeCacheIfEnabled(
           use_cache, cache_capacity, cache_skip_one_shot, &manager_options);
@@ -505,7 +538,9 @@ int main(int argc, char** argv) {
       }
       double seconds = timer.Seconds();
       std::cout << "served " << stress_sessions << " sessions on "
-                << stress_threads << " threads in " << Format("%.3f", seconds)
+                << stress_threads << " threads"
+                << (shards > 1 ? Format(" (%d shards)", shards) : "")
+                << " in " << Format("%.3f", seconds)
                 << "s (" << Format("%.1f", stress_sessions / seconds)
                 << " sessions/sec), " << failures << " failures\n";
       if (cache != nullptr) {
@@ -529,8 +564,12 @@ int main(int argc, char** argv) {
       SessionManagerOptions manager_options;
       manager_options.discovery.verify_and_backtrack = verify;
       manager_options.num_threads = static_cast<size_t>(stress_threads);
+      manager_options.num_shards = static_cast<size_t>(shards);
       manager_options.selector_factory = [options] {
         return std::make_unique<KlpSelector>(options);
+      };
+      manager_options.sharded_selector_factory = [options] {
+        return std::make_unique<ShardedKlpSelector>(options);
       };
       std::unique_ptr<SelectionCache> cache = MakeCacheIfEnabled(
           use_cache, cache_capacity, cache_skip_one_shot, &manager_options);
@@ -550,6 +589,7 @@ int main(int argc, char** argv) {
       std::cout << "serving on " << server.options().bind_address << ":"
                 << server.port() << " (" << selector.name() << ", "
                 << stress_threads << " worker threads"
+                << (shards > 1 ? Format(", %d shards", shards) : "")
                 << (verify ? ", verify" : "")
                 << (use_cache ? ", cache" : "") << ")\n"
                 << std::flush;
