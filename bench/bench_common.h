@@ -5,11 +5,14 @@
 /// problem sizes with SETDISC_SCALE (quick | medium | full); see
 /// EXPERIMENTS.md for the paper-vs-measured record.
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "collection/inverted_index.h"
@@ -68,12 +71,112 @@ inline TimedTree BuildTimed(const SubCollection& sub, EntitySelector& sel) {
 }
 
 /// Standard banner: experiment id, paper reference, and active scale.
-inline void Banner(const std::string& experiment, const std::string& what) {
-  std::cout << "=== " << experiment << " — " << what << " ===\n"
-            << "scale: " << BenchScaleName(GetBenchScale())
-            << " (set SETDISC_SCALE=medium|full for larger runs; shapes, not "
-               "absolute numbers, are the reproduction target)\n\n";
+inline void Banner(const std::string& experiment, const std::string& what,
+                   std::ostream& os = std::cout) {
+  os << "=== " << experiment << " — " << what << " ===\n"
+     << "scale: " << BenchScaleName(GetBenchScale())
+     << " (set SETDISC_SCALE=medium|full for larger runs; shapes, not "
+        "absolute numbers, are the reproduction target)\n\n";
 }
+
+/// True when `flag` appears among the arguments (exact match).
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
+/// Machine-readable bench output (`--json`): a flat list of rows, each a
+/// string->value object, wrapped with the bench name and active scale —
+///
+///   {"bench": "counting", "scale": "quick", "rows": [{...}, ...]}
+///
+/// — so successive runs diff/trend with jq instead of table scraping (the
+/// committed BENCH_*.json baselines). In --json mode benches print their
+/// human tables to stderr and exactly one JSON document to stdout.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, bool enabled)
+      : bench_(std::move(bench)), enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// The human-facing stream for this mode: stdout normally, stderr when
+  /// stdout carries the JSON document.
+  std::ostream& text() const { return enabled_ ? std::cerr : std::cout; }
+
+  /// Builder for one row. Field order is preserved.
+  class Row {
+   public:
+    Row& Str(const char* key, std::string_view value) {
+      Field(key) << '"' << Escaped(value) << '"';
+      return *this;
+    }
+    Row& Num(const char* key, double value) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      Field(key) << buf;
+      return *this;
+    }
+    Row& Int(const char* key, int64_t value) {
+      Field(key) << value;
+      return *this;
+    }
+    Row& Bool(const char* key, bool value) {
+      Field(key) << (value ? "true" : "false");
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::ostringstream& Field(const char* key) {
+      if (!first_) out_ << ", ";
+      first_ = false;
+      out_ << '"' << Escaped(key) << "\": ";
+      return out_;
+    }
+    static std::string Escaped(std::string_view s) {
+      std::string out;
+      out.reserve(s.size());
+      for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+          continue;
+        }
+        out.push_back(c);
+      }
+      return out;
+    }
+    std::ostringstream out_;
+    bool first_ = true;
+  };
+
+  /// Records a finished row; a no-op shell when the report is disabled
+  /// (callers build rows unconditionally, which keeps call sites linear).
+  void Add(const Row& row) {
+    if (enabled_) rows_.push_back(row.out_.str());
+  }
+
+  /// Emits the document to stdout. No-op when disabled.
+  void Print() const {
+    if (!enabled_) return;
+    std::cout << "{\"bench\": \"" << Row::Escaped(bench_) << "\", \"scale\": \""
+              << BenchScaleName(GetBenchScale()) << "\", \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::cout << (i == 0 ? "\n" : ",\n") << "  {" << rows_[i] << "}";
+    }
+    std::cout << "\n]}\n";
+  }
+
+ private:
+  std::string bench_;
+  bool enabled_;
+  std::vector<std::string> rows_;
+};
 
 /// The simulated web-tables workload shared by Fig. 3 / Fig. 4a / §5.3.2.
 struct WebTablesWorkload {

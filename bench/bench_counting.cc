@@ -1,0 +1,342 @@
+// Differential counting (collection/delta_counter.h): full-recount vs
+// delta-derived per-step latency and session throughput, unsharded and
+// sharded (K=4).
+//
+// Every discovery step narrows the candidate set by Partition(e), and
+// counts(C2) = counts(C) - counts(C1) exactly — so a step's counting pass
+// can derive instead of rescan: the k-LP lookahead counts both children of
+// every candidate from one dense scan of the smaller half, the candidate it
+// chooses seeds the next step's top-level counts outright (making that
+// count a free re-emit), and §6 don't-know re-selection re-emits without
+// touching the collection at all. This bench drives full simulated
+// conversations over the paper's §5.2.1 workload — seed-pair initial
+// examples over a web-tables corpus — twice per configuration: selectors
+// built with differential counting off (the recount-from-scratch baseline)
+// and on. Transcript parity between the two modes is asserted inline: a
+// bench that silently measured two different conversations would be
+// meaningless (and the CI smoke relies on the abort).
+//
+// --json prints the machine-readable document to stdout (tables go to
+// stderr); the committed BENCH_counting.json is this bench's output at
+// paper scale, the baseline future PRs trend against.
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/selectors.h"
+#include "core/sharded_selectors.h"
+#include "service/discovery_session.h"
+#include "service/session_manager.h"
+
+namespace setdisc::bench {
+namespace {
+
+using Transcript = std::vector<std::pair<EntityId, Oracle::Answer>>;
+
+struct ModeSpec {
+  std::string name;
+  std::function<std::unique_ptr<EntitySelector>(bool differential)> make;
+  std::function<std::unique_ptr<ShardedEntitySelector>(bool differential)>
+      make_sharded;
+  bool is_klp = false;
+};
+
+std::vector<ModeSpec> CountingStrategies() {
+  auto klp_options = [](bool differential) {
+    KlpOptions o = KlpOptions::MakeKlp(2, CostMetric::kAvgDepth);
+    o.enable_delta_counting = differential;
+    return o;
+  };
+  return {
+      {"MostEven",
+       [](bool d) { return std::make_unique<MostEvenSelector>(d); },
+       [](bool d) { return std::make_unique<ShardedMostEvenSelector>(d); },
+       false},
+      {"InfoGain",
+       [](bool d) { return std::make_unique<InfoGainSelector>(d); },
+       [](bool d) { return std::make_unique<ShardedInfoGainSelector>(d); },
+       false},
+      {"2-LP",
+       [klp_options](bool d) {
+         return std::make_unique<KlpSelector>(klp_options(d));
+       },
+       [klp_options](bool d) {
+         return std::make_unique<ShardedKlpSelector>(klp_options(d));
+       },
+       true},
+  };
+}
+
+struct StepTiming {
+  double us_per_step = 0.0;
+  size_t steps = 0;
+};
+
+/// One conversation per seed-pair sub-collection: initial examples {a, b},
+/// target a member set, driven to completion. One selector is reused across
+/// all of them — the steady state of a serving session slot — and the k-LP
+/// memo is cleared between conversations so the uncached counting cost is
+/// what gets measured (memo hits skip counting in both modes identically).
+/// Transcripts accumulate for the cross-mode parity check.
+template <typename MakeSession, typename Reset>
+StepTiming RunConversations(const SetCollection& c,
+                            const std::vector<SeedPairEntry>& subs,
+                            double dont_know_rate, MakeSession make_session,
+                            Reset reset, std::vector<Transcript>* transcripts) {
+  StepTiming t;
+  WallTimer timer;
+  for (size_t i = 0; i < subs.size(); ++i) {
+    const SeedPairEntry& entry = subs[i];
+    SetId target = entry.set_ids[(i * 7919 + 13) % entry.set_ids.size()];
+    SimulatedOracle oracle(&c, target, 0.0, dont_know_rate,
+                           /*seed=*/1000 + i);
+    std::vector<EntityId> initial = {entry.a, entry.b};
+    auto session = make_session(initial);
+    while (!session->done()) {
+      session->SubmitAnswer(oracle.AskMembership(session->NextQuestion()));
+    }
+    DiscoveryResult result = session->TakeResult();
+    t.steps += result.transcript.size();
+    transcripts->push_back(std::move(result.transcript));
+    reset();
+  }
+  double seconds = timer.Seconds();
+  t.us_per_step = seconds * 1e6 / static_cast<double>(t.steps);
+  return t;
+}
+
+StepTiming RunUnsharded(const SetCollection& c, const InvertedIndex& idx,
+                        const std::vector<SeedPairEntry>& subs,
+                        const ModeSpec& spec, bool differential,
+                        double dont_know_rate, const DiscoveryOptions& options,
+                        std::vector<Transcript>* transcripts) {
+  auto selector = spec.make(differential);
+  auto reset = [&] {
+    if (spec.is_klp) static_cast<KlpSelector&>(*selector).ClearCache();
+  };
+  // Warm the scratch (and fault in the corpus) outside the timer.
+  {
+    std::vector<Transcript> warmup;
+    RunConversations(
+        c, {subs.front()}, dont_know_rate,
+        [&](std::span<const EntityId> initial) {
+          return std::make_unique<DiscoverySession>(c, idx, initial, *selector,
+                                                    options);
+        },
+        reset, &warmup);
+  }
+  return RunConversations(
+      c, subs, dont_know_rate,
+      [&](std::span<const EntityId> initial) {
+        return std::make_unique<DiscoverySession>(c, idx, initial, *selector,
+                                                  options);
+      },
+      reset, transcripts);
+}
+
+StepTiming RunSharded(const ShardedCollection& sharded,
+                      const std::vector<SeedPairEntry>& subs,
+                      const ModeSpec& spec, bool differential,
+                      double dont_know_rate, const DiscoveryOptions& options,
+                      ThreadPool* pool, std::vector<Transcript>* transcripts) {
+  const SetCollection& c = sharded.base();
+  auto selector = spec.make_sharded(differential);
+  selector->set_pool(pool);
+  auto reset = [&] {
+    if (spec.is_klp) {
+      static_cast<ShardedKlpSelector&>(*selector).inner().ClearCache();
+    }
+  };
+  {
+    std::vector<Transcript> warmup;
+    RunConversations(
+        c, {subs.front()}, dont_know_rate,
+        [&](std::span<const EntityId> initial) {
+          return std::make_unique<ShardedDiscoverySession>(sharded, initial,
+                                                           *selector, options,
+                                                           pool);
+        },
+        reset, &warmup);
+  }
+  return RunConversations(
+      c, subs, dont_know_rate,
+      [&](std::span<const EntityId> initial) {
+        return std::make_unique<ShardedDiscoverySession>(sharded, initial,
+                                                         *selector, options,
+                                                         pool);
+      },
+      reset, transcripts);
+}
+
+void RequireParity(const std::vector<Transcript>& full,
+                   const std::vector<Transcript>& delta,
+                   const std::string& where) {
+  if (full == delta) return;
+  std::cerr << "FATAL: delta/full transcript divergence in " << where
+            << " — differential counting changed a decision\n";
+  std::abort();
+}
+
+}  // namespace
+}  // namespace setdisc::bench
+
+int main(int argc, char** argv) {
+  using namespace setdisc;
+  using namespace setdisc::bench;
+
+  JsonReport report("counting", HasFlag(argc, argv, "--json"));
+  std::ostream& out = report.text();
+  Banner("counting", "differential vs full-recount counting", out);
+
+  const int num_conversations = ScalePick<int>(12, 24, 48);
+  WebTablesWorkload w = MakeWebTablesWorkload(num_conversations);
+  InvertedIndex idx(w.corpus);
+  ShardedCollection sharded(w.corpus, ShardingOptions{4, ShardScheme::kRange});
+  const size_t threads = [] {
+    const char* env = std::getenv("SETDISC_BENCH_THREADS");
+    if (env != nullptr && std::atoi(env) > 0) {
+      return static_cast<size_t>(std::atoi(env));
+    }
+    size_t hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 8 : hw;
+  }();
+  ThreadPool pool(threads);
+  size_t sub_sets = 0;
+  for (const SeedPairEntry& entry : w.subcollections) {
+    sub_sets += entry.set_ids.size();
+  }
+  out << "corpus: " << w.corpus.num_sets() << " sets, "
+      << w.corpus.num_distinct_entities() << " entities, "
+      << w.corpus.total_elements() << " incidences; "
+      << w.subcollections.size() << " seed-pair conversations, avg "
+      << sub_sets / w.subcollections.size() << " candidate sets; K=4 pool: "
+      << threads << " threads\n\n";
+
+  DiscoveryOptions options;
+  options.max_questions = 500;  // §6 guard; never hit on this workload
+
+  // ---------------------------------------- per-step latency, full vs delta
+  for (double dont_know_rate : {0.0, 0.2}) {
+    out << "steady-state per-step latency"
+        << (dont_know_rate > 0.0
+                ? Format(" (don't-know rate %.1f: the re-emit path)",
+                         dont_know_rate)
+                : std::string())
+        << ", k-LP memo cleared per conversation (uncached regime):\n";
+    TablePrinter table({"selector", "engine", "full us/step", "delta us/step",
+                        "speedup", "steps"});
+    for (const ModeSpec& spec : CountingStrategies()) {
+      for (bool use_sharded : {false, true}) {
+        std::vector<Transcript> full_transcripts, delta_transcripts;
+        StepTiming full, delta;
+        if (!use_sharded) {
+          full = RunUnsharded(w.corpus, idx, w.subcollections, spec,
+                              /*differential=*/false, dont_know_rate, options,
+                              &full_transcripts);
+          delta = RunUnsharded(w.corpus, idx, w.subcollections, spec,
+                               /*differential=*/true, dont_know_rate, options,
+                               &delta_transcripts);
+        } else {
+          full = RunSharded(sharded, w.subcollections, spec,
+                            /*differential=*/false, dont_know_rate, options,
+                            &pool, &full_transcripts);
+          delta = RunSharded(sharded, w.subcollections, spec,
+                             /*differential=*/true, dont_know_rate, options,
+                             &pool, &delta_transcripts);
+        }
+        RequireParity(full_transcripts, delta_transcripts,
+                      spec.name + (use_sharded ? "/K=4" : "/unsharded"));
+        const char* engine = use_sharded ? "K=4" : "unsharded";
+        table.AddRow({spec.name, engine, Format("%.1f", full.us_per_step),
+                      Format("%.1f", delta.us_per_step),
+                      Format("%.2fx", full.us_per_step / delta.us_per_step),
+                      Format("%zu", delta.steps)});
+        report.Add(JsonReport::Row()
+                       .Str("section", "per_step")
+                       .Str("selector", spec.name)
+                       .Str("engine", engine)
+                       .Num("dont_know_rate", dont_know_rate)
+                       .Num("full_us_per_step", full.us_per_step)
+                       .Num("delta_us_per_step", delta.us_per_step)
+                       .Num("speedup", full.us_per_step / delta.us_per_step)
+                       .Int("steps", static_cast<int64_t>(delta.steps))
+                       .Bool("parity", true));
+      }
+    }
+    table.Print(out);
+    out << "\n";
+  }
+
+  // ----------------------------------------------- manager sessions/sec
+  // (delta composes with the pool: one session's counting overlaps others')
+  {
+    const int rounds = ScalePick<int>(4, 8, 8);
+    const int num_sessions =
+        rounds * static_cast<int>(w.subcollections.size());
+    out << "sessions/sec through the SessionManager (" << num_sessions
+        << " 2-LP conversations, " << threads << " pool threads):\n";
+    TablePrinter table(
+        {"engine", "full sess/sec", "delta sess/sec", "speedup"});
+    for (size_t num_shards : {size_t{1}, size_t{4}}) {
+      double rates[2];
+      for (bool differential : {false, true}) {
+        SessionManagerOptions manager_options;
+        manager_options.discovery = options;
+        manager_options.num_threads = threads;
+        manager_options.num_shards = num_shards;
+        manager_options.selector_factory = [differential] {
+          KlpOptions o = KlpOptions::MakeKlp(2, CostMetric::kAvgDepth);
+          o.enable_delta_counting = differential;
+          return std::make_unique<KlpSelector>(o);
+        };
+        manager_options.sharded_selector_factory = [differential] {
+          KlpOptions o = KlpOptions::MakeKlp(2, CostMetric::kAvgDepth);
+          o.enable_delta_counting = differential;
+          return std::make_unique<ShardedKlpSelector>(o);
+        };
+        SessionManager manager(w.corpus, idx, manager_options);
+        WallTimer timer;
+        std::vector<std::future<bool>> jobs;
+        jobs.reserve(num_sessions);
+        for (int i = 0; i < num_sessions; ++i) {
+          const SeedPairEntry& entry =
+              w.subcollections[i % w.subcollections.size()];
+          SetId target = entry.set_ids[(i * 7919 + 13) % entry.set_ids.size()];
+          jobs.push_back(
+              manager.pool().Submit([&manager, &w, &entry, target] {
+                SimulatedOracle oracle(&w.corpus, target);
+                std::vector<EntityId> initial = {entry.a, entry.b};
+                SessionView view =
+                    manager.Drive(manager.Create(initial), oracle);
+                manager.Close(view.id);
+                return view.state == SessionState::kFinished;
+              }));
+        }
+        for (auto& job : jobs) job.get();
+        rates[differential ? 1 : 0] = num_sessions / timer.Seconds();
+      }
+      const char* engine = num_shards == 1 ? "unsharded" : "K=4";
+      table.AddRow({engine, Format("%.1f", rates[0]), Format("%.1f", rates[1]),
+                    Format("%.2fx", rates[1] / rates[0])});
+      report.Add(JsonReport::Row()
+                     .Str("section", "sessions_per_sec")
+                     .Str("engine", engine)
+                     .Num("full_sessions_per_sec", rates[0])
+                     .Num("delta_sessions_per_sec", rates[1])
+                     .Num("speedup", rates[1] / rates[0]));
+    }
+    table.Print(out);
+    out << "(throughput gains shrink vs per-step: seeding, partitioning, "
+           "and manager runway are unchanged, and sessions in one manager "
+           "share per-session selectors whose memos persist across a "
+           "conversation)\n";
+  }
+
+  report.Print();
+  return 0;
+}

@@ -38,6 +38,53 @@ void BM_CountInformative(benchmark::State& state) {
 }
 BENCHMARK(BM_CountInformative)->Arg(500)->Arg(2000)->Arg(8000);
 
+// Calibrates EntityCounter::kDenseSweepDivisor: emitting in ascending
+// entity order costs either a sort of the touched list or an in-order sweep
+// of the dense array, and the crossover sits where touched ≈ universe /
+// divisor. Arg(d) forces views whose touched fraction is universe/d, so
+// sweeping the reported times across d ∈ {4..64} brackets the best divisor
+// (pick the d where the per-item cost of the two regimes meet; see
+// entity_counter.h). The counting pass itself is held constant by keeping
+// element counts comparable across args.
+void BM_EmitCrossover(benchmark::State& state) {
+  const uint32_t divisor = static_cast<uint32_t>(state.range(0));
+  const EntityId universe = 1 << 16;
+  const uint32_t touched = universe / divisor;
+  // The view touches exactly `touched` entities: window ids stride
+  // [0, window_range), each set carries one distinct salt id from
+  // [window_range, touched - 1) (distinct salts keep sets unique through
+  // the builder's dedup), and the sentinel set contributes entity
+  // universe - 1 — pinning universe_size so the divisor alone decides the
+  // emit regime — as the final touched id.
+  SetCollectionBuilder b;
+  const uint32_t set_size = 64;
+  const uint32_t sets = 512;
+  const uint32_t window_range = touched - sets - 1;
+  for (uint32_t s = 0; s < sets; ++s) {
+    std::vector<EntityId> elems(set_size);
+    for (uint32_t i = 0; i < set_size; ++i) {
+      elems[i] = (s * set_size + i) % window_range;
+    }
+    elems.push_back(window_range + s);
+    b.AddSet(elems, "");
+  }
+  b.AddSet({universe - 1}, "");
+  SetCollection c = b.Build();
+  SubCollection full = SubCollection::Full(&c);
+  EntityCounter counter;
+  std::vector<EntityCount> counts;
+  for (auto _ : state) {
+    counter.CountInformative(full, &counts);
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetLabel(EntityCounter::DenseSweepIsCheaper(touched, universe)
+                     ? "sweep"
+                     : "sort");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(c.total_elements()));
+}
+BENCHMARK(BM_EmitCrossover)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(24)->Arg(32)->Arg(64);
+
 void BM_Partition(benchmark::State& state) {
   SetCollection c = MakeCollection(static_cast<uint32_t>(state.range(0)));
   SubCollection full = SubCollection::Full(&c);

@@ -111,11 +111,12 @@ double AvgCreateLatencyUs(SessionManager& manager, int iters) {
 }
 
 void FirstQuestionLatencyTable(const SetCollection& c,
-                               const InvertedIndex& idx) {
+                               const InvertedIndex& idx, JsonReport& report) {
+  std::ostream& out = report.text();
   const int iters = ScalePick<int>(20, 100, 400);
-  std::cout << "first-question latency: Create() = root Select() over "
-            << c.num_sets() << " candidate sets, " << iters
-            << " sessions per cell\n";
+  out << "first-question latency: Create() = root Select() over "
+      << c.num_sets() << " candidate sets, " << iters
+      << " sessions per cell\n";
   TablePrinter table({"selector", "no cache", "cache cold", "cache warm",
                       "speedup", "hit rate"});
   for (const StrategySpec& spec :
@@ -142,20 +143,29 @@ void FirstQuestionLatencyTable(const SetCollection& c,
                   Format("%.1fus", cold_us), Format("%.1fus", warm_us),
                   Format("%.1fx", no_cache_us / warm_us),
                   Format("%.1f%%", 100.0 * cache.stats().HitRate())});
+    report.Add(JsonReport::Row()
+                   .Str("section", "first_question_latency")
+                   .Str("selector", spec.name)
+                   .Num("no_cache_us", no_cache_us)
+                   .Num("cache_cold_us", cold_us)
+                   .Num("cache_warm_us", warm_us)
+                   .Num("hit_rate", cache.stats().HitRate()));
   }
-  table.Print(std::cout);
-  std::cout << "(warm = every later session of a warm collection; the root "
-               "Select() memoizes across sessions)\n\n";
+  table.Print(out);
+  out << "(warm = every later session of a warm collection; the root "
+         "Select() memoizes across sessions)\n\n";
 }
 
 }  // namespace
 }  // namespace setdisc::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setdisc;
   using namespace setdisc::bench;
 
-  Banner("service", "SessionManager throughput vs. concurrency");
+  JsonReport report("service", HasFlag(argc, argv, "--json"));
+  std::ostream& out = report.text();
+  Banner("service", "SessionManager throughput vs. concurrency", out);
 
   SyntheticConfig cfg;
   cfg.num_sets = ScalePick<uint32_t>(2000, 10000, 50000);
@@ -168,13 +178,13 @@ int main() {
 
   const int num_sessions = ScalePick<int>(256, 1024, 8192);
   const int latency_us = OracleLatencyUs();
-  std::cout << "collection: " << c.num_sets() << " sets, "
-            << c.num_distinct_entities() << " entities; " << num_sessions
-            << " sessions per run; oracle latency " << latency_us << "us\n"
-            << "hardware threads: " << std::thread::hardware_concurrency()
-            << "\n\n";
+  out << "collection: " << c.num_sets() << " sets, "
+      << c.num_distinct_entities() << " entities; " << num_sessions
+      << " sessions per run; oracle latency " << latency_us << "us\n"
+      << "hardware threads: " << std::thread::hardware_concurrency()
+      << "\n\n";
 
-  FirstQuestionLatencyTable(c, idx);
+  FirstQuestionLatencyTable(c, idx, report);
 
   SelectionCache shared_cache;  // warmed across runs, like a long-lived server
   TablePrinter table({"pool threads", "sessions/sec", "cached sess/sec",
@@ -192,14 +202,22 @@ int main() {
                   Format("%.1f", stats.questions / stats.seconds),
                   Format("%.2fx", rate / base_rate),
                   Format("%d+%d", stats.failures, cached.failures)});
+    report.Add(JsonReport::Row()
+                   .Str("section", "throughput")
+                   .Int("pool_threads", static_cast<int64_t>(threads))
+                   .Num("sessions_per_sec", rate)
+                   .Num("cached_sessions_per_sec", cached_rate)
+                   .Num("questions_per_sec", stats.questions / stats.seconds)
+                   .Int("failures", stats.failures + cached.failures));
   }
-  table.Print(std::cout);
-  std::cout << "selection cache after all cached runs: "
-            << Format("%.1f", 100.0 * shared_cache.stats().HitRate())
-            << "% hit rate, " << shared_cache.size() << " entries\n";
-  std::cout << "\n(interactive serving: think-time of one session overlaps "
-               "other sessions' selector scans;\n on multi-core hardware the "
-               "scans also run in parallel; cached columns share one "
-               "SelectionCache)\n";
+  table.Print(out);
+  out << "selection cache after all cached runs: "
+      << Format("%.1f", 100.0 * shared_cache.stats().HitRate())
+      << "% hit rate, " << shared_cache.size() << " entries\n";
+  out << "\n(interactive serving: think-time of one session overlaps "
+         "other sessions' selector scans;\n on multi-core hardware the "
+         "scans also run in parallel; cached columns share one "
+         "SelectionCache)\n";
+  report.Print();
   return 0;
 }

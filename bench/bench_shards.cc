@@ -158,11 +158,13 @@ RunStats RunSessions(const SetCollection& c, const InvertedIndex& idx,
 }  // namespace
 }  // namespace setdisc::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setdisc;
   using namespace setdisc::bench;
 
-  Banner("shards", "sharded collections: per-step latency and throughput");
+  JsonReport report("shards", HasFlag(argc, argv, "--json"));
+  std::ostream& out = report.text();
+  Banner("shards", "sharded collections: per-step latency and throughput", out);
 
   SyntheticConfig cfg;
   cfg.num_sets = ScalePick<uint32_t>(20000, 80000, 200000);
@@ -174,10 +176,10 @@ int main() {
   InvertedIndex idx(c);
   const size_t threads = BenchThreads();
   ThreadPool pool(threads);
-  std::cout << "collection: " << c.num_sets() << " sets, "
-            << c.num_distinct_entities() << " entities, " << c.total_elements()
-            << " incidences; pool: " << threads << " threads ("
-            << std::thread::hardware_concurrency() << " hardware)\n\n";
+  out << "collection: " << c.num_sets() << " sets, "
+      << c.num_distinct_entities() << " entities, " << c.total_elements()
+      << " incidences; pool: " << threads << " threads ("
+      << std::thread::hardware_concurrency() << " hardware)\n\n";
 
   const std::vector<size_t> shard_counts = {1, 2, 4, 8};
 
@@ -196,18 +198,23 @@ int main() {
       }
       table.AddRow({Format("%zu", num_shards), "range",
                     Format("%.1fms", seconds * 1e3), Format("%zu", largest)});
+      report.Add(JsonReport::Row()
+                     .Str("section", "build")
+                     .Int("shards", static_cast<int64_t>(num_shards))
+                     .Num("build_ms", seconds * 1e3)
+                     .Int("largest_shard", static_cast<int64_t>(largest)));
     }
-    std::cout << "one-time sharding cost (K per-shard CSRs + indexes):\n";
-    table.Print(std::cout);
-    std::cout << "\n";
+    out << "one-time sharding cost (K per-shard CSRs + indexes):\n";
+    table.Print(out);
+    out << "\n";
   }
 
   // ------------------------------------------------- per-step Select() cost
   {
     const int iters = ScalePick<int>(5, 20, 50);
-    std::cout << "root Select() latency over all " << c.num_sets()
-              << " candidates (" << iters << " calls per cell; counting pass "
-              << "fans out per shard, scoring on merged counts):\n";
+    out << "root Select() latency over all " << c.num_sets()
+        << " candidates (" << iters << " calls per cell; counting pass "
+        << "fans out per shard, scoring on merged counts):\n";
     TablePrinter table({"selector", "unsharded", "K=1", "K=2", "K=4", "K=8",
                         "best speedup"});
     for (const ShardedStrategy& spec : Strategies()) {
@@ -215,26 +222,32 @@ int main() {
       double base = UnshardedSelectUs(c, spec, iters);
       row.push_back(Format("%.0fus", base));
       double best = 1e30;
+      JsonReport::Row json_row;
+      json_row.Str("section", "root_select").Str("selector", spec.name);
+      json_row.Num("unsharded_us", base);
       for (size_t i = 0; i < shard_counts.size(); ++i) {
         double us = ShardedSelectUs(*sharded[i], spec, &pool, iters);
         best = std::min(best, us);
         row.push_back(Format("%.0fus", us));
+        json_row.Num(Format("k%zu_us", shard_counts[i]).c_str(), us);
       }
       row.push_back(Format("%.2fx", base / best));
+      json_row.Num("best_speedup", base / best);
       table.AddRow(row);
+      report.Add(json_row);
     }
-    table.Print(std::cout);
-    std::cout << "(speedup needs hardware threads: on a 1-core host the "
-                 "per-shard fan-out degenerates to a serial scan plus merge "
-                 "overhead)\n\n";
+    table.Print(out);
+    out << "(speedup needs hardware threads: on a 1-core host the "
+           "per-shard fan-out degenerates to a serial scan plus merge "
+           "overhead)\n\n";
   }
 
   // ------------------------------------------------------------ throughput
   {
     const int num_sessions = ScalePick<int>(64, 256, 1024);
-    std::cout << "sessions/sec through the SessionManager (" << num_sessions
-              << " simulated conversations, MostEven, " << threads
-              << " pool threads), cached vs uncached:\n";
+    out << "sessions/sec through the SessionManager (" << num_sessions
+        << " simulated conversations, MostEven, " << threads
+        << " pool threads), cached vs uncached:\n";
     TablePrinter table({"K", "sessions/sec", "cached sess/sec",
                         "failures (raw+cached)"});
     for (size_t num_shards : shard_counts) {
@@ -250,11 +263,19 @@ int main() {
                     Format("%.1f", num_sessions / raw.seconds),
                     Format("%.1f", num_sessions / cached.seconds),
                     Format("%d+%d", raw.failures, cached.failures)});
+      report.Add(JsonReport::Row()
+                     .Str("section", "throughput")
+                     .Int("shards", static_cast<int64_t>(num_shards))
+                     .Num("sessions_per_sec", num_sessions / raw.seconds)
+                     .Num("cached_sessions_per_sec",
+                          num_sessions / cached.seconds)
+                     .Int("failures", raw.failures + cached.failures));
     }
-    table.Print(std::cout);
-    std::cout << "(cached rows share one SelectionCache across sessions; "
-                 "sharded and unsharded managers key their entries apart "
-                 "automatically)\n";
+    table.Print(out);
+    out << "(cached rows share one SelectionCache across sessions; "
+           "sharded and unsharded managers key their entries apart "
+           "automatically)\n";
   }
+  report.Print();
   return 0;
 }

@@ -1,0 +1,183 @@
+#include "collection/delta_counter.h"
+
+#include <utility>
+
+namespace setdisc {
+
+void DeltaCounter::EmitFiltered(const std::vector<EntityCount>& retained,
+                                const EntityExclusion* excluded,
+                                std::vector<EntityCount>* out) {
+  out->clear();
+  out->reserve(retained.size());
+  for (const EntityCount& ec : retained) {
+    if (excluded != nullptr && ec.entity < excluded->size() &&
+        (*excluded)[ec.entity]) {
+      continue;
+    }
+    out->push_back(ec);
+  }
+}
+
+void DeltaCounter::CountInformative(const SubCollection& sub,
+                                    std::vector<EntityCount>* out,
+                                    const EntityExclusion* excluded) {
+  if (!enabled_) {
+    counter_.CountInformative(sub, out, excluded);
+    return;
+  }
+  const uint32_t n = static_cast<uint32_t>(sub.size());
+  const uint64_t fp = sub.Fingerprint();
+  // The serve gate: if the mask shrank (an entity excluded at retention
+  // time is no longer excluded), the retained list may be missing
+  // candidates — retention is useless, recount. Sessions only grow the
+  // mask, so this passes there; the gate exists for arbitrary callers.
+  const bool mask_ok = MaskStillCovers(excluded);
+
+  if (valid_ && mask_ok && pending_ && fp == expected_fp_) {
+    // Derivation armed and the view is the expected child. Dense-counting
+    // the dropped sibling plus one pass over the parent list costs sibling
+    // elements + parent entities; recounting the view costs its own
+    // elements (plus its emit). Take whichever is cheaper — both re-seed
+    // the state.
+    pending_ = false;
+    const size_t delta_cost = sibling_.TotalElements() + retained_.size();
+    const size_t full_cost = sub.TotalElements();
+    if (delta_cost < full_cost) {
+      counter_.CountDense(sibling_);
+      std::span<const uint32_t> dense = counter_.dense();
+      // One pass over the parent list derives the child: subtract the
+      // sibling's dense count and keep what stays informative for the
+      // child. Every child entity appears in the parent list (closure; see
+      // header), so nothing is missed.
+      size_t write = 0;
+      for (const EntityCount& pc : retained_) {
+        uint32_t c = pc.count;
+        if (pc.entity < dense.size()) c -= dense[pc.entity];
+        if (c != 0 && c != n) retained_[write++] = EntityCount{pc.entity, c};
+      }
+      retained_.resize(write);
+      ++stats_.delta;
+    } else {
+      counter_.CountInformative(sub, &retained_, excluded);
+      SnapshotMask(excluded);
+      ++stats_.full;
+    }
+    sibling_ = SubCollection();
+    counted_fp_ = fp;
+    EmitFiltered(retained_, excluded, out);
+    CopyMaskIds(excluded, &last_emit_mask_);
+    return;
+  }
+
+  if (valid_ && mask_ok && !pending_ && fp == counted_fp_) {
+    // Same view again — a SeedChild handoff, the §6 don't-know loop
+    // (exclusion grew, candidates did not), or a repeated root Select. No
+    // counting: re-filter under the current mask.
+    ++stats_.reemits;
+    EmitFiltered(retained_, excluded, out);
+    CopyMaskIds(excluded, &last_emit_mask_);
+    return;
+  }
+
+  // Unknown view: the chain broke (cache hit skipped a count, backtrack,
+  // different collection, first call). Full count re-seeds the state.
+  if (pending_ || valid_) {
+    if (pending_) ++stats_.invalidations;
+    pending_ = false;
+    sibling_ = SubCollection();
+  }
+  counter_.CountInformative(sub, &retained_, excluded);
+  SnapshotMask(excluded);
+  counted_fp_ = fp;
+  valid_ = true;
+  ++stats_.full;
+  out->assign(retained_.begin(), retained_.end());
+  CopyMaskIds(excluded, &last_emit_mask_);
+}
+
+void DeltaCounter::NotePartition(const SubCollection& parent,
+                                 const SubCollection& kept,
+                                 SubCollection dropped) {
+  if (!enabled_) return;
+  if (!valid_ || parent.Fingerprint() != counted_fp_) {
+    // We never counted this parent (a cache hit answered the last step, or
+    // the session started elsewhere): nothing to derive from.
+    Invalidate();
+    return;
+  }
+  expected_fp_ = kept.Fingerprint();
+  sibling_ = std::move(dropped);
+  pending_ = true;
+}
+
+void DeltaCounter::SeedChild(const SubCollection& parent,
+                             const SubCollection& kept,
+                             const std::vector<EntityCount>& half_counts,
+                             bool half_is_kept) {
+  if (!enabled_) return;
+  if (!valid_ || parent.Fingerprint() != counted_fp_) {
+    Invalidate();
+    return;
+  }
+  const uint32_t n = static_cast<uint32_t>(kept.size());
+  if (half_is_kept) {
+    // The counted half IS the next view: keep its informative entries.
+    scratch_.clear();
+    scratch_.reserve(half_counts.size());
+    for (const EntityCount& ec : half_counts) {
+      if (ec.count != n) scratch_.push_back(ec);
+    }
+    retained_.swap(scratch_);
+  } else {
+    // kept = parent - half: subtract with a two-pointer merge (half_counts
+    // is restricted to the parent list, so every entry lines up).
+    size_t write = 0;
+    size_t hi = 0;
+    for (const EntityCount& pc : retained_) {
+      uint32_t c = pc.count;
+      if (hi < half_counts.size() && half_counts[hi].entity == pc.entity) {
+        c -= half_counts[hi].count;
+        ++hi;
+      }
+      if (c != 0 && c != n) retained_[write++] = EntityCount{pc.entity, c};
+    }
+    retained_.resize(write);
+  }
+  // The seeded list derives from the last emitted output, so it carries
+  // that emit's mask filtering — snapshot accordingly.
+  retained_mask_ = last_emit_mask_;
+  counted_fp_ = kept.Fingerprint();
+  pending_ = false;
+  sibling_ = SubCollection();
+  ++stats_.delta;
+}
+
+void DeltaCounter::Adopt(uint64_t fp, const std::vector<EntityCount>& counts,
+                         const EntityExclusion* excluded) {
+  if (!enabled_) return;
+  retained_.assign(counts.begin(), counts.end());
+  SnapshotMask(excluded);
+  CopyMaskIds(excluded, &last_emit_mask_);
+  counted_fp_ = fp;
+  valid_ = true;
+  pending_ = false;
+  sibling_ = SubCollection();
+}
+
+void DeltaCounter::Invalidate() {
+  if (valid_ || pending_) ++stats_.invalidations;
+  valid_ = false;
+  pending_ = false;
+  sibling_ = SubCollection();
+}
+
+void DeltaCounter::Release() {
+  Invalidate();
+  retained_ = {};
+  retained_mask_ = {};
+  last_emit_mask_ = {};
+  scratch_ = {};
+  counter_.Release();
+}
+
+}  // namespace setdisc

@@ -8,10 +8,24 @@ void EntityCounter::EnsureCapacity(EntityId universe) {
   if (counts_.size() < universe) counts_.resize(universe, 0);
 }
 
+void EntityCounter::CountDense(const SubCollection& sub) {
+  if (dense_live_) ClearDense();
+  EnsureCapacity(sub.collection().universe_size());
+  touched_.clear();
+  for (SetId s : sub.ids()) {
+    for (EntityId e : sub.collection().set(s)) {
+      if (counts_[e] == 0) touched_.push_back(e);
+      ++counts_[e];
+    }
+  }
+  dense_live_ = true;
+}
+
 void EntityCounter::CountInformative(const SubCollection& sub,
                                      std::vector<EntityCount>* out,
                                      const EntityExclusion* excluded) {
   out->clear();
+  if (dense_live_) ClearDense();
   const EntityId universe = sub.collection().universe_size();
   EnsureCapacity(universe);
   touched_.clear();
@@ -56,6 +70,7 @@ void EntityCounter::CountAll(const SubCollection& sub,
                              std::vector<EntityCount>* out,
                              const EntityExclusion* excluded) {
   out->clear();
+  if (dense_live_) ClearDense();
   const EntityId universe = sub.collection().universe_size();
   EnsureCapacity(universe);
   touched_.clear();

@@ -53,21 +53,62 @@ class EntityCounter {
   void CountAll(const SubCollection& sub, std::vector<EntityCount>* out,
                 const EntityExclusion* excluded = nullptr);
 
- private:
-  void EnsureCapacity(EntityId universe);
+  /// Counts `sub` into the dense scratch and leaves it there: dense()[e] is
+  /// the count of e until the next Count* call on this counter. No touched
+  /// sort, no list emission — the shape differential derivations want,
+  /// since they walk an already-sorted parent list and only need random
+  /// access to this half's counts (delta_counter.h, klp.cc). The next
+  /// Count* call clears the residue by touched list as usual.
+  void CountDense(const SubCollection& sub);
+
+  /// The dense count array after CountDense (indexed by EntityId; valid up
+  /// to the counted sub-collection's universe).
+  std::span<const uint32_t> dense() const { return counts_; }
+
+  /// Sweep-vs-sort crossover: the dense sweep wins once at least
+  /// universe / kDenseSweepDivisor entities were touched. Calibrated by
+  /// bench_micro's BM_EmitCrossover sweep (RelWithDebInfo, x86-64: the sort
+  /// overtakes the sweep between universe/8 and universe/32 touched; 16 sits
+  /// mid-band and is within a few percent of either extreme's best case).
+  /// Retune there before changing it here; delta_counter_test pins output
+  /// parity on both sides of the boundary.
+  static constexpr size_t kDenseSweepDivisor = 16;
 
   /// Emitting in ascending entity order costs either a sort of the touched
   /// list (O(t log t)) or an in-order sweep of the dense count array
   /// (O(m') sequential reads). The sweep wins once a meaningful fraction of
   /// the universe was touched — which is the normal shape for root-level
   /// counting over a large collection, and the case the sharded per-shard
-  /// passes multiply.
+  /// passes multiply. Public so the boundary test can place its inputs
+  /// exactly at the crossover.
   static bool DenseSweepIsCheaper(size_t touched, EntityId universe) {
-    return touched >= universe / 16;
+    return touched >= universe / kDenseSweepDivisor;
+  }
+
+  /// Drops the dense scratch (O(universe) ints) and the touched list. The
+  /// next count re-grows them; results are unaffected. Called by
+  /// ReleaseMemory() chains when a session goes idle so parked sessions do
+  /// not pin per-universe scratch each.
+  void Release() {
+    counts_ = {};
+    touched_ = {};
+    dense_live_ = false;
+  }
+
+ private:
+  void EnsureCapacity(EntityId universe);
+
+  /// Zeroes a live CountDense residue (by touched list) so the scratch is
+  /// all-zero again — the invariant every counting pass starts from.
+  void ClearDense() {
+    for (EntityId e : touched_) counts_[e] = 0;
+    touched_.clear();
+    dense_live_ = false;
   }
 
   std::vector<uint32_t> counts_;
   std::vector<EntityId> touched_;
+  bool dense_live_ = false;
 };
 
 }  // namespace setdisc

@@ -16,8 +16,10 @@
 /// existing read and write sites compile unchanged; writes go through a
 /// proxy that routes to Set() to keep the fingerprint in sync.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "collection/fingerprint.h"
@@ -48,8 +50,21 @@ class EntityExclusion {
     if (bits_[e] == static_cast<bool>(value)) return;
     bits_[e] = value;
     fingerprint_ ^= FingerprintBit(e);
-    count_ += value ? 1 : -1;
+    if (value) {
+      ++count_;
+      ids_.push_back(e);
+    } else {
+      --count_;
+      ids_.erase(std::find(ids_.begin(), ids_.end(), e));  // rare; O(count)
+    }
   }
+
+  /// The excluded entity ids, in exclusion order (not sorted), maintained
+  /// incrementally. Lets retained counting state snapshot "what was masked
+  /// when I was computed" in O(num_excluded) instead of scanning the bits
+  /// (delta_counter.h gates its serve paths on that snapshot still being
+  /// excluded).
+  std::span<const EntityId> excluded_ids() const { return ids_; }
 
   /// Write proxy so `mask[e] = true` keeps the fingerprint in sync.
   class BitRef {
@@ -78,10 +93,15 @@ class EntityExclusion {
         if (bits_[e]) {
           fingerprint_ ^= FingerprintBit(e);
           --count_;
+          ids_.erase(std::find(ids_.begin(), ids_.end(),
+                               static_cast<EntityId>(e)));
         }
       }
     } else if (value) {
-      for (size_t e = old; e < n; ++e) fingerprint_ ^= FingerprintBit(e);
+      for (size_t e = old; e < n; ++e) {
+        fingerprint_ ^= FingerprintBit(e);
+        ids_.push_back(static_cast<EntityId>(e));
+      }
       count_ += n - old;
     }
     bits_.resize(n, value);
@@ -89,6 +109,7 @@ class EntityExclusion {
 
   void clear() {
     bits_.clear();
+    ids_.clear();
     fingerprint_ = 0;
     count_ = 0;
   }
@@ -105,6 +126,7 @@ class EntityExclusion {
 
  private:
   std::vector<bool> bits_;
+  std::vector<EntityId> ids_;  // set bits, in exclusion order
   uint64_t fingerprint_ = 0;
   size_t count_ = 0;
 };

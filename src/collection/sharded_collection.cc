@@ -179,6 +179,35 @@ size_t ShardedSubCollection::TotalElements() const {
   return total;
 }
 
+void ShardedCounter::NotePartition(const ShardedSubCollection& parent,
+                                   const ShardedSubCollection& kept,
+                                   ShardedSubCollection dropped) {
+  if (!delta_enabled_) return;
+  if (!valid_ || parent.Fingerprint() != counted_fp_) {
+    // This parent was never counted here (cache hit, fresh session).
+    Invalidate();
+    return;
+  }
+  expected_fp_ = kept.Fingerprint();
+  sibling_ = std::move(dropped);
+  pending_ = true;
+}
+
+void ShardedCounter::Invalidate() {
+  if (valid_ || pending_) ++stats_.invalidations;
+  valid_ = false;
+  pending_ = false;
+  sibling_ = ShardedSubCollection();
+}
+
+void ShardedCounter::Release() {
+  Invalidate();
+  for (EntityCounter& counter : counters_) counter.Release();
+  partial_ = {};
+  ranges_ = {};
+  prev_ = {};
+}
+
 void ShardedCounter::CountInformative(const ShardedSubCollection& sub,
                                       std::vector<EntityCount>* out,
                                       const EntityExclusion* excluded,
@@ -190,24 +219,89 @@ void ShardedCounter::CountInformative(const ShardedSubCollection& sub,
   if (counters_.size() < num_shards) counters_.resize(num_shards);
   if (partial_.size() < num_shards) partial_.resize(num_shards);
 
-  auto count_shard = [&](size_t k) {
-    // CountAll, not CountInformative: an entity uninformative within one
-    // shard (present in all of its candidates) can still split the combined
-    // candidate set. Informativeness is decided after the merge.
-    counters_[k].CountAll(sub.shard(k), &partial_[k], excluded);
-  };
-  if (pool != nullptr && num_shards > 1 &&
-      sub.size() >= kShardParallelMinSets) {
-    pool->ParallelFor(num_shards, count_shard);
+  // Pick the counting path. Per-shard passes are always unfiltered CountAll
+  // (an entity uninformative within one shard can still split the combined
+  // set, and retained counts must survive §6 mask growth); informativeness
+  // and the exclusion mask are decided at merge time.
+  const uint64_t fp = delta_enabled_ ? sub.Fingerprint() : 0;
+  if (delta_enabled_ && valid_ && !pending_ && fp == counted_fp_) {
+    // Same view again (the don't-know loop): the retained counts ARE this
+    // view's counts — swap them into the merge input, no counting at all.
+    partial_.swap(prev_);
+    ++stats_.reemits;
+  } else if (delta_enabled_ && valid_ && pending_ && fp == expected_fp_) {
+    // Expected child: per shard, either subtract the dropped sibling's
+    // counts from the retained parent counts or rescan the kept half,
+    // whichever is locally cheaper (answers can skew differently per
+    // shard under hash partitioning).
+    if (prev_.size() < num_shards) prev_.resize(num_shards);
+    pending_ = false;
+    auto derive_shard = [&](size_t k) {
+      const SubCollection& kept_shard = sub.shard(k);
+      const SubCollection& sib_shard = sibling_.shard(k);
+      const size_t delta_cost = sib_shard.TotalElements() + prev_[k].size();
+      if (delta_cost < kept_shard.TotalElements()) {
+        // Dense-count the dropped local half (no sort, no emission) and
+        // subtract it from the retained shard counts in one pass; every
+        // sibling entity appears in the retained (full) list.
+        counters_[k].CountDense(sib_shard);
+        std::span<const uint32_t> dense = counters_[k].dense();
+        partial_[k].clear();
+        partial_[k].reserve(prev_[k].size());
+        for (const EntityCount& pc : prev_[k]) {
+          uint32_t c = pc.count;
+          if (pc.entity < dense.size()) c -= dense[pc.entity];
+          if (c != 0) partial_[k].push_back(EntityCount{pc.entity, c});
+        }
+      } else {
+        counters_[k].CountAll(kept_shard, &partial_[k]);
+      }
+    };
+    if (pool != nullptr && num_shards > 1 &&
+        sub.size() >= kShardParallelMinSets) {
+      pool->ParallelFor(num_shards, derive_shard);
+    } else {
+      for (size_t k = 0; k < num_shards; ++k) derive_shard(k);
+    }
+    sibling_ = ShardedSubCollection();
+    ++stats_.delta;
   } else {
-    for (size_t k = 0; k < num_shards; ++k) count_shard(k);
+    if (delta_enabled_ && pending_) {
+      ++stats_.invalidations;
+      pending_ = false;
+      sibling_ = ShardedSubCollection();
+    }
+    auto count_shard = [&](size_t k) {
+      counters_[k].CountAll(sub.shard(k), &partial_[k]);
+    };
+    if (pool != nullptr && num_shards > 1 &&
+        sub.size() >= kShardParallelMinSets) {
+      pool->ParallelFor(num_shards, count_shard);
+    } else {
+      for (size_t k = 0; k < num_shards; ++k) count_shard(k);
+    }
+    ++stats_.full;
+  }
+  if (delta_enabled_) {
+    counted_fp_ = fp;
+    valid_ = true;
   }
 
   const uint32_t n = static_cast<uint32_t>(sub.size());
+  auto is_excluded = [excluded](EntityId e) {
+    return excluded != nullptr && e < excluded->size() && (*excluded)[e];
+  };
   if (num_shards == 1) {
     out->reserve(partial_[0].size());
     for (const EntityCount& ec : partial_[0]) {
-      if (ec.count != 0 && ec.count != n) out->push_back(ec);
+      if (ec.count != 0 && ec.count != n && !is_excluded(ec.entity)) {
+        out->push_back(ec);
+      }
+    }
+    // Retain this pass's counts for the next step's derivation.
+    if (delta_enabled_) {
+      if (prev_.size() < num_shards) prev_.resize(num_shards);
+      partial_.swap(prev_);
     }
     return;
   }
@@ -225,29 +319,34 @@ void ShardedCounter::CountInformative(const ShardedSubCollection& sub,
         std::max<size_t>(2 * pool->num_threads(), num_shards), 32);
   }
   if (num_ranges <= 1 || universe < num_ranges) {
-    MergeRange(num_shards, n, 0, universe, out);
-    return;
+    MergeRange(num_shards, n, 0, universe, excluded, out);
+  } else {
+    if (ranges_.size() < num_ranges) ranges_.resize(num_ranges);
+    auto merge_one = [&](size_t r) {
+      EntityId lo = static_cast<EntityId>(static_cast<uint64_t>(universe) * r /
+                                          num_ranges);
+      EntityId hi = static_cast<EntityId>(static_cast<uint64_t>(universe) *
+                                          (r + 1) / num_ranges);
+      ranges_[r].clear();
+      MergeRange(num_shards, n, lo, hi, excluded, &ranges_[r]);
+    };
+    pool->ParallelFor(num_ranges, merge_one);
+    size_t total = 0;
+    for (size_t r = 0; r < num_ranges; ++r) total += ranges_[r].size();
+    out->reserve(total);
+    for (size_t r = 0; r < num_ranges; ++r) {
+      out->insert(out->end(), ranges_[r].begin(), ranges_[r].end());
+    }
   }
-  if (ranges_.size() < num_ranges) ranges_.resize(num_ranges);
-  auto merge_one = [&](size_t r) {
-    EntityId lo = static_cast<EntityId>(static_cast<uint64_t>(universe) * r /
-                                        num_ranges);
-    EntityId hi = static_cast<EntityId>(static_cast<uint64_t>(universe) *
-                                        (r + 1) / num_ranges);
-    ranges_[r].clear();
-    MergeRange(num_shards, n, lo, hi, &ranges_[r]);
-  };
-  pool->ParallelFor(num_ranges, merge_one);
-  size_t total = 0;
-  for (size_t r = 0; r < num_ranges; ++r) total += ranges_[r].size();
-  out->reserve(total);
-  for (size_t r = 0; r < num_ranges; ++r) {
-    out->insert(out->end(), ranges_[r].begin(), ranges_[r].end());
+  // Retain this pass's per-shard counts for the next step's derivation.
+  if (delta_enabled_) {
+    if (prev_.size() < num_shards) prev_.resize(num_shards);
+    partial_.swap(prev_);
   }
 }
 
 void ShardedCounter::MergeRange(size_t num_shards, uint32_t n, EntityId lo,
-                                EntityId hi,
+                                EntityId hi, const EntityExclusion* excluded,
                                 std::vector<EntityCount>* out) const {
   // Raw-pointer cursors, bounded to [lo, hi) up front so the hot loop only
   // compares heads. K is small (kMaxShards-bounded), so the per-emit scan
@@ -289,7 +388,9 @@ void ShardedCounter::MergeRange(size_t num_shards, uint32_t n, EntityId lo,
       }
       ++k;
     }
-    if (total != 0 && total != n) {
+    if (total != 0 && total != n &&
+        !(excluded != nullptr && min_entity < excluded->size() &&
+          (*excluded)[min_entity])) {
       out->push_back(EntityCount{min_entity, total});
     }
   }

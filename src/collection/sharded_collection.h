@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "collection/delta_counter.h"
 #include "collection/entity_counter.h"
 #include "collection/inverted_index.h"
 #include "collection/set_collection.h"
@@ -196,7 +197,18 @@ class ShardedSubCollection {
 /// merged candidate set, which is what keeps sharded selection decisions
 /// equal to unsharded ones.
 ///
-/// Owns one EntityCounter and one output buffer per shard, reused across
+/// Differential counting (collection/delta_counter.h), per shard: the
+/// counter retains each shard's full counts of the last view it counted,
+/// and when NotePartition() reports that the next view is one half of a
+/// partition of that view, each shard derives its child counts by scanning
+/// only the smaller local half and subtracting — the same derivation the
+/// unsharded DeltaCounter does, applied before the sorted merge. The
+/// per-shard passes are unfiltered (CountAll without the mask); the
+/// informative test and the exclusion mask are applied at merge time, which
+/// both keeps the retained state valid across §6 mask growth and lets a
+/// same-view re-emit (the don't-know loop) skip counting entirely.
+///
+/// Owns one EntityCounter and two count buffers per shard, reused across
 /// every step of a session (clear-by-touched-list inside EntityCounter, no
 /// per-step allocation or memset). Not thread-safe across concurrent
 /// CountInformative calls; one instance per session, like any selector
@@ -206,24 +218,61 @@ class ShardedCounter {
  public:
   ShardedCounter() = default;
 
+  /// When disabled, every call recounts every shard from scratch with no
+  /// retention — the full-recount baseline for bench_counting.
+  void set_delta_enabled(bool enabled) {
+    delta_enabled_ = enabled;
+    if (!enabled) Release();
+  }
+  bool delta_enabled() const { return delta_enabled_; }
+
   /// Appends every informative entity of the combined candidate set with its
   /// total count, ascending by entity id. `out` is cleared first. Entities
-  /// marked in `excluded` are skipped (during the per-shard pass, so they
-  /// never reach the merge).
+  /// marked in `excluded` are skipped (at merge time).
   void CountInformative(const ShardedSubCollection& sub,
                         std::vector<EntityCount>* out,
                         const EntityExclusion* excluded = nullptr,
                         ThreadPool* pool = nullptr);
 
+  /// Declares that `kept` and `dropped` are the halves of a partition of
+  /// `parent`; arms per-shard derivation for the next CountInformative(kept)
+  /// if the retained counts describe `parent`, else invalidates. Takes
+  /// ownership of `dropped`.
+  void NotePartition(const ShardedSubCollection& parent,
+                     const ShardedSubCollection& kept,
+                     ShardedSubCollection dropped);
+
+  /// Forgets retained counts and any armed partition (backtracks).
+  void Invalidate();
+
+  /// Invalidate() plus freeing all per-shard scratch and retained state.
+  void Release();
+
+  const DeltaCounterStats& delta_stats() const { return stats_; }
+
  private:
   /// Merges `num_shards` per-shard partial lists restricted to entity ids in
-  /// [lo, hi) into `out` (ascending, informative for combined size n only).
+  /// [lo, hi) into `out` (ascending; informative for combined size n and not
+  /// excluded only).
   void MergeRange(size_t num_shards, uint32_t n, EntityId lo, EntityId hi,
+                  const EntityExclusion* excluded,
                   std::vector<EntityCount>* out) const;
 
   std::vector<EntityCounter> counters_;            // one per shard
-  std::vector<std::vector<EntityCount>> partial_;  // per-shard outputs
+  std::vector<std::vector<EntityCount>> partial_;  // per-shard full counts
   std::vector<std::vector<EntityCount>> ranges_;   // per-range merge outputs
+
+  /// Retained per-shard full counts of the view with fingerprint
+  /// counted_fp_ (swapped with partial_ after every pass), the armed
+  /// sibling view, and per-shard sibling-count scratch.
+  std::vector<std::vector<EntityCount>> prev_;
+  ShardedSubCollection sibling_;
+  uint64_t counted_fp_ = 0;
+  uint64_t expected_fp_ = 0;
+  bool valid_ = false;
+  bool pending_ = false;
+  bool delta_enabled_ = true;
+  DeltaCounterStats stats_;
 };
 
 }  // namespace setdisc

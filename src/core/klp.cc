@@ -56,6 +56,7 @@ KlpOptions KlpOptions::MakeOptimal(CostMetric metric) {
 
 KlpSelector::KlpSelector(KlpOptions options) : options_(options) {
   SETDISC_CHECK(options_.k >= 1);
+  delta_counter_.set_enabled(options_.enable_delta_counting);
   const char* metric_tag =
       options_.metric == CostMetric::kAvgDepth ? "AD" : "H";
   if (options_.k >= INT32_MAX / 4) {
@@ -93,6 +94,38 @@ void KlpSelector::ClearCache() { cache_.clear(); }
 
 size_t KlpSelector::cache_size() const { return cache_.size(); }
 
+void KlpSelector::NotePartition(const SubCollection& parent, EntityId e,
+                                bool kept_contains, const SubCollection& kept,
+                                SubCollection dropped) {
+  if (best_small_valid_ && e == best_small_entity_) {
+    // The partition entity is the candidate this selector just chose, and
+    // its lookahead counted the smaller half of exactly this split: the
+    // kept child's counts derive right now, making the next top-level
+    // count a free re-emit.
+    delta_counter_.SeedChild(parent, kept, best_small_counts_,
+                             /*half_is_kept=*/best_small_is_in_ ==
+                                 kept_contains);
+  } else {
+    delta_counter_.NotePartition(parent, kept, std::move(dropped));
+  }
+  best_small_valid_ = false;
+}
+
+void KlpSelector::InvalidateCountState() {
+  delta_counter_.Invalidate();
+  best_small_valid_ = false;
+}
+
+void KlpSelector::ReleaseMemory() {
+  delta_counter_.Release();
+  counter_.Release();
+  cache_.clear();
+  cache_.rehash(0);
+  scratch_.clear();
+  best_small_counts_ = {};
+  best_small_valid_ = false;
+}
+
 EntityId KlpSelector::Select(const SubCollection& sub,
                              const EntityExclusion* excluded) {
   return SelectWithBound(sub, kInfiniteCost, excluded).entity;
@@ -121,8 +154,11 @@ KlpSelection KlpSelector::SelectWithBoundImpl(const SubCollection& sub,
   if (cache_.size() > options_.max_cache_entries) ClearCache();
   NodeStats node;
   depth_ = 0;
-  KlpSelection result =
-      SelectImpl(sub, options_.k, upper_limit, /*top=*/true, excluded, &node);
+  // A fresh top-level search invalidates any winner snapshot from the last
+  // one (it described the previous view's candidates).
+  best_small_valid_ = false;
+  KlpSelection result = SelectImpl(sub, options_.k, upper_limit, /*top=*/true,
+                                   excluded, &node, /*hint=*/nullptr);
   stats_.totals.candidates += node.candidates;
   stats_.totals.fully_evaluated += node.fully_evaluated;
   stats_.totals.pruned_by_break += node.pruned_by_break;
@@ -132,10 +168,47 @@ KlpSelection KlpSelector::SelectWithBoundImpl(const SubCollection& sub,
   return result;
 }
 
+void KlpSelector::MaterializeFromHint(const SubCollection& sub,
+                                      const DeltaHint& hint,
+                                      const EntityExclusion* excluded,
+                                      std::vector<EntityCount>* counts) {
+  (void)excluded;  // parent_asc already carries the mask (fixed per Select)
+  const uint32_t n = static_cast<uint32_t>(sub.size());
+  if (!*hint.dense_valid) {
+    // One dense scan of the smaller half serves both children of the
+    // candidate: no touched-list sort, no list emission — the children read
+    // it by random access below while walking the parent's sorted list.
+    hint.counter->CountDense(*hint.small);
+    *hint.dense_valid = true;
+  }
+  std::span<const uint32_t> dense = hint.counter->dense();
+  counts->clear();
+  counts->reserve(hint.parent_asc->size());
+  // Entities uninformative at the parent (in all or none of its sets) are
+  // uninformative in both children, and the exclusion mask is fixed for the
+  // whole Select(), so walking the parent's informative list covers every
+  // child candidate with every filter already applied except the child's
+  // own informative test.
+  if (&sub == hint.small) {
+    for (const EntityCount& pc : *hint.parent_asc) {
+      uint32_t c = pc.entity < dense.size() ? dense[pc.entity] : 0;
+      if (c != 0 && c != n) counts->push_back(EntityCount{pc.entity, c});
+    }
+    return;
+  }
+  // The larger half: counts = parent - smaller.
+  for (const EntityCount& pc : *hint.parent_asc) {
+    uint32_t c = pc.count;
+    if (pc.entity < dense.size()) c -= dense[pc.entity];
+    if (c != 0 && c != n) counts->push_back(EntityCount{pc.entity, c});
+  }
+}
+
 KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
                                      Cost upper_limit, bool top,
                                      const EntityExclusion* excluded,
-                                     NodeStats* node_stats) {
+                                     NodeStats* node_stats,
+                                     const DeltaHint* hint) {
   ++stats_.recursive_calls;
   const uint64_t n = sub.size();
   SETDISC_CHECK(n >= 2);
@@ -180,13 +253,26 @@ KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
   }
 
   if (depth_ >= static_cast<int>(scratch_.size())) {
-    scratch_.emplace_back(std::make_unique<std::vector<EntityCount>>());
+    scratch_.emplace_back(std::make_unique<LevelScratch>());
   }
-  std::vector<EntityCount>& counts = *scratch_[depth_];
+  LevelScratch& level = *scratch_[depth_];
+  std::vector<EntityCount>& counts = level.counts;
   if (top && precounted_ != nullptr) {
     // Sharded path: the root counts were already computed per shard and
-    // merged; copy into the mutable scratch (the sort below reorders it).
+    // merged; copy into the mutable scratch (the sort below reorders it),
+    // and adopt them as retained state so the winning candidate's SeedChild
+    // has a parent list to derive the next step's counts from.
     counts.assign(precounted_->begin(), precounted_->end());
+    if (options_.enable_delta_counting) {
+      delta_counter_.Adopt(sub.Fingerprint(), counts, excluded);
+    }
+  } else if (hint != nullptr) {
+    // Lookahead child: derive from the parent node's counts (one scan of
+    // the smaller half, shared with the sibling) instead of recounting.
+    MaterializeFromHint(sub, *hint, excluded, &counts);
+  } else if (top) {
+    // Session-facing root: chains across steps via NotePartition.
+    delta_counter_.CountInformative(sub, &counts, excluded);
   } else {
     counter_.CountInformative(sub, &counts, excluded);
   }
@@ -218,6 +304,11 @@ KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
     }
     return {best_e, bound};
   }
+
+  // Keep an ascending copy before the sort below destroys entity order: the
+  // children's count derivation is a merge against this list.
+  const bool delta_children = options_.enable_delta_counting;
+  if (delta_children) level.asc.assign(counts.begin(), counts.end());
 
   // Line 11: most-even (equivalently, non-decreasing 1-step-bound) order.
   if (options_.sort_candidates) {
@@ -262,6 +353,16 @@ KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
 
     auto [c_in, c_out] = sub.Partition(e);
 
+    // Differential counting for the recursion: both children's counts come
+    // from one (lazy) dense scan of the smaller half plus derivation from
+    // this node's ascending list. Materialization happens inside the child
+    // only after its memo lookup misses, so memo hits still skip counting.
+    bool dense_valid = false;
+    const DeltaHint child_hint{&level.asc,
+                               c_in.size() <= c_out.size() ? &c_in : &c_out,
+                               &level.counter, &dense_valid};
+    const DeltaHint* hint_ptr = delta_children ? &child_hint : nullptr;
+
     // Lines 18-25: (k-1)-step bound of C+ under its derived upper limit.
     Cost l_in;
     if (c_in.size() <= 1) {
@@ -273,7 +374,7 @@ KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
                        : kInfiniteCost;
       ++depth_;
       KlpSelection r = SelectImpl(c_in, k - 1, ul_in, /*top=*/false, excluded,
-                                  nullptr);
+                                  nullptr, hint_ptr);
       --depth_;
       if (r.entity == kNoEntity) {
         if (top && node_stats != nullptr) ++node_stats->pruned_by_child;
@@ -292,7 +393,7 @@ KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
                         : kInfiniteCost;
       ++depth_;
       KlpSelection r = SelectImpl(c_out, k - 1, ul_out, /*top=*/false,
-                                  excluded, nullptr);
+                                  excluded, nullptr, hint_ptr);
       --depth_;
       if (r.entity == kNoEntity) {
         if (top && node_stats != nullptr) ++node_stats->pruned_by_child;
@@ -309,6 +410,28 @@ KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
     if (l < best) {
       best = l;
       best_entity = e;
+      if (top) {
+        // Snapshot the winning candidate's smaller-half counts (restricted
+        // to this node's list, the shape SeedChild wants): if the session
+        // partitions on this entity — it returns as the selection —
+        // NotePartition seeds the child's counts from them and the next
+        // top-level count is free. Overwritten whenever a later candidate
+        // takes the lead; ~one pass per step in the sorted-candidates
+        // regime, where the leader rarely changes.
+        if (delta_children && dense_valid) {
+          std::span<const uint32_t> dense = level.counter.dense();
+          best_small_counts_.clear();
+          for (const EntityCount& pc : level.asc) {
+            uint32_t c = pc.entity < dense.size() ? dense[pc.entity] : 0;
+            if (c != 0) best_small_counts_.push_back(EntityCount{pc.entity, c});
+          }
+          best_small_entity_ = e;
+          best_small_is_in_ = child_hint.small == &c_in;
+          best_small_valid_ = true;
+        } else {
+          best_small_valid_ = false;
+        }
+      }
     }
   }
 

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "collection/delta_counter.h"
 #include "collection/entity_counter.h"
 #include "collection/sub_collection.h"
 #include "core/cost.h"
@@ -53,6 +54,16 @@ struct KlpOptions {
   /// most-even order (disables the line-11 sort; forces early break off
   /// since the break is only sound on sorted candidates).
   bool sort_candidates = true;
+
+  /// Differential counting (collection/delta_counter.h). Inside the
+  /// lookahead, both children of a candidate partition are counted by
+  /// scanning only the smaller half and deriving the larger from the node's
+  /// own counts by subtraction — the dominant saving, since k-LP counts at
+  /// every lookahead child; across steps, the top-level counts are derived
+  /// from the previous step's via the NotePartition chain. Decisions are
+  /// byte-identical either way (the delta parity suite pins it); off is the
+  /// full-recount baseline for bench_counting and ablations.
+  bool enable_delta_counting = true;
 
   /// Record per-node pruning stats (Table 4) in stats().per_node.
   bool record_per_node_stats = false;
@@ -113,6 +124,44 @@ class KlpSelector : public EntitySelector {
   void ClearCache();
   size_t cache_size() const;
 
+  /// Differential-counting hooks: the top-level counting pass of each
+  /// Select() chains across session steps through delta_counter_ — and when
+  /// the answered entity is the one this selector just chose, its lookahead
+  /// already counted both partition halves, so the next step's top counts
+  /// are seeded outright (SeedChild) and that count becomes a free re-emit.
+  /// Memo hits and the precounted (sharded) path skip the chain, and the
+  /// fingerprint check falls back to a full count whenever it broke.
+  void NotePartition(const SubCollection& parent, EntityId e,
+                     bool kept_contains, const SubCollection& kept,
+                     SubCollection dropped) override;
+  void InvalidateCountState() override;
+  void ReleaseMemory() override;
+
+  /// Full/delta/re-emit breakdown of the top-level (cross-step) counting.
+  const DeltaCounterStats& counting_stats() const {
+    return delta_counter_.stats();
+  }
+
+  /// True when the next top-level count of `sub` under `excluded` would be
+  /// served from retained state without scanning the collection. The
+  /// sharded selector uses this to skip its per-shard counting pass
+  /// entirely and route the step through SelectWithBound on the combined
+  /// view.
+  bool HasTopCountsFor(const SubCollection& sub,
+                       const EntityExclusion* excluded) const {
+    return options_.enable_delta_counting &&
+           delta_counter_.CanReuse(sub.Fingerprint(), excluded);
+  }
+
+  /// True when NotePartition on entity `e` would seed the child's counts
+  /// from the last lookahead (e is the candidate whose halves it counted) —
+  /// in which case the dropped-half argument goes unused and layered
+  /// callers can skip materializing it.
+  bool WouldSeedOn(EntityId e) const {
+    return options_.enable_delta_counting && best_small_valid_ &&
+           e == best_small_entity_;
+  }
+
  private:
   struct MemoKey {
     std::vector<SetId> ids;
@@ -128,11 +177,38 @@ class KlpSelector : public EntitySelector {
     Cost bound;
   };
 
+  /// Ingredients for deriving a lookahead child's counts from its parent
+  /// node's instead of recounting (Algorithm 1's recursion counts BOTH
+  /// halves of every candidate partition — this collapses that to one
+  /// dense scan of the smaller half per candidate, shared by the two
+  /// children, with no sort and no list emission). Built per candidate in
+  /// the parent's loop; materialized lazily so a child that memo-hits never
+  /// triggers the scan.
+  struct DeltaHint {
+    /// The parent node's candidate list in ascending entity order (the
+    /// pre-sort copy) — informative for the parent, exclusion-filtered.
+    const std::vector<EntityCount>* parent_asc;
+    /// The smaller partition half by set count (ties: the containing half).
+    const SubCollection* small;
+    /// The parent level's counter; lazily holds CountDense(*small), which
+    /// both children read by O(1) dense lookup while walking parent_asc.
+    EntityCounter* counter;
+    bool* dense_valid;
+  };
+
   KlpSelection SelectWithBoundImpl(const SubCollection& sub, Cost upper_limit,
                                    const EntityExclusion* excluded);
   KlpSelection SelectImpl(const SubCollection& sub, int k, Cost upper_limit,
                           bool top, const EntityExclusion* excluded,
-                          NodeStats* node_stats);
+                          NodeStats* node_stats, const DeltaHint* hint);
+
+  /// Fills `counts` with what CountInformative(sub, excluded) would emit,
+  /// using the hint: count the smaller half once (lazily), then either
+  /// filter it (we are the smaller half) or subtract it from the parent's
+  /// list (we are the larger).
+  void MaterializeFromHint(const SubCollection& sub, const DeltaHint& hint,
+                           const EntityExclusion* excluded,
+                           std::vector<EntityCount>* counts);
 
   /// Non-null only inside SelectWithBoundPrecounted: the externally merged
   /// top-level counts, consumed by the top SelectImpl call.
@@ -141,11 +217,32 @@ class KlpSelector : public EntitySelector {
   KlpOptions options_;
   std::string name_;
   EntityCounter counter_;
+  /// Top-level cross-step counting state; recursion levels use the
+  /// DeltaHint scheme instead (their parent's counts are on the stack).
+  DeltaCounter delta_counter_;
   KlpStats stats_;
   std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> cache_;
-  // Reusable per-depth candidate buffers (one per recursion level).
-  std::vector<std::unique_ptr<std::vector<EntityCount>>> scratch_;
+  /// Reusable per-recursion-level scratch. Each level owns a counter so a
+  /// node's dense smaller-half counts stay live while its children (which
+  /// dense-count on their own level) derive from them.
+  struct LevelScratch {
+    std::vector<EntityCount> counts;  ///< candidate list (sorted in place)
+    std::vector<EntityCount> asc;     ///< ascending copy for child hints
+    EntityCounter counter;            ///< smaller-half dense counts
+  };
+  std::vector<std::unique_ptr<LevelScratch>> scratch_;
   int depth_ = 0;
+
+  /// Lookahead reuse: the smaller-half counts (restricted to the top node's
+  /// candidate list) of the candidate currently winning the loop,
+  /// snapshotted each time `best` improves. If the session then partitions
+  /// on exactly that entity, NotePartition seeds the child's counts from it
+  /// — the dominant cross-step saving for k-LP, since the winning candidate
+  /// is precisely the one whose halves the lookahead counted.
+  std::vector<EntityCount> best_small_counts_;
+  EntityId best_small_entity_ = kNoEntity;
+  bool best_small_is_in_ = false;  ///< smaller half == containing half?
+  bool best_small_valid_ = false;
 };
 
 }  // namespace setdisc

@@ -7,6 +7,7 @@
 
 #include <string_view>
 
+#include "collection/delta_counter.h"
 #include "collection/entity_counter.h"
 #include "collection/fingerprint.h"
 #include "collection/sub_collection.h"
@@ -44,6 +45,39 @@ class EntitySelector {
   virtual uint64_t DecisionFingerprint() const {
     return FingerprintString(name());
   }
+
+  /// Differential-counting hooks (collection/delta_counter.h). The driver
+  /// that owns the conversation reports how the candidate view evolves
+  /// between Select() calls so counting selectors can derive the next
+  /// step's counts from the last step's instead of recounting. Defaults are
+  /// no-ops: a selector that retains no cross-step state ignores them, and
+  /// drivers that never call them (tree construction, one-shot Select)
+  /// leave every selector on the full-recount path.
+
+  /// `kept` and `dropped` are the halves of a partition of `parent` on the
+  /// answered entity `e` (`kept_contains` says whether the kept half is the
+  /// containing one — a "yes" answer); the caller keeps `kept` and hands
+  /// over `dropped` (which it was about to free). Decisions must be
+  /// identical whether or not this is ever called — it is a perf channel,
+  /// not a semantic one.
+  virtual void NotePartition(const SubCollection& parent, EntityId e,
+                             bool kept_contains, const SubCollection& kept,
+                             SubCollection dropped) {
+    (void)parent;
+    (void)e;
+    (void)kept_contains;
+    (void)kept;
+    (void)dropped;
+  }
+
+  /// The candidate view jumped to a non-child state (§6 backtracking,
+  /// verify failure): retained counts no longer describe an ancestor of the
+  /// next view.
+  virtual void InvalidateCountState() {}
+
+  /// Shrink-on-idle: drop retained counts, dense scratch, and memo state.
+  /// The next Select() pays a full recount; decisions are unaffected.
+  virtual void ReleaseMemory() {}
 };
 
 }  // namespace setdisc

@@ -44,56 +44,79 @@ EntityId PickInfoGain(std::span<const EntityCount> counts, uint64_t n);
 EntityId PickIndistinguishablePairs(std::span<const EntityCount> counts,
                                     uint64_t n);
 
-/// Picks the entity minimizing | |C1| - |C2| |; ties broken by entity id.
-class MostEvenSelector : public EntitySelector {
+/// Common base of the counting-pass selectors: owns the DeltaCounter and
+/// routes the differential-counting hooks to it, so each strategy is just
+/// "count (or derive), then score". `differential = false` pins the
+/// full-recount path — the baseline bench_counting measures against.
+class CountingSelector : public EntitySelector {
  public:
+  explicit CountingSelector(bool differential = true) {
+    counter_.set_enabled(differential);
+  }
+
+  void NotePartition(const SubCollection& parent, EntityId e,
+                     bool kept_contains, const SubCollection& kept,
+                     SubCollection dropped) override {
+    (void)e;
+    (void)kept_contains;
+    counter_.NotePartition(parent, kept, std::move(dropped));
+  }
+  void InvalidateCountState() override { counter_.Invalidate(); }
+  void ReleaseMemory() override {
+    counter_.Release();
+    counts_ = {};
+  }
+
+  /// Full/delta/re-emit breakdown of the counting passes so far.
+  const DeltaCounterStats& counting_stats() const { return counter_.stats(); }
+
+ protected:
+  DeltaCounter counter_;
+  std::vector<EntityCount> counts_;
+};
+
+/// Picks the entity minimizing | |C1| - |C2| |; ties broken by entity id.
+class MostEvenSelector : public CountingSelector {
+ public:
+  using CountingSelector::CountingSelector;
   EntityId Select(const SubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override;
   std::string_view name() const override { return "MostEven"; }
-
- private:
-  EntityCounter counter_;
-  std::vector<EntityCount> counts_;
 };
 
 /// Picks the entity maximizing information gain (Eq. 9); ties broken by the
 /// most even partition, then entity id.
-class InfoGainSelector : public EntitySelector {
+class InfoGainSelector : public CountingSelector {
  public:
+  using CountingSelector::CountingSelector;
   EntityId Select(const SubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override;
   std::string_view name() const override { return "InfoGain"; }
-
- private:
-  EntityCounter counter_;
-  std::vector<EntityCount> counts_;
 };
 
 /// Picks the entity minimizing the number of indistinguishable pairs
 /// (Eq. 10); ties broken by the most even partition, then entity id.
-class IndistinguishablePairsSelector : public EntitySelector {
+class IndistinguishablePairsSelector : public CountingSelector {
  public:
+  using CountingSelector::CountingSelector;
   EntityId Select(const SubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override;
   std::string_view name() const override { return "IndgPairs"; }
-
- private:
-  EntityCounter counter_;
-  std::vector<EntityCount> counts_;
 };
 
-/// Picks a uniformly random informative entity. Deterministic given the seed.
-class RandomSelector : public EntitySelector {
+/// Picks a uniformly random informative entity. Deterministic given the seed
+/// (and counting mode cannot change a draw: the candidate list is identical
+/// either way).
+class RandomSelector : public CountingSelector {
  public:
-  explicit RandomSelector(uint64_t seed = 42) : rng_(seed) {}
+  explicit RandomSelector(uint64_t seed = 42, bool differential = true)
+      : CountingSelector(differential), rng_(seed) {}
   EntityId Select(const SubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override;
   std::string_view name() const override { return "Random"; }
 
  private:
   Rng rng_;
-  EntityCounter counter_;
-  std::vector<EntityCount> counts_;
 };
 
 }  // namespace setdisc

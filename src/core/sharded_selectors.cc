@@ -26,17 +26,56 @@ EntityId ShardedIndistinguishablePairsSelector::Select(
 EntityId ShardedKlpSelector::Select(const ShardedSubCollection& sub,
                                     const EntityExclusion* excluded) {
   if (sub.size() < 2) return kNoEntity;
+  if (combined_valid_ && sub.Fingerprint() == combined_sub_fp_ &&
+      inner_.HasTopCountsFor(combined_, excluded)) {
+    // The inner selector's retained state already holds this view's counts
+    // (seeded by the previous step's lookahead, or a don't-know re-select):
+    // no per-shard counting, no merge — the whole top-level pass is the
+    // inner re-emit.
+    return inner_.SelectWithBound(combined_, kInfiniteCost, excluded).entity;
+  }
   counter_.CountInformative(sub, &counts_, excluded, pool_);
   // Materialize the combined view for the recursion (and the memo keys,
   // which stay in global-id space so entries persist across steps exactly
-  // like the unsharded selector's). Built fresh and moved in: the view owns
-  // its id vector, so a reused buffer would only add a second copy.
+  // like the unsharded selector's). Kept as a member across steps: the
+  // inner selector's cross-step state is keyed on it, and NotePartition
+  // derives the next view from it without re-merging the shard lists.
   std::vector<SetId> global_ids;
   global_ids.reserve(sub.size());
   sub.AppendGlobalIds(&global_ids);
-  SubCollection view(&sub.collection().base(), std::move(global_ids));
-  return inner_.SelectWithBoundPrecounted(view, kInfiniteCost, excluded, counts_)
+  combined_ = SubCollection(&sub.collection().base(), std::move(global_ids));
+  combined_valid_ = counter_.delta_enabled();
+  combined_sub_fp_ = combined_valid_ ? sub.Fingerprint() : 0;
+  return inner_
+      .SelectWithBoundPrecounted(combined_, kInfiniteCost, excluded, counts_)
       .entity;
+}
+
+void ShardedKlpSelector::NotePartition(const ShardedSubCollection& parent,
+                                       EntityId e, bool kept_contains,
+                                       const ShardedSubCollection& kept,
+                                       ShardedSubCollection dropped) {
+  if (combined_valid_ && parent.Fingerprint() == combined_sub_fp_ &&
+      inner_.WouldSeedOn(e)) {
+    // The answered entity is the candidate the lookahead just evaluated:
+    // seed the inner state over the kept combined view, derived by
+    // partitioning the retained combined list — one linear pass, no k-way
+    // re-merge of the shard lists. The dropped half is not needed
+    // (SeedChild derives from the snapshot), so it is discarded.
+    auto [in, out] = combined_.Partition(e, /*derive_fingerprints=*/true);
+    SubCollection kept_combined = kept_contains ? std::move(in)
+                                                : std::move(out);
+    inner_.NotePartition(combined_, e, kept_contains, kept_combined,
+                         SubCollection());
+    combined_ = std::move(kept_combined);
+    combined_sub_fp_ = kept.Fingerprint();
+    // The per-shard chain is left un-armed: the next top count is served by
+    // the seeded inner state, and ShardedCounter would only discover its
+    // own staleness one NotePartition later.
+    return;
+  }
+  combined_valid_ = false;
+  counter_.NotePartition(parent, kept, std::move(dropped));
 }
 
 EntityId ShardedRandomSelector::Select(const ShardedSubCollection& sub,

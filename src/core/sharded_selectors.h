@@ -58,45 +58,85 @@ class ShardedEntitySelector {
   /// selector.
   virtual void set_pool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Differential-counting hooks, mirroring EntitySelector's: the session
+  /// reports partitions so the per-shard counting state can derive the next
+  /// step's counts (collection/sharded_collection.h, ShardedCounter).
+  /// Defaults are no-ops; decisions are identical whether or not these are
+  /// ever called.
+  virtual void NotePartition(const ShardedSubCollection& parent, EntityId e,
+                             bool kept_contains,
+                             const ShardedSubCollection& kept,
+                             ShardedSubCollection dropped) {
+    (void)parent;
+    (void)e;
+    (void)kept_contains;
+    (void)kept;
+    (void)dropped;
+  }
+  virtual void InvalidateCountState() {}
+  virtual void ReleaseMemory() {}
+
  protected:
   ThreadPool* pool_ = nullptr;
 };
 
-/// Sharded MostEven: per-shard count + merge, then PickMostEven.
-class ShardedMostEvenSelector : public ShardedEntitySelector {
+/// Common base of the counting sharded strategies: owns the ShardedCounter
+/// and routes the differential hooks to it. `differential = false` pins the
+/// per-shard full-recount baseline.
+class ShardedCountingSelector : public ShardedEntitySelector {
  public:
-  EntityId Select(const ShardedSubCollection& sub,
-                  const EntityExclusion* excluded = nullptr) override;
-  std::string_view name() const override { return "MostEven"; }
+  explicit ShardedCountingSelector(bool differential = true) {
+    counter_.set_delta_enabled(differential);
+  }
 
- private:
+  void NotePartition(const ShardedSubCollection& parent, EntityId e,
+                     bool kept_contains, const ShardedSubCollection& kept,
+                     ShardedSubCollection dropped) override {
+    (void)e;
+    (void)kept_contains;
+    counter_.NotePartition(parent, kept, std::move(dropped));
+  }
+  void InvalidateCountState() override { counter_.Invalidate(); }
+  void ReleaseMemory() override {
+    counter_.Release();
+    counts_ = {};
+  }
+
+  const DeltaCounterStats& counting_stats() const {
+    return counter_.delta_stats();
+  }
+
+ protected:
   ShardedCounter counter_;
   std::vector<EntityCount> counts_;
 };
 
-/// Sharded InfoGain: per-shard count + merge, then PickInfoGain.
-class ShardedInfoGainSelector : public ShardedEntitySelector {
+/// Sharded MostEven: per-shard count + merge, then PickMostEven.
+class ShardedMostEvenSelector : public ShardedCountingSelector {
  public:
+  using ShardedCountingSelector::ShardedCountingSelector;
+  EntityId Select(const ShardedSubCollection& sub,
+                  const EntityExclusion* excluded = nullptr) override;
+  std::string_view name() const override { return "MostEven"; }
+};
+
+/// Sharded InfoGain: per-shard count + merge, then PickInfoGain.
+class ShardedInfoGainSelector : public ShardedCountingSelector {
+ public:
+  using ShardedCountingSelector::ShardedCountingSelector;
   EntityId Select(const ShardedSubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override;
   std::string_view name() const override { return "InfoGain"; }
-
- private:
-  ShardedCounter counter_;
-  std::vector<EntityCount> counts_;
 };
 
 /// Sharded IndistinguishablePairs: per-shard count + merge, then
 /// PickIndistinguishablePairs.
-class ShardedIndistinguishablePairsSelector : public ShardedEntitySelector {
+class ShardedIndistinguishablePairsSelector : public ShardedCountingSelector {
  public:
+  using ShardedCountingSelector::ShardedCountingSelector;
   EntityId Select(const ShardedSubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override;
   std::string_view name() const override { return "IndgPairs"; }
-
- private:
-  ShardedCounter counter_;
-  std::vector<EntityCount> counts_;
 };
 
 /// Sharded k-LP family: the root counting pass (the only one over the full
@@ -105,36 +145,69 @@ class ShardedIndistinguishablePairsSelector : public ShardedEntitySelector {
 /// to the counting scan — and handed to an ordinary KlpSelector via
 /// SelectWithBoundPrecounted, so the lookahead recursion, pruning, and memo
 /// are literally the unsharded implementation.
-class ShardedKlpSelector : public ShardedEntitySelector {
+class ShardedKlpSelector : public ShardedCountingSelector {
  public:
-  explicit ShardedKlpSelector(KlpOptions options) : inner_(options) {}
+  /// options.enable_delta_counting controls all three derivation layers:
+  /// the in-lookahead child derivation (the inner KlpSelector's recursion),
+  /// the lookahead-reuse seeding of the next step's counts (composed here:
+  /// when the answered entity is the candidate the lookahead just chose,
+  /// the inner selector's retained state is seeded over the kept combined
+  /// view and the next step skips the per-shard counting pass entirely),
+  /// and the per-shard cross-step derivation (this class's ShardedCounter,
+  /// the fallback when the seeding chain breaks).
+  explicit ShardedKlpSelector(KlpOptions options)
+      : ShardedCountingSelector(options.enable_delta_counting),
+        inner_(options) {}
 
   EntityId Select(const ShardedSubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override;
   std::string_view name() const override { return inner_.name(); }
 
+  void NotePartition(const ShardedSubCollection& parent, EntityId e,
+                     bool kept_contains, const ShardedSubCollection& kept,
+                     ShardedSubCollection dropped) override;
+
+  void InvalidateCountState() override {
+    ShardedCountingSelector::InvalidateCountState();
+    inner_.InvalidateCountState();
+    combined_valid_ = false;
+  }
+
+  void ReleaseMemory() override {
+    ShardedCountingSelector::ReleaseMemory();
+    inner_.ReleaseMemory();
+    combined_ = SubCollection();
+    combined_valid_ = false;
+  }
+
   KlpSelector& inner() { return inner_; }
 
  private:
   KlpSelector inner_;
-  ShardedCounter counter_;
-  std::vector<EntityCount> counts_;
+  /// The current candidate view materialized over the base collection
+  /// (global ids), kept across steps: Select hands it to the inner
+  /// recursion, NotePartition derives the kept child's combined view from
+  /// it, and a seeded step reuses it instead of re-merging the shard lists.
+  SubCollection combined_;
+  /// Fingerprint of the *sharded* view combined_ mirrors (the sharded and
+  /// combined fingerprints differ for K > 1).
+  uint64_t combined_sub_fp_ = 0;
+  bool combined_valid_ = false;
 };
 
 /// Sharded Random: merged informative entities, one uniform draw per
 /// question — the same rng consumption sequence as RandomSelector, so equal
 /// seeds give equal transcripts.
-class ShardedRandomSelector : public ShardedEntitySelector {
+class ShardedRandomSelector : public ShardedCountingSelector {
  public:
-  explicit ShardedRandomSelector(uint64_t seed = 42) : rng_(seed) {}
+  explicit ShardedRandomSelector(uint64_t seed = 42, bool differential = true)
+      : ShardedCountingSelector(differential), rng_(seed) {}
   EntityId Select(const ShardedSubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override;
   std::string_view name() const override { return "Random"; }
 
  private:
   Rng rng_;
-  ShardedCounter counter_;
-  std::vector<EntityCount> counts_;
 };
 
 }  // namespace setdisc

@@ -118,10 +118,22 @@ void BasicDiscoverySession<Engine>::SubmitAnswer(Oracle::Answer answer) {
   }
   // Derive the children's fingerprints during the partition: when a shared
   // selection cache is on, the selector just computed this view's
-  // fingerprint, and the next Select() will want the survivor's.
+  // fingerprint, and the next Select() will want the survivor's; the
+  // differential counting state keys its parent/child chain on them too.
   auto [in, out] = engine_.Partition(candidates_, e,
                                      /*derive_fingerprints=*/true);
-  candidates_ = yes ? std::move(in) : std::move(out);
+  // Report the partition to the selector's counting state, handing over the
+  // dropped half: the next Select() can then derive its counts from this
+  // step's instead of recounting (collection/delta_counter.h).
+  if (yes) {
+    selector_->NotePartition(candidates_, e, /*kept_contains=*/true, in,
+                             std::move(out));
+    candidates_ = std::move(in);
+  } else {
+    selector_->NotePartition(candidates_, e, /*kept_contains=*/false, out,
+                             std::move(in));
+    candidates_ = std::move(out);
+  }
   Advance();
 }
 
@@ -144,6 +156,9 @@ void BasicDiscoverySession<Engine>::Verify(bool confirmed) {
 
 template <typename Engine>
 void BasicDiscoverySession<Engine>::Backtrack() {
+  // The candidate view is about to jump to an ancestor state: whatever
+  // counts the selector retained describe a view the session is leaving.
+  selector_->InvalidateCountState();
   // Flip the most recent unflipped answer and resume on the branch opposite
   // to the (suspected erroneous) answer.
   while (!frames_.empty()) {

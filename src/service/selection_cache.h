@@ -231,6 +231,19 @@ class CachingSelector : public EntitySelector {
 
   std::string_view name() const override { return inner_->name(); }
 
+  /// Differential-counting hooks pass straight through: the inner selector
+  /// owns the counting state. Composition with the cache is automatic — a
+  /// cache hit skips the inner Select(), so the inner state's fingerprint
+  /// check fails on the NEXT miss and that miss recounts in full, re-seeding
+  /// the chain; misses along an uncached suffix then ride the delta path.
+  void NotePartition(const SubCollection& parent, EntityId e,
+                     bool kept_contains, const SubCollection& kept,
+                     SubCollection dropped) override {
+    inner_->NotePartition(parent, e, kept_contains, kept, std::move(dropped));
+  }
+  void InvalidateCountState() override { inner_->InvalidateCountState(); }
+  void ReleaseMemory() override { inner_->ReleaseMemory(); }
+
   EntitySelector& inner() { return *inner_; }
 
  private:
@@ -275,6 +288,15 @@ class ShardedCachingSelector : public ShardedEntitySelector {
 
   /// The counting pool belongs to the inner selector doing the work.
   void set_pool(ThreadPool* pool) override { inner_->set_pool(pool); }
+
+  /// Differential-counting pass-through; see CachingSelector.
+  void NotePartition(const ShardedSubCollection& parent, EntityId e,
+                     bool kept_contains, const ShardedSubCollection& kept,
+                     ShardedSubCollection dropped) override {
+    inner_->NotePartition(parent, e, kept_contains, kept, std::move(dropped));
+  }
+  void InvalidateCountState() override { inner_->InvalidateCountState(); }
+  void ReleaseMemory() override { inner_->ReleaseMemory(); }
 
   ShardedEntitySelector& inner() { return *inner_; }
 

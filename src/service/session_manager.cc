@@ -29,11 +29,16 @@ SessionManager::SessionManager(const SetCollection& collection,
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<ThreadPool>(threads);
-  if (options_.background_reap && options_.session_ttl.count() > 0) {
+  if (options_.background_reap && (options_.session_ttl.count() > 0 ||
+                                   options_.release_scratch_after.count() > 0)) {
     std::chrono::milliseconds interval = options_.reap_interval;
     if (interval.count() <= 0) {
-      interval = std::clamp(options_.session_ttl / 4,
-                            std::chrono::milliseconds(10),
+      // Derive the tick from whichever timer is driving it (shrink-on-idle
+      // can run without a TTL).
+      const std::chrono::milliseconds basis =
+          options_.session_ttl.count() > 0 ? options_.session_ttl
+                                           : options_.release_scratch_after;
+      interval = std::clamp(basis / 4, std::chrono::milliseconds(10),
                             std::chrono::milliseconds(1000));
     }
     reaper_ = std::thread(&SessionManager::ReaperLoop, this, interval);
@@ -161,6 +166,7 @@ std::shared_ptr<SessionManager::Entry> SessionManager::Find(SessionId id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return nullptr;
   it->second->last_touched = Clock::now();
+  it->second->scratch_released = false;
   // Move to the back of the LRU list; O(1), no allocation.
   lru_.splice(lru_.end(), lru_, it->second->lru_it);
   return it->second;
@@ -253,8 +259,52 @@ size_t SessionManager::ReapExpiredLocked() {
 }
 
 size_t SessionManager::ReapExpired() {
-  std::lock_guard<std::mutex> lock(registry_mu_);
-  return ReapExpiredLocked();
+  size_t reaped;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    reaped = ReapExpiredLocked();
+  }
+  ReleaseIdleScratch();
+  return reaped;
+}
+
+size_t SessionManager::ReleaseIdleScratch() {
+  if (options_.release_scratch_after.count() <= 0) return 0;
+  const Clock::time_point cutoff =
+      Clock::now() - options_.release_scratch_after;
+  // Collect candidates under the registry lock — the idle sessions are a
+  // prefix of the LRU list, and already-released ones are skipped — then
+  // release outside it: ReleaseMemory needs the entry mutex (it races with
+  // steps), and holding the registry lock across per-session work is the
+  // contention the background reaper exists to avoid.
+  std::vector<std::shared_ptr<Entry>> idle;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (SessionId id : lru_) {
+      auto it = sessions_.find(id);
+      SETDISC_CHECK_MSG(it != sessions_.end(), "LRU list out of sync");
+      if (it->second->last_touched >= cutoff) break;
+      if (!it->second->scratch_released) idle.push_back(it->second);
+    }
+  }
+  size_t released = 0;
+  for (const std::shared_ptr<Entry>& entry : idle) {
+    // try_lock: a session mid-step is not idle after all — skip it; the
+    // next tick reconsiders. (Its touch also cleared scratch_released.)
+    std::unique_lock<std::mutex> step_lock(entry->mu, std::try_to_lock);
+    if (!step_lock.owns_lock()) continue;
+    if (entry->selector != nullptr) entry->selector->ReleaseMemory();
+    if (entry->sharded_selector != nullptr) {
+      entry->sharded_selector->ReleaseMemory();
+    }
+    step_lock.unlock();
+    ++released;
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    // Re-check idleness: a touch that slipped in since the release already
+    // cleared the flag, and its session deserves a fresh idle period.
+    if (entry->last_touched < cutoff) entry->scratch_released = true;
+  }
+  return released;
 }
 
 size_t SessionManager::num_active() const {

@@ -128,6 +128,17 @@ struct SessionManagerOptions {
   /// false or the TTL is zero (no thread is started).
   std::chrono::milliseconds reap_interval{0};
 
+  /// Shrink-on-idle: sessions idle longer than this have their selector's
+  /// retained memory released (EntitySelector::ReleaseMemory — the
+  /// differential-counting state, the dense counting scratch, and the k-LP
+  /// memo), so 100k parked-but-live sessions don't pin O(universe) scratch
+  /// each. The release runs on the background reaper tick (or inside
+  /// ReapExpired() for manual reaping) and is purely a memory/latency
+  /// trade: the next step pays one full recount, transcripts are
+  /// unaffected. Zero disables. Should be < session_ttl to matter (expired
+  /// sessions are destroyed outright).
+  std::chrono::milliseconds release_scratch_after{0};
+
   /// Upper bound on live sessions; creating one past the bound evicts the
   /// least recently touched session (zero = unlimited).
   size_t max_sessions = 0;
@@ -186,8 +197,16 @@ class SessionManager {
   /// Closes a session explicitly. Returns kNotFound if it wasn't live.
   SessionStatus Close(SessionId id);
 
-  /// Drops every session idle longer than the TTL; returns how many.
+  /// Drops every session idle longer than the TTL; returns how many. Also
+  /// runs the shrink-on-idle pass when release_scratch_after is set.
   size_t ReapExpired();
+
+  /// Releases the retained selector memory of every session idle longer
+  /// than `options.release_scratch_after` (no-op when that is zero);
+  /// returns how many sessions were shrunk. Sessions mid-step are skipped
+  /// (their entry mutex is only try_locked) and picked up next tick.
+  /// Called by the reaper tick; public for deterministic tests.
+  size_t ReleaseIdleScratch();
 
   /// Number of live sessions.
   size_t num_active() const;
@@ -230,6 +249,10 @@ class SessionManager {
     std::unique_ptr<DiscoveryEngine> session;
     Clock::time_point last_touched;
     std::list<SessionId>::iterator lru_it;
+    /// Guarded by registry_mu_: set once the shrink-on-idle pass released
+    /// this session's selector memory, cleared on every touch, so an idle
+    /// session is released once per idle period, not once per reaper tick.
+    bool scratch_released = false;
   };
 
   std::shared_ptr<Entry> Find(SessionId id);

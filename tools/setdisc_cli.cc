@@ -36,6 +36,15 @@
 //   --cache-capacity N  cache entry bound (default 1M; only with --cache)
 //   --cache-skip-one-shot  admission policy: singleton don't-know exclusion
 //                     states bypass the cache (reported as "bypasses")
+//   --no-delta        disable differential counting (collection/
+//                     delta_counter.h): every step recounts from scratch.
+//                     Transcripts are identical either way; this is the
+//                     baseline knob for A/B timing (bench_counting measures
+//                     the gap systematically)
+//   --release-idle MS shrink-on-idle for --serve/--serve-stress: sessions
+//                     idle longer than MS milliseconds drop their retained
+//                     counting state, dense scratch, and k-LP memo (the
+//                     next step pays one full recount)
 
 #include <atomic>
 #include <chrono>
@@ -129,7 +138,8 @@ int Usage() {
                "                   [--k N] [--q N] [--metric ad|h] "
                "[--shards K] [--examples a,b,c] [--verify] [--threads N]\n"
                "                   [--cache] [--cache-capacity N] "
-               "[--cache-skip-one-shot]\n");
+               "[--cache-skip-one-shot]\n"
+               "                   [--no-delta] [--release-idle MS]\n");
   return 2;
 }
 
@@ -230,6 +240,8 @@ int main(int argc, char** argv) {
   int stress_threads = 8;
   int serve_port = -1;
   bool verify = false;
+  bool no_delta = false;
+  int release_idle_ms = 0;
   bool use_cache = false;
   bool cache_skip_one_shot = false;
   size_t cache_capacity = size_t{1} << 20;
@@ -268,6 +280,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache-skip-one-shot") {
       cache_skip_one_shot = true;
       use_cache = true;
+    } else if (arg == "--no-delta") {
+      no_delta = true;
+    } else if (arg == "--release-idle" && i + 1 < argc) {
+      release_idle_ms = std::atoi(argv[++i]);
     } else if (arg == "--k" && i + 1 < argc) {
       k = std::atoi(argv[++i]);
     } else if (arg == "--q" && i + 1 < argc) {
@@ -393,6 +409,7 @@ int main(int argc, char** argv) {
 
   KlpOptions options = q > 0 ? KlpOptions::MakeKlple(k, q, metric)
                              : KlpOptions::MakeKlp(k, metric);
+  options.enable_delta_counting = !no_delta;
   KlpSelector selector(options);
   SubCollection full = SubCollection::Full(&collection);
 
@@ -498,6 +515,10 @@ int main(int argc, char** argv) {
       manager_options.discovery.verify_and_backtrack = verify;
       manager_options.num_threads = static_cast<size_t>(stress_threads);
       manager_options.num_shards = static_cast<size_t>(shards);
+      if (release_idle_ms > 0) {
+        manager_options.release_scratch_after =
+            std::chrono::milliseconds(release_idle_ms);
+      }
       // Capture by value: the factories are stored in the manager and
       // invoked on every Create for its whole lifetime.
       manager_options.selector_factory = [options] {
@@ -565,6 +586,10 @@ int main(int argc, char** argv) {
       manager_options.discovery.verify_and_backtrack = verify;
       manager_options.num_threads = static_cast<size_t>(stress_threads);
       manager_options.num_shards = static_cast<size_t>(shards);
+      if (release_idle_ms > 0) {
+        manager_options.release_scratch_after =
+            std::chrono::milliseconds(release_idle_ms);
+      }
       manager_options.selector_factory = [options] {
         return std::make_unique<KlpSelector>(options);
       };
