@@ -2,7 +2,38 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace setdisc {
+
+namespace {
+
+/// Process-wide serve-path mix {full, delta, reemit}: the per-instance
+/// DeltaCounterStats die with their selector, the registry counters are
+/// what live monitoring reads.
+obs::Counter* ServeCounter(obs::ServePath path) {
+  static obs::Counter* const full = obs::MetricsRegistry::Default().GetCounter(
+      "setdisc_delta_serves_total", {{"path", "full"}});
+  static obs::Counter* const delta = obs::MetricsRegistry::Default().GetCounter(
+      "setdisc_delta_serves_total", {{"path", "delta"}});
+  static obs::Counter* const reemit =
+      obs::MetricsRegistry::Default().GetCounter("setdisc_delta_serves_total",
+                                                 {{"path", "reemit"}});
+  switch (path) {
+    case obs::ServePath::kDelta: return delta;
+    case obs::ServePath::kReemit: return reemit;
+    default: return full;
+  }
+}
+
+void NoteServe(obs::ServePath path) {
+  obs::NoteServePath(path);
+  if (obs::Enabled()) ServeCounter(path)->Add(1);
+}
+
+}  // namespace
 
 void DeltaCounter::EmitFiltered(const std::vector<EntityCount>& retained,
                                 const EntityExclusion* excluded,
@@ -21,7 +52,9 @@ void DeltaCounter::EmitFiltered(const std::vector<EntityCount>& retained,
 void DeltaCounter::CountInformative(const SubCollection& sub,
                                     std::vector<EntityCount>* out,
                                     const EntityExclusion* excluded) {
+  obs::PhaseTimer timer(obs::Phase::kCount);
   if (!enabled_) {
+    NoteServe(obs::ServePath::kFull);
     counter_.CountInformative(sub, out, excluded);
     return;
   }
@@ -57,10 +90,12 @@ void DeltaCounter::CountInformative(const SubCollection& sub,
       }
       retained_.resize(write);
       ++stats_.delta;
+      NoteServe(obs::ServePath::kDelta);
     } else {
       counter_.CountInformative(sub, &retained_, excluded);
       SnapshotMask(excluded);
       ++stats_.full;
+      NoteServe(obs::ServePath::kFull);
     }
     sibling_ = SubCollection();
     counted_fp_ = fp;
@@ -74,6 +109,7 @@ void DeltaCounter::CountInformative(const SubCollection& sub,
     // (exclusion grew, candidates did not), or a repeated root Select. No
     // counting: re-filter under the current mask.
     ++stats_.reemits;
+    NoteServe(obs::ServePath::kReemit);
     EmitFiltered(retained_, excluded, out);
     CopyMaskIds(excluded, &last_emit_mask_);
     return;
@@ -91,6 +127,7 @@ void DeltaCounter::CountInformative(const SubCollection& sub,
   counted_fp_ = fp;
   valid_ = true;
   ++stats_.full;
+  NoteServe(obs::ServePath::kFull);
   out->assign(retained_.begin(), retained_.end());
   CopyMaskIds(excluded, &last_emit_mask_);
 }
@@ -150,6 +187,10 @@ void DeltaCounter::SeedChild(const SubCollection& parent,
   pending_ = false;
   sibling_ = SubCollection();
   ++stats_.delta;
+  // A seeded derivation is a delta serve in the registry mix too; the
+  // step's own serve path stays whatever its CountInformative reports
+  // (typically a re-emit of this list).
+  if (obs::Enabled()) ServeCounter(obs::ServePath::kDelta)->Add(1);
 }
 
 void DeltaCounter::Adopt(uint64_t fp, const std::vector<EntityCount>& counts,

@@ -3,9 +3,36 @@
 #include <algorithm>
 
 #include "collection/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace setdisc {
+
+namespace {
+
+/// Same serve-path registry families the unsharded DeltaCounter feeds
+/// (GetCounter returns the one shared instance per family), so the
+/// process-wide {full, delta, reemit} mix covers both engines.
+void NoteShardedServe(obs::ServePath path) {
+  obs::NoteServePath(path);
+  if (!obs::Enabled()) return;
+  static obs::Counter* const full = obs::MetricsRegistry::Default().GetCounter(
+      "setdisc_delta_serves_total", {{"path", "full"}});
+  static obs::Counter* const delta = obs::MetricsRegistry::Default().GetCounter(
+      "setdisc_delta_serves_total", {{"path", "delta"}});
+  static obs::Counter* const reemit =
+      obs::MetricsRegistry::Default().GetCounter("setdisc_delta_serves_total",
+                                                 {{"path", "reemit"}});
+  switch (path) {
+    case obs::ServePath::kDelta: delta->Add(1); break;
+    case obs::ServePath::kReemit: reemit->Add(1); break;
+    default: full->Add(1); break;
+  }
+}
+
+}  // namespace
 
 ShardedCollection::ShardedCollection(const SetCollection& base,
                                      ShardingOptions options)
@@ -224,11 +251,13 @@ void ShardedCounter::CountInformative(const ShardedSubCollection& sub,
   // set, and retained counts must survive §6 mask growth); informativeness
   // and the exclusion mask are decided at merge time.
   const uint64_t fp = delta_enabled_ ? sub.Fingerprint() : 0;
+  obs::PhaseTimer count_timer(obs::Phase::kCount);
   if (delta_enabled_ && valid_ && !pending_ && fp == counted_fp_) {
     // Same view again (the don't-know loop): the retained counts ARE this
     // view's counts — swap them into the merge input, no counting at all.
     partial_.swap(prev_);
     ++stats_.reemits;
+    NoteShardedServe(obs::ServePath::kReemit);
   } else if (delta_enabled_ && valid_ && pending_ && fp == expected_fp_) {
     // Expected child: per shard, either subtract the dropped sibling's
     // counts from the retained parent counts or rescan the kept half,
@@ -265,6 +294,7 @@ void ShardedCounter::CountInformative(const ShardedSubCollection& sub,
     }
     sibling_ = ShardedSubCollection();
     ++stats_.delta;
+    NoteShardedServe(obs::ServePath::kDelta);
   } else {
     if (delta_enabled_ && pending_) {
       ++stats_.invalidations;
@@ -281,6 +311,7 @@ void ShardedCounter::CountInformative(const ShardedSubCollection& sub,
       for (size_t k = 0; k < num_shards; ++k) count_shard(k);
     }
     ++stats_.full;
+    NoteShardedServe(obs::ServePath::kFull);
   }
   if (delta_enabled_) {
     counted_fp_ = fp;
@@ -306,6 +337,7 @@ void ShardedCounter::CountInformative(const ShardedSubCollection& sub,
     return;
   }
 
+  obs::PhaseTimer merge_timer(obs::Phase::kShardMerge);
   // K-way merge-sum of the ascending per-shard lists; emit the globally
   // informative entities (0 < total < n) in ascending entity order — exactly
   // EntityCounter::CountInformative's output over the merged candidates.

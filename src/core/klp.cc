@@ -2,11 +2,41 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/table_printer.h"
 
 namespace setdisc {
 
 namespace {
+
+/// Live pruning-effectiveness totals (satellite of the per-instance
+/// KlpStats, which die with their session's selector): every top-level
+/// Select publishes its NodeStats deltas here, so the registry always has
+/// the process-wide k-LP candidate/evaluated/pruned mix.
+void PublishNodeStats(const NodeStats& node) {
+  static obs::Counter* const candidates =
+      obs::MetricsRegistry::Default().GetCounter(
+          "setdisc_klp_candidates_total");
+  static obs::Counter* const fully_evaluated =
+      obs::MetricsRegistry::Default().GetCounter(
+          "setdisc_klp_fully_evaluated_total");
+  static obs::Counter* const pruned_break =
+      obs::MetricsRegistry::Default().GetCounter("setdisc_klp_pruned_total",
+                                                 {{"reason", "break"}});
+  static obs::Counter* const pruned_child =
+      obs::MetricsRegistry::Default().GetCounter("setdisc_klp_pruned_total",
+                                                 {{"reason", "child"}});
+  static obs::Counter* const pruned_beam =
+      obs::MetricsRegistry::Default().GetCounter("setdisc_klp_pruned_total",
+                                                 {{"reason", "beam"}});
+  candidates->Add(node.candidates);
+  fully_evaluated->Add(node.fully_evaluated);
+  pruned_break->Add(node.pruned_by_break);
+  pruned_child->Add(node.pruned_by_child);
+  pruned_beam->Add(node.excluded_by_beam);
+}
 
 /// Imbalance | |C1| - |C2| | of a split with |C1| = c out of n sets. Sorting
 /// candidates by imbalance is the paper's line-11 "most even partitioning"
@@ -165,6 +195,7 @@ KlpSelection KlpSelector::SelectWithBoundImpl(const SubCollection& sub,
   stats_.totals.pruned_by_child += node.pruned_by_child;
   stats_.totals.excluded_by_beam += node.excluded_by_beam;
   if (options_.record_per_node_stats) stats_.per_node.push_back(node);
+  if (obs::Enabled()) PublishNodeStats(node);
   return result;
 }
 
@@ -312,6 +343,10 @@ KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
 
   // Line 11: most-even (equivalently, non-decreasing 1-step-bound) order.
   if (options_.sort_candidates) {
+    // Only the top-level sort is charged to the order phase: recursion
+    // nodes sort too, but timing each would put clock reads on every
+    // lookahead node.
+    obs::PhaseTimer order_timer(obs::Phase::kOrder, /*armed=*/top);
     std::sort(counts.begin(), counts.end(),
               [n](const EntityCount& a, const EntityCount& b) {
                 uint64_t ia = Imbalance(a.count, n);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace setdisc {
 
 namespace {
@@ -72,6 +74,7 @@ EntityId MostEvenSelector::Select(const SubCollection& sub,
                                   const EntityExclusion* excluded) {
   if (sub.size() < 2) return kNoEntity;
   counter_.CountInformative(sub, &counts_, excluded);
+  obs::PhaseTimer order_timer(obs::Phase::kOrder);
   return PickMostEven(counts_, sub.size());
 }
 
@@ -79,6 +82,7 @@ EntityId InfoGainSelector::Select(const SubCollection& sub,
                                   const EntityExclusion* excluded) {
   if (sub.size() < 2) return kNoEntity;
   counter_.CountInformative(sub, &counts_, excluded);
+  obs::PhaseTimer order_timer(obs::Phase::kOrder);
   return PickInfoGain(counts_, sub.size());
 }
 
@@ -86,6 +90,7 @@ EntityId IndistinguishablePairsSelector::Select(const SubCollection& sub,
                                                 const EntityExclusion* excluded) {
   if (sub.size() < 2) return kNoEntity;
   counter_.CountInformative(sub, &counts_, excluded);
+  obs::PhaseTimer order_timer(obs::Phase::kOrder);
   return PickIndistinguishablePairs(counts_, sub.size());
 }
 

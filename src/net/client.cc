@@ -91,9 +91,11 @@ Status DecodeState(const Frame& reply, SessionStateMsg* out) {
 }  // namespace
 
 Status DiscoveryClient::CreateSession(std::span<const EntityId> initial,
-                                      SessionStateMsg* out) {
+                                      SessionStateMsg* out,
+                                      bool enable_trace) {
   CreateSessionMsg msg;
   msg.initial.assign(initial.begin(), initial.end());
+  msg.enable_trace = enable_trace;
   Frame reply;
   Status status = Call(Encode(msg), MsgType::kSessionState, &reply);
   if (!status.ok()) return status;
@@ -144,6 +146,17 @@ Status DiscoveryClient::GetStats(StatsReplyMsg* out) {
   if (!status.ok()) return status;
   if (!Decode(reply.body, out)) {
     return Status::Corruption("undecodable stats reply");
+  }
+  return Status::OK();
+}
+
+Status DiscoveryClient::GetTrace(uint64_t session_id, TraceReplyMsg* out) {
+  Frame reply;
+  Status status = Call(Encode(MsgType::kGetTrace, SessionRefMsg{session_id}),
+                       MsgType::kTraceReply, &reply);
+  if (!status.ok()) return status;
+  if (!Decode(reply.body, out)) {
+    return Status::Corruption("undecodable trace reply");
   }
   return Status::OK();
 }

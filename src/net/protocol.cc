@@ -134,6 +134,9 @@ std::string Encode(const CreateSessionMsg& msg) {
   PayloadWriter w(&body);
   w.PutU32(static_cast<uint32_t>(msg.initial.size()));
   for (EntityId e : msg.initial) w.PutU32(e);
+  // The flags byte is optional-trailing: omitted when zero, so a client with
+  // tracing off emits the exact pre-flags encoding that old servers require.
+  if (msg.enable_trace) w.PutU8(0x01);
   return EncodeFrame(MsgType::kCreateSession, body);
 }
 
@@ -141,16 +144,27 @@ bool Decode(std::string_view body, CreateSessionMsg* out) {
   PayloadReader r(body);
   uint32_t n = 0;
   if (!r.GetU32(&n)) return false;
-  // The count must match the remaining bytes exactly; anything else is a
-  // malformed frame, not a short read (framing already delivered the body
-  // whole).
-  if (r.remaining() != size_t{n} * sizeof(uint32_t)) return false;
+  // The count must match the remaining bytes exactly — modulo one optional
+  // trailing flags byte; anything else is a malformed frame, not a short
+  // read (framing already delivered the body whole).
+  const size_t ids_bytes = size_t{n} * sizeof(uint32_t);
+  if (r.remaining() != ids_bytes && r.remaining() != ids_bytes + 1) {
+    return false;
+  }
   out->initial.clear();
   out->initial.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     uint32_t e = 0;
     if (!r.GetU32(&e)) return false;
     out->initial.push_back(e);
+  }
+  out->enable_trace = false;
+  if (r.remaining() == 1) {
+    uint8_t flags = 0;
+    if (!r.GetU8(&flags)) return false;
+    // Unknown flag bits are ignored, so future clients can set them without
+    // being rejected by this build.
+    out->enable_trace = (flags & 0x01) != 0;
   }
   return r.Exhausted();
 }
@@ -306,15 +320,58 @@ bool Decode(std::string_view body, SessionStateMsg* out) {
   return r.Exhausted();
 }
 
+namespace {
+
+void PutHistogramSummary(PayloadWriter& w, const HistogramSummary& h) {
+  w.PutU64(h.count);
+  w.PutU64(h.sum);
+  w.PutU64(h.p50);
+  w.PutU64(h.p90);
+  w.PutU64(h.p99);
+  w.PutU64(h.p999);
+}
+
+bool GetHistogramSummary(PayloadReader& r, HistogramSummary* h) {
+  return r.GetU64(&h->count) && r.GetU64(&h->sum) && r.GetU64(&h->p50) &&
+         r.GetU64(&h->p90) && r.GetU64(&h->p99) && r.GetU64(&h->p999);
+}
+
+}  // namespace
+
 std::string Encode(const StatsReplyMsg& msg) {
   std::string body;
   PayloadWriter w(&body);
+  // Version-0 prefix, byte-exact: old clients parse exactly this much.
   w.PutU64(msg.active_sessions);
   w.PutU64(msg.created_sessions);
   w.PutU64(msg.connections_open);
   w.PutU64(msg.connections_total);
   w.PutU64(msg.frames_received);
   w.PutU64(msg.frames_sent);
+  if (!msg.has_rich) return EncodeFrame(MsgType::kStatsReply, body);
+  w.PutU8(msg.rich_version);
+  PutHistogramSummary(w, msg.step_latency);
+  PutHistogramSummary(w, msg.pool_queue_wait);
+  w.PutU64(msg.pool_queue_depth);
+  w.PutU64(msg.cache_lookups);
+  w.PutU64(msg.cache_hits);
+  w.PutU64(msg.delta_full);
+  w.PutU64(msg.delta_delta);
+  w.PutU64(msg.delta_reemit);
+  w.PutU64(msg.klp_candidates);
+  w.PutU64(msg.klp_evaluated);
+  w.PutU64(msg.klp_pruned);
+  const uint32_t n = static_cast<uint32_t>(
+      std::min<size_t>(msg.registry.size(), kMaxWireRegistryEntries));
+  w.PutU32(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const auto& [name, value] = msg.registry[i];
+    const uint16_t len = static_cast<uint16_t>(
+        std::min<size_t>(name.size(), UINT16_MAX));
+    w.PutU16(len);
+    w.PutBytes(std::string_view(name).substr(0, len));
+    w.PutU64(value);
+  }
   return EncodeFrame(MsgType::kStatsReply, body);
 }
 
@@ -325,6 +382,100 @@ bool Decode(std::string_view body, StatsReplyMsg* out) {
       !r.GetU64(&out->connections_total) || !r.GetU64(&out->frames_received) ||
       !r.GetU64(&out->frames_sent)) {
     return false;
+  }
+  out->has_rich = false;
+  out->registry.clear();
+  // A version-0 server stops here: exactly the legacy body is a valid reply.
+  if (r.remaining() == 0) return true;
+  uint8_t version = 0;
+  if (!r.GetU8(&version) || version == 0) return false;
+  out->rich_version = version;
+  // Parse the v1 layout (every later version starts with it). Truncation
+  // inside it trips the reader and is rejected; bytes AFTER it are a newer
+  // server's extensions and are tolerated — that asymmetry is the
+  // extensibility contract of this message.
+  if (!GetHistogramSummary(r, &out->step_latency) ||
+      !GetHistogramSummary(r, &out->pool_queue_wait) ||
+      !r.GetU64(&out->pool_queue_depth) || !r.GetU64(&out->cache_lookups) ||
+      !r.GetU64(&out->cache_hits) || !r.GetU64(&out->delta_full) ||
+      !r.GetU64(&out->delta_delta) || !r.GetU64(&out->delta_reemit) ||
+      !r.GetU64(&out->klp_candidates) || !r.GetU64(&out->klp_evaluated) ||
+      !r.GetU64(&out->klp_pruned)) {
+    return false;
+  }
+  uint32_t n = 0;
+  if (!r.GetU32(&n)) return false;
+  if (n > kMaxWireRegistryEntries) return false;
+  // Cheapest-possible-entry bound before reserving anything.
+  if (r.remaining() < size_t{n} * (sizeof(uint16_t) + sizeof(uint64_t))) {
+    return false;
+  }
+  out->registry.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint16_t len = 0;
+    std::string_view name;
+    uint64_t value = 0;
+    if (!r.GetU16(&len) || !r.GetBytes(len, &name) || !r.GetU64(&value)) {
+      return false;
+    }
+    out->registry.emplace_back(std::string(name), value);
+  }
+  out->has_rich = true;
+  return r.ok();
+}
+
+std::string Encode(const TraceReplyMsg& msg) {
+  std::string body;
+  PayloadWriter w(&body);
+  w.PutU64(msg.session_id);
+  w.PutU8(static_cast<uint8_t>(obs::kNumPhases));
+  const size_t total = msg.events.size();
+  const size_t n = std::min<size_t>(total, kMaxWireTraceEvents);
+  // Ship the most recent events when the ring outgrew the frame cap.
+  const size_t first = total - n;
+  w.PutU32(static_cast<uint32_t>(n));
+  for (size_t i = first; i < total; ++i) {
+    const obs::TraceEvent& ev = msg.events[i];
+    w.PutU32(ev.step);
+    w.PutU32(ev.entity);
+    w.PutU8(ev.kind);
+    w.PutU8(ev.serve_path);
+    w.PutU32(ev.candidates_before);
+    w.PutU32(ev.candidates_after);
+    w.PutU64(ev.total_ns);
+    for (size_t ph = 0; ph < obs::kNumPhases; ++ph) w.PutU64(ev.phase_ns[ph]);
+  }
+  return EncodeFrame(MsgType::kTraceReply, body);
+}
+
+bool Decode(std::string_view body, TraceReplyMsg* out) {
+  PayloadReader r(body);
+  uint8_t num_phases = 0;
+  uint32_t n = 0;
+  if (!r.GetU64(&out->session_id) || !r.GetU8(&num_phases) || !r.GetU32(&n)) {
+    return false;
+  }
+  if (num_phases == 0 || num_phases > 64) return false;
+  if (n > kMaxWireTraceEvents) return false;
+  const size_t per_event = 4 + 4 + 1 + 1 + 4 + 4 + 8 + size_t{num_phases} * 8;
+  if (r.remaining() != size_t{n} * per_event) return false;
+  out->events.clear();
+  out->events.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    obs::TraceEvent ev;
+    if (!r.GetU32(&ev.step) || !r.GetU32(&ev.entity) || !r.GetU8(&ev.kind) ||
+        !r.GetU8(&ev.serve_path) || !r.GetU32(&ev.candidates_before) ||
+        !r.GetU32(&ev.candidates_after) || !r.GetU64(&ev.total_ns)) {
+      return false;
+    }
+    // A server with more phases than this build knows ships them all; the
+    // extras are read and dropped.
+    for (size_t ph = 0; ph < num_phases; ++ph) {
+      uint64_t v = 0;
+      if (!r.GetU64(&v)) return false;
+      if (ph < obs::kNumPhases) ev.phase_ns[ph] = v;
+    }
+    out->events.push_back(ev);
   }
   return r.Exhausted();
 }

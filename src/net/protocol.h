@@ -38,6 +38,8 @@
 
 #include "collection/types.h"
 #include "core/discovery.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/session_manager.h"
 
 namespace setdisc::net {
@@ -59,11 +61,13 @@ enum class MsgType : uint8_t {
   kGetSession = 0x04,     ///< body: u64 session
   kCloseSession = 0x05,   ///< body: u64 session
   kStats = 0x06,          ///< body: empty
+  kGetTrace = 0x07,       ///< body: u64 session
 
   // server -> client
   kSessionState = 0x81,  ///< body: SessionStateMsg
   kStatsReply = 0x82,    ///< body: StatsReplyMsg
   kClosed = 0x83,        ///< body: u64 session (reply to kCloseSession)
+  kTraceReply = 0x84,    ///< body: TraceReplyMsg
   kError = 0xFF,         ///< body: u8 WireStatus, u32 len, message bytes
 };
 
@@ -235,6 +239,12 @@ class FrameDecoder {
 
 struct CreateSessionMsg {
   std::vector<EntityId> initial;
+  /// Ask the server to attach a per-step trace ring to the session (read
+  /// back with kGetTrace). Rides in an optional trailing flags byte: it is
+  /// only emitted when set, so a client with tracing off produces the exact
+  /// pre-flags encoding and old servers keep accepting it. Old clients
+  /// never send the byte, which decodes as false.
+  bool enable_trace = false;
 };
 
 struct AnswerMsg {
@@ -302,6 +312,26 @@ struct SessionStateMsg {
   WireResult result;               ///< populated iff state == kFinished
 };
 
+/// Wire digest of one latency histogram: count, sum, and the standard
+/// quantiles, each a u64 of nanoseconds (count is a plain count).
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+};
+
+/// Cap on registry-dump entries in a StatsReply; keeps a hostile reply from
+/// forcing a huge allocation and the frame under kDefaultMaxBody.
+inline constexpr uint32_t kMaxWireRegistryEntries = 4096;
+
+/// The kStats reply. The first six u64s are the version-0 body, byte-exact:
+/// an old client reads them and stops (its decoder must tolerate the longer
+/// body — see Decode). Everything after is the versioned rich section; a new
+/// client talking to an old server sees a 48-byte body and gets
+/// has_rich == false.
 struct StatsReplyMsg {
   uint64_t active_sessions = 0;
   uint64_t created_sessions = 0;
@@ -309,6 +339,41 @@ struct StatsReplyMsg {
   uint64_t connections_total = 0;
   uint64_t frames_received = 0;
   uint64_t frames_sent = 0;
+
+  /// True iff the reply carried the rich section (server >= this version).
+  bool has_rich = false;
+  /// Rich-section version the server wrote; decoders parse the v1 layout
+  /// and ignore trailing bytes appended by future versions.
+  uint8_t rich_version = 1;
+
+  HistogramSummary step_latency;      ///< setdisc_step_latency_ns, all labels
+  HistogramSummary pool_queue_wait;   ///< setdisc_pool_queue_wait_ns
+  uint64_t pool_queue_depth = 0;      ///< setdisc_pool_queue_depth gauge
+  uint64_t cache_lookups = 0;         ///< selection-cache lookups
+  uint64_t cache_hits = 0;            ///< selection-cache hits
+  uint64_t delta_full = 0;            ///< serve-path mix: full recounts
+  uint64_t delta_delta = 0;           ///< serve-path mix: delta derivations
+  uint64_t delta_reemit = 0;          ///< serve-path mix: re-emits
+  uint64_t klp_candidates = 0;        ///< k-LP candidates considered
+  uint64_t klp_evaluated = 0;         ///< k-LP candidates fully evaluated
+  uint64_t klp_pruned = 0;            ///< k-LP candidates pruned (all reasons)
+  /// Name -> value dump of every counter/gauge in the server's registry
+  /// (first kMaxWireRegistryEntries, sorted by name). Labeled families
+  /// appear as name{label="v",...}.
+  std::vector<std::pair<std::string, uint64_t>> registry;
+};
+
+/// Cap on trace events in one kTraceReply frame; the server ships the most
+/// recent events when the ring is larger. ~74 bytes/event keeps the worst
+/// frame around 600 KiB, under kDefaultMaxBody.
+inline constexpr uint32_t kMaxWireTraceEvents = 8192;
+
+/// Reply to kGetTrace: the session's trace ring, oldest first. num_phases is
+/// on the wire once so a client built against fewer phases still decodes
+/// events written by a server with more (extras are skipped).
+struct TraceReplyMsg {
+  uint64_t session_id = 0;
+  std::vector<obs::TraceEvent> events;
 };
 
 // Encoders return a complete frame (header + body).
@@ -320,6 +385,7 @@ std::string EncodeStatsRequest();
 std::string Encode(const ErrorMsg& msg);
 std::string Encode(const SessionStateMsg& msg);
 std::string Encode(const StatsReplyMsg& msg);
+std::string Encode(const TraceReplyMsg& msg);
 
 // Decoders parse a frame body; false = malformed (wrong size, bad enum
 // value, trailing bytes).
@@ -329,7 +395,11 @@ bool Decode(std::string_view body, VerifyMsg* out);
 bool Decode(std::string_view body, SessionRefMsg* out);
 bool Decode(std::string_view body, ErrorMsg* out);
 bool Decode(std::string_view body, SessionStateMsg* out);
+/// Tolerates bodies longer than this build knows (a newer server's rich
+/// section, or trailing bytes after the known v1 layout) but rejects
+/// truncation anywhere inside a section it started to parse.
 bool Decode(std::string_view body, StatsReplyMsg* out);
+bool Decode(std::string_view body, TraceReplyMsg* out);
 
 /// SessionView -> wire reply (server side).
 SessionStateMsg ToWire(const SessionView& view);

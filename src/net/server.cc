@@ -16,6 +16,8 @@
 #endif
 
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
 
 namespace setdisc::net {
 
@@ -140,6 +142,26 @@ std::unique_ptr<Poller> MakePoller(bool use_epoll) {
   return std::make_unique<PollPoller>();
 }
 
+obs::Counter* BytesReadCounter() {
+  static obs::Counter* const c = obs::MetricsRegistry::Default().GetCounter(
+      "setdisc_net_bytes_read_total");
+  return c;
+}
+
+obs::Counter* BytesWrittenCounter() {
+  static obs::Counter* const c = obs::MetricsRegistry::Default().GetCounter(
+      "setdisc_net_bytes_written_total");
+  return c;
+}
+
+/// Bytes sitting in connection write buffers, process-wide. A sustained
+/// nonzero value means clients are not keeping up with their replies.
+obs::Gauge* WriteBacklogGauge() {
+  static obs::Gauge* const g = obs::MetricsRegistry::Default().GetGauge(
+      "setdisc_net_write_backlog_bytes");
+  return g;
+}
+
 WireStatus ToWireStatus(SessionStatus status) {
   switch (status) {
     case SessionStatus::kOk: return WireStatus::kOk;
@@ -178,12 +200,25 @@ struct Conn {
   }
 };
 
+/// One metrics-HTTP connection: read until the blank line (or EOF), write
+/// one response, close. No keep-alive, no routing — every request gets the
+/// registry snapshot.
+struct MetricsConn {
+  UniqueFd fd;
+  std::string in;
+  std::string out;
+  size_t outpos = 0;
+  bool responding = false;
+};
+
 }  // namespace
 
 struct DiscoveryServer::Impl {
   UniqueFd listener;
+  UniqueFd metrics_listener;
   UniqueFd wake_read, wake_write;
   std::unique_ptr<Poller> poller;
+  std::unordered_map<int, MetricsConn> metrics_conns;
 
   // Event-loop-thread state.
   std::unordered_map<int, std::shared_ptr<Conn>> by_fd;
@@ -191,6 +226,10 @@ struct DiscoveryServer::Impl {
   uint64_t next_conn_id = 1;
   bool draining = false;
   Clock::time_point drain_deadline;
+
+  /// Sum of unflushed reply bytes across all connections. Loop-thread only;
+  /// mirrored into the setdisc_net_write_backlog_bytes gauge.
+  int64_t write_backlog = 0;
 
   // Pool-thread -> loop-thread handoff.
   std::mutex completions_mu;
@@ -240,11 +279,39 @@ Status DiscoveryServer::Start() {
   SetNonBlocking(impl_->wake_read.get());
   SetNonBlocking(impl_->wake_write.get());
 
+  if (options_.enable_metrics_http) {
+    Result<UniqueFd> metrics_listener = TcpListen(
+        options_.bind_address, options_.metrics_port, options_.listen_backlog);
+    if (!metrics_listener.ok()) return metrics_listener.status();
+    impl_->metrics_listener = std::move(metrics_listener.value());
+    Status mnb = SetNonBlocking(impl_->metrics_listener.get());
+    if (!mnb.ok()) return mnb;
+    metrics_port_ = LocalPort(impl_->metrics_listener.get());
+  }
+
   impl_->poller = MakePoller(options_.use_epoll);
   impl_->poller->Add(impl_->listener.get(), /*want_read=*/true,
                      /*want_write=*/false);
+  if (impl_->metrics_listener.valid()) {
+    impl_->poller->Add(impl_->metrics_listener.get(), /*want_read=*/true,
+                       /*want_write=*/false);
+  }
   impl_->poller->Add(impl_->wake_read.get(), /*want_read=*/true,
                      /*want_write=*/false);
+
+  stats_probe_ = obs::MetricsRegistry::Default().AddProbe(
+      [this](obs::SampleSink& sink) {
+        ServerStats s = stats();
+        sink.Counter("setdisc_server_connections_total", s.connections_total);
+        sink.Gauge("setdisc_server_connections_open",
+                   static_cast<int64_t>(s.connections_open));
+        sink.Counter("setdisc_server_frames_received_total",
+                     s.frames_received);
+        sink.Counter("setdisc_server_frames_sent_total", s.frames_sent);
+        sink.Counter("setdisc_server_protocol_errors_total",
+                     s.protocol_errors);
+        sink.Counter("setdisc_server_idle_closed_total", s.idle_closed);
+      });
 
   // A restarted server (Start after Shutdown) must not inherit the old
   // drain state or stale replies for long-gone connection ids.
@@ -261,6 +328,9 @@ Status DiscoveryServer::Start() {
 }
 
 void DiscoveryServer::Shutdown() {
+  // Released before the join so a Snapshot() racing the teardown cannot
+  // sample a dying server. (Release blocks out in-flight invocations.)
+  stats_probe_.Release();
   if (loop_thread_.joinable()) {
     stop_requested_.store(true);
     char byte = 1;
@@ -286,6 +356,59 @@ ServerStats DiscoveryServer::stats() const {
 // ---------------------------------------------------------------------------
 
 namespace {
+
+HistogramSummary Summarize(const obs::HistogramSnapshot& snap) {
+  HistogramSummary h;
+  h.count = snap.count;
+  h.sum = snap.sum;
+  h.p50 = snap.ValueAtQuantile(0.50);
+  h.p90 = snap.ValueAtQuantile(0.90);
+  h.p99 = snap.ValueAtQuantile(0.99);
+  h.p999 = snap.ValueAtQuantile(0.999);
+  return h;
+}
+
+/// Assembles the versioned rich section of a kStats reply: the merged
+/// latency histograms, the serve-path mix, the cache hit rate, the k-LP
+/// pruning totals, and a name->value dump of every counter/gauge the
+/// registry (including its probes) knows.
+void FillRichStats(SessionManager& manager, StatsReplyMsg* msg) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  msg->has_rich = true;
+  msg->rich_version = 1;
+  msg->step_latency = Summarize(reg.MergedHistogram("setdisc_step_latency_ns"));
+  msg->pool_queue_wait =
+      Summarize(reg.MergedHistogram("setdisc_pool_queue_wait_ns"));
+  msg->pool_queue_depth = manager.pool().queue_depth();
+  if (SelectionCache* cache = manager.selection_cache()) {
+    const SelectionCacheStats cs = cache->stats();
+    msg->cache_lookups = cs.lookups;
+    msg->cache_hits = cs.hits;
+  }
+  msg->delta_full =
+      reg.GetCounter("setdisc_delta_serves_total", {{"path", "full"}})->Value();
+  msg->delta_delta =
+      reg.GetCounter("setdisc_delta_serves_total", {{"path", "delta"}})
+          ->Value();
+  msg->delta_reemit =
+      reg.GetCounter("setdisc_delta_serves_total", {{"path", "reemit"}})
+          ->Value();
+  msg->klp_candidates = reg.CounterTotal("setdisc_klp_candidates_total");
+  msg->klp_evaluated = reg.CounterTotal("setdisc_klp_fully_evaluated_total");
+  msg->klp_pruned = reg.CounterTotal("setdisc_klp_pruned_total");
+  const obs::RegistrySnapshot snap = reg.Snapshot();
+  msg->registry.reserve(
+      std::min<size_t>(snap.samples.size(), kMaxWireRegistryEntries));
+  for (const obs::MetricSample& sample : snap.samples) {
+    if (msg->registry.size() >= kMaxWireRegistryEntries) break;
+    std::string key = sample.name;
+    if (!sample.labels.empty()) {
+      key += "{" + obs::FormatLabels(sample.labels) + "}";
+    }
+    msg->registry.emplace_back(std::move(key),
+                               static_cast<uint64_t>(sample.value));
+  }
+}
 
 /// Encodes the reply for one offloaded session step: the new state on
 /// success, an Error frame otherwise.
@@ -321,7 +444,13 @@ struct LoopCtx {
     stats.*counter += by;
   }
 
+  void NoteBacklog(int64_t delta) {
+    im.write_backlog += delta;
+    if (obs::Enabled()) WriteBacklogGauge()->Set(im.write_backlog);
+  }
+
   void SendFrame(Conn& conn, std::string frame) {
+    NoteBacklog(static_cast<int64_t>(frame.size()));
     conn.outbuf += frame;
     Bump(&ServerStats::frames_sent);
   }
@@ -351,6 +480,7 @@ struct LoopCtx {
   }
 
   void CloseConn(Conn& conn) {
+    NoteBacklog(-static_cast<int64_t>(conn.outbuf.size() - conn.outpos));
     im.poller->Remove(conn.fd.get());
     Bump(&ServerStats::connections_open, static_cast<uint64_t>(-1));
     uint64_t id = conn.id;
@@ -438,6 +568,10 @@ struct LoopCtx {
                                  conn.outbuf.size() - conn.outpos);
       if (written > 0) {
         conn.outpos += static_cast<size_t>(written);
+        NoteBacklog(-written);
+        if (obs::Enabled()) {
+          BytesWrittenCounter()->Add(static_cast<uint64_t>(written));
+        }
         // Write progress is activity too: a client slowly draining a big
         // reply backlog must not be idle-swept mid-stream.
         conn.last_active = Clock::now();
@@ -487,6 +621,7 @@ struct LoopCtx {
           msg.frames_received = stats.frames_received;
           msg.frames_sent = stats.frames_sent;
         }
+        FillRichStats(manager, &msg);
         SendFrame(conn, Encode(msg));
         return;
       }
@@ -504,7 +639,7 @@ struct LoopCtx {
         if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
         if (RefuseWhileDraining(conn)) return;
         Offload(conn, [mgr = &manager, msg = std::move(msg)]() mutable {
-          return Encode(ToWire(mgr->Create(msg.initial)));
+          return Encode(ToWire(mgr->Create(msg.initial, msg.enable_trace)));
         });
         return;
       }
@@ -538,6 +673,25 @@ struct LoopCtx {
           SessionView view;
           SessionStatus status = mgr->Get(msg.session_id, &view);
           return StepReply(status, view, "get");
+        });
+        return;
+      }
+      // GetTrace can wait on the session mutex behind a Select, so it rides
+      // the pool like the stepping requests.
+      case MsgType::kGetTrace: {
+        SessionRefMsg msg;
+        if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
+        if (RefuseWhileDraining(conn)) return;
+        Offload(conn, [mgr = &manager, msg] {
+          TraceReplyMsg reply;
+          reply.session_id = msg.session_id;
+          SessionStatus status = mgr->GetTrace(msg.session_id, &reply.events);
+          if (status != SessionStatus::kOk) {
+            WireStatus wire = ToWireStatus(status);
+            return Encode(ErrorMsg{
+                wire, std::string("trace: ") + WireStatusName(wire)});
+          }
+          return Encode(reply);
         });
         return;
       }
@@ -661,7 +815,88 @@ struct LoopCtx {
       CloseConn(conn);  // hard error: the stream is gone in both directions
       return;
     }
+    if (read_this_event > 0 && obs::Enabled()) {
+      BytesReadCounter()->Add(read_this_event);
+    }
     Pump(conn);  // decode (DrainDecoder), dispatch, flush
+  }
+
+  // -------------------------------------------------------------------
+  // Metrics HTTP (Prometheus text exposition). Deliberately primitive: any
+  // request — we don't even parse the request line — is answered with one
+  // snapshot and the connection closes. Scrapers open a fresh connection
+  // per scrape anyway.
+  // -------------------------------------------------------------------
+
+  void AcceptMetrics() {
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      int raw = ::accept(im.metrics_listener.get(), nullptr, nullptr);
+      if (raw < 0) return;  // EAGAIN and transient errors alike: try later
+      UniqueFd fd(raw);
+      SetNonBlocking(fd.get());
+      const int key = fd.get();
+      MetricsConn mc;
+      mc.fd = std::move(fd);
+      im.poller->Add(key, /*want_read=*/true, /*want_write=*/false);
+      im.metrics_conns.emplace(key, std::move(mc));
+    }
+  }
+
+  void CloseMetricsConn(int fd) {
+    im.poller->Remove(fd);
+    im.metrics_conns.erase(fd);
+  }
+
+  void HandleMetricsEvent(int fd, const PollerEvent& ev) {
+    auto it = im.metrics_conns.find(fd);
+    if (it == im.metrics_conns.end()) return;
+    MetricsConn& mc = it->second;
+    if (ev.readable && !mc.responding) {
+      char buf[4096];
+      bool eof = false;
+      for (;;) {
+        ssize_t got = RecvSome(fd, buf, sizeof(buf));
+        if (got > 0) {
+          mc.in.append(buf, static_cast<size_t>(got));
+          if (mc.in.size() > 16384) break;  // headers big enough; respond
+          continue;
+        }
+        if (got == 0) break;  // drained for now
+        eof = true;           // EOF or hard error: respond if possible
+        break;
+      }
+      const bool have_request =
+          mc.in.find("\r\n\r\n") != std::string::npos ||
+          mc.in.find("\n\n") != std::string::npos || mc.in.size() > 16384;
+      if (have_request) {
+        const std::string body =
+            obs::MetricsRegistry::Default().Snapshot().ToPrometheusText();
+        mc.out = "HTTP/1.0 200 OK\r\n"
+                 "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                 "Content-Length: " + std::to_string(body.size()) + "\r\n"
+                 "Connection: close\r\n\r\n" + body;
+        mc.responding = true;
+        im.poller->Update(fd, /*want_read=*/false, /*want_write=*/true);
+      } else if (eof) {
+        CloseMetricsConn(fd);
+        return;
+      }
+    }
+    if (mc.responding && (ev.writable || ev.readable)) {
+      while (mc.outpos < mc.out.size()) {
+        ssize_t written = SendSome(fd, mc.out.data() + mc.outpos,
+                                   mc.out.size() - mc.outpos);
+        if (written > 0) {
+          mc.outpos += static_cast<size_t>(written);
+          continue;
+        }
+        if (written == 0) return;  // EAGAIN: poll for writability
+        break;                     // dead socket: close below
+      }
+      CloseMetricsConn(fd);
+      return;
+    }
+    if (ev.hangup && !mc.responding) CloseMetricsConn(fd);
   }
 
   void SweepIdle() {
@@ -719,6 +954,13 @@ struct LoopCtx {
       im.poller->Remove(im.listener.get());
       im.listener.Reset();
     }
+    if (im.metrics_listener.valid()) {
+      im.poller->Remove(im.metrics_listener.get());
+      im.metrics_listener.Reset();
+    }
+    // In-flight scrapes are cut: the metrics surface has no drain contract.
+    for (const auto& [fd, mc] : im.metrics_conns) im.poller->Remove(fd);
+    im.metrics_conns.clear();
     // Connections with nothing owed close now; the rest close as their
     // in-flight replies flush (MaybeClose covers them).
     std::vector<int> idle;
@@ -747,6 +989,8 @@ void DiscoveryServer::Loop() {
   Impl& im = *impl_;
   std::vector<PollerEvent> events;
   int listener_fd = im.listener.get();
+  int metrics_fd =
+      im.metrics_listener.valid() ? im.metrics_listener.get() : -1;
   int wake_fd = im.wake_read.get();
 
   for (;;) {
@@ -769,6 +1013,14 @@ void DiscoveryServer::Loop() {
       }
       if (ev.fd == wake_fd) {
         ctx.HandleCompletions();
+        continue;
+      }
+      if (ev.fd == metrics_fd && im.metrics_listener.valid()) {
+        ctx.AcceptMetrics();
+        continue;
+      }
+      if (im.metrics_conns.count(ev.fd) != 0) {
+        ctx.HandleMetricsEvent(ev.fd, ev);
         continue;
       }
       std::shared_ptr<Conn> conn = ctx.Find(ev.fd);
@@ -799,9 +1051,15 @@ void DiscoveryServer::Loop() {
   for (int fd : rest) {
     if (auto conn = ctx.Find(fd)) ctx.CloseConn(*conn);
   }
+  for (const auto& [fd, mc] : im.metrics_conns) im.poller->Remove(fd);
+  im.metrics_conns.clear();
   if (im.listener.valid()) {
     im.poller->Remove(im.listener.get());
     im.listener.Reset();
+  }
+  if (im.metrics_listener.valid()) {
+    im.poller->Remove(im.metrics_listener.get());
+    im.metrics_listener.Reset();
   }
 }
 

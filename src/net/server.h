@@ -49,6 +49,7 @@
 #include <thread>
 
 #include "net/protocol.h"
+#include "obs/registry.h"
 #include "service/session_manager.h"
 #include "util/status.h"
 
@@ -83,6 +84,16 @@ struct ServerOptions {
   /// Use epoll(7) when available; false forces the portable poll(2) backend
   /// (also what non-Linux builds get regardless of this flag).
   bool use_epoll = true;
+
+  /// Serve Prometheus text exposition over plain HTTP on a second listener
+  /// (same bind_address). The responder rides the existing event loop — no
+  /// extra thread — answers any GET with the full registry snapshot, and
+  /// closes the connection (Connection: close, HTTP/1.0-style).
+  bool enable_metrics_http = false;
+
+  /// Port of the metrics listener; 0 asks the kernel (read back with
+  /// metrics_port()). Ignored unless enable_metrics_http.
+  uint16_t metrics_port = 0;
 };
 
 struct ServerStats {
@@ -116,6 +127,9 @@ class DiscoveryServer {
   /// The bound port (after Start(); resolves port 0 to the kernel's pick).
   uint16_t port() const { return port_; }
 
+  /// The bound metrics-HTTP port; 0 unless enable_metrics_http and started.
+  uint16_t metrics_port() const { return metrics_port_; }
+
   ServerStats stats() const;
 
   const ServerOptions& options() const { return options_; }
@@ -134,6 +148,11 @@ class DiscoveryServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   uint16_t port_ = 0;
+  uint16_t metrics_port_ = 0;
+
+  /// Adopts the ServerStats counters into the default registry while the
+  /// server runs (registered in Start, released in Shutdown).
+  obs::MetricsRegistry::ProbeHandle stats_probe_;
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;

@@ -1,0 +1,91 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace setdisc::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t Counter::StripeIndex() {
+  // Each thread claims a stripe once, round-robin; no hashing, no false
+  // sharing between up-to-kStripes concurrent writers.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return stripe;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (buckets.empty()) {
+    buckets = other.buckets;
+    return;
+  }
+  if (other.buckets.empty()) return;
+  const size_t n = std::min(buckets.size(), other.buckets.size());
+  for (size_t i = 0; i < n; ++i) buckets[i] += other.buckets[i];
+}
+
+uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based; q=0 means the minimum.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // Midpoint representative: exact for the unit buckets, otherwise
+      // within half a bucket width of every sample that fell in it.
+      const uint64_t lo = Histogram::BucketLowerBound(i);
+      const uint64_t hi = Histogram::BucketUpperBound(i);
+      return lo + (hi - lo - 1) / 2;
+    }
+  }
+  // count said there were samples but the buckets disagree (torn snapshot
+  // of a live histogram); report the largest bucket seen.
+  for (size_t i = buckets.size(); i-- > 0;) {
+    if (buckets[i] != 0) return Histogram::BucketLowerBound(i);
+  }
+  return 0;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  uint64_t count = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t b = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = b;
+    count += b;
+  }
+  snap.count = count;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  const size_t octave = (index - kSubBuckets) / kSubBuckets;
+  const size_t sub = (index - kSubBuckets) % kSubBuckets;
+  const int h = static_cast<int>(octave) + kSubBucketBits;
+  return (uint64_t{1} << h) + (static_cast<uint64_t>(sub) << (h - kSubBucketBits));
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index + 1 >= kNumBuckets) return std::numeric_limits<uint64_t>::max();
+  return BucketLowerBound(index + 1);
+}
+
+}  // namespace setdisc::obs

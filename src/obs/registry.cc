@@ -1,0 +1,270 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace setdisc::obs {
+
+namespace {
+
+/// JSON string escaping for metric names / label values (ASCII-safe).
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonLabels(std::string* out, const Labels& labels) {
+  out->push_back('{');
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    AppendJsonString(out, labels[i].first);
+    out->push_back(':');
+    AppendJsonString(out, labels[i].second);
+  }
+  out->push_back('}');
+}
+
+const uint64_t kSummaryQuantileMille[] = {500, 900, 990, 999};
+
+}  // namespace
+
+std::string FormatLabels(const Labels& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += "\"";
+  }
+  return out;
+}
+
+void SampleSink::Counter(std::string_view name, uint64_t value,
+                         Labels labels) {
+  MetricSample s;
+  s.name = std::string(name);
+  std::sort(labels.begin(), labels.end());
+  s.labels = std::move(labels);
+  s.kind = MetricSample::Kind::kCounter;
+  s.value = static_cast<int64_t>(value);
+  out_->push_back(std::move(s));
+}
+
+void SampleSink::Gauge(std::string_view name, int64_t value, Labels labels) {
+  MetricSample s;
+  s.name = std::string(name);
+  std::sort(labels.begin(), labels.end());
+  s.labels = std::move(labels);
+  s.kind = MetricSample::Kind::kGauge;
+  s.value = value;
+  out_->push_back(std::move(s));
+}
+
+std::string RegistrySnapshot::ToPrometheusText() const {
+  std::string out;
+  std::string last_type_line;
+  for (const MetricSample& s : samples) {
+    std::string type_line = "# TYPE " + s.name + " " +
+                            (s.kind == MetricSample::Kind::kCounter
+                                 ? "counter"
+                                 : "gauge") +
+                            "\n";
+    if (type_line != last_type_line) {
+      out += type_line;
+      last_type_line = type_line;
+    }
+    out += s.name;
+    std::string labels = FormatLabels(s.labels);
+    if (!labels.empty()) out += "{" + labels + "}";
+    out += " " + std::to_string(s.value) + "\n";
+  }
+  for (const HistogramSample& h : histograms) {
+    out += "# TYPE " + h.name + " summary\n";
+    std::string labels = FormatLabels(h.labels);
+    for (uint64_t mille : kSummaryQuantileMille) {
+      std::string q = mille % 10 == 0
+                          ? "0." + std::to_string(mille / 10)
+                          : "0." + std::to_string(mille);
+      out += h.name + "{" + (labels.empty() ? "" : labels + ",") +
+             "quantile=\"" + q + "\"} " +
+             std::to_string(
+                 h.snapshot.ValueAtQuantile(static_cast<double>(mille) /
+                                            1000.0)) +
+             "\n";
+    }
+    out += h.name + "_sum";
+    if (!labels.empty()) out += "{" + labels + "}";
+    out += " " + std::to_string(h.snapshot.sum) + "\n";
+    out += h.name + "_count";
+    if (!labels.empty()) out += "{" + labels + "}";
+    out += " " + std::to_string(h.snapshot.count) + "\n";
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    if (i != 0) out.push_back(',');
+    out += "{\"name\":";
+    AppendJsonString(&out, s.name);
+    out += ",\"labels\":";
+    AppendJsonLabels(&out, s.labels);
+    out += ",\"kind\":";
+    out += s.kind == MetricSample::Kind::kCounter ? "\"counter\""
+                                                  : "\"gauge\"";
+    out += ",\"value\":" + std::to_string(s.value) + "}";
+  }
+  out += "],\"histograms\":[";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    if (i != 0) out.push_back(',');
+    out += "{\"name\":";
+    AppendJsonString(&out, h.name);
+    out += ",\"labels\":";
+    AppendJsonLabels(&out, h.labels);
+    out += ",\"count\":" + std::to_string(h.snapshot.count);
+    out += ",\"sum\":" + std::to_string(h.snapshot.sum);
+    out += ",\"p50\":" + std::to_string(h.snapshot.ValueAtQuantile(0.50));
+    out += ",\"p90\":" + std::to_string(h.snapshot.ValueAtQuantile(0.90));
+    out += ",\"p99\":" + std::to_string(h.snapshot.ValueAtQuantile(0.99));
+    out += ",\"p999\":" + std::to_string(h.snapshot.ValueAtQuantile(0.999));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+MetricsRegistry::FamilyKey MetricsRegistry::MakeKey(std::string_view name,
+                                                    Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return FamilyKey{std::string(name), std::move(labels)};
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, Labels labels) {
+  FamilyKey key = MakeKey(name, std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[std::move(key)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, Labels labels) {
+  FamilyKey key = MakeKey(name, std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[std::move(key)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         Labels labels) {
+  FamilyKey key = MakeKey(name, std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[std::move(key)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsRegistry::ProbeHandle& MetricsRegistry::ProbeHandle::operator=(
+    ProbeHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void MetricsRegistry::ProbeHandle::Release() {
+  if (registry_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(registry_->mu_);
+  registry_->probes_.erase(id_);
+  registry_ = nullptr;
+  id_ = 0;
+}
+
+MetricsRegistry::ProbeHandle MetricsRegistry::AddProbe(Probe probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_probe_id_++;
+  probes_.emplace(id, std::move(probe));
+  return ProbeHandle(this, id);
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, counter] : counters_) {
+    MetricSample s;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<int64_t>(counter->Value());
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    MetricSample s;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = gauge->Value();
+    snap.samples.push_back(std::move(s));
+  }
+  SampleSink sink(&snap.samples);
+  for (const auto& [id, probe] : probes_) probe(sink);
+  for (const auto& [key, histogram] : histograms_) {
+    HistogramSample h;
+    h.name = key.name;
+    h.labels = key.labels;
+    h.snapshot = histogram->Snapshot();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+HistogramSnapshot MetricsRegistry::MergedHistogram(
+    std::string_view name) const {
+  HistogramSnapshot merged;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, histogram] : histograms_) {
+    if (key.name != name) continue;
+    merged.Merge(histogram->Snapshot());
+  }
+  return merged;
+}
+
+uint64_t MetricsRegistry::CounterTotal(std::string_view name) const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, counter] : counters_) {
+    if (key.name == name) total += counter->Value();
+  }
+  return total;
+}
+
+}  // namespace setdisc::obs

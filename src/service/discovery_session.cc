@@ -1,11 +1,32 @@
 #include "service/discovery_session.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "obs/registry.h"
 #include "util/status.h"
 
 namespace setdisc {
+
+namespace {
+
+obs::Counter* StepsCounter(uint8_t kind) {
+  static obs::Counter* const answers =
+      obs::MetricsRegistry::Default().GetCounter("setdisc_steps_total",
+                                                 {{"kind", "answer"}});
+  static obs::Counter* const verifies =
+      obs::MetricsRegistry::Default().GetCounter("setdisc_steps_total",
+                                                 {{"kind", "verify"}});
+  return kind == 0 ? answers : verifies;
+}
+
+obs::Labels SessionLabels(std::string_view selector, size_t shards) {
+  return obs::Labels{{"selector", std::string(selector)},
+                     {"shards", std::to_string(shards)}};
+}
+
+}  // namespace
 
 SubCollection UnshardedEngine::Filter(
     SubCollection view, const std::unordered_set<SetId>& rejected) const {
@@ -41,13 +62,30 @@ BasicDiscoverySession<Engine>::BasicDiscoverySession(
     Engine engine, std::span<const EntityId> initial, Selector& selector,
     const DiscoveryOptions& options)
     : engine_(std::move(engine)), selector_(&selector), options_(options) {
+  const bool metrics = obs::Enabled();
+  uint64_t t0 = 0;
+  if (metrics) {
+    // One registry lookup per session; every Record() after this is
+    // lock-free. Creation already pays index scans, so the lookup noise is
+    // negligible there.
+    obs::Labels labels = SessionLabels(selector.name(), engine_.NumShards());
+    step_hist_ = obs::MetricsRegistry::Default().GetHistogram(
+        "setdisc_step_latency_ns", labels);
+    t0 = obs::NowNanos();
+  }
   // Lines 1-4: candidates are the supersets of the initial example set I.
   candidates_ = engine_.Initial(initial);
   if (candidates_.empty()) {
     Finish();
-    return;
+  } else {
+    Advance();
   }
-  Advance();
+  if (metrics) {
+    obs::MetricsRegistry::Default()
+        .GetHistogram("setdisc_create_latency_ns",
+                      SessionLabels(selector.name(), engine_.NumShards()))
+        ->Record(obs::NowNanos() - t0);
+  }
 }
 
 template <typename Engine>
@@ -64,8 +102,11 @@ void BasicDiscoverySession<Engine>::Advance() {
       Finish();
       return;
     }
-    EntityId e =
-        selector_->Select(candidates_, any_excluded_ ? &excluded_ : nullptr);
+    EntityId e;
+    {
+      obs::PhaseTimer select_timer(obs::Phase::kSelect);
+      e = selector_->Select(candidates_, any_excluded_ ? &excluded_ : nullptr);
+    }
     if (e == kNoEntity) {
       // Every informative entity excluded: cannot narrow further (§6).
       engine_.AppendGlobal(candidates_, &result_.candidates);
@@ -94,6 +135,24 @@ void BasicDiscoverySession<Engine>::Advance() {
 
 template <typename Engine>
 void BasicDiscoverySession<Engine>::SubmitAnswer(Oracle::Answer answer) {
+  const bool metrics = obs::Enabled() && step_hist_ != nullptr;
+  if (!metrics && trace_ == nullptr) {
+    DoSubmitAnswer(answer);
+    return;
+  }
+  const EntityId entity = pending_entity_;
+  const size_t before = candidates_.size();
+  obs::PhaseAccum accum;
+  const uint64_t t0 = obs::NowNanos();
+  {
+    obs::PhaseScope scope(&accum);
+    DoSubmitAnswer(answer);
+  }
+  RecordStep(/*kind=*/0, entity, before, obs::NowNanos() - t0, accum);
+}
+
+template <typename Engine>
+void BasicDiscoverySession<Engine>::DoSubmitAnswer(Oracle::Answer answer) {
   SETDISC_CHECK_MSG(state_ == SessionState::kAwaitingAnswer,
                     "SubmitAnswer outside kAwaitingAnswer");
   EntityId e = pending_entity_;
@@ -116,29 +175,50 @@ void BasicDiscoverySession<Engine>::SubmitAnswer(Oracle::Answer answer) {
     f.answered_yes = yes;
     frames_.push_back(std::move(f));
   }
-  // Derive the children's fingerprints during the partition: when a shared
-  // selection cache is on, the selector just computed this view's
-  // fingerprint, and the next Select() will want the survivor's; the
-  // differential counting state keys its parent/child chain on them too.
-  auto [in, out] = engine_.Partition(candidates_, e,
-                                     /*derive_fingerprints=*/true);
-  // Report the partition to the selector's counting state, handing over the
-  // dropped half: the next Select() can then derive its counts from this
-  // step's instead of recounting (collection/delta_counter.h).
-  if (yes) {
-    selector_->NotePartition(candidates_, e, /*kept_contains=*/true, in,
-                             std::move(out));
-    candidates_ = std::move(in);
-  } else {
-    selector_->NotePartition(candidates_, e, /*kept_contains=*/false, out,
-                             std::move(in));
-    candidates_ = std::move(out);
+  {
+    // The emit phase: partition-on-answer plus the counting-state handoff.
+    obs::PhaseTimer emit_timer(obs::Phase::kEmit);
+    // Derive the children's fingerprints during the partition: when a shared
+    // selection cache is on, the selector just computed this view's
+    // fingerprint, and the next Select() will want the survivor's; the
+    // differential counting state keys its parent/child chain on them too.
+    auto [in, out] = engine_.Partition(candidates_, e,
+                                       /*derive_fingerprints=*/true);
+    // Report the partition to the selector's counting state, handing over the
+    // dropped half: the next Select() can then derive its counts from this
+    // step's instead of recounting (collection/delta_counter.h).
+    if (yes) {
+      selector_->NotePartition(candidates_, e, /*kept_contains=*/true, in,
+                               std::move(out));
+      candidates_ = std::move(in);
+    } else {
+      selector_->NotePartition(candidates_, e, /*kept_contains=*/false, out,
+                               std::move(in));
+      candidates_ = std::move(out);
+    }
   }
   Advance();
 }
 
 template <typename Engine>
 void BasicDiscoverySession<Engine>::Verify(bool confirmed) {
+  const bool metrics = obs::Enabled() && step_hist_ != nullptr;
+  if (!metrics && trace_ == nullptr) {
+    DoVerify(confirmed);
+    return;
+  }
+  const size_t before = candidates_.size();
+  obs::PhaseAccum accum;
+  const uint64_t t0 = obs::NowNanos();
+  {
+    obs::PhaseScope scope(&accum);
+    DoVerify(confirmed);
+  }
+  RecordStep(/*kind=*/1, kNoEntity, before, obs::NowNanos() - t0, accum);
+}
+
+template <typename Engine>
+void BasicDiscoverySession<Engine>::DoVerify(bool confirmed) {
   SETDISC_CHECK_MSG(state_ == SessionState::kAwaitingVerify,
                     "Verify outside kAwaitingVerify");
   SetId s = pending_set_;
@@ -185,6 +265,36 @@ void BasicDiscoverySession<Engine>::Backtrack() {
   }
   // Exhausted the answer tree without confirmation.
   Finish();
+}
+
+template <typename Engine>
+void BasicDiscoverySession<Engine>::EnableTracing(size_t capacity) {
+  if (trace_ == nullptr) trace_ = std::make_unique<obs::TraceRing>(capacity);
+}
+
+template <typename Engine>
+void BasicDiscoverySession<Engine>::RecordStep(uint8_t kind, EntityId entity,
+                                               size_t candidates_before,
+                                               uint64_t total_ns,
+                                               const obs::PhaseAccum& accum) {
+  if (obs::Enabled()) {
+    if (step_hist_ != nullptr) step_hist_->Record(total_ns);
+    obs::RecordStepPhases(accum);
+    StepsCounter(kind)->Add(1);
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.step = step_index_;
+    ev.entity = entity;
+    ev.kind = kind;
+    ev.serve_path = accum.serve_path;
+    ev.candidates_before = static_cast<uint32_t>(candidates_before);
+    ev.candidates_after = static_cast<uint32_t>(candidates_.size());
+    for (size_t i = 0; i < obs::kNumPhases; ++i) ev.phase_ns[i] = accum.ns[i];
+    ev.total_ns = total_ns;
+    trace_->Push(ev);
+  }
+  ++step_index_;
 }
 
 template <typename Engine>

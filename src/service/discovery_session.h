@@ -61,6 +61,8 @@
 #include "core/discovery.h"
 #include "core/selector.h"
 #include "core/sharded_selectors.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace setdisc {
@@ -120,6 +122,17 @@ class DiscoveryEngine {
   virtual size_t num_candidates() const = 0;
 
   virtual const DiscoveryOptions& options() const = 0;
+
+  /// Turns on the per-step TraceEvent journal: the next `capacity` completed
+  /// steps (overwrite-oldest past that) are recorded with phase latencies
+  /// and serve paths. Steps taken before the call are not traced. Off by
+  /// default; default implementation ignores the request.
+  virtual void EnableTracing(size_t capacity) { (void)capacity; }
+
+  /// The trace ring, or nullptr when tracing is off. Reading it while
+  /// another thread steps the session is a race — callers serialize via
+  /// whatever serializes steps (SessionManager's entry mutex).
+  virtual const obs::TraceRing* trace() const { return nullptr; }
 };
 
 /// Engine over one flat SetCollection: the candidate view is a
@@ -144,6 +157,7 @@ struct UnshardedEngine {
   }
   SetId Front(const View& view) const { return view.front(); }
   View Filter(View view, const std::unordered_set<SetId>& rejected) const;
+  size_t NumShards() const { return 1; }
 };
 
 /// Engine over a ShardedCollection: the candidate view keeps one
@@ -170,6 +184,7 @@ struct ShardedEngine {
   }
   SetId Front(const View& view) const { return view.FrontGlobal(); }
   View Filter(View view, const std::unordered_set<SetId>& rejected) const;
+  size_t NumShards() const { return collection->num_shards(); }
 };
 
 /// The Algorithm 2 + §6 state machine, written once over an Engine.
@@ -211,6 +226,9 @@ class BasicDiscoverySession : public DiscoveryEngine {
 
   const DiscoveryOptions& options() const override { return options_; }
 
+  void EnableTracing(size_t capacity) override;
+  const obs::TraceRing* trace() const override { return trace_.get(); }
+
  private:
   /// One answered question: the candidate view before it, the entity asked,
   /// and the branch taken. Kept for §6 backtracking.
@@ -232,6 +250,17 @@ class BasicDiscoverySession : public DiscoveryEngine {
 
   void Finish() { state_ = SessionState::kFinished; }
 
+  /// The uninstrumented step bodies; the public SubmitAnswer/Verify wrap
+  /// them with the step timer, phase scope, and trace capture when metrics
+  /// or tracing are on (and are plain calls when both are off).
+  void DoSubmitAnswer(Oracle::Answer answer);
+  void DoVerify(bool confirmed);
+
+  /// Records one completed step: the step-latency histogram, the per-phase
+  /// histograms, and (when tracing) a TraceEvent.
+  void RecordStep(uint8_t kind, EntityId entity, size_t candidates_before,
+                  uint64_t total_ns, const obs::PhaseAccum& accum);
+
   Engine engine_;
   Selector* selector_;
   DiscoveryOptions options_;
@@ -247,6 +276,13 @@ class BasicDiscoverySession : public DiscoveryEngine {
   std::vector<Frame> frames_;
 
   DiscoveryResult result_;
+
+  /// Per-session step TraceEvent journal; null unless EnableTracing() ran.
+  std::unique_ptr<obs::TraceRing> trace_;
+  /// setdisc_step_latency_ns{selector, shards} — resolved once at
+  /// construction (null when metrics were disabled then).
+  obs::Histogram* step_hist_ = nullptr;
+  uint32_t step_index_ = 0;
 };
 
 extern template class BasicDiscoverySession<UnshardedEngine>;

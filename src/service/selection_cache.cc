@@ -27,6 +27,19 @@ SelectionCache::SelectionCache(SelectionCacheOptions options) {
   int bits = 0;
   while ((size_t{1} << bits) < num_shards_) ++bits;
   shard_shift_ = 64 - bits;
+  if (options.metrics != nullptr) {
+    probe_ = options.metrics->AddProbe([this](obs::SampleSink& sink) {
+      const SelectionCacheStats s = stats();
+      sink.Counter("setdisc_selection_cache_lookups_total", s.lookups);
+      sink.Counter("setdisc_selection_cache_hits_total", s.hits);
+      sink.Counter("setdisc_selection_cache_misses_total", s.misses);
+      sink.Counter("setdisc_selection_cache_insertions_total", s.insertions);
+      sink.Counter("setdisc_selection_cache_evictions_total", s.evictions);
+      sink.Counter("setdisc_selection_cache_bypasses_total", s.bypasses);
+      sink.Gauge("setdisc_selection_cache_size",
+                 static_cast<int64_t>(size()));
+    });
+  }
 }
 
 uint64_t SelectionCache::HashKey(const SelectionKey& key) {

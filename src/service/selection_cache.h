@@ -60,6 +60,8 @@
 #include "collection/types.h"
 #include "core/selector.h"
 #include "core/sharded_selectors.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace setdisc {
 
@@ -92,6 +94,11 @@ struct SelectionCacheOptions {
   /// admitted traffic. Off by default; transcripts are identical either way
   /// (the parity suite runs with the policy on).
   bool skip_singleton_exclusions = false;
+
+  /// When set, the cache registers a probe with this registry that adopts
+  /// its counters (setdisc_selection_cache_*_total, _size) into every
+  /// snapshot. The registry must outlive the cache.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregated counters. Consistent at any quiescent point:
@@ -196,6 +203,9 @@ class SelectionCache {
   /// Outside the shards (a bypass touches no shard); relaxed is enough for
   /// a statistics counter.
   std::atomic<uint64_t> bypasses_{0};
+  /// Last member: deregisters first, so the probe can never sample a
+  /// partially-destroyed cache.
+  obs::MetricsRegistry::ProbeHandle probe_;
 };
 
 /// EntitySelector decorator that consults a shared SelectionCache before
@@ -223,9 +233,18 @@ class CachingSelector : public EntitySelector {
     SelectionKey key{sub.collection().Fingerprint(), sub.Fingerprint(),
                      excluded != nullptr ? excluded->Fingerprint() : 0, tag_};
     EntityId entity = kNoEntity;
-    if (cache_->Lookup(key, &entity)) return entity;
+    {
+      obs::PhaseTimer timer(obs::Phase::kCacheLookup);
+      if (cache_->Lookup(key, &entity)) {
+        obs::NoteServePath(obs::ServePath::kCacheHit);
+        return entity;
+      }
+    }
     entity = inner_->Select(sub, excluded);
-    cache_->Insert(key, entity);
+    {
+      obs::PhaseTimer timer(obs::Phase::kCacheLookup);
+      cache_->Insert(key, entity);
+    }
     return entity;
   }
 
@@ -278,9 +297,18 @@ class ShardedCachingSelector : public ShardedEntitySelector {
     SelectionKey key{sub.collection().Fingerprint(), sub.Fingerprint(),
                      excluded != nullptr ? excluded->Fingerprint() : 0, tag_};
     EntityId entity = kNoEntity;
-    if (cache_->Lookup(key, &entity)) return entity;
+    {
+      obs::PhaseTimer timer(obs::Phase::kCacheLookup);
+      if (cache_->Lookup(key, &entity)) {
+        obs::NoteServePath(obs::ServePath::kCacheHit);
+        return entity;
+      }
+    }
     entity = inner_->Select(sub, excluded);
-    cache_->Insert(key, entity);
+    {
+      obs::PhaseTimer timer(obs::Phase::kCacheLookup);
+      cache_->Insert(key, entity);
+    }
     return entity;
   }
 

@@ -43,9 +43,23 @@ SessionManager::SessionManager(const SetCollection& collection,
     }
     reaper_ = std::thread(&SessionManager::ReaperLoop, this, interval);
   }
+  if (options_.metrics != nullptr) {
+    metrics_probe_ = options_.metrics->AddProbe([this](obs::SampleSink& sink) {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      sink.Gauge("setdisc_sessions_active",
+                 static_cast<int64_t>(sessions_.size()));
+      sink.Counter("setdisc_sessions_created_total", num_created_);
+      sink.Gauge("setdisc_manager_pool_queue_depth",
+                 static_cast<int64_t>(pool_->queue_depth()));
+    });
+  }
 }
 
 SessionManager::~SessionManager() {
+  // Deregister the probe first: a concurrent Snapshot() would otherwise call
+  // into a half-destroyed manager. Release() blocks until any in-flight
+  // invocation drains.
+  metrics_probe_.Release();
   if (reaper_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(reaper_mu_);
@@ -82,7 +96,8 @@ SessionView SessionManager::MakeView(SessionId id,
   return view;
 }
 
-SessionView SessionManager::Create(std::span<const EntityId> initial) {
+SessionView SessionManager::Create(std::span<const EntityId> initial,
+                                   bool enable_trace) {
   auto entry = std::make_shared<Entry>();
   // The initial Select() (inside the session constructors below) runs
   // outside the registry lock: it can be a real scan, and other sessions
@@ -114,6 +129,12 @@ SessionView SessionManager::Create(std::span<const EntityId> initial) {
     entry->selector = std::move(selector);
     entry->session = std::make_unique<DiscoverySession>(
         collection_, index_, initial, *entry->selector, options_.discovery);
+  }
+
+  if (enable_trace) {
+    // Attached after the constructor's first Select(), so the creation step
+    // itself is not in the ring — documented on Create().
+    entry->session->EnableTracing(std::max<size_t>(1, options_.trace_capacity));
   }
 
   // Snapshot before publishing: ids are sequential and guessable, so the
@@ -203,6 +224,17 @@ SessionStatus SessionManager::Verify(SessionId id, bool confirmed,
   }
   entry->session->Verify(confirmed);
   if (view != nullptr) *view = MakeView(id, *entry->session);
+  return SessionStatus::kOk;
+}
+
+SessionStatus SessionManager::GetTrace(SessionId id,
+                                       std::vector<obs::TraceEvent>* out) {
+  auto entry = Find(id);
+  if (entry == nullptr) return SessionStatus::kNotFound;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  const obs::TraceRing* ring = entry->session->trace();
+  if (ring == nullptr) return SessionStatus::kWrongState;
+  if (out != nullptr) *out = ring->Events();
   return SessionStatus::kOk;
 }
 

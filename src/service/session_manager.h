@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "collection/inverted_index.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "collection/set_collection.h"
 #include "collection/sharded_collection.h"
 #include "core/discovery.h"
@@ -146,6 +148,18 @@ struct SessionManagerOptions {
   /// Worker threads for SubmitAnswerAsync and the sharded counting fan-out
   /// (zero = hardware concurrency).
   size_t num_threads = 0;
+
+  /// Registry to publish manager-level gauges into (sessions active, total
+  /// sessions created). The registry must outlive the manager. nullptr
+  /// disables; per-step histograms and counters are unaffected — they go to
+  /// MetricsRegistry::Default() whenever obs::Enabled(), regardless of this.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Capacity of the per-session trace ring for sessions created with
+  /// enable_trace (Create's second argument). Oldest events are overwritten
+  /// past this. Tracing is per-session opt-in; untraced sessions pay one
+  /// null-pointer test per step.
+  size_t trace_capacity = 256;
 };
 
 /// The serving engine: create / step / verify / reap, all thread-safe.
@@ -170,7 +184,13 @@ class SessionManager {
   /// one remains with verification off): the returned view is already
   /// kFinished and carries the full result, and the session is NOT
   /// registered — its id is issued but Get/Close on it return kNotFound.
-  SessionView Create(std::span<const EntityId> initial);
+  /// With enable_trace, the session records a bounded ring of per-step
+  /// TraceEvents (phase latencies, serve path, candidate narrowing),
+  /// readable via GetTrace. The creation step itself is not traced — the
+  /// ring is attached right after the first Select() — so event 0 is the
+  /// first answer.
+  SessionView Create(std::span<const EntityId> initial,
+                     bool enable_trace = false);
 
   /// Current snapshot of a session (also refreshes its TTL).
   SessionStatus Get(SessionId id, SessionView* view);
@@ -182,6 +202,11 @@ class SessionManager {
 
   /// Resolves the pending verification of session `id`.
   SessionStatus Verify(SessionId id, bool confirmed, SessionView* view);
+
+  /// Copies the trace ring of session `id` into `*out`, oldest first.
+  /// kWrongState if the session is live but was created without
+  /// enable_trace.
+  SessionStatus GetTrace(SessionId id, std::vector<obs::TraceEvent>* out);
 
   /// SubmitAnswer on the manager's thread pool: the re-selection (the CPU
   /// cost of a step) runs concurrently with other sessions' steps.
@@ -235,6 +260,10 @@ class SessionManager {
   /// their own items, so it cannot deadlock — see util/thread_pool.h.)
   ThreadPool& pool() { return *pool_; }
 
+  /// The shared Select() memo, if one was configured; nullptr otherwise.
+  /// Exposed so the stats surface (net/server.h) can report hit rates.
+  SelectionCache* selection_cache() const { return options_.selection_cache; }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -281,6 +310,11 @@ class SessionManager {
   std::condition_variable reaper_cv_;
   bool reaper_stop_ = false;
   std::thread reaper_;
+
+  /// Registry probe publishing sessions_active / sessions_created; released
+  /// explicitly at the top of the destructor, before anything it reads is
+  /// torn down.
+  obs::MetricsRegistry::ProbeHandle metrics_probe_;
 };
 
 }  // namespace setdisc

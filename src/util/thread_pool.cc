@@ -2,9 +2,28 @@
 
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/registry.h"
 #include "util/status.h"
 
 namespace setdisc {
+
+namespace {
+
+obs::Histogram* QueueWaitHistogram() {
+  static obs::Histogram* const h =
+      obs::MetricsRegistry::Default().GetHistogram(
+          "setdisc_pool_queue_wait_ns");
+  return h;
+}
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* const g =
+      obs::MetricsRegistry::Default().GetGauge("setdisc_pool_queue_depth");
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -24,10 +43,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  const uint64_t now = obs::Enabled() ? obs::NowNanos() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     SETDISC_CHECK(!stopping_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), now});
+    if (now != 0) {
+      QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   cv_.notify_one();
 }
@@ -83,15 +106,21 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (task.enqueue_ns != 0) {
+        QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
-    task();
+    if (task.enqueue_ns != 0) {
+      QueueWaitHistogram()->Record(obs::NowNanos() - task.enqueue_ns);
+    }
+    task.fn();
   }
 }
 

@@ -64,13 +64,29 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks enqueued but not yet picked up by a worker — the backlog a
+  /// saturated pool accumulates (exposed as the queue-depth gauge and in
+  /// the server's rich stats reply).
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
  private:
+  /// A queued task plus its submission timestamp: the dequeue-side delta
+  /// is the queue-wait time (setdisc_pool_queue_wait_ns). Zero when
+  /// metrics were disabled at submission.
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,348 @@
+// Tests for the observability primitives (src/obs): histogram bucket
+// geometry and quantile error bounds, counter striping under contention,
+// concurrent record-vs-snapshot safety (the TSan target), and the
+// MetricsRegistry — family identity, label normalization, probes, merged
+// views, and the text/JSON renderers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/registry.h"
+
+namespace setdisc::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram bucket geometry
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, SmallValuesGetExactUnitBuckets) {
+  // 0..15 are unit buckets; 16..31 sit in the first octave whose
+  // sub-buckets are also width 1, so indices stay v there too.
+  for (uint64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), static_cast<size_t>(v)) << v;
+    EXPECT_EQ(Histogram::BucketLowerBound(Histogram::BucketIndex(v)), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(Histogram::BucketIndex(v)), v + 1);
+  }
+}
+
+TEST(Histogram, BucketBoundsInvertBucketIndex) {
+  // For every bucket: lower maps into the bucket, upper-1 maps into the
+  // bucket, upper starts the next one, and consecutive buckets tile the
+  // value space with no gaps. The last bucket's upper bound saturates at
+  // UINT64_MAX (which itself still indexes into the last bucket).
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    const uint64_t lower = Histogram::BucketLowerBound(i);
+    const uint64_t upper = Histogram::BucketUpperBound(i);
+    EXPECT_LT(lower, upper) << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(lower), i);
+    EXPECT_EQ(Histogram::BucketIndex(upper - 1), i);
+    if (i + 1 < Histogram::kNumBuckets) {
+      EXPECT_EQ(Histogram::BucketIndex(upper), i + 1)
+          << "gap after bucket " << i;
+      EXPECT_EQ(Histogram::BucketLowerBound(i + 1), upper);
+    } else {
+      EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), i);
+    }
+  }
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+}
+
+TEST(Histogram, OctaveBoundariesLandInFreshBuckets) {
+  for (int h = 5; h < 64; ++h) {
+    const uint64_t pow = uint64_t{1} << h;
+    // A power of two starts a new octave: its bucket differs from pow-1's.
+    EXPECT_NE(Histogram::BucketIndex(pow), Histogram::BucketIndex(pow - 1));
+    // Sub-bucket width within the octave is 2^(h-4): pow and
+    // pow + width - 1 share a bucket, pow + width does not.
+    const uint64_t width = pow >> Histogram::kSubBucketBits;
+    EXPECT_EQ(Histogram::BucketIndex(pow),
+              Histogram::BucketIndex(pow + width - 1));
+    EXPECT_NE(Histogram::BucketIndex(pow),
+              Histogram::BucketIndex(pow + width));
+  }
+  EXPECT_LT(Histogram::BucketIndex(UINT64_MAX), Histogram::kNumBuckets);
+}
+
+TEST(Histogram, RelativeBucketWidthIsBounded) {
+  // The log-linear promise: bucket width / lower bound <= 2^-kSubBucketBits
+  // for all buckets past the exact region.
+  for (size_t i = Histogram::kSubBuckets * 2; i < Histogram::kNumBuckets;
+       ++i) {
+    const uint64_t lower = Histogram::BucketLowerBound(i);
+    const uint64_t upper = Histogram::BucketUpperBound(i);
+    const double width = static_cast<double>(upper - lower);
+    EXPECT_LE(width / static_cast<double>(lower),
+              1.0 / Histogram::kSubBuckets + 1e-12)
+        << "bucket " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles vs. an exact sorted sample
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, QuantilesTrackExactSampleWithinBucketError) {
+  std::mt19937_64 rng(42);
+  // Log-uniform values spanning ~6 decades — exercises many octaves.
+  std::uniform_real_distribution<double> exp_dist(0.0, 20.0);
+  Histogram h;
+  std::vector<uint64_t> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = static_cast<uint64_t>(std::exp2(exp_dist(rng)));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, values.size());
+  uint64_t exact_sum = 0;
+  for (uint64_t v : values) exact_sum += v;
+  EXPECT_EQ(snap.sum, exact_sum);
+
+  for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    const size_t rank =
+        std::max<size_t>(1, static_cast<size_t>(std::ceil(q * values.size())));
+    const uint64_t exact = values[rank - 1];
+    const uint64_t est = snap.ValueAtQuantile(q);
+    // The estimate is the midpoint of the bucket holding the exact value,
+    // so it is within one bucket width: relative error <= 1/16.
+    const double rel =
+        std::abs(static_cast<double>(est) - static_cast<double>(exact)) /
+        std::max<double>(1.0, static_cast<double>(exact));
+    EXPECT_LE(rel, 1.0 / Histogram::kSubBuckets + 1e-12)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram h;
+  EXPECT_EQ(h.Snapshot().ValueAtQuantile(0.5), 0u);  // empty
+  h.Record(7);
+  HistogramSnapshot one = h.Snapshot();
+  EXPECT_EQ(one.ValueAtQuantile(0.0), 7u);
+  EXPECT_EQ(one.ValueAtQuantile(0.5), 7u);
+  EXPECT_EQ(one.ValueAtQuantile(1.0), 7u);
+  EXPECT_EQ(one.Mean(), 7.0);
+}
+
+TEST(HistogramSnapshot, MergeAddsBucketwise) {
+  Histogram a;
+  Histogram b;
+  for (uint64_t v = 0; v < 1000; ++v) a.Record(v);
+  for (uint64_t v = 500; v < 1500; ++v) b.Record(v * 3);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.count, 2000u);
+  EXPECT_EQ(merged.sum, a.Snapshot().sum + b.Snapshot().sum);
+  // Merging an empty snapshot is a no-op.
+  merged.Merge(HistogramSnapshot{});
+  EXPECT_EQ(merged.count, 2000u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (the TSan target)
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, ConcurrentRecordAndSnapshotIsRaceFree) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      std::mt19937_64 rng(t);
+      for (int i = 0; i < kPerThread; ++i) h.Record(rng() % 100000);
+    });
+  }
+  // Snapshot continuously while writers run; torn-but-race-free reads are
+  // the contract, so only sanity-check monotonicity of the count.
+  std::thread reader([&h, &stop] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      HistogramSnapshot s = h.Snapshot();
+      EXPECT_GE(s.count + Histogram::kNumBuckets, last);  // near-monotone
+      last = s.count;
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(h.Snapshot().count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Counter, StripedAddsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, FamiliesAreStableAndLabelOrderInsensitive) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("requests", {{"method", "get"}, {"code", "200"}});
+  Counter* b = reg.GetCounter("requests", {{"code", "200"}, {"method", "get"}});
+  EXPECT_EQ(a, b);  // labels normalize by sorting
+  Counter* other = reg.GetCounter("requests", {{"code", "500"}});
+  EXPECT_NE(a, other);
+  Counter* unlabeled = reg.GetCounter("requests");
+  EXPECT_NE(a, unlabeled);
+  EXPECT_EQ(unlabeled, reg.GetCounter("requests", {}));
+
+  a->Add(3);
+  other->Add(4);
+  unlabeled->Add(5);
+  EXPECT_EQ(reg.CounterTotal("requests"), 12u);
+  EXPECT_EQ(reg.CounterTotal("missing"), 0u);
+}
+
+TEST(MetricsRegistry, MergedHistogramSpansLabelSets) {
+  MetricsRegistry reg;
+  reg.GetHistogram("lat", {{"selector", "klp"}})->Record(100);
+  reg.GetHistogram("lat", {{"selector", "even"}})->Record(200);
+  reg.GetHistogram("other")->Record(999);
+  HistogramSnapshot merged = reg.MergedHistogram("lat");
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_EQ(merged.sum, 300u);
+  EXPECT_EQ(reg.MergedHistogram("nope").count, 0u);
+}
+
+TEST(MetricsRegistry, SnapshotSeesMetricsAndProbes) {
+  MetricsRegistry reg;
+  reg.GetCounter("hits")->Add(7);
+  reg.GetGauge("depth", {{"pool", "main"}})->Set(-3);
+  reg.GetHistogram("lat")->Record(50);
+
+  int probe_calls = 0;
+  MetricsRegistry::ProbeHandle probe = reg.AddProbe([&](SampleSink& sink) {
+    ++probe_calls;
+    sink.Counter("adopted_total", 11);
+    sink.Gauge("adopted_level", 22, {{"src", "probe"}});
+  });
+
+  RegistrySnapshot snap = reg.Snapshot();
+  EXPECT_EQ(probe_calls, 1);
+  auto find = [&](const std::string& name) -> const MetricSample* {
+    for (const MetricSample& s : snap.samples) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("hits"), nullptr);
+  EXPECT_EQ(find("hits")->value, 7);
+  EXPECT_EQ(find("hits")->kind, MetricSample::Kind::kCounter);
+  ASSERT_NE(find("depth"), nullptr);
+  EXPECT_EQ(find("depth")->value, -3);
+  EXPECT_EQ(find("depth")->kind, MetricSample::Kind::kGauge);
+  ASSERT_NE(find("adopted_total"), nullptr);
+  EXPECT_EQ(find("adopted_total")->value, 11);
+  ASSERT_NE(find("adopted_level"), nullptr);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "lat");
+  EXPECT_EQ(snap.histograms[0].snapshot.count, 1u);
+
+  // Released probes stop contributing.
+  probe.Release();
+  probe.Release();  // idempotent
+  snap = reg.Snapshot();
+  EXPECT_EQ(probe_calls, 1);
+  EXPECT_EQ(find("adopted_total"), nullptr);
+}
+
+TEST(MetricsRegistry, ProbeHandleMoveTransfersOwnership) {
+  MetricsRegistry reg;
+  int calls = 0;
+  MetricsRegistry::ProbeHandle a =
+      reg.AddProbe([&](SampleSink&) { ++calls; });
+  MetricsRegistry::ProbeHandle b = std::move(a);
+  a.Release();  // moved-from: no-op
+  reg.Snapshot();
+  EXPECT_EQ(calls, 1);
+  b.Release();
+  reg.Snapshot();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(MetricsRegistry, RenderersEmitNamesLabelsAndQuantiles) {
+  MetricsRegistry reg;
+  reg.GetCounter("setdisc_frames_total", {{"dir", "in"}})->Add(9);
+  reg.GetGauge("setdisc_depth")->Set(4);
+  Histogram* h = reg.GetHistogram("setdisc_lat");
+  for (uint64_t i = 1; i <= 100; ++i) h->Record(i * 1000);
+
+  const std::string prom = reg.Snapshot().ToPrometheusText();
+  EXPECT_NE(prom.find("setdisc_frames_total{dir=\"in\"} 9"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("setdisc_depth 4"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("setdisc_lat_count 100"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE setdisc_frames_total counter"),
+            std::string::npos)
+      << prom;
+
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"setdisc_frames_total\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+}
+
+TEST(MetricsRegistry, FormatLabelsRendersSelectorBody) {
+  EXPECT_EQ(FormatLabels({}), "");
+  EXPECT_EQ(FormatLabels({{"a", "x"}}), "a=\"x\"");
+  EXPECT_EQ(FormatLabels({{"a", "x"}, {"b", "y"}}), "a=\"x\",b=\"y\"");
+}
+
+TEST(MetricsRegistry, ConcurrentGetAndRecordIsSafe) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < 2000; ++i) {
+        reg.GetCounter("shared")->Add(1);
+        reg.GetHistogram("hist", {{"t", std::to_string(t % 2)}})->Record(i);
+        if (i % 128 == 0) reg.Snapshot();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.CounterTotal("shared"),
+            static_cast<uint64_t>(kThreads) * 2000);
+  EXPECT_EQ(reg.MergedHistogram("hist").count,
+            static_cast<uint64_t>(kThreads) * 2000);
+}
+
+TEST(Enabled, KillSwitchFlipsAndRestores) {
+  ASSERT_TRUE(Enabled());  // default-on
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled());
+}
+
+}  // namespace
+}  // namespace setdisc::obs

@@ -427,5 +427,282 @@ TEST(PayloadPrimitives, ReaderIsBoundsCheckedAndExact) {
   EXPECT_FALSE(r.Exhausted());
 }
 
+// ---------------------------------------------------------------------------
+// StatsReply extensibility (the version-0 / rich-v1 compatibility matrix)
+// ---------------------------------------------------------------------------
+
+StatsReplyMsg RichStats() {
+  StatsReplyMsg msg;
+  msg.active_sessions = 5;
+  msg.created_sessions = 1000;
+  msg.connections_open = 3;
+  msg.connections_total = 9;
+  msg.frames_received = 123;
+  msg.frames_sent = 456;
+  msg.has_rich = true;
+  msg.step_latency = {1000, 5000000, 4000, 4800, 4990, 4999};
+  msg.pool_queue_wait = {200, 80000, 300, 700, 900, 950};
+  msg.pool_queue_depth = 4;
+  msg.cache_lookups = 5000;
+  msg.cache_hits = 4100;
+  msg.delta_full = 70;
+  msg.delta_delta = 800;
+  msg.delta_reemit = 130;
+  msg.klp_candidates = 90000;
+  msg.klp_evaluated = 20000;
+  msg.klp_pruned = 70000;
+  msg.registry = {
+      {"setdisc_sessions_active", 5},
+      {"setdisc_steps_total{kind=\"answer\"}", 940},
+      {"setdisc_net_bytes_read_total", 1u << 20},
+  };
+  return msg;
+}
+
+std::string BodyOf(const std::string& frame_bytes) {
+  return frame_bytes.substr(kFrameHeaderBytes);
+}
+
+TEST(StatsReplyCompat, RichSectionRoundTrips) {
+  const std::string body = BodyOf(Encode(RichStats()));
+  StatsReplyMsg decoded;
+  ASSERT_TRUE(Decode(body, &decoded));
+  ASSERT_TRUE(decoded.has_rich);
+  EXPECT_EQ(decoded.rich_version, 1);
+  EXPECT_EQ(decoded.active_sessions, 5u);
+  EXPECT_EQ(decoded.step_latency.count, 1000u);
+  EXPECT_EQ(decoded.step_latency.sum, 5000000u);
+  EXPECT_EQ(decoded.step_latency.p50, 4000u);
+  EXPECT_EQ(decoded.step_latency.p999, 4999u);
+  EXPECT_EQ(decoded.pool_queue_wait.p99, 900u);
+  EXPECT_EQ(decoded.pool_queue_depth, 4u);
+  EXPECT_EQ(decoded.cache_lookups, 5000u);
+  EXPECT_EQ(decoded.cache_hits, 4100u);
+  EXPECT_EQ(decoded.delta_full, 70u);
+  EXPECT_EQ(decoded.delta_delta, 800u);
+  EXPECT_EQ(decoded.delta_reemit, 130u);
+  EXPECT_EQ(decoded.klp_candidates, 90000u);
+  EXPECT_EQ(decoded.klp_evaluated, 20000u);
+  EXPECT_EQ(decoded.klp_pruned, 70000u);
+  ASSERT_EQ(decoded.registry.size(), 3u);
+  EXPECT_EQ(decoded.registry[1].first,
+            "setdisc_steps_total{kind=\"answer\"}");
+  EXPECT_EQ(decoded.registry[1].second, 940u);
+}
+
+TEST(StatsReplyCompat, LegacyBodyIsExactAndDecodes) {
+  // An old server's reply is exactly the six u64s. A new client must see
+  // has_rich == false; and the has_rich=false encoding must be byte-exact
+  // legacy so old clients keep accepting new untraced servers.
+  StatsReplyMsg legacy = RichStats();
+  legacy.has_rich = false;
+  const std::string body = BodyOf(Encode(legacy));
+  EXPECT_EQ(body.size(), 6 * sizeof(uint64_t));
+
+  StatsReplyMsg decoded;
+  decoded.has_rich = true;  // must be overwritten
+  ASSERT_TRUE(Decode(body, &decoded));
+  EXPECT_FALSE(decoded.has_rich);
+  EXPECT_EQ(decoded.created_sessions, 1000u);
+  EXPECT_EQ(decoded.frames_sent, 456u);
+  EXPECT_TRUE(decoded.registry.empty());
+}
+
+TEST(StatsReplyCompat, LongerThanKnownBodiesAreTolerated) {
+  // A future server appends bytes after the v1 layout; this build must
+  // parse what it knows and ignore the rest.
+  std::string body = BodyOf(Encode(RichStats()));
+  body += std::string("\x01\x02\x03\x04\x05", 5);
+  StatsReplyMsg decoded;
+  ASSERT_TRUE(Decode(body, &decoded));
+  EXPECT_TRUE(decoded.has_rich);
+  EXPECT_EQ(decoded.step_latency.p99, 4990u);
+  ASSERT_EQ(decoded.registry.size(), 3u);
+}
+
+TEST(StatsReplyCompat, TruncationAnywhereInsideIsRejected) {
+  const std::string full = BodyOf(Encode(RichStats()));
+  StatsReplyMsg decoded;
+  // Shorter than even the legacy prefix.
+  EXPECT_FALSE(Decode(full.substr(0, 47), &decoded));
+  // Cut inside the rich section at several depths: right after the version
+  // byte, inside the histograms, inside the scalar block, and inside the
+  // registry dump. All must reject, not silently degrade.
+  for (size_t cut : {49ul, 60ul, 100ul, 160ul, full.size() - 1}) {
+    ASSERT_LT(cut, full.size());
+    EXPECT_FALSE(Decode(full.substr(0, cut), &decoded)) << "cut=" << cut;
+  }
+}
+
+TEST(StatsReplyCompat, RichVersionZeroIsRejected) {
+  std::string body = BodyOf(Encode(RichStats()));
+  body[6 * sizeof(uint64_t)] = '\x00';  // version byte
+  StatsReplyMsg decoded;
+  EXPECT_FALSE(Decode(body, &decoded));
+}
+
+TEST(StatsReplyCompat, RegistryDumpIsCappedAtEncode) {
+  StatsReplyMsg msg = RichStats();
+  msg.registry.clear();
+  for (uint32_t i = 0; i < kMaxWireRegistryEntries + 50; ++i) {
+    msg.registry.emplace_back("metric_" + std::to_string(i), i);
+  }
+  StatsReplyMsg decoded;
+  ASSERT_TRUE(Decode(BodyOf(Encode(msg)), &decoded));
+  EXPECT_EQ(decoded.registry.size(), size_t{kMaxWireRegistryEntries});
+  EXPECT_EQ(decoded.registry[0].first, "metric_0");
+}
+
+// ---------------------------------------------------------------------------
+// CreateSession trace flag (optional-trailing-byte compatibility)
+// ---------------------------------------------------------------------------
+
+TEST(CreateSessionCompat, TraceFlagRoundTripsAndStaysOptional) {
+  CreateSessionMsg msg;
+  msg.initial = {1, 2, 3};
+
+  // Tracing off: the encoding is the exact pre-flags layout (u32 n + ids),
+  // so old servers accept frames from new clients.
+  std::string off_body = BodyOf(Encode(msg));
+  EXPECT_EQ(off_body.size(), sizeof(uint32_t) * 4);
+  CreateSessionMsg decoded;
+  decoded.enable_trace = true;  // must be overwritten
+  ASSERT_TRUE(Decode(off_body, &decoded));
+  EXPECT_FALSE(decoded.enable_trace);
+  EXPECT_EQ(decoded.initial, msg.initial);
+
+  msg.enable_trace = true;
+  std::string on_body = BodyOf(Encode(msg));
+  EXPECT_EQ(on_body.size(), off_body.size() + 1);
+  ASSERT_TRUE(Decode(on_body, &decoded));
+  EXPECT_TRUE(decoded.enable_trace);
+  EXPECT_EQ(decoded.initial, msg.initial);
+}
+
+TEST(CreateSessionCompat, UnknownFlagBitsAreIgnored) {
+  CreateSessionMsg msg;
+  msg.initial = {7};
+  std::string body = BodyOf(Encode(msg));
+  CreateSessionMsg decoded;
+
+  body.push_back('\x02');  // future flag only: decodes, trace off
+  ASSERT_TRUE(Decode(body, &decoded));
+  EXPECT_FALSE(decoded.enable_trace);
+
+  body.back() = '\x03';  // future flag + trace
+  ASSERT_TRUE(Decode(body, &decoded));
+  EXPECT_TRUE(decoded.enable_trace);
+
+  body.push_back('\x00');  // two trailing bytes is malformed
+  EXPECT_FALSE(Decode(body, &decoded));
+}
+
+// ---------------------------------------------------------------------------
+// TraceReply
+// ---------------------------------------------------------------------------
+
+obs::TraceEvent MakeEvent(uint32_t step) {
+  obs::TraceEvent ev;
+  ev.step = step;
+  ev.entity = step * 10;
+  ev.kind = step % 2;
+  ev.serve_path = static_cast<uint8_t>(obs::ServePath::kDelta);
+  ev.candidates_before = 100 - step;
+  ev.candidates_after = 50 - step;
+  for (size_t ph = 0; ph < obs::kNumPhases; ++ph) {
+    ev.phase_ns[ph] = step * 1000 + ph;
+  }
+  ev.total_ns = step * 10000;
+  return ev;
+}
+
+TEST(TraceReply, RoundTripsEveryField) {
+  TraceReplyMsg msg;
+  msg.session_id = 0xDEADBEEFCAFEull;
+  for (uint32_t i = 0; i < 5; ++i) msg.events.push_back(MakeEvent(i));
+
+  TraceReplyMsg decoded;
+  ASSERT_TRUE(Decode(BodyOf(Encode(msg)), &decoded));
+  EXPECT_EQ(decoded.session_id, msg.session_id);
+  ASSERT_EQ(decoded.events.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    const obs::TraceEvent& ev = decoded.events[i];
+    EXPECT_EQ(ev.step, i);
+    EXPECT_EQ(ev.entity, i * 10);
+    EXPECT_EQ(ev.kind, i % 2);
+    EXPECT_EQ(ev.serve_path, static_cast<uint8_t>(obs::ServePath::kDelta));
+    EXPECT_EQ(ev.candidates_before, 100 - i);
+    EXPECT_EQ(ev.candidates_after, 50 - i);
+    EXPECT_EQ(ev.total_ns, i * 10000u);
+    for (size_t ph = 0; ph < obs::kNumPhases; ++ph) {
+      EXPECT_EQ(ev.phase_ns[ph], i * 1000 + ph);
+    }
+  }
+}
+
+TEST(TraceReply, ServerWithMorePhasesStillDecodes) {
+  // Hand-build a body as a future server with two extra phases would: the
+  // per-event phase array is longer, num_phases says so, and this build
+  // reads the extras and drops them.
+  std::string body;
+  PayloadWriter w(&body);
+  w.PutU64(77);
+  w.PutU8(static_cast<uint8_t>(obs::kNumPhases + 2));
+  w.PutU32(1);
+  w.PutU32(3);      // step
+  w.PutU32(42);     // entity
+  w.PutU8(0);       // kind
+  w.PutU8(1);       // serve_path
+  w.PutU32(10);     // before
+  w.PutU32(4);      // after
+  w.PutU64(99999);  // total_ns
+  for (size_t ph = 0; ph < obs::kNumPhases + 2; ++ph) {
+    w.PutU64(1000 + ph);
+  }
+  TraceReplyMsg decoded;
+  ASSERT_TRUE(Decode(body, &decoded));
+  EXPECT_EQ(decoded.session_id, 77u);
+  ASSERT_EQ(decoded.events.size(), 1u);
+  EXPECT_EQ(decoded.events[0].step, 3u);
+  EXPECT_EQ(decoded.events[0].total_ns, 99999u);
+  for (size_t ph = 0; ph < obs::kNumPhases; ++ph) {
+    EXPECT_EQ(decoded.events[0].phase_ns[ph], 1000 + ph);
+  }
+}
+
+TEST(TraceReply, MalformedBodiesAreRejected) {
+  TraceReplyMsg msg;
+  msg.session_id = 9;
+  msg.events.push_back(MakeEvent(0));
+  const std::string body = BodyOf(Encode(msg));
+  TraceReplyMsg decoded;
+  ASSERT_TRUE(Decode(body, &decoded));
+  // Truncated and padded bodies both fail the exact-size check.
+  EXPECT_FALSE(Decode(body.substr(0, body.size() - 1), &decoded));
+  EXPECT_FALSE(Decode(body + '\x00', &decoded));
+  // Zero phases is nonsensical; > 64 is hostile.
+  std::string zero_phases = body;
+  zero_phases[8] = '\x00';
+  EXPECT_FALSE(Decode(zero_phases, &decoded));
+  std::string many_phases = body;
+  many_phases[8] = '\x41';  // 65
+  EXPECT_FALSE(Decode(many_phases, &decoded));
+}
+
+TEST(TraceReply, EncoderShipsMostRecentEventsWhenOverCap) {
+  TraceReplyMsg msg;
+  msg.session_id = 1;
+  for (uint32_t i = 0; i < kMaxWireTraceEvents + 25; ++i) {
+    msg.events.push_back(MakeEvent(i));
+  }
+  const std::string frame_bytes = Encode(msg);
+  EXPECT_LE(frame_bytes.size() - kFrameHeaderBytes, kDefaultMaxBody);
+  TraceReplyMsg decoded;
+  ASSERT_TRUE(Decode(BodyOf(frame_bytes), &decoded));
+  ASSERT_EQ(decoded.events.size(), size_t{kMaxWireTraceEvents});
+  EXPECT_EQ(decoded.events.front().step, 25u);  // oldest shipped
+  EXPECT_EQ(decoded.events.back().step, kMaxWireTraceEvents + 24);
+}
+
 }  // namespace
 }  // namespace setdisc::net

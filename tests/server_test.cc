@@ -704,5 +704,122 @@ TEST(DiscoveryServer, StatsReplyTracksTraffic) {
   EXPECT_GE(stats.frames_sent, 1u);      // the create reply
 }
 
+// ---------------------------------------------------------------------------
+// Rich stats and per-session traces over the wire
+// ---------------------------------------------------------------------------
+
+TEST(DiscoveryServer, OneStatsRoundTripCarriesTheWholeServingPicture) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SelectionCacheOptions cache_options;
+  cache_options.capacity = 1024;
+  SelectionCache cache(cache_options);
+  SessionManagerOptions options = ManagerOptions();
+  options.selection_cache = &cache;
+  options.metrics = &obs::MetricsRegistry::Default();
+  SessionManager manager(c, idx, options);
+  auto server = StartServer(manager);
+
+  DiscoveryClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  // Repeat targets so the shared selection cache serves hits too.
+  for (SetId target : {SetId{0}, SetId{1}, SetId{2}, SetId{0}, SetId{1}}) {
+    SimulatedOracle oracle(&c, target);
+    SessionStateMsg state;
+    ASSERT_TRUE(DriveRemote(client, {}, oracle, &state).ok());
+    ASSERT_EQ(state.state, SessionState::kFinished);
+    ASSERT_TRUE(client.CloseSession(state.session_id).ok());
+  }
+
+  // The acceptance shape: one kStats reply carries step-latency quantiles,
+  // the cache hit rate, the delta serve-path mix, and the pool queue depth.
+  StatsReplyMsg stats;
+  ASSERT_TRUE(client.GetStats(&stats).ok());
+  ASSERT_TRUE(stats.has_rich);
+  EXPECT_EQ(stats.rich_version, 1);
+  EXPECT_GT(stats.step_latency.count, 0u);
+  EXPECT_GT(stats.step_latency.p50, 0u);
+  EXPECT_GE(stats.step_latency.p99, stats.step_latency.p50);
+  EXPECT_GT(stats.step_latency.sum, 0u);
+  EXPECT_GT(stats.cache_lookups, 0u);
+  EXPECT_GT(stats.cache_hits, 0u);  // the repeated targets hit
+  EXPECT_LE(stats.cache_hits, stats.cache_lookups);
+  EXPECT_GT(stats.delta_full + stats.delta_delta + stats.delta_reemit, 0u);
+
+  // The registry dump rides along, including the manager's adopted gauges.
+  ASSERT_FALSE(stats.registry.empty());
+  bool saw_sessions_created = false;
+  for (const auto& [name, value] : stats.registry) {
+    if (name == "setdisc_sessions_created_total") {
+      saw_sessions_created = true;
+      EXPECT_GE(value, 5u);
+    }
+  }
+  EXPECT_TRUE(saw_sessions_created);
+}
+
+TEST(DiscoveryServer, TracedSessionShipsItsRingOverTheWire) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManager manager(c, idx, ManagerOptions());
+  auto server = StartServer(manager);
+
+  DiscoveryClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  SessionStateMsg state;
+  ASSERT_TRUE(client.CreateSession({}, &state, /*enable_trace=*/true).ok());
+  SimulatedOracle oracle(&c, /*target=*/3);
+  uint32_t steps = 0;
+  while (state.state == SessionState::kAwaitingAnswer) {
+    ASSERT_TRUE(client
+                    .Answer(state.session_id,
+                            oracle.AskMembership(state.question), &state)
+                    .ok());
+    ++steps;
+    ASSERT_LT(steps, 100u);
+  }
+  ASSERT_EQ(state.state, SessionState::kFinished);
+  ASSERT_GT(steps, 0u);
+
+  TraceReplyMsg trace;
+  ASSERT_TRUE(client.GetTrace(state.session_id, &trace).ok());
+  EXPECT_EQ(trace.session_id, state.session_id);
+  ASSERT_EQ(trace.events.size(), static_cast<size_t>(steps));
+  for (uint32_t i = 0; i < steps; ++i) {
+    const obs::TraceEvent& ev = trace.events[i];
+    EXPECT_EQ(ev.step, i);
+    EXPECT_EQ(ev.kind, 0);  // clean answers: no verify steps
+    EXPECT_GT(ev.total_ns, 0u);
+    const uint64_t select =
+        ev.phase_ns[static_cast<size_t>(obs::Phase::kSelect)];
+    const uint64_t emit = ev.phase_ns[static_cast<size_t>(obs::Phase::kEmit)];
+    EXPECT_LE(select + emit, ev.total_ns);
+  }
+}
+
+TEST(DiscoveryServer, GetTraceErrorsMatchSessionState) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManager manager(c, idx, ManagerOptions());
+  auto server = StartServer(manager);
+
+  DiscoveryClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  TraceReplyMsg trace;
+  EXPECT_FALSE(client.GetTrace(424242, &trace).ok());
+  EXPECT_EQ(client.last_status(), WireStatus::kNotFound);
+
+  // An untraced session has no ring: asking for one is a state error, and
+  // the connection survives it.
+  SessionStateMsg state;
+  ASSERT_TRUE(client.CreateSession({}, &state).ok());
+  EXPECT_FALSE(client.GetTrace(state.session_id, &trace).ok());
+  EXPECT_EQ(client.last_status(), WireStatus::kWrongState);
+  SessionStateMsg probe;
+  EXPECT_TRUE(client.GetSession(state.session_id, &probe).ok());
+}
+
 }  // namespace
 }  // namespace setdisc::net

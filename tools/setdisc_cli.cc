@@ -45,6 +45,13 @@
 //                     idle longer than MS milliseconds drop their retained
 //                     counting state, dense scratch, and k-LP memo (the
 //                     next step pays one full recount)
+//   --stats-json      at exit, print ONE JSON snapshot of the metrics
+//                     registry (latency histograms, serve-path mix, cache
+//                     and pruning counters) to stdout; the human-readable
+//                     output moves to stderr so stdout stays parseable
+//   --metrics-port P  with --serve: also serve Prometheus text exposition
+//                     over HTTP on port P (0 = kernel-assigned), same bind
+//                     address, no extra thread
 
 #include <atomic>
 #include <chrono>
@@ -67,6 +74,8 @@
 #include "core/selectors.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
 #include "service/discovery_session.h"
 #include "service/selection_cache.h"
 #include "service/session_manager.h"
@@ -139,7 +148,8 @@ int Usage() {
                "[--shards K] [--examples a,b,c] [--verify] [--threads N]\n"
                "                   [--cache] [--cache-capacity N] "
                "[--cache-skip-one-shot]\n"
-               "                   [--no-delta] [--release-idle MS]\n");
+               "                   [--no-delta] [--release-idle MS] "
+               "[--stats-json] [--metrics-port P]\n");
   return 2;
 }
 
@@ -194,30 +204,31 @@ SetId ResolveSet(const SetCollection& collection, const std::string& label) {
 }
 
 void PrintSession(const SetCollection& collection,
-                  const DiscoveryResult& result) {
+                  const DiscoveryResult& result,
+                  std::ostream& out = std::cout) {
   for (auto& [entity, answer] : result.transcript) {
     const char* a = answer == Oracle::Answer::kYes ? "yes"
                     : answer == Oracle::Answer::kNo ? "no"
                                                     : "don't know";
-    std::cout << "  " << collection.EntityName(entity) << " -> " << a << "\n";
+    out << "  " << collection.EntityName(entity) << " -> " << a << "\n";
   }
   if (result.found()) {
     SetId s = result.discovered();
-    std::cout << "discovered set " << s;
-    if (!collection.label(s).empty()) std::cout << " (" << collection.label(s)
-                                                << ")";
-    std::cout << " in " << result.questions << " questions:\n  {";
+    out << "discovered set " << s;
+    if (!collection.label(s).empty()) out << " (" << collection.label(s)
+                                          << ")";
+    out << " in " << result.questions << " questions:\n  {";
     bool first = true;
     for (EntityId e : collection.set(s)) {
-      if (!first) std::cout << ", ";
+      if (!first) out << ", ";
       first = false;
-      std::cout << collection.EntityName(e);
+      out << collection.EntityName(e);
     }
-    std::cout << "}\n";
+    out << "}\n";
   } else {
-    std::cout << result.candidates.size()
-              << " candidate sets remain after " << result.questions
-              << " questions\n";
+    out << result.candidates.size()
+        << " candidate sets remain after " << result.questions
+        << " questions\n";
   }
 }
 
@@ -244,6 +255,8 @@ int main(int argc, char** argv) {
   int release_idle_ms = 0;
   bool use_cache = false;
   bool cache_skip_one_shot = false;
+  bool stats_json = false;
+  int metrics_port = -1;
   size_t cache_capacity = size_t{1} << 20;
   CostMetric metric = CostMetric::kAvgDepth;
 
@@ -284,6 +297,11 @@ int main(int argc, char** argv) {
       no_delta = true;
     } else if (arg == "--release-idle" && i + 1 < argc) {
       release_idle_ms = std::atoi(argv[++i]);
+    } else if (arg == "--stats-json") {
+      stats_json = true;
+    } else if (arg == "--metrics-port" && i + 1 < argc) {
+      metrics_port = std::atoi(argv[++i]);
+      if (metrics_port < 0 || metrics_port > 65535) return Usage();
     } else if (arg == "--k" && i + 1 < argc) {
       k = std::atoi(argv[++i]);
     } else if (arg == "--q" && i + 1 < argc) {
@@ -305,16 +323,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  // With --stats-json the human-readable narration moves to stderr and the
+  // exit path prints exactly one JSON object (the registry snapshot) to
+  // stdout — machine consumers parse stdout, people read stderr.
+  std::ostream& hout = stats_json ? static_cast<std::ostream&>(std::cerr)
+                                  : std::cout;
+  auto finish = [stats_json](int code) {
+    if (stats_json) {
+      std::cout << obs::MetricsRegistry::Default().Snapshot().ToJson() << "\n"
+                << std::flush;
+    }
+    return code;
+  };
+
   SetCollection collection;
   Status status = LoadCollectionText(path, &collection);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.message().c_str());
     return 1;
   }
-  std::cout << "loaded " << collection.num_sets() << " unique sets over "
-            << collection.num_distinct_entities() << " entities from " << path
-            << "\n";
-  if (collection.num_sets() == 0) return 0;
+  hout << "loaded " << collection.num_sets() << " unique sets over "
+       << collection.num_distinct_entities() << " entities from " << path
+       << "\n";
+  if (collection.num_sets() == 0) return finish(0);
 
   if (!connect_spec.empty()) {
     // Network client: the same conversations as the local modes, but every
@@ -502,8 +533,8 @@ int main(int argc, char** argv) {
       discovery_options.verify_and_backtrack = verify;
       DiscoveryResult result = Discover(collection, index, initial, selector,
                                         oracle, discovery_options);
-      PrintSession(collection, result);
-      return result.found() && result.discovered() == target ? 0 : 1;
+      PrintSession(collection, result, hout);
+      return finish(result.found() && result.discovered() == target ? 0 : 1);
     }
     case Mode::kServeStress: {
       // Smoke the service layer: N concurrent simulated sessions multiplexed
@@ -515,6 +546,10 @@ int main(int argc, char** argv) {
       manager_options.discovery.verify_and_backtrack = verify;
       manager_options.num_threads = static_cast<size_t>(stress_threads);
       manager_options.num_shards = static_cast<size_t>(shards);
+      // Hook the manager's probe (sessions active/created, manager queue
+      // depth) into the process registry so --stats-json and --metrics-port
+      // see the whole serving picture, not just the hot-path families.
+      manager_options.metrics = &obs::MetricsRegistry::Default();
       if (release_idle_ms > 0) {
         manager_options.release_scratch_after =
             std::chrono::milliseconds(release_idle_ms);
@@ -558,22 +593,22 @@ int main(int argc, char** argv) {
         if (!job.get()) ++failures;
       }
       double seconds = timer.Seconds();
-      std::cout << "served " << stress_sessions << " sessions on "
-                << stress_threads << " threads"
-                << (shards > 1 ? Format(" (%d shards)", shards) : "")
-                << " in " << Format("%.3f", seconds)
-                << "s (" << Format("%.1f", stress_sessions / seconds)
-                << " sessions/sec), " << failures << " failures\n";
+      hout << "served " << stress_sessions << " sessions on "
+           << stress_threads << " threads"
+           << (shards > 1 ? Format(" (%d shards)", shards) : "")
+           << " in " << Format("%.3f", seconds)
+           << "s (" << Format("%.1f", stress_sessions / seconds)
+           << " sessions/sec), " << failures << " failures\n";
       if (cache != nullptr) {
         SelectionCacheStats stats = cache->stats();
-        std::cout << "selection cache: " << stats.lookups << " lookups, "
-                  << stats.hits << " hits ("
-                  << Format("%.1f", 100.0 * stats.HitRate())
-                  << "% hit rate), " << stats.insertions << " insertions, "
-                  << stats.evictions << " evictions, " << stats.bypasses
-                  << " bypasses, " << cache->size() << " entries live\n";
+        hout << "selection cache: " << stats.lookups << " lookups, "
+             << stats.hits << " hits ("
+             << Format("%.1f", 100.0 * stats.HitRate())
+             << "% hit rate), " << stats.insertions << " insertions, "
+             << stats.evictions << " evictions, " << stats.bypasses
+             << " bypasses, " << cache->size() << " entries live\n";
       }
-      return failures == 0 ? 0 : 1;
+      return finish(failures == 0 ? 0 : 1);
     }
     case Mode::kServe: {
       // The network frontend: SessionManager behind a DiscoveryServer,
@@ -586,6 +621,10 @@ int main(int argc, char** argv) {
       manager_options.discovery.verify_and_backtrack = verify;
       manager_options.num_threads = static_cast<size_t>(stress_threads);
       manager_options.num_shards = static_cast<size_t>(shards);
+      // Hook the manager's probe (sessions active/created, manager queue
+      // depth) into the process registry so --stats-json and --metrics-port
+      // see the whole serving picture, not just the hot-path families.
+      manager_options.metrics = &obs::MetricsRegistry::Default();
       if (release_idle_ms > 0) {
         manager_options.release_scratch_after =
             std::chrono::milliseconds(release_idle_ms);
@@ -603,6 +642,10 @@ int main(int argc, char** argv) {
       net::ServerOptions server_options;
       server_options.bind_address = bind_address;
       server_options.port = static_cast<uint16_t>(serve_port);
+      if (metrics_port >= 0) {
+        server_options.enable_metrics_http = true;
+        server_options.metrics_port = static_cast<uint16_t>(metrics_port);
+      }
       net::DiscoveryServer server(manager, server_options);
       Status start = server.Start();
       if (!start.ok()) {
@@ -611,32 +654,36 @@ int main(int argc, char** argv) {
       }
       std::signal(SIGINT, HandleStopSignal);
       std::signal(SIGTERM, HandleStopSignal);
-      std::cout << "serving on " << server.options().bind_address << ":"
-                << server.port() << " (" << selector.name() << ", "
-                << stress_threads << " worker threads"
-                << (shards > 1 ? Format(", %d shards", shards) : "")
-                << (verify ? ", verify" : "")
-                << (use_cache ? ", cache" : "") << ")\n"
-                << std::flush;
+      hout << "serving on " << server.options().bind_address << ":"
+           << server.port() << " (" << selector.name() << ", "
+           << stress_threads << " worker threads"
+           << (shards > 1 ? Format(", %d shards", shards) : "")
+           << (verify ? ", verify" : "")
+           << (use_cache ? ", cache" : "") << ")\n";
+      if (server.metrics_port() != 0) {
+        hout << "metrics on http://" << server.options().bind_address << ":"
+             << server.metrics_port() << "/metrics\n";
+      }
+      hout << std::flush;
       while (g_stop_serving == 0 && server.running()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
       }
-      std::cout << "draining...\n";
+      hout << "draining...\n";
       server.Shutdown();
       net::ServerStats stats = server.stats();
-      std::cout << "served " << manager.num_created() << " sessions over "
-                << stats.connections_total << " connections ("
-                << stats.frames_received << " frames in, " << stats.frames_sent
-                << " out, " << stats.protocol_errors << " protocol errors, "
-                << stats.idle_closed << " idle-closed)\n";
+      hout << "served " << manager.num_created() << " sessions over "
+           << stats.connections_total << " connections ("
+           << stats.frames_received << " frames in, " << stats.frames_sent
+           << " out, " << stats.protocol_errors << " protocol errors, "
+           << stats.idle_closed << " idle-closed)\n";
       if (cache != nullptr) {
         SelectionCacheStats cstats = cache->stats();
-        std::cout << "selection cache: "
-                  << Format("%.1f", 100.0 * cstats.HitRate()) << "% hit rate, "
-                  << cstats.bypasses << " bypasses, " << cache->size()
-                  << " entries\n";
+        hout << "selection cache: "
+             << Format("%.1f", 100.0 * cstats.HitRate()) << "% hit rate, "
+             << cstats.bypasses << " bypasses, " << cache->size()
+             << " entries\n";
       }
-      return 0;
+      return finish(0);
     }
   }
   return 0;
