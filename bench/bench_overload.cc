@@ -1,0 +1,346 @@
+// Overload behaviour of the serving stack: the same saturating client herd
+// against an uncontrolled server (PR 6 behaviour: every Create admitted,
+// full k-LP effort for everyone) and against one governed by the
+// LoadController (admission watermark + p99-driven lookahead degradation).
+//
+// The herd is deliberately brutal: many zero-think-time clients on a tiny
+// worker pool (>= 2x saturation), each running complete conversations over
+// loopback TCP. Uncontrolled, every step queues behind every concurrent
+// session and client-observed p99 grows with the herd size. Controlled, the
+// server sheds new conversations at the queue watermark (clients back off
+// per the retry-after hint) and narrows the k-LP lookahead under sustained
+// p99 pressure — so the sessions it does serve keep a bounded tail.
+//
+// Flags:
+//   --json    machine-readable rows on stdout (tables move to stderr);
+//             the committed BENCH_overload.json is this at quick scale
+//   --assert  exit non-zero unless the controller actually helped:
+//             controlled p99 below the uncontrolled p99 with margin, at
+//             least one refusal or degradation, and zero wrong results
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/klp.h"
+#include "data/synthetic.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "service/load_controller.h"
+#include "service/session_manager.h"
+#include "util/stats.h"
+
+namespace setdisc::bench {
+namespace {
+
+struct ClientStats {
+  int failures = 0;       ///< wrong/non-convergent conversations
+  int busy_retries = 0;   ///< kBusy refusals absorbed (with back-off)
+  std::vector<double> step_us;
+};
+
+/// One blocking client running `num_sessions` full conversations. A kBusy
+/// refusal on Create is what a well-behaved client does with it: sleep the
+/// server's hint and retry on the same connection. Busy waits do NOT count
+/// as steps — the latency columns measure served work.
+ClientStats RunClient(uint16_t port, const SetCollection& c, int num_sessions,
+                      int client_index) {
+  ClientStats out;
+  net::DiscoveryClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    out.failures = num_sessions;
+    return out;
+  }
+  for (int i = 0; i < num_sessions; ++i) {
+    SetId target = static_cast<SetId>(
+        (static_cast<size_t>(client_index) * 7919 + static_cast<size_t>(i)) %
+        c.num_sets());
+    SimulatedOracle oracle(&c, target);
+    net::SessionStateMsg state;
+    WallTimer timer;
+    Status s = client.CreateSession({}, &state);
+    // Bounded retry so a wedged server fails the bench instead of hanging it.
+    int busy_guard = 0;
+    while (!s.ok() && client.last_status() == net::WireStatus::kBusy &&
+           busy_guard++ < 10000) {
+      ++out.busy_retries;
+      uint32_t hint = client.last_retry_after_ms();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(hint > 0 ? hint : 5));
+      timer.Reset();
+      s = client.CreateSession({}, &state);
+    }
+    if (s.ok()) out.step_us.push_back(timer.Micros());
+    int guard = 0;
+    while (s.ok() && state.state != SessionState::kFinished &&
+           guard++ < 1000000) {
+      timer.Reset();
+      if (state.state == SessionState::kAwaitingAnswer) {
+        s = client.Answer(state.session_id,
+                          oracle.AskMembership(state.question), &state);
+      } else {
+        s = client.Verify(state.session_id,
+                          oracle.ConfirmTarget(state.verify_set), &state);
+      }
+      if (s.ok()) out.step_us.push_back(timer.Micros());
+    }
+    bool ok = s.ok() && state.state == SessionState::kFinished &&
+              state.result.candidates.size() == 1 &&
+              state.result.candidates[0] == target;
+    if (!ok) ++out.failures;
+    client.CloseSession(state.session_id);
+  }
+  return out;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  int failures = 0;
+  int busy_retries = 0;
+  size_t sessions = 0;
+  std::vector<double> step_us;
+};
+
+RunResult RunHerd(uint16_t port, const SetCollection& c, int num_clients,
+                  int sessions_per_client) {
+  std::vector<ClientStats> per_client(num_clients);
+  WallTimer timer;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(num_clients);
+    for (int i = 0; i < num_clients; ++i) {
+      threads.emplace_back([&, i] {
+        per_client[i] = RunClient(port, c, sessions_per_client, i);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  RunResult out;
+  out.seconds = timer.Seconds();
+  out.sessions =
+      static_cast<size_t>(num_clients) * static_cast<size_t>(sessions_per_client);
+  for (ClientStats& cs : per_client) {
+    out.failures += cs.failures;
+    out.busy_retries += cs.busy_retries;
+    out.step_us.insert(out.step_us.end(), cs.step_us.begin(), cs.step_us.end());
+  }
+  return out;
+}
+
+/// The controller wired exactly as `setdisc_cli --serve --max-queue
+/// --degrade` wires it: merged step-latency histogram + live pool depth in,
+/// manager effort level out.
+std::unique_ptr<LoadController> MakeController(SessionManager* manager,
+                                               size_t watermark,
+                                               uint64_t target_p99_ns) {
+  LoadControllerOptions options;
+  options.tick_interval = std::chrono::milliseconds(20);
+  options.admit_queue_watermark = watermark;
+  options.retry_after_ms = 10;
+  options.target_p99_ns = target_p99_ns;
+  options.degrade_after_ticks = 2;
+  options.recover_after_ticks = 4;
+  auto controller = std::make_unique<LoadController>(
+      std::move(options),
+      [manager] {
+        // Same sensor the CLI wires: execution latency merged with pool
+        // queue-wait, so overload (which only shows up as waiting) registers.
+        auto& registry = obs::MetricsRegistry::Default();
+        LoadSample sample;
+        sample.step_latency =
+            registry.MergedHistogram("setdisc_step_latency_ns");
+        sample.step_latency.Merge(
+            registry.MergedHistogram("setdisc_pool_queue_wait_ns"));
+        sample.queue_depth = manager->pool().queue_depth();
+        return sample;
+      },
+      [manager] { return manager->pool().queue_depth(); });
+  controller->set_effort_sink(
+      [manager](int level) { manager->SetEffortLevel(level); });
+  return controller;
+}
+
+}  // namespace
+}  // namespace setdisc::bench
+
+int main(int argc, char** argv) {
+  using namespace setdisc;
+  using namespace setdisc::bench;
+
+  const bool do_assert = HasFlag(argc, argv, "--assert");
+  JsonReport report("overload", HasFlag(argc, argv, "--json"));
+  std::ostream& out = report.text();
+
+  Banner("overload", "load-adaptive serving under a saturating client herd",
+         out);
+  obs::SetEnabled(true);  // the controller's latency sensor needs the feed
+
+  // Small collection, deep lookahead: 3-LP steps run tens of milliseconds
+  // here, so two workers saturate at a handful of concurrent sessions and
+  // the herd below is far past 2x saturation. (3-LP cost grows steeply with
+  // collection size — the knob for a slower machine is the scale, not k.)
+  SyntheticConfig cfg;
+  cfg.num_sets = ScalePick<uint32_t>(300, 450, 700);
+  cfg.min_set_size = 16;
+  cfg.max_set_size = 32;
+  cfg.overlap = 0.7;
+  cfg.seed = 911;
+  SetCollection c = GenerateSynthetic(cfg);
+  InvertedIndex idx(c);
+
+  const size_t pool_threads = 2;
+  const int clients = ScalePick<int>(12, 16, 32);
+  const int sessions_per_client = ScalePick<int>(6, 10, 16);
+  const KlpOptions selector_options =
+      KlpOptions::MakeKlp(3, CostMetric::kAvgDepth);
+
+  auto make_manager_options = [&] {
+    SessionManagerOptions mo;
+    mo.num_threads = pool_threads;
+    mo.selector_factory = [selector_options] {
+      return std::make_unique<KlpSelector>(selector_options);
+    };
+    return mo;
+  };
+
+  // Calibration: one client, no contention — the tail a healthy server
+  // delivers. The degradation target is a multiple of it, so the scales
+  // (and sanitizer slowdowns) cancel out of the target choice.
+  double unloaded_p99_us = 0.0;
+  {
+    SessionManagerOptions mo = make_manager_options();
+    SessionManager manager(c, idx, mo);
+    net::DiscoveryServer server(manager, net::ServerOptions{});
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "server start failed\n");
+      return 1;
+    }
+    RunResult warm = RunHerd(server.port(), c, 1, sessions_per_client * 2);
+    server.Shutdown();
+    if (warm.failures > 0) {
+      std::fprintf(stderr, "FAILED: %d warmup failures\n", warm.failures);
+      return 1;
+    }
+    unloaded_p99_us = Percentile(warm.step_us, 99);
+    out << "calibration: unloaded p99 " << Format("%.0fus", unloaded_p99_us)
+        << " (1 client, " << pool_threads << " workers)\n";
+  }
+  const uint64_t target_p99_ns =
+      static_cast<uint64_t>(unloaded_p99_us * 4.0 * 1000.0);
+
+  struct Cell {
+    std::string mode;
+    RunResult run;
+    uint64_t rejected = 0;
+    uint64_t degrades = 0;
+    uint64_t recovers = 0;
+    int final_effort = 0;
+  };
+  std::vector<Cell> cells;
+
+  for (bool controlled : {false, true}) {
+    SessionManagerOptions mo = make_manager_options();
+    SessionManager manager(c, idx, mo);
+    std::unique_ptr<LoadController> controller;
+    net::ServerOptions server_options;
+    if (controlled) {
+      controller = MakeController(&manager, /*watermark=*/2 * pool_threads,
+                                  target_p99_ns);
+      controller->Start();
+      server_options.load_controller = controller.get();
+    }
+    net::DiscoveryServer server(manager, server_options);
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "server start failed\n");
+      return 1;
+    }
+    Cell cell;
+    cell.mode = controlled ? "controlled" : "uncontrolled";
+    cell.run = RunHerd(server.port(), c, clients, sessions_per_client);
+    server.Shutdown();
+    if (controller != nullptr) {
+      controller->Stop();
+      cell.rejected = controller->rejected_total();
+      cell.degrades = controller->degrade_total();
+      cell.recovers = controller->recover_total();
+      cell.final_effort = controller->effort_level();
+    }
+    cells.push_back(std::move(cell));
+  }
+
+  TablePrinter table({"mode", "sessions/sec", "p50 step", "p99 step",
+                      "busy retries", "rejected", "degrades", "failures"});
+  for (const Cell& cell : cells) {
+    double p50 = Percentile(cell.run.step_us, 50);
+    double p99 = Percentile(cell.run.step_us, 99);
+    table.AddRow({cell.mode,
+                  Format("%.1f", cell.run.sessions / cell.run.seconds),
+                  Format("%.0fus", p50), Format("%.0fus", p99),
+                  Format("%d", cell.run.busy_retries),
+                  Format("%llu", static_cast<unsigned long long>(cell.rejected)),
+                  Format("%llu", static_cast<unsigned long long>(cell.degrades)),
+                  Format("%d", cell.run.failures)});
+    JsonReport::Row row;
+    row.Str("mode", cell.mode)
+        .Int("clients", clients)
+        .Int("pool_threads", static_cast<int64_t>(pool_threads))
+        .Int("sessions", static_cast<int64_t>(cell.run.sessions))
+        .Int("steps", static_cast<int64_t>(cell.run.step_us.size()))
+        .Num("seconds", cell.run.seconds)
+        .Num("p50_step_us", p50)
+        .Num("p99_step_us", p99)
+        .Num("unloaded_p99_us", unloaded_p99_us)
+        .Int("busy_retries", cell.run.busy_retries)
+        .Int("rejected", static_cast<int64_t>(cell.rejected))
+        .Int("degrades", static_cast<int64_t>(cell.degrades))
+        .Int("recovers", static_cast<int64_t>(cell.recovers))
+        .Int("final_effort", cell.final_effort)
+        .Int("failures", cell.run.failures);
+    report.Add(row);
+  }
+  table.Print(out);
+  out << "\n(" << clients << " zero-think clients on " << pool_threads
+      << " workers, 3-LP steps; the controlled run admits at queue <= "
+      << 2 * pool_threads << " and steers p99 toward "
+      << Format("%.0fus", static_cast<double>(target_p99_ns) / 1000.0)
+      << ")\n";
+  report.Print();
+
+  int failures = cells[0].run.failures + cells[1].run.failures;
+  if (failures > 0) {
+    std::fprintf(stderr, "FAILED: %d wrong/non-convergent conversations\n",
+                 failures);
+    return 1;
+  }
+  if (do_assert) {
+    const double p99_uncontrolled = Percentile(cells[0].run.step_us, 99);
+    const double p99_controlled = Percentile(cells[1].run.step_us, 99);
+    // Generous margin: the claim is "bounded tail vs blow-up", not a tuned
+    // ratio — sanitizer builds and loaded CI runners must still pass.
+    if (p99_controlled > 0.9 * p99_uncontrolled) {
+      std::fprintf(stderr,
+                   "ASSERT FAILED: controlled p99 %.0fus not below "
+                   "uncontrolled p99 %.0fus with margin\n",
+                   p99_controlled, p99_uncontrolled);
+      return 1;
+    }
+    if (cells[1].rejected == 0 && cells[1].degrades == 0) {
+      std::fprintf(stderr,
+                   "ASSERT FAILED: controller never engaged (0 rejections, "
+                   "0 degradations) under a saturating herd\n");
+      return 1;
+    }
+    out << "asserts passed: controlled p99 "
+        << Format("%.0fus", p99_controlled) << " vs uncontrolled "
+        << Format("%.0fus", p99_uncontrolled) << ", "
+        << cells[1].rejected << " rejections, " << cells[1].degrades
+        << " degradations\n";
+  }
+  return 0;
+}

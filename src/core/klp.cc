@@ -187,8 +187,11 @@ KlpSelection KlpSelector::SelectWithBoundImpl(const SubCollection& sub,
   // A fresh top-level search invalidates any winner snapshot from the last
   // one (it described the previous view's candidates).
   best_small_valid_ = false;
-  KlpSelection result = SelectImpl(sub, options_.k, upper_limit, /*top=*/true,
-                                   excluded, &node, /*hint=*/nullptr);
+  // effective_k() == options_.k at effort 0, so the undegraded path is
+  // byte-identical to pre-effort behavior (including memo keys).
+  KlpSelection result = SelectImpl(sub, effective_k(), upper_limit,
+                                   /*top=*/true, excluded, &node,
+                                   /*hint=*/nullptr);
   stats_.totals.candidates += node.candidates;
   stats_.totals.fully_evaluated += node.fully_evaluated;
   stats_.totals.pruned_by_break += node.pruned_by_break;

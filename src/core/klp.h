@@ -117,6 +117,36 @@ class KlpSelector : public EntitySelector {
   std::string_view name() const override { return name_; }
   const KlpOptions& options() const { return options_; }
 
+  /// Load-adaptive degradation: each effort level shaves one step off the
+  /// lookahead depth, clamped so even a saturated controller still gets a
+  /// 1-step (MostEven-equivalent, Lemma 4.3) decision — degraded answers
+  /// are worse questions, never wrong ones. Level 0 is byte-identical to a
+  /// selector without the knob: the same k reaches SelectImpl and the
+  /// fingerprint below is untouched. The memo cache needs no flush on
+  /// transition because k is part of MemoKey.
+  void SetEffort(int level) override { effort_ = level < 0 ? 0 : level; }
+  int effort() const { return effort_; }
+
+  /// Effective lookahead depth under the current effort level.
+  int effective_k() const {
+    int k = options_.k - effort_;
+    return k < 1 ? 1 : k;
+  }
+
+  /// Mixes the effective depth in whenever degradation actually changes it,
+  /// so shared SelectionCache entries written by a degraded session are
+  /// never served to a full-effort one (or vice versa). When effort leaves
+  /// the depth unchanged (level 0, or k == 1 already), the fingerprint is
+  /// bit-equal to the undegraded one and cache hits keep flowing.
+  uint64_t DecisionFingerprint() const override {
+    uint64_t fp = FingerprintString(name_);
+    if (effective_k() != options_.k) {
+      fp ^= 0x9E3779B97F4A7C15ULL *
+            (static_cast<uint64_t>(effective_k()) + 0x51ED2701);
+    }
+    return fp;
+  }
+
   const KlpStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
@@ -216,6 +246,8 @@ class KlpSelector : public EntitySelector {
 
   KlpOptions options_;
   std::string name_;
+  /// Current degradation level (0 = full effort); see SetEffort().
+  int effort_ = 0;
   EntityCounter counter_;
   /// Top-level cross-step counting state; recursion levels use the
   /// DeltaHint scheme instead (their parent's counts are on the stack).

@@ -78,6 +78,17 @@ class EntitySelector {
   /// Shrink-on-idle: drop retained counts, dense scratch, and memo state.
   /// The next Select() pays a full recount; decisions are unaffected.
   virtual void ReleaseMemory() {}
+
+  /// Load-adaptive degradation (service/load_controller.h). `level` asks the
+  /// selector to spend less search effort: level 0 is full effort (and MUST
+  /// be byte-identical to a selector that never heard of effort levels);
+  /// each higher level may shrink lookahead/candidate budgets further, but
+  /// never below a 1-step decision — a degraded answer is still a *correct*
+  /// question, just a less informative one. Selectors with no effort knob
+  /// ignore it. Implementations whose decisions change with the level must
+  /// mix the level into DecisionFingerprint() so shared caches never serve a
+  /// full-effort decision to a degraded session or vice versa.
+  virtual void SetEffort(int level) { (void)level; }
 };
 
 }  // namespace setdisc

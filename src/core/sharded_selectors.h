@@ -76,6 +76,11 @@ class ShardedEntitySelector {
   virtual void InvalidateCountState() {}
   virtual void ReleaseMemory() {}
 
+  /// Load-adaptive degradation; see EntitySelector::SetEffort for the
+  /// contract (level 0 byte-identical, never below a 1-step decision,
+  /// fingerprint must move with the decision function).
+  virtual void SetEffort(int level) { (void)level; }
+
  protected:
   ThreadPool* pool_ = nullptr;
 };
@@ -162,6 +167,14 @@ class ShardedKlpSelector : public ShardedCountingSelector {
   EntityId Select(const ShardedSubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override;
   std::string_view name() const override { return inner_.name(); }
+
+  /// The decision function is the inner lookahead's, so effort and
+  /// fingerprint delegate wholesale (the per-shard counting layer this class
+  /// adds is decision-neutral).
+  void SetEffort(int level) override { inner_.SetEffort(level); }
+  uint64_t DecisionFingerprint() const override {
+    return inner_.DecisionFingerprint();
+  }
 
   void NotePartition(const ShardedSubCollection& parent, EntityId e,
                      bool kept_contains, const ShardedSubCollection& kept,

@@ -58,6 +58,7 @@ Status DiscoveryClient::Call(std::string frame, MsgType expected, Frame* reply) 
   if (!connected()) return Status::Error("not connected");
   last_status_ = WireStatus::kOk;
   last_error_message_.clear();
+  last_retry_after_ms_ = 0;
   Status status = SendAll(frame);
   if (!status.ok()) return status;
   status = ReadFrame(reply);
@@ -70,6 +71,7 @@ Status DiscoveryClient::Call(std::string frame, MsgType expected, Frame* reply) 
     }
     last_status_ = error.status;
     last_error_message_ = error.message;
+    if (error.has_retry_after) last_retry_after_ms_ = error.retry_after_ms;
     return Status::Error("server: " + error.message);
   }
   if (reply->type != expected) {
@@ -96,6 +98,9 @@ Status DiscoveryClient::CreateSession(std::span<const EntityId> initial,
   CreateSessionMsg msg;
   msg.initial.assign(initial.begin(), initial.end());
   msg.enable_trace = enable_trace;
+  // Advertise busy handling so refusals come back with the retry hint; a
+  // legacy-mode client sends the flagless encoding an old binary would.
+  msg.busy_capable = !legacy_create_;
   Frame reply;
   Status status = Call(Encode(msg), MsgType::kSessionState, &reply);
   if (!status.ok()) return status;

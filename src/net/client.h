@@ -75,6 +75,16 @@ class DiscoveryClient {
   /// Server message text accompanying the last Error frame ("" otherwise).
   const std::string& last_error_message() const { return last_error_message_; }
 
+  /// Back-off hint from the last kBusy refusal, in milliseconds (0 when the
+  /// last error carried none). Only servers with admission control send it,
+  /// and only to clients that advertised busy_capable.
+  uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
+
+  /// Emit pre-busy CreateSession encodings (no busy_capable flag), as an old
+  /// client would. Exists so tests can exercise the server's compat path:
+  /// refusals to such a client must be plain kBusy errors with no trailer.
+  void set_legacy_create(bool legacy) { legacy_create_ = legacy; }
+
  private:
   /// Sends `frame` and reads exactly one reply frame, expecting `expected`
   /// (Error frames are decoded into last_status_/last_error_message_).
@@ -87,6 +97,8 @@ class DiscoveryClient {
   FrameDecoder decoder_;
   WireStatus last_status_ = WireStatus::kOk;
   std::string last_error_message_;
+  uint32_t last_retry_after_ms_ = 0;
+  bool legacy_create_ = false;
 };
 
 /// Drives one full remote conversation: opens a session seeded with

@@ -15,6 +15,7 @@ const char* WireStatusName(WireStatus status) {
     case WireStatus::kBadType: return "unknown message type";
     case WireStatus::kShuttingDown: return "server shutting down";
     case WireStatus::kInternal: return "internal error";
+    case WireStatus::kBusy: return "server busy";
   }
   return "unknown status";
 }
@@ -135,8 +136,11 @@ std::string Encode(const CreateSessionMsg& msg) {
   w.PutU32(static_cast<uint32_t>(msg.initial.size()));
   for (EntityId e : msg.initial) w.PutU32(e);
   // The flags byte is optional-trailing: omitted when zero, so a client with
-  // tracing off emits the exact pre-flags encoding that old servers require.
-  if (msg.enable_trace) w.PutU8(0x01);
+  // every flag off emits the exact pre-flags encoding that old servers
+  // require.
+  const uint8_t flags = static_cast<uint8_t>((msg.enable_trace ? 0x01 : 0) |
+                                             (msg.busy_capable ? 0x02 : 0));
+  if (flags != 0) w.PutU8(flags);
   return EncodeFrame(MsgType::kCreateSession, body);
 }
 
@@ -159,12 +163,14 @@ bool Decode(std::string_view body, CreateSessionMsg* out) {
     out->initial.push_back(e);
   }
   out->enable_trace = false;
+  out->busy_capable = false;
   if (r.remaining() == 1) {
     uint8_t flags = 0;
     if (!r.GetU8(&flags)) return false;
     // Unknown flag bits are ignored, so future clients can set them without
     // being rejected by this build.
     out->enable_trace = (flags & 0x01) != 0;
+    out->busy_capable = (flags & 0x02) != 0;
   }
   return r.Exhausted();
 }
@@ -225,6 +231,10 @@ std::string Encode(const ErrorMsg& msg) {
   w.PutU8(static_cast<uint8_t>(msg.status));
   w.PutU32(static_cast<uint32_t>(msg.message.size()));
   w.PutBytes(msg.message);
+  // Optional-trailing retry-after: senders set has_retry_after only for
+  // clients that declared busy_capable — pre-flags decoders demand exact
+  // exhaustion and would poison their stream on these four bytes.
+  if (msg.has_retry_after) w.PutU32(msg.retry_after_ms);
   return EncodeFrame(MsgType::kError, body);
 }
 
@@ -237,6 +247,14 @@ bool Decode(std::string_view body, ErrorMsg* out) {
   if (!r.GetBytes(len, &text)) return false;
   out->status = static_cast<WireStatus>(status);
   out->message.assign(text);
+  out->retry_after_ms = 0;
+  out->has_retry_after = false;
+  if (r.remaining() == sizeof(uint32_t)) {
+    if (!r.GetU32(&out->retry_after_ms)) return false;
+    out->has_retry_after = true;
+  }
+  // Anything else trailing (1-3 bytes, or > 4) is malformed, not a future
+  // extension: extensions to this message must version the frame.
   return r.Exhausted();
 }
 

@@ -82,6 +82,10 @@ enum class WireStatus : uint8_t {
   kBadType = 6,       ///< unknown or misdirected message type
   kShuttingDown = 7,  ///< server is draining; no new work accepted
   kInternal = 8,      ///< server-side failure processing a valid request
+  kBusy = 9,          ///< over the admission watermark; retry later. Unlike
+                      ///< kShuttingDown the connection stays open — the
+                      ///< client should back off (see ErrorMsg.retry_after_ms)
+                      ///< and retry the Create on the same connection.
 };
 
 const char* WireStatusName(WireStatus status);
@@ -245,6 +249,12 @@ struct CreateSessionMsg {
   /// pre-flags encoding and old servers keep accepting it. Old clients
   /// never send the byte, which decodes as false.
   bool enable_trace = false;
+  /// Flag bit 1: this client understands kBusy refusals with a trailing
+  /// retry-after field. The server only appends that field (which an old
+  /// ErrorMsg decoder would reject as trailing garbage) when the Create
+  /// carried this bit; old clients get a plain, fully decodable kBusy/kError
+  /// body. New clients (net/client.h) always set it.
+  bool busy_capable = false;
 };
 
 struct AnswerMsg {
@@ -265,6 +275,14 @@ struct SessionRefMsg {
 struct ErrorMsg {
   WireStatus status = WireStatus::kOk;
   std::string message;
+  /// Back-off hint for kBusy refusals, carried as an optional trailing u32:
+  /// encoded only when has_retry_after is set (the server gates it on the
+  /// client's busy_capable flag — an old decoder requires exact exhaustion
+  /// and would poison its stream on the extra bytes). 0 is a valid hint
+  /// ("retry whenever"); has_retry_after says whether the field was on the
+  /// wire at all.
+  uint32_t retry_after_ms = 0;
+  bool has_retry_after = false;
 };
 
 /// Upper bound on candidate ids embedded in a finished-session reply. A

@@ -18,6 +18,7 @@
 #include "net/socket.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
+#include "service/load_controller.h"
 
 namespace setdisc::net {
 
@@ -638,6 +639,23 @@ struct LoopCtx {
         CreateSessionMsg msg;
         if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
         if (RefuseWhileDraining(conn)) return;
+        // Admission gate: shed the conversation before it costs a pool slot.
+        // Unlike draining or a protocol error, a busy refusal does NOT close
+        // the connection — the client is expected to back off and retry on
+        // the same stream. The retry hint rides only to clients that
+        // advertised busy_capable; legacy decoders demand exact exhaustion.
+        if (options.load_controller != nullptr) {
+          uint32_t retry_ms = 0;
+          if (!options.load_controller->AdmitCreate(&retry_ms)) {
+            ErrorMsg busy{WireStatus::kBusy, WireStatusName(WireStatus::kBusy)};
+            if (msg.busy_capable) {
+              busy.retry_after_ms = retry_ms;
+              busy.has_retry_after = true;
+            }
+            SendFrame(conn, Encode(busy));
+            return;
+          }
+        }
         Offload(conn, [mgr = &manager, msg = std::move(msg)]() mutable {
           return Encode(ToWire(mgr->Create(msg.initial, msg.enable_trace)));
         });

@@ -53,6 +53,10 @@
 #include "service/session_manager.h"
 #include "util/status.h"
 
+namespace setdisc {
+class LoadController;
+}
+
 namespace setdisc::net {
 
 struct ServerOptions {
@@ -94,6 +98,13 @@ struct ServerOptions {
   /// Port of the metrics listener; 0 asks the kernel (read back with
   /// metrics_port()). Ignored unless enable_metrics_http.
   uint16_t metrics_port = 0;
+
+  /// Admission controller consulted on every CreateSession (non-owning; must
+  /// outlive the server). When it refuses, the client gets a kBusy Error
+  /// frame — with the retry-after hint iff it advertised busy_capable — and
+  /// the connection STAYS OPEN: busy is a back-off signal, not a poisoned
+  /// stream. nullptr = admit everything (the pre-controller behaviour).
+  LoadController* load_controller = nullptr;
 };
 
 struct ServerStats {

@@ -135,6 +135,9 @@ void BasicDiscoverySession<Engine>::Advance() {
 
 template <typename Engine>
 void BasicDiscoverySession<Engine>::SubmitAnswer(Oracle::Answer answer) {
+  // Step entry is the one degradation point: the level is re-read here (not
+  // mid-step) so one step runs at one effort level end to end.
+  ApplyEffort();
   const bool metrics = obs::Enabled() && step_hist_ != nullptr;
   if (!metrics && trace_ == nullptr) {
     DoSubmitAnswer(answer);
@@ -202,6 +205,7 @@ void BasicDiscoverySession<Engine>::DoSubmitAnswer(Oracle::Answer answer) {
 
 template <typename Engine>
 void BasicDiscoverySession<Engine>::Verify(bool confirmed) {
+  ApplyEffort();
   const bool metrics = obs::Enabled() && step_hist_ != nullptr;
   if (!metrics && trace_ == nullptr) {
     DoVerify(confirmed);

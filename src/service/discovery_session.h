@@ -48,6 +48,7 @@
 /// SessionManager; a sharded session may still fan one step's counting
 /// across a pool internally.
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <unordered_set>
@@ -133,6 +134,17 @@ class DiscoveryEngine {
   /// another thread steps the session is a race — callers serialize via
   /// whatever serializes steps (SessionManager's entry mutex).
   virtual const obs::TraceRing* trace() const { return nullptr; }
+
+  /// Load-adaptive degradation: points the session at a live effort level
+  /// (service/load_controller.h writes it, SessionManager owns the cell).
+  /// Each step re-reads the cell on entry and forwards changes to the
+  /// selector's SetEffort, so degradation and recovery take effect on the
+  /// very next step of every session without per-session bookkeeping.
+  /// nullptr (the default) pins full effort. The cell must outlive the
+  /// session. Default implementation ignores the request.
+  virtual void SetEffortSource(const std::atomic<int>* source) {
+    (void)source;
+  }
 };
 
 /// Engine over one flat SetCollection: the candidate view is a
@@ -229,6 +241,11 @@ class BasicDiscoverySession : public DiscoveryEngine {
   void EnableTracing(size_t capacity) override;
   const obs::TraceRing* trace() const override { return trace_.get(); }
 
+  void SetEffortSource(const std::atomic<int>* source) override {
+    effort_source_ = source;
+    ApplyEffort();
+  }
+
  private:
   /// One answered question: the candidate view before it, the entity asked,
   /// and the branch taken. Kept for §6 backtracking.
@@ -261,6 +278,19 @@ class BasicDiscoverySession : public DiscoveryEngine {
   void RecordStep(uint8_t kind, EntityId entity, size_t candidates_before,
                   uint64_t total_ns, const obs::PhaseAccum& accum);
 
+  /// Forwards the current effort level to the selector iff it changed since
+  /// the last step — at steady level (including the idle 0) this is one
+  /// relaxed load and a compare, so the undegraded path stays byte- and
+  /// cost-identical to a session with no source.
+  void ApplyEffort() {
+    if (effort_source_ == nullptr) return;
+    const int level = effort_source_->load(std::memory_order_relaxed);
+    if (level != applied_effort_) {
+      selector_->SetEffort(level);
+      applied_effort_ = level;
+    }
+  }
+
   Engine engine_;
   Selector* selector_;
   DiscoveryOptions options_;
@@ -276,6 +306,10 @@ class BasicDiscoverySession : public DiscoveryEngine {
   std::vector<Frame> frames_;
 
   DiscoveryResult result_;
+
+  /// Live degradation level (see SetEffortSource); null pins full effort.
+  const std::atomic<int>* effort_source_ = nullptr;
+  int applied_effort_ = 0;
 
   /// Per-session step TraceEvent journal; null unless EnableTracing() ran.
   std::unique_ptr<obs::TraceRing> trace_;

@@ -1,0 +1,236 @@
+#pragma once
+
+/// \file load_controller.h
+/// Feedback controller for load-adaptive serving.
+///
+/// The serving stack has fixed capacity (the manager's ThreadPool) and, until
+/// now, gave every request the same selector budget no matter how deep the
+/// queue was — so a burst of 2-LP sessions melts p99 for everyone. This
+/// controller closes the loop the PR 6 sensors opened: it periodically reads
+/// the step-latency histogram and pool queue depth and drives three
+/// actuators, in escalating order of how much they give up:
+///
+///  1. **Admission** (cheapest, most reversible): past a queue-depth
+///     watermark, new CreateSessions are refused with WireStatus::kBusy and
+///     a retry-after hint — shedding *new* conversations before they make
+///     existing ones miss their latency target. Re-opens with hysteresis
+///     (resume depth < watermark) so admission doesn't flap at the boundary.
+///  2. **Degradation**: under *sustained* p99 pressure, raise the process
+///     effort level, which shrinks the k-LP lookahead depth one step per
+///     level (core/selector.h SetEffort; clamped at a 1-step decision). A
+///     degraded answer is a worse question, never a wrong one — quality is
+///     traded for bounded tail latency, the rasr DynamicBeamPruningStrategy
+///     move. Re-widens with hysteresis when p99 recovers.
+///  3. **Load-aware eviction**: while under pressure, idle sessions are
+///     reaped on a much shorter leash than the configured TTL, returning
+///     their scratch memory and table slots to the sessions actually
+///     talking.
+///
+/// The p99 the controller reacts to is *windowed*: registry histograms are
+/// cumulative, so each Tick() subtracts the previous snapshot bucket-wise
+/// and quantiles the delta — reacting to the last window's traffic, not the
+/// whole process history. Windows with too few samples carry no signal and
+/// count toward recovery (an idle server re-widens).
+///
+/// Everything is deterministic and injectable: the clock is a Clock* (tests
+/// use FakeClock), the sensors are std::functions (tests script arbitrary
+/// latency feeds), and Tick() is public so every hysteresis transition is
+/// unit-testable without a single sleep. Start() merely runs MaybeTick() on
+/// a background thread for production use.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "util/clock.h"
+
+namespace setdisc {
+
+/// One sensor reading. `step_latency` is CUMULATIVE (as MetricsRegistry
+/// snapshots are); the controller windows it internally.
+struct LoadSample {
+  obs::HistogramSnapshot step_latency;
+  size_t queue_depth = 0;
+};
+
+struct LoadControllerOptions {
+  /// Control period: MaybeTick() no-ops until this much injected-clock time
+  /// has passed since the last tick; Start()'s thread runs at this cadence.
+  std::chrono::milliseconds tick_interval{100};
+
+  /// Admission watermark on pool queue depth; 0 disables admission control
+  /// (every Create admitted). Refusals begin at depth >= watermark.
+  size_t admit_queue_watermark = 0;
+  /// Admission re-opens only once depth has drained to <= this (hysteresis;
+  /// defaulted to watermark / 2 when left 0 with a watermark set).
+  size_t admit_resume_depth = 0;
+  /// Retry-after hint attached to kBusy refusals.
+  uint32_t retry_after_ms = 50;
+
+  /// Degradation target: p99 windowed step latency in nanoseconds; 0
+  /// disables the degradation actuator entirely.
+  uint64_t target_p99_ns = 0;
+  /// Recovery threshold as a fraction of target: p99 must fall below
+  /// recover_fraction * target to count toward re-widening. The dead band
+  /// between the two is what prevents oscillation on noisy p99.
+  double recover_fraction = 0.7;
+  /// Consecutive over-target windows before degrading one level.
+  int degrade_after_ticks = 3;
+  /// Consecutive under-threshold (or idle) windows before re-widening one.
+  int recover_after_ticks = 5;
+  /// Ceiling of the effort ladder. The selector additionally clamps to a
+  /// 1-step decision, so this only bounds how far there is to climb back.
+  int max_effort_level = 4;
+  /// Windows with fewer samples than this carry no latency signal.
+  uint64_t min_window_count = 8;
+
+  /// Idle leash used for pressure eviction; 0 disables the actuator. Only
+  /// applied while under pressure (admission closed or effort > 0).
+  std::chrono::milliseconds pressure_idle_ttl{0};
+
+  /// Registry to publish controller state into (gauges for level/admission,
+  /// counters for rejections and ladder transitions); nullptr = none.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class LoadController {
+ public:
+  /// Full sensor reading, consumed once per Tick().
+  using MetricsSource = std::function<LoadSample()>;
+  /// Cheap live queue-depth read, consumed on every AdmitCreate() — kept
+  /// separate so admission reacts to bursts *between* ticks.
+  using DepthSource = std::function<size_t()>;
+  /// Pressure-eviction actuator: reap sessions idle longer than the given
+  /// leash, returning how many were reaped (SessionManager::ReapIdle).
+  using IdleReaper = std::function<size_t(std::chrono::milliseconds)>;
+  /// Degradation actuator: called with the new level on every ladder
+  /// transition (SessionManager::SetEffortLevel). Runs inside Tick() — keep
+  /// it cheap and never call back into the controller.
+  using EffortSink = std::function<void(int)>;
+
+  /// `clock` may be null (the real clock). The sources must stay valid for
+  /// the controller's lifetime.
+  LoadController(LoadControllerOptions options, MetricsSource source,
+                 DepthSource depth, const Clock* clock = nullptr);
+  ~LoadController();
+
+  LoadController(const LoadController&) = delete;
+  LoadController& operator=(const LoadController&) = delete;
+
+  /// Optional eviction actuator; set before Start().
+  void set_idle_reaper(IdleReaper reaper) { reaper_ = std::move(reaper); }
+
+  /// Optional degradation actuator; set before Start(). Sessions that poll
+  /// effort_source() directly don't need one — the sink exists so an
+  /// engine-owned cell (the SessionManager's) mirrors the ladder without
+  /// the engine holding a controller pointer (lifetime stays one-way:
+  /// controller → manager).
+  void set_effort_sink(EffortSink sink) { effort_sink_ = std::move(sink); }
+
+  /// Background control thread at tick_interval cadence. Idempotent.
+  void Start();
+  /// Joins the control thread; safe to call repeatedly or without Start().
+  void Stop();
+
+  /// One control decision, unconditionally (tests drive this directly).
+  void Tick();
+  /// Tick() only if tick_interval has elapsed on the injected clock since
+  /// the last tick. Returns whether a tick ran.
+  bool MaybeTick();
+
+  /// Admission decision for one CreateSession. Thread-safe; on refusal
+  /// fills `*retry_after_ms` (if non-null) with the back-off hint and
+  /// returns false. Always true when admission control is disabled.
+  bool AdmitCreate(uint32_t* retry_after_ms);
+
+  /// Current degradation level (0 = full effort). Sessions read this at
+  /// every step entry; relaxed is plenty for a quality knob.
+  int effort_level() const {
+    return effort_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Address for sessions to poll without holding a controller pointer.
+  const std::atomic<int>* effort_source() const { return &effort_level_; }
+
+  /// Whether new Creates are currently admitted.
+  bool admitting() const {
+    return admitting_.load(std::memory_order_relaxed);
+  }
+
+  const LoadControllerOptions& options() const { return options_; }
+
+  /// Monitoring totals (also published through the registry probe).
+  uint64_t rejected_total() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  uint64_t degrade_total() const {
+    return degrades_.load(std::memory_order_relaxed);
+  }
+  uint64_t recover_total() const {
+    return recovers_.load(std::memory_order_relaxed);
+  }
+  uint64_t pressure_reaped_total() const {
+    return pressure_reaped_.load(std::memory_order_relaxed);
+  }
+  /// Windowed p99 from the most recent tick (0 when the window was empty).
+  uint64_t last_window_p99_ns() const {
+    return last_p99_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Bucket-wise cur - prev; cumulative in, windowed out. Tolerates empty
+  /// bucket vectors and (defensively) counter regressions.
+  static obs::HistogramSnapshot WindowDelta(const obs::HistogramSnapshot& cur,
+                                            const obs::HistogramSnapshot& prev);
+
+  void RunLoop();
+
+  LoadControllerOptions options_;
+  MetricsSource source_;
+  DepthSource depth_;
+  IdleReaper reaper_;
+  EffortSink effort_sink_;
+  const Clock* clock_;
+
+  /// Actuator outputs, read lock-free from serving threads.
+  std::atomic<int> effort_level_{0};
+  std::atomic<bool> admitting_{true};
+
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> degrades_{0};
+  std::atomic<uint64_t> recovers_{0};
+  std::atomic<uint64_t> pressure_reaped_{0};
+  std::atomic<uint64_t> last_p99_{0};
+
+  /// Tick state: previous cumulative snapshot and the hysteresis counters.
+  /// Guarded so a background thread and a test calling Tick() can't
+  /// interleave one window.
+  std::mutex tick_mu_;
+  obs::HistogramSnapshot prev_latency_;
+  bool have_prev_ = false;
+  int over_ticks_ = 0;
+  int under_ticks_ = 0;
+  Clock::time_point last_tick_{};
+  bool have_last_tick_ = false;
+
+  /// Admission flap-guard (AdmitCreate runs on the server's event loop; the
+  /// mutex is uncontended in practice and keeps open/close transitions
+  /// well-ordered when tests hammer it from threads).
+  std::mutex admit_mu_;
+
+  std::thread thread_;
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stop_ = false;
+  bool running_ = false;
+
+  obs::MetricsRegistry::ProbeHandle probe_;
+};
+
+}  // namespace setdisc

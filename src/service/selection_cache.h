@@ -263,6 +263,15 @@ class CachingSelector : public EntitySelector {
   void InvalidateCountState() override { inner_->InvalidateCountState(); }
   void ReleaseMemory() override { inner_->ReleaseMemory(); }
 
+  /// Effort changes may change the inner decision function, and tag_ was
+  /// snapshotted at construction — refresh it so degraded decisions land
+  /// under a different cache key than full-effort ones (the shared cache
+  /// must never cross-serve them).
+  void SetEffort(int level) override {
+    inner_->SetEffort(level);
+    tag_ = inner_->DecisionFingerprint();
+  }
+
   EntitySelector& inner() { return *inner_; }
 
  private:
@@ -325,6 +334,13 @@ class ShardedCachingSelector : public ShardedEntitySelector {
   }
   void InvalidateCountState() override { inner_->InvalidateCountState(); }
   void ReleaseMemory() override { inner_->ReleaseMemory(); }
+
+  /// See CachingSelector::SetEffort: keep tag_ in lockstep with the inner
+  /// decision function.
+  void SetEffort(int level) override {
+    inner_->SetEffort(level);
+    tag_ = inner_->DecisionFingerprint();
+  }
 
   ShardedEntitySelector& inner() { return *inner_; }
 

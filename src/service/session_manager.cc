@@ -11,7 +11,13 @@ namespace setdisc {
 SessionManager::SessionManager(const SetCollection& collection,
                                const InvertedIndex& index,
                                SessionManagerOptions options)
-    : collection_(collection), index_(index), options_(std::move(options)) {
+    : collection_(collection),
+      index_(index),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : Clock::Real()) {
+  effort_level_.store(
+      options_.initial_effort_level < 0 ? 0 : options_.initial_effort_level,
+      std::memory_order_relaxed);
   if (options_.num_shards > 1) {
     SETDISC_CHECK_MSG(
         options_.sharded_selector_factory != nullptr,
@@ -115,6 +121,11 @@ SessionView SessionManager::Create(std::span<const EntityId> initial,
     // The counting fan-out shares the step pool; ParallelFor callers help
     // drain their own items, so pool jobs stepping sessions stay safe.
     selector->set_pool(pool_.get());
+    // Pre-apply the current degradation level so the creation step's first
+    // Select() already runs at it (SetEffortSource below only covers
+    // subsequent steps).
+    const int effort = effort_level_.load(std::memory_order_relaxed);
+    if (effort != 0) selector->SetEffort(effort);
     entry->sharded_selector = std::move(selector);
     entry->session = std::make_unique<ShardedDiscoverySession>(
         *sharded_, initial, *entry->sharded_selector, options_.discovery,
@@ -126,10 +137,14 @@ SessionView SessionManager::Create(std::span<const EntityId> initial,
       selector = std::make_unique<CachingSelector>(std::move(selector),
                                                    options_.selection_cache);
     }
+    const int effort = effort_level_.load(std::memory_order_relaxed);
+    if (effort != 0) selector->SetEffort(effort);
     entry->selector = std::move(selector);
     entry->session = std::make_unique<DiscoverySession>(
         collection_, index_, initial, *entry->selector, options_.discovery);
   }
+  // Steps re-read the live level at entry; the cell outlives every session.
+  entry->session->SetEffortSource(&effort_level_);
 
   if (enable_trace) {
     // Attached after the constructor's first Select(), so the creation step
@@ -175,7 +190,7 @@ SessionView SessionManager::Create(std::span<const EntityId> initial,
     // Stamp under the registry lock, next to the list append: timestamps
     // taken outside it could land in the list out of order, and the reap /
     // evict paths rely on list order == last_touched order.
-    entry->last_touched = Clock::now();
+    entry->last_touched = clock_->Now();
     entry->lru_it = lru_.insert(lru_.end(), view.id);
     sessions_.emplace(view.id, std::move(entry));
   }
@@ -186,7 +201,7 @@ std::shared_ptr<SessionManager::Entry> SessionManager::Find(SessionId id) {
   std::lock_guard<std::mutex> lock(registry_mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return nullptr;
-  it->second->last_touched = Clock::now();
+  it->second->last_touched = clock_->Now();
   it->second->scratch_released = false;
   // Move to the back of the LRU list; O(1), no allocation.
   lru_.splice(lru_.end(), lru_, it->second->lru_it);
@@ -275,7 +290,10 @@ SessionStatus SessionManager::Close(SessionId id) {
 
 size_t SessionManager::ReapExpiredLocked() {
   if (options_.session_ttl.count() <= 0) return 0;
-  const Clock::time_point cutoff = Clock::now() - options_.session_ttl;
+  return ReapOlderThanLocked(clock_->Now() - options_.session_ttl);
+}
+
+size_t SessionManager::ReapOlderThanLocked(Clock::time_point cutoff) {
   // Touches keep the LRU list sorted by last_touched, so the expired
   // sessions are exactly a prefix: stop at the first live one.
   size_t reaped = 0;
@@ -300,10 +318,16 @@ size_t SessionManager::ReapExpired() {
   return reaped;
 }
 
+size_t SessionManager::ReapIdle(std::chrono::milliseconds threshold) {
+  if (threshold.count() <= 0) return 0;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return ReapOlderThanLocked(clock_->Now() - threshold);
+}
+
 size_t SessionManager::ReleaseIdleScratch() {
   if (options_.release_scratch_after.count() <= 0) return 0;
   const Clock::time_point cutoff =
-      Clock::now() - options_.release_scratch_after;
+      clock_->Now() - options_.release_scratch_after;
   // Collect candidates under the registry lock — the idle sessions are a
   // prefix of the LRU list, and already-released ones are skipped — then
   // release outside it: ReleaseMemory needs the entry mutex (it races with

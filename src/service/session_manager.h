@@ -51,6 +51,7 @@
 #include "core/sharded_selectors.h"
 #include "service/discovery_session.h"
 #include "service/selection_cache.h"
+#include "util/clock.h"
 #include "util/thread_pool.h"
 
 namespace setdisc {
@@ -160,6 +161,17 @@ struct SessionManagerOptions {
   /// past this. Tracing is per-session opt-in; untraced sessions pay one
   /// null-pointer test per step.
   size_t trace_capacity = 256;
+
+  /// Time source for TTL reaping, shrink-on-idle, and LRU stamping. nullptr
+  /// = the real steady clock; tests inject a FakeClock (util/clock.h) so
+  /// expiry assertions need no sleeps. Must outlive the manager.
+  const Clock* clock = nullptr;
+
+  /// Initial load-shedding effort level applied to new sessions (see
+  /// EntitySelector::SetEffort; 0 = full effort). Live changes come through
+  /// SetEffortLevel() — normally driven by a LoadController — and reach
+  /// every session, including pre-existing ones, at its next step.
+  int initial_effort_level = 0;
 };
 
 /// The serving engine: create / step / verify / reap, all thread-safe.
@@ -226,6 +238,24 @@ class SessionManager {
   /// runs the shrink-on-idle pass when release_scratch_after is set.
   size_t ReapExpired();
 
+  /// Load-aware eviction actuator: drops every session idle longer than
+  /// `threshold` regardless of the configured TTL (the LoadController calls
+  /// this with a much shorter leash while under pressure, so parked
+  /// conversations return their memory and table slots to the active ones).
+  /// Returns how many were reaped; no-op for a non-positive threshold.
+  size_t ReapIdle(std::chrono::milliseconds threshold);
+
+  /// Sets the process effort level for load-adaptive degradation. Every
+  /// session re-reads it at step entry (DiscoveryEngine::SetEffortSource),
+  /// so the change lands on the next step of every conversation. Normally
+  /// written by a LoadController's effort sink; 0 restores full effort.
+  void SetEffortLevel(int level) {
+    effort_level_.store(level < 0 ? 0 : level, std::memory_order_relaxed);
+  }
+  int effort_level() const {
+    return effort_level_.load(std::memory_order_relaxed);
+  }
+
   /// Releases the retained selector memory of every session idle longer
   /// than `options.release_scratch_after` (no-op when that is zero);
   /// returns how many sessions were shrunk. Sessions mid-step are skipped
@@ -265,8 +295,6 @@ class SessionManager {
   SelectionCache* selection_cache() const { return options_.selection_cache; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   /// A live session: its engine, its private selector (one of the two
   /// flavors), a mutex serializing the steps of this one conversation, and
   /// its node in the registry's LRU list (an iterator, so touch/evict/close
@@ -286,12 +314,20 @@ class SessionManager {
 
   std::shared_ptr<Entry> Find(SessionId id);
   size_t ReapExpiredLocked();  // requires registry_mu_
+  /// Drops the LRU prefix last touched before `cutoff`; requires
+  /// registry_mu_. Shared tail of TTL reaping and pressure eviction.
+  size_t ReapOlderThanLocked(Clock::time_point cutoff);
   void ReaperLoop(std::chrono::milliseconds interval);
   static SessionView MakeView(SessionId id, const DiscoveryEngine& session);
 
   const SetCollection& collection_;
   const InvertedIndex& index_;
   SessionManagerOptions options_;
+  /// Injected time source (options_.clock, defaulted to the real clock).
+  const Clock* clock_;
+  /// Live degradation level; sessions point at this cell (it outlives them
+  /// by construction) and re-read it at every step entry.
+  std::atomic<int> effort_level_{0};
   std::unique_ptr<ShardedCollection> sharded_;  // only when num_shards > 1
   std::unique_ptr<ThreadPool> pool_;
 

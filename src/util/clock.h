@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file clock.h
+/// Injectable monotonic clock seam. Everything in the serving stack that
+/// compares "now" against a deadline (session TTL reaping, the load
+/// controller's tick cadence and hysteresis windows) reads time through a
+/// `Clock*` so tests can drive those transitions deterministically with a
+/// `FakeClock` instead of `sleep_for` — the difference between a timing
+/// test that flakes on a loaded CI runner and one that cannot.
+///
+/// The seam deliberately reuses `std::chrono::steady_clock`'s time_point /
+/// duration types: call sites keep their arithmetic unchanged, and the real
+/// implementation is a single virtual call around `steady_clock::now()`.
+/// Hot paths that only *record* elapsed time (obs::NowNanos, WallTimer)
+/// stay on the concrete clock — the seam is for control decisions, not for
+/// instrumentation.
+
+#include <atomic>
+#include <chrono>
+
+namespace setdisc {
+
+/// Monotonic time source. Stateless implementations (the real one) are
+/// safely shared across threads; `FakeClock` is internally synchronized.
+class Clock {
+ public:
+  using duration = std::chrono::steady_clock::duration;
+  using time_point = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+
+  virtual time_point Now() const = 0;
+
+  /// The process-wide real clock (steady_clock). Never null, never freed.
+  static const Clock* Real();
+};
+
+/// Test clock: starts at an arbitrary fixed epoch and only moves when
+/// advanced. Thread-safe so a background reaper/controller thread may read
+/// it while the test thread advances it.
+class FakeClock : public Clock {
+ public:
+  time_point Now() const override {
+    return time_point(duration(nanos_.load(std::memory_order_acquire)));
+  }
+
+  void Advance(duration d) {
+    nanos_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count(),
+        std::memory_order_acq_rel);
+  }
+
+ private:
+  // Start well away from zero so subtracting a TTL can't underflow the
+  // epoch in code that computes `now - ttl` cutoffs.
+  std::atomic<int64_t> nanos_{int64_t{1} << 40};
+};
+
+inline const Clock* Clock::Real() {
+  class RealClock final : public Clock {
+   public:
+    time_point Now() const override {
+      return std::chrono::steady_clock::now();
+    }
+  };
+  static const RealClock kReal;
+  return &kReal;
+}
+
+}  // namespace setdisc

@@ -17,6 +17,8 @@
 
 #include "obs/metrics.h"
 #include "obs/registry.h"
+#include "service/load_controller.h"
+#include "util/clock.h"
 
 namespace setdisc::obs {
 namespace {
@@ -334,6 +336,68 @@ TEST(MetricsRegistry, ConcurrentGetAndRecordIsSafe) {
             static_cast<uint64_t>(kThreads) * 2000);
   EXPECT_EQ(reg.MergedHistogram("hist").count,
             static_cast<uint64_t>(kThreads) * 2000);
+}
+
+TEST(MetricsRegistry, LoadControllerProbePublishesItsState) {
+  // The LoadController adopts its atomics into the registry through a probe
+  // (service/load_controller.cc): one snapshot carries the ladder level, the
+  // admission gate, and the transition counters — and a destroyed
+  // controller stops contributing.
+  MetricsRegistry reg;
+  obs::Histogram feed;
+  size_t depth = 0;
+  {
+    LoadControllerOptions options;
+    options.admit_queue_watermark = 2;
+    options.target_p99_ns = 1'000'000;
+    options.degrade_after_ticks = 1;
+    options.min_window_count = 1;
+    options.metrics = &reg;
+    FakeClock clock;
+    LoadController controller(
+        options,
+        [&] {
+          LoadSample s;
+          s.step_latency = feed.Snapshot();
+          s.queue_depth = depth;
+          return s;
+        },
+        [&] { return depth; }, &clock);
+
+    // One over-target window degrades; one refused Create closes admission.
+    feed.Record(10'000'000);
+    controller.Tick();
+    depth = 5;
+    EXPECT_FALSE(controller.AdmitCreate(nullptr));
+
+    RegistrySnapshot snap = reg.Snapshot();
+    auto find = [&](const std::string& name) -> const MetricSample* {
+      for (const MetricSample& s : snap.samples) {
+        if (s.name == name) return &s;
+      }
+      return nullptr;
+    };
+    ASSERT_NE(find("setdisc_load_effort_level"), nullptr);
+    EXPECT_EQ(find("setdisc_load_effort_level")->value, 1);
+    EXPECT_EQ(find("setdisc_load_effort_level")->kind,
+              MetricSample::Kind::kGauge);
+    ASSERT_NE(find("setdisc_load_admitting"), nullptr);
+    EXPECT_EQ(find("setdisc_load_admitting")->value, 0);
+    ASSERT_NE(find("setdisc_load_rejected_total"), nullptr);
+    EXPECT_EQ(find("setdisc_load_rejected_total")->value, 1);
+    EXPECT_EQ(find("setdisc_load_rejected_total")->kind,
+              MetricSample::Kind::kCounter);
+    ASSERT_NE(find("setdisc_load_degrade_total"), nullptr);
+    EXPECT_EQ(find("setdisc_load_degrade_total")->value, 1);
+    ASSERT_NE(find("setdisc_load_recover_total"), nullptr);
+    EXPECT_EQ(find("setdisc_load_recover_total")->value, 0);
+  }
+
+  // Controller destroyed: its probe released with it, nothing dangles.
+  RegistrySnapshot after = reg.Snapshot();
+  for (const MetricSample& s : after.samples) {
+    EXPECT_NE(s.name, "setdisc_load_effort_level");
+  }
 }
 
 TEST(Enabled, KillSwitchFlipsAndRestores) {

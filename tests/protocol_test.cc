@@ -585,16 +585,112 @@ TEST(CreateSessionCompat, UnknownFlagBitsAreIgnored) {
   std::string body = BodyOf(Encode(msg));
   CreateSessionMsg decoded;
 
-  body.push_back('\x02');  // future flag only: decodes, trace off
+  body.push_back('\x04');  // future flag only: decodes, known bits off
   ASSERT_TRUE(Decode(body, &decoded));
   EXPECT_FALSE(decoded.enable_trace);
+  EXPECT_FALSE(decoded.busy_capable);
 
-  body.back() = '\x03';  // future flag + trace
+  body.back() = '\x05';  // future flag + trace
   ASSERT_TRUE(Decode(body, &decoded));
   EXPECT_TRUE(decoded.enable_trace);
+  EXPECT_FALSE(decoded.busy_capable);
 
   body.push_back('\x00');  // two trailing bytes is malformed
   EXPECT_FALSE(Decode(body, &decoded));
+}
+
+TEST(CreateSessionCompat, BusyCapableFlagMatrix) {
+  // All four flag combinations: the flags byte appears iff any bit is set
+  // (so a flagless client's bytes are untouched), and both bits decode
+  // independently.
+  for (bool trace : {false, true}) {
+    for (bool busy : {false, true}) {
+      CreateSessionMsg msg;
+      msg.initial = {1, 2};
+      msg.enable_trace = trace;
+      msg.busy_capable = busy;
+      std::string body = BodyOf(Encode(msg));
+      const size_t base = sizeof(uint32_t) * 3;
+      EXPECT_EQ(body.size(), (trace || busy) ? base + 1 : base)
+          << "trace=" << trace << " busy=" << busy;
+      CreateSessionMsg decoded;
+      decoded.enable_trace = !trace;  // must be overwritten
+      decoded.busy_capable = !busy;
+      ASSERT_TRUE(Decode(body, &decoded));
+      EXPECT_EQ(decoded.enable_trace, trace);
+      EXPECT_EQ(decoded.busy_capable, busy);
+      EXPECT_EQ(decoded.initial, msg.initial);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Error retry-after trailer (optional-trailing-u32 compatibility)
+// ---------------------------------------------------------------------------
+
+TEST(ErrorCompat, RetryAfterRoundTripsAndStaysOptional) {
+  ErrorMsg msg{WireStatus::kBusy, "server busy"};
+
+  // Without the trailer the encoding is the exact legacy layout — what a
+  // server sends to a client that never declared busy_capable.
+  std::string legacy_body = BodyOf(Encode(msg));
+  EXPECT_EQ(legacy_body.size(), 1 + sizeof(uint32_t) + msg.message.size());
+  ErrorMsg decoded;
+  decoded.has_retry_after = true;  // must be overwritten
+  decoded.retry_after_ms = 99;
+  ASSERT_TRUE(Decode(legacy_body, &decoded));
+  EXPECT_EQ(decoded.status, WireStatus::kBusy);
+  EXPECT_EQ(decoded.message, "server busy");
+  EXPECT_FALSE(decoded.has_retry_after);
+  EXPECT_EQ(decoded.retry_after_ms, 0u);
+
+  // With the trailer: four more bytes, value round-trips — zero included
+  // (has_retry_after carries the presence, not the value).
+  for (uint32_t hint : {0u, 50u, 0xFFFFFFFFu}) {
+    msg.retry_after_ms = hint;
+    msg.has_retry_after = true;
+    std::string body = BodyOf(Encode(msg));
+    EXPECT_EQ(body.size(), legacy_body.size() + sizeof(uint32_t));
+    ASSERT_TRUE(Decode(body, &decoded));
+    EXPECT_TRUE(decoded.has_retry_after);
+    EXPECT_EQ(decoded.retry_after_ms, hint);
+  }
+}
+
+TEST(ErrorCompat, TruncationAnywhereInsideIsRejected) {
+  ErrorMsg msg{WireStatus::kBusy, "busy"};
+  msg.retry_after_ms = 125;
+  msg.has_retry_after = true;
+  const std::string body = BodyOf(Encode(msg));
+  const size_t legacy_size = body.size() - sizeof(uint32_t);
+
+  // Every strict prefix is rejected EXCEPT the one that drops exactly the
+  // four trailer bytes — that is the legacy message, and must decode.
+  for (size_t len = 0; len < body.size(); ++len) {
+    ErrorMsg decoded;
+    if (len == legacy_size) {
+      EXPECT_TRUE(Decode(body.substr(0, len), &decoded));
+      EXPECT_FALSE(decoded.has_retry_after);
+    } else {
+      EXPECT_FALSE(Decode(body.substr(0, len), &decoded))
+          << "prefix of " << len << " bytes decoded";
+    }
+  }
+
+  // Trailing garbage that is not exactly a u32 is malformed, not a future
+  // extension (1-3 extra bytes, or 5+).
+  for (size_t extra : {1u, 2u, 3u, 5u, 8u}) {
+    ErrorMsg decoded;
+    EXPECT_FALSE(Decode(body + std::string(extra, '\0'), &decoded))
+        << extra << " garbage bytes decoded";
+  }
+}
+
+TEST(ErrorCompat, BusyStatusHasAName) {
+  // kBusy must render for logs and legacy clients that print message text.
+  EXPECT_STRNE(WireStatusName(WireStatus::kBusy), "");
+  EXPECT_NE(std::string(WireStatusName(WireStatus::kBusy)),
+            std::string(WireStatusName(WireStatus::kShuttingDown)));
 }
 
 // ---------------------------------------------------------------------------

@@ -276,8 +276,10 @@ TEST(SessionManager, WrongStateIsRejected) {
 TEST(SessionManager, TtlReapsIdleSessions) {
   SetCollection c = MakePaperCollection();
   InvertedIndex idx(c);
+  FakeClock clock;
   SessionManagerOptions options = ManagerOptions();
   options.session_ttl = std::chrono::milliseconds(20);
+  options.clock = &clock;  // idle time is script, not sleep
   // Manual reaping must stay deterministic: keep the background tick out of
   // this test so ReapExpired() is the one doing the work.
   options.background_reap = false;
@@ -285,11 +287,43 @@ TEST(SessionManager, TtlReapsIdleSessions) {
 
   SessionId id = manager.Create({}).id;
   EXPECT_EQ(manager.num_active(), 1u);
-  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  clock.Advance(std::chrono::milliseconds(19));
+  EXPECT_EQ(manager.ReapExpired(), 0u);  // one tick short of the TTL
+  clock.Advance(std::chrono::milliseconds(2));
   EXPECT_EQ(manager.ReapExpired(), 1u);
   EXPECT_EQ(manager.num_active(), 0u);
   SessionView view;
   EXPECT_EQ(manager.Get(id, &view), SessionStatus::kNotFound);
+}
+
+TEST(SessionManager, ReapIdleUsesItsOwnShorterLeash) {
+  // The load-aware eviction entry point: ReapIdle(leash) reaps sessions
+  // idle past the GIVEN leash regardless of the (much longer) session_ttl —
+  // what the LoadController calls under pressure.
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  FakeClock clock;
+  SessionManagerOptions options = ManagerOptions();
+  options.session_ttl = std::chrono::minutes(10);
+  options.clock = &clock;
+  options.background_reap = false;
+  SessionManager manager(c, idx, options);
+
+  SessionId old_id = manager.Create({}).id;
+  clock.Advance(std::chrono::milliseconds(100));
+  SessionId fresh_id = manager.Create({}).id;
+  clock.Advance(std::chrono::milliseconds(30));
+
+  // Non-positive leashes are refused outright (a zero leash would reap the
+  // session a Create is about to return).
+  EXPECT_EQ(manager.ReapIdle(std::chrono::milliseconds(0)), 0u);
+  EXPECT_EQ(manager.ReapIdle(std::chrono::milliseconds(-5)), 0u);
+
+  // A 50ms leash takes the 130ms-idle session and spares the 30ms one.
+  EXPECT_EQ(manager.ReapIdle(std::chrono::milliseconds(50)), 1u);
+  SessionView view;
+  EXPECT_EQ(manager.Get(old_id, &view), SessionStatus::kNotFound);
+  EXPECT_EQ(manager.Get(fresh_id, &view), SessionStatus::kOk);
 }
 
 TEST(SessionManager, BackgroundReaperDropsIdleSessionsWithoutCreateTraffic) {
@@ -320,14 +354,16 @@ TEST(SessionManager, ExpiredSessionsDontSurviveCapacityPressure) {
   // eviction has to do the work.
   SetCollection c = MakePaperCollection();
   InvertedIndex idx(c);
+  FakeClock clock;
   SessionManagerOptions options = ManagerOptions();
   options.session_ttl = std::chrono::milliseconds(20);
+  options.clock = &clock;
   options.reap_interval = std::chrono::minutes(10);
   options.max_sessions = 2;
   SessionManager manager(c, idx, options);
 
   SessionId expired = manager.Create({}).id;
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  clock.Advance(std::chrono::milliseconds(50));
   SessionId live = manager.Create({}).id;
   SessionId fresh = manager.Create({}).id;  // at capacity: evicts `expired`
   SessionView view;
@@ -339,13 +375,15 @@ TEST(SessionManager, ExpiredSessionsDontSurviveCapacityPressure) {
 TEST(SessionManager, TouchingASessionKeepsItAlive) {
   SetCollection c = MakePaperCollection();
   InvertedIndex idx(c);
+  FakeClock clock;
   SessionManagerOptions options = ManagerOptions();
   options.session_ttl = std::chrono::milliseconds(150);
+  options.clock = &clock;
   SessionManager manager(c, idx, options);
 
   SessionId id = manager.Create({}).id;
   for (int i = 0; i < 4; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    clock.Advance(std::chrono::milliseconds(100));
     SessionView view;
     ASSERT_EQ(manager.Get(id, &view), SessionStatus::kOk);  // refreshes TTL
   }

@@ -52,6 +52,17 @@
 //   --metrics-port P  with --serve: also serve Prometheus text exposition
 //                     over HTTP on port P (0 = kernel-assigned), same bind
 //                     address, no extra thread
+//   --max-queue N     admission control for --serve: refuse new
+//                     CreateSessions with kBusy (plus a retry-after hint for
+//                     clients that understand it) while the pool queue is N
+//                     deep or more; re-admits once it drains to N/2
+//   --degrade         load-adaptive degradation for --serve/--serve-stress:
+//                     under sustained p99 pressure shrink the k-LP lookahead
+//                     one step per level (never below a 1-step decision),
+//                     re-widening with hysteresis as latency recovers
+//   --target-p99 MS   p99 step-latency target (milliseconds) the --degrade
+//                     controller steers toward (default 50); implies
+//                     --degrade
 
 #include <atomic>
 #include <chrono>
@@ -77,6 +88,7 @@
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "service/discovery_session.h"
+#include "service/load_controller.h"
 #include "service/selection_cache.h"
 #include "service/session_manager.h"
 #include "util/table_printer.h"
@@ -116,6 +128,61 @@ std::unique_ptr<SelectionCache> MakeCacheIfEnabled(
   return cache;
 }
 
+/// Builds the load-adaptive feedback controller when any of --max-queue /
+/// --degrade / --target-p99 is on, wired to the manager's sensors (merged
+/// step-latency histogram, live pool queue depth) and actuators (process
+/// effort level, idle reaping). Shared by --serve and --serve-stress. The
+/// caller Start()s it; nullptr when every load-adaptive flag is off.
+std::unique_ptr<LoadController> MakeLoadControllerIfEnabled(
+    int max_queue, bool degrade, int target_p99_ms, int release_idle_ms,
+    SessionManager* manager) {
+  if (max_queue <= 0 && !degrade) return nullptr;
+  LoadControllerOptions options;
+  options.admit_queue_watermark = static_cast<size_t>(max_queue);
+  if (degrade) {
+    options.target_p99_ns =
+        static_cast<uint64_t>(target_p99_ms) * 1000ull * 1000ull;
+  }
+  // Under pressure the idle leash doubles as a reaping leash: sessions that
+  // would merely shed scratch when healthy give back their table slot too.
+  if (release_idle_ms > 0) {
+    options.pressure_idle_ttl = std::chrono::milliseconds(release_idle_ms);
+  }
+  options.metrics = &obs::MetricsRegistry::Default();
+  auto controller = std::make_unique<LoadController>(
+      options,
+      [manager] {
+        // Execution time alone is blind to overload (a queued step runs just
+        // as fast once it finally runs); fold in the pool queue-wait so the
+        // sensed p99 tracks what a client actually feels.
+        auto& registry = obs::MetricsRegistry::Default();
+        LoadSample sample;
+        sample.step_latency =
+            registry.MergedHistogram("setdisc_step_latency_ns");
+        sample.step_latency.Merge(
+            registry.MergedHistogram("setdisc_pool_queue_wait_ns"));
+        sample.queue_depth = manager->pool().queue_depth();
+        return sample;
+      },
+      [manager] { return manager->pool().queue_depth(); });
+  controller->set_effort_sink(
+      [manager](int level) { manager->SetEffortLevel(level); });
+  controller->set_idle_reaper([manager](std::chrono::milliseconds leash) {
+    return manager->ReapIdle(leash);
+  });
+  return controller;
+}
+
+/// One line of controller accounting for the end-of-run reports.
+void PrintLoadReport(const LoadController& controller, std::ostream& out) {
+  out << "load control: " << controller.rejected_total() << " rejected, "
+      << controller.degrade_total() << " degrades, "
+      << controller.recover_total() << " recovers, "
+      << controller.pressure_reaped_total()
+      << " pressure-reaped, final effort level "
+      << controller.effort_level() << "\n";
+}
+
 /// Reads the final y/n confirmation for `set` from stdin, shared by the
 /// local and remote --ask verify prompts. Returns false on EOF.
 bool ReadConfirm(const SetCollection& collection, SetId set, bool* confirmed) {
@@ -149,7 +216,9 @@ int Usage() {
                "                   [--cache] [--cache-capacity N] "
                "[--cache-skip-one-shot]\n"
                "                   [--no-delta] [--release-idle MS] "
-               "[--stats-json] [--metrics-port P]\n");
+               "[--stats-json] [--metrics-port P]\n"
+               "                   [--max-queue N] [--degrade] "
+               "[--target-p99 MS]\n");
   return 2;
 }
 
@@ -257,6 +326,9 @@ int main(int argc, char** argv) {
   bool cache_skip_one_shot = false;
   bool stats_json = false;
   int metrics_port = -1;
+  int max_queue = 0;
+  bool degrade = false;
+  int target_p99_ms = 50;
   size_t cache_capacity = size_t{1} << 20;
   CostMetric metric = CostMetric::kAvgDepth;
 
@@ -302,6 +374,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics-port" && i + 1 < argc) {
       metrics_port = std::atoi(argv[++i]);
       if (metrics_port < 0 || metrics_port > 65535) return Usage();
+    } else if (arg == "--max-queue" && i + 1 < argc) {
+      max_queue = std::atoi(argv[++i]);
+      if (max_queue < 0) return Usage();
+    } else if (arg == "--degrade") {
+      degrade = true;
+    } else if (arg == "--target-p99" && i + 1 < argc) {
+      target_p99_ms = std::atoi(argv[++i]);
+      if (target_p99_ms <= 0) return Usage();
+      degrade = true;
     } else if (arg == "--k" && i + 1 < argc) {
       k = std::atoi(argv[++i]);
     } else if (arg == "--q" && i + 1 < argc) {
@@ -565,6 +646,9 @@ int main(int argc, char** argv) {
       std::unique_ptr<SelectionCache> cache = MakeCacheIfEnabled(
           use_cache, cache_capacity, cache_skip_one_shot, &manager_options);
       SessionManager manager(collection, index, manager_options);
+      std::unique_ptr<LoadController> controller = MakeLoadControllerIfEnabled(
+          /*max_queue=*/0, degrade, target_p99_ms, release_idle_ms, &manager);
+      if (controller != nullptr) controller->Start();
       std::vector<EntityId> initial = ParseExamples(collection, examples_csv);
       // Targets must be discoverable from the initial examples, i.e. among
       // their supersets (all sets when no examples are given).
@@ -608,6 +692,10 @@ int main(int argc, char** argv) {
              << stats.evictions << " evictions, " << stats.bypasses
              << " bypasses, " << cache->size() << " entries live\n";
       }
+      if (controller != nullptr) {
+        controller->Stop();
+        PrintLoadReport(*controller, hout);
+      }
       return finish(failures == 0 ? 0 : 1);
     }
     case Mode::kServe: {
@@ -638,10 +726,16 @@ int main(int argc, char** argv) {
       std::unique_ptr<SelectionCache> cache = MakeCacheIfEnabled(
           use_cache, cache_capacity, cache_skip_one_shot, &manager_options);
       SessionManager manager(collection, index, manager_options);
+      // Declared before the server so it outlives it: the server consults
+      // the controller on every CreateSession until its own shutdown.
+      std::unique_ptr<LoadController> controller = MakeLoadControllerIfEnabled(
+          max_queue, degrade, target_p99_ms, release_idle_ms, &manager);
+      if (controller != nullptr) controller->Start();
 
       net::ServerOptions server_options;
       server_options.bind_address = bind_address;
       server_options.port = static_cast<uint16_t>(serve_port);
+      server_options.load_controller = controller.get();
       if (metrics_port >= 0) {
         server_options.enable_metrics_http = true;
         server_options.metrics_port = static_cast<uint16_t>(metrics_port);
@@ -659,7 +753,10 @@ int main(int argc, char** argv) {
            << stress_threads << " worker threads"
            << (shards > 1 ? Format(", %d shards", shards) : "")
            << (verify ? ", verify" : "")
-           << (use_cache ? ", cache" : "") << ")\n";
+           << (use_cache ? ", cache" : "");
+      if (max_queue > 0) hout << Format(", max-queue %d", max_queue);
+      if (degrade) hout << Format(", degrade to p99<=%dms", target_p99_ms);
+      hout << ")\n";
       if (server.metrics_port() != 0) {
         hout << "metrics on http://" << server.options().bind_address << ":"
              << server.metrics_port() << "/metrics\n";
@@ -670,6 +767,10 @@ int main(int argc, char** argv) {
       }
       hout << "draining...\n";
       server.Shutdown();
+      if (controller != nullptr) {
+        controller->Stop();
+        PrintLoadReport(*controller, hout);
+      }
       net::ServerStats stats = server.stats();
       hout << "served " << manager.num_created() << " sessions over "
            << stats.connections_total << " connections ("
