@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/journey.h"
 #include "util/timer.h"
 
 namespace setdisc::net {
@@ -101,6 +102,23 @@ Status DiscoveryClient::CreateSession(std::span<const EntityId> initial,
   // Advertise busy handling so refusals come back with the retry hint; a
   // legacy-mode client sends the flagless encoding an old binary would.
   msg.busy_capable = !legacy_create_;
+  sent_trace_hi_ = 0;
+  sent_trace_lo_ = 0;
+  if (!legacy_create_) {
+    uint64_t hi = trace_hi_, lo = trace_lo_;
+    if ((hi | lo) == 0 && auto_trace_) {
+      const obs::TraceId fresh = obs::MakeTraceId();
+      hi = fresh.hi;
+      lo = fresh.lo;
+    }
+    if ((hi | lo) != 0) {
+      msg.has_trace_id = true;
+      msg.trace_hi = hi;
+      msg.trace_lo = lo;
+      sent_trace_hi_ = hi;
+      sent_trace_lo_ = lo;
+    }
+  }
   Frame reply;
   Status status = Call(Encode(msg), MsgType::kSessionState, &reply);
   if (!status.ok()) return status;

@@ -83,7 +83,27 @@ class DiscoveryClient {
   /// Emit pre-busy CreateSession encodings (no busy_capable flag), as an old
   /// client would. Exists so tests can exercise the server's compat path:
   /// refusals to such a client must be plain kBusy errors with no trailer.
+  /// Also suppresses any trace-context trailer.
   void set_legacy_create(bool legacy) { legacy_create_ = legacy; }
+
+  /// Propagate this 128-bit trace id with every subsequent CreateSession
+  /// (flag bit 0x04 + 16 trailing bytes). Both halves zero clears it. Old
+  /// servers reject the flagged encoding as malformed — only set against
+  /// servers that know it. Ignored in legacy_create mode.
+  void set_trace_id(uint64_t hi, uint64_t lo) {
+    trace_hi_ = hi;
+    trace_lo_ = lo;
+  }
+
+  /// Mint a fresh random trace id per CreateSession instead of a pinned one
+  /// (set_trace_id wins when both are configured and the pinned id is valid).
+  void set_auto_trace(bool on) { auto_trace_ = on; }
+
+  /// The trace id actually sent with the most recent CreateSession (both
+  /// zero when none was sent) — what a caller correlates against the
+  /// server's journey ring / trace export.
+  uint64_t sent_trace_hi() const { return sent_trace_hi_; }
+  uint64_t sent_trace_lo() const { return sent_trace_lo_; }
 
  private:
   /// Sends `frame` and reads exactly one reply frame, expecting `expected`
@@ -99,6 +119,11 @@ class DiscoveryClient {
   std::string last_error_message_;
   uint32_t last_retry_after_ms_ = 0;
   bool legacy_create_ = false;
+  bool auto_trace_ = false;
+  uint64_t trace_hi_ = 0;
+  uint64_t trace_lo_ = 0;
+  uint64_t sent_trace_hi_ = 0;
+  uint64_t sent_trace_lo_ = 0;
 };
 
 /// Drives one full remote conversation: opens a session seeded with

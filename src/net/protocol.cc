@@ -137,10 +137,16 @@ std::string Encode(const CreateSessionMsg& msg) {
   for (EntityId e : msg.initial) w.PutU32(e);
   // The flags byte is optional-trailing: omitted when zero, so a client with
   // every flag off emits the exact pre-flags encoding that old servers
-  // require.
+  // require. The trace id (bit 2) rides as 16 further trailing bytes, only
+  // ever after a flags byte that announces them.
   const uint8_t flags = static_cast<uint8_t>((msg.enable_trace ? 0x01 : 0) |
-                                             (msg.busy_capable ? 0x02 : 0));
+                                             (msg.busy_capable ? 0x02 : 0) |
+                                             (msg.has_trace_id ? 0x04 : 0));
   if (flags != 0) w.PutU8(flags);
+  if (msg.has_trace_id) {
+    w.PutU64(msg.trace_hi);
+    w.PutU64(msg.trace_lo);
+  }
   return EncodeFrame(MsgType::kCreateSession, body);
 }
 
@@ -149,10 +155,12 @@ bool Decode(std::string_view body, CreateSessionMsg* out) {
   uint32_t n = 0;
   if (!r.GetU32(&n)) return false;
   // The count must match the remaining bytes exactly — modulo one optional
-  // trailing flags byte; anything else is a malformed frame, not a short
-  // read (framing already delivered the body whole).
+  // trailing flags byte, itself optionally followed by 16 trace-id bytes;
+  // anything else is a malformed frame, not a short read (framing already
+  // delivered the body whole).
   const size_t ids_bytes = size_t{n} * sizeof(uint32_t);
-  if (r.remaining() != ids_bytes && r.remaining() != ids_bytes + 1) {
+  if (r.remaining() != ids_bytes && r.remaining() != ids_bytes + 1 &&
+      r.remaining() != ids_bytes + 17) {
     return false;
   }
   out->initial.clear();
@@ -164,13 +172,24 @@ bool Decode(std::string_view body, CreateSessionMsg* out) {
   }
   out->enable_trace = false;
   out->busy_capable = false;
-  if (r.remaining() == 1) {
+  out->has_trace_id = false;
+  out->trace_hi = 0;
+  out->trace_lo = 0;
+  if (r.remaining() > 0) {
     uint8_t flags = 0;
     if (!r.GetU8(&flags)) return false;
     // Unknown flag bits are ignored, so future clients can set them without
-    // being rejected by this build.
+    // being rejected by this build — but the trace bit and its 16 bytes
+    // must agree: the bit without the bytes is a truncated frame, the bytes
+    // without the bit are trailing garbage.
     out->enable_trace = (flags & 0x01) != 0;
     out->busy_capable = (flags & 0x02) != 0;
+    const bool trace_bit = (flags & 0x04) != 0;
+    if (trace_bit != (r.remaining() == 16)) return false;
+    if (trace_bit) {
+      if (!r.GetU64(&out->trace_hi) || !r.GetU64(&out->trace_lo)) return false;
+      out->has_trace_id = true;
+    }
   }
   return r.Exhausted();
 }
@@ -390,6 +409,29 @@ std::string Encode(const StatsReplyMsg& msg) {
     w.PutBytes(std::string_view(name).substr(0, len));
     w.PutU64(value);
   }
+  // v2: the exemplar section. A v1 decoder stops at the registry and
+  // tolerates these as a newer server's trailing bytes.
+  if (msg.rich_version >= 2) {
+    w.PutU8(static_cast<uint8_t>(obs::kNumPhases));
+    const size_t first =
+        msg.exemplars.size() > kMaxWireExemplars
+            ? msg.exemplars.size() - kMaxWireExemplars
+            : 0;
+    w.PutU32(static_cast<uint32_t>(msg.exemplars.size() - first));
+    for (size_t i = first; i < msg.exemplars.size(); ++i) {
+      const WireExemplar& ex = msg.exemplars[i];
+      w.PutU64(ex.trace_hi);
+      w.PutU64(ex.trace_lo);
+      w.PutU64(ex.session_id);
+      w.PutU64(ex.ts_ns);
+      w.PutU32(ex.step);
+      w.PutU8(ex.kind);
+      w.PutU8(ex.serve_path);
+      w.PutU64(ex.total_ns);
+      w.PutU64(ex.queue_wait_ns);
+      for (size_t ph = 0; ph < obs::kNumPhases; ++ph) w.PutU64(ex.phase_ns[ph]);
+    }
+  }
   return EncodeFrame(MsgType::kStatsReply, body);
 }
 
@@ -439,6 +481,38 @@ bool Decode(std::string_view body, StatsReplyMsg* out) {
     out->registry.emplace_back(std::string(name), value);
   }
   out->has_rich = true;
+  out->has_exemplars = false;
+  out->exemplars.clear();
+  // v2 appends the exemplar section; same contract one layer up — parse it
+  // when the server announced it, reject truncation inside it, tolerate
+  // bytes a v3 might append after it.
+  if (version >= 2) {
+    uint8_t num_phases = 0;
+    uint32_t ex_n = 0;
+    if (!r.GetU8(&num_phases) || !r.GetU32(&ex_n)) return false;
+    if (num_phases == 0 || num_phases > 64) return false;
+    if (ex_n > kMaxWireExemplars) return false;
+    const size_t per_ex = 8 * 6 + 4 + 1 + 1 + size_t{num_phases} * 8;
+    if (r.remaining() < size_t{ex_n} * per_ex) return false;
+    out->exemplars.reserve(ex_n);
+    for (uint32_t i = 0; i < ex_n; ++i) {
+      WireExemplar ex;
+      if (!r.GetU64(&ex.trace_hi) || !r.GetU64(&ex.trace_lo) ||
+          !r.GetU64(&ex.session_id) || !r.GetU64(&ex.ts_ns) ||
+          !r.GetU32(&ex.step) || !r.GetU8(&ex.kind) ||
+          !r.GetU8(&ex.serve_path) || !r.GetU64(&ex.total_ns) ||
+          !r.GetU64(&ex.queue_wait_ns)) {
+        return false;
+      }
+      for (size_t ph = 0; ph < num_phases; ++ph) {
+        uint64_t v = 0;
+        if (!r.GetU64(&v)) return false;
+        if (ph < obs::kNumPhases) ex.phase_ns[ph] = v;
+      }
+      out->exemplars.push_back(ex);
+    }
+    out->has_exemplars = true;
+  }
   return r.ok();
 }
 

@@ -255,6 +255,15 @@ struct CreateSessionMsg {
   /// carried this bit; old clients get a plain, fully decodable kBusy/kError
   /// body. New clients (net/client.h) always set it.
   bool busy_capable = false;
+  /// Flag bit 2: 16 bytes of trace context (trace id hi, then lo, both u64
+  /// little-endian) follow the flags byte — the request-journey id the
+  /// server stamps on every span of this session (obs/journey.h). Same
+  /// compat shape as the flags byte itself: clients without a trace id emit
+  /// nothing extra, and the bit without its 16 bytes (or the bytes without
+  /// the bit) is malformed, so truncation anywhere is rejected.
+  bool has_trace_id = false;
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
 };
 
 struct AnswerMsg {
@@ -345,6 +354,27 @@ struct HistogramSummary {
 /// forcing a huge allocation and the frame under kDefaultMaxBody.
 inline constexpr uint32_t kMaxWireRegistryEntries = 4096;
 
+/// Cap on slow-step exemplars in a StatsReply (matches the server-side
+/// ExemplarStore capacity; ~100 bytes each keeps the section tiny).
+inline constexpr uint32_t kMaxWireExemplars = 64;
+
+/// One slow-step exemplar in the rich-v2 stats section: which request (by
+/// trace id) was slow, where its time went, and how long it queued. The
+/// full span tree stays in the server's journey ring; this is the summary a
+/// remote operator can pull without shell access.
+struct WireExemplar {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t session_id = 0;
+  uint64_t ts_ns = 0;
+  uint32_t step = 0;
+  uint8_t kind = 0;        ///< 0 = answer, 1 = verify
+  uint8_t serve_path = 0;  ///< obs::ServePath
+  uint64_t total_ns = 0;
+  uint64_t queue_wait_ns = 0;
+  uint64_t phase_ns[obs::kNumPhases] = {};
+};
+
 /// The kStats reply. The first six u64s are the version-0 body, byte-exact:
 /// an old client reads them and stops (its decoder must tolerate the longer
 /// body — see Decode). Everything after is the versioned rich section; a new
@@ -360,8 +390,10 @@ struct StatsReplyMsg {
 
   /// True iff the reply carried the rich section (server >= this version).
   bool has_rich = false;
-  /// Rich-section version the server wrote; decoders parse the v1 layout
-  /// and ignore trailing bytes appended by future versions.
+  /// Rich-section version the server wrote. Every version starts with the
+  /// v1 layout; v2 appends the slow-step exemplar section after the
+  /// registry dump. Decoders parse the layouts they know and ignore
+  /// trailing bytes appended by versions newer than this build.
   uint8_t rich_version = 1;
 
   HistogramSummary step_latency;      ///< setdisc_step_latency_ns, all labels
@@ -379,6 +411,13 @@ struct StatsReplyMsg {
   /// (first kMaxWireRegistryEntries, sorted by name). Labeled families
   /// appear as name{label="v",...}.
   std::vector<std::pair<std::string, uint64_t>> registry;
+
+  /// True iff the reply carried the v2 exemplar section (has_rich and the
+  /// server writes rich_version >= 2). An empty `exemplars` with
+  /// has_exemplars set means "section present, nothing slow yet".
+  bool has_exemplars = false;
+  /// Slow-step exemplars, oldest first (most recent kMaxWireExemplars).
+  std::vector<WireExemplar> exemplars;
 };
 
 /// Cap on trace events in one kTraceReply frame; the server ships the most

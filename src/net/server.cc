@@ -16,6 +16,8 @@
 #endif
 
 #include "net/socket.h"
+#include "obs/event_log.h"
+#include "obs/journey.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "service/load_controller.h"
@@ -324,6 +326,8 @@ Status DiscoveryServer::Start() {
 
   stop_requested_.store(false);
   running_.store(true, std::memory_order_release);
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kServerStart,
+                                       port_, metrics_port_);
   loop_thread_ = std::thread(&DiscoveryServer::Loop, this);
   return Status::OK();
 }
@@ -409,6 +413,26 @@ void FillRichStats(SessionManager& manager, StatsReplyMsg* msg) {
     msg->registry.emplace_back(std::move(key),
                                static_cast<uint64_t>(sample.value));
   }
+  // v2: ship the slow-step exemplars (possibly none) so a remote operator
+  // sees which traces were slow and where the time went.
+  msg->rich_version = 2;
+  msg->has_exemplars = true;
+  for (const obs::StepExemplar& ex : obs::ExemplarStore::Global().Snapshot()) {
+    WireExemplar w;
+    w.trace_hi = ex.trace.hi;
+    w.trace_lo = ex.trace.lo;
+    w.session_id = ex.session_id;
+    w.ts_ns = ex.ts_ns;
+    w.step = ex.step;
+    w.kind = ex.kind;
+    w.serve_path = ex.serve_path;
+    w.total_ns = ex.total_ns;
+    w.queue_wait_ns = ex.queue_wait_ns;
+    for (size_t ph = 0; ph < obs::kNumPhases; ++ph) {
+      w.phase_ns[ph] = ex.phase_ns[ph];
+    }
+    msg->exemplars.push_back(w);
+  }
 }
 
 /// Encodes the reply for one offloaded session step: the new state on
@@ -476,6 +500,9 @@ struct LoopCtx {
     if (drop_queued) conn.pending.clear();
     if (conn.closing) return;
     Bump(&ServerStats::protocol_errors);
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kProtocolError, static_cast<int64_t>(status),
+        static_cast<int64_t>(conn.id), WireStatusName(status));
     conn.closing = true;
     conn.deferred_error = Encode(ErrorMsg{status, WireStatusName(status)});
   }
@@ -656,16 +683,25 @@ struct LoopCtx {
             return;
           }
         }
-        Offload(conn, [mgr = &manager, msg = std::move(msg)]() mutable {
-          return Encode(ToWire(mgr->Create(msg.initial, msg.enable_trace)));
-        });
+        // The wire trace id (or a fresh one, when journey tracing is on) is
+        // stored with the session so every later step of the conversation
+        // lands in the same trace.
+        obs::TraceId trace{msg.trace_hi, msg.trace_lo};
+        if (!trace.valid() && obs::JourneyEnabled() && obs::Enabled()) {
+          trace = obs::MakeTraceId();
+        }
+        Offload(conn, "create", trace,
+                [mgr = &manager, msg = std::move(msg), trace]() mutable {
+                  return Encode(
+                      ToWire(mgr->Create(msg.initial, msg.enable_trace, trace)));
+                });
         return;
       }
       case MsgType::kAnswer: {
         AnswerMsg msg;
         if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
         if (RefuseWhileDraining(conn)) return;
-        Offload(conn, [mgr = &manager, msg] {
+        Offload(conn, "answer", obs::TraceId{}, [mgr = &manager, msg] {
           SessionView view;
           SessionStatus status = mgr->SubmitAnswer(msg.session_id, msg.answer, &view);
           return StepReply(status, view, "answer");
@@ -676,7 +712,7 @@ struct LoopCtx {
         VerifyMsg msg;
         if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
         if (RefuseWhileDraining(conn)) return;
-        Offload(conn, [mgr = &manager, msg] {
+        Offload(conn, "verify", obs::TraceId{}, [mgr = &manager, msg] {
           SessionView view;
           SessionStatus status = mgr->Verify(msg.session_id, msg.confirmed, &view);
           return StepReply(status, view, "verify");
@@ -687,7 +723,7 @@ struct LoopCtx {
         SessionRefMsg msg;
         if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
         if (RefuseWhileDraining(conn)) return;
-        Offload(conn, [mgr = &manager, msg] {
+        Offload(conn, "get", obs::TraceId{}, [mgr = &manager, msg] {
           SessionView view;
           SessionStatus status = mgr->Get(msg.session_id, &view);
           return StepReply(status, view, "get");
@@ -700,7 +736,7 @@ struct LoopCtx {
         SessionRefMsg msg;
         if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
         if (RefuseWhileDraining(conn)) return;
-        Offload(conn, [mgr = &manager, msg] {
+        Offload(conn, "trace", obs::TraceId{}, [mgr = &manager, msg] {
           TraceReplyMsg reply;
           reply.session_id = msg.session_id;
           SessionStatus status = mgr->GetTrace(msg.session_id, &reply.events);
@@ -733,28 +769,50 @@ struct LoopCtx {
   /// exactly one PostCompletion happens even if the job throws, so a
   /// failed step can never leave the connection pinned inflight or
   /// Shutdown() waiting on the outstanding-jobs counter forever.
+  ///
+  /// When journey tracing is on, the wrapper is also the request boundary:
+  /// it times decode → pool-dequeue as queue wait, runs the job under a
+  /// JourneyScope (so the session layers underneath stamp the context and
+  /// emit the step + phase spans), and closes out the request/queue-wait
+  /// spans — plus the slow-step exemplar — afterwards. `rname` is the wire
+  /// request name; `trace` is the wire-carried trace id (invalid for
+  /// requests that don't carry one; the session's stored id, or a fresh
+  /// one, fills in). Like the job itself, the journey bookkeeping must not
+  /// touch the LoopCtx — everything rides in the lambda by value.
   template <typename Job>
-  void Offload(Conn& conn, Job job) {
+  void Offload(Conn& conn, const char* rname, obs::TraceId trace, Job job) {
     conn.inflight = true;
     im.outstanding_jobs.fetch_add(1, std::memory_order_relaxed);
     DiscoveryServer::Impl* impl = &im;
-    manager.pool().Submit(
-        [job = std::move(job), impl, conn_id = conn.id]() mutable {
-          std::string reply;
+    const bool journey = obs::JourneyEnabled() && obs::Enabled();
+    const uint64_t decode_ns = journey ? obs::NowNanos() : 0;
+    const uint64_t slow_ns = options.slow_step_ns;
+    manager.pool().Submit([job = std::move(job), impl, conn_id = conn.id,
+                           rname, trace, journey, decode_ns,
+                           slow_ns]() mutable {
+      std::string reply;
+      obs::JourneyContext jc;
+      jc.trace = trace;
+      const uint64_t start_ns = journey ? obs::NowNanos() : 0;
+      if (journey) jc.request_span = obs::NextSpanId();
+      {
+        obs::JourneyScope scope(journey ? &jc : nullptr);
+        try {
+          reply = job();
+        } catch (...) {
           try {
-            reply = job();
+            reply = Encode(ErrorMsg{WireStatus::kInternal,
+                                    WireStatusName(WireStatus::kInternal)});
           } catch (...) {
-            try {
-              reply = Encode(ErrorMsg{WireStatus::kInternal,
-                                      WireStatusName(WireStatus::kInternal)});
-            } catch (...) {
-              // Even the error reply failed to build; deliver emptiness —
-              // PostCompletion still balances the counter and the client's
-              // connection is torn down rather than wedged.
-            }
+            // Even the error reply failed to build; deliver emptiness —
+            // PostCompletion still balances the counter and the client's
+            // connection is torn down rather than wedged.
           }
-          impl->PostCompletion(conn_id, std::move(reply));
-        });
+        }
+      }
+      if (journey) obs::FinishRequestJourney(jc, rname, decode_ns, start_ns, slow_ns);
+      impl->PostCompletion(conn_id, std::move(reply));
+    });
   }
 
   /// Answers queued requests in arrival order, one in flight at a time per
@@ -887,12 +945,40 @@ struct LoopCtx {
           mc.in.find("\r\n\r\n") != std::string::npos ||
           mc.in.find("\n\n") != std::string::npos || mc.in.size() > 16384;
       if (have_request) {
-        const std::string body =
-            obs::MetricsRegistry::Default().Snapshot().ToPrometheusText();
-        mc.out = "HTTP/1.0 200 OK\r\n"
-                 "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-                 "Content-Length: " + std::to_string(body.size()) + "\r\n"
-                 "Connection: close\r\n\r\n" + body;
+        // Minimal request-line check so scrapers get correct semantics: a
+        // GET (any path) serves the exposition; anything else is answered
+        // with a proper status instead of a bogus 200. Every response
+        // carries Content-Length so clients need not rely on
+        // connection-close framing.
+        const size_t eol = mc.in.find_first_of("\r\n");
+        const std::string line =
+            mc.in.substr(0, eol == std::string::npos ? mc.in.size() : eol);
+        const size_t sp1 = line.find(' ');
+        const size_t sp2 =
+            sp1 == std::string::npos ? std::string::npos
+                                     : line.find(' ', sp1 + 1);
+        if (sp1 == std::string::npos || sp2 == std::string::npos ||
+            sp1 == 0) {
+          static const char kBody[] = "bad request\n";
+          mc.out = "HTTP/1.0 400 Bad Request\r\n"
+                   "Content-Type: text/plain; charset=utf-8\r\n"
+                   "Content-Length: " + std::to_string(sizeof(kBody) - 1) +
+                   "\r\nConnection: close\r\n\r\n" + kBody;
+        } else if (line.substr(0, sp1) != "GET") {
+          static const char kBody[] = "method not allowed\n";
+          mc.out = "HTTP/1.0 405 Method Not Allowed\r\n"
+                   "Allow: GET\r\n"
+                   "Content-Type: text/plain; charset=utf-8\r\n"
+                   "Content-Length: " + std::to_string(sizeof(kBody) - 1) +
+                   "\r\nConnection: close\r\n\r\n" + kBody;
+        } else {
+          const std::string body =
+              obs::MetricsRegistry::Default().Snapshot().ToPrometheusText();
+          mc.out = "HTTP/1.0 200 OK\r\n"
+                   "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                   "Content-Length: " + std::to_string(body.size()) + "\r\n"
+                   "Connection: close\r\n\r\n" + body;
+        }
         mc.responding = true;
         im.poller->Update(fd, /*want_read=*/false, /*want_write=*/true);
       } else if (eof) {
@@ -968,6 +1054,9 @@ struct LoopCtx {
   void BeginDrain() {
     im.draining = true;
     im.drain_deadline = Clock::now() + options.drain_timeout;
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kServerDrain,
+        static_cast<int64_t>(im.by_fd.size()));
     if (im.listener.valid()) {
       im.poller->Remove(im.listener.get());
       im.listener.Reset();
@@ -1079,6 +1168,8 @@ void DiscoveryServer::Loop() {
     im.poller->Remove(im.metrics_listener.get());
     im.metrics_listener.Reset();
   }
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kServerStop,
+                                       port_);
 }
 
 }  // namespace setdisc::net

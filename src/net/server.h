@@ -105,6 +105,13 @@ struct ServerOptions {
   /// the connection STAYS OPEN: busy is a back-off signal, not a poisoned
   /// stream. nullptr = admit everything (the pre-controller behaviour).
   LoadController* load_controller = nullptr;
+
+  /// Slow-step exemplar threshold in nanoseconds: an offloaded step whose
+  /// service time (pool queue wait + execution) reaches it is captured into
+  /// the process ExemplarStore (and the --event-log JSONL). 0 disables
+  /// exemplars; journey spans themselves are gated on
+  /// obs::SetJourneyEnabled, not on this.
+  uint64_t slow_step_ns = 0;
 };
 
 struct ServerStats {

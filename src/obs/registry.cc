@@ -50,7 +50,16 @@ std::string FormatLabels(const Labels& labels) {
     if (i != 0) out.push_back(',');
     out += labels[i].first;
     out += "=\"";
-    out += labels[i].second;
+    // Exposition-format escaping: inside a label value, backslash, double
+    // quote, and line feed must be escaped (and nothing else is).
+    for (char c : labels[i].second) {
+      switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out.push_back(c);
+      }
+    }
     out += "\"";
   }
   return out;

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/journey.h"
 #include "obs/registry.h"
 #include "util/status.h"
 
@@ -139,7 +140,7 @@ void BasicDiscoverySession<Engine>::SubmitAnswer(Oracle::Answer answer) {
   // mid-step) so one step runs at one effort level end to end.
   ApplyEffort();
   const bool metrics = obs::Enabled() && step_hist_ != nullptr;
-  if (!metrics && trace_ == nullptr) {
+  if (!metrics && trace_ == nullptr && obs::CurrentJourney() == nullptr) {
     DoSubmitAnswer(answer);
     return;
   }
@@ -207,7 +208,7 @@ template <typename Engine>
 void BasicDiscoverySession<Engine>::Verify(bool confirmed) {
   ApplyEffort();
   const bool metrics = obs::Enabled() && step_hist_ != nullptr;
-  if (!metrics && trace_ == nullptr) {
+  if (!metrics && trace_ == nullptr && obs::CurrentJourney() == nullptr) {
     DoVerify(confirmed);
     return;
   }
@@ -297,6 +298,16 @@ void BasicDiscoverySession<Engine>::RecordStep(uint8_t kind, EntityId entity,
     for (size_t i = 0; i < obs::kNumPhases; ++i) ev.phase_ns[i] = accum.ns[i];
     ev.total_ns = total_ns;
     trace_->Push(ev);
+  }
+  // Request-journey emission: when this step ran under a JourneyContext
+  // (server pool job, bench harness), its span — with the phase breakdown
+  // as child spans — goes into the process journey ring, parented to the
+  // enclosing request span. EmitStepSpans also copies the totals back into
+  // the context for the slow-step exemplar decision upstream.
+  if (obs::JourneyEnabled()) {
+    if (obs::JourneyContext* jc = obs::CurrentJourney()) {
+      obs::EmitStepSpans(*jc, kind, step_index_, entity, total_ns, accum);
+    }
   }
   ++step_index_;
 }

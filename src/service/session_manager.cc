@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/event_log.h"
 #include "util/status.h"
 
 namespace setdisc {
@@ -103,8 +104,18 @@ SessionView SessionManager::MakeView(SessionId id,
 }
 
 SessionView SessionManager::Create(std::span<const EntityId> initial,
-                                   bool enable_trace) {
+                                   bool enable_trace,
+                                   obs::TraceId journey_trace) {
   auto entry = std::make_shared<Entry>();
+  // An enclosing request context (server pool job) may carry the id when
+  // the Create parameter doesn't — either way the session remembers it so
+  // the whole conversation shares one trace.
+  if (!journey_trace.valid()) {
+    if (const obs::JourneyContext* jc = obs::CurrentJourney()) {
+      journey_trace = jc->trace;
+    }
+  }
+  entry->journey_trace = journey_trace;
   // The initial Select() (inside the session constructors below) runs
   // outside the registry lock: it can be a real scan, and other sessions
   // must keep stepping meanwhile. (With the shared cache it is usually a
@@ -164,6 +175,9 @@ SessionView SessionManager::Create(std::span<const EntityId> initial,
     std::lock_guard<std::mutex> lock(registry_mu_);
     view.id = next_id_++;
     ++num_created_;
+    if (obs::JourneyContext* jc = obs::CurrentJourney()) {
+      jc->session_id = view.id;
+    }
     return view;
   }
   {
@@ -184,9 +198,16 @@ SessionView SessionManager::Create(std::span<const EntityId> initial,
       SessionId victim = lru_.front();
       lru_.pop_front();
       sessions_.erase(victim);
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventKind::kSessionEvicted,
+          static_cast<int64_t>(victim),
+          static_cast<int64_t>(sessions_.size()));
     }
     view.id = next_id_++;
     ++num_created_;
+    if (obs::JourneyContext* jc = obs::CurrentJourney()) {
+      jc->session_id = view.id;
+    }
     // Stamp under the registry lock, next to the list append: timestamps
     // taken outside it could land in the list out of order, and the reap /
     // evict paths rely on list order == last_touched order.
@@ -224,6 +245,13 @@ SessionStatus SessionManager::SubmitAnswer(SessionId id, Oracle::Answer answer,
   if (entry->session->state() != SessionState::kAwaitingAnswer) {
     return SessionStatus::kWrongState;
   }
+  // Step requests don't carry a trace id on the wire; the enclosing journey
+  // context (if any) inherits the one stored at Create so the step's spans
+  // land in the conversation's trace.
+  if (obs::JourneyContext* jc = obs::CurrentJourney()) {
+    jc->session_id = id;
+    if (!jc->trace.valid()) jc->trace = entry->journey_trace;
+  }
   entry->session->SubmitAnswer(answer);
   if (view != nullptr) *view = MakeView(id, *entry->session);
   return SessionStatus::kOk;
@@ -236,6 +264,10 @@ SessionStatus SessionManager::Verify(SessionId id, bool confirmed,
   std::lock_guard<std::mutex> lock(entry->mu);
   if (entry->session->state() != SessionState::kAwaitingVerify) {
     return SessionStatus::kWrongState;
+  }
+  if (obs::JourneyContext* jc = obs::CurrentJourney()) {
+    jc->session_id = id;
+    if (!jc->trace.valid()) jc->trace = entry->journey_trace;
   }
   entry->session->Verify(confirmed);
   if (view != nullptr) *view = MakeView(id, *entry->session);

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "collection/inverted_index.h"
+#include "obs/journey.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "collection/set_collection.h"
@@ -201,8 +202,15 @@ class SessionManager {
   /// readable via GetTrace. The creation step itself is not traced — the
   /// ring is attached right after the first Select() — so event 0 is the
   /// first answer.
+  ///
+  /// `journey_trace` is the request-journey trace id stored with the
+  /// session (obs/journey.h): later steps running under a JourneyContext
+  /// that arrived without an id (Answer/Verify don't carry one on the wire)
+  /// inherit it, so a whole conversation's spans share one trace. Invalid
+  /// (the default) stores nothing.
   SessionView Create(std::span<const EntityId> initial,
-                     bool enable_trace = false);
+                     bool enable_trace = false,
+                     obs::TraceId journey_trace = {});
 
   /// Current snapshot of a session (also refreshes its TTL).
   SessionStatus Get(SessionId id, SessionView* view);
@@ -310,6 +318,9 @@ class SessionManager {
     /// this session's selector memory, cleared on every touch, so an idle
     /// session is released once per idle period, not once per reaper tick.
     bool scratch_released = false;
+    /// Request-journey trace id this conversation was created under
+    /// (invalid if none). Written once in Create, read-only afterwards.
+    obs::TraceId journey_trace;
   };
 
   std::shared_ptr<Entry> Find(SessionId id);

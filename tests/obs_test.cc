@@ -318,6 +318,17 @@ TEST(MetricsRegistry, FormatLabelsRendersSelectorBody) {
   EXPECT_EQ(FormatLabels({{"a", "x"}, {"b", "y"}}), "a=\"x\",b=\"y\"");
 }
 
+TEST(MetricsRegistry, FormatLabelsEscapesValuesPerExpositionFormat) {
+  // Prometheus text exposition 0.0.4: backslash, double quote, and newline
+  // in a label VALUE must be escaped, or the scrape line is corrupt.
+  EXPECT_EQ(FormatLabels({{"a", "say \"hi\""}}), "a=\"say \\\"hi\\\"\"");
+  EXPECT_EQ(FormatLabels({{"a", "c:\\temp"}}), "a=\"c:\\\\temp\"");
+  EXPECT_EQ(FormatLabels({{"a", "two\nlines"}}), "a=\"two\\nlines\"");
+  // All three at once, order preserved.
+  EXPECT_EQ(FormatLabels({{"a", "\\\"\n"}, {"b", "plain"}}),
+            "a=\"\\\\\\\"\\n\",b=\"plain\"");
+}
+
 TEST(MetricsRegistry, ConcurrentGetAndRecordIsSafe) {
   MetricsRegistry reg;
   constexpr int kThreads = 4;

@@ -554,6 +554,122 @@ TEST(StatsReplyCompat, RegistryDumpIsCappedAtEncode) {
 }
 
 // ---------------------------------------------------------------------------
+// StatsReply v2: the slow-step exemplar section
+// ---------------------------------------------------------------------------
+
+StatsReplyMsg RichStatsV2() {
+  StatsReplyMsg msg = RichStats();
+  msg.rich_version = 2;
+  msg.has_exemplars = true;
+  WireExemplar ex;
+  ex.trace_hi = 0x1111222233334444ull;
+  ex.trace_lo = 0x5555666677778888ull;
+  ex.session_id = 42;
+  ex.ts_ns = 123456789;
+  ex.step = 7;
+  ex.kind = 0;
+  ex.serve_path = 2;
+  ex.total_ns = 9000000;
+  ex.queue_wait_ns = 4000000;
+  for (size_t ph = 0; ph < obs::kNumPhases; ++ph) {
+    ex.phase_ns[ph] = (ph + 1) * 1000;
+  }
+  msg.exemplars.push_back(ex);
+  ex.session_id = 43;
+  ex.kind = 1;
+  msg.exemplars.push_back(ex);
+  return msg;
+}
+
+TEST(StatsReplyCompat, ExemplarSectionRoundTrips) {
+  StatsReplyMsg decoded;
+  ASSERT_TRUE(Decode(BodyOf(Encode(RichStatsV2())), &decoded));
+  ASSERT_TRUE(decoded.has_rich);
+  EXPECT_EQ(decoded.rich_version, 2);
+  ASSERT_TRUE(decoded.has_exemplars);
+  ASSERT_EQ(decoded.exemplars.size(), 2u);
+  const WireExemplar& ex = decoded.exemplars[0];
+  EXPECT_EQ(ex.trace_hi, 0x1111222233334444ull);
+  EXPECT_EQ(ex.trace_lo, 0x5555666677778888ull);
+  EXPECT_EQ(ex.session_id, 42u);
+  EXPECT_EQ(ex.ts_ns, 123456789u);
+  EXPECT_EQ(ex.step, 7u);
+  EXPECT_EQ(ex.kind, 0);
+  EXPECT_EQ(ex.serve_path, 2);
+  EXPECT_EQ(ex.total_ns, 9000000u);
+  EXPECT_EQ(ex.queue_wait_ns, 4000000u);
+  for (size_t ph = 0; ph < obs::kNumPhases; ++ph) {
+    EXPECT_EQ(ex.phase_ns[ph], (ph + 1) * 1000) << "phase " << ph;
+  }
+  EXPECT_EQ(decoded.exemplars[1].session_id, 43u);
+  EXPECT_EQ(decoded.exemplars[1].kind, 1);
+  // The v1 prefix still decodes intact underneath.
+  EXPECT_EQ(decoded.step_latency.count, 1000u);
+  ASSERT_EQ(decoded.registry.size(), 3u);
+}
+
+TEST(StatsReplyCompat, V1BodyYieldsNoExemplars) {
+  // A v1 server's reply (no section): the decoder must not invent one.
+  StatsReplyMsg decoded;
+  decoded.has_exemplars = true;  // must be overwritten
+  decoded.exemplars.resize(3);
+  ASSERT_TRUE(Decode(BodyOf(Encode(RichStats())), &decoded));
+  EXPECT_EQ(decoded.rich_version, 1);
+  EXPECT_FALSE(decoded.has_exemplars);
+  EXPECT_TRUE(decoded.exemplars.empty());
+}
+
+TEST(StatsReplyCompat, EmptyExemplarSectionRoundTrips) {
+  StatsReplyMsg msg = RichStatsV2();
+  msg.exemplars.clear();
+  StatsReplyMsg decoded;
+  ASSERT_TRUE(Decode(BodyOf(Encode(msg)), &decoded));
+  EXPECT_TRUE(decoded.has_exemplars);  // section present, just empty
+  EXPECT_TRUE(decoded.exemplars.empty());
+}
+
+TEST(StatsReplyCompat, TruncationInsideExemplarSectionIsRejected) {
+  const std::string full = BodyOf(Encode(RichStatsV2()));
+  const std::string v1 = BodyOf(Encode(RichStats()));
+  ASSERT_GT(full.size(), v1.size());
+  StatsReplyMsg decoded;
+  // Cut at several depths inside the section: in the header, inside entry
+  // 0, inside entry 1's phase array, one byte short of complete.
+  for (size_t cut : {v1.size() + 1, v1.size() + 20, full.size() - 30,
+                     full.size() - 1}) {
+    EXPECT_FALSE(Decode(full.substr(0, cut), &decoded)) << "cut=" << cut;
+  }
+  ASSERT_TRUE(Decode(full, &decoded));
+}
+
+TEST(StatsReplyCompat, BytesAfterExemplarSectionAreTolerated) {
+  // The same forward-compat contract v1 gave us: a v3 server may append
+  // more after the section and a v2 decoder keeps working.
+  std::string body = BodyOf(Encode(RichStatsV2()));
+  body.append(9, '\x5a');
+  StatsReplyMsg decoded;
+  ASSERT_TRUE(Decode(body, &decoded));
+  ASSERT_TRUE(decoded.has_exemplars);
+  EXPECT_EQ(decoded.exemplars.size(), 2u);
+}
+
+TEST(StatsReplyCompat, ExemplarCountIsCappedAtEncode) {
+  StatsReplyMsg msg = RichStatsV2();
+  msg.exemplars.clear();
+  for (uint32_t i = 0; i < kMaxWireExemplars + 10; ++i) {
+    WireExemplar ex;
+    ex.session_id = i;
+    msg.exemplars.push_back(ex);
+  }
+  StatsReplyMsg decoded;
+  ASSERT_TRUE(Decode(BodyOf(Encode(msg)), &decoded));
+  ASSERT_EQ(decoded.exemplars.size(), size_t{kMaxWireExemplars});
+  // The most recent ones survive the cap.
+  EXPECT_EQ(decoded.exemplars.front().session_id, 10u);
+  EXPECT_EQ(decoded.exemplars.back().session_id, kMaxWireExemplars + 9u);
+}
+
+// ---------------------------------------------------------------------------
 // CreateSession trace flag (optional-trailing-byte compatibility)
 // ---------------------------------------------------------------------------
 
@@ -580,17 +696,20 @@ TEST(CreateSessionCompat, TraceFlagRoundTripsAndStaysOptional) {
 }
 
 TEST(CreateSessionCompat, UnknownFlagBitsAreIgnored) {
+  // 0x04 became the trace-context bit, so the "future" bit moved up to
+  // 0x08 — the evolution this test exists to keep possible.
   CreateSessionMsg msg;
   msg.initial = {7};
   std::string body = BodyOf(Encode(msg));
   CreateSessionMsg decoded;
 
-  body.push_back('\x04');  // future flag only: decodes, known bits off
+  body.push_back('\x08');  // future flag only: decodes, known bits off
   ASSERT_TRUE(Decode(body, &decoded));
   EXPECT_FALSE(decoded.enable_trace);
   EXPECT_FALSE(decoded.busy_capable);
+  EXPECT_FALSE(decoded.has_trace_id);
 
-  body.back() = '\x05';  // future flag + trace
+  body.back() = '\x09';  // future flag + trace
   ASSERT_TRUE(Decode(body, &decoded));
   EXPECT_TRUE(decoded.enable_trace);
   EXPECT_FALSE(decoded.busy_capable);
@@ -622,6 +741,90 @@ TEST(CreateSessionCompat, BusyCapableFlagMatrix) {
       EXPECT_EQ(decoded.initial, msg.initial);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Trace-context trailer (flag bit 0x04 + 16 trailing bytes)
+// ---------------------------------------------------------------------------
+
+TEST(CreateSessionCompat, TraceContextRoundTripsAndStaysOptional) {
+  CreateSessionMsg msg;
+  msg.initial = {4, 9};
+  const std::string flagless = BodyOf(Encode(msg));
+
+  msg.has_trace_id = true;
+  msg.trace_hi = 0x1122334455667788ull;
+  msg.trace_lo = 0x99aabbccddeeff01ull;
+  const std::string traced = BodyOf(Encode(msg));
+  // Flags byte + 16 id bytes, nothing else moved.
+  EXPECT_EQ(traced.size(), flagless.size() + 1 + 16);
+  EXPECT_EQ(traced.substr(0, flagless.size()), flagless);
+
+  CreateSessionMsg decoded;
+  ASSERT_TRUE(Decode(traced, &decoded));
+  EXPECT_TRUE(decoded.has_trace_id);
+  EXPECT_EQ(decoded.trace_hi, msg.trace_hi);
+  EXPECT_EQ(decoded.trace_lo, msg.trace_lo);
+  EXPECT_FALSE(decoded.enable_trace);
+  EXPECT_FALSE(decoded.busy_capable);
+  EXPECT_EQ(decoded.initial, msg.initial);
+
+  // Without the id the encoding stays byte-exact legacy: a trace-capable
+  // client that doesn't set one is indistinguishable from an old client.
+  msg.has_trace_id = false;
+  EXPECT_EQ(BodyOf(Encode(msg)), flagless);
+}
+
+TEST(CreateSessionCompat, TraceContextComposesWithOtherFlags) {
+  CreateSessionMsg msg;
+  msg.initial = {1};
+  msg.enable_trace = true;
+  msg.busy_capable = true;
+  msg.has_trace_id = true;
+  msg.trace_hi = 7;
+  msg.trace_lo = 11;
+  CreateSessionMsg decoded;
+  ASSERT_TRUE(Decode(BodyOf(Encode(msg)), &decoded));
+  EXPECT_TRUE(decoded.enable_trace);
+  EXPECT_TRUE(decoded.busy_capable);
+  ASSERT_TRUE(decoded.has_trace_id);
+  EXPECT_EQ(decoded.trace_hi, 7u);
+  EXPECT_EQ(decoded.trace_lo, 11u);
+}
+
+TEST(CreateSessionCompat, TraceBitWithoutBytesIsMalformed) {
+  CreateSessionMsg msg;
+  msg.initial = {2};
+  std::string body = BodyOf(Encode(msg));
+  body.push_back('\x04');  // trace bit announced, no id follows
+  CreateSessionMsg decoded;
+  EXPECT_FALSE(Decode(body, &decoded));
+}
+
+TEST(CreateSessionCompat, TraceBytesWithoutBitAreMalformed) {
+  CreateSessionMsg msg;
+  msg.initial = {2};
+  msg.busy_capable = true;  // flags byte present, trace bit clear
+  std::string body = BodyOf(Encode(msg));
+  body.append(16, '\x00');
+  CreateSessionMsg decoded;
+  EXPECT_FALSE(Decode(body, &decoded));
+}
+
+TEST(CreateSessionCompat, TraceTruncationAnywhereInsideIsRejected) {
+  CreateSessionMsg msg;
+  msg.initial = {2};
+  msg.has_trace_id = true;
+  msg.trace_hi = 0xdeadbeefcafef00dull;
+  msg.trace_lo = 0x0123456789abcdefull;
+  const std::string full = BodyOf(Encode(msg));
+  CreateSessionMsg decoded;
+  for (size_t cut = 1; cut <= 16; ++cut) {
+    EXPECT_FALSE(Decode(full.substr(0, full.size() - cut), &decoded))
+        << "cut=" << cut;
+  }
+  ASSERT_TRUE(Decode(full, &decoded));
+  EXPECT_TRUE(decoded.has_trace_id);
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "net/socket.h"
+#include "obs/event_log.h"
+#include "obs/journey.h"
 #include "service/discovery_session.h"
 #include "service/session_manager.h"
 #include "test_util.h"
@@ -736,7 +739,7 @@ TEST(DiscoveryServer, OneStatsRoundTripCarriesTheWholeServingPicture) {
   StatsReplyMsg stats;
   ASSERT_TRUE(client.GetStats(&stats).ok());
   ASSERT_TRUE(stats.has_rich);
-  EXPECT_EQ(stats.rich_version, 1);
+  EXPECT_EQ(stats.rich_version, 2);
   EXPECT_GT(stats.step_latency.count, 0u);
   EXPECT_GT(stats.step_latency.p50, 0u);
   EXPECT_GE(stats.step_latency.p99, stats.step_latency.p50);
@@ -819,6 +822,148 @@ TEST(DiscoveryServer, GetTraceErrorsMatchSessionState) {
   EXPECT_EQ(client.last_status(), WireStatus::kWrongState);
   SessionStateMsg probe;
   EXPECT_TRUE(client.GetSession(state.session_id, &probe).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Request-journey tracing end to end
+// ---------------------------------------------------------------------------
+
+/// Turns journey tracing on for one test and restores the default after.
+struct JourneyOn {
+  JourneyOn() { obs::SetJourneyEnabled(true); }
+  ~JourneyOn() { obs::SetJourneyEnabled(false); }
+};
+
+TEST(DiscoveryServer, JourneySpansReconstructTheRequestTree) {
+  JourneyOn journey;
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManager manager(c, idx, ManagerOptions());
+  auto server = StartServer(manager);
+
+  DiscoveryClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  // The client pins the trace id; the server threads it through the pool
+  // job, the session, and every step.
+  const obs::TraceId trace = obs::MakeTraceId();
+  client.set_trace_id(trace.hi, trace.lo);
+
+  SessionStateMsg state;
+  ASSERT_TRUE(client.CreateSession({}, &state).ok());
+  EXPECT_EQ(client.sent_trace_hi(), trace.hi);
+  EXPECT_EQ(client.sent_trace_lo(), trace.lo);
+  SimulatedOracle oracle(&c, /*target=*/2);
+  uint32_t steps = 0;
+  while (state.state == SessionState::kAwaitingAnswer) {
+    ASSERT_TRUE(client
+                    .Answer(state.session_id,
+                            oracle.AskMembership(state.question), &state)
+                    .ok());
+    ++steps;
+    ASSERT_LT(steps, 100u);
+  }
+  ASSERT_EQ(state.state, SessionState::kFinished);
+  ASSERT_GT(steps, 0u);
+
+  // Reconstruct the span tree for our trace id from the process ring.
+  std::vector<obs::Span> ours;
+  for (const obs::Span& s : obs::Journey().Snapshot()) {
+    if (s.trace_hi == trace.hi && s.trace_lo == trace.lo) ours.push_back(s);
+  }
+  size_t create_reqs = 0, answer_reqs = 0, queue_waits = 0, step_spans = 0;
+  std::vector<uint64_t> request_ids;
+  for (const obs::Span& s : ours) {
+    const std::string name(s.name);
+    if (name == "req:create" || name == "req:answer") {
+      EXPECT_EQ(s.parent_id, 0u) << name << " must be a root span";
+      request_ids.push_back(s.span_id);
+      (name == "req:create" ? create_reqs : answer_reqs)++;
+    }
+  }
+  EXPECT_EQ(create_reqs, 1u);
+  EXPECT_EQ(answer_reqs, static_cast<size_t>(steps));
+  auto is_request = [&](uint64_t id) {
+    return std::find(request_ids.begin(), request_ids.end(), id) !=
+           request_ids.end();
+  };
+  for (const obs::Span& s : ours) {
+    const std::string name(s.name);
+    if (name == "queue_wait") {
+      EXPECT_TRUE(is_request(s.parent_id)) << "queue_wait outside a request";
+      ++queue_waits;
+    } else if (name == "step:answer") {
+      // Every step span hangs off the request that ran it and carries its
+      // phase breakdown (step index + serve path annotations at minimum).
+      EXPECT_TRUE(is_request(s.parent_id)) << "step outside a request";
+      EXPECT_GT(s.duration_ns, 0u);
+      ASSERT_GE(s.num_annotations, 2);
+      EXPECT_STREQ(s.ann_key[0], "step");
+      ++step_spans;
+    }
+  }
+  EXPECT_EQ(queue_waits, request_ids.size());  // one wait child per request
+  EXPECT_EQ(step_spans, static_cast<size_t>(steps));
+
+  // The same spans render as loadable Chrome trace JSON.
+  const std::string json = obs::SpansToChromeJson(ours);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("req:create"), std::string::npos);
+  EXPECT_NE(json.find("step:answer"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+
+  // A client that pins no id still gets a journey: the server mints one.
+  client.set_trace_id(0, 0);
+  SessionStateMsg untagged;
+  ASSERT_TRUE(client.CreateSession({}, &untagged).ok());
+  EXPECT_EQ(client.sent_trace_hi(), 0u);
+  bool minted = false;
+  for (const obs::Span& s : obs::Journey().Snapshot()) {
+    if (std::string(s.name) == "req:create" &&
+        !(s.trace_hi == trace.hi && s.trace_lo == trace.lo) &&
+        (s.trace_hi | s.trace_lo) != 0) {
+      minted = true;
+    }
+  }
+  EXPECT_TRUE(minted);
+}
+
+TEST(DiscoveryServer, SlowStepThresholdShipsExemplarsInStats) {
+  JourneyOn journey;
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  SessionManager manager(c, idx, ManagerOptions());
+  ServerOptions options;
+  options.slow_step_ns = 1;  // every step is "slow": deterministic capture
+  auto server = StartServer(manager, options);
+
+  DiscoveryClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  client.set_auto_trace(true);
+  SimulatedOracle oracle(&c, /*target=*/1);
+  SessionStateMsg state;
+  ASSERT_TRUE(DriveRemote(client, {}, oracle, &state).ok());
+  ASSERT_EQ(state.state, SessionState::kFinished);
+  ASSERT_NE(client.sent_trace_hi() | client.sent_trace_lo(), 0u);
+
+  StatsReplyMsg stats;
+  ASSERT_TRUE(client.GetStats(&stats).ok());
+  ASSERT_TRUE(stats.has_rich);
+  EXPECT_EQ(stats.rich_version, 2);
+  ASSERT_TRUE(stats.has_exemplars);
+  ASSERT_FALSE(stats.exemplars.empty());
+  // At least one exemplar belongs to this conversation's auto-minted trace.
+  bool found = false;
+  for (const WireExemplar& ex : stats.exemplars) {
+    if (ex.trace_hi == client.sent_trace_hi() &&
+        ex.trace_lo == client.sent_trace_lo()) {
+      found = true;
+      EXPECT_EQ(ex.session_id, state.session_id);
+      EXPECT_GT(ex.total_ns, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 }  // namespace

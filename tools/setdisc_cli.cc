@@ -63,6 +63,23 @@
 //   --target-p99 MS   p99 step-latency target (milliseconds) the --degrade
 //                     controller steers toward (default 50); implies
 //                     --degrade
+//   --slow-ms MS      slow-step exemplar threshold for --serve: a step whose
+//                     service time (queue wait + execution) reaches MS
+//                     milliseconds is captured (trace id, session, phase
+//                     breakdown) into the in-process exemplar store — read
+//                     it back via Stats — and appended to --event-log when
+//                     set. Enables journey tracing. With --degrade and no
+//                     --slow-ms, the controller's p99 target is the
+//                     threshold
+//   --event-log FILE  structured JSONL event log for --serve: one line per
+//                     slow-step exemplar. Enables journey tracing
+//   --trace-export FILE  with --serve: at shutdown, write every span still
+//                     in the journey ring as Chrome trace-event JSON
+//                     (chrome://tracing / Perfetto). Enables journey tracing
+//
+// While serving, SIGUSR1 dumps the flight recorder (admission flips, effort
+// moves, evictions, lifecycle) as Chrome trace JSON next to the event log /
+// trace export; fatal signals print its pre-rendered tail to stderr.
 
 #include <atomic>
 #include <chrono>
@@ -85,6 +102,8 @@
 #include "core/selectors.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/event_log.h"
+#include "obs/journey.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "service/discovery_session.h"
@@ -218,7 +237,9 @@ int Usage() {
                "                   [--no-delta] [--release-idle MS] "
                "[--stats-json] [--metrics-port P]\n"
                "                   [--max-queue N] [--degrade] "
-               "[--target-p99 MS]\n");
+               "[--target-p99 MS]\n"
+               "                   [--slow-ms MS] [--event-log FILE] "
+               "[--trace-export FILE]\n");
   return 2;
 }
 
@@ -329,6 +350,9 @@ int main(int argc, char** argv) {
   int max_queue = 0;
   bool degrade = false;
   int target_p99_ms = 50;
+  int slow_ms = 0;
+  std::string event_log_path;
+  std::string trace_export_path;
   size_t cache_capacity = size_t{1} << 20;
   CostMetric metric = CostMetric::kAvgDepth;
 
@@ -383,6 +407,13 @@ int main(int argc, char** argv) {
       target_p99_ms = std::atoi(argv[++i]);
       if (target_p99_ms <= 0) return Usage();
       degrade = true;
+    } else if (arg == "--slow-ms" && i + 1 < argc) {
+      slow_ms = std::atoi(argv[++i]);
+      if (slow_ms <= 0) return Usage();
+    } else if (arg == "--event-log" && i + 1 < argc) {
+      event_log_path = argv[++i];
+    } else if (arg == "--trace-export" && i + 1 < argc) {
+      trace_export_path = argv[++i];
     } else if (arg == "--k" && i + 1 < argc) {
       k = std::atoi(argv[++i]);
     } else if (arg == "--q" && i + 1 < argc) {
@@ -732,10 +763,38 @@ int main(int argc, char** argv) {
           max_queue, degrade, target_p99_ms, release_idle_ms, &manager);
       if (controller != nullptr) controller->Start();
 
+      // Any of the journey flags turns request tracing on for this process:
+      // every pool job then runs under a JourneyContext and emits request /
+      // queue-wait / step / phase spans into the journey ring.
+      const bool journey =
+          slow_ms > 0 || !event_log_path.empty() || !trace_export_path.empty();
+      if (journey) obs::SetJourneyEnabled(true);
+      if (!event_log_path.empty() &&
+          !obs::EventLog::Global().Open(event_log_path)) {
+        std::fprintf(stderr, "error: cannot open --event-log %s\n",
+                     event_log_path.c_str());
+        return 1;
+      }
+      // SIGUSR1 dumps land next to whichever journey artifact was asked for.
+      const std::string flight_dump_path =
+          (!event_log_path.empty()   ? event_log_path
+           : !trace_export_path.empty() ? trace_export_path
+                                        : std::string("setdisc")) +
+          ".flight.json";
+
       net::ServerOptions server_options;
       server_options.bind_address = bind_address;
       server_options.port = static_cast<uint16_t>(serve_port);
       server_options.load_controller = controller.get();
+      if (slow_ms > 0) {
+        server_options.slow_step_ns =
+            static_cast<uint64_t>(slow_ms) * 1000ull * 1000ull;
+      } else if (journey && degrade) {
+        // No explicit threshold: steps slower than the controller's own p99
+        // target are by definition the ones worth an exemplar.
+        server_options.slow_step_ns =
+            static_cast<uint64_t>(target_p99_ms) * 1000ull * 1000ull;
+      }
       if (metrics_port >= 0) {
         server_options.enable_metrics_http = true;
         server_options.metrics_port = static_cast<uint16_t>(metrics_port);
@@ -748,6 +807,8 @@ int main(int argc, char** argv) {
       }
       std::signal(SIGINT, HandleStopSignal);
       std::signal(SIGTERM, HandleStopSignal);
+      obs::InstallFlightDumpSignalHandler();
+      obs::InstallFatalTailHandler();
       hout << "serving on " << server.options().bind_address << ":"
            << server.port() << " (" << selector.name() << ", "
            << stress_threads << " worker threads"
@@ -761,9 +822,29 @@ int main(int argc, char** argv) {
         hout << "metrics on http://" << server.options().bind_address << ":"
              << server.metrics_port() << "/metrics\n";
       }
+      if (journey) {
+        hout << "journey tracing on";
+        if (server_options.slow_step_ns > 0) {
+          hout << Format(", slow-step exemplars >= %llums",
+                         static_cast<unsigned long long>(
+                             server_options.slow_step_ns / 1000000ull));
+        }
+        if (!event_log_path.empty()) hout << ", event log " << event_log_path;
+        hout << " (SIGUSR1 dumps flight recorder to " << flight_dump_path
+             << ")\n";
+      }
       hout << std::flush;
       while (g_stop_serving == 0 && server.running()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (obs::ConsumeFlightDumpRequest()) {
+          if (obs::WriteFlightDump(flight_dump_path)) {
+            hout << "flight recorder dumped to " << flight_dump_path << "\n"
+                 << std::flush;
+          } else {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         flight_dump_path.c_str());
+          }
+        }
       }
       hout << "draining...\n";
       server.Shutdown();
@@ -784,6 +865,17 @@ int main(int argc, char** argv) {
              << cstats.bypasses << " bypasses, " << cache->size()
              << " entries\n";
       }
+      if (!trace_export_path.empty()) {
+        if (obs::WriteJourneyTrace(trace_export_path)) {
+          hout << "journey trace (" << obs::Journey().total()
+               << " spans total, ring keeps last " << obs::Journey().capacity()
+               << ") exported to " << trace_export_path << "\n";
+        } else {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       trace_export_path.c_str());
+        }
+      }
+      obs::EventLog::Global().Close();
       return finish(0);
     }
   }
