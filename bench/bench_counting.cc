@@ -30,8 +30,11 @@
 #include "bench_common.h"
 #include "core/selectors.h"
 #include "core/sharded_selectors.h"
+#include "core/weighted.h"
+#include "core/weighted_klp.h"
 #include "service/discovery_session.h"
 #include "service/session_manager.h"
+#include "util/rng.h"
 
 namespace setdisc::bench {
 namespace {
@@ -41,14 +44,23 @@ using Transcript = std::vector<std::pair<EntityId, Oracle::Answer>>;
 struct ModeSpec {
   std::string name;
   std::function<std::unique_ptr<EntitySelector>(bool differential)> make;
+  /// Null = unsharded only (the weighted selectors have no sharded variant).
   std::function<std::unique_ptr<ShardedEntitySelector>(bool differential)>
       make_sharded;
-  bool is_klp = false;
+  /// Memo clear between conversations (null = stateless between them).
+  std::function<void(EntitySelector&)> reset;
+  std::function<void(ShardedEntitySelector&)> reset_sharded;
 };
 
-std::vector<ModeSpec> CountingStrategies() {
+std::vector<ModeSpec> CountingStrategies(const std::vector<double>* weights) {
   auto klp_options = [](bool differential) {
     KlpOptions o = KlpOptions::MakeKlp(2, CostMetric::kAvgDepth);
+    o.enable_delta_counting = differential;
+    return o;
+  };
+  auto wklp_options = [](bool differential) {
+    WeightedKlpOptions o;
+    o.k = 2;
     o.enable_delta_counting = differential;
     return o;
   };
@@ -56,11 +68,11 @@ std::vector<ModeSpec> CountingStrategies() {
       {"MostEven",
        [](bool d) { return std::make_unique<MostEvenSelector>(d); },
        [](bool d) { return std::make_unique<ShardedMostEvenSelector>(d); },
-       false},
+       nullptr, nullptr},
       {"InfoGain",
        [](bool d) { return std::make_unique<InfoGainSelector>(d); },
        [](bool d) { return std::make_unique<ShardedInfoGainSelector>(d); },
-       false},
+       nullptr, nullptr},
       {"2-LP",
        [klp_options](bool d) {
          return std::make_unique<KlpSelector>(klp_options(d));
@@ -68,7 +80,27 @@ std::vector<ModeSpec> CountingStrategies() {
        [klp_options](bool d) {
          return std::make_unique<ShardedKlpSelector>(klp_options(d));
        },
-       true},
+       [](EntitySelector& s) { static_cast<KlpSelector&>(s).ClearCache(); },
+       [](ShardedEntitySelector& s) {
+         static_cast<ShardedKlpSelector&>(s).inner().ClearCache();
+       }},
+      // §7 weighted configurations: same conversations, prior-aware
+      // decisions. Unsharded only (no sharded weighted engine).
+      {"WeightedMostEven",
+       [weights](bool d) {
+         return std::make_unique<WeightedMostEvenSelector>(weights, d);
+       },
+       nullptr, nullptr, nullptr},
+      {"Weighted-2-LP",
+       [weights, wklp_options](bool d) {
+         return std::make_unique<WeightedKlpSelector>(weights,
+                                                      wklp_options(d));
+       },
+       nullptr,
+       [](EntitySelector& s) {
+         static_cast<WeightedKlpSelector&>(s).ClearCache();
+       },
+       nullptr},
   };
 }
 
@@ -117,7 +149,7 @@ StepTiming RunUnsharded(const SetCollection& c, const InvertedIndex& idx,
                         std::vector<Transcript>* transcripts) {
   auto selector = spec.make(differential);
   auto reset = [&] {
-    if (spec.is_klp) static_cast<KlpSelector&>(*selector).ClearCache();
+    if (spec.reset) spec.reset(*selector);
   };
   // Warm the scratch (and fault in the corpus) outside the timer.
   {
@@ -148,9 +180,7 @@ StepTiming RunSharded(const ShardedCollection& sharded,
   auto selector = spec.make_sharded(differential);
   selector->set_pool(pool);
   auto reset = [&] {
-    if (spec.is_klp) {
-      static_cast<ShardedKlpSelector&>(*selector).inner().ClearCache();
-    }
+    if (spec.reset_sharded) spec.reset_sharded(*selector);
   };
   {
     std::vector<Transcript> warmup;
@@ -220,6 +250,23 @@ int main(int argc, char** argv) {
   DiscoveryOptions options;
   options.max_questions = 500;  // §6 guard; never hit on this workload
 
+  // Skewed prior for the §7 weighted configurations: most sets carry small
+  // uniform mass, a few carry most of it.
+  std::vector<double> weights(w.corpus.num_sets());
+  {
+    Rng wrng(4242);
+    for (double& x : weights) x = 0.05 + wrng.UniformDouble();
+    for (int spike = 0; spike < 64; ++spike) {
+      weights[wrng.Uniform(weights.size())] = 4.0 + wrng.UniformDouble();
+    }
+  }
+
+  // --assert: fail (exit 1) unless every per-step row serves delta at least
+  // as fast as the full recount — the "differential never loses" gate CI
+  // runs at quick scale.
+  const bool assert_speedups = HasFlag(argc, argv, "--assert");
+  std::vector<std::string> assert_failures;
+
   // ---------------------------------------- per-step latency, full vs delta
   for (double dont_know_rate : {0.0, 0.2}) {
     out << "steady-state per-step latency"
@@ -230,8 +277,9 @@ int main(int argc, char** argv) {
         << ", k-LP memo cleared per conversation (uncached regime):\n";
     TablePrinter table({"selector", "engine", "full us/step", "delta us/step",
                         "speedup", "steps"});
-    for (const ModeSpec& spec : CountingStrategies()) {
+    for (const ModeSpec& spec : CountingStrategies(&weights)) {
       for (bool use_sharded : {false, true}) {
+        if (use_sharded && !spec.make_sharded) continue;
         std::vector<Transcript> full_transcripts, delta_transcripts;
         StepTiming full, delta;
         if (!use_sharded) {
@@ -252,6 +300,12 @@ int main(int argc, char** argv) {
         RequireParity(full_transcripts, delta_transcripts,
                       spec.name + (use_sharded ? "/K=4" : "/unsharded"));
         const char* engine = use_sharded ? "K=4" : "unsharded";
+        const double speedup = full.us_per_step / delta.us_per_step;
+        if (assert_speedups && speedup < 1.0) {
+          assert_failures.push_back(
+              Format("%s/%s dk=%.1f: %.3fx", spec.name.c_str(), engine,
+                     dont_know_rate, speedup));
+        }
         table.AddRow({spec.name, engine, Format("%.1f", full.us_per_step),
                       Format("%.1f", delta.us_per_step),
                       Format("%.2fx", full.us_per_step / delta.us_per_step),
@@ -338,5 +392,11 @@ int main(int argc, char** argv) {
   }
 
   report.Print();
+  if (!assert_failures.empty()) {
+    std::cerr << "FAIL: per-step rows slower differentially than fully "
+                 "recounted:\n";
+    for (const std::string& f : assert_failures) std::cerr << "  " << f << "\n";
+    return 1;
+  }
   return 0;
 }

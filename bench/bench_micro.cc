@@ -4,12 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "collection/count_kernels.h"
+#include "collection/delta_counter.h"
 #include "collection/entity_counter.h"
 #include "collection/inverted_index.h"
 #include "core/decision_tree.h"
 #include "core/klp.h"
 #include "core/selectors.h"
 #include "data/synthetic.h"
+#include "util/rng.h"
 
 namespace setdisc {
 namespace {
@@ -84,6 +89,112 @@ void BM_EmitCrossover(benchmark::State& state) {
                           static_cast<int64_t>(c.total_elements()));
 }
 BENCHMARK(BM_EmitCrossover)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(24)->Arg(32)->Arg(64);
+
+// --------------------------------------------------------------- kernels
+// The three flat loops of collection/count_kernels.h, measured in isolation
+// so regressions in the vectorizable hot paths show up without workload
+// noise (and so a SETDISC_KERNEL_MULTIARCH build can be compared against
+// the portable one on the same machine).
+
+void BM_KernelAccumulateCounts(benchmark::State& state) {
+  SetCollection c = MakeCollection(static_cast<uint32_t>(state.range(0)));
+  SubCollection full = SubCollection::Full(&c);
+  std::vector<uint32_t> counts(c.universe_size(), 0);
+  std::vector<EntityId> touched(c.universe_size() + 1, 0);
+  for (auto _ : state) {
+    size_t t = kernels::AccumulateCounts(full, counts.data(), touched.data());
+    benchmark::DoNotOptimize(t);
+    for (size_t i = 0; i < t; ++i) counts[touched[i]] = 0;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(c.total_elements()));
+}
+BENCHMARK(BM_KernelAccumulateCounts)->Arg(2000)->Arg(8000);
+
+struct KernelDeriveCase {
+  std::vector<EntityCount> parent;
+  std::vector<uint32_t> dense;
+  std::vector<EntityCount> out;
+};
+
+KernelDeriveCase MakeDeriveCase(size_t m) {
+  Rng rng(7);
+  KernelDeriveCase kc;
+  kc.dense.assign(2 * m, 0);
+  for (EntityId e = 0; e < 2 * m; e += 2) {
+    uint32_t pc = 2 + static_cast<uint32_t>(rng.Uniform(60));
+    kc.parent.push_back(EntityCount{e, pc});
+    kc.dense[e] = static_cast<uint32_t>(rng.Uniform(pc + 1));
+  }
+  kc.out.resize(kc.parent.size());
+  return kc;
+}
+
+void BM_KernelGatherChild(benchmark::State& state) {
+  KernelDeriveCase kc = MakeDeriveCase(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    size_t w = kernels::GatherChild(kc.parent.data(), kc.parent.size(),
+                                    kc.dense.data(), kc.dense.size(), 64, true,
+                                    kc.out.data());
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kc.parent.size()));
+}
+BENCHMARK(BM_KernelGatherChild)->Arg(4096)->Arg(65536);
+
+void BM_KernelSubtractChild(benchmark::State& state) {
+  KernelDeriveCase kc = MakeDeriveCase(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    size_t w = kernels::SubtractChild(kc.parent.data(), kc.parent.size(),
+                                      kc.dense.data(), kc.dense.size(), 64,
+                                      true, kc.out.data());
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kc.parent.size()));
+}
+BENCHMARK(BM_KernelSubtractChild)->Arg(4096)->Arg(65536);
+
+// Retained-order emission (DeltaCounter::EmitMostEvenOrder) vs the
+// comparison sort it replaces, on the re-emit path k-LP's top-level
+// candidate ordering hits every step.
+void BM_OrderedEmit(benchmark::State& state) {
+  const bool use_retained = state.range(1) != 0;
+  SetCollection c = MakeCollection(static_cast<uint32_t>(state.range(0)));
+  SubCollection full = SubCollection::Full(&c);
+  const uint64_t n = full.size();
+  DeltaCounter delta;
+  delta.set_retain_order(use_retained);
+  std::vector<EntityCount> counts, ordered;
+  delta.CountInformative(full, &counts, nullptr);
+  for (auto _ : state) {
+    if (use_retained) {
+      bool served = delta.EmitMostEvenOrder(
+          full.Fingerprint(), static_cast<uint32_t>(n), nullptr, &ordered);
+      benchmark::DoNotOptimize(served);
+    } else {
+      ordered = counts;
+      std::sort(ordered.begin(), ordered.end(),
+                [n](const EntityCount& a, const EntityCount& b) {
+                  uint64_t ca = a.count, cb = b.count;
+                  uint64_t ia = ca > n - ca ? 2 * ca - n : n - 2 * ca;
+                  uint64_t ib = cb > n - cb ? 2 * cb - n : n - 2 * cb;
+                  if (ia != ib) return ia < ib;
+                  return a.entity < b.entity;
+                });
+    }
+    benchmark::DoNotOptimize(ordered.data());
+  }
+  state.SetLabel(use_retained ? "retained" : "std::sort");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(counts.size()));
+}
+BENCHMARK(BM_OrderedEmit)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({8000, 0})
+    ->Args({8000, 1});
 
 void BM_Partition(benchmark::State& state) {
   SetCollection c = MakeCollection(static_cast<uint32_t>(state.range(0)));

@@ -11,15 +11,20 @@
 /// parent's counts were just computed. A DeltaCounter therefore retains the
 /// counts of the last view it counted, and when told that the next view is
 /// one half of a partition of that view, produces the child's counts by
-/// dense-counting only the *smaller* half (no sort, no list emission) and
-/// deriving the rest with one sequential pass over the parent's list.
+/// dense-counting only the *smaller* half of the partition — the kept view
+/// itself or the dropped sibling, whichever has fewer elements — and
+/// deriving the rest with one sequential pass over the parent's list
+/// (collection/count_kernels.h: GatherChild when the kept half was scanned,
+/// SubtractChild when the sibling was). Either way the derivation skips the
+/// touched-list sort and separate emission a recount pays, which is why it
+/// serves even for the ~even splits the 1-step selectors produce.
 ///
-/// Four paths, chosen per call:
+/// Four paths, chosen per call (CountChain::Classify plus the cost check):
 ///
 ///   * full     — the view is unknown: count it, retain, emit;
 ///   * delta    — the view is the expected child of the retained parent and
-///                dense-counting the dropped sibling plus one derivation
-///                pass is cheaper than rescanning the view: do that;
+///                scanning the smaller half plus one derivation pass is
+///                cheaper than rescanning the view: do that;
 ///   * seeded   — the caller already counted one half of the partition
 ///                (k-LP's lookahead counts both halves of the candidate it
 ///                chooses) and handed it to SeedChild: the child's counts
@@ -45,6 +50,19 @@
 /// mask sequences — not just growing ones — the invariant the randomized
 /// delta parity suite pins.
 ///
+/// Retained candidate ORDER (set_retain_order): alongside the counts, the
+/// counter can keep the same list sorted by (count, entity) and maintain it
+/// across the chain — repaired in place on a sibling-subtraction (only the
+/// entities the sibling touched move; untouched entities keep their relative
+/// order), rebuilt by an O(m + n) counting sort when the derivation rewrote
+/// every count (gather path, SeedChild) or the chain broke. From that list
+/// EmitMostEvenOrder produces the (imbalance, entity)-sorted candidate
+/// order k-LP's line 11 needs with a two-wing merge around the n/2 fold —
+/// byte-identical to std::sort with the comparator, at O(m) per emit and
+/// never an O(m log m) comparison sort on the serve path. Memory cost: one
+/// extra EntityCount (8 B) per retained candidate plus an O(n) bucket
+/// array, both freed by Release().
+///
 /// Who arms it: the discovery session reports each answer's partition via
 /// EntitySelector::NotePartition (service/discovery_session.cc), handing
 /// over the dropped half it would otherwise free. Anything that breaks the
@@ -56,25 +74,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "collection/count_chain.h"
 #include "collection/entity_counter.h"
 #include "collection/sub_collection.h"
 #include "collection/types.h"
 
 namespace setdisc {
-
-/// Where each CountInformative call was served. `full` seeds the state,
-/// `delta` covers the sibling-count derivations (including SeedChild
-/// handoffs), `reemits` are the count-free paths; invalidations count
-/// explicit resets (backtracks) plus chain breaks detected by the
-/// fingerprint check.
-struct DeltaCounterStats {
-  uint64_t full = 0;
-  uint64_t delta = 0;
-  uint64_t reemits = 0;
-  uint64_t invalidations = 0;
-
-  uint64_t total() const { return full + delta + reemits; }
-};
 
 /// A counting workspace that retains the last result for derivation.
 /// Drop-in for EntityCounter::CountInformative; not thread-safe.
@@ -90,12 +95,35 @@ class DeltaCounter {
   }
   bool enabled() const { return enabled_; }
 
+  /// Opts into maintaining the (count, entity)-sorted view of the retained
+  /// list for EmitMostEvenOrder. Off by default: the 1-step selectors scan
+  /// their candidates linearly and would pay the upkeep for nothing.
+  void set_retain_order(bool retain) {
+    retain_order_ = retain;
+    if (!retain) {
+      order_ = {};
+      order_state_ = OrderState::kStale;
+    }
+  }
+
   /// Appends to `out` every informative entity of `sub` with its count, in
   /// ascending entity-id order, skipping entities marked in `excluded` —
   /// byte-identical to EntityCounter::CountInformative — via whichever of
   /// the paths above is valid and cheapest.
   void CountInformative(const SubCollection& sub, std::vector<EntityCount>* out,
                         const EntityExclusion* excluded = nullptr);
+
+  /// Fills `out` with exactly the entries the last CountInformative for the
+  /// view with fingerprint `fp` (of size `n`) emitted, ordered by
+  /// (imbalance vs n, entity) — byte-identical to std::sort of that
+  /// emission under the same comparator. Serves from the retained order
+  /// (repairing or rebuilding it as needed) in O(m + n); returns false —
+  /// leaving `out` untouched — when order retention is off or the retained
+  /// state does not describe this (view, mask), in which case the caller
+  /// sorts for itself.
+  bool EmitMostEvenOrder(uint64_t fp, uint32_t n,
+                         const EntityExclusion* excluded,
+                         std::vector<EntityCount>* out);
 
   /// Declares that `kept` and `dropped` are the two halves of a partition of
   /// `parent`. If the retained counts describe `parent`, arms the delta path
@@ -122,8 +150,8 @@ class DeltaCounter {
   /// sharded k-LP selector) skip their own counting pass when this state
   /// already has the answer.
   bool CanReuse(uint64_t fingerprint, const EntityExclusion* excluded) const {
-    return enabled_ && valid_ && !pending_ && fingerprint == counted_fp_ &&
-           MaskStillCovers(excluded);
+    return enabled_ &&
+           chain_.Classify(fingerprint, excluded) == CountServe::kReemit;
   }
 
   /// Installs externally computed counts as the retained state for the view
@@ -143,9 +171,15 @@ class DeltaCounter {
   /// on parked sessions.
   void Release();
 
-  const DeltaCounterStats& stats() const { return stats_; }
+  const DeltaCounterStats& stats() const { return chain_.stats(); }
 
  private:
+  /// Lifecycle of the retained (count, entity)-sorted order relative to
+  /// retained_: in sync, out of sync with a pending one-step repair already
+  /// applied eagerly (repairs happen inside the derivation while the dense
+  /// scratch is live), or stale (rebuild from retained_ on next emit).
+  enum class OrderState : uint8_t { kStale, kValid };
+
   /// out = retained_, minus entities the (current) mask excludes. The
   /// retained list is informative by construction, so this is the whole
   /// emit filter.
@@ -153,57 +187,45 @@ class DeltaCounter {
                            const EntityExclusion* excluded,
                            std::vector<EntityCount>* out);
 
-  /// Serve gate: every entity the retention-time mask excluded must still
-  /// be excluded, or the retained list may be missing candidates the
-  /// current mask would admit. (Entities the current mask excludes *beyond*
-  /// the snapshot are handled by the emit filter.)
-  bool MaskStillCovers(const EntityExclusion* excluded) const {
-    for (EntityId e : retained_mask_) {
-      if (excluded == nullptr || e >= excluded->size() || !(*excluded)[e]) {
-        return false;
-      }
-    }
-    return true;
-  }
+  /// Repairs order_ after a sibling subtraction: entities with a zero dense
+  /// count kept their count (and relative order); the touched survivors are
+  /// re-sorted and merged back. Falls back to marking the order stale (the
+  /// counting-sort rebuild) when the touched set is large enough that its
+  /// sort would cost more than rebuilding — the "repair never loses to
+  /// re-sort" check.
+  void RepairOrderAfterSubtract(std::span<const uint32_t> dense, uint32_t n);
 
-  /// Snapshots the current mask's excluded ids alongside a fresh retention.
-  void SnapshotMask(const EntityExclusion* excluded) {
-    CopyMaskIds(excluded, &retained_mask_);
-  }
-
-  static void CopyMaskIds(const EntityExclusion* excluded,
-                          std::vector<EntityId>* out) {
-    if (excluded == nullptr) {
-      out->clear();
-    } else {
-      std::span<const EntityId> ids = excluded->excluded_ids();
-      out->assign(ids.begin(), ids.end());
-    }
-  }
+  /// Counting-sort rebuild of order_ from retained_ (counts are in
+  /// [1, n - 1]): O(m + n), stable, so entity order within a count group is
+  /// ascending — exactly std::sort by (count, entity).
+  void RebuildOrder(uint32_t n);
 
   EntityCounter counter_;
   bool enabled_ = true;
+  bool retain_order_ = false;
 
-  /// Retained state: the informative count list of the view with
-  /// fingerprint counted_fp_, filtered by the mask whose excluded ids are
-  /// snapshotted in retained_mask_; emits re-apply the current mask, and
-  /// the serve paths are gated on MaskStillCovers.
+  /// Retained state: the informative count list of the view the chain's
+  /// counted_fp describes, filtered by the mask snapshotted in the chain;
+  /// emits re-apply the current mask.
   std::vector<EntityCount> retained_;
-  std::vector<EntityId> retained_mask_;
+  /// retained_ sorted by (count, entity) when order_state_ == kValid.
+  std::vector<EntityCount> order_;
+  OrderState order_state_ = OrderState::kStale;
   /// The mask the last CountInformative/Adopt emitted under: what a
   /// SeedChild list (derived from that emitted output) is filtered by.
   std::vector<EntityId> last_emit_mask_;
-  uint64_t counted_fp_ = 0;
-  bool valid_ = false;
 
-  /// Armed derivation: the view with fingerprint expected_fp_ is the kept
-  /// half of a partition of the counted view; sibling_ is the dropped half.
+  /// The fingerprint-chain state machine (shared shape with ShardedCounter
+  /// and the weighted selectors; collection/count_chain.h).
+  CountChain chain_;
+  /// Armed derivation payload: the dropped half of the partition whose kept
+  /// half the chain expects next.
   SubCollection sibling_;
-  uint64_t expected_fp_ = 0;
-  bool pending_ = false;
 
   std::vector<EntityCount> scratch_;
-  DeltaCounterStats stats_;
+  std::vector<EntityCount> moved_;
+  std::vector<uint32_t> bucket_;
+  std::vector<EntityId> mask_scratch_;
 };
 
 }  // namespace setdisc

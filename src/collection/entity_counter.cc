@@ -2,22 +2,26 @@
 
 #include <algorithm>
 
+#include "collection/count_kernels.h"
+
 namespace setdisc {
 
 void EntityCounter::EnsureCapacity(EntityId universe) {
   if (counts_.size() < universe) counts_.resize(universe, 0);
+  // The kernel writes touched_[t] unconditionally, so the list needs room
+  // for every possibly-distinct entity up front PLUS one spare slot: once
+  // every entity has been touched, subsequent iterations keep overwriting
+  // the slot just past the live prefix.
+  if (touched_.size() < static_cast<size_t>(universe) + 1) {
+    touched_.resize(static_cast<size_t>(universe) + 1);
+  }
 }
 
 void EntityCounter::CountDense(const SubCollection& sub) {
   if (dense_live_) ClearDense();
   EnsureCapacity(sub.collection().universe_size());
-  touched_.clear();
-  for (SetId s : sub.ids()) {
-    for (EntityId e : sub.collection().set(s)) {
-      if (counts_[e] == 0) touched_.push_back(e);
-      ++counts_[e];
-    }
-  }
+  num_touched_ =
+      kernels::AccumulateCounts(sub, counts_.data(), touched_.data());
   dense_live_ = true;
 }
 
@@ -28,13 +32,8 @@ void EntityCounter::CountInformative(const SubCollection& sub,
   if (dense_live_) ClearDense();
   const EntityId universe = sub.collection().universe_size();
   EnsureCapacity(universe);
-  touched_.clear();
-  for (SetId s : sub.ids()) {
-    for (EntityId e : sub.collection().set(s)) {
-      if (counts_[e] == 0) touched_.push_back(e);
-      ++counts_[e];
-    }
-  }
+  num_touched_ =
+      kernels::AccumulateCounts(sub, counts_.data(), touched_.data());
   const uint32_t n = static_cast<uint32_t>(sub.size());
   // Ascending entity order keeps all downstream tie-breaking deterministic.
   // Two ways to get it: sort the touched list (O(t log t) — wins when few
@@ -42,8 +41,9 @@ void EntityCounter::CountInformative(const SubCollection& sub,
   // (O(m') sequential — wins when t approaches the universe, the usual
   // root-of-a-large-collection shape). Either way the scratch is cleared
   // entry-by-entry as it is read, never wholesale.
-  out->reserve(touched_.size());
-  if (DenseSweepIsCheaper(touched_.size(), universe)) {
+  out->reserve(num_touched_);
+  if (DenseSweepIsCheaper(num_touched_, universe)) {
+    num_touched_ = 0;
     for (EntityId e = 0; e < universe; ++e) {
       uint32_t c = counts_[e];
       if (c == 0) continue;
@@ -56,14 +56,16 @@ void EntityCounter::CountInformative(const SubCollection& sub,
     }
     return;
   }
-  std::sort(touched_.begin(), touched_.end());
-  for (EntityId e : touched_) {
+  std::sort(touched_.begin(), touched_.begin() + num_touched_);
+  for (size_t i = 0; i < num_touched_; ++i) {
+    const EntityId e = touched_[i];
     uint32_t c = counts_[e];
     counts_[e] = 0;
     if (c == 0 || c == n) continue;  // uninformative
     if (excluded != nullptr && e < excluded->size() && (*excluded)[e]) continue;
     out->push_back(EntityCount{e, c});
   }
+  num_touched_ = 0;
 }
 
 void EntityCounter::CountAll(const SubCollection& sub,
@@ -73,15 +75,11 @@ void EntityCounter::CountAll(const SubCollection& sub,
   if (dense_live_) ClearDense();
   const EntityId universe = sub.collection().universe_size();
   EnsureCapacity(universe);
-  touched_.clear();
-  for (SetId s : sub.ids()) {
-    for (EntityId e : sub.collection().set(s)) {
-      if (counts_[e] == 0) touched_.push_back(e);
-      ++counts_[e];
-    }
-  }
-  out->reserve(touched_.size());
-  if (DenseSweepIsCheaper(touched_.size(), universe)) {
+  num_touched_ =
+      kernels::AccumulateCounts(sub, counts_.data(), touched_.data());
+  out->reserve(num_touched_);
+  if (DenseSweepIsCheaper(num_touched_, universe)) {
+    num_touched_ = 0;
     for (EntityId e = 0; e < universe; ++e) {
       uint32_t c = counts_[e];
       if (c == 0) continue;
@@ -93,13 +91,15 @@ void EntityCounter::CountAll(const SubCollection& sub,
     }
     return;
   }
-  std::sort(touched_.begin(), touched_.end());
-  for (EntityId e : touched_) {
+  std::sort(touched_.begin(), touched_.begin() + num_touched_);
+  for (size_t i = 0; i < num_touched_; ++i) {
+    const EntityId e = touched_[i];
     uint32_t c = counts_[e];
     counts_[e] = 0;
     if (excluded != nullptr && e < excluded->size() && (*excluded)[e]) continue;
     out->push_back(EntityCount{e, c});
   }
+  num_touched_ = 0;
 }
 
 }  // namespace setdisc

@@ -10,8 +10,12 @@
 ///
 /// Implementation: a scratch array of counts indexed by EntityId plus a
 /// touched list, reused across calls, giving O(total elements of C) per pass
-/// with no hashing.
+/// with no hashing. The gather-increment itself is a flat, branchless kernel
+/// (collection/count_kernels.h): first-touch tracking is a conditional
+/// post-increment of the touched write index, not an if-push_back, so the
+/// hot loop carries only the counts[e]++ data dependence.
 
+#include <span>
 #include <vector>
 
 #include "collection/entity_exclusion.h"
@@ -92,6 +96,7 @@ class EntityCounter {
   void Release() {
     counts_ = {};
     touched_ = {};
+    num_touched_ = 0;
     dense_live_ = false;
   }
 
@@ -101,13 +106,16 @@ class EntityCounter {
   /// Zeroes a live CountDense residue (by touched list) so the scratch is
   /// all-zero again — the invariant every counting pass starts from.
   void ClearDense() {
-    for (EntityId e : touched_) counts_[e] = 0;
-    touched_.clear();
+    for (size_t i = 0; i < num_touched_; ++i) counts_[touched_[i]] = 0;
+    num_touched_ = 0;
     dense_live_ = false;
   }
 
   std::vector<uint32_t> counts_;
+  /// Kept at universe capacity so the branchless kernel can store
+  /// unconditionally; num_touched_ is the live prefix.
   std::vector<EntityId> touched_;
+  size_t num_touched_ = 0;
   bool dense_live_ = false;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "collection/count_kernels.h"
 #include "collection/fingerprint.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
@@ -210,25 +211,22 @@ void ShardedCounter::NotePartition(const ShardedSubCollection& parent,
                                    const ShardedSubCollection& kept,
                                    ShardedSubCollection dropped) {
   if (!delta_enabled_) return;
-  if (!valid_ || parent.Fingerprint() != counted_fp_) {
+  if (!chain_.Arm(parent.Fingerprint(), kept.Fingerprint())) {
     // This parent was never counted here (cache hit, fresh session).
-    Invalidate();
+    sibling_ = ShardedSubCollection();
     return;
   }
-  expected_fp_ = kept.Fingerprint();
   sibling_ = std::move(dropped);
-  pending_ = true;
 }
 
 void ShardedCounter::Invalidate() {
-  if (valid_ || pending_) ++stats_.invalidations;
-  valid_ = false;
-  pending_ = false;
+  chain_.Invalidate();
   sibling_ = ShardedSubCollection();
 }
 
 void ShardedCounter::Release() {
   Invalidate();
+  chain_.Release();
   for (EntityCounter& counter : counters_) counter.Release();
   partial_ = {};
   ranges_ = {};
@@ -252,36 +250,46 @@ void ShardedCounter::CountInformative(const ShardedSubCollection& sub,
   // and the exclusion mask are decided at merge time.
   const uint64_t fp = delta_enabled_ ? sub.Fingerprint() : 0;
   obs::PhaseTimer count_timer(obs::Phase::kCount);
-  if (delta_enabled_ && valid_ && !pending_ && fp == counted_fp_) {
+  const CountServe serve =
+      delta_enabled_ ? chain_.Classify(fp, excluded) : CountServe::kFull;
+  if (serve == CountServe::kReemit) {
     // Same view again (the don't-know loop): the retained counts ARE this
     // view's counts — swap them into the merge input, no counting at all.
     partial_.swap(prev_);
-    ++stats_.reemits;
+    chain_.CommitReemit();
     NoteShardedServe(obs::ServePath::kReemit);
-  } else if (delta_enabled_ && valid_ && pending_ && fp == expected_fp_) {
-    // Expected child: per shard, either subtract the dropped sibling's
-    // counts from the retained parent counts or rescan the kept half,
-    // whichever is locally cheaper (answers can skew differently per
-    // shard under hash partitioning).
+  } else if (serve == CountServe::kDelta) {
+    // Expected child: per shard, dense-count whichever LOCAL half of the
+    // partition is smaller — the kept shard view (GatherChild: read the
+    // child's counts off the dense array while walking the retained list)
+    // or the dropped sibling (SubtractChild) — and derive in place, or
+    // rescan the shard when even that loses (answers can skew differently
+    // per shard under hash partitioning). Every entity of either half
+    // appears in the retained (full, unfiltered) list, so nothing is
+    // missed; drop_full stays off because these are CountAll-semantics
+    // lists (informativeness is decided at merge time).
     if (prev_.size() < num_shards) prev_.resize(num_shards);
-    pending_ = false;
     auto derive_shard = [&](size_t k) {
       const SubCollection& kept_shard = sub.shard(k);
       const SubCollection& sib_shard = sibling_.shard(k);
-      const size_t delta_cost = sib_shard.TotalElements() + prev_[k].size();
-      if (delta_cost < kept_shard.TotalElements()) {
-        // Dense-count the dropped local half (no sort, no emission) and
-        // subtract it from the retained shard counts in one pass; every
-        // sibling entity appears in the retained (full) list.
-        counters_[k].CountDense(sib_shard);
-        std::span<const uint32_t> dense = counters_[k].dense();
-        partial_[k].clear();
-        partial_[k].reserve(prev_[k].size());
-        for (const EntityCount& pc : prev_[k]) {
-          uint32_t c = pc.count;
-          if (pc.entity < dense.size()) c -= dense[pc.entity];
-          if (c != 0) partial_[k].push_back(EntityCount{pc.entity, c});
-        }
+      const size_t m = prev_[k].size();
+      const size_t kept_cost = kept_shard.TotalElements();
+      const size_t sib_cost = sib_shard.TotalElements();
+      const size_t derive_cost = std::min(kept_cost, sib_cost) + m;
+      const size_t full_cost = kept_cost + 2 * std::min(kept_cost, m);
+      if (derive_cost < full_cost) {
+        counters_[k].CountDense(sib_cost < kept_cost ? sib_shard : kept_shard);
+        const std::span<const uint32_t> dense = counters_[k].dense();
+        const size_t w =
+            sib_cost < kept_cost
+                ? kernels::SubtractChild(prev_[k].data(), m, dense.data(),
+                                         dense.size(), /*n=*/0,
+                                         /*drop_full=*/false, prev_[k].data())
+                : kernels::GatherChild(prev_[k].data(), m, dense.data(),
+                                       dense.size(), /*n=*/0,
+                                       /*drop_full=*/false, prev_[k].data());
+        prev_[k].resize(w);
+        partial_[k].swap(prev_[k]);
       } else {
         counters_[k].CountAll(kept_shard, &partial_[k]);
       }
@@ -293,12 +301,11 @@ void ShardedCounter::CountInformative(const ShardedSubCollection& sub,
       for (size_t k = 0; k < num_shards; ++k) derive_shard(k);
     }
     sibling_ = ShardedSubCollection();
-    ++stats_.delta;
+    chain_.CommitDelta(fp);
     NoteShardedServe(obs::ServePath::kDelta);
   } else {
-    if (delta_enabled_ && pending_) {
-      ++stats_.invalidations;
-      pending_ = false;
+    if (delta_enabled_) {
+      chain_.ConsumePending(/*broken=*/true);
       sibling_ = ShardedSubCollection();
     }
     auto count_shard = [&](size_t k) {
@@ -310,12 +317,10 @@ void ShardedCounter::CountInformative(const ShardedSubCollection& sub,
     } else {
       for (size_t k = 0; k < num_shards; ++k) count_shard(k);
     }
-    ++stats_.full;
+    // The mask snapshot is intentionally nullptr: per-shard counts are
+    // unfiltered, so retention survives any mask change.
+    if (delta_enabled_) chain_.CommitFull(fp, /*excluded=*/nullptr);
     NoteShardedServe(obs::ServePath::kFull);
-  }
-  if (delta_enabled_) {
-    counted_fp_ = fp;
-    valid_ = true;
   }
 
   const uint32_t n = static_cast<uint32_t>(sub.size());

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "collection/count_chain.h"
 #include "collection/delta_counter.h"
 #include "collection/entity_counter.h"
 #include "collection/inverted_index.h"
@@ -200,13 +201,17 @@ class ShardedSubCollection {
 /// Differential counting (collection/delta_counter.h), per shard: the
 /// counter retains each shard's full counts of the last view it counted,
 /// and when NotePartition() reports that the next view is one half of a
-/// partition of that view, each shard derives its child counts by scanning
-/// only the smaller local half and subtracting — the same derivation the
-/// unsharded DeltaCounter does, applied before the sorted merge. The
-/// per-shard passes are unfiltered (CountAll without the mask); the
-/// informative test and the exclusion mask are applied at merge time, which
-/// both keeps the retained state valid across §6 mask growth and lets a
-/// same-view re-emit (the don't-know loop) skip counting entirely.
+/// partition of that view, each shard derives its child counts by
+/// dense-scanning only the smaller LOCAL half — the kept shard view
+/// (GatherChild) or the dropped local sibling (SubtractChild), decided per
+/// shard, since answers can skew differently per shard under hash
+/// partitioning — before the sorted merge. Each shard's own cost check
+/// compares the derivation against that shard's recount including its emit
+/// volume, so a sharded delta pass is never slower than recounting the
+/// shard. The per-shard passes are unfiltered (CountAll without the mask);
+/// the informative test and the exclusion mask are applied at merge time,
+/// which both keeps the retained state valid across §6 mask growth and
+/// lets a same-view re-emit (the don't-know loop) skip counting entirely.
 ///
 /// Owns one EntityCounter and two count buffers per shard, reused across
 /// every step of a session (clear-by-touched-list inside EntityCounter, no
@@ -248,7 +253,7 @@ class ShardedCounter {
   /// Invalidate() plus freeing all per-shard scratch and retained state.
   void Release();
 
-  const DeltaCounterStats& delta_stats() const { return stats_; }
+  const DeltaCounterStats& delta_stats() const { return chain_.stats(); }
 
  private:
   /// Merges `num_shards` per-shard partial lists restricted to entity ids in
@@ -262,17 +267,15 @@ class ShardedCounter {
   std::vector<std::vector<EntityCount>> partial_;  // per-shard full counts
   std::vector<std::vector<EntityCount>> ranges_;   // per-range merge outputs
 
-  /// Retained per-shard full counts of the view with fingerprint
-  /// counted_fp_ (swapped with partial_ after every pass), the armed
-  /// sibling view, and per-shard sibling-count scratch.
+  /// Retained per-shard full counts of the view the chain describes
+  /// (swapped with partial_ after every pass) and the armed sibling view.
+  /// The chain's mask snapshot stays empty on purpose: per-shard counts are
+  /// unfiltered, so retention is mask-independent and the serve gate always
+  /// passes.
   std::vector<std::vector<EntityCount>> prev_;
   ShardedSubCollection sibling_;
-  uint64_t counted_fp_ = 0;
-  uint64_t expected_fp_ = 0;
-  bool valid_ = false;
-  bool pending_ = false;
+  CountChain chain_;
   bool delta_enabled_ = true;
-  DeltaCounterStats stats_;
 };
 
 }  // namespace setdisc

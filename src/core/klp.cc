@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "collection/count_kernels.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -87,6 +88,10 @@ KlpOptions KlpOptions::MakeOptimal(CostMetric metric) {
 KlpSelector::KlpSelector(KlpOptions options) : options_(options) {
   SETDISC_CHECK(options_.k >= 1);
   delta_counter_.set_enabled(options_.enable_delta_counting);
+  // k-LP is the only selector that orders its candidates (line 11), so it is
+  // the only one that pays for keeping the retained list sorted across the
+  // chain — the 1-step selectors scan linearly and leave this off.
+  delta_counter_.set_retain_order(options_.sort_candidates);
   const char* metric_tag =
       options_.metric == CostMetric::kAvgDepth ? "AD" : "H";
   if (options_.k >= INT32_MAX / 4) {
@@ -215,27 +220,23 @@ void KlpSelector::MaterializeFromHint(const SubCollection& sub,
     hint.counter->CountDense(*hint.small);
     *hint.dense_valid = true;
   }
-  std::span<const uint32_t> dense = hint.counter->dense();
-  counts->clear();
-  counts->reserve(hint.parent_asc->size());
+  const std::span<const uint32_t> dense = hint.counter->dense();
+  const size_t m = hint.parent_asc->size();
+  counts->resize(m);
   // Entities uninformative at the parent (in all or none of its sets) are
   // uninformative in both children, and the exclusion mask is fixed for the
   // whole Select(), so walking the parent's informative list covers every
   // child candidate with every filter already applied except the child's
-  // own informative test.
-  if (&sub == hint.small) {
-    for (const EntityCount& pc : *hint.parent_asc) {
-      uint32_t c = pc.entity < dense.size() ? dense[pc.entity] : 0;
-      if (c != 0 && c != n) counts->push_back(EntityCount{pc.entity, c});
-    }
-    return;
-  }
-  // The larger half: counts = parent - smaller.
-  for (const EntityCount& pc : *hint.parent_asc) {
-    uint32_t c = pc.count;
-    if (pc.entity < dense.size()) c -= dense[pc.entity];
-    if (c != 0 && c != n) counts->push_back(EntityCount{pc.entity, c});
-  }
+  // own informative test — which is the kernels' drop_full filter.
+  const size_t w =
+      &sub == hint.small
+          ? kernels::GatherChild(hint.parent_asc->data(), m, dense.data(),
+                                 dense.size(), n, /*drop_full=*/true,
+                                 counts->data())
+          : kernels::SubtractChild(hint.parent_asc->data(), m, dense.data(),
+                                   dense.size(), n, /*drop_full=*/true,
+                                   counts->data());
+  counts->resize(w);
 }
 
 KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
@@ -350,13 +351,26 @@ KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
     // nodes sort too, but timing each would put clock reads on every
     // lookahead node.
     obs::PhaseTimer order_timer(obs::Phase::kOrder, /*armed=*/top);
-    std::sort(counts.begin(), counts.end(),
-              [n](const EntityCount& a, const EntityCount& b) {
-                uint64_t ia = Imbalance(a.count, n);
-                uint64_t ib = Imbalance(b.count, n);
-                if (ia != ib) return ia < ib;
-                return a.entity < b.entity;
-              });
+    // Top level first asks the delta counter for the order: the retained
+    // list it just served `counts` from stays (count, entity)-sorted across
+    // the chain (repaired per step, not re-sorted), and its wing merge
+    // emits this exact comparator's output in O(m). Falls back to the sort
+    // whenever the chain cannot serve (delta counting off, chain broken) —
+    // byte-identical either way, pinned by the ordering parity tests.
+    const bool served =
+        top && delta_children &&
+        delta_counter_.EmitMostEvenOrder(sub.Fingerprint(),
+                                         static_cast<uint32_t>(n), excluded,
+                                         &counts);
+    if (!served) {
+      std::sort(counts.begin(), counts.end(),
+                [n](const EntityCount& a, const EntityCount& b) {
+                  uint64_t ia = Imbalance(a.count, n);
+                  uint64_t ib = Imbalance(b.count, n);
+                  if (ia != ib) return ia < ib;
+                  return a.entity < b.entity;
+                });
+    }
   }
 
   size_t limit = counts.size();
@@ -457,12 +471,12 @@ KlpSelection KlpSelector::SelectImpl(const SubCollection& sub, int k,
         // takes the lead; ~one pass per step in the sorted-candidates
         // regime, where the leader rarely changes.
         if (delta_children && dense_valid) {
-          std::span<const uint32_t> dense = level.counter.dense();
-          best_small_counts_.clear();
-          for (const EntityCount& pc : level.asc) {
-            uint32_t c = pc.entity < dense.size() ? dense[pc.entity] : 0;
-            if (c != 0) best_small_counts_.push_back(EntityCount{pc.entity, c});
-          }
+          const std::span<const uint32_t> dense = level.counter.dense();
+          best_small_counts_.resize(level.asc.size());
+          const size_t w = kernels::GatherChild(
+              level.asc.data(), level.asc.size(), dense.data(), dense.size(),
+              /*n=*/0, /*drop_full=*/false, best_small_counts_.data());
+          best_small_counts_.resize(w);
           best_small_entity_ = e;
           best_small_is_in_ = child_hint.small == &c_in;
           best_small_valid_ = true;

@@ -1,6 +1,7 @@
 #include "core/selectors.h"
 
 #include <cmath>
+#include <limits>
 
 #include "obs/trace.h"
 
@@ -49,6 +50,37 @@ EntityId PickInfoGain(std::span<const EntityCount> counts, uint64_t n) {
   return best;
 }
 
+EntityId PickInfoGain(std::span<const EntityCount> counts, uint64_t n,
+                      std::vector<double>* split_table) {
+  // The memo only pays when candidates outnumber the O(n) sentinel reset —
+  // a vectorized fill, so a modest multiple is enough slack.
+  if (split_table == nullptr || n > counts.size() * 4) {
+    return PickInfoGain(counts, n);
+  }
+  std::vector<double>& table = *split_table;
+  table.assign(n, std::numeric_limits<double>::quiet_NaN());
+  EntityId best = kNoEntity;
+  double best_split_entropy = 0.0;
+  uint64_t best_imbalance = 0;
+  for (const EntityCount& ec : counts) {
+    double split = table[ec.count];
+    if (std::isnan(split)) {  // real scores are finite: c1, c2 >= 1
+      double c1 = static_cast<double>(ec.count);
+      double c2 = static_cast<double>(n - ec.count);
+      split = c1 * std::log2(c1) + c2 * std::log2(c2);
+      table[ec.count] = split;
+    }
+    uint64_t imb = Imbalance(ec.count, n);
+    if (best == kNoEntity || split < best_split_entropy - 1e-12 ||
+        (split < best_split_entropy + 1e-12 && imb < best_imbalance)) {
+      best = ec.entity;
+      best_split_entropy = split;
+      best_imbalance = imb;
+    }
+  }
+  return best;
+}
+
 EntityId PickIndistinguishablePairs(std::span<const EntityCount> counts,
                                     uint64_t n) {
   EntityId best = kNoEntity;
@@ -83,7 +115,7 @@ EntityId InfoGainSelector::Select(const SubCollection& sub,
   if (sub.size() < 2) return kNoEntity;
   counter_.CountInformative(sub, &counts_, excluded);
   obs::PhaseTimer order_timer(obs::Phase::kOrder);
-  return PickInfoGain(counts_, sub.size());
+  return PickInfoGain(counts_, sub.size(), &split_table_);
 }
 
 EntityId IndistinguishablePairsSelector::Select(const SubCollection& sub,

@@ -38,6 +38,17 @@ EntityId PickMostEven(std::span<const EntityCount> counts, uint64_t n);
 /// by the most even partition, then entity id. kNoEntity if empty.
 EntityId PickInfoGain(std::span<const EntityCount> counts, uint64_t n);
 
+/// PickInfoGain with a caller-owned memo table for the split score. The
+/// score depends only on (count, n), and counts repeat heavily on real
+/// collections, so the two log2 calls per candidate — the scoring pass's
+/// entire cost — collapse to one table fill per *distinct* count. The table
+/// is lazily filled per call (it is n-specific); entries hold the exact
+/// double the unmemoized loop computes, so decisions are byte-identical.
+/// Falls back to the plain loop when the O(n) table reset would cost more
+/// than it saves.
+EntityId PickInfoGain(std::span<const EntityCount> counts, uint64_t n,
+                      std::vector<double>* split_table);
+
 /// Minimum indistinguishable pairs (Eq. 10): minimizes C(|C1|,2) + C(|C2|,2);
 /// ties broken by the most even partition, then entity id. kNoEntity if
 /// empty.
@@ -92,6 +103,13 @@ class InfoGainSelector : public CountingSelector {
   EntityId Select(const SubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override;
   std::string_view name() const override { return "InfoGain"; }
+  void ReleaseMemory() override {
+    CountingSelector::ReleaseMemory();
+    split_table_ = {};
+  }
+
+ private:
+  std::vector<double> split_table_;
 };
 
 /// Picks the entity minimizing the number of indistinguishable pairs

@@ -13,7 +13,7 @@ EntityId ShardedInfoGainSelector::Select(const ShardedSubCollection& sub,
                                          const EntityExclusion* excluded) {
   if (sub.size() < 2) return kNoEntity;
   counter_.CountInformative(sub, &counts_, excluded, pool_);
-  return PickInfoGain(counts_, sub.size());
+  return PickInfoGain(counts_, sub.size(), &split_table_);
 }
 
 EntityId ShardedIndistinguishablePairsSelector::Select(

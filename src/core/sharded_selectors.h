@@ -132,6 +132,13 @@ class ShardedInfoGainSelector : public ShardedCountingSelector {
   EntityId Select(const ShardedSubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override;
   std::string_view name() const override { return "InfoGain"; }
+  void ReleaseMemory() override {
+    ShardedCountingSelector::ReleaseMemory();
+    split_table_ = {};
+  }
+
+ private:
+  std::vector<double> split_table_;
 };
 
 /// Sharded IndistinguishablePairs: per-shard count + merge, then

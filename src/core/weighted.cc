@@ -1,8 +1,10 @@
 #include "core/weighted.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace setdisc {
@@ -28,21 +30,40 @@ EntityId WeightedMostEvenSelector::Select(const SubCollection& sub,
   counter_.CountInformative(sub, &counts_, excluded);
   if (counts_.empty()) return kNoEntity;
 
+  // One dense pass accumulates every entity's contained mass. For a fixed
+  // entity the adds happen in ascending member order — the same sequence the
+  // per-candidate probe loop produced — so w_in is bit-identical and the
+  // epsilon tie-break below decides exactly as before.
+  obs::PhaseTimer order_timer(obs::Phase::kOrder);
+  const SetCollection& collection = sub.collection();
+  if (weight_stamp_.size() < collection.universe_size()) {
+    weight_stamp_.resize(collection.universe_size(), 0);
+    weight_acc_.resize(collection.universe_size(), 0.0);
+  }
+  if (++weight_epoch_ == 0) {  // stamp wrap-around: invalidate everything
+    std::fill(weight_stamp_.begin(), weight_stamp_.end(), 0u);
+    weight_epoch_ = 1;
+  }
+  const uint32_t epoch = weight_epoch_;
   double total = 0.0;
   for (SetId s : sub.ids()) {
-    total += s < weights_->size() ? (*weights_)[s] : 0.0;
+    const double w = s < weights_->size() ? (*weights_)[s] : 0.0;
+    total += w;
+    for (EntityId e : collection.set(s)) {
+      if (weight_stamp_[e] != epoch) {
+        weight_stamp_[e] = epoch;
+        weight_acc_[e] = w;  // == 0.0 + w: same double as the old loop's start
+      } else {
+        weight_acc_[e] += w;
+      }
+    }
   }
 
   EntityId best = kNoEntity;
   double best_gap = 0.0;
-  const SetCollection& collection = sub.collection();
   for (const EntityCount& ec : counts_) {
-    double w_in = 0.0;
-    for (SetId s : sub.ids()) {
-      if (collection.Contains(s, ec.entity)) {
-        w_in += s < weights_->size() ? (*weights_)[s] : 0.0;
-      }
-    }
+    const double w_in =
+        weight_stamp_[ec.entity] == epoch ? weight_acc_[ec.entity] : 0.0;
     double gap = std::fabs(2.0 * w_in - total);
     if (best == kNoEntity || gap < best_gap - 1e-12) {
       best = ec.entity;

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "collection/delta_counter.h"
 #include "core/decision_tree.h"
 #include "core/selector.h"
 
@@ -17,12 +18,28 @@ namespace setdisc {
 /// Picks the entity whose partition splits the candidates' total prior
 /// weight most evenly — the weighted generalization of §4.2.1's most-even
 /// strategy (and of 1-step lookahead, by the weighted analogue of Lemma 4.3).
+///
+/// Two costs per step, both kept off the quadratic path: the candidate list
+/// comes from a DeltaCounter (derived from the parent step's counts when the
+/// session reports partitions via NotePartition, like the unweighted
+/// selectors), and the per-candidate weight mass is accumulated in ONE dense
+/// pass over the view's sets instead of a membership probe per (candidate,
+/// set) pair. The weight pass is recomputed every step — prior mass is a
+/// double, and deriving child sums by subtraction would not be bit-identical
+/// to summing them fresh — but for any fixed entity the fresh sum adds the
+/// same weights in the same member order as the old probe loop, so decisions
+/// are unchanged.
 class WeightedMostEvenSelector : public EntitySelector {
  public:
   /// `weights` is indexed by SetId over the full collection; it must outlive
   /// the selector. Weights must be non-negative (not necessarily normalized).
-  explicit WeightedMostEvenSelector(const std::vector<double>* weights)
-      : weights_(weights) {}
+  /// `differential = false` pins the full-recount counting baseline (the
+  /// weighting pass is identical either way).
+  explicit WeightedMostEvenSelector(const std::vector<double>* weights,
+                                    bool differential = true)
+      : weights_(weights) {
+    counter_.set_enabled(differential);
+  }
 
   EntityId Select(const SubCollection& sub,
                   const EntityExclusion* excluded = nullptr) override;
@@ -31,10 +48,33 @@ class WeightedMostEvenSelector : public EntitySelector {
   /// The name doesn't encode the prior, but the decisions depend on it.
   uint64_t DecisionFingerprint() const override;
 
+  void NotePartition(const SubCollection& parent, EntityId e,
+                     bool kept_contains, const SubCollection& kept,
+                     SubCollection dropped) override {
+    (void)e;
+    (void)kept_contains;
+    counter_.NotePartition(parent, kept, std::move(dropped));
+  }
+  void InvalidateCountState() override { counter_.Invalidate(); }
+  void ReleaseMemory() override {
+    counter_.Release();
+    counts_ = {};
+    weight_acc_ = {};
+    weight_stamp_ = {};
+  }
+
+  /// Full/delta/re-emit breakdown of the counting passes so far.
+  const DeltaCounterStats& counting_stats() const { return counter_.stats(); }
+
  private:
   const std::vector<double>* weights_;
-  EntityCounter counter_;
+  DeltaCounter counter_;
   std::vector<EntityCount> counts_;
+  /// Dense per-entity weight accumulator, epoch-stamped so it never needs a
+  /// clear pass: a stale stamp reads as "no mass yet".
+  std::vector<double> weight_acc_;
+  std::vector<uint32_t> weight_stamp_;
+  uint32_t weight_epoch_ = 0;
 };
 
 /// Extends fingerprint `h` with a prior vector's bit patterns — the

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "collection/delta_counter.h"
 #include "collection/entity_counter.h"
 #include "collection/sub_collection.h"
 #include "core/cost.h"
@@ -43,6 +44,12 @@ struct WeightedKlpOptions {
   bool enable_early_break = true;
   bool enable_upper_limits = true;
   bool enable_memoization = true;
+
+  /// Serve the top-level counting pass differentially from the previous
+  /// step's retained counts (collection/delta_counter.h) when the session
+  /// reports partitions via NotePartition. Decision-neutral — counts are
+  /// exact on every path.
+  bool enable_delta_counting = true;
 
   /// Quantization target: the largest weight maps to this many integer
   /// units. Larger = finer prior resolution, smaller = more headroom.
@@ -88,6 +95,29 @@ class WeightedKlpSelector : public EntitySelector {
   /// Shannon lower bound LB0_w in weighted-total-depth units.
   Cost WeightedLb0(const SubCollection& sub) const;
 
+  /// Differential-counting hooks: the top-level counting pass (the only one
+  /// over the full candidate view, hence the dominant one) is served by a
+  /// DeltaCounter; the lookahead recursion's passes keep their own plain
+  /// counter, since they sweep sibling views that would break the chain.
+  void NotePartition(const SubCollection& parent, EntityId e,
+                     bool kept_contains, const SubCollection& kept,
+                     SubCollection dropped) override {
+    (void)e;
+    (void)kept_contains;
+    delta_counter_.NotePartition(parent, kept, std::move(dropped));
+  }
+  void InvalidateCountState() override { delta_counter_.Invalidate(); }
+  void ReleaseMemory() override;
+
+  /// Full/delta/re-emit breakdown of the top-level counting passes.
+  const DeltaCounterStats& counting_stats() const {
+    return delta_counter_.stats();
+  }
+
+  /// Drops the (ids, k) memo only — benches clear it between conversations
+  /// so the uncached counting cost is what gets measured.
+  void ClearCache() { cache_.clear(); }
+
  private:
   struct MemoKey {
     std::vector<SetId> ids;
@@ -106,14 +136,53 @@ class WeightedKlpSelector : public EntitySelector {
                                Cost upper_limit,
                                const EntityExclusion* excluded);
 
+  /// Fills `candidates` with per-entity split sums for every entry of
+  /// `counts`, via one dense epoch-stamped pass over the view's sets:
+  /// contained set count, contained quantized mass (integer — exact
+  /// regardless of accumulation order), and contained Σ qw·log2(qw). With
+  /// the view's own totals, those three numbers give both halves' sizes,
+  /// weights, and Shannon floors (Lb0FromSums) — so a candidate's 1-step
+  /// bound costs O(1), leaf nodes (k <= 1) never call Partition at all,
+  /// and interior nodes partition only candidates that survive the
+  /// early-break check.
+  struct Candidate {
+    EntityId entity;
+    uint32_t count;
+    Cost weight_in;
+    double qlog_in;
+  };
+  void WeighCandidates(const SubCollection& sub,
+                       const std::vector<EntityCount>& counts,
+                       std::vector<Candidate>* candidates);
+
+  /// Shannon floor from a view's weight sums: Σ qw·log2(W/qw) =
+  /// log2(W)·W − Σ qw·log2(qw), so a view's bound needs only its total
+  /// weight and its Σ qw·log2(qw) — both one-lookup-per-set accumulations
+  /// over the tables below, and both derivable for a partition's second
+  /// half by subtraction from the parent's sums.
+  static Cost Lb0FromSums(Cost total_weight, double qlog_sum);
+
   const std::vector<double>* weights_;
   WeightedKlpOptions options_;
   std::string name_;
   double quantization_scale_ = 1.0;
+  /// Per-set quantized weight and qw·log2(qw), fixed at construction (the
+  /// prior is immutable): the recursion's bound math never recomputes
+  /// llround or log2 per call.
+  std::vector<Cost> quantized_;
+  std::vector<double> weight_log_;
   EntityCounter counter_;
+  /// Top-level counting state; armed by NotePartition between steps.
+  DeltaCounter delta_counter_;
   std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> cache_;
   int depth_ = 0;
   std::vector<std::unique_ptr<std::vector<EntityCount>>> scratch_;
+  /// Dense per-entity accumulators for WeighCandidates (quantized mass and
+  /// qw·log2(qw) mass), epoch-stamped so they never need clearing.
+  std::vector<Cost> weight_acc_;
+  std::vector<double> qlog_acc_;
+  std::vector<uint32_t> weight_stamp_;
+  uint32_t weight_epoch_ = 0;
 };
 
 /// Unpruned exhaustive weighted k-step bound — the test reference for the

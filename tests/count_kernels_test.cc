@@ -1,0 +1,179 @@
+// Unit tests for the dense counting kernels (collection/count_kernels.h)
+// against scalar references. The kernels are branch-light so the compiler
+// can vectorize them — and, under SETDISC_KERNEL_MULTIARCH, clone them per
+// ISA — so this suite doubles as the parity check that whatever code path
+// the dispatcher picks on the build machine produces exactly the reference
+// output.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "collection/count_kernels.h"
+#include "collection/entity_counter.h"
+#include "collection/sub_collection.h"
+#include "collection/types.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+void CheckAccumulate(const SetCollection& c, const SubCollection& sub) {
+  std::vector<uint32_t> counts(c.universe_size(), 0);
+  // One slot of slack: the kernel's branchless touched-append keeps writing
+  // the slot past the last first-touch once every entity has been seen.
+  std::vector<EntityId> touched(c.universe_size() + 1, 0);
+  size_t t = kernels::AccumulateCounts(sub, counts.data(), touched.data());
+
+  std::vector<uint32_t> want_counts(c.universe_size(), 0);
+  std::vector<EntityId> want_touched;
+  for (SetId s : sub.ids()) {
+    for (EntityId e : c.set(s)) {
+      if (want_counts[e]++ == 0) want_touched.push_back(e);
+    }
+  }
+  EXPECT_EQ(counts, want_counts);
+  ASSERT_EQ(t, want_touched.size());
+  EXPECT_TRUE(
+      std::equal(want_touched.begin(), want_touched.end(), touched.begin()));
+}
+
+TEST(AccumulateCountsTest, CountsAndTouchedMatchReference) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    SetCollection c = RandomCollection(seed, 40, 30, 0.4);
+    CheckAccumulate(c, SubCollection::Full(&c));
+  }
+}
+
+TEST(AccumulateCountsTest, EveryUniverseEntityTouched) {
+  // The regime that needs the extra touched slot: once all universe entities
+  // have been seen, every further incidence re-targets the sink slot.
+  SetCollectionBuilder b;
+  std::vector<EntityId> all;
+  for (EntityId e = 0; e < 12; ++e) all.push_back(e);
+  for (int s = 0; s < 8; ++s) {
+    std::vector<EntityId> elems = all;
+    elems.erase(elems.begin() + s);  // keep sets distinct
+    b.AddSet(std::move(elems), "");
+  }
+  SetCollection c = b.Build();
+  CheckAccumulate(c, SubCollection::Full(&c));
+}
+
+// Reference for both child-derivation kernels.
+std::vector<EntityCount> ChildReference(const std::vector<EntityCount>& parent,
+                                        const std::vector<uint32_t>& dense,
+                                        uint32_t n, bool drop_full,
+                                        bool subtract) {
+  std::vector<EntityCount> out;
+  for (const EntityCount& pc : parent) {
+    uint32_t d = pc.entity < dense.size() ? dense[pc.entity] : 0;
+    uint32_t c = subtract ? pc.count - d : d;
+    if (c == 0) continue;
+    if (drop_full && c == n) continue;
+    out.push_back(EntityCount{pc.entity, c});
+  }
+  return out;
+}
+
+struct ChildCase {
+  std::vector<EntityCount> parent;
+  std::vector<uint32_t> dense;
+};
+
+ChildCase MakeChildCase(uint64_t seed, uint32_t universe, uint32_t n) {
+  Rng rng(seed);
+  ChildCase c;
+  c.dense.assign(universe, 0);
+  for (EntityId e = 0; e < universe; ++e) {
+    if (!rng.Bernoulli(0.7)) continue;
+    // Parent counts in [1, 2n]; dense child counts in [0, parent].
+    uint32_t pc = 1 + static_cast<uint32_t>(rng.Uniform(2 * n));
+    c.parent.push_back(EntityCount{e, pc});
+    c.dense[e] = static_cast<uint32_t>(rng.Uniform(pc + 1));
+  }
+  return c;
+}
+
+TEST(ChildKernelsTest, GatherAndSubtractMatchReference) {
+  for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+    const uint32_t n = 10;
+    ChildCase c = MakeChildCase(seed, /*universe=*/150, n);
+    for (bool drop_full : {false, true}) {
+      const uint32_t full = drop_full ? n : 0;
+      std::vector<EntityCount> got(c.parent.size());
+      size_t w = kernels::GatherChild(c.parent.data(), c.parent.size(),
+                                      c.dense.data(), c.dense.size(), n,
+                                      drop_full, got.data());
+      got.resize(w);
+      EXPECT_EQ(got, ChildReference(c.parent, c.dense, full, drop_full,
+                                    /*subtract=*/false))
+          << "gather, drop_full " << drop_full;
+
+      got.assign(c.parent.size(), EntityCount{});
+      w = kernels::SubtractChild(c.parent.data(), c.parent.size(),
+                                 c.dense.data(), c.dense.size(), n, drop_full,
+                                 got.data());
+      got.resize(w);
+      EXPECT_EQ(got, ChildReference(c.parent, c.dense, full, drop_full,
+                                    /*subtract=*/true))
+          << "subtract, drop_full " << drop_full;
+    }
+  }
+}
+
+TEST(ChildKernelsTest, InPlaceMatchesOutOfPlace) {
+  // Both kernels are documented in-place safe (out == parent): the write
+  // index never passes the read index.
+  for (uint64_t seed : {21u, 22u}) {
+    ChildCase c = MakeChildCase(seed, 150, 10);
+    for (bool subtract : {false, true}) {
+      std::vector<EntityCount> separate(c.parent.size());
+      size_t w_sep =
+          subtract ? kernels::SubtractChild(c.parent.data(), c.parent.size(),
+                                            c.dense.data(), c.dense.size(), 0,
+                                            false, separate.data())
+                   : kernels::GatherChild(c.parent.data(), c.parent.size(),
+                                          c.dense.data(), c.dense.size(), 0,
+                                          false, separate.data());
+      separate.resize(w_sep);
+
+      std::vector<EntityCount> inplace = c.parent;
+      size_t w_in =
+          subtract ? kernels::SubtractChild(inplace.data(), inplace.size(),
+                                            c.dense.data(), c.dense.size(), 0,
+                                            false, inplace.data())
+                   : kernels::GatherChild(inplace.data(), inplace.size(),
+                                          c.dense.data(), c.dense.size(), 0,
+                                          false, inplace.data());
+      inplace.resize(w_in);
+      EXPECT_EQ(inplace, separate) << "subtract " << subtract;
+    }
+  }
+}
+
+TEST(ChildKernelsTest, DenseShorterThanParentRangeReadsAsZero) {
+  // Entities at or past dense_size have no child occurrences by definition;
+  // the kernels must treat them as count 0, not read out of bounds.
+  std::vector<EntityCount> parent = {{2, 3}, {50, 4}, {90, 2}};
+  std::vector<uint32_t> dense(10, 0);
+  dense[2] = 1;
+  std::vector<EntityCount> got(parent.size());
+  size_t w = kernels::GatherChild(parent.data(), parent.size(), dense.data(),
+                                  dense.size(), 0, false, got.data());
+  got.resize(w);
+  EXPECT_EQ(got, (std::vector<EntityCount>{{2, 1}}));
+
+  got.assign(parent.size(), EntityCount{});
+  w = kernels::SubtractChild(parent.data(), parent.size(), dense.data(),
+                             dense.size(), 0, false, got.data());
+  got.resize(w);
+  EXPECT_EQ(got, (std::vector<EntityCount>{{2, 2}, {50, 4}, {90, 2}}));
+}
+
+}  // namespace
+}  // namespace setdisc

@@ -410,6 +410,157 @@ TEST(GallopingIntersectionTest, SkewedSeedsMatchBruteForce) {
 }
 
 // ---------------------------------------------------------------------------
+// Retained candidate ordering: EmitMostEvenOrder must be byte-identical to
+// std::sort of the same emission by (imbalance, entity), across chains whose
+// derivations repair the order in place, rebuild it, or re-emit it.
+
+uint64_t Imb(uint64_t c, uint64_t n) {
+  uint64_t other = n - c;
+  return c > other ? c - other : other - c;
+}
+
+std::vector<EntityCount> SortedByImbalance(std::vector<EntityCount> counts,
+                                           uint64_t n) {
+  std::sort(counts.begin(), counts.end(),
+            [n](const EntityCount& a, const EntityCount& b) {
+              uint64_t ia = Imb(a.count, n), ib = Imb(b.count, n);
+              if (ia != ib) return ia < ib;
+              return a.entity < b.entity;
+            });
+  return counts;
+}
+
+/// Random narrowing chain with order retention on: every step that counted
+/// must serve EmitMostEvenOrder, and the served order must equal the sorted
+/// emission exactly. Mixes don't-know re-emits (growing masks) in.
+void CheckOrderedChain(uint64_t seed, uint32_t n, uint32_t m, double density,
+                       bool with_exclusions) {
+  SetCollection c = RandomCollection(seed, n, m, density);
+  Rng rng(seed * 31 + 7);
+  DeltaCounter delta;
+  delta.set_retain_order(true);
+  EntityExclusion excluded;
+  std::vector<EntityCount> got, ordered;
+
+  SubCollection sub = SubCollection::Full(&c);
+  int guard = 0;
+  while (sub.size() >= 2 && guard++ < 200) {
+    const EntityExclusion* mask =
+        with_exclusions && !excluded.empty() ? &excluded : nullptr;
+    delta.CountInformative(sub, &got, mask);
+    ASSERT_TRUE(delta.EmitMostEvenOrder(sub.Fingerprint(),
+                                        static_cast<uint32_t>(sub.size()),
+                                        mask, &ordered));
+    ASSERT_EQ(ordered, SortedByImbalance(got, sub.size()))
+        << "seed " << seed << ", step " << guard;
+    if (got.empty()) break;
+
+    const EntityCount pick = got[rng.Uniform(got.size())];
+    if (with_exclusions && rng.Bernoulli(0.3)) {
+      excluded.Set(pick.entity);
+      continue;
+    }
+    auto [in, out] = sub.Partition(pick.entity, /*derive_fingerprints=*/true);
+    bool keep_in = rng.Bernoulli(0.5);
+    if (keep_in) {
+      delta.NotePartition(sub, in, std::move(out));
+      sub = std::move(in);
+    } else {
+      delta.NotePartition(sub, out, std::move(in));
+      sub = std::move(out);
+    }
+  }
+  EXPECT_GT(delta.stats().total(), 0u);
+}
+
+TEST(OrderedEmitTest, MatchesSortAcrossChains) {
+  for (uint64_t seed : {61u, 62u, 63u, 64u, 65u}) {
+    CheckOrderedChain(seed, 40, 30, 0.3, /*with_exclusions=*/false);
+  }
+}
+
+TEST(OrderedEmitTest, MatchesSortUnderGrowingMasks) {
+  for (uint64_t seed : {71u, 72u, 73u, 74u, 75u}) {
+    CheckOrderedChain(seed, 40, 30, 0.3, /*with_exclusions=*/true);
+  }
+}
+
+TEST(OrderedEmitTest, MatchesSortDense) {
+  // Dense collections → skewed splits → the subtraction path with its
+  // in-place order repair fires most steps.
+  for (uint64_t seed : {81u, 82u, 83u}) {
+    CheckOrderedChain(seed, 60, 16, 0.7, /*with_exclusions=*/false);
+  }
+}
+
+TEST(OrderedEmitTest, RefusesWhenStateDoesNotMatch) {
+  SetCollection c = RandomCollection(91, 32, 24, 0.3);
+  DeltaCounter delta;
+  delta.set_retain_order(true);
+  std::vector<EntityCount> got, ordered;
+  SubCollection sub = SubCollection::Full(&c);
+
+  // Nothing counted yet: nothing to serve.
+  EXPECT_FALSE(delta.EmitMostEvenOrder(
+      sub.Fingerprint(), static_cast<uint32_t>(sub.size()), nullptr, &ordered));
+
+  delta.CountInformative(sub, &got, nullptr);
+  // Wrong fingerprint (a different view).
+  EXPECT_FALSE(delta.EmitMostEvenOrder(
+      sub.Fingerprint() + 1, static_cast<uint32_t>(sub.size()), nullptr,
+      &ordered));
+  // Broken chain: a partition the counter was never told about.
+  auto [in, out] = sub.Partition(got.front().entity, true);
+  EXPECT_FALSE(delta.EmitMostEvenOrder(
+      in.Fingerprint(), static_cast<uint32_t>(in.size()), nullptr, &ordered));
+  // Retention off: never serves.
+  delta.set_retain_order(false);
+  EXPECT_FALSE(delta.EmitMostEvenOrder(
+      sub.Fingerprint(), static_cast<uint32_t>(sub.size()), nullptr, &ordered));
+  // And a full count after the break recovers the serveable state.
+  delta.set_retain_order(true);
+  delta.CountInformative(in, &got, nullptr);
+  EXPECT_TRUE(delta.EmitMostEvenOrder(
+      in.Fingerprint(), static_cast<uint32_t>(in.size()), nullptr, &ordered));
+  EXPECT_EQ(ordered, SortedByImbalance(got, in.size()));
+}
+
+TEST(OrderedEmitTest, SeededChildServesOrder) {
+  // The k-LP shape: SeedChild installs the child's counts, the next count is
+  // a re-emit, and the ordered emission must match the sort of that output.
+  SetCollection c = RandomCollection(95, 48, 20, 0.4);
+  for (bool keep_in : {true, false}) {
+    DeltaCounter delta;
+    delta.set_retain_order(true);
+    std::vector<EntityCount> parent_counts, got, ordered;
+    SubCollection sub = SubCollection::Full(&c);
+    delta.CountInformative(sub, &parent_counts, nullptr);
+    ASSERT_FALSE(parent_counts.empty());
+    EntityId e = parent_counts[parent_counts.size() / 2].entity;
+    auto [in, out] = sub.Partition(e, true);
+    const SubCollection& small = in.size() <= out.size() ? in : out;
+    std::vector<uint32_t> dense(c.universe_size(), 0);
+    for (SetId s : small.ids()) {
+      for (EntityId el : c.set(s)) ++dense[el];
+    }
+    std::vector<EntityCount> half;
+    for (const EntityCount& pc : parent_counts) {
+      if (dense[pc.entity] != 0) {
+        half.push_back(EntityCount{pc.entity, dense[pc.entity]});
+      }
+    }
+    const SubCollection& kept = keep_in ? in : out;
+    delta.SeedChild(sub, kept, half, /*half_is_kept=*/&small == &kept);
+    delta.CountInformative(kept, &got, nullptr);
+    ASSERT_TRUE(delta.EmitMostEvenOrder(kept.Fingerprint(),
+                                        static_cast<uint32_t>(kept.size()),
+                                        nullptr, &ordered));
+    EXPECT_EQ(ordered, SortedByImbalance(got, kept.size()))
+        << "keep_in " << keep_in;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // ShardedCounter: per-shard derivation parity against the unsharded counter.
 
 TEST(ShardedDeltaCounterTest, ChainMatchesUnshardedReference) {

@@ -20,6 +20,8 @@
 #include "core/klp.h"
 #include "core/selectors.h"
 #include "core/sharded_selectors.h"
+#include "core/weighted.h"
+#include "core/weighted_klp.h"
 #include "service/discovery_session.h"
 #include "service/selection_cache.h"
 #include "service/session_manager.h"
@@ -209,6 +211,67 @@ TEST(DeltaParityTest, ShardedDeltaMatchesUnshardedFull) {
         }
       }
     }
+  }
+}
+
+// The weighted selectors (§7 priors) carry the same differential hooks:
+// sessions driven with delta counting on must transcript-match sessions
+// with it pinned off, and the delta path must actually serve (the weighting
+// pass is identical either way; only the counting pass differs).
+TEST(WeightedDeltaParityTest, WeightedSelectorsMatchFullRecount) {
+  for (uint64_t seed : {801u, 802u}) {
+    SetCollection c = RandomCollection(seed, 24, 20, 0.3);
+    InvertedIndex idx(c);
+    Rng wrng(seed * 13);
+    std::vector<double> weights(c.num_sets());
+    for (double& w : weights) w = 0.05 + wrng.UniformDouble() * 2.0;
+
+    std::vector<DiscoveryOptions> configs(2);
+    configs[1].handle_dont_know = true;
+    const double dont_know_rates[] = {0.0, 0.3};
+
+    WeightedMostEvenSelector full_me(&weights, /*differential=*/false);
+    WeightedMostEvenSelector delta_me(&weights, /*differential=*/true);
+    WeightedKlpOptions wk_delta;
+    wk_delta.k = 2;
+    WeightedKlpOptions wk_full = wk_delta;
+    wk_full.enable_delta_counting = false;
+    WeightedKlpSelector full_klp(&weights, wk_full);
+    WeightedKlpSelector delta_klp(&weights, wk_delta);
+
+    struct Pair {
+      const char* label;
+      EntitySelector* full;
+      EntitySelector* delta;
+    };
+    for (const Pair& pair :
+         {Pair{"WeightedMostEven", &full_me, &delta_me},
+          Pair{"Weighted-2-LP", &full_klp, &delta_klp}}) {
+      for (size_t cfg = 0; cfg < configs.size(); ++cfg) {
+        SCOPED_TRACE(::testing::Message()
+                     << "seed " << seed << ", " << pair.label << ", cfg "
+                     << cfg);
+        for (SetId target = 0; target < c.num_sets(); target += 2) {
+          SCOPED_TRACE(::testing::Message() << "target " << target);
+          uint64_t oracle_seed = seed * 211 + target;
+          DiscoverySession full(c, idx, {}, *pair.full, configs[cfg]);
+          DiscoveryResult expected =
+              RunToCompletion(full, c, target, oracle_seed, 0.0,
+                              dont_know_rates[cfg]);
+          DiscoverySession delta(c, idx, {}, *pair.delta, configs[cfg]);
+          DiscoveryResult got =
+              RunToCompletion(delta, c, target, oracle_seed, 0.0,
+                              dont_know_rates[cfg]);
+          ExpectIdenticalResults(expected, got);
+        }
+      }
+    }
+    // Both delta-side selectors actually served derivations, and the pinned
+    // baselines never did.
+    EXPECT_GT(delta_me.counting_stats().delta, 0u);
+    EXPECT_GT(delta_klp.counting_stats().delta, 0u);
+    EXPECT_EQ(full_me.counting_stats().delta, 0u);
+    EXPECT_EQ(full_klp.counting_stats().delta, 0u);
   }
 }
 
