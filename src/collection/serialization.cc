@@ -41,6 +41,18 @@ Status LoadCollectionBinary(const std::string& path, SetCollection* out) {
   std::ifstream f(path, std::ios::binary);
   if (!f) return Status::IoError("cannot open for read: " + path);
 
+  // Account for every byte before allocating anything: the header's counts
+  // must agree with the file's actual size EXACTLY, so a truncated file, a
+  // garbage count (which would otherwise drive a giant vector resize), and
+  // trailing junk are all rejected up front with a clear error.
+  f.seekg(0, std::ios::end);
+  const std::streamoff file_size = f.tellg();
+  f.seekg(0, std::ios::beg);
+  constexpr std::streamoff kHeaderBytes = 4 * sizeof(uint64_t);
+  if (file_size < kHeaderBytes) {
+    return Status::Corruption("truncated header: " + path);
+  }
+
   uint64_t magic = 0, n = 0, m = 0, total = 0;
   f.read(reinterpret_cast<char*>(&magic), sizeof magic);
   f.read(reinterpret_cast<char*>(&n), sizeof n);
@@ -48,20 +60,45 @@ Status LoadCollectionBinary(const std::string& path, SetCollection* out) {
   f.read(reinterpret_cast<char*>(&total), sizeof total);
   if (!f || magic != kMagic) return Status::Corruption("bad header: " + path);
 
+  const uint64_t body = static_cast<uint64_t>(file_size - kHeaderBytes);
+  if (n > body / sizeof(uint64_t)) {
+    return Status::Corruption("set count exceeds file size: " + path);
+  }
+  const uint64_t elem_bytes = body - n * sizeof(uint64_t);
+  if (total > elem_bytes / sizeof(EntityId) ||
+      total * sizeof(EntityId) != elem_bytes) {
+    return Status::Corruption(
+        "declared sizes disagree with file size (truncated or trailing "
+        "bytes): " + path);
+  }
+
   SetCollectionBuilder builder;
-  size_t read_total = 0;
+  uint64_t remaining = total;
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t sz = 0;
     f.read(reinterpret_cast<char*>(&sz), sizeof sz);
     if (!f) return Status::Corruption("truncated set header: " + path);
+    // The per-set size is bounded by the element budget the header declared
+    // (and the budget was bounded by the file size above), so a corrupt
+    // interior length cannot over-allocate or over-read either.
+    if (sz > remaining) {
+      return Status::Corruption("set size exceeds declared total: " + path);
+    }
+    remaining -= sz;
     std::vector<EntityId> elems(sz);
     f.read(reinterpret_cast<char*>(elems.data()),
            static_cast<std::streamsize>(sz * sizeof(EntityId)));
     if (!f) return Status::Corruption("truncated set body: " + path);
-    read_total += sz;
+    for (EntityId e : elems) {
+      if (uint64_t{e} >= m) {
+        return Status::Corruption("entity id out of universe range: " + path);
+      }
+    }
     builder.AddSet(std::move(elems));
   }
-  if (read_total != total) return Status::Corruption("element count mismatch");
+  if (remaining != 0) {
+    return Status::Corruption("element count mismatch: " + path);
+  }
   *out = builder.Build();
   return Status::OK();
 }

@@ -141,7 +141,8 @@ std::string Encode(const CreateSessionMsg& msg) {
   // ever after a flags byte that announces them.
   const uint8_t flags = static_cast<uint8_t>((msg.enable_trace ? 0x01 : 0) |
                                              (msg.busy_capable ? 0x02 : 0) |
-                                             (msg.has_trace_id ? 0x04 : 0));
+                                             (msg.has_trace_id ? 0x04 : 0) |
+                                             (msg.want_token ? 0x08 : 0));
   if (flags != 0) w.PutU8(flags);
   if (msg.has_trace_id) {
     w.PutU64(msg.trace_hi);
@@ -175,6 +176,7 @@ bool Decode(std::string_view body, CreateSessionMsg* out) {
   out->has_trace_id = false;
   out->trace_hi = 0;
   out->trace_lo = 0;
+  out->want_token = false;
   if (r.remaining() > 0) {
     uint8_t flags = 0;
     if (!r.GetU8(&flags)) return false;
@@ -184,6 +186,7 @@ bool Decode(std::string_view body, CreateSessionMsg* out) {
     // without the bit are trailing garbage.
     out->enable_trace = (flags & 0x01) != 0;
     out->busy_capable = (flags & 0x02) != 0;
+    out->want_token = (flags & 0x08) != 0;
     const bool trace_bit = (flags & 0x04) != 0;
     if (trace_bit != (r.remaining() == 16)) return false;
     if (trace_bit) {
@@ -194,11 +197,44 @@ bool Decode(std::string_view body, CreateSessionMsg* out) {
   return r.Exhausted();
 }
 
+namespace {
+
+// The token trailer shared by every session-stepping request: nothing when
+// the message carries no token (byte-identical to the pre-token encoding),
+// [u8 flags = 0x01][u64 token] when it does.
+void PutTokenTrailer(PayloadWriter& w, bool has_token, uint64_t token) {
+  if (!has_token) return;
+  w.PutU8(0x01);
+  w.PutU64(token);
+}
+
+// Decodes the trailer at the reader's current position. Exactly zero or nine
+// bytes may remain; the flags byte's token bit and the eight token bytes
+// must agree (the bit without the bytes is truncation, the bytes without the
+// bit are garbage, and a lone flags byte is garbage too — the encoder never
+// emits one). Unknown flag bits alongside the token bit are tolerated for
+// the same reason the CreateSession flags byte tolerates them.
+bool GetTokenTrailer(PayloadReader& r, bool* has_token, uint64_t* token) {
+  *has_token = false;
+  *token = 0;
+  if (r.remaining() == 0) return true;
+  if (r.remaining() != 1 + sizeof(uint64_t)) return false;
+  uint8_t flags = 0;
+  if (!r.GetU8(&flags)) return false;
+  if ((flags & 0x01) == 0) return false;
+  if (!r.GetU64(token)) return false;
+  *has_token = true;
+  return r.Exhausted();
+}
+
+}  // namespace
+
 std::string Encode(const AnswerMsg& msg) {
   std::string body;
   PayloadWriter w(&body);
   w.PutU64(msg.session_id);
   w.PutU8(AnswerToWire(msg.answer));
+  PutTokenTrailer(w, msg.has_token, msg.token);
   return EncodeFrame(MsgType::kAnswer, body);
 }
 
@@ -207,6 +243,7 @@ bool Decode(std::string_view body, AnswerMsg* out) {
   uint8_t answer = 0;
   if (!r.GetU64(&out->session_id) || !r.GetU8(&answer)) return false;
   if (!AnswerFromWire(answer, &out->answer)) return false;
+  if (!GetTokenTrailer(r, &out->has_token, &out->token)) return false;
   return r.Exhausted();
 }
 
@@ -215,6 +252,7 @@ std::string Encode(const VerifyMsg& msg) {
   PayloadWriter w(&body);
   w.PutU64(msg.session_id);
   w.PutU8(msg.confirmed ? 1 : 0);
+  PutTokenTrailer(w, msg.has_token, msg.token);
   return EncodeFrame(MsgType::kVerify, body);
 }
 
@@ -224,6 +262,7 @@ bool Decode(std::string_view body, VerifyMsg* out) {
   if (!r.GetU64(&out->session_id) || !r.GetU8(&confirmed)) return false;
   if (confirmed > 1) return false;
   out->confirmed = confirmed != 0;
+  if (!GetTokenTrailer(r, &out->has_token, &out->token)) return false;
   return r.Exhausted();
 }
 
@@ -231,12 +270,28 @@ std::string Encode(MsgType type, const SessionRefMsg& msg) {
   std::string body;
   PayloadWriter w(&body);
   w.PutU64(msg.session_id);
+  PutTokenTrailer(w, msg.has_token, msg.token);
   return EncodeFrame(type, body);
 }
 
 bool Decode(std::string_view body, SessionRefMsg* out) {
   PayloadReader r(body);
   if (!r.GetU64(&out->session_id)) return false;
+  if (!GetTokenTrailer(r, &out->has_token, &out->token)) return false;
+  return r.Exhausted();
+}
+
+std::string Encode(const ResumeSessionMsg& msg) {
+  std::string body;
+  PayloadWriter w(&body);
+  w.PutU64(msg.session_id);
+  w.PutU64(msg.token);
+  return EncodeFrame(MsgType::kResumeSession, body);
+}
+
+bool Decode(std::string_view body, ResumeSessionMsg* out) {
+  PayloadReader r(body);
+  if (!r.GetU64(&out->session_id) || !r.GetU64(&out->token)) return false;
   return r.Exhausted();
 }
 
@@ -301,6 +356,9 @@ std::string Encode(const SessionStateMsg& msg) {
       w.PutU8(answer);
     }
   }
+  // Token trailer, only ever appended when the client asked (want_token):
+  // old decoders demand exact exhaustion and would reject the extra bytes.
+  PutTokenTrailer(w, msg.has_token, msg.token);
   return EncodeFrame(MsgType::kSessionState, body);
 }
 
@@ -344,7 +402,10 @@ bool Decode(std::string_view body, SessionStateMsg* out) {
         transcript_len > res.total_transcript) {
       return false;
     }
-    if (r.remaining() != size_t{transcript_len} * 5) return false;
+    if (r.remaining() != size_t{transcript_len} * 5 &&
+        r.remaining() != size_t{transcript_len} * 5 + 9) {
+      return false;
+    }
     res.transcript.reserve(transcript_len);
     for (uint32_t i = 0; i < transcript_len; ++i) {
       uint32_t entity = 0;
@@ -354,6 +415,7 @@ bool Decode(std::string_view body, SessionStateMsg* out) {
       res.transcript.emplace_back(entity, answer);
     }
   }
+  if (!GetTokenTrailer(r, &out->has_token, &out->token)) return false;
   return r.Exhausted();
 }
 
@@ -579,6 +641,9 @@ SessionStateMsg ToWire(const SessionView& view) {
   msg.question = view.question;
   msg.verify_set = view.verify_set;
   msg.questions_asked = static_cast<uint32_t>(view.questions_asked);
+  // The token is carried but not marked for the wire: only the server's
+  // Create path flips has_token, and only when the client set want_token.
+  msg.token = view.token;
   if (view.state == SessionState::kFinished) {
     const DiscoveryResult& res = view.result;
     msg.result.questions = static_cast<uint32_t>(res.questions);

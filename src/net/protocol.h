@@ -62,6 +62,7 @@ enum class MsgType : uint8_t {
   kCloseSession = 0x05,   ///< body: u64 session
   kStats = 0x06,          ///< body: empty
   kGetTrace = 0x07,       ///< body: u64 session
+  kResumeSession = 0x08,  ///< body: u64 session, u64 token (ResumeSessionMsg)
 
   // server -> client
   kSessionState = 0x81,  ///< body: SessionStateMsg
@@ -264,21 +265,48 @@ struct CreateSessionMsg {
   bool has_trace_id = false;
   uint64_t trace_hi = 0;
   uint64_t trace_lo = 0;
+  /// Flag bit 3: ask the server to mint a session auth token and return it
+  /// in the SessionState reply (trailing token section). Later requests on
+  /// the session must present it; a durability-enabled server accepts
+  /// kResumeSession only with the matching token. Rides in the existing
+  /// flags byte, so clients that never ask emit byte-identical frames.
+  bool want_token = false;
 };
 
+/// Per-message auth-token trailer: when `has_token` is set the encoder
+/// appends [u8 flags = 0x01][u64 token] after the fixed body. A tokenless
+/// message is byte-identical to the pre-token encoding, and decoders require
+/// the flag bit and the eight token bytes to agree — one without the other
+/// is malformed, so truncation anywhere is rejected rather than misread.
 struct AnswerMsg {
   uint64_t session_id = 0;
   Oracle::Answer answer = Oracle::Answer::kDontKnow;
+  bool has_token = false;
+  uint64_t token = 0;
 };
 
 struct VerifyMsg {
   uint64_t session_id = 0;
   bool confirmed = false;
+  bool has_token = false;
+  uint64_t token = 0;
 };
 
-/// GetSession / CloseSession / Closed all carry just the session id.
+/// GetSession / CloseSession / Closed all carry just the session id (plus
+/// the optional token trailer on requests to a token-protected session).
 struct SessionRefMsg {
   uint64_t session_id = 0;
+  bool has_token = false;
+  uint64_t token = 0;
+};
+
+/// kResumeSession: rebind a (possibly spilled or restart-survived) session
+/// to this connection and fetch its current state. The token must match the
+/// one minted at Create; a mismatch is answered kNotFound — indistinguishable
+/// from an unknown id, so the id space leaks nothing.
+struct ResumeSessionMsg {
+  uint64_t session_id = 0;
+  uint64_t token = 0;
 };
 
 struct ErrorMsg {
@@ -337,6 +365,12 @@ struct SessionStateMsg {
   SetId verify_set = kNoSet;       ///< valid in kAwaitingVerify
   uint32_t questions_asked = 0;
   WireResult result;               ///< populated iff state == kFinished
+  /// Auth token, delivered once in the Create reply when the client set
+  /// want_token. Same optional-trailing shape as the request-side token:
+  /// servers never append it unless the client asked, so old decoders — which
+  /// demand exact exhaustion — keep working.
+  bool has_token = false;
+  uint64_t token = 0;
 };
 
 /// Wire digest of one latency histogram: count, sum, and the standard
@@ -438,6 +472,7 @@ std::string Encode(const CreateSessionMsg& msg);
 std::string Encode(const AnswerMsg& msg);
 std::string Encode(const VerifyMsg& msg);
 std::string Encode(MsgType type, const SessionRefMsg& msg);
+std::string Encode(const ResumeSessionMsg& msg);
 std::string EncodeStatsRequest();
 std::string Encode(const ErrorMsg& msg);
 std::string Encode(const SessionStateMsg& msg);
@@ -450,6 +485,7 @@ bool Decode(std::string_view body, CreateSessionMsg* out);
 bool Decode(std::string_view body, AnswerMsg* out);
 bool Decode(std::string_view body, VerifyMsg* out);
 bool Decode(std::string_view body, SessionRefMsg* out);
+bool Decode(std::string_view body, ResumeSessionMsg* out);
 bool Decode(std::string_view body, ErrorMsg* out);
 bool Decode(std::string_view body, SessionStateMsg* out);
 /// Tolerates bodies longer than this build knows (a newer server's rich

@@ -629,7 +629,7 @@ struct LoopCtx {
       case MsgType::kCloseSession: {
         SessionRefMsg msg;
         if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
-        SessionStatus status = manager.Close(msg.session_id);
+        SessionStatus status = manager.Close(msg.session_id, msg.token);
         if (status == SessionStatus::kOk) {
           SendFrame(conn, Encode(MsgType::kClosed, msg));
         } else {
@@ -692,8 +692,12 @@ struct LoopCtx {
         }
         Offload(conn, "create", trace,
                 [mgr = &manager, msg = std::move(msg), trace]() mutable {
-                  return Encode(
-                      ToWire(mgr->Create(msg.initial, msg.enable_trace, trace)));
+                  SessionStateMsg reply = ToWire(mgr->Create(
+                      msg.initial, msg.enable_trace, trace, msg.want_token));
+                  // The token rides the wire exactly once — in this reply,
+                  // and only because the client opted in with want_token.
+                  reply.has_token = msg.want_token && reply.token != 0;
+                  return Encode(reply);
                 });
         return;
       }
@@ -703,7 +707,8 @@ struct LoopCtx {
         if (RefuseWhileDraining(conn)) return;
         Offload(conn, "answer", obs::TraceId{}, [mgr = &manager, msg] {
           SessionView view;
-          SessionStatus status = mgr->SubmitAnswer(msg.session_id, msg.answer, &view);
+          SessionStatus status =
+              mgr->SubmitAnswer(msg.session_id, msg.answer, &view, msg.token);
           return StepReply(status, view, "answer");
         });
         return;
@@ -714,7 +719,8 @@ struct LoopCtx {
         if (RefuseWhileDraining(conn)) return;
         Offload(conn, "verify", obs::TraceId{}, [mgr = &manager, msg] {
           SessionView view;
-          SessionStatus status = mgr->Verify(msg.session_id, msg.confirmed, &view);
+          SessionStatus status =
+              mgr->Verify(msg.session_id, msg.confirmed, &view, msg.token);
           return StepReply(status, view, "verify");
         });
         return;
@@ -725,8 +731,24 @@ struct LoopCtx {
         if (RefuseWhileDraining(conn)) return;
         Offload(conn, "get", obs::TraceId{}, [mgr = &manager, msg] {
           SessionView view;
-          SessionStatus status = mgr->Get(msg.session_id, &view);
+          SessionStatus status = mgr->Get(msg.session_id, &view, msg.token);
           return StepReply(status, view, "get");
+        });
+        return;
+      }
+      // Resume is Get by another name on the wire, but it reaches sessions a
+      // Get cannot: the manager consults its durable store on a miss and
+      // rehydrates spilled (or restart-survived) conversations. The token is
+      // mandatory in the message; a mismatch answers kNotFound, exactly like
+      // an unknown id, so probing ids leaks nothing.
+      case MsgType::kResumeSession: {
+        ResumeSessionMsg msg;
+        if (!Decode(frame.body, &msg)) return ProtocolError(conn, WireStatus::kMalformed);
+        if (RefuseWhileDraining(conn)) return;
+        Offload(conn, "resume", obs::TraceId{}, [mgr = &manager, msg] {
+          SessionView view;
+          SessionStatus status = mgr->Get(msg.session_id, &view, msg.token);
+          return StepReply(status, view, "resume");
         });
         return;
       }
@@ -739,7 +761,8 @@ struct LoopCtx {
         Offload(conn, "trace", obs::TraceId{}, [mgr = &manager, msg] {
           TraceReplyMsg reply;
           reply.session_id = msg.session_id;
-          SessionStatus status = mgr->GetTrace(msg.session_id, &reply.events);
+          SessionStatus status =
+              mgr->GetTrace(msg.session_id, &reply.events, msg.token);
           if (status != SessionStatus::kOk) {
             WireStatus wire = ToWireStatus(status);
             return Encode(ErrorMsg{

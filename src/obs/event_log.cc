@@ -28,6 +28,9 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kSessionEvicted: return "session_evicted";
     case FlightEventKind::kSessionError: return "session_error";
     case FlightEventKind::kSlowStep: return "slow_step";
+    case FlightEventKind::kSessionSpilled: return "session_spilled";
+    case FlightEventKind::kSessionResumed: return "session_resumed";
+    case FlightEventKind::kStoreDegraded: return "store_degraded";
     case FlightEventKind::kCustom: return "custom";
   }
   return "custom";

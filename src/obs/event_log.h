@@ -50,6 +50,9 @@ enum class FlightEventKind : uint8_t {
   kSessionEvicted,
   kSessionError,
   kSlowStep,
+  kSessionSpilled,   ///< evicted/reaped with its store record retained
+  kSessionResumed,   ///< rehydrated from the store (a=id, b=events replayed)
+  kStoreDegraded,    ///< session store hit an I/O error and stopped logging
   kCustom,
 };
 

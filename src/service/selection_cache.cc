@@ -139,6 +139,80 @@ size_t SelectionCache::size() const {
   return n;
 }
 
+namespace {
+
+// Cache snapshot file: CRC-framed records (durability.h), each holding a
+// bounded batch of entries — [u8 version][u32 n][n × (4×u64 key, u32
+// value)]. Batching keeps a torn tail from discarding the whole file: replay
+// keeps every intact batch.
+constexpr uint8_t kCacheSnapshotVersion = 1;
+constexpr size_t kEntriesPerRecord = 4096;
+
+}  // namespace
+
+Status SelectionCache::Save(const std::string& path, StoreFs* fs) const {
+  if (fs == nullptr) fs = StoreFs::Real();
+  std::string data;
+  std::string payload;
+  size_t in_payload = 0;
+  auto flush_payload = [&] {
+    if (in_payload == 0) return;
+    std::string framed_payload;
+    ByteWriter w(&framed_payload);
+    w.PutU8(kCacheSnapshotVersion);
+    w.PutU32(static_cast<uint32_t>(in_payload));
+    framed_payload.append(payload);
+    AppendRecord(&data, framed_payload);
+    payload.clear();
+    in_payload = 0;
+  };
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, slot_index] : shard.index) {
+      ByteWriter w(&payload);
+      w.PutU64(key.collection_fingerprint);
+      w.PutU64(key.sub_fingerprint);
+      w.PutU64(key.exclusion_fingerprint);
+      w.PutU64(key.selector_tag);
+      w.PutU32(shard.slots[slot_index].value);
+      if (++in_payload >= kEntriesPerRecord) flush_payload();
+    }
+  }
+  flush_payload();
+  return fs->WriteFileAtomic(path, data, /*sync=*/false);
+}
+
+Result<size_t> SelectionCache::Load(const std::string& path, StoreFs* fs) {
+  if (fs == nullptr) fs = StoreFs::Real();
+  if (!fs->FileExists(path)) return size_t{0};
+  Result<std::string> data = fs->ReadFile(path);
+  if (!data.ok()) return data.status();
+  size_t loaded = 0;
+  ScanRecords(data.value(), [&](std::string_view record) {
+    ByteReader r(record);
+    uint8_t version = 0;
+    uint32_t n = 0;
+    if (!r.GetU8(&version) || version != kCacheSnapshotVersion ||
+        !r.GetU32(&n)) {
+      return;
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      SelectionKey key;
+      EntityId value = kNoEntity;
+      if (!r.GetU64(&key.collection_fingerprint) ||
+          !r.GetU64(&key.sub_fingerprint) ||
+          !r.GetU64(&key.exclusion_fingerprint) ||
+          !r.GetU64(&key.selector_tag) || !r.GetU32(&value)) {
+        return;  // malformed interior; keep what decoded so far
+      }
+      Insert(key, value);
+      ++loaded;
+    }
+  });
+  return loaded;
+}
+
 void SelectionCache::Clear() {
   for (size_t i = 0; i < num_shards_; ++i) {
     Shard& shard = shards_[i];

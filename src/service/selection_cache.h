@@ -62,6 +62,8 @@
 #include "core/sharded_selectors.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "service/durability.h"
+#include "util/status.h"
 
 namespace setdisc {
 
@@ -144,6 +146,18 @@ class SelectionCache {
   }
 
   SelectionCacheStats stats() const;
+
+  /// Warm-start persistence: writes every live entry to `path` atomically
+  /// (CRC-framed, durability.h format). Keys embed the collection
+  /// fingerprint, so one file can safely hold entries for several
+  /// collections — stale ones are simply never hit. Safe to call while
+  /// other threads use the cache (per-shard snapshot).
+  Status Save(const std::string& path, StoreFs* fs = nullptr) const;
+
+  /// Re-inserts entries previously Save()d; returns how many were loaded.
+  /// Corrupt or torn files load their intact prefix (possibly zero entries)
+  /// — a warm start must never block serving. A missing file is OK with 0.
+  Result<size_t> Load(const std::string& path, StoreFs* fs = nullptr);
 
   /// Live entries across all shards.
   size_t size() const;

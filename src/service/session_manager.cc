@@ -1,6 +1,7 @@
 #include "service/session_manager.h"
 
 #include <algorithm>
+#include <random>
 #include <thread>
 #include <utility>
 
@@ -8,6 +9,16 @@
 #include "util/status.h"
 
 namespace setdisc {
+
+namespace {
+
+uint8_t EffortByte(int level) {
+  if (level < 0) return 0;
+  if (level > 255) return 255;
+  return static_cast<uint8_t>(level);
+}
+
+}  // namespace
 
 SessionManager::SessionManager(const SetCollection& collection,
                                const InvertedIndex& index,
@@ -30,6 +41,28 @@ SessionManager::SessionManager(const SetCollection& collection,
   } else {
     SETDISC_CHECK_MSG(options_.selector_factory != nullptr,
                       "SessionManagerOptions.selector_factory must be set");
+  }
+  store_ = options_.session_store;
+  // Content fingerprint only (not the shard configuration): transcripts are
+  // byte-identical across shard counts, so a record spilled under one K
+  // legitimately resumes under another.
+  store_fp_ = collection_.Fingerprint();
+  if (store_ != nullptr) {
+    // Never reissue a persisted id: a new session under a recycled id would
+    // be resumable as someone else's old conversation.
+    next_id_ = std::max(next_id_, store_->max_id() + 1);
+  }
+  {
+    // Tokens are secrets: seed from OS entropy, not a fixed constant.
+    std::random_device rd;
+    token_rng_ = Rng((uint64_t{rd()} << 32) ^ rd());
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    spilled_counter_ = reg.GetCounter("setdisc_sessions_spilled_total");
+    resumed_counter_ = reg.GetCounter("setdisc_sessions_resumed_total");
+    rehydrate_failed_counter_ =
+        reg.GetCounter("setdisc_sessions_rehydrate_failed_total");
   }
   size_t threads = options_.num_threads;
   if (threads == 0) {
@@ -92,30 +125,22 @@ void SessionManager::ReaperLoop(std::chrono::milliseconds interval) {
 }
 
 SessionView SessionManager::MakeView(SessionId id,
-                                     const DiscoveryEngine& session) {
+                                     const DiscoveryEngine& session,
+                                     uint64_t token) {
   SessionView view;
   view.id = id;
   view.state = session.state();
   view.question = session.NextQuestion();
   view.verify_set = session.PendingVerify();
   view.questions_asked = session.result().questions;
+  view.token = token;
   if (session.done()) view.result = session.result();
   return view;
 }
 
-SessionView SessionManager::Create(std::span<const EntityId> initial,
-                                   bool enable_trace,
-                                   obs::TraceId journey_trace) {
+std::shared_ptr<SessionManager::Entry> SessionManager::NewEntry(
+    std::span<const EntityId> initial, int effort, bool enable_trace) {
   auto entry = std::make_shared<Entry>();
-  // An enclosing request context (server pool job) may carry the id when
-  // the Create parameter doesn't — either way the session remembers it so
-  // the whole conversation shares one trace.
-  if (!journey_trace.valid()) {
-    if (const obs::JourneyContext* jc = obs::CurrentJourney()) {
-      journey_trace = jc->trace;
-    }
-  }
-  entry->journey_trace = journey_trace;
   // The initial Select() (inside the session constructors below) runs
   // outside the registry lock: it can be a real scan, and other sessions
   // must keep stepping meanwhile. (With the shared cache it is usually a
@@ -132,10 +157,9 @@ SessionView SessionManager::Create(std::span<const EntityId> initial,
     // The counting fan-out shares the step pool; ParallelFor callers help
     // drain their own items, so pool jobs stepping sessions stay safe.
     selector->set_pool(pool_.get());
-    // Pre-apply the current degradation level so the creation step's first
-    // Select() already runs at it (SetEffortSource below only covers
-    // subsequent steps).
-    const int effort = effort_level_.load(std::memory_order_relaxed);
+    // Pre-apply the requested level so the creation step's first Select()
+    // already runs at it (the effort source, attached later by the caller,
+    // only covers subsequent steps).
     if (effort != 0) selector->SetEffort(effort);
     entry->sharded_selector = std::move(selector);
     entry->session = std::make_unique<ShardedDiscoverySession>(
@@ -148,20 +172,36 @@ SessionView SessionManager::Create(std::span<const EntityId> initial,
       selector = std::make_unique<CachingSelector>(std::move(selector),
                                                    options_.selection_cache);
     }
-    const int effort = effort_level_.load(std::memory_order_relaxed);
     if (effort != 0) selector->SetEffort(effort);
     entry->selector = std::move(selector);
     entry->session = std::make_unique<DiscoverySession>(
         collection_, index_, initial, *entry->selector, options_.discovery);
   }
-  // Steps re-read the live level at entry; the cell outlives every session.
-  entry->session->SetEffortSource(&effort_level_);
-
   if (enable_trace) {
     // Attached after the constructor's first Select(), so the creation step
     // itself is not in the ring — documented on Create().
     entry->session->EnableTracing(std::max<size_t>(1, options_.trace_capacity));
   }
+  return entry;
+}
+
+SessionView SessionManager::Create(std::span<const EntityId> initial,
+                                   bool enable_trace,
+                                   obs::TraceId journey_trace,
+                                   bool issue_token) {
+  // An enclosing request context (server pool job) may carry the id when
+  // the Create parameter doesn't — either way the session remembers it so
+  // the whole conversation shares one trace.
+  if (!journey_trace.valid()) {
+    if (const obs::JourneyContext* jc = obs::CurrentJourney()) {
+      journey_trace = jc->trace;
+    }
+  }
+  const int create_effort = effort_level_.load(std::memory_order_relaxed);
+  std::shared_ptr<Entry> entry = NewEntry(initial, create_effort, enable_trace);
+  entry->journey_trace = journey_trace;
+  // Steps re-read the live level at entry; the cell outlives every session.
+  entry->session->SetEffortSource(&effort_level_);
 
   // Snapshot before publishing: ids are sequential and guessable, so the
   // moment the entry is in the registry another thread may lock entry->mu
@@ -180,6 +220,21 @@ SessionView SessionManager::Create(std::span<const EntityId> initial,
     }
     return view;
   }
+  if (store_ != nullptr) {
+    entry->record.collection_fingerprint = store_fp_;
+    entry->record.selector.assign(entry->selector != nullptr
+                                      ? entry->selector->name()
+                                      : entry->sharded_selector->name());
+    entry->record.options = options_.discovery;
+    entry->record.set_trace_enabled(enable_trace);
+    entry->record.create_effort = EffortByte(create_effort);
+    entry->record.initial.assign(initial.begin(), initial.end());
+  }
+  // Held across publication so the store sees the creation record before
+  // any concurrent step's update (ids are guessable; a racing step could
+  // otherwise journal first and be overwritten by a stale creation Put).
+  // Safe ordering: entry->mu -> registry_mu_ is never taken in reverse.
+  std::unique_lock<std::mutex> step_lock(entry->mu);
   {
     // With the background reaper on (the default), TTL reaping is NOT done
     // here: it runs on the reaper tick, keeping the Create critical path
@@ -194,17 +249,42 @@ SessionView SessionManager::Create(std::span<const EntityId> initial,
     if (options_.max_sessions > 0 &&
         sessions_.size() >= options_.max_sessions && !lru_.empty()) {
       // Evict the least recently touched session: the front of the LRU list,
-      // in O(1) — no scan.
+      // in O(1) — no scan. With a store configured this is a *spill*: the
+      // record stays on disk and the session is resumable.
       SessionId victim = lru_.front();
+      auto vit = sessions_.find(victim);
+      SETDISC_CHECK_MSG(vit != sessions_.end(), "LRU list out of sync");
+      const bool victim_finished =
+          vit->second->finished.load(std::memory_order_relaxed);
       lru_.pop_front();
-      sessions_.erase(victim);
+      sessions_.erase(vit);
       obs::FlightRecorder::Global().Record(
           obs::FlightEventKind::kSessionEvicted,
           static_cast<int64_t>(victim),
           static_cast<int64_t>(sessions_.size()));
+      if (store_ != nullptr) {
+        if (victim_finished) {
+          store_->Erase(victim);
+        } else {
+          if (spilled_counter_ != nullptr) spilled_counter_->Add();
+          obs::FlightRecorder::Global().Record(
+              obs::FlightEventKind::kSessionSpilled,
+              static_cast<int64_t>(victim));
+        }
+      }
     }
     view.id = next_id_++;
     ++num_created_;
+    if (issue_token) {
+      do {
+        entry->token = token_rng_();
+      } while (entry->token == 0);
+      view.token = entry->token;
+    }
+    if (store_ != nullptr) {
+      entry->record.id = view.id;
+      entry->record.token = entry->token;
+    }
     if (obs::JourneyContext* jc = obs::CurrentJourney()) {
       jc->session_id = view.id;
     }
@@ -213,8 +293,10 @@ SessionView SessionManager::Create(std::span<const EntityId> initial,
     // evict paths rely on list order == last_touched order.
     entry->last_touched = clock_->Now();
     entry->lru_it = lru_.insert(lru_.end(), view.id);
-    sessions_.emplace(view.id, std::move(entry));
+    sessions_.emplace(view.id, entry);
   }
+  if (store_ != nullptr) store_->Put(entry->record);
+  step_lock.unlock();
   return view;
 }
 
@@ -229,18 +311,156 @@ std::shared_ptr<SessionManager::Entry> SessionManager::Find(SessionId id) {
   return it->second;
 }
 
-SessionStatus SessionManager::Get(SessionId id, SessionView* view) {
-  auto entry = Find(id);
+std::shared_ptr<SessionManager::Entry> SessionManager::FindOrRehydrate(
+    SessionId id) {
+  std::shared_ptr<Entry> entry = Find(id);
+  if (entry != nullptr || store_ == nullptr || id == kNoSession) return entry;
+  return Rehydrate(id);
+}
+
+std::shared_ptr<SessionManager::Entry> SessionManager::Rehydrate(
+    SessionId id) {
+  SessionRecord rec;
+  if (!store_->Get(id, &rec)) return nullptr;
+  auto fail = [this](const char* why, SessionId sid) {
+    if (rehydrate_failed_counter_ != nullptr) rehydrate_failed_counter_->Add();
+    obs::FlightRecorder::Global().Record(obs::FlightEventKind::kSessionError,
+                                         static_cast<int64_t>(sid), 0, why);
+    return std::shared_ptr<Entry>();
+  };
+  if (rec.collection_fingerprint != store_fp_) {
+    return fail("rehydrate: collection mismatch", id);
+  }
+  // The record's discovery options must match ours: replay under different
+  // §6 semantics would diverge from the original conversation.
+  if (rec.options.max_questions != options_.discovery.max_questions ||
+      rec.options.handle_dont_know != options_.discovery.handle_dont_know ||
+      rec.options.verify_and_backtrack !=
+          options_.discovery.verify_and_backtrack ||
+      rec.options.max_backtracks != options_.discovery.max_backtracks) {
+    return fail("rehydrate: options mismatch", id);
+  }
+  std::shared_ptr<Entry> entry =
+      NewEntry(rec.initial, rec.create_effort, rec.trace_enabled());
+  const std::string_view selector_name = entry->selector != nullptr
+                                             ? entry->selector->name()
+                                             : entry->sharded_selector->name();
+  if (selector_name != rec.selector) {
+    return fail("rehydrate: selector mismatch", id);
+  }
+  // Replay the journal with the selector pinned to each event's recorded
+  // effort (no effort source yet, so manual SetEffort sticks — see
+  // DiscoveryEngine::SetEffortSource). A deterministic selector then
+  // reproduces the exact candidate narrowing, exclusions, and transcript.
+  int applied = rec.create_effort;
+  for (const SessionEvent& ev : rec.events) {
+    if (ev.effort != applied) {
+      if (entry->selector != nullptr) {
+        entry->selector->SetEffort(ev.effort);
+      } else {
+        entry->sharded_selector->SetEffort(ev.effort);
+      }
+      applied = ev.effort;
+    }
+    if (ev.kind == kEventAnswer) {
+      if (entry->session->state() != SessionState::kAwaitingAnswer ||
+          ev.value > static_cast<uint8_t>(Oracle::Answer::kDontKnow)) {
+        return fail("rehydrate: journal does not replay", id);
+      }
+      entry->session->SubmitAnswer(static_cast<Oracle::Answer>(ev.value));
+    } else {
+      if (entry->session->state() != SessionState::kAwaitingVerify) {
+        return fail("rehydrate: journal does not replay", id);
+      }
+      entry->session->Verify(ev.value != 0);
+    }
+  }
+  // Rejoin the live effort regime: pin the current level, then attach the
+  // source so future controller moves land like on any other session.
+  const int live = effort_level_.load(std::memory_order_relaxed);
+  if (live != applied) {
+    if (entry->selector != nullptr) {
+      entry->selector->SetEffort(live);
+    } else {
+      entry->sharded_selector->SetEffort(live);
+    }
+  }
+  entry->session->SetEffortSource(&effort_level_);
+  entry->token = rec.token;
+  entry->finished.store(entry->session->done(), std::memory_order_relaxed);
+  const size_t replayed = rec.events.size();
+  entry->record = std::move(rec);
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      // Lost a rehydration race: the winner's entry is live — use it and
+      // drop ours (identical by determinism, so nothing is lost).
+      it->second->last_touched = clock_->Now();
+      lru_.splice(lru_.end(), lru_, it->second->lru_it);
+      return it->second;
+    }
+    if (options_.max_sessions > 0 &&
+        sessions_.size() >= options_.max_sessions && !lru_.empty()) {
+      SessionId victim = lru_.front();
+      auto vit = sessions_.find(victim);
+      SETDISC_CHECK_MSG(vit != sessions_.end(), "LRU list out of sync");
+      const bool victim_finished =
+          vit->second->finished.load(std::memory_order_relaxed);
+      lru_.pop_front();
+      sessions_.erase(vit);
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventKind::kSessionEvicted,
+          static_cast<int64_t>(victim),
+          static_cast<int64_t>(sessions_.size()));
+      if (victim_finished) {
+        store_->Erase(victim);
+      } else {
+        if (spilled_counter_ != nullptr) spilled_counter_->Add();
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventKind::kSessionSpilled,
+            static_cast<int64_t>(victim));
+      }
+    }
+    entry->last_touched = clock_->Now();
+    entry->lru_it = lru_.insert(lru_.end(), id);
+    sessions_.emplace(id, entry);
+  }
+  if (resumed_counter_ != nullptr) resumed_counter_->Add();
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kSessionResumed,
+                                       static_cast<int64_t>(id),
+                                       static_cast<int64_t>(replayed));
+  return entry;
+}
+
+void SessionManager::JournalStepLocked(SessionId id, Entry& entry,
+                                       uint8_t kind, uint8_t value,
+                                       uint8_t effort) {
+  if (store_ == nullptr) return;
+  (void)id;
+  entry.record.events.push_back(SessionEvent{kind, value, effort});
+  store_->Put(entry.record);
+}
+
+SessionStatus SessionManager::Get(SessionId id, SessionView* view,
+                                  uint64_t token) {
+  auto entry = FindOrRehydrate(id);
   if (entry == nullptr) return SessionStatus::kNotFound;
+  if (entry->token != 0 && token != entry->token) {
+    return SessionStatus::kNotFound;
+  }
   std::lock_guard<std::mutex> lock(entry->mu);
-  if (view != nullptr) *view = MakeView(id, *entry->session);
+  if (view != nullptr) *view = MakeView(id, *entry->session, entry->token);
   return SessionStatus::kOk;
 }
 
 SessionStatus SessionManager::SubmitAnswer(SessionId id, Oracle::Answer answer,
-                                           SessionView* view) {
-  auto entry = Find(id);
+                                           SessionView* view, uint64_t token) {
+  auto entry = FindOrRehydrate(id);
   if (entry == nullptr) return SessionStatus::kNotFound;
+  if (entry->token != 0 && token != entry->token) {
+    return SessionStatus::kNotFound;
+  }
   std::lock_guard<std::mutex> lock(entry->mu);
   if (entry->session->state() != SessionState::kAwaitingAnswer) {
     return SessionStatus::kWrongState;
@@ -252,15 +472,27 @@ SessionStatus SessionManager::SubmitAnswer(SessionId id, Oracle::Answer answer,
     jc->session_id = id;
     if (!jc->trace.valid()) jc->trace = entry->journey_trace;
   }
+  // The level this step runs at (ApplyEffort re-reads the same cell at step
+  // entry), journaled so replay reproduces a degraded step degraded.
+  const uint8_t effort =
+      EffortByte(effort_level_.load(std::memory_order_relaxed));
   entry->session->SubmitAnswer(answer);
-  if (view != nullptr) *view = MakeView(id, *entry->session);
+  if (entry->session->done()) {
+    entry->finished.store(true, std::memory_order_relaxed);
+  }
+  JournalStepLocked(id, *entry, kEventAnswer, static_cast<uint8_t>(answer),
+                    effort);
+  if (view != nullptr) *view = MakeView(id, *entry->session, entry->token);
   return SessionStatus::kOk;
 }
 
 SessionStatus SessionManager::Verify(SessionId id, bool confirmed,
-                                     SessionView* view) {
-  auto entry = Find(id);
+                                     SessionView* view, uint64_t token) {
+  auto entry = FindOrRehydrate(id);
   if (entry == nullptr) return SessionStatus::kNotFound;
+  if (entry->token != 0 && token != entry->token) {
+    return SessionStatus::kNotFound;
+  }
   std::lock_guard<std::mutex> lock(entry->mu);
   if (entry->session->state() != SessionState::kAwaitingVerify) {
     return SessionStatus::kWrongState;
@@ -269,15 +501,25 @@ SessionStatus SessionManager::Verify(SessionId id, bool confirmed,
     jc->session_id = id;
     if (!jc->trace.valid()) jc->trace = entry->journey_trace;
   }
+  const uint8_t effort =
+      EffortByte(effort_level_.load(std::memory_order_relaxed));
   entry->session->Verify(confirmed);
-  if (view != nullptr) *view = MakeView(id, *entry->session);
+  if (entry->session->done()) {
+    entry->finished.store(true, std::memory_order_relaxed);
+  }
+  JournalStepLocked(id, *entry, kEventVerify, confirmed ? 1 : 0, effort);
+  if (view != nullptr) *view = MakeView(id, *entry->session, entry->token);
   return SessionStatus::kOk;
 }
 
 SessionStatus SessionManager::GetTrace(SessionId id,
-                                       std::vector<obs::TraceEvent>* out) {
-  auto entry = Find(id);
+                                       std::vector<obs::TraceEvent>* out,
+                                       uint64_t token) {
+  auto entry = FindOrRehydrate(id);
   if (entry == nullptr) return SessionStatus::kNotFound;
+  if (entry->token != 0 && token != entry->token) {
+    return SessionStatus::kNotFound;
+  }
   std::lock_guard<std::mutex> lock(entry->mu);
   const obs::TraceRing* ring = entry->session->trace();
   if (ring == nullptr) return SessionStatus::kWrongState;
@@ -286,10 +528,11 @@ SessionStatus SessionManager::GetTrace(SessionId id,
 }
 
 std::future<std::pair<SessionStatus, SessionView>>
-SessionManager::SubmitAnswerAsync(SessionId id, Oracle::Answer answer) {
-  return pool_->Submit([this, id, answer] {
+SessionManager::SubmitAnswerAsync(SessionId id, Oracle::Answer answer,
+                                  uint64_t token) {
+  return pool_->Submit([this, id, answer, token] {
     SessionView view;
-    SessionStatus status = SubmitAnswer(id, answer, &view);
+    SessionStatus status = SubmitAnswer(id, answer, &view, token);
     return std::make_pair(status, view);
   });
 }
@@ -302,21 +545,39 @@ SessionView SessionManager::Drive(SessionView view, Oracle& oracle) {
     SessionStatus status;
     if (view.state == SessionState::kAwaitingAnswer) {
       status = SubmitAnswer(view.id, oracle.AskMembership(view.question),
-                            &view);
+                            &view, view.token);
     } else {
-      status = Verify(view.id, oracle.ConfirmTarget(view.verify_set), &view);
+      status = Verify(view.id, oracle.ConfirmTarget(view.verify_set), &view,
+                      view.token);
     }
     if (status != SessionStatus::kOk) break;
   }
   return view;
 }
 
-SessionStatus SessionManager::Close(SessionId id) {
+SessionStatus SessionManager::Close(SessionId id, uint64_t token) {
   std::lock_guard<std::mutex> lock(registry_mu_);
   auto it = sessions_.find(id);
-  if (it == sessions_.end()) return SessionStatus::kNotFound;
+  if (it == sessions_.end()) {
+    // Not in memory — a spilled session is still closable (and closing is
+    // the only way its record is reclaimed before reap-of-finished).
+    if (store_ != nullptr) {
+      SessionRecord rec;
+      if (store_->Get(id, &rec) &&
+          rec.collection_fingerprint == store_fp_ &&
+          (rec.token == 0 || token == rec.token)) {
+        store_->Erase(id);
+        return SessionStatus::kOk;
+      }
+    }
+    return SessionStatus::kNotFound;
+  }
+  if (it->second->token != 0 && token != it->second->token) {
+    return SessionStatus::kNotFound;
+  }
   lru_.erase(it->second->lru_it);
   sessions_.erase(it);
+  if (store_ != nullptr) store_->Erase(id);
   return SessionStatus::kOk;
 }
 
@@ -333,9 +594,23 @@ size_t SessionManager::ReapOlderThanLocked(Clock::time_point cutoff) {
     auto it = sessions_.find(lru_.front());
     SETDISC_CHECK_MSG(it != sessions_.end(), "LRU list out of sync");
     if (it->second->last_touched >= cutoff) break;
+    const SessionId id = lru_.front();
+    const bool finished = it->second->finished.load(std::memory_order_relaxed);
     sessions_.erase(it);
     lru_.pop_front();
     ++reaped;
+    if (store_ != nullptr) {
+      if (finished) {
+        // A finished conversation has delivered (or abandoned) its result;
+        // reaping it reclaims the record too, so the store can't leak.
+        store_->Erase(id);
+      } else {
+        // Spill: the record stays, the conversation resumes on next touch.
+        if (spilled_counter_ != nullptr) spilled_counter_->Add();
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventKind::kSessionSpilled, static_cast<int64_t>(id));
+      }
+    }
   }
   return reaped;
 }

@@ -52,7 +52,9 @@
 #include "core/sharded_selectors.h"
 #include "service/discovery_session.h"
 #include "service/selection_cache.h"
+#include "service/session_store.h"
 #include "util/clock.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace setdisc {
@@ -69,6 +71,9 @@ struct SessionView {
   EntityId question = kNoEntity;  ///< pending entity in kAwaitingAnswer
   SetId verify_set = kNoSet;      ///< pending set in kAwaitingVerify
   int questions_asked = 0;
+  /// Session auth token (0 = none issued): returned once by Create when the
+  /// caller asked for one; later ops on the id must present it.
+  uint64_t token = 0;
   /// Populated once state == kFinished.
   DiscoveryResult result;
 };
@@ -173,6 +178,18 @@ struct SessionManagerOptions {
   /// SetEffortLevel() — normally driven by a LoadController — and reach
   /// every session, including pre-existing ones, at its next step.
   int initial_effort_level = 0;
+
+  /// Crash-safe session persistence (service/session_store.h). When set —
+  /// Open()ed by the caller, outliving the manager — every step appends the
+  /// session's replayable record to the store's WAL, LRU eviction and TTL
+  /// reaping *spill* (drop memory, keep the record), and a miss on any
+  /// session op consults the store and rehydrates by replaying the recorded
+  /// events through a fresh engine (byte-parity with a never-evicted
+  /// session; the selectors must be deterministic, same rule as the
+  /// selection cache). The manager also seeds its id counter past
+  /// store->max_id() so a restart never reissues a persisted id. nullptr =
+  /// the old RAM-only behavior.
+  SessionStore* session_store = nullptr;
 };
 
 /// The serving engine: create / step / verify / reap, all thread-safe.
@@ -208,30 +225,37 @@ class SessionManager {
   /// that arrived without an id (Answer/Verify don't carry one on the wire)
   /// inherit it, so a whole conversation's spans share one trace. Invalid
   /// (the default) stores nothing.
+  /// With `issue_token`, the session is protected by a random nonzero
+  /// 64-bit token (returned in the view); every later op on the id must
+  /// present it or gets kNotFound — same answer as a nonexistent id, so
+  /// token failures leak nothing about which ids are live.
   SessionView Create(std::span<const EntityId> initial,
                      bool enable_trace = false,
-                     obs::TraceId journey_trace = {});
+                     obs::TraceId journey_trace = {},
+                     bool issue_token = false);
 
   /// Current snapshot of a session (also refreshes its TTL).
-  SessionStatus Get(SessionId id, SessionView* view);
+  SessionStatus Get(SessionId id, SessionView* view, uint64_t token = 0);
 
   /// Answers the pending question of session `id` and advances it to the
   /// next question, a verification, or completion.
   SessionStatus SubmitAnswer(SessionId id, Oracle::Answer answer,
-                             SessionView* view);
+                             SessionView* view, uint64_t token = 0);
 
   /// Resolves the pending verification of session `id`.
-  SessionStatus Verify(SessionId id, bool confirmed, SessionView* view);
+  SessionStatus Verify(SessionId id, bool confirmed, SessionView* view,
+                       uint64_t token = 0);
 
   /// Copies the trace ring of session `id` into `*out`, oldest first.
   /// kWrongState if the session is live but was created without
   /// enable_trace.
-  SessionStatus GetTrace(SessionId id, std::vector<obs::TraceEvent>* out);
+  SessionStatus GetTrace(SessionId id, std::vector<obs::TraceEvent>* out,
+                         uint64_t token = 0);
 
   /// SubmitAnswer on the manager's thread pool: the re-selection (the CPU
   /// cost of a step) runs concurrently with other sessions' steps.
   std::future<std::pair<SessionStatus, SessionView>> SubmitAnswerAsync(
-      SessionId id, Oracle::Answer answer);
+      SessionId id, Oracle::Answer answer, uint64_t token = 0);
 
   /// Drives session `view` to completion with synchronous steps, answering
   /// from `oracle`. Returns the final view; its state is kFinished unless
@@ -239,8 +263,9 @@ class SessionManager {
   /// from pool jobs — it never blocks on a future.
   SessionView Drive(SessionView view, Oracle& oracle);
 
-  /// Closes a session explicitly. Returns kNotFound if it wasn't live.
-  SessionStatus Close(SessionId id);
+  /// Closes a session explicitly (and erases its store record, so a closed
+  /// conversation cannot be resumed). Returns kNotFound if it wasn't live.
+  SessionStatus Close(SessionId id, uint64_t token = 0);
 
   /// Drops every session idle longer than the TTL; returns how many. Also
   /// runs the shrink-on-idle pass when release_scratch_after is set.
@@ -321,15 +346,46 @@ class SessionManager {
     /// Request-journey trace id this conversation was created under
     /// (invalid if none). Written once in Create, read-only afterwards.
     obs::TraceId journey_trace;
+    /// Session auth token (0 = unprotected). Written once before
+    /// publication, read-only afterwards.
+    uint64_t token = 0;
+    /// True once the session reached kFinished (written under mu, read by
+    /// the eviction/reap paths that only hold registry_mu_ — hence atomic).
+    std::atomic<bool> finished{false};
+    /// The replayable journal persisted to the session store: creation
+    /// inputs plus every applied event. Guarded by mu; empty/unused when no
+    /// store is configured.
+    SessionRecord record;
   };
 
   std::shared_ptr<Entry> Find(SessionId id);
+  /// Find, falling back to store rehydration on a miss (no-op without a
+  /// store). All session ops go through this.
+  std::shared_ptr<Entry> FindOrRehydrate(SessionId id);
+  /// Rebuilds a session from its store record by replaying the journal
+  /// through a fresh engine; returns the registered entry, or nullptr when
+  /// the record is missing, for another collection/selector, or fails to
+  /// replay cleanly. Thread-safe; a racing rehydration of the same id
+  /// resolves second-wins (the loser's rebuild is dropped).
+  std::shared_ptr<Entry> Rehydrate(SessionId id);
+  /// Builds a not-yet-registered entry: selector (cache-wrapped, effort
+  /// pre-applied), session over `initial`, optional tracing. The creation
+  /// Select runs here, outside any lock. Does NOT attach the live effort
+  /// source — Create/Rehydrate do that once the entry's selector is at the
+  /// right level.
+  std::shared_ptr<Entry> NewEntry(std::span<const EntityId> initial,
+                                  int effort, bool enable_trace);
+  /// Journals one applied event and persists the record (store configured
+  /// only). Requires the entry mutex.
+  void JournalStepLocked(SessionId id, Entry& entry, uint8_t kind,
+                         uint8_t value, uint8_t effort);
   size_t ReapExpiredLocked();  // requires registry_mu_
   /// Drops the LRU prefix last touched before `cutoff`; requires
   /// registry_mu_. Shared tail of TTL reaping and pressure eviction.
   size_t ReapOlderThanLocked(Clock::time_point cutoff);
   void ReaperLoop(std::chrono::milliseconds interval);
-  static SessionView MakeView(SessionId id, const DiscoveryEngine& session);
+  static SessionView MakeView(SessionId id, const DiscoveryEngine& session,
+                              uint64_t token = 0);
 
   const SetCollection& collection_;
   const InvertedIndex& index_;
@@ -351,6 +407,22 @@ class SessionManager {
   std::list<SessionId> lru_;
   SessionId next_id_ = 1;
   uint64_t num_created_ = 0;
+
+  /// Shortcut for options_.session_store (may be null).
+  SessionStore* store_ = nullptr;
+  /// Collection identity persisted in every record: the *content*
+  /// fingerprint (SetCollection::Fingerprint()), deliberately not folded
+  /// with the shard configuration — transcripts are byte-identical across
+  /// shard counts, so a session spilled under K=4 legitimately resumes
+  /// under K=1.
+  uint64_t store_fp_ = 0;
+  /// Token minting; guarded by registry_mu_, seeded from the OS entropy
+  /// pool at construction.
+  Rng token_rng_{0};
+  /// Durability counters (null when obs was disabled at construction).
+  obs::Counter* spilled_counter_ = nullptr;
+  obs::Counter* resumed_counter_ = nullptr;
+  obs::Counter* rehydrate_failed_counter_ = nullptr;
 
   // Background TTL reaper (only started when background_reap && ttl > 0).
   std::mutex reaper_mu_;

@@ -1,0 +1,415 @@
+// Crash-recovery tests for the durability tier, in two layers:
+//
+//  * In-process: a real DiscoveryServer over a store-backed SessionManager is
+//    torn down mid-conversation and rebuilt over the same spill directory —
+//    the restarted stack must serve ResumeSession for every session, enforce
+//    tokens, and finish every conversation with the transcript an
+//    uninterrupted run produces. A torn WAL tail (garbage appended by the
+//    test, as a crash mid-append would leave) must be discarded silently.
+//
+//  * Out-of-process: a REAL setdisc_cli --serve child is SIGKILLed at
+//    randomized points — including with an RPC in flight — restarted on the
+//    same port and spill dir, and every conversation resumed by token and
+//    driven to its correct target: prefix-consistent, zero wrong answers.
+//    Needs the CLI binary; ctest exports SETDISC_CLI, standalone runs skip.
+//
+// Machine-crash (power-loss) durability is out of scope here: the store's
+// default fsync=off policy defends against process death, where written but
+// unsynced pages survive in the page cache.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/discovery.h"
+#include "core/selectors.h"
+#include "collection/serialization.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/session_manager.h"
+#include "service/session_store.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace setdisc::net {
+namespace {
+
+using namespace setdisc::testing;
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "setdisc_crash_" + tag + "_" +
+                    std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// In-process restart of the full serving stack
+// ---------------------------------------------------------------------------
+
+// The serving stack as one bundle so a test can "crash" it (destroy
+// everything but the spill directory) and boot a replacement.
+struct Stack {
+  std::unique_ptr<SessionStore> store;
+  std::unique_ptr<SessionManager> manager;
+  std::unique_ptr<DiscoveryServer> server;
+
+  static std::unique_ptr<Stack> Boot(const SetCollection& c,
+                                     const InvertedIndex& idx,
+                                     const std::string& dir) {
+    auto stack = std::make_unique<Stack>();
+    SessionStoreOptions sopt;
+    sopt.dir = dir;
+    stack->store = std::make_unique<SessionStore>(sopt);
+    EXPECT_TRUE(stack->store->Open(c.Fingerprint()).ok());
+    SessionManagerOptions mopt;
+    mopt.selector_factory = [] { return std::make_unique<MostEvenSelector>(); };
+    mopt.num_threads = 4;
+    mopt.background_reap = false;
+    mopt.session_store = stack->store.get();
+    stack->manager = std::make_unique<SessionManager>(c, idx, mopt);
+    stack->server = std::make_unique<DiscoveryServer>(*stack->manager);
+    EXPECT_TRUE(stack->server->Start().ok());
+    return stack;
+  }
+};
+
+// Steps a remote conversation once; returns false when it is finished.
+bool RemoteStepOnce(DiscoveryClient& client, uint64_t id, uint64_t token,
+                    SimulatedOracle& oracle, SessionStateMsg* state) {
+  if (state->state == SessionState::kFinished) return false;
+  Status s;
+  if (state->state == SessionState::kAwaitingAnswer) {
+    s = client.Answer(id, oracle.AskMembership(state->question), state);
+  } else {
+    s = client.Verify(id, oracle.ConfirmTarget(state->verify_set), state);
+  }
+  EXPECT_TRUE(s.ok()) << s.message();
+  return s.ok() && state->state != SessionState::kFinished;
+}
+
+struct Conversation {
+  uint64_t id = 0;
+  uint64_t token = 0;
+  SetId target = 0;
+  uint32_t asked = 0;
+  SessionStateMsg state;
+  std::unique_ptr<SimulatedOracle> oracle;
+};
+
+void CheckInProcessRestart(bool tear_wal_tail) {
+  SetCollection c = MakePaperCollection();
+  InvertedIndex idx(c);
+  const std::string dir = FreshDir(tear_wal_tail ? "torn" : "plain");
+
+  // Uninterrupted reference transcripts.
+  std::vector<DiscoveryResult> want;
+  {
+    for (SetId target = 0; target < c.num_sets(); ++target) {
+      SimulatedOracle oracle(&c, target, 0.0, 0.0, 1);
+      MostEvenSelector sel;
+      want.push_back(Discover(c, idx, {}, sel, oracle));
+    }
+  }
+
+  std::vector<Conversation> convs;
+  {
+    auto stack = Stack::Boot(c, idx, dir);
+    DiscoveryClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", stack->server->port()).ok());
+    for (SetId target = 0; target < c.num_sets(); ++target) {
+      Conversation conv;
+      conv.target = target;
+      conv.oracle = std::make_unique<SimulatedOracle>(&c, target, 0.0, 0.0, 1);
+      ASSERT_TRUE(client.CreateSession({}, &conv.state).ok());
+      conv.id = conv.state.session_id;
+      conv.token = client.session_token(conv.id);
+      ASSERT_NE(conv.token, 0u) << "server did not issue a token";
+      // Partially drive: (target % 3) answers, then "crash".
+      for (SetId step = 0; step < target % 3; ++step) {
+        if (!RemoteStepOnce(client, conv.id, conv.token, *conv.oracle,
+                            &conv.state)) {
+          break;
+        }
+      }
+      conv.asked = conv.state.questions_asked;
+      convs.push_back(std::move(conv));
+    }
+    // Destroying the stack without checkpoint or drain: the WAL is the only
+    // survivor, exactly as after a kill.
+  }
+
+  if (tear_wal_tail) {
+    std::ofstream f(dir + "/sessions.wal", std::ios::binary | std::ios::app);
+    f.write("\x7f\x00\x00\x00garbage-torn-tail", 21);
+  }
+
+  auto stack = Stack::Boot(c, idx, dir);
+  DiscoveryClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack->server->port()).ok());
+
+  for (Conversation& conv : convs) {
+    // Token enforcement across restart: a wrong token answers exactly like
+    // an unknown id.
+    SessionStateMsg probe;
+    Status bad = client.ResumeSession(conv.id, &probe, conv.token ^ 1);
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(client.last_status(), WireStatus::kNotFound);
+
+    ASSERT_TRUE(client.ResumeSession(conv.id, &conv.state, conv.token).ok())
+        << "session " << conv.id << " did not survive the restart";
+    EXPECT_EQ(conv.state.questions_asked, conv.asked)
+        << "resumed session lost or replayed steps";
+    int guard = 0;
+    while (RemoteStepOnce(client, conv.id, conv.token, *conv.oracle,
+                          &conv.state)) {
+      ASSERT_LT(guard++, 10000);
+    }
+    ASSERT_EQ(conv.state.state, SessionState::kFinished);
+    const DiscoveryResult& ref = want[conv.target];
+    ASSERT_EQ(conv.state.result.candidates.size(), ref.candidates.size());
+    EXPECT_EQ(conv.state.result.candidates,
+              std::vector<SetId>(ref.candidates.begin(), ref.candidates.end()));
+    EXPECT_EQ(conv.state.result.questions,
+              static_cast<uint32_t>(ref.questions));
+    ASSERT_EQ(conv.state.result.transcript.size(), ref.transcript.size());
+    for (size_t i = 0; i < ref.transcript.size(); ++i) {
+      EXPECT_EQ(conv.state.result.transcript[i].first,
+                ref.transcript[i].first)
+          << "question " << i;
+      EXPECT_EQ(conv.state.result.transcript[i].second,
+                AnswerToWire(ref.transcript[i].second))
+          << "answer " << i;
+    }
+  }
+}
+
+TEST(CrashRecovery, InProcessRestartServesResumes) {
+  CheckInProcessRestart(/*tear_wal_tail=*/false);
+}
+
+TEST(CrashRecovery, TornWalTailDiscardedByServingStack) {
+  CheckInProcessRestart(/*tear_wal_tail=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-process: SIGKILL a real CLI server
+// ---------------------------------------------------------------------------
+
+// The paper collection as a text file for the CLI, with set lines ordered so
+// entity ids (assigned by first appearance) match test_util's kA..kK.
+void WriteCollectionFile(const std::string& path) {
+  std::ofstream f(path);
+  f << "a b c d\n"
+    << "a d e\n"
+    << "a b c d f\n"
+    << "a b c g h\n"
+    << "a b h i\n"
+    << "a b j k\n"
+    << "a b g\n";
+}
+
+class CliServer {
+ public:
+  /// Spawns `cli --serve` on `port`; returns false if the child died during
+  /// startup (e.g. the port is taken).
+  bool Start(const std::string& cli, const std::string& collection,
+             const std::string& spill_dir, uint16_t port) {
+    port_ = port;
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      // Child: silence the serving banner, exec the CLI.
+      int devnull = ::open("/dev/null", O_WRONLY);
+      if (devnull >= 0) {
+        ::dup2(devnull, STDOUT_FILENO);
+        ::dup2(devnull, STDERR_FILENO);
+        ::close(devnull);
+      }
+      std::string port_str = std::to_string(port);
+      ::execl(cli.c_str(), cli.c_str(), collection.c_str(), "--serve",
+              port_str.c_str(), "--spill-dir", spill_dir.c_str(),
+              "--checkpoint-interval", "200", static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    if (pid_ < 0) return false;
+    // Wait until the port accepts (or the child exits).
+    for (int i = 0; i < 200; ++i) {
+      int status = 0;
+      if (::waitpid(pid_, &status, WNOHANG) == pid_) {
+        pid_ = -1;
+        return false;
+      }
+      DiscoveryClient probe;
+      if (probe.Connect("127.0.0.1", port_).ok()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    Kill();
+    return false;
+  }
+
+  void Kill() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+
+  ~CliServer() { Kill(); }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  pid_t pid_ = -1;
+  uint16_t port_ = 0;
+};
+
+TEST(CrashRecovery, SigkillRealServerAndResume) {
+  const char* cli = ::getenv("SETDISC_CLI");
+  if (cli == nullptr || cli[0] == '\0') {
+    GTEST_SKIP() << "SETDISC_CLI not set (ctest exports it); skipping the "
+                    "out-of-process kill test";
+  }
+
+  const std::string dir = FreshDir("sigkill");
+  std::filesystem::create_directories(dir);
+  const std::string collection_path = dir + "/collection.txt";
+  const std::string spill_dir = dir + "/spill";
+  WriteCollectionFile(collection_path);
+  SetCollection c;
+  ASSERT_TRUE(LoadCollectionText(collection_path, &c).ok());
+
+  // Several rounds with different kill points; the port hops per round so a
+  // lingering TIME_WAIT cannot poison the next one.
+  Rng rng(0xdeadc1beULL);
+  const uint16_t base_port =
+      static_cast<uint16_t>(21000 + (::getpid() % 10000));
+
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    std::filesystem::remove_all(spill_dir);
+
+    CliServer server;
+    uint16_t port = 0;
+    bool started = false;
+    for (int attempt = 0; attempt < 10 && !started; ++attempt) {
+      port = static_cast<uint16_t>(base_port + round * 10 + attempt);
+      started = server.Start(cli, collection_path, spill_dir, port);
+    }
+    ASSERT_TRUE(started) << "could not start the CLI server";
+
+    DiscoveryClient client;
+    client.set_no_retry();
+    ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+
+    std::vector<Conversation> convs;
+    for (SetId target = 0; target < c.num_sets(); ++target) {
+      Conversation conv;
+      conv.target = target;
+      conv.oracle = std::make_unique<SimulatedOracle>(&c, target, 0.0, 0.0, 7);
+      ASSERT_TRUE(client.CreateSession({}, &conv.state).ok());
+      conv.id = conv.state.session_id;
+      conv.token = client.session_token(conv.id);
+      ASSERT_NE(conv.token, 0u);
+      // Randomized kill point: each conversation stops at its own depth.
+      const uint32_t steps = static_cast<uint32_t>(rng() % 4);
+      for (uint32_t step = 0; step < steps; ++step) {
+        if (!RemoteStepOnce(client, conv.id, conv.token, *conv.oracle,
+                            &conv.state)) {
+          break;
+        }
+      }
+      conv.asked = conv.state.questions_asked;
+      convs.push_back(std::move(conv));
+    }
+
+    // Kill with a request in flight against the last unfinished session:
+    // the reply may or may not have been applied — the resume below must
+    // tolerate both, never a third state.
+    Conversation* victim = nullptr;
+    for (auto& conv : convs) {
+      if (conv.state.state == SessionState::kAwaitingAnswer) victim = &conv;
+    }
+    std::thread in_flight;
+    if (victim != nullptr) {
+      in_flight = std::thread([&client, victim] {
+        SessionStateMsg ignored;
+        // The kill races this RPC; either outcome (reply or transport
+        // error) is legal.
+        (void)client.Answer(victim->id,
+                            victim->oracle->AskMembership(
+                                victim->state.question),
+                            &ignored);
+      });
+      std::this_thread::sleep_for(std::chrono::milliseconds(rng() % 20));
+    }
+    server.Kill();
+    if (in_flight.joinable()) in_flight.join();
+
+    // Restart on the same port and spill dir.
+    CliServer revived;
+    ASSERT_TRUE(revived.Start(cli, collection_path, spill_dir, port))
+        << "server did not come back on port " << port;
+
+    DiscoveryClient resumed;
+    resumed.set_no_retry();
+    ASSERT_TRUE(resumed.Connect("127.0.0.1", port).ok());
+    for (Conversation& conv : convs) {
+      SCOPED_TRACE("session " + std::to_string(conv.id));
+      SessionStateMsg probe;
+      Status bad = resumed.ResumeSession(conv.id, &probe, conv.token ^ 1);
+      EXPECT_FALSE(bad.ok());
+      EXPECT_EQ(resumed.last_status(), WireStatus::kNotFound);
+
+      ASSERT_TRUE(
+          resumed.ResumeSession(conv.id, &conv.state, conv.token).ok())
+          << "session did not survive SIGKILL";
+      // Prefix consistency: every acked answer survived; the in-flight one
+      // may have landed too, but nothing else.
+      const uint32_t floor = conv.asked;
+      const uint32_t ceiling =
+          conv.asked + (&conv == victim ? 1u : 0u);
+      EXPECT_GE(conv.state.questions_asked, floor);
+      EXPECT_LE(conv.state.questions_asked, ceiling);
+
+      // Zero wrong answers: the conversation still converges to its target.
+      // The oracle is memoryless (deterministic, no errors), so re-deciding
+      // the in-flight answer is safe.
+      int guard = 0;
+      SimulatedOracle continuation(&c, conv.target, 0.0, 0.0, 7);
+      while (conv.state.state != SessionState::kFinished) {
+        ASSERT_LT(guard++, 10000);
+        Status s;
+        if (conv.state.state == SessionState::kAwaitingAnswer) {
+          s = resumed.Answer(conv.id,
+                             continuation.AskMembership(conv.state.question),
+                             &conv.state);
+        } else {
+          s = resumed.Verify(conv.id,
+                             continuation.ConfirmTarget(conv.state.verify_set),
+                             &conv.state);
+        }
+        ASSERT_TRUE(s.ok()) << s.message();
+      }
+      ASSERT_EQ(conv.state.result.candidates.size(), 1u);
+      EXPECT_EQ(conv.state.result.candidates[0], conv.target)
+          << "resumed conversation discovered the wrong set";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace setdisc::net

@@ -111,6 +111,10 @@ TEST(Overload, ExcessCreatesGetBusyAndTheConnectionServesOn) {
   auto server = StartServer(manager, server_options);
 
   DiscoveryClient client;
+  // This test asserts per-refusal wire semantics (one kBusy per Create, the
+  // exact retry-after hint), so the client's automatic retry envelope must
+  // be off or each Create would burn several refusals before surfacing.
+  client.set_no_retry();
   ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
 
   scripted.depth = 100;  // queue "full": every Create refused

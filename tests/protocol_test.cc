@@ -696,23 +696,26 @@ TEST(CreateSessionCompat, TraceFlagRoundTripsAndStaysOptional) {
 }
 
 TEST(CreateSessionCompat, UnknownFlagBitsAreIgnored) {
-  // 0x04 became the trace-context bit, so the "future" bit moved up to
-  // 0x08 — the evolution this test exists to keep possible.
+  // 0x04 became the trace-context bit and 0x08 the token request, so the
+  // "future" bit moved up to 0x10 — the evolution this test exists to keep
+  // possible.
   CreateSessionMsg msg;
   msg.initial = {7};
   std::string body = BodyOf(Encode(msg));
   CreateSessionMsg decoded;
 
-  body.push_back('\x08');  // future flag only: decodes, known bits off
+  body.push_back('\x10');  // future flag only: decodes, known bits off
   ASSERT_TRUE(Decode(body, &decoded));
   EXPECT_FALSE(decoded.enable_trace);
   EXPECT_FALSE(decoded.busy_capable);
   EXPECT_FALSE(decoded.has_trace_id);
+  EXPECT_FALSE(decoded.want_token);
 
-  body.back() = '\x09';  // future flag + trace
+  body.back() = '\x11';  // future flag + trace
   ASSERT_TRUE(Decode(body, &decoded));
   EXPECT_TRUE(decoded.enable_trace);
   EXPECT_FALSE(decoded.busy_capable);
+  EXPECT_FALSE(decoded.want_token);
 
   body.push_back('\x00');  // two trailing bytes is malformed
   EXPECT_FALSE(Decode(body, &decoded));
@@ -1001,6 +1004,178 @@ TEST(TraceReply, EncoderShipsMostRecentEventsWhenOverCap) {
   ASSERT_EQ(decoded.events.size(), size_t{kMaxWireTraceEvents});
   EXPECT_EQ(decoded.events.front().step, 25u);  // oldest shipped
   EXPECT_EQ(decoded.events.back().step, kMaxWireTraceEvents + 24);
+}
+
+// ---------------------------------------------------------------------------
+// Session auth token trailer (flag bit 0x01 + u64, on every session op) and
+// the kResumeSession message
+// ---------------------------------------------------------------------------
+
+TEST(TokenCompat, TokenlessEncodingsAreByteIdenticalToLegacy) {
+  // The compat contract of the whole token feature: a client that never
+  // asks for tokens emits the exact pre-token bytes on every message. Each
+  // expectation pins the historical body size.
+  EXPECT_EQ(BodyOf(Encode(AnswerMsg{9, Oracle::Answer::kYes})).size(),
+            sizeof(uint64_t) + 1);
+  EXPECT_EQ(BodyOf(Encode(VerifyMsg{9, true})).size(), sizeof(uint64_t) + 1);
+  EXPECT_EQ(BodyOf(Encode(MsgType::kGetSession, SessionRefMsg{9})).size(),
+            sizeof(uint64_t));
+
+  CreateSessionMsg create;
+  create.initial = {1, 2};
+  EXPECT_EQ(BodyOf(Encode(create)).size(), sizeof(uint32_t) * 3)
+      << "want_token off must not grow CreateSession";
+
+  SessionStateMsg state;
+  state.session_id = 9;
+  state.state = SessionState::kAwaitingAnswer;
+  state.question = 3;
+  state.questions_asked = 2;
+  const size_t tokenless = BodyOf(Encode(state)).size();
+  state.has_token = true;
+  state.token = 0x1111111111111111ull;
+  EXPECT_EQ(BodyOf(Encode(state)).size(), tokenless + 1 + sizeof(uint64_t));
+}
+
+TEST(TokenCompat, AnswerVerifyAndRefRoundTripTheToken) {
+  constexpr uint64_t kToken = 0xfeedfacecafef00dull;
+
+  AnswerMsg answer{77, Oracle::Answer::kNo};
+  answer.has_token = true;
+  answer.token = kToken;
+  AnswerMsg answer_back;
+  ASSERT_TRUE(Decode(BodyOf(Encode(answer)), &answer_back));
+  EXPECT_EQ(answer_back.session_id, 77u);
+  EXPECT_EQ(answer_back.answer, Oracle::Answer::kNo);
+  EXPECT_TRUE(answer_back.has_token);
+  EXPECT_EQ(answer_back.token, kToken);
+
+  VerifyMsg verify{77, false};
+  verify.has_token = true;
+  verify.token = kToken;
+  VerifyMsg verify_back;
+  ASSERT_TRUE(Decode(BodyOf(Encode(verify)), &verify_back));
+  EXPECT_FALSE(verify_back.confirmed);
+  EXPECT_TRUE(verify_back.has_token);
+  EXPECT_EQ(verify_back.token, kToken);
+
+  SessionRefMsg ref{77};
+  ref.has_token = true;
+  ref.token = kToken;
+  SessionRefMsg ref_back;
+  ASSERT_TRUE(Decode(BodyOf(Encode(MsgType::kGetSession, ref)), &ref_back));
+  EXPECT_EQ(ref_back.session_id, 77u);
+  EXPECT_TRUE(ref_back.has_token);
+  EXPECT_EQ(ref_back.token, kToken);
+
+  // Tokenless bodies decode with has_token reset.
+  answer_back.has_token = true;
+  ASSERT_TRUE(
+      Decode(BodyOf(Encode(AnswerMsg{77, Oracle::Answer::kNo})), &answer_back));
+  EXPECT_FALSE(answer_back.has_token);
+  EXPECT_EQ(answer_back.token, 0u);
+}
+
+TEST(TokenCompat, SessionStateCarriesTokenOnlyWhenAsked) {
+  SessionStateMsg state;
+  state.session_id = 5;
+  state.state = SessionState::kAwaitingVerify;
+  state.verify_set = 2;
+  state.questions_asked = 4;
+  state.has_token = true;
+  state.token = 0xabcdef0123456789ull;
+  SessionStateMsg back;
+  ASSERT_TRUE(Decode(BodyOf(Encode(state)), &back));
+  EXPECT_TRUE(back.has_token);
+  EXPECT_EQ(back.token, state.token);
+  EXPECT_EQ(back.verify_set, state.verify_set);
+
+  // A finished state (the conditional result section) composes with the
+  // trailer — the layout a Create reply for a finished-at-birth session with
+  // want_token uses.
+  SessionStateMsg done;
+  done.session_id = 6;
+  done.state = SessionState::kFinished;
+  done.result.questions = 3;
+  done.result.total_candidates = 1;
+  done.result.candidates = {4};
+  done.result.total_transcript = 1;
+  done.result.transcript = {{2, kWireYes}};
+  done.has_token = true;
+  done.token = 0x42ull;
+  ASSERT_TRUE(Decode(BodyOf(Encode(done)), &back));
+  EXPECT_TRUE(back.has_token);
+  EXPECT_EQ(back.token, 0x42ull);
+  ASSERT_EQ(back.result.candidates.size(), 1u);
+  EXPECT_EQ(back.result.candidates[0], 4u);
+  ASSERT_EQ(back.result.transcript.size(), 1u);
+}
+
+TEST(TokenCompat, MalformedTrailersAreRejected) {
+  AnswerMsg msg{1, Oracle::Answer::kYes};
+  msg.has_token = true;
+  msg.token = 7;
+  std::string good = BodyOf(Encode(msg));
+  AnswerMsg out;
+  ASSERT_TRUE(Decode(good, &out));
+
+  // Flag bit without the token bytes: truncation, not "no token".
+  std::string bit_only = good.substr(0, good.size() - sizeof(uint64_t));
+  EXPECT_FALSE(Decode(bit_only, &out));
+
+  // Token bytes without the flag bit: garbage, not a token.
+  std::string bytes_only = good;
+  bytes_only[sizeof(uint64_t) + 1] = '\x00';  // clear the flags byte
+  EXPECT_FALSE(Decode(bytes_only, &out));
+
+  // Truncation anywhere inside the trailer is rejected.
+  for (size_t len = good.size() - sizeof(uint64_t); len < good.size(); ++len) {
+    EXPECT_FALSE(Decode(good.substr(0, len), &out)) << "length " << len;
+  }
+
+  // Extra bytes after a complete trailer are rejected.
+  EXPECT_FALSE(Decode(good + '\x00', &out));
+}
+
+TEST(TokenCompat, CreateSessionWantTokenFlagMatrix) {
+  // want_token composes with the other Create flags and stays optional.
+  for (bool trace : {false, true}) {
+    for (bool want : {false, true}) {
+      CreateSessionMsg msg;
+      msg.initial = {3};
+      msg.enable_trace = trace;
+      msg.want_token = want;
+      std::string body = BodyOf(Encode(msg));
+      const size_t base = sizeof(uint32_t) * 2;
+      EXPECT_EQ(body.size(), (trace || want) ? base + 1 : base);
+      CreateSessionMsg decoded;
+      decoded.want_token = !want;  // must be overwritten
+      ASSERT_TRUE(Decode(body, &decoded));
+      EXPECT_EQ(decoded.enable_trace, trace);
+      EXPECT_EQ(decoded.want_token, want);
+    }
+  }
+}
+
+TEST(TokenCompat, ResumeSessionRoundTripsAndIsExact) {
+  ResumeSessionMsg msg;
+  msg.session_id = 0x1020304050607080ull;
+  msg.token = 0x0807060504030201ull;
+  FrameDecoder decoder;
+  Frame frame = DecodeOne(decoder, Encode(msg));
+  EXPECT_EQ(frame.type, MsgType::kResumeSession);
+  ResumeSessionMsg decoded;
+  ASSERT_TRUE(Decode(frame.body, &decoded));
+  EXPECT_EQ(decoded.session_id, msg.session_id);
+  EXPECT_EQ(decoded.token, msg.token);
+
+  // The body is exactly two u64s: any truncation or padding is malformed.
+  std::string body = BodyOf(Encode(msg));
+  ASSERT_EQ(body.size(), 2 * sizeof(uint64_t));
+  for (size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(Decode(body.substr(0, len), &decoded)) << "length " << len;
+  }
+  EXPECT_FALSE(Decode(body + '\x00', &decoded));
 }
 
 }  // namespace

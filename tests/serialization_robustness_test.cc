@@ -1,0 +1,200 @@
+// Robustness tests for the binary collection format: LoadCollectionBinary
+// must reject truncation at every byte boundary, headers whose declared
+// counts disagree with the file size (including giant counts that would
+// otherwise drive huge allocations), out-of-range entity ids, trailing
+// garbage, and random single-byte corruption — always with a clean Status,
+// never a crash or a silent wrong collection.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "collection/serialization.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace setdisc {
+namespace {
+
+using namespace setdisc::testing;
+
+class SerializationRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "setdisc_serial_" +
+           std::to_string(::getpid());
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/collection.bin";
+    SetCollection c = MakePaperCollection();
+    ASSERT_TRUE(SaveCollectionBinary(c, path_).ok());
+    std::ifstream f(path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(f),
+                  std::istreambuf_iterator<char>());
+    ASSERT_FALSE(bytes_.empty());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes `bytes` to a scratch file and loads it.
+  Status LoadBytes(const std::string& bytes) {
+    const std::string path = dir_ + "/mutated.bin";
+    {
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    SetCollection out;
+    return LoadCollectionBinary(path, &out);
+  }
+
+  /// Patches a u64 at `offset` in a copy of the good file.
+  std::string WithU64At(size_t offset, uint64_t value) const {
+    std::string mutated = bytes_;
+    EXPECT_LE(offset + 8, mutated.size());
+    std::memcpy(mutated.data() + offset, &value, sizeof value);
+    return mutated;
+  }
+
+  std::string dir_;
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SerializationRobustnessTest, GoodFileRoundtrips) {
+  SetCollection original = MakePaperCollection();
+  SetCollection loaded;
+  ASSERT_TRUE(LoadCollectionBinary(path_, &loaded).ok());
+  ASSERT_EQ(loaded.num_sets(), original.num_sets());
+  EXPECT_EQ(loaded.universe_size(), original.universe_size());
+  for (SetId s = 0; s < original.num_sets(); ++s) {
+    std::vector<EntityId> a(original.set(s).begin(), original.set(s).end());
+    std::vector<EntityId> b(loaded.set(s).begin(), loaded.set(s).end());
+    EXPECT_EQ(a, b) << "set " << s;
+  }
+}
+
+TEST_F(SerializationRobustnessTest, MissingFileIsIoError) {
+  SetCollection out;
+  Status s = LoadCollectionBinary(dir_ + "/does_not_exist.bin", &out);
+  EXPECT_FALSE(s.ok());
+}
+
+// The malformed-input matrix: every truncation length must fail cleanly.
+// This covers the empty file, a cut mid-header, a cut mid-set-header, and a
+// cut mid-element block — every field boundary and every interior byte.
+TEST_F(SerializationRobustnessTest, RejectsEveryTruncation) {
+  for (size_t len = 0; len < bytes_.size(); ++len) {
+    Status s = LoadBytes(bytes_.substr(0, len));
+    EXPECT_FALSE(s.ok()) << "accepted a " << len << "-byte prefix of a "
+                         << bytes_.size() << "-byte file";
+  }
+  EXPECT_TRUE(LoadBytes(bytes_).ok());
+}
+
+TEST_F(SerializationRobustnessTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(LoadBytes(bytes_ + '\0').ok());
+  EXPECT_FALSE(LoadBytes(bytes_ + "extra bytes after the last set").ok());
+}
+
+TEST_F(SerializationRobustnessTest, RejectsBadMagic) {
+  std::string mutated = bytes_;
+  mutated[0] ^= 0x01;
+  EXPECT_FALSE(LoadBytes(mutated).ok());
+}
+
+// A header that declares 2^61 sets must be refused by arithmetic against the
+// file size, not by attempting the allocation.
+TEST_F(SerializationRobustnessTest, RejectsGiantSetCount) {
+  EXPECT_FALSE(LoadBytes(WithU64At(8, uint64_t{1} << 61)).ok());
+  EXPECT_FALSE(LoadBytes(WithU64At(8, ~uint64_t{0})).ok());
+}
+
+TEST_F(SerializationRobustnessTest, RejectsGiantTotalElements) {
+  EXPECT_FALSE(LoadBytes(WithU64At(24, uint64_t{1} << 61)).ok());
+  EXPECT_FALSE(LoadBytes(WithU64At(24, ~uint64_t{0})).ok());
+}
+
+TEST_F(SerializationRobustnessTest, RejectsTotalDisagreeingWithFileSize) {
+  // One element short / one element long: byte accounting must catch both.
+  SetCollection c = MakePaperCollection();
+  const uint64_t total = c.total_elements();
+  EXPECT_FALSE(LoadBytes(WithU64At(24, total - 1)).ok());
+  EXPECT_FALSE(LoadBytes(WithU64At(24, total + 1)).ok());
+}
+
+TEST_F(SerializationRobustnessTest, RejectsInteriorSetSizeOverrun) {
+  // The first set header (offset 32) claims more elements than the declared
+  // total: must fail before over-reading into later sets' bytes.
+  EXPECT_FALSE(LoadBytes(WithU64At(32, uint64_t{1} << 32)).ok());
+  SetCollection c = MakePaperCollection();
+  EXPECT_FALSE(LoadBytes(WithU64At(32, c.total_elements() + 1)).ok());
+}
+
+TEST_F(SerializationRobustnessTest, RejectsEntityIdOutOfUniverse) {
+  // First element of the first set (offset 32 + 8) swapped for an id >= m.
+  SetCollection c = MakePaperCollection();
+  std::string mutated = bytes_;
+  uint32_t huge = static_cast<uint32_t>(c.universe_size());
+  static_assert(sizeof(EntityId) == 4, "element patch assumes 32-bit ids");
+  std::memcpy(mutated.data() + 40, &huge, sizeof huge);
+  EXPECT_FALSE(LoadBytes(mutated).ok());
+}
+
+// Corruption fuzz: flip one random byte anywhere in the file across many
+// seeds. Every outcome must be either a clean error or a successful load
+// (flips in element bytes that stay in range produce a different but valid
+// collection); crashes and hangs are the failures this hunts.
+TEST_F(SerializationRobustnessTest, SingleByteCorruptionFuzz) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = bytes_;
+    size_t pos = static_cast<size_t>(rng() % mutated.size());
+    uint8_t flip = static_cast<uint8_t>(1 + rng() % 255);
+    mutated[pos] = static_cast<char>(static_cast<uint8_t>(mutated[pos]) ^ flip);
+    SetCollection out;
+    const std::string path = dir_ + "/fuzz.bin";
+    {
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    }
+    Status s = LoadCollectionBinary(path, &out);
+    if (s.ok()) {
+      // Accepted mutations must still describe a well-formed collection.
+      EXPECT_LE(out.num_sets(), 16u) << "trial " << trial;
+      for (SetId set = 0; set < out.num_sets(); ++set) {
+        for (EntityId e : out.set(set)) {
+          EXPECT_LT(uint64_t{e}, out.universe_size())
+              << "trial " << trial << " set " << set;
+        }
+      }
+    }
+  }
+}
+
+// Random truncation fuzz over random collections: no size/shape may slip a
+// truncated file through.
+TEST_F(SerializationRobustnessTest, TruncationFuzzOverRandomCollections) {
+  Rng rng(8082026);
+  for (int trial = 0; trial < 20; ++trial) {
+    SetCollection c =
+        RandomCollection(/*seed=*/trial + 1, /*n=*/1 + trial % 7,
+                         /*m=*/4 + trial % 13, 0.4);
+    const std::string path = dir_ + "/rand.bin";
+    ASSERT_TRUE(SaveCollectionBinary(c, path).ok());
+    std::ifstream f(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+    size_t cut = static_cast<size_t>(rng() % bytes.size());
+    EXPECT_FALSE(LoadBytes(bytes.substr(0, cut)).ok())
+        << "trial " << trial << " cut " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace setdisc

@@ -182,6 +182,10 @@ TEST(DiscoveryServer, SessionsAreAddressableAcrossConnections) {
   auto server = StartServer(manager);
 
   DiscoveryClient first;
+  // Tokenless session: this test is about raw addressability by id across
+  // connections. Token-protected handoff (present the token or get
+  // kNotFound) is covered by the crash-recovery and session-store tests.
+  first.set_want_token(false);
   ASSERT_TRUE(first.Connect("127.0.0.1", server->port()).ok());
   SessionStateMsg state;
   ASSERT_TRUE(first.CreateSession({}, &state).ok());
@@ -509,6 +513,9 @@ TEST(DiscoveryServer, IdleConnectionsAreSweptAfterTheTimeout) {
   auto server = StartServer(manager, options);
 
   DiscoveryClient client;
+  // Observe the raw sweep: with the retry envelope on, the client would
+  // transparently reconnect and the post-sweep RPC would succeed.
+  client.set_no_retry();
   ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
   SessionStateMsg state;
   ASSERT_TRUE(client.CreateSession({}, &state).ok());  // activity
@@ -532,6 +539,12 @@ TEST(DiscoveryServer, GracefulShutdownFlushesAndCloses) {
   auto server = StartServer(manager);
 
   DiscoveryClient client;
+  // Tokenless + no retry: the point below is that the bare manager keeps the
+  // session after the frontend dies, checked via an id-only in-process Get;
+  // a token-protected session would (correctly) refuse that Get, and the
+  // retry envelope would spin reconnecting to a server that is gone.
+  client.set_want_token(false);
+  client.set_no_retry();
   ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
   SessionStateMsg state;
   ASSERT_TRUE(client.CreateSession({}, &state).ok());

@@ -76,6 +76,20 @@
 //   --trace-export FILE  with --serve: at shutdown, write every span still
 //                     in the journey ring as Chrome trace-event JSON
 //                     (chrome://tracing / Perfetto). Enables journey tracing
+//   --spill-dir DIR   durability for --serve: journal every session step to
+//                     DIR (write-ahead log + checkpoints), evict cold
+//                     sessions to it instead of dropping them, and on
+//                     restart replay it so clients resume conversations —
+//                     including across a kill -9. Also persists the warm
+//                     SelectionCache (with --cache) so a restarted server
+//                     starts hot. Sessions get auth tokens; resuming needs
+//                     the token from the Create reply
+//   --checkpoint-interval MS  with --spill-dir: compact the WAL into a fresh
+//                     checkpoint (and snapshot the cache) every MS
+//                     milliseconds (default 5000)
+//   --fsync           with --spill-dir: fsync the WAL on every flush —
+//                     survives machine crashes, not just process kills, at a
+//                     real per-step cost
 //
 // While serving, SIGUSR1 dumps the flight recorder (admission flips, effort
 // moves, evictions, lifecycle) as Chrome trace JSON next to the event log /
@@ -110,6 +124,7 @@
 #include "service/load_controller.h"
 #include "service/selection_cache.h"
 #include "service/session_manager.h"
+#include "service/session_store.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -239,7 +254,9 @@ int Usage() {
                "                   [--max-queue N] [--degrade] "
                "[--target-p99 MS]\n"
                "                   [--slow-ms MS] [--event-log FILE] "
-               "[--trace-export FILE]\n");
+               "[--trace-export FILE]\n"
+               "                   [--spill-dir DIR] "
+               "[--checkpoint-interval MS] [--fsync]\n");
   return 2;
 }
 
@@ -353,6 +370,9 @@ int main(int argc, char** argv) {
   int slow_ms = 0;
   std::string event_log_path;
   std::string trace_export_path;
+  std::string spill_dir;
+  int checkpoint_interval_ms = 5000;
+  bool fsync_wal = false;
   size_t cache_capacity = size_t{1} << 20;
   CostMetric metric = CostMetric::kAvgDepth;
 
@@ -414,6 +434,13 @@ int main(int argc, char** argv) {
       event_log_path = argv[++i];
     } else if (arg == "--trace-export" && i + 1 < argc) {
       trace_export_path = argv[++i];
+    } else if (arg == "--spill-dir" && i + 1 < argc) {
+      spill_dir = argv[++i];
+    } else if (arg == "--checkpoint-interval" && i + 1 < argc) {
+      checkpoint_interval_ms = std::atoi(argv[++i]);
+      if (checkpoint_interval_ms <= 0) return Usage();
+    } else if (arg == "--fsync") {
+      fsync_wal = true;
     } else if (arg == "--k" && i + 1 < argc) {
       k = std::atoi(argv[++i]);
     } else if (arg == "--q" && i + 1 < argc) {
@@ -756,6 +783,40 @@ int main(int argc, char** argv) {
       };
       std::unique_ptr<SelectionCache> cache = MakeCacheIfEnabled(
           use_cache, cache_capacity, cache_skip_one_shot, &manager_options);
+      // The durable session store — opened (and replayed) before the manager
+      // exists so the manager seeds its id counter past every persisted id.
+      // Declared before the manager because the manager journals into it for
+      // its whole lifetime.
+      std::unique_ptr<SessionStore> store;
+      const std::string cache_snapshot_path = spill_dir + "/selection_cache.bin";
+      if (!spill_dir.empty()) {
+        SessionStoreOptions store_options;
+        store_options.dir = spill_dir;
+        store_options.fsync = fsync_wal;
+        store = std::make_unique<SessionStore>(store_options);
+        Status open = store->Open(collection.Fingerprint());
+        if (!open.ok()) {
+          std::fprintf(stderr, "error: cannot open --spill-dir: %s\n",
+                       open.message().c_str());
+          return 1;
+        }
+        const SessionStoreStats sstats = store->stats();
+        hout << "session store: " << store->size() << " sessions restored from "
+             << spill_dir;
+        if (sstats.dropped > 0) hout << ", " << sstats.dropped << " dropped";
+        if (sstats.torn_bytes > 0) {
+          hout << ", " << sstats.torn_bytes << " torn bytes discarded";
+        }
+        hout << "\n";
+        manager_options.session_store = store.get();
+        if (cache != nullptr) {
+          Result<size_t> warmed = cache->Load(cache_snapshot_path);
+          if (warmed.ok() && warmed.value() > 0) {
+            hout << "selection cache warm-started with " << warmed.value()
+                 << " entries\n";
+          }
+        }
+      }
       SessionManager manager(collection, index, manager_options);
       // Declared before the server so it outlives it: the server consults
       // the controller on every CreateSession until its own shutdown.
@@ -834,8 +895,20 @@ int main(int argc, char** argv) {
              << ")\n";
       }
       hout << std::flush;
+      auto next_checkpoint = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(checkpoint_interval_ms);
       while (g_stop_serving == 0 && server.running()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (store != nullptr &&
+            std::chrono::steady_clock::now() >= next_checkpoint) {
+          // Periodic compaction bounds both the WAL (replay time after a
+          // crash) and the staleness of the warm-cache snapshot. Failures
+          // leave the store degraded; the next interval retries and heals.
+          (void)store->Checkpoint();
+          if (cache != nullptr) (void)cache->Save(cache_snapshot_path);
+          next_checkpoint = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(checkpoint_interval_ms);
+        }
         if (obs::ConsumeFlightDumpRequest()) {
           if (obs::WriteFlightDump(flight_dump_path)) {
             hout << "flight recorder dumped to " << flight_dump_path << "\n"
@@ -848,6 +921,24 @@ int main(int argc, char** argv) {
       }
       hout << "draining...\n";
       server.Shutdown();
+      if (store != nullptr) {
+        // Final compaction AFTER the server stops stepping sessions: the
+        // checkpoint then holds every conversation's last state, and the
+        // cache snapshot holds the fully warmed working set.
+        (void)store->Flush();
+        Status ck = store->Checkpoint();
+        if (!ck.ok()) {
+          std::fprintf(stderr, "warning: final checkpoint failed: %s\n",
+                       ck.message().c_str());
+        }
+        if (cache != nullptr) (void)cache->Save(cache_snapshot_path);
+        const SessionStoreStats sstats = store->stats();
+        hout << "session store: " << store->size() << " sessions persisted, "
+             << sstats.puts << " puts, " << sstats.wal_flushes
+             << " WAL flushes, " << sstats.checkpoints << " checkpoints, "
+             << sstats.io_errors << " io errors"
+             << (store->degraded() ? " (DEGRADED)" : "") << "\n";
+      }
       if (controller != nullptr) {
         controller->Stop();
         PrintLoadReport(*controller, hout);
